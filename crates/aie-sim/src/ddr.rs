@@ -1,0 +1,71 @@
+//! DDR / NoC load-store model.
+//!
+//! The data-arrangement module reads the input matrix from DDR through the
+//! NoC and writes `U`/`Σ` back (§III-A). Block pairs cannot be loaded
+//! simultaneously, which serializes the first iteration's loads (Eq. 12).
+
+use crate::calibration::Calibration;
+use crate::time::TimePs;
+use serde::{Deserialize, Serialize};
+
+/// Bandwidth/latency model of the DDR path.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DdrModel {
+    cal: Calibration,
+}
+
+impl DdrModel {
+    /// Builds the model from a calibration.
+    pub fn new(cal: Calibration) -> Self {
+        DdrModel { cal }
+    }
+
+    /// Wall-clock time to move `bytes` in one burst (setup latency plus
+    /// streaming at the sustained bandwidth).
+    pub fn burst_time(&self, bytes: usize) -> TimePs {
+        let stream_secs = bytes as f64 / self.cal.ddr_bytes_per_sec;
+        TimePs::from_secs(self.cal.ddr_latency_ns * 1e-9 + stream_secs)
+    }
+
+    /// Wall-clock time for `bursts` serialized bursts of `bytes` each —
+    /// the Eq. (12) first-iteration pattern (`t_DDR = num · t_Tx`-like
+    /// serialization at DDR rate).
+    pub fn serialized_bursts(&self, bytes: usize, bursts: usize) -> TimePs {
+        TimePs(self.burst_time(bytes).0 * bursts as u64)
+    }
+}
+
+impl Default for DdrModel {
+    fn default() -> Self {
+        DdrModel::new(Calibration::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn burst_includes_latency_floor() {
+        let d = DdrModel::default();
+        let tiny = d.burst_time(4);
+        assert!(tiny.as_secs() >= 180e-9);
+    }
+
+    #[test]
+    fn streaming_dominates_large_bursts() {
+        let d = DdrModel::default();
+        // 128 MiB at 12.8 GB/s ~ 10.49 ms >> latency.
+        let expected = (128u64 << 20) as f64 / 12.8e9;
+        let t = d.burst_time(128 << 20);
+        assert!((t.as_secs() - expected).abs() / expected < 0.01);
+    }
+
+    #[test]
+    fn serialization_is_linear() {
+        let d = DdrModel::default();
+        let one = d.burst_time(4096);
+        let ten = d.serialized_bursts(4096, 10);
+        assert_eq!(ten.0, one.0 * 10);
+    }
+}

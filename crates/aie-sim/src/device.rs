@@ -1,0 +1,110 @@
+//! Device profiles: the platform parameters a HeteroSVD instance
+//! targets, bundled.
+//!
+//! The paper evaluates on the VCK190 (VC1902, AIE1 architecture). The
+//! framework itself only depends on a handful of platform numbers —
+//! array geometry, per-tile memory, resource budgets, clock — so porting
+//! to another Versal device is a matter of swapping the profile. An
+//! **estimated** AIE-ML profile is included as a what-if target (its
+//! values come from public marketing material, not from a calibrated
+//! board; treat results on it as a porting study, not a measurement).
+
+use crate::geometry::ArrayGeometry;
+use crate::resources::ResourceBudget;
+use serde::{Deserialize, Serialize};
+
+/// A Versal device profile.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DeviceProfile {
+    /// AIE array geometry.
+    pub geometry: ArrayGeometry,
+    /// Resource budgets (Eq. 16).
+    pub budget: ResourceBudget,
+    /// Data-memory banks per tile.
+    pub banks_per_tile: usize,
+    /// Bytes per memory bank.
+    pub bank_bytes: usize,
+    /// AIE clock in hertz.
+    pub aie_freq_hz: f64,
+}
+
+impl DeviceProfile {
+    /// The paper's target: VCK190 / VC1902, AIE1 — 400 tiles (8×50),
+    /// 32 KB data memory per tile (4 × 8 KB banks), 1.25 GHz.
+    pub const VCK190: DeviceProfile = DeviceProfile {
+        geometry: ArrayGeometry::VCK190,
+        budget: ResourceBudget::VCK190,
+        banks_per_tile: 4,
+        bank_bytes: 8 * 1024,
+        aie_freq_hz: 1.25e9,
+    };
+
+    /// An **estimated** AIE-ML device in the VE2802 class: 304 tiles
+    /// (8×38) with 64 KB data memory per tile (8 × 8 KB banks), a smaller
+    /// PL (fewer LUT/BRAM/URAM). Public specs only — not calibrated
+    /// against hardware; use for porting studies.
+    pub const VE2802_ESTIMATE: DeviceProfile = DeviceProfile {
+        geometry: ArrayGeometry { rows: 8, cols: 38 },
+        budget: ResourceBudget {
+            aie: 304,
+            plio: 156,
+            bram: 600,
+            uram: 264,
+            luts: 522_720,
+        },
+        banks_per_tile: 8,
+        bank_bytes: 8 * 1024,
+        aie_freq_hz: 1.25e9,
+    };
+
+    /// Total data memory per tile in bytes.
+    pub fn tile_bytes(&self) -> usize {
+        self.banks_per_tile * self.bank_bytes
+    }
+
+    /// Human-readable name for the known profiles (`"custom"` otherwise).
+    pub fn name(&self) -> &'static str {
+        if *self == DeviceProfile::VCK190 {
+            "VCK190 (VC1902, AIE1)"
+        } else if *self == DeviceProfile::VE2802_ESTIMATE {
+            "VE2802-class (AIE-ML, estimated)"
+        } else {
+            "custom"
+        }
+    }
+}
+
+impl Default for DeviceProfile {
+    /// Defaults to the paper's VCK190.
+    fn default() -> Self {
+        DeviceProfile::VCK190
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vck190_matches_the_standalone_constants() {
+        let d = DeviceProfile::VCK190;
+        assert!(d.name().contains("VCK190"));
+        assert_eq!(
+            DeviceProfile { banks_per_tile: 5, ..d }.name(),
+            "custom"
+        );
+        assert_eq!(d.geometry, ArrayGeometry::VCK190);
+        assert_eq!(d.budget, ResourceBudget::VCK190);
+        assert_eq!(d.tile_bytes(), crate::memory::TILE_BYTES);
+    }
+
+    #[test]
+    fn aie_ml_estimate_differs_where_expected() {
+        let d = DeviceProfile::VE2802_ESTIMATE;
+        assert_eq!(d.geometry.num_tiles(), 304);
+        // Twice the tile memory of AIE1 tiles.
+        assert_eq!(d.tile_bytes(), 2 * DeviceProfile::VCK190.tile_bytes());
+        assert!(d.budget.aie < DeviceProfile::VCK190.budget.aie);
+        assert!(d.budget.uram < DeviceProfile::VCK190.budget.uram);
+    }
+}

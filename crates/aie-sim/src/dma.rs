@@ -1,0 +1,123 @@
+//! Inter-tile DMA transfer model (§II-B, Fig. 1a).
+//!
+//! Non-neighboring AIEs communicate through the stream switch using DMA:
+//! the source tile's DMA engine reads the buffer and streams it (32 bits
+//! per AIE cycle) to the destination tile's DMA engine, which writes it to
+//! a *second* buffer — hence "twice the memory resources and a lower data
+//! transmission rate" compared to direct neighbor access.
+
+use crate::calibration::Calibration;
+use crate::time::TimePs;
+use serde::{Deserialize, Serialize};
+
+/// Cost model for one inter-tile DMA transfer.
+///
+/// # Example
+///
+/// ```
+/// use aie_sim::dma::DmaModel;
+///
+/// let dma = DmaModel::default();
+/// // DMA costs setup + routing + streaming; a longer route only adds
+/// // hop latency, not bandwidth.
+/// assert!(dma.transfer_time_with_hops(512, 8) > dma.transfer_time(512));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DmaModel {
+    cal: Calibration,
+}
+
+impl DmaModel {
+    /// Builds the model from a calibration.
+    pub fn new(cal: Calibration) -> Self {
+        DmaModel { cal }
+    }
+
+    /// AIE cycles to move `bytes` over one DMA channel, including buffer
+    /// descriptor setup (single-hop route).
+    pub fn transfer_cycles(&self, bytes: usize) -> u64 {
+        self.transfer_cycles_with_hops(bytes, 1)
+    }
+
+    /// [`DmaModel::transfer_cycles`] for a route of `hops` stream-switch
+    /// traversals (see [`crate::switch::SwitchFabric::hops`]): each hop
+    /// adds its pipeline latency, while throughput stays one word per
+    /// cycle.
+    pub fn transfer_cycles_with_hops(&self, bytes: usize, hops: u64) -> u64 {
+        self.cal.dma_setup_cycles
+            + hops * crate::switch::HOP_CYCLES
+            + (bytes as u64).div_ceil(self.cal.dma_bytes_per_cycle.max(1))
+    }
+
+    /// Wall-clock duration of a single-hop transfer.
+    pub fn transfer_time(&self, bytes: usize) -> TimePs {
+        self.cal.aie_freq().cycles(self.transfer_cycles(bytes))
+    }
+
+    /// Wall-clock duration of a transfer over `hops` switch traversals.
+    pub fn transfer_time_with_hops(&self, bytes: usize, hops: u64) -> TimePs {
+        self.cal.aie_freq().cycles(self.transfer_cycles_with_hops(bytes, hops))
+    }
+
+    /// Extra destination-side buffer bytes the transfer occupies (the
+    /// doubled memory of the DMA mechanism).
+    pub fn extra_buffer_bytes(&self, bytes: usize) -> usize {
+        bytes
+    }
+}
+
+impl Default for DmaModel {
+    fn default() -> Self {
+        DmaModel::new(Calibration::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::kernel::KernelCostModel;
+
+    #[test]
+    fn transfer_cost_has_setup_plus_streaming() {
+        let d = DmaModel::default();
+        let cal = Calibration::default();
+        let hop = crate::switch::HOP_CYCLES;
+        assert_eq!(d.transfer_cycles(0), cal.dma_setup_cycles + hop);
+        assert_eq!(d.transfer_cycles(400), cal.dma_setup_cycles + hop + 100);
+        // Partial words round up.
+        assert_eq!(d.transfer_cycles(401), cal.dma_setup_cycles + hop + 101);
+    }
+
+    #[test]
+    fn longer_routes_add_hop_latency() {
+        let d = DmaModel::default();
+        let hop = crate::switch::HOP_CYCLES;
+        assert_eq!(
+            d.transfer_cycles_with_hops(400, 8) - d.transfer_cycles_with_hops(400, 1),
+            7 * hop
+        );
+        assert!(d.transfer_time_with_hops(400, 8) > d.transfer_time(400));
+    }
+
+    #[test]
+    fn dma_is_slower_than_neighbor_handoff() {
+        let d = DmaModel::default();
+        let k = KernelCostModel::default();
+        // A 512-byte column: DMA must beat the neighbor hand-off by a wide
+        // margin — this asymmetry is what the co-design exploits.
+        assert!(d.transfer_time(512) > k.neighbor_handoff_time());
+        assert!(d.transfer_cycles(512) > 4 * Calibration::default().neighbor_handoff_cycles);
+    }
+
+    #[test]
+    fn doubles_memory() {
+        let d = DmaModel::default();
+        assert_eq!(d.extra_buffer_bytes(2048), 2048);
+    }
+
+    #[test]
+    fn time_uses_aie_clock() {
+        let d = DmaModel::default();
+        assert_eq!(d.transfer_time(400).0, d.transfer_cycles(400) * 800);
+    }
+}

@@ -1,0 +1,94 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the platform simulator.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// A tile's data memory cannot hold another buffer.
+    OutOfTileMemory {
+        /// Bytes requested.
+        requested: usize,
+        /// Bytes still free (possibly fragmented across banks).
+        free: usize,
+    },
+    /// A single buffer exceeds one memory bank's capacity.
+    BufferTooLarge {
+        /// Bytes requested.
+        bytes: usize,
+        /// Capacity of one bank.
+        bank_bytes: usize,
+    },
+    /// A placement or schedule referenced a tile outside the array.
+    TileOutOfRange {
+        /// Offending row.
+        row: usize,
+        /// Offending column.
+        col: usize,
+    },
+    /// A design exceeds a platform resource budget (Eq. 16).
+    ResourceExceeded {
+        /// Resource name (`"AIE"`, `"PLIO"`, `"BRAM"`, `"URAM"`).
+        resource: &'static str,
+        /// Requested amount.
+        used: usize,
+        /// Budget.
+        budget: usize,
+    },
+    /// An invalid configuration value was supplied.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::OutOfTileMemory { requested, free } => write!(
+                f,
+                "tile memory exhausted: requested {requested} bytes, {free} bytes free"
+            ),
+            SimError::BufferTooLarge { bytes, bank_bytes } => write!(
+                f,
+                "buffer of {bytes} bytes exceeds the {bank_bytes}-byte bank capacity"
+            ),
+            SimError::TileOutOfRange { row, col } => {
+                write!(f, "tile ({row},{col}) lies outside the AIE array")
+            }
+            SimError::ResourceExceeded {
+                resource,
+                used,
+                budget,
+            } => write!(f, "{resource} budget exceeded: {used} used, {budget} available"),
+            SimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn messages_mention_quantities() {
+        let e = SimError::OutOfTileMemory {
+            requested: 9000,
+            free: 100,
+        };
+        assert!(e.to_string().contains("9000"));
+
+        let e = SimError::ResourceExceeded {
+            resource: "URAM",
+            used: 500,
+            budget: 463,
+        };
+        assert!(e.to_string().contains("URAM"));
+        assert!(e.to_string().contains("463"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

@@ -1,0 +1,204 @@
+//! AIE array geometry and neighbor-access topology (§II-B, Fig. 1).
+//!
+//! The VC1902 AIE array is a grid of 8 rows × 50 columns. Each tile holds
+//! one computation core and one 32 KB data memory module. The physical
+//! orientation alternates per row — in even rows the core sits on the
+//! *left* of its memory module, in odd rows on the *right* (§III-B) — so a
+//! core's directly reachable memories are:
+//!
+//! * its own tile's memory,
+//! * the memories of the tiles directly north and south, and
+//! * one *horizontal* neighbor's memory: the tile to the **west** in even
+//!   rows (that tile's memory is physically adjacent to this core), and
+//!   the tile to the **east** in odd rows.
+//!
+//! Everything else requires DMA through the stream switch.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// Coordinate of one AIE tile: `row` 0 is adjacent to the PL, columns grow
+/// left to right.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize, Default,
+)]
+pub struct TileCoord {
+    /// Array row (0-based, bottom row touches the PL interface).
+    pub row: usize,
+    /// Array column (0-based).
+    pub col: usize,
+}
+
+impl TileCoord {
+    /// Creates a coordinate.
+    pub fn new(row: usize, col: usize) -> Self {
+        TileCoord { row, col }
+    }
+
+    /// `true` when the row is even (core left of memory).
+    pub fn is_even_row(self) -> bool {
+        self.row.is_multiple_of(2)
+    }
+}
+
+impl fmt::Display for TileCoord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({},{})", self.row, self.col)
+    }
+}
+
+/// Dimensions of an AIE array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct ArrayGeometry {
+    /// Number of tile rows.
+    pub rows: usize,
+    /// Number of tile columns.
+    pub cols: usize,
+}
+
+impl Default for ArrayGeometry {
+    /// Defaults to the VCK190 array.
+    fn default() -> Self {
+        ArrayGeometry::VCK190
+    }
+}
+
+impl ArrayGeometry {
+    /// The VCK190 (VC1902) array: 8 rows × 50 columns = 400 AIEs (§III-C
+    /// mentions the 8×50 size; Table II reports 128 AIEs as 32% of 400).
+    pub const VCK190: ArrayGeometry = ArrayGeometry { rows: 8, cols: 50 };
+
+    /// Total number of tiles.
+    pub fn num_tiles(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// `true` when `t` lies inside the array.
+    pub fn contains(&self, t: TileCoord) -> bool {
+        t.row < self.rows && t.col < self.cols
+    }
+
+    /// `true` when `row` is at the array boundary (first or last row),
+    /// where the placement engine must insert mem-layers because no
+    /// subsequent row exists to receive an orth-layer's output (§III-C).
+    pub fn is_boundary_row(&self, row: usize) -> bool {
+        row == 0 || row + 1 == self.rows
+    }
+
+    /// The memory modules directly accessible from the core at `core`
+    /// (without DMA): own tile, north, south, and the row-parity
+    /// horizontal neighbor.
+    pub fn accessible_memories(&self, core: TileCoord) -> Vec<TileCoord> {
+        assert!(self.contains(core), "core {core} outside array");
+        let mut mems = vec![core];
+        if core.row + 1 < self.rows {
+            mems.push(TileCoord::new(core.row + 1, core.col));
+        }
+        if core.row > 0 {
+            mems.push(TileCoord::new(core.row - 1, core.col));
+        }
+        if core.is_even_row() {
+            // Core left of its memory; the west neighbor's memory is
+            // physically adjacent to this core.
+            if core.col > 0 {
+                mems.push(TileCoord::new(core.row, core.col - 1));
+            }
+        } else if core.col + 1 < self.cols {
+            mems.push(TileCoord::new(core.row, core.col + 1));
+        }
+        mems
+    }
+
+    /// `true` when the core at `core` can read/write the memory module of
+    /// tile `mem` directly (neighbor access, no DMA).
+    pub fn is_neighbor_accessible(&self, core: TileCoord, mem: TileCoord) -> bool {
+        self.accessible_memories(core).contains(&mem)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const G: ArrayGeometry = ArrayGeometry::VCK190;
+
+    #[test]
+    fn vck190_has_400_tiles() {
+        assert_eq!(G.num_tiles(), 400);
+        assert_eq!(G.rows, 8);
+        assert_eq!(G.cols, 50);
+    }
+
+    #[test]
+    fn own_north_south_always_accessible() {
+        let c = TileCoord::new(3, 10);
+        let mems = G.accessible_memories(c);
+        assert!(mems.contains(&c));
+        assert!(mems.contains(&TileCoord::new(4, 10)));
+        assert!(mems.contains(&TileCoord::new(2, 10)));
+    }
+
+    #[test]
+    fn even_row_reaches_west_neighbor_memory() {
+        let c = TileCoord::new(2, 10);
+        assert!(G.is_neighbor_accessible(c, TileCoord::new(2, 9)));
+        assert!(!G.is_neighbor_accessible(c, TileCoord::new(2, 11)));
+    }
+
+    #[test]
+    fn odd_row_reaches_east_neighbor_memory() {
+        let c = TileCoord::new(3, 10);
+        assert!(G.is_neighbor_accessible(c, TileCoord::new(3, 11)));
+        assert!(!G.is_neighbor_accessible(c, TileCoord::new(3, 9)));
+    }
+
+    #[test]
+    fn diagonals_and_distant_tiles_need_dma() {
+        let c = TileCoord::new(3, 10);
+        assert!(!G.is_neighbor_accessible(c, TileCoord::new(4, 11)));
+        assert!(!G.is_neighbor_accessible(c, TileCoord::new(3, 13)));
+        assert!(!G.is_neighbor_accessible(c, TileCoord::new(5, 10)));
+    }
+
+    #[test]
+    fn boundary_clipping() {
+        // Bottom-left corner of an even row: no south, no west.
+        let c = TileCoord::new(0, 0);
+        let mems = G.accessible_memories(c);
+        assert_eq!(mems.len(), 2); // own + north
+        assert!(mems.contains(&c));
+        assert!(mems.contains(&TileCoord::new(1, 0)));
+
+        // Top row (row 7, odd): no north; east neighbor present.
+        let c = TileCoord::new(7, 49);
+        let mems = G.accessible_memories(c);
+        // col 49 is the last column, so no east either: own + south.
+        assert_eq!(mems.len(), 2);
+    }
+
+    #[test]
+    fn boundary_rows_are_first_and_last() {
+        assert!(G.is_boundary_row(0));
+        assert!(G.is_boundary_row(7));
+        assert!(!G.is_boundary_row(1));
+        assert!(!G.is_boundary_row(6));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside array")]
+    fn out_of_range_core_panics() {
+        let _ = G.accessible_memories(TileCoord::new(8, 0));
+    }
+
+    #[test]
+    fn neighbor_relation_reflects_parity_asymmetry() {
+        // The same lateral offset flips accessibility between rows —
+        // the asymmetry the shifting ring ordering exploits.
+        let even = TileCoord::new(2, 5);
+        let odd = TileCoord::new(3, 5);
+        assert!(G.is_neighbor_accessible(even, TileCoord::new(2, 4)));
+        assert!(!G.is_neighbor_accessible(odd, TileCoord::new(3, 4)));
+        assert!(G.is_neighbor_accessible(odd, TileCoord::new(3, 6)));
+        assert!(!G.is_neighbor_accessible(even, TileCoord::new(2, 6)));
+    }
+}

@@ -1,0 +1,136 @@
+//! AIE kernel cost model.
+//!
+//! AIE kernels are compiled ahead of time and their cycle counts are known
+//! from the AIE simulator ("the AIE time is estimated by the AIE simulator
+//! in advance", §IV-B). This module plays that role: it returns the cycle
+//! cost of one kernel invocation as a function of the column length `m`.
+//!
+//! The orth kernel (Algorithm 1, lines 8–12) computes three `m`-element
+//! inner products (α, β, γ), the scalar rotation factors (Eq. 4–5), and
+//! two `m`-element column updates — five vector passes on the 8-lane fp32
+//! vector unit plus scalar work. The norm kernel (lines 21–24) computes
+//! one inner product, a scalar square root/divide, and one scaling pass.
+
+use crate::calibration::Calibration;
+use crate::time::TimePs;
+use serde::{Deserialize, Serialize};
+
+/// fp32 lanes of the AIE vector unit.
+pub const VECTOR_LANES: u64 = 8;
+
+/// Cycle/latency estimates for the two HeteroSVD kernels.
+///
+/// # Example
+///
+/// ```
+/// use aie_sim::kernel::KernelCostModel;
+///
+/// let kernels = KernelCostModel::default();
+/// // Orthogonalization does five vector passes; normalization two.
+/// assert!(kernels.orth_cycles(128) > kernels.norm_cycles(128));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct KernelCostModel {
+    cal: Calibration,
+}
+
+impl KernelCostModel {
+    /// Builds the cost model from a calibration.
+    pub fn new(cal: Calibration) -> Self {
+        KernelCostModel { cal }
+    }
+
+    /// AIE cycles for one orthogonalization of a column pair of length `m`
+    /// (three dot products + two updates + scalar rotation section).
+    pub fn orth_cycles(&self, m: usize) -> u64 {
+        let steps = (m as u64).div_ceil(VECTOR_LANES);
+        self.cal.orth_call_cycles
+            + 5 * steps * self.cal.vector_step_cycles
+            + self.cal.rotation_scalar_cycles
+    }
+
+    /// AIE cycles for one normalization of a column of length `m`
+    /// (one dot product + scalar sqrt/divide + one scaling pass).
+    pub fn norm_cycles(&self, m: usize) -> u64 {
+        let steps = (m as u64).div_ceil(VECTOR_LANES);
+        self.cal.norm_call_cycles
+            + 2 * steps * self.cal.vector_step_cycles
+            + self.cal.norm_scalar_cycles
+    }
+
+    /// Wall-clock duration of one orth invocation.
+    pub fn orth_time(&self, m: usize) -> TimePs {
+        self.cal.aie_freq().cycles(self.orth_cycles(m))
+    }
+
+    /// Wall-clock duration of one norm invocation.
+    pub fn norm_time(&self, m: usize) -> TimePs {
+        self.cal.aie_freq().cycles(self.norm_cycles(m))
+    }
+
+    /// Wall-clock duration of a neighbor shared-memory hand-off.
+    pub fn neighbor_handoff_time(&self) -> TimePs {
+        self.cal.aie_freq().cycles(self.cal.neighbor_handoff_cycles)
+    }
+
+    /// The calibration in use.
+    pub fn calibration(&self) -> &Calibration {
+        &self.cal
+    }
+}
+
+impl Default for KernelCostModel {
+    fn default() -> Self {
+        KernelCostModel::new(Calibration::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn orth_cost_is_affine_in_m() {
+        let k = KernelCostModel::default();
+        let c128 = k.orth_cycles(128);
+        let c256 = k.orth_cycles(256);
+        let c512 = k.orth_cycles(512);
+        // Slope doubles consistently: c(2m) - c(m) = linear part of c(m).
+        assert_eq!(c512 - c256, 2 * (c256 - c128));
+        assert!(c128 > 0);
+    }
+
+    #[test]
+    fn vector_steps_round_up() {
+        let k = KernelCostModel::default();
+        // 9 elements need 2 vector steps, same as 16.
+        assert_eq!(k.orth_cycles(9), k.orth_cycles(16));
+        assert!(k.orth_cycles(17) > k.orth_cycles(16));
+    }
+
+    #[test]
+    fn norm_is_cheaper_than_orth() {
+        let k = KernelCostModel::default();
+        for m in [8, 64, 128, 512, 1024] {
+            assert!(k.norm_cycles(m) < k.orth_cycles(m));
+        }
+    }
+
+    #[test]
+    fn times_scale_with_cycles() {
+        let k = KernelCostModel::default();
+        let t = k.orth_time(128);
+        // 1.25 GHz -> 800 ps per cycle.
+        assert_eq!(t.0, k.orth_cycles(128) * 800);
+    }
+
+    #[test]
+    fn zero_length_column_costs_only_overhead() {
+        let k = KernelCostModel::default();
+        let cal = k.calibration();
+        assert_eq!(
+            k.orth_cycles(0),
+            cal.orth_call_cycles + cal.rotation_scalar_cycles
+        );
+    }
+}

@@ -1,0 +1,219 @@
+//! Per-tile AIE data memory: four banks of 8 KB (§II-B).
+//!
+//! The allocator is a simple bump allocator per bank — real AIE memory is
+//! statically partitioned at compile time by the AIE compiler, so dynamic
+//! behaviour is not needed; what matters is *capacity accounting*: a tile
+//! whose buffers (including doubled DMA buffers) exceed 32 KB is an
+//! infeasible placement.
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+
+/// Number of memory banks per tile.
+pub const BANKS_PER_TILE: usize = 4;
+/// Capacity of one bank in bytes.
+pub const BANK_BYTES: usize = 8 * 1024;
+/// Total data memory per tile in bytes (32 KB).
+pub const TILE_BYTES: usize = BANKS_PER_TILE * BANK_BYTES;
+
+/// A named buffer allocated in tile memory.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct BufferAlloc {
+    /// Human-readable purpose (e.g. `"orth-in-left"`, `"dma-copy"`).
+    pub label: String,
+    /// Bank index the buffer was placed in.
+    pub bank: usize,
+    /// Size in bytes.
+    pub bytes: usize,
+}
+
+/// Allocation state of one tile's data memory.
+///
+/// # Example
+///
+/// ```
+/// use aie_sim::memory::{TileMemory, TILE_BYTES};
+///
+/// # fn main() -> Result<(), aie_sim::SimError> {
+/// let mut mem = TileMemory::new();
+/// mem.allocate("column", 512)?;
+/// assert_eq!(mem.free_bytes(), TILE_BYTES - 512);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TileMemory {
+    used_per_bank: Vec<usize>,
+    bank_bytes: usize,
+    allocations: Vec<BufferAlloc>,
+}
+
+impl Default for TileMemory {
+    fn default() -> Self {
+        TileMemory::new()
+    }
+}
+
+impl TileMemory {
+    /// An empty AIE1 tile memory (4 × 8 KB banks).
+    pub fn new() -> Self {
+        TileMemory::with_layout(BANKS_PER_TILE, BANK_BYTES)
+    }
+
+    /// An empty tile memory with an explicit bank layout (e.g. 8 × 8 KB
+    /// for AIE-ML tiles; see [`crate::device::DeviceProfile`]).
+    pub fn with_layout(banks: usize, bank_bytes: usize) -> Self {
+        TileMemory {
+            used_per_bank: vec![0; banks.max(1)],
+            bank_bytes: bank_bytes.max(1),
+            allocations: Vec::new(),
+        }
+    }
+
+    /// Total capacity across banks.
+    pub fn capacity_bytes(&self) -> usize {
+        self.used_per_bank.len() * self.bank_bytes
+    }
+
+    /// Allocates `bytes` in the first bank with room (best-effort packing;
+    /// buffers may not span banks, matching the hardware's bank-local
+    /// addressing for single-buffer locks).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::OutOfTileMemory`] when no bank can hold the
+    /// buffer, or [`SimError::BufferTooLarge`] when `bytes` exceeds a
+    /// bank's capacity outright.
+    pub fn allocate(&mut self, label: impl Into<String>, bytes: usize) -> Result<usize, SimError> {
+        if bytes > self.bank_bytes {
+            return Err(SimError::BufferTooLarge {
+                bytes,
+                bank_bytes: self.bank_bytes,
+            });
+        }
+        // Best-fit: the bank with least remaining space that still fits,
+        // to keep large banks available for later buffers.
+        let bank = (0..self.used_per_bank.len())
+            .filter(|&b| self.used_per_bank[b] + bytes <= self.bank_bytes)
+            .min_by_key(|&b| self.bank_bytes - self.used_per_bank[b]);
+        match bank {
+            Some(b) => {
+                self.used_per_bank[b] += bytes;
+                self.allocations.push(BufferAlloc {
+                    label: label.into(),
+                    bank: b,
+                    bytes,
+                });
+                Ok(b)
+            }
+            None => Err(SimError::OutOfTileMemory {
+                requested: bytes,
+                free: self.free_bytes(),
+            }),
+        }
+    }
+
+    /// Total bytes in use.
+    pub fn used_bytes(&self) -> usize {
+        self.used_per_bank.iter().sum()
+    }
+
+    /// Total bytes free across banks (fragmented; a single buffer may not
+    /// fit even when this is large enough).
+    pub fn free_bytes(&self) -> usize {
+        self.capacity_bytes() - self.used_bytes()
+    }
+
+    /// All allocations made so far.
+    pub fn allocations(&self) -> &[BufferAlloc] {
+        &self.allocations
+    }
+
+    /// Releases every allocation (between pipeline phases).
+    pub fn clear(&mut self) {
+        self.used_per_bank.iter_mut().for_each(|b| *b = 0);
+        self.allocations.clear();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn capacity_constants() {
+        assert_eq!(TILE_BYTES, 32 * 1024);
+    }
+
+    #[test]
+    fn allocate_and_account() {
+        let mut m = TileMemory::new();
+        let b = m.allocate("col", 512).unwrap();
+        assert!(b < BANKS_PER_TILE);
+        assert_eq!(m.used_bytes(), 512);
+        assert_eq!(m.free_bytes(), TILE_BYTES - 512);
+        assert_eq!(m.allocations().len(), 1);
+        assert_eq!(m.allocations()[0].label, "col");
+    }
+
+    #[test]
+    fn buffer_larger_than_bank_rejected() {
+        let mut m = TileMemory::new();
+        let err = m.allocate("huge", BANK_BYTES + 1).unwrap_err();
+        assert!(matches!(err, SimError::BufferTooLarge { .. }));
+    }
+
+    #[test]
+    fn fills_all_banks_then_errors() {
+        let mut m = TileMemory::new();
+        for i in 0..BANKS_PER_TILE {
+            m.allocate(format!("b{i}"), BANK_BYTES).unwrap();
+        }
+        assert_eq!(m.free_bytes(), 0);
+        let err = m.allocate("extra", 1).unwrap_err();
+        assert!(matches!(err, SimError::OutOfTileMemory { .. }));
+    }
+
+    #[test]
+    fn best_fit_packs_tightly() {
+        let mut m = TileMemory::new();
+        m.allocate("a", 6000).unwrap();
+        // The next 2 KB buffer should go into the same (most-used) bank.
+        let b1 = m.allocate("b", 2048).unwrap();
+        assert_eq!(b1, 0);
+        // An 8 KB buffer still fits into a fresh bank.
+        m.allocate("c", BANK_BYTES).unwrap();
+    }
+
+    #[test]
+    fn dma_doubling_can_exhaust_memory() {
+        // A tile holding two 8 KB working buffers plus two 8 KB DMA copies
+        // is full; a fifth buffer fails. This is the memory pressure that
+        // motivates the paper's DMA reduction.
+        let mut m = TileMemory::new();
+        for label in ["work-l", "work-r", "dma-l", "dma-r"] {
+            m.allocate(label, BANK_BYTES).unwrap();
+        }
+        assert!(m.allocate("extra", 64).is_err());
+    }
+
+    #[test]
+    fn aie_ml_layout_has_double_capacity() {
+        let mut m = TileMemory::with_layout(8, BANK_BYTES);
+        assert_eq!(m.capacity_bytes(), 64 * 1024);
+        for i in 0..8 {
+            m.allocate(format!("b{i}"), BANK_BYTES).unwrap();
+        }
+        assert_eq!(m.free_bytes(), 0);
+        assert!(m.allocate("extra", 1).is_err());
+    }
+
+    #[test]
+    fn clear_resets_state() {
+        let mut m = TileMemory::new();
+        m.allocate("x", 100).unwrap();
+        m.clear();
+        assert_eq!(m.used_bytes(), 0);
+        assert!(m.allocations().is_empty());
+    }
+}

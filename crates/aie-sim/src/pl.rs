@@ -1,0 +1,188 @@
+//! PL fabric model: FIFO sizing, BRAM/URAM/LUT cost, HLS loop overhead,
+//! and achievable-frequency derating.
+//!
+//! The PL side of HeteroSVD (Fig. 2) holds the data-arrangement module and
+//! the sender/receiver FIFOs that buffer matrix blocks between DDR and the
+//! AIE array. Its resource footprint (URAM especially) grows with the
+//! matrix size and the task parallelism, and its achievable clock drops as
+//! the design grows — the two effects behind HeteroSVD's throughput
+//! falloff at large sizes (Fig. 9 discussion, §V-B).
+
+use crate::calibration::Calibration;
+use crate::time::{Frequency, TimePs};
+use serde::{Deserialize, Serialize};
+
+/// Bytes per URAM block (288 Kb).
+pub const URAM_BYTES: usize = 288 * 1024 / 8;
+/// Bytes per BRAM36 block (36 Kb).
+pub const BRAM_BYTES: usize = 36 * 1024 / 8;
+
+/// Resource/frequency model of the HeteroSVD PL design.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlModel {
+    cal: Calibration,
+}
+
+impl PlModel {
+    /// Builds the model from a calibration.
+    pub fn new(cal: Calibration) -> Self {
+        PlModel { cal }
+    }
+
+    /// URAM blocks needed per task to double-buffer an `m × n` fp32
+    /// matrix in the receiver/sender FIFOs, rounded up to the 4-block
+    /// cascade granularity the tools infer.
+    ///
+    /// Calibrated against Table II (4 / 20 / 64 / 244 URAM for sizes 128²
+    /// to 1024²) and Table VI (16 URAM per task at 256²).
+    pub fn uram_blocks_per_task(&self, rows: usize, cols: usize) -> usize {
+        let matrix_bytes = rows * cols * 4;
+        let double_buffered = 2 * matrix_bytes;
+        let blocks = double_buffered.div_ceil(URAM_BYTES);
+        blocks.div_ceil(4) * 4
+    }
+
+    /// BRAM blocks for the control/reorder FIFOs (small, per task).
+    pub fn bram_blocks(&self, p_task: usize) -> usize {
+        8 + 2 * p_task
+    }
+
+    /// LUT estimate of the PL design. Fit to Table II's 15.1K–15.7K for
+    /// one task at sizes 128²–1024²; each extra task replicates the
+    /// sender/receiver datapath.
+    pub fn luts(&self, cols: usize, p_task: usize) -> usize {
+        let log2n = (cols.max(2) as f64).log2();
+        let per_design = 13_660.0 + 205.0 * log2n;
+        (per_design + 900.0 * (p_task.saturating_sub(1)) as f64) as usize
+    }
+
+    /// Achievable PL clock for a design of `cols` columns and `p_task`
+    /// tasks, in MHz. Anchored to Table V's measured frequencies
+    /// (450/420/350/310 MHz for single-task 128²–1024²; ~310–330 MHz for
+    /// batch designs): routing congestion grows with both the problem size
+    /// and the replication factor.
+    pub fn achievable_frequency(&self, cols: usize, p_task: usize) -> Frequency {
+        let base = Self::base_fmax_mhz(cols);
+        let derated = base * (1.0 - 0.03 * (p_task.saturating_sub(1)) as f64);
+        Frequency::from_mhz(derated.max(310.0_f64.min(base)))
+    }
+
+    fn base_fmax_mhz(cols: usize) -> f64 {
+        // Log-linear interpolation through the Table V anchors.
+        const ANCHORS: [(f64, f64); 4] = [(7.0, 450.0), (8.0, 420.0), (9.0, 350.0), (10.0, 310.0)];
+        let x = (cols.max(2) as f64).log2();
+        if x <= ANCHORS[0].0 {
+            return ANCHORS[0].1;
+        }
+        if x >= ANCHORS[3].0 {
+            // Extrapolate gently below 310 MHz for very large designs.
+            return (ANCHORS[3].1 - 30.0 * (x - ANCHORS[3].0)).max(200.0);
+        }
+        for w in ANCHORS.windows(2) {
+            let (x0, y0) = w[0];
+            let (x1, y1) = w[1];
+            if x <= x1 {
+                return y0 + (y1 - y0) * (x - x0) / (x1 - x0);
+            }
+        }
+        ANCHORS[3].1
+    }
+
+    /// HLS loop-switch overhead (`t_hls`, §IV-B): `switches` loop
+    /// transitions at the given PL clock.
+    pub fn hls_overhead(&self, switches: usize, pl_freq: Frequency) -> TimePs {
+        pl_freq.cycles(switches as u64 * self.cal.hls_loop_overhead_cycles)
+    }
+}
+
+impl Default for PlModel {
+    fn default() -> Self {
+        PlModel::new(Calibration::default())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uram_matches_table2_shape() {
+        let pl = PlModel::default();
+        // Paper: 4 / 20 / 64 / 244. Model lands within ~25% with the same
+        // superlinear growth.
+        let paper = [(128usize, 4usize), (256, 20), (512, 64), (1024, 244)];
+        for (n, reported) in paper {
+            let est = pl.uram_blocks_per_task(n, n);
+            let rel = (est as f64 - reported as f64).abs() / reported as f64;
+            assert!(
+                rel < 0.30,
+                "URAM for {n}x{n}: model {est} vs paper {reported}"
+            );
+        }
+    }
+
+    #[test]
+    fn uram_per_task_matches_table6() {
+        // Table VI: P_task=26 -> 416 URAM, P_task=9 -> 144, P_task=2 -> 32:
+        // all exactly 16 per task at 256x256.
+        let pl = PlModel::default();
+        assert_eq!(pl.uram_blocks_per_task(256, 256), 16);
+    }
+
+    #[test]
+    fn luts_match_table2_within_2_percent() {
+        let pl = PlModel::default();
+        let paper = [
+            (128usize, 15_100usize),
+            (256, 15_200),
+            (512, 15_500),
+            (1024, 15_700),
+        ];
+        for (n, reported) in paper {
+            let est = pl.luts(n, 1);
+            let rel = (est as f64 - reported as f64).abs() / reported as f64;
+            assert!(rel < 0.02, "LUTs for {n}: model {est} vs paper {reported}");
+        }
+    }
+
+    #[test]
+    fn fmax_hits_table5_single_task_anchors() {
+        let pl = PlModel::default();
+        let anchors = [(128usize, 450.0), (256, 420.0), (512, 350.0), (1024, 310.0)];
+        for (n, mhz) in anchors {
+            let f = pl.achievable_frequency(n, 1).mhz();
+            assert!((f - mhz).abs() < 1.0, "fmax({n}) = {f} vs {mhz}");
+        }
+    }
+
+    #[test]
+    fn fmax_derates_with_task_parallelism() {
+        let pl = PlModel::default();
+        let single = pl.achievable_frequency(128, 1).mhz();
+        let batch = pl.achievable_frequency(128, 9).mhz();
+        assert!(batch < single);
+        // Table V batch row: 330 MHz at P_task=9; model within ~5%.
+        assert!((batch - 330.0).abs() / 330.0 < 0.08, "batch fmax {batch}");
+    }
+
+    #[test]
+    fn fmax_never_collapses() {
+        let pl = PlModel::default();
+        assert!(pl.achievable_frequency(4096, 26).mhz() >= 200.0);
+    }
+
+    #[test]
+    fn hls_overhead_scales_with_switches() {
+        let pl = PlModel::default();
+        let f = Frequency::from_mhz(200.0);
+        let one = pl.hls_overhead(1, f);
+        let ten = pl.hls_overhead(10, f);
+        assert_eq!(ten.0, one.0 * 10);
+    }
+
+    #[test]
+    fn bram_grows_with_tasks() {
+        let pl = PlModel::default();
+        assert!(pl.bram_blocks(10) > pl.bram_blocks(1));
+    }
+}

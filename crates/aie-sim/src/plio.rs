@@ -1,0 +1,158 @@
+//! PLIO stream interface model (§II-B).
+//!
+//! PLIOs are the AXI-Stream ports between the PL and the AIE array: each
+//! port moves 128 bits per PL cycle; one interface group (the port set of
+//! one task pipeline) is capped at 32 GB/s into the AIE array and 24 GB/s
+//! out of it (§II-B). The caps are per group, not array-global — the
+//! VC1902's full array interface sustains ~1 TB/s, which is how Table VI's
+//! 26 parallel task pipelines scale linearly. Packet-switched streams
+//! (dynamic forwarding, Fig. 1b) prepend a 32-bit header used by the tile
+//! switches to route the payload.
+
+use crate::calibration::Calibration;
+use crate::time::{Frequency, TimePs};
+use serde::{Deserialize, Serialize};
+
+/// Transfer direction of a PLIO port.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum PlioDirection {
+    /// PL → AIE (32 GB/s aggregate cap).
+    ToAie,
+    /// AIE → PL (24 GB/s aggregate cap).
+    ToPl,
+}
+
+/// Bandwidth/latency model of one PLIO stream port.
+///
+/// # Example
+///
+/// ```
+/// use aie_sim::calibration::Calibration;
+/// use aie_sim::plio::PlioModel;
+/// use aie_sim::time::Frequency;
+///
+/// let plio = PlioModel::new(Calibration::DEFAULT, Frequency::from_mhz(208.3));
+/// // A 128-element fp32 column (512 B) streams in 32 payload beats + 1
+/// // header cycle (Eq. 8).
+/// assert_eq!(plio.transfer_cycles(512, 1), 33);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PlioModel {
+    cal: Calibration,
+    pl_freq: Frequency,
+}
+
+impl PlioModel {
+    /// Builds the model for a given PL clock.
+    pub fn new(cal: Calibration, pl_freq: Frequency) -> Self {
+        PlioModel { cal, pl_freq }
+    }
+
+    /// PL clock this model assumes.
+    pub fn pl_freq(&self) -> Frequency {
+        self.pl_freq
+    }
+
+    /// PL cycles to stream `payload_bytes` through one port as `packets`
+    /// packet(s), including per-packet headers. This realizes Eq. (8):
+    /// `t = databits / (bandwidth · frequency)`, plus header overhead.
+    pub fn transfer_cycles(&self, payload_bytes: usize, packets: usize) -> u64 {
+        let bytes_per_cycle = self.cal.plio_bytes_per_cycle().max(1);
+        let payload = (payload_bytes as u64).div_ceil(bytes_per_cycle);
+        payload + packets as u64 * self.cal.packet_header_cycles
+    }
+
+    /// Wall-clock duration of the transfer in [`Self::transfer_cycles`].
+    pub fn transfer_time(&self, payload_bytes: usize, packets: usize) -> TimePs {
+        self.pl_freq
+            .cycles(self.transfer_cycles(payload_bytes, packets))
+    }
+
+    /// The per-port bandwidth in bytes/second at this PL clock.
+    pub fn port_bytes_per_sec(&self) -> f64 {
+        self.cal.plio_bytes_per_cycle() as f64 * self.pl_freq.hz()
+    }
+
+    /// Maximum number of ports in `dir` that can run at full rate before
+    /// the interface-group cap throttles them.
+    pub fn max_full_rate_ports(&self, dir: PlioDirection) -> usize {
+        let aggregate = match dir {
+            PlioDirection::ToAie => self.cal.pl_to_aie_bytes_per_sec,
+            PlioDirection::ToPl => self.cal.aie_to_pl_bytes_per_sec,
+        };
+        (aggregate / self.port_bytes_per_sec()).floor().max(1.0) as usize
+    }
+
+    /// Effective duration of a transfer when `active_ports` ports of the
+    /// same interface group stream concurrently in direction `dir`:
+    /// beyond the group cap, all ports slow down proportionally.
+    pub fn throttled_transfer_time(
+        &self,
+        payload_bytes: usize,
+        packets: usize,
+        dir: PlioDirection,
+        active_ports: usize,
+    ) -> TimePs {
+        let base = self.transfer_time(payload_bytes, packets);
+        let max_ports = self.max_full_rate_ports(dir);
+        if active_ports <= max_ports {
+            base
+        } else {
+            let factor = active_ports as f64 / max_ports as f64;
+            TimePs((base.0 as f64 * factor).round() as u64)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn model(mhz: f64) -> PlioModel {
+        PlioModel::new(Calibration::default(), Frequency::from_mhz(mhz))
+    }
+
+    #[test]
+    fn transfer_cycles_match_eq8() {
+        let m = model(208.3);
+        // A 128-element fp32 column = 512 bytes = 32 cycles of payload
+        // plus 1 header cycle.
+        assert_eq!(m.transfer_cycles(512, 1), 33);
+        // Partial beats round up.
+        assert_eq!(m.transfer_cycles(513, 1), 34);
+        // No payload: headers only.
+        assert_eq!(m.transfer_cycles(0, 2), 2);
+    }
+
+    #[test]
+    fn port_bandwidth_scales_with_pl_clock() {
+        let slow = model(100.0);
+        let fast = model(400.0);
+        assert!((fast.port_bytes_per_sec() / slow.port_bytes_per_sec() - 4.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn aggregate_cap_limits_port_count() {
+        let m = model(250.0);
+        // 16 B/cycle at 250 MHz = 4 GB/s per port; 32/4 = 8 inbound ports.
+        assert_eq!(m.max_full_rate_ports(PlioDirection::ToAie), 8);
+        assert_eq!(m.max_full_rate_ports(PlioDirection::ToPl), 6);
+    }
+
+    #[test]
+    fn throttling_kicks_in_beyond_cap() {
+        let m = model(250.0);
+        let base = m.throttled_transfer_time(1024, 1, PlioDirection::ToAie, 8);
+        let throttled = m.throttled_transfer_time(1024, 1, PlioDirection::ToAie, 16);
+        assert_eq!(throttled.0, base.0 * 2);
+        // Under the cap, no slowdown.
+        let few = m.throttled_transfer_time(1024, 1, PlioDirection::ToAie, 2);
+        assert_eq!(few, base);
+    }
+
+    #[test]
+    fn transfer_time_uses_pl_period() {
+        let m = model(200.0); // 5000 ps period
+        assert_eq!(m.transfer_time(512, 1).0, 33 * 5000);
+    }
+}

@@ -1,0 +1,177 @@
+//! VCK190 resource budgets and usage accounting (Eq. 16).
+//!
+//! The DSE feasibility check keeps AIE, PLIO, BRAM and URAM usage under
+//! the device budgets. LUTs are tracked too for power estimation and
+//! reporting, though the paper's Eq. (16) omits them (HeteroSVD's PL
+//! design uses <2% of the device's LUTs, Table II).
+
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::ops::Add;
+
+/// Device resource budgets.
+///
+/// # Example
+///
+/// ```
+/// use aie_sim::{ResourceBudget, ResourceUsage};
+///
+/// let usage = ResourceUsage { aie: 322, plio: 12, bram: 12, uram: 32, luts: 16_000 };
+/// assert!(ResourceBudget::VCK190.check(&usage).is_ok());
+/// let over = ResourceUsage { uram: 500, ..usage };
+/// assert!(ResourceBudget::VCK190.check(&over).is_err());
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceBudget {
+    /// AIE tiles.
+    pub aie: usize,
+    /// PLIO stream ports between PL and the AIE array.
+    pub plio: usize,
+    /// BRAM36 blocks.
+    pub bram: usize,
+    /// URAM blocks.
+    pub uram: usize,
+    /// PL LUTs.
+    pub luts: usize,
+}
+
+impl ResourceBudget {
+    /// The VCK190 (VC1902): 400 AIEs (8×50), 967 BRAM, 463 URAM, ~900K
+    /// LUTs (Table II's percentages back out these totals). The PLIO
+    /// budget of 156 ports corresponds to the paper's maximum
+    /// `P_task = 26` at 6 PLIOs per task (Table I).
+    pub const VCK190: ResourceBudget = ResourceBudget {
+        aie: 400,
+        plio: 156,
+        bram: 967,
+        uram: 463,
+        luts: 899_840,
+    };
+
+    /// Validates `usage` against this budget (Eq. 16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ResourceExceeded`] naming the first resource
+    /// over budget.
+    pub fn check(&self, usage: &ResourceUsage) -> Result<(), SimError> {
+        let checks: [(&'static str, usize, usize); 4] = [
+            ("AIE", usage.aie, self.aie),
+            ("PLIO", usage.plio, self.plio),
+            ("BRAM", usage.bram, self.bram),
+            ("URAM", usage.uram, self.uram),
+        ];
+        for (name, used, budget) in checks {
+            if used > budget {
+                return Err(SimError::ResourceExceeded {
+                    resource: name,
+                    used,
+                    budget,
+                });
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Resources consumed by a design point.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ResourceUsage {
+    /// AIE tiles in use (orth + norm + mem).
+    pub aie: usize,
+    /// PLIO ports in use.
+    pub plio: usize,
+    /// BRAM36 blocks in use.
+    pub bram: usize,
+    /// URAM blocks in use.
+    pub uram: usize,
+    /// PL LUTs in use.
+    pub luts: usize,
+}
+
+impl ResourceUsage {
+    /// Usage as a fraction of the budget, per resource, in budget order
+    /// (AIE, PLIO, BRAM, URAM, LUT).
+    pub fn fractions(&self, budget: &ResourceBudget) -> [f64; 5] {
+        [
+            self.aie as f64 / budget.aie as f64,
+            self.plio as f64 / budget.plio as f64,
+            self.bram as f64 / budget.bram as f64,
+            self.uram as f64 / budget.uram as f64,
+            self.luts as f64 / budget.luts as f64,
+        ]
+    }
+}
+
+impl Add for ResourceUsage {
+    type Output = ResourceUsage;
+    fn add(self, rhs: ResourceUsage) -> ResourceUsage {
+        ResourceUsage {
+            aie: self.aie + rhs.aie,
+            plio: self.plio + rhs.plio,
+            bram: self.bram + rhs.bram,
+            uram: self.uram + rhs.uram,
+            luts: self.luts + rhs.luts,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vck190_percentages_match_table2() {
+        // Table II: 128 AIEs = 32%, 4 URAM = 0.86%, 244 URAM = 52.70%,
+        // 15.1K LUT = 1.68%.
+        let b = ResourceBudget::VCK190;
+        assert!((128.0 / b.aie as f64 - 0.32).abs() < 0.001);
+        assert!((4.0 / b.uram as f64 - 0.0086).abs() < 0.0004);
+        assert!((244.0 / b.uram as f64 - 0.527).abs() < 0.002);
+        assert!((15_100.0 / b.luts as f64 - 0.0168).abs() < 0.0003);
+    }
+
+    #[test]
+    fn check_accepts_feasible_designs() {
+        let usage = ResourceUsage {
+            aie: 322,
+            plio: 12,
+            bram: 12,
+            uram: 32,
+            luts: 16_000,
+        };
+        assert!(ResourceBudget::VCK190.check(&usage).is_ok());
+    }
+
+    #[test]
+    fn check_names_the_exceeded_resource() {
+        let usage = ResourceUsage {
+            aie: 100,
+            plio: 10,
+            bram: 10,
+            uram: 500,
+            luts: 10_000,
+        };
+        match ResourceBudget::VCK190.check(&usage) {
+            Err(SimError::ResourceExceeded { resource, .. }) => assert_eq!(resource, "URAM"),
+            other => panic!("expected ResourceExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn usage_addition_and_fractions() {
+        let a = ResourceUsage {
+            aie: 100,
+            plio: 6,
+            bram: 5,
+            uram: 16,
+            luts: 15_000,
+        };
+        let total = a + a;
+        assert_eq!(total.aie, 200);
+        assert_eq!(total.plio, 12);
+        let f = total.fractions(&ResourceBudget::VCK190);
+        assert!((f[0] - 0.5).abs() < 1e-12);
+        assert!(f.iter().all(|&x| x >= 0.0));
+    }
+}

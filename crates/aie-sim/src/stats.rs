@@ -1,0 +1,124 @@
+//! Aggregate simulation statistics.
+
+use crate::time::TimePs;
+use serde::{Deserialize, Serialize};
+
+/// Counters accumulated during one simulated accelerator run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct SimStats {
+    /// End-to-end simulated time.
+    pub elapsed: TimePs,
+    /// Inter-tile DMA transfers performed.
+    pub dma_transfers: usize,
+    /// Bytes moved by inter-tile DMA.
+    pub dma_bytes: usize,
+    /// Neighbor shared-memory hand-offs performed.
+    pub neighbor_accesses: usize,
+    /// Bytes streamed PL → AIE.
+    pub plio_bytes_in: usize,
+    /// Bytes streamed AIE → PL.
+    pub plio_bytes_out: usize,
+    /// Orthogonalization kernel invocations.
+    pub orth_invocations: usize,
+    /// Normalization kernel invocations.
+    pub norm_invocations: usize,
+    /// Bytes loaded from / stored to DDR.
+    pub ddr_bytes: usize,
+    /// Accumulated busy time across all orth-AIE cores.
+    pub orth_busy: TimePs,
+    /// Accumulated busy time across all PLIO ports.
+    pub plio_busy: TimePs,
+    /// Outer block-Jacobi iterations executed.
+    pub iterations: usize,
+}
+
+impl SimStats {
+    /// Fresh (all-zero) statistics.
+    pub fn new() -> Self {
+        SimStats::default()
+    }
+
+    /// Average compute utilization of `num_orth` orth-AIE cores over the
+    /// elapsed time, in `[0, 1]`.
+    pub fn core_utilization(&self, num_orth: usize) -> f64 {
+        if self.elapsed == TimePs::ZERO || num_orth == 0 {
+            return 0.0;
+        }
+        (self.orth_busy.0 as f64 / (self.elapsed.0 as f64 * num_orth as f64)).min(1.0)
+    }
+
+    /// Average utilization of `num_plio` PLIO ports over the elapsed time,
+    /// in `[0, 1]` — the "memory utilization" axis of Fig. 9 (bandwidth
+    /// into the array is the memory-system bottleneck).
+    pub fn bandwidth_utilization(&self, num_plio: usize) -> f64 {
+        if self.elapsed == TimePs::ZERO || num_plio == 0 {
+            return 0.0;
+        }
+        (self.plio_busy.0 as f64 / (self.elapsed.0 as f64 * num_plio as f64)).min(1.0)
+    }
+
+    /// Merges counters from another run (batch aggregation). Elapsed time
+    /// takes the maximum (parallel tasks), busy times add.
+    pub fn merge(&mut self, other: &SimStats) {
+        self.elapsed = self.elapsed.max(other.elapsed);
+        self.dma_transfers += other.dma_transfers;
+        self.dma_bytes += other.dma_bytes;
+        self.neighbor_accesses += other.neighbor_accesses;
+        self.plio_bytes_in += other.plio_bytes_in;
+        self.plio_bytes_out += other.plio_bytes_out;
+        self.orth_invocations += other.orth_invocations;
+        self.norm_invocations += other.norm_invocations;
+        self.ddr_bytes += other.ddr_bytes;
+        self.orth_busy += other.orth_busy;
+        self.plio_busy += other.plio_busy;
+        self.iterations = self.iterations.max(other.iterations);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn utilization_bounds() {
+        let s = SimStats {
+            elapsed: TimePs(1000),
+            orth_busy: TimePs(500),
+            plio_busy: TimePs(2000),
+            ..Default::default()
+        };
+        assert!((s.core_utilization(1) - 0.5).abs() < 1e-12);
+        assert!((s.core_utilization(2) - 0.25).abs() < 1e-12);
+        // Clamped at 1.
+        assert_eq!(s.bandwidth_utilization(1), 1.0);
+        // Degenerate cases.
+        assert_eq!(SimStats::new().core_utilization(4), 0.0);
+        assert_eq!(s.core_utilization(0), 0.0);
+    }
+
+    #[test]
+    fn merge_combines_counters() {
+        let mut a = SimStats {
+            elapsed: TimePs(100),
+            dma_transfers: 3,
+            orth_invocations: 10,
+            orth_busy: TimePs(40),
+            iterations: 6,
+            ..Default::default()
+        };
+        let b = SimStats {
+            elapsed: TimePs(250),
+            dma_transfers: 2,
+            orth_invocations: 5,
+            orth_busy: TimePs(60),
+            iterations: 6,
+            ..Default::default()
+        };
+        a.merge(&b);
+        assert_eq!(a.elapsed, TimePs(250));
+        assert_eq!(a.dma_transfers, 5);
+        assert_eq!(a.orth_invocations, 15);
+        assert_eq!(a.orth_busy, TimePs(100));
+        assert_eq!(a.iterations, 6);
+    }
+}

@@ -1,0 +1,251 @@
+//! Tile stream switches and routing (Fig. 1).
+//!
+//! Each AIE tile contains a stream switch wired to its four neighbors
+//! and to the tile's DMA engines. Streams hop switch to switch; a route
+//! between two tiles costs one switch traversal per hop. This module
+//! models the routing function — Manhattan paths with a column-first
+//! rule (streams enter the array vertically from the PL interface) —
+//! plus the two one-to-many mechanisms of §II-B: static broadcast trees
+//! and dynamic (packet-switched) forwarding tables.
+
+use crate::geometry::{ArrayGeometry, TileCoord};
+use crate::packet::StreamId;
+use crate::SimError;
+use serde::{Deserialize, Serialize};
+use std::collections::HashMap;
+
+/// Per-hop traversal latency of a stream switch, in AIE cycles.
+pub const HOP_CYCLES: u64 = 2;
+
+/// The stream-routing fabric of the array.
+///
+/// # Example
+///
+/// ```
+/// use aie_sim::switch::SwitchFabric;
+/// use aie_sim::packet::StreamId;
+/// use aie_sim::{ArrayGeometry, TileCoord};
+///
+/// # fn main() -> Result<(), aie_sim::SimError> {
+/// let mut fabric = SwitchFabric::new(ArrayGeometry::VCK190);
+/// fabric.install_forwarding(StreamId(3), TileCoord::new(2, 5))?;
+/// assert_eq!(fabric.forward(StreamId(3)), Some(TileCoord::new(2, 5)));
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SwitchFabric {
+    geometry: ArrayGeometry,
+    /// Dynamic-forwarding tables: stream ID → destination tile.
+    forwarding: HashMap<u16, TileCoord>,
+    /// Static broadcast trees: stream ID → fixed destination set.
+    broadcast: HashMap<u16, Vec<TileCoord>>,
+}
+
+impl SwitchFabric {
+    /// A fabric over the given array geometry with empty tables.
+    pub fn new(geometry: ArrayGeometry) -> Self {
+        SwitchFabric {
+            geometry,
+            forwarding: HashMap::new(),
+            broadcast: HashMap::new(),
+        }
+    }
+
+    /// Number of switch hops between two tiles: the Manhattan distance
+    /// (column-first routing), plus one for the entry switch.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TileOutOfRange`] when either tile lies outside
+    /// the array.
+    pub fn hops(&self, from: TileCoord, to: TileCoord) -> Result<u64, SimError> {
+        for t in [from, to] {
+            if !self.geometry.contains(t) {
+                return Err(SimError::TileOutOfRange {
+                    row: t.row,
+                    col: t.col,
+                });
+            }
+        }
+        let dr = from.row.abs_diff(to.row) as u64;
+        let dc = from.col.abs_diff(to.col) as u64;
+        Ok(dr + dc + 1)
+    }
+
+    /// Installs a dynamic-forwarding rule: packets with `id` route to
+    /// `dest` ("dynamically forwarding packets to different destinations
+    /// according to the packet header", §II-B).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TileOutOfRange`] for a destination outside the
+    /// array.
+    pub fn install_forwarding(&mut self, id: StreamId, dest: TileCoord) -> Result<(), SimError> {
+        if !self.geometry.contains(dest) {
+            return Err(SimError::TileOutOfRange {
+                row: dest.row,
+                col: dest.col,
+            });
+        }
+        self.forwarding.insert(id.0, dest);
+        Ok(())
+    }
+
+    /// Installs a static broadcast tree: packets with `id` replicate to
+    /// every tile in `dests`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::TileOutOfRange`] for any destination outside
+    /// the array, or [`SimError::InvalidParameter`] for an empty set.
+    pub fn install_broadcast(
+        &mut self,
+        id: StreamId,
+        dests: Vec<TileCoord>,
+    ) -> Result<(), SimError> {
+        if dests.is_empty() {
+            return Err(SimError::InvalidParameter(
+                "broadcast destination set must not be empty".into(),
+            ));
+        }
+        for d in &dests {
+            if !self.geometry.contains(*d) {
+                return Err(SimError::TileOutOfRange {
+                    row: d.row,
+                    col: d.col,
+                });
+            }
+        }
+        self.broadcast.insert(id.0, dests);
+        Ok(())
+    }
+
+    /// Resolves a dynamically-forwarded packet's destination.
+    pub fn forward(&self, id: StreamId) -> Option<TileCoord> {
+        self.forwarding.get(&id.0).copied()
+    }
+
+    /// Resolves a broadcast packet's destination set.
+    pub fn broadcast_dests(&self, id: StreamId) -> Option<&[TileCoord]> {
+        self.broadcast.get(&id.0).map(Vec::as_slice)
+    }
+
+    /// Switch-traversal cycles for a unicast route.
+    ///
+    /// # Errors
+    ///
+    /// See [`SwitchFabric::hops`].
+    pub fn route_cycles(&self, from: TileCoord, to: TileCoord) -> Result<u64, SimError> {
+        Ok(self.hops(from, to)? * HOP_CYCLES)
+    }
+
+    /// Switch-traversal cycles for a broadcast: the tree's depth is the
+    /// farthest destination (replication happens in the switches, not by
+    /// re-sending).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] when `id` has no installed
+    /// tree, or [`SimError::TileOutOfRange`] from the hop computation.
+    pub fn broadcast_cycles(&self, from: TileCoord, id: StreamId) -> Result<u64, SimError> {
+        let dests = self
+            .broadcast_dests(id)
+            .ok_or_else(|| SimError::InvalidParameter(format!("no broadcast tree for {id:?}")))?;
+        let mut worst = 0;
+        for d in dests {
+            worst = worst.max(self.hops(from, *d)?);
+        }
+        Ok(worst * HOP_CYCLES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fabric() -> SwitchFabric {
+        SwitchFabric::new(ArrayGeometry::VCK190)
+    }
+
+    #[test]
+    fn hops_are_manhattan_plus_entry() {
+        let f = fabric();
+        assert_eq!(f.hops(TileCoord::new(0, 0), TileCoord::new(0, 0)).unwrap(), 1);
+        assert_eq!(f.hops(TileCoord::new(0, 0), TileCoord::new(0, 3)).unwrap(), 4);
+        assert_eq!(f.hops(TileCoord::new(1, 2), TileCoord::new(4, 6)).unwrap(), 8);
+        // Symmetric.
+        assert_eq!(
+            f.hops(TileCoord::new(4, 6), TileCoord::new(1, 2)).unwrap(),
+            8
+        );
+    }
+
+    #[test]
+    fn out_of_range_tiles_error() {
+        let f = fabric();
+        assert!(matches!(
+            f.hops(TileCoord::new(0, 0), TileCoord::new(9, 0)),
+            Err(SimError::TileOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn dynamic_forwarding_round_trip() {
+        let mut f = fabric();
+        let id = StreamId(5);
+        assert!(f.forward(id).is_none());
+        f.install_forwarding(id, TileCoord::new(3, 7)).unwrap();
+        assert_eq!(f.forward(id), Some(TileCoord::new(3, 7)));
+        // Re-install overwrites (the sender reprograms routes per phase).
+        f.install_forwarding(id, TileCoord::new(2, 2)).unwrap();
+        assert_eq!(f.forward(id), Some(TileCoord::new(2, 2)));
+        assert!(f
+            .install_forwarding(StreamId(6), TileCoord::new(8, 0))
+            .is_err());
+    }
+
+    #[test]
+    fn broadcast_tree_costs_depth_of_farthest_leaf() {
+        let mut f = fabric();
+        let id = StreamId(9);
+        f.install_broadcast(
+            id,
+            vec![
+                TileCoord::new(1, 0),
+                TileCoord::new(1, 1),
+                TileCoord::new(1, 5),
+            ],
+        )
+        .unwrap();
+        let from = TileCoord::new(0, 0);
+        // Farthest leaf (1,5): 1 + 5 + 1 entry = 7 hops.
+        assert_eq!(f.broadcast_cycles(from, id).unwrap(), 7 * HOP_CYCLES);
+        assert_eq!(f.broadcast_dests(id).unwrap().len(), 3);
+    }
+
+    #[test]
+    fn broadcast_validation() {
+        let mut f = fabric();
+        assert!(f.install_broadcast(StreamId(1), vec![]).is_err());
+        assert!(f
+            .install_broadcast(StreamId(1), vec![TileCoord::new(8, 0)])
+            .is_err());
+        assert!(matches!(
+            f.broadcast_cycles(TileCoord::new(0, 0), StreamId(42)),
+            Err(SimError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn route_cycles_scale_with_distance() {
+        let f = fabric();
+        let near = f
+            .route_cycles(TileCoord::new(2, 3), TileCoord::new(3, 3))
+            .unwrap();
+        let far = f
+            .route_cycles(TileCoord::new(2, 3), TileCoord::new(2, 10))
+            .unwrap();
+        assert!(far > near);
+    }
+}

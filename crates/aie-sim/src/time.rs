@@ -1,0 +1,203 @@
+//! Simulation time and clock-domain conversion.
+//!
+//! The simulator spans two clock domains (AIE at 1.25 GHz, PL at a
+//! configuration-dependent frequency), so time is kept in integer
+//! picoseconds: exact, totally ordered, and fine enough that a 1.25 GHz
+//! cycle is a whole number (800 ps).
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in (or duration of) simulated time, in picoseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct TimePs(pub u64);
+
+impl TimePs {
+    /// Time zero.
+    pub const ZERO: TimePs = TimePs(0);
+
+    /// Converts to seconds (lossy, for reporting).
+    pub fn as_secs(self) -> f64 {
+        self.0 as f64 * 1e-12
+    }
+
+    /// Converts to milliseconds (lossy, for reporting).
+    pub fn as_millis(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Builds a duration from seconds, rounding to the nearest picosecond.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs(secs: f64) -> Self {
+        assert!(
+            secs.is_finite() && secs >= 0.0,
+            "duration must be finite and non-negative"
+        );
+        TimePs((secs * 1e12).round() as u64)
+    }
+
+    /// Saturating subtraction.
+    pub fn saturating_sub(self, rhs: TimePs) -> TimePs {
+        TimePs(self.0.saturating_sub(rhs.0))
+    }
+
+    /// The later of two times.
+    pub fn max(self, other: TimePs) -> TimePs {
+        TimePs(self.0.max(other.0))
+    }
+}
+
+impl Add for TimePs {
+    type Output = TimePs;
+    fn add(self, rhs: TimePs) -> TimePs {
+        TimePs(self.0 + rhs.0)
+    }
+}
+
+impl AddAssign for TimePs {
+    fn add_assign(&mut self, rhs: TimePs) {
+        self.0 += rhs.0;
+    }
+}
+
+impl Sub for TimePs {
+    type Output = TimePs;
+    /// # Panics
+    ///
+    /// Panics in debug builds on underflow, like integer subtraction.
+    fn sub(self, rhs: TimePs) -> TimePs {
+        TimePs(self.0 - rhs.0)
+    }
+}
+
+impl fmt::Display for TimePs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.0 >= 1_000_000_000 {
+            write!(f, "{:.3} ms", self.as_millis())
+        } else if self.0 >= 1_000_000 {
+            write!(f, "{:.3} us", self.0 as f64 * 1e-6)
+        } else {
+            write!(f, "{} ps", self.0)
+        }
+    }
+}
+
+/// A clock frequency in hertz.
+///
+/// # Example
+///
+/// ```
+/// use aie_sim::time::Frequency;
+///
+/// let pl = Frequency::from_mhz(208.3);
+/// assert_eq!(pl.cycles(2).0, 2 * pl.period().0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, PartialOrd, Serialize, Deserialize)]
+pub struct Frequency(f64);
+
+impl Frequency {
+    /// The AIE array clock of the VCK190: 1.25 GHz (§V-A).
+    pub const AIE: Frequency = Frequency(1.25e9);
+
+    /// Creates a frequency from megahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `mhz` is not strictly positive and finite.
+    pub fn from_mhz(mhz: f64) -> Self {
+        assert!(
+            mhz.is_finite() && mhz > 0.0,
+            "frequency must be positive and finite"
+        );
+        Frequency(mhz * 1e6)
+    }
+
+    /// Frequency in hertz.
+    pub fn hz(self) -> f64 {
+        self.0
+    }
+
+    /// Frequency in megahertz.
+    pub fn mhz(self) -> f64 {
+        self.0 / 1e6
+    }
+
+    /// One clock period, rounded to the nearest picosecond.
+    pub fn period(self) -> TimePs {
+        TimePs((1e12 / self.0).round() as u64)
+    }
+
+    /// Duration of `n` cycles.
+    pub fn cycles(self, n: u64) -> TimePs {
+        TimePs(n * self.period().0)
+    }
+
+    /// Number of whole cycles elapsed in `t` (floor).
+    pub fn cycles_in(self, t: TimePs) -> u64 {
+        t.0 / self.period().0.max(1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aie_period_is_800ps() {
+        assert_eq!(Frequency::AIE.period(), TimePs(800));
+        assert_eq!(Frequency::AIE.cycles(10), TimePs(8000));
+    }
+
+    #[test]
+    fn pl_period_rounds() {
+        // 208.3 MHz -> 4800.77 ps -> 4801 ps.
+        let pl = Frequency::from_mhz(208.3);
+        assert_eq!(pl.period(), TimePs(4801));
+    }
+
+    #[test]
+    fn time_conversions() {
+        let t = TimePs::from_secs(1e-3);
+        assert_eq!(t, TimePs(1_000_000_000));
+        assert!((t.as_millis() - 1.0).abs() < 1e-12);
+        assert!((t.as_secs() - 1e-3).abs() < 1e-15);
+    }
+
+    #[test]
+    fn arithmetic_and_ordering() {
+        let a = TimePs(100);
+        let b = TimePs(250);
+        assert_eq!(a + b, TimePs(350));
+        assert_eq!(b - a, TimePs(150));
+        assert_eq!(a.saturating_sub(b), TimePs::ZERO);
+        assert_eq!(a.max(b), b);
+        assert!(a < b);
+    }
+
+    #[test]
+    fn cycles_in_floors() {
+        let f = Frequency::AIE;
+        assert_eq!(f.cycles_in(TimePs(799)), 0);
+        assert_eq!(f.cycles_in(TimePs(800)), 1);
+        assert_eq!(f.cycles_in(TimePs(1601)), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_rejected() {
+        let _ = Frequency::from_mhz(0.0);
+    }
+
+    #[test]
+    fn display_scales_units() {
+        assert_eq!(format!("{}", TimePs(500)), "500 ps");
+        assert!(format!("{}", TimePs(2_000_000)).contains("us"));
+        assert!(format!("{}", TimePs(3_000_000_000)).contains("ms"));
+    }
+}

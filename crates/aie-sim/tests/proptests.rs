@@ -1,0 +1,143 @@
+//! Property-based tests of the platform simulator's invariants.
+
+use aie_sim::calibration::Calibration;
+use aie_sim::dma::DmaModel;
+use aie_sim::geometry::{ArrayGeometry, TileCoord};
+use aie_sim::kernel::KernelCostModel;
+use aie_sim::memory::{TileMemory, BANK_BYTES, TILE_BYTES};
+use aie_sim::plio::{PlioDirection, PlioModel};
+use aie_sim::switch::SwitchFabric;
+use aie_sim::time::{Frequency, TimePs};
+use aie_sim::timeline::Timeline;
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// A timeline never overlaps operations and accumulates busy time
+    /// exactly.
+    #[test]
+    fn timeline_serializes(ops in prop::collection::vec((0u64..10_000, 1u64..1_000), 1..40)) {
+        let mut t = Timeline::new();
+        let mut prev_end = TimePs::ZERO;
+        let mut total_busy = 0u64;
+        for (ready, dur) in ops {
+            let (start, end) = t.schedule(TimePs(ready), TimePs(dur));
+            prop_assert!(start >= prev_end, "overlap: start {start:?} < prev end {prev_end:?}");
+            prop_assert!(start >= TimePs(ready));
+            prop_assert_eq!(end, start + TimePs(dur));
+            prev_end = end;
+            total_busy += dur;
+        }
+        prop_assert_eq!(t.busy(), TimePs(total_busy));
+        prop_assert!(t.utilization(prev_end) <= 1.0);
+    }
+
+    /// The memory allocator never exceeds capacity and accounts exactly.
+    #[test]
+    fn memory_accounting_is_exact(sizes in prop::collection::vec(1usize..=BANK_BYTES, 0..12)) {
+        let mut m = TileMemory::new();
+        let mut accepted = 0usize;
+        for (i, size) in sizes.iter().enumerate() {
+            if m.allocate(format!("b{i}"), *size).is_ok() {
+                accepted += size;
+            }
+        }
+        prop_assert_eq!(m.used_bytes(), accepted);
+        prop_assert!(m.used_bytes() <= TILE_BYTES);
+        prop_assert_eq!(m.free_bytes(), TILE_BYTES - accepted);
+    }
+
+    /// An allocation that fits in some bank is never rejected while a
+    /// bank has room for it (best-fit completeness).
+    #[test]
+    fn allocator_accepts_when_a_bank_fits(first in 1usize..=BANK_BYTES, second in 1usize..=BANK_BYTES) {
+        let mut m = TileMemory::new();
+        m.allocate("first", first).unwrap();
+        // Three empty banks remain; anything bank-sized must fit.
+        prop_assert!(m.allocate("second", second).is_ok());
+    }
+
+    /// PLIO transfer time is monotone in payload and inversely monotone
+    /// in frequency.
+    #[test]
+    fn plio_monotonicity(bytes in 1usize..100_000, mhz in 100.0f64..500.0) {
+        let cal = Calibration::default();
+        let slow = PlioModel::new(cal, Frequency::from_mhz(mhz));
+        let fast = PlioModel::new(cal, Frequency::from_mhz(mhz * 1.5));
+        prop_assert!(slow.transfer_time(bytes, 1) >= slow.transfer_time(bytes / 2, 1));
+        prop_assert!(fast.transfer_time(bytes, 1) < slow.transfer_time(bytes, 1));
+        // Throttled time is never faster than unthrottled.
+        for ports in 1usize..20 {
+            prop_assert!(
+                slow.throttled_transfer_time(bytes, 1, PlioDirection::ToAie, ports)
+                    >= slow.transfer_time(bytes, 1)
+            );
+        }
+    }
+
+    /// DMA cost is monotone in bytes and hops, and always slower than a
+    /// neighbor hand-off for any real payload.
+    #[test]
+    fn dma_monotonicity(bytes in 1usize..65_536, hops in 1u64..32) {
+        let d = DmaModel::default();
+        let k = KernelCostModel::default();
+        prop_assert!(d.transfer_cycles_with_hops(bytes, hops) >= d.transfer_cycles(bytes.min(1)));
+        prop_assert!(d.transfer_cycles_with_hops(bytes, hops + 1) > d.transfer_cycles_with_hops(bytes, hops));
+        prop_assert!(d.transfer_time(bytes) > k.neighbor_handoff_time());
+    }
+
+    /// Switch hop counts satisfy symmetry and the triangle inequality
+    /// (within the +1 entry-switch constant).
+    #[test]
+    fn switch_hops_metric(
+        a in (0usize..8, 0usize..50),
+        b in (0usize..8, 0usize..50),
+        c in (0usize..8, 0usize..50),
+    ) {
+        let f = SwitchFabric::new(ArrayGeometry::VCK190);
+        let ta = TileCoord::new(a.0, a.1);
+        let tb = TileCoord::new(b.0, b.1);
+        let tc = TileCoord::new(c.0, c.1);
+        let ab = f.hops(ta, tb).unwrap();
+        let ba = f.hops(tb, ta).unwrap();
+        prop_assert_eq!(ab, ba);
+        let ac = f.hops(ta, tc).unwrap();
+        let cb = f.hops(tc, tb).unwrap();
+        // Manhattan distances obey the triangle inequality; each hop count
+        // carries a +1 entry constant.
+        prop_assert!(ab <= ac + cb);
+    }
+
+    /// Kernel cost grows monotonically with the column length.
+    #[test]
+    fn kernel_cost_monotone(m in 1usize..4096) {
+        let k = KernelCostModel::default();
+        prop_assert!(k.orth_cycles(m + 8) > k.orth_cycles(m.saturating_sub(8)));
+        prop_assert!(k.norm_cycles(m) < k.orth_cycles(m));
+    }
+
+    /// Every in-array core reaches 2-4 memories, always including its
+    /// own, and the relation respects the row-parity rule.
+    #[test]
+    fn accessible_memories_shape(row in 0usize..8, col in 0usize..50) {
+        let g = ArrayGeometry::VCK190;
+        let core = TileCoord::new(row, col);
+        let mems = g.accessible_memories(core);
+        prop_assert!((2..=4).contains(&mems.len()));
+        prop_assert!(mems.contains(&core));
+        for m in &mems {
+            // All accessible memories are within distance 1.
+            let d = m.row.abs_diff(core.row) + m.col.abs_diff(core.col);
+            prop_assert!(d <= 1);
+        }
+    }
+
+    /// Frequency cycle arithmetic round-trips.
+    #[test]
+    fn frequency_cycles_round_trip(mhz in 50.0f64..2_000.0, n in 0u64..1_000_000) {
+        let f = Frequency::from_mhz(mhz);
+        let t = f.cycles(n);
+        prop_assert_eq!(f.cycles_in(t), n);
+    }
+}

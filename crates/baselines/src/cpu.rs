@@ -1,0 +1,110 @@
+//! Host-CPU software baseline (extension — not in the paper).
+//!
+//! The paper compares against FPGA and GPU accelerators; downstream
+//! users also want to know what a plain CPU does. This baseline times
+//! the workspace's own `f64` block-Jacobi solver on the host machine, so
+//! its numbers are *measured on whatever machine runs the harness* —
+//! they belong in benchmark output, not in cross-machine comparisons.
+
+use serde::{Deserialize, Serialize};
+use std::time::Instant;
+use svd_kernels::block::{block_jacobi, BlockJacobiOptions};
+use svd_kernels::Matrix;
+
+/// One CPU measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CpuMeasurement {
+    /// Matrix size `n`.
+    pub n: usize,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Wall-clock seconds for one matrix.
+    pub latency: f64,
+    /// Tasks/second running matrices back to back on one core.
+    pub throughput: f64,
+}
+
+/// The host-CPU baseline: times the reference block-Jacobi solver.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct CpuBaseline {
+    /// Columns per block for the solver.
+    pub block_cols: usize,
+}
+
+impl CpuBaseline {
+    /// A baseline using the paper's latency-oriented block size.
+    pub fn new() -> Self {
+        CpuBaseline { block_cols: 8 }
+    }
+
+    /// Measures one matrix with a fixed iteration count (the Table II/VI
+    /// protocol). `repeats` runs are averaged to stabilize the clock.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the solver rejects the shape (block size must divide
+    /// `n`) — callers pass sizes from the paper's grid.
+    pub fn measure(&self, a: &Matrix<f64>, iterations: usize, repeats: usize) -> CpuMeasurement {
+        let opts = BlockJacobiOptions {
+            block_cols: self.block_cols,
+            precision: 1e-30, // unreachable: fixed-iteration protocol
+            max_iterations: iterations,
+            fixed_iterations: Some(iterations),
+        };
+        let repeats = repeats.max(1);
+        let start = Instant::now();
+        for _ in 0..repeats {
+            let result = block_jacobi(a, &opts).expect("valid shape");
+            std::hint::black_box(result.sigma.len());
+        }
+        let latency = start.elapsed().as_secs_f64() / repeats as f64;
+        CpuMeasurement {
+            n: a.cols(),
+            iterations,
+            latency,
+            throughput: if latency > 0.0 { 1.0 / latency } else { 0.0 },
+        }
+    }
+}
+
+impl Default for CpuBaseline {
+    fn default() -> Self {
+        CpuBaseline::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(n: usize) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |r, c| {
+            ((r * 17 + c * 5) % 11) as f64 - 5.0 + if r == c { 3.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn measurement_is_positive_and_consistent() {
+        let cpu = CpuBaseline::new();
+        let m = cpu.measure(&sample(32), 2, 2);
+        assert!(m.latency > 0.0);
+        assert!((m.throughput - 1.0 / m.latency).abs() < 1e-9);
+        assert_eq!(m.n, 32);
+        assert_eq!(m.iterations, 2);
+    }
+
+    #[test]
+    fn latency_grows_with_size() {
+        // Wall-clock comparisons are noisy; use a 4x size gap (64x work)
+        // so the ordering is unambiguous.
+        let cpu = CpuBaseline::new();
+        let small = cpu.measure(&sample(16), 2, 3);
+        let large = cpu.measure(&sample(64), 2, 3);
+        assert!(
+            large.latency > small.latency,
+            "64: {} vs 16: {}",
+            large.latency,
+            small.latency
+        );
+    }
+}

@@ -1,0 +1,152 @@
+//! Model of the BCV-Jacobi FPGA SVD solver \[6\] on the XC7V690T.
+//!
+//! Hu et al. report single-matrix latencies for six Jacobi iterations at
+//! a 200 MHz peak clock (reproduced in the paper's Table II):
+//!
+//! | size | latency |
+//! |---|---|
+//! | 128² | 1.4 ms |
+//! | 256² | 11.3 ms |
+//! | 512² | 82.9 ms |
+//! | 1024² | 611.9 ms |
+//!
+//! Those latencies follow a near-cubic cycle law
+//! `cycles ≈ 0.113·n³ + 3.8·n²` to within 8% at every anchor, which this
+//! model uses so benches can sweep arbitrary sizes, frequencies and
+//! iteration counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Published Table II anchors: `(n, seconds)` at 200 MHz, six iterations.
+pub const PAPER_LATENCY_ANCHORS: [(usize, f64); 4] = [
+    (128, 0.0014),
+    (256, 0.0113),
+    (512, 0.0829),
+    (1024, 0.6119),
+];
+
+/// Published resource usage of the baseline (Table II).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaResources {
+    /// LUTs (212K = 30.6% of the XC7V690T).
+    pub luts: usize,
+    /// BRAM36-equivalent blocks (519.5 = 31.4%).
+    pub bram: f64,
+    /// DSP slices (1602 = 44.5%).
+    pub dsp: usize,
+}
+
+/// The calibrated FPGA baseline.
+///
+/// # Example
+///
+/// ```
+/// use baselines::FpgaBaseline;
+///
+/// let fpga = FpgaBaseline::published();
+/// // Near-cubic scaling: 1024^2 costs ~7.7x the 512^2 latency.
+/// let ratio = fpga.latency(1024, 6) / fpga.latency(512, 6);
+/// assert!((7.0..8.5).contains(&ratio));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct FpgaBaseline {
+    /// Cubic cycle coefficient.
+    pub cycles_per_n3: f64,
+    /// Quadratic cycle coefficient.
+    pub cycles_per_n2: f64,
+    /// Clock frequency in Hz (200 MHz peak, §V-B).
+    pub freq_hz: f64,
+    /// Iterations the cycle law was fit at.
+    pub fit_iterations: usize,
+}
+
+impl FpgaBaseline {
+    /// The model fit to the published Table II numbers.
+    pub fn published() -> Self {
+        FpgaBaseline {
+            cycles_per_n3: 0.113,
+            cycles_per_n2: 3.8,
+            freq_hz: 200.0e6,
+            fit_iterations: 6,
+        }
+    }
+
+    /// Clock cycles for one matrix of `n` columns with `iterations`
+    /// Jacobi iterations.
+    pub fn cycles(&self, n: usize, iterations: usize) -> f64 {
+        let nf = n as f64;
+        let per_fit = self.cycles_per_n3 * nf.powi(3) + self.cycles_per_n2 * nf.powi(2);
+        per_fit * iterations as f64 / self.fit_iterations as f64
+    }
+
+    /// Latency in seconds for one matrix.
+    pub fn latency(&self, n: usize, iterations: usize) -> f64 {
+        self.cycles(n, iterations) / self.freq_hz
+    }
+
+    /// Throughput in tasks/second (the design processes one matrix at a
+    /// time at its maximum parallelism, §V-B).
+    pub fn throughput(&self, n: usize, iterations: usize) -> f64 {
+        1.0 / self.latency(n, iterations)
+    }
+
+    /// Published resource usage (size-independent in \[6\]).
+    pub fn resources(&self) -> FpgaResources {
+        FpgaResources {
+            luts: 212_000,
+            bram: 519.5,
+            dsp: 1602,
+        }
+    }
+}
+
+impl Default for FpgaBaseline {
+    fn default() -> Self {
+        FpgaBaseline::published()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_matches_published_anchors_within_8_percent() {
+        let m = FpgaBaseline::published();
+        for (n, paper) in PAPER_LATENCY_ANCHORS {
+            let est = m.latency(n, 6);
+            let rel = (est - paper).abs() / paper;
+            assert!(rel < 0.08, "{n}: model {est:.5} vs paper {paper:.5} ({rel:.3})");
+        }
+    }
+
+    #[test]
+    fn latency_scales_cubically_at_large_sizes() {
+        let m = FpgaBaseline::published();
+        let ratio = m.latency(1024, 6) / m.latency(512, 6);
+        assert!((7.0..8.5).contains(&ratio), "ratio {ratio}");
+    }
+
+    #[test]
+    fn iterations_scale_linearly() {
+        let m = FpgaBaseline::published();
+        let one = m.latency(256, 1);
+        let six = m.latency(256, 6);
+        assert!((six / one - 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn throughput_is_reciprocal_latency() {
+        let m = FpgaBaseline::published();
+        let l = m.latency(128, 6);
+        assert!((m.throughput(128, 6) - 1.0 / l).abs() < 1e-9);
+    }
+
+    #[test]
+    fn resources_match_table2() {
+        let r = FpgaBaseline::published().resources();
+        assert_eq!(r.luts, 212_000);
+        assert_eq!(r.dsp, 1602);
+        assert!((r.bram - 519.5).abs() < 1e-9);
+    }
+}

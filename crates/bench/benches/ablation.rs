@@ -1,0 +1,52 @@
+//! Ablation bench: the two halves of the algorithm-hardware co-design in
+//! isolation (DESIGN.md §4.2). Each configuration runs the same workload
+//! through the simulated accelerator; the latency ordering demonstrates
+//! how much of the win comes from the ordering vs the dataflow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use std::hint::black_box;
+use svd_kernels::Matrix;
+use svd_orderings::movement::{DataflowKind, OrderingKind};
+
+fn bench_codesign_ablation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("ablation/codesign");
+    group.sample_size(10);
+    let variants = [
+        ("ring+naive", OrderingKind::Ring, DataflowKind::NaiveMemory),
+        ("ring+relocated", OrderingKind::Ring, DataflowKind::Relocated),
+        (
+            "shifting+naive",
+            OrderingKind::ShiftingRing,
+            DataflowKind::NaiveMemory,
+        ),
+        (
+            "shifting+relocated",
+            OrderingKind::ShiftingRing,
+            DataflowKind::Relocated,
+        ),
+    ];
+    // k = 3 keeps the layers in one band so the ablation isolates the
+    // ordering/dataflow effect (n divisible by 2k = 6).
+    let n = 120;
+    for (name, ordering, dataflow) in variants {
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(3)
+            .ordering(ordering)
+            .dataflow(dataflow)
+            .pl_freq_mhz(208.3)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(2)
+            .build()
+            .unwrap();
+        let acc = Accelerator::new(cfg).unwrap();
+        let a = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(name), &name, |b, _| {
+            b.iter(|| black_box(acc.run(&a).unwrap().timing.task_time))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_codesign_ablation);
+criterion_main!(benches);

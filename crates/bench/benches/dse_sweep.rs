@@ -1,0 +1,31 @@
+//! DSE bench: the full two-stage design-space sweep (Eq. 15–16) —
+//! the "minutes instead of seven hours per point" claim, measured.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd_dse::{run_dse, DseConfig, Objective};
+use std::hint::black_box;
+
+fn bench_full_sweep(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse/full_sweep");
+    for n in [128usize, 256, 512] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let cfg = DseConfig::new(n, n).batch(100).iterations(6);
+            b.iter(|| black_box(run_dse(&cfg)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_objective_selection(c: &mut Criterion) {
+    let result = run_dse(&DseConfig::new(256, 256).batch(100).iterations(6));
+    c.bench_function("dse/best_selection", |b| {
+        b.iter(|| {
+            black_box(result.best(Objective::MinLatency));
+            black_box(result.best(Objective::MaxThroughput));
+            black_box(result.best(Objective::MaxEnergyEfficiency))
+        })
+    });
+}
+
+criterion_group!(benches, bench_full_sweep, bench_objective_selection);
+criterion_main!(benches);

@@ -1,0 +1,47 @@
+//! Fig. 3 bench: the data-movement/DMA analysis across orderings and
+//! dataflows (the quantitative core of the co-design argument).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd_bench::experiments::fig3;
+use std::hint::black_box;
+use svd_orderings::movement::{analyze, DataflowKind, OrderingKind};
+use svd_orderings::HardwareSchedule;
+
+fn bench_movement_analysis(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/analyze");
+    for k in [4usize, 8, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| {
+                black_box(analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k));
+                black_box(analyze(
+                    OrderingKind::ShiftingRing,
+                    DataflowKind::Relocated,
+                    k,
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_schedule_construction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig3/schedule");
+    for k in [4usize, 11] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(HardwareSchedule::new(k, OrderingKind::ShiftingRing)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_full_figure(c: &mut Criterion) {
+    c.bench_function("fig3/full", |b| b.iter(|| black_box(fig3::run(11))));
+}
+
+criterion_group!(
+    benches,
+    bench_movement_analysis,
+    bench_schedule_construction,
+    bench_full_figure
+);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! Fig. 9 bench: throughput/utilization extraction — the simulated
+//! utilization statistics and the GPU baseline curves.
+
+use baselines::GpuBaseline;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use std::hint::black_box;
+use svd_kernels::Matrix;
+
+fn bench_utilization_extraction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig9/hsvd_utilization");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(4)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()
+            .unwrap();
+        let acc = Accelerator::new(cfg).unwrap();
+        let a = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let out = acc.run(&a).unwrap();
+                let counts = acc.placement().counts();
+                black_box((
+                    out.stats.core_utilization(counts.orth),
+                    out.stats.bandwidth_utilization(6),
+                ))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_gpu_curves(c: &mut Criterion) {
+    let gpu = GpuBaseline::published();
+    c.bench_function("fig9/gpu_curves", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in (7..=10).map(|e| 1usize << e) {
+                acc += black_box(gpu.core_utilization(n));
+                acc += black_box(gpu.memory_utilization(n));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_utilization_extraction, bench_gpu_curves);
+criterion_main!(benches);

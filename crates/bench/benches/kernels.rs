@@ -1,0 +1,49 @@
+//! Micro-benchmarks of the core numerical kernels: the orthogonalization
+//! of a column pair (the orth-AIE's unit of work, Eq. 3–5) and the
+//! supporting primitives, across the paper's column lengths.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+use svd_kernels::rotation::{column_products, compute_rotation, orthogonalize_pair};
+
+fn bench_orthogonalize_pair(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orthogonalize_pair");
+    for m in [128usize, 256, 512, 1024] {
+        let x: Vec<f32> = (0..m).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..m).map(|i| (i as f32 * 0.73).cos()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| {
+                let mut xs = x.clone();
+                let mut ys = y.clone();
+                black_box(orthogonalize_pair(&mut xs, &mut ys))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_rotation_factors(c: &mut Criterion) {
+    c.bench_function("compute_rotation", |b| {
+        b.iter(|| black_box(compute_rotation(black_box(3.7), black_box(5.1), black_box(1.3))))
+    });
+}
+
+fn bench_column_products(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_products");
+    for m in [128usize, 1024] {
+        let x: Vec<f64> = (0..m).map(|i| (i as f64 * 0.37).sin()).collect();
+        let y: Vec<f64> = (0..m).map(|i| (i as f64 * 0.73).cos()).collect();
+        group.bench_with_input(BenchmarkId::from_parameter(m), &m, |b, _| {
+            b.iter(|| black_box(column_products(&x, &y)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_orthogonalize_pair,
+    bench_rotation_factors,
+    bench_column_products
+);
+criterion_main!(benches);

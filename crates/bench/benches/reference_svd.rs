@@ -1,0 +1,42 @@
+//! Benchmarks of the software reference solvers: the golden
+//! Hestenes–Jacobi SVD and the block-Jacobi driver (Algorithm 1's
+//! software analog).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd_bench::workload::random_matrix;
+use std::hint::black_box;
+use svd_kernels::block::{block_jacobi, BlockJacobiOptions};
+use svd_kernels::{hestenes_jacobi, JacobiOptions};
+
+fn bench_hestenes_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("hestenes_jacobi");
+    group.sample_size(10);
+    for n in [32usize, 64, 128] {
+        let a = random_matrix(n, n, 42);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(hestenes_jacobi(&a, &JacobiOptions::paper()).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+fn bench_block_jacobi(c: &mut Criterion) {
+    let mut group = c.benchmark_group("block_jacobi");
+    group.sample_size(10);
+    for n in [64usize, 128] {
+        let a = random_matrix(n, n, 42);
+        let opts = BlockJacobiOptions {
+            block_cols: 8,
+            precision: 1e-6,
+            max_iterations: 30,
+            fixed_iterations: None,
+        };
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(block_jacobi(&a, &opts).unwrap()))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_hestenes_jacobi, bench_block_jacobi);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Table II bench: regenerates the FPGA-comparison latency rows (the
+//! simulated HeteroSVD run at `P_eng = 8`, six iterations) and measures
+//! how long the simulation itself takes per size.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use heterosvd_bench::experiments::table2;
+use std::hint::black_box;
+use svd_kernels::Matrix;
+
+fn bench_table2_rows(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/simulate");
+    group.sample_size(10);
+    for n in [128usize, 256] {
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(table2::P_ENG)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(table2::ITERATIONS)
+            .build()
+            .unwrap();
+        let acc = Accelerator::new(cfg).unwrap();
+        let a = Matrix::zeros(n, n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| black_box(acc.run(&a).unwrap().timing.task_time))
+        });
+    }
+    group.finish();
+}
+
+fn bench_table2_full(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table2/harness");
+    group.sample_size(10);
+    group.bench_function("sizes_128_256", |b| {
+        b.iter(|| black_box(table2::run(&[128, 256]).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_table2_rows, bench_table2_full);
+criterion_main!(benches);

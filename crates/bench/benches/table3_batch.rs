@@ -1,0 +1,48 @@
+//! Table III bench: batch processing against the GPU baseline — measures
+//! the batched-system simulation (Eq. 14 composition) and the baseline
+//! model evaluation.
+
+use baselines::GpuBaseline;
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use std::hint::black_box;
+use svd_kernels::Matrix;
+
+fn bench_batch_simulation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table3/batch_sim");
+    group.sample_size(10);
+    for (n, p_eng, p_task) in [(128usize, 2usize, 16usize), (256, 4, 9)] {
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(p_eng)
+            .task_parallelism(p_task)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(8)
+            .build()
+            .unwrap();
+        let acc = Accelerator::new(cfg).unwrap();
+        let a = Matrix::zeros(n, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}x{n}-Pt{p_task}")),
+            &n,
+            |b, _| b.iter(|| black_box(acc.run_batch(&a, 100).unwrap().1)),
+        );
+    }
+    group.finish();
+}
+
+fn bench_gpu_baseline_model(c: &mut Criterion) {
+    let gpu = GpuBaseline::published();
+    c.bench_function("table3/gpu_model", |b| {
+        b.iter(|| {
+            let mut acc = 0.0;
+            for n in [128usize, 256, 512, 1024] {
+                acc += black_box(gpu.throughput(n, 100));
+                acc += black_box(gpu.energy_efficiency(n, 100));
+            }
+            black_box(acc)
+        })
+    });
+}
+
+criterion_group!(benches, bench_batch_simulation, bench_gpu_baseline_model);
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Table IV bench: the analytic performance model (Eq. 8–14) against the
+//! cycle-approximate simulator — measuring the evaluation-speed gap that
+//! justifies the model's existence in the DSE flow.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use perf_model::{estimate, DesignPoint};
+use std::hint::black_box;
+use svd_kernels::Matrix;
+
+fn bench_model_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/model");
+    for (n, p_eng) in [(128usize, 2usize), (512, 8)] {
+        let point = DesignPoint {
+            rows: n,
+            cols: n,
+            engine_parallelism: p_eng,
+            task_parallelism: 1,
+            pl_freq_mhz: 208.3,
+            iterations: 1,
+        };
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}-Pe{p_eng}")),
+            &point,
+            |b, p| b.iter(|| black_box(estimate(p))),
+        );
+    }
+    group.finish();
+}
+
+fn bench_simulator_evaluation(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table4/simulator");
+    group.sample_size(10);
+    for (n, p_eng) in [(128usize, 2usize), (128, 8)] {
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(p_eng)
+            .pl_freq_mhz(208.3)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(1)
+            .build()
+            .unwrap();
+        let acc = Accelerator::new(cfg).unwrap();
+        let a = Matrix::zeros(n, n);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{n}-Pe{p_eng}")),
+            &n,
+            |b, _| b.iter(|| black_box(acc.run(&a).unwrap().timing.avg_iteration())),
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_model_evaluation, bench_simulator_evaluation);
+criterion_main!(benches);

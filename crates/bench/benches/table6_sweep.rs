@@ -1,0 +1,32 @@
+//! Table VI bench: the micro-architecture sweep at 256×256 — latency,
+//! throughput and power across `P_eng` with maximized `P_task`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use heterosvd_bench::experiments::table6;
+use heterosvd_dse::{evaluate_point, DseConfig};
+use std::hint::black_box;
+
+fn bench_point_evaluation(c: &mut Criterion) {
+    let cfg = DseConfig::new(256, 256).iterations(6).freq_mhz(208.3);
+    let mut group = c.benchmark_group("table6/evaluate_point");
+    for (p_eng, p_task) in [(2usize, 26usize), (8, 2)] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("Pe{p_eng}-Pt{p_task}")),
+            &(p_eng, p_task),
+            |b, &(pe, pt)| b.iter(|| black_box(evaluate_point(&cfg, pe, pt).unwrap())),
+        );
+    }
+    group.finish();
+}
+
+fn bench_table6_row(c: &mut Criterion) {
+    let mut group = c.benchmark_group("table6/simulated_row");
+    group.sample_size(10);
+    group.bench_function("Pe8", |b| {
+        b.iter(|| black_box(table6::run(256, &[8]).unwrap()))
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_point_evaluation, bench_table6_row);
+criterion_main!(benches);

@@ -1,0 +1,644 @@
+//! `repro` — regenerates every table and figure of the HeteroSVD paper.
+//!
+//! ```text
+//! cargo run --release -p heterosvd-bench --bin repro -- all
+//! cargo run --release -p heterosvd-bench --bin repro -- table2 table4 fig3
+//! cargo run --release -p heterosvd-bench --bin repro -- --quick all
+//! ```
+//!
+//! `--quick` limits the sweeps to sizes ≤ 256 (the 512/1024 simulations
+//! take minutes). `--out DIR` additionally writes each experiment's rows
+//! as JSON for downstream plotting.
+
+use heterosvd_bench::experiments::{
+    ablation, accuracy, convergence, devices, dse_report, fig3, fig9, scalability, table2, table3,
+    table4, table5, table6,
+};
+use std::sync::OnceLock;
+
+static OUT_DIR: OnceLock<Option<String>> = OnceLock::new();
+
+fn set_out_dir(dir: Option<String>) {
+    let _ = OUT_DIR.set(dir);
+}
+
+/// Persists an experiment's rows as JSON when `--out DIR` was given.
+fn persist<T: serde::Serialize>(name: &str, rows: &T) {
+    if let Some(Some(dir)) = OUT_DIR.get() {
+        let path = format!("{dir}/{name}.json");
+        match serde_json::to_string_pretty(rows) {
+            Ok(json) => {
+                if let Err(e) = std::fs::write(&path, json) {
+                    eprintln!("cannot write {path}: {e}");
+                } else {
+                    println!("[wrote {path}]");
+                }
+            }
+            Err(e) => eprintln!("cannot serialize {name}: {e}"),
+        }
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let out_dir = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1))
+        .cloned();
+    if let Some(dir) = &out_dir {
+        if let Err(e) = std::fs::create_dir_all(dir) {
+            eprintln!("cannot create {dir}: {e}");
+            std::process::exit(1);
+        }
+    }
+    set_out_dir(out_dir);
+    let mut skip_next = false;
+    let selected: Vec<&str> = args
+        .iter()
+        .filter(|a| {
+            if skip_next {
+                skip_next = false;
+                return false;
+            }
+            if *a == "--out" {
+                skip_next = true;
+                return false;
+            }
+            !a.starts_with("--")
+        })
+        .map(String::as_str)
+        .collect();
+    let all = selected.is_empty() || selected.contains(&"all");
+    let want = |name: &str| all || selected.contains(&name);
+
+    let sizes: &[usize] = if quick {
+        &[128, 256]
+    } else {
+        &[128, 256, 512, 1024]
+    };
+
+    if want("table2") {
+        run_table2(sizes);
+    }
+    if want("table3") {
+        run_table3(sizes);
+    }
+    if want("table4") {
+        run_table4(quick);
+    }
+    if want("table5") {
+        run_table5(quick);
+    }
+    if want("table6") {
+        run_table6();
+    }
+    if want("fig3") {
+        run_fig3();
+    }
+    if want("fig5") {
+        run_fig5();
+    }
+    if want("fig9") {
+        run_fig9(sizes);
+    }
+    if want("dse") {
+        run_dse_report();
+    }
+    if want("ablation") {
+        run_ablation();
+    }
+    if want("pipeline") {
+        run_pipeline();
+    }
+    if want("cpu") {
+        run_cpu(quick);
+    }
+    if want("scalability") {
+        run_scalability(quick);
+    }
+    if want("devices") {
+        run_devices();
+    }
+    if want("convergence") {
+        run_convergence(quick);
+    }
+    if want("accuracy") {
+        run_accuracy(quick);
+    }
+}
+
+fn run_table2(sizes: &[usize]) {
+    println!("\n=== Table II: latency & resources vs FPGA [6] (6 iterations) ===");
+    println!(
+        "{:>6} | {:>11} {:>11} {:>8} | {:>11} {:>8} | {:>6} {:>6} {:>8} {:>9}",
+        "size",
+        "FPGA(s)",
+        "HSVD(s)",
+        "speedup",
+        "paper-HSVD",
+        "paper-x",
+        "URAM",
+        "AIE",
+        "LUT",
+        "freq(MHz)"
+    );
+    match table2::run(sizes) {
+        Ok(rows) => {
+            persist("table2", &rows);
+            for r in rows {
+                let paper = table2::PAPER_ROWS.iter().find(|p| p.0 == r.n);
+                let (paper_l, paper_s) = paper.map(|p| (p.2, p.3)).unwrap_or((f64::NAN, f64::NAN));
+                println!(
+                    "{:>6} | {:>11.4} {:>11.4} {:>7.2}x | {:>11.4} {:>7.2}x | {:>6} {:>6} {:>8} {:>9.1}",
+                    r.n,
+                    r.fpga_latency,
+                    r.hsvd_latency,
+                    r.speedup,
+                    paper_l,
+                    paper_s,
+                    r.uram,
+                    r.aie,
+                    r.luts,
+                    r.freq_mhz
+                );
+            }
+        }
+        Err(e) => eprintln!("table2 failed: {e}"),
+    }
+}
+
+fn run_table3(sizes: &[usize]) {
+    println!("\n=== Table III: latency/throughput/energy-efficiency vs GPU [11] (batch 100, converge 1e-6) ===");
+    println!(
+        "{:>6} {:>5} | {:>10} {:>10} {:>8} | {:>10} {:>10} {:>8} | {:>8} {:>8} {:>8} | {:>9}",
+        "size",
+        "iter",
+        "GPU lat",
+        "GPU tput",
+        "GPU EE",
+        "HSVD lat",
+        "HSVD tput",
+        "HSVD EE",
+        "lat-x",
+        "tput-x",
+        "EE-x",
+        "(Pe,Pt)"
+    );
+    match table3::run(sizes) {
+        Ok(rows) => {
+            persist("table3", &rows);
+            for r in rows {
+                println!(
+                    "{:>6} {:>5} | {:>10.4} {:>10.2} {:>8.3} | {:>10.4} {:>10.2} {:>8.3} | {:>7.2}x {:>7.2}x {:>7.2}x | ({},{})",
+                    r.n,
+                    r.iterations,
+                    r.gpu_latency,
+                    r.gpu_throughput,
+                    r.gpu_ee,
+                    r.hsvd_latency,
+                    r.hsvd_throughput,
+                    r.hsvd_ee,
+                    r.gpu_latency / r.hsvd_latency,
+                    r.hsvd_throughput / r.gpu_throughput,
+                    r.hsvd_ee / r.gpu_ee,
+                    r.tp_config.0,
+                    r.tp_config.1
+                );
+            }
+            println!("paper:  lat 7.22x/3.30x/1.15x/0.86x  tput 1.77x/1.10x/0.89x/0.36x  EE 13.18x/7.76x/6.50x/4.36x");
+        }
+        Err(e) => eprintln!("table3 failed: {e}"),
+    }
+}
+
+fn run_table4(quick: bool) {
+    println!("\n=== Table IV: performance model vs simulator (1 iteration, 208.3 MHz) ===");
+    println!(
+        "{:>6} {:>6} | {:>10} {:>10} {:>7} | {:>10} {:>10} {:>7}",
+        "size", "P_eng", "sim(ms)", "model(ms)", "err", "paper-brd", "paper-mod", "p-err"
+    );
+    let configs: Vec<(usize, usize)> = if quick {
+        table4::paper_configs()
+            .into_iter()
+            .filter(|&(n, _)| n <= 256)
+            .collect()
+    } else {
+        table4::paper_configs()
+    };
+    match table4::run(&configs) {
+        Ok(rows) => {
+            persist("table4", &rows);
+            let mut max_err = 0.0_f64;
+            let mut sum_err = 0.0_f64;
+            for r in &rows {
+                let paper = table4::PAPER_ROWS
+                    .iter()
+                    .find(|p| p.0 == r.n && p.1 == r.p_eng)
+                    .unwrap();
+                println!(
+                    "{:>6} {:>6} | {:>10.3} {:>10.3} {:>6.2}% | {:>10.3} {:>10.3} {:>6.2}%",
+                    r.n,
+                    r.p_eng,
+                    r.measured_ms,
+                    r.model_ms,
+                    r.error * 100.0,
+                    paper.2,
+                    paper.3,
+                    (paper.3 - paper.2).abs() / paper.2 * 100.0
+                );
+                max_err = max_err.max(r.error);
+                sum_err += r.error;
+            }
+            println!(
+                "model-vs-sim error: max {:.2}%, avg {:.2}% (paper: max 3.03%, avg 1.78%)",
+                max_err * 100.0,
+                sum_err / rows.len() as f64 * 100.0
+            );
+        }
+        Err(e) => eprintln!("table4 failed: {e}"),
+    }
+}
+
+fn run_table5(quick: bool) {
+    println!("\n=== Table V: model vs simulator across DSE-chosen scenarios (1 iteration) ===");
+    println!(
+        "{:>6} {:>6} | {:>9} {:>6} {:>6} | {:>12} {:>12} {:>7}",
+        "size", "batch", "freq", "P_eng", "P_task", "sim(ms)", "model(ms)", "err"
+    );
+    let scenarios: Vec<(usize, usize)> = if quick {
+        table5::paper_scenarios()
+            .into_iter()
+            .filter(|&(n, _)| n <= 256)
+            .collect()
+    } else {
+        table5::paper_scenarios()
+    };
+    match table5::run(&scenarios) {
+        Ok(rows) => {
+            persist("table5", &rows);
+            let mut max_err = 0.0_f64;
+            let mut sum_err = 0.0_f64;
+            for r in &rows {
+                println!(
+                    "{:>6} {:>6} | {:>9.1} {:>6} {:>6} | {:>12.3} {:>12.3} {:>6.2}%",
+                    r.n,
+                    r.batch,
+                    r.freq_mhz,
+                    r.p_eng,
+                    r.p_task,
+                    r.measured_ms,
+                    r.model_ms,
+                    r.error * 100.0
+                );
+                max_err = max_err.max(r.error);
+                sum_err += r.error;
+            }
+            println!(
+                "model-vs-sim error: max {:.2}%, avg {:.2}% (paper: max 7.52%, avg 4.33%)",
+                max_err * 100.0,
+                sum_err / rows.len() as f64 * 100.0
+            );
+        }
+        Err(e) => eprintln!("table5 failed: {e}"),
+    }
+}
+
+fn run_table6() {
+    println!("\n=== Table VI: micro-architecture sweep at 256x256, 208.3 MHz, 6 iterations ===");
+    println!(
+        "{:>6} {:>6} | {:>6} {:>6} | {:>12} {:>12} {:>8} | paper: latency/tput/power",
+        "P_eng", "P_task", "AIE", "URAM", "latency(ms)", "tput(t/s)", "power(W)"
+    );
+    match table6::run(256, &[2, 4, 6, 8]) {
+        Ok(rows) => {
+            persist("table6", &rows);
+            for r in &rows {
+                let paper = table6::PAPER_ROWS.iter().find(|p| p.0 == r.p_eng).unwrap();
+                println!(
+                    "{:>6} {:>6} | {:>6} {:>6} | {:>12.3} {:>12.2} {:>8.2} | {:.3}/{:.1}/{:.2}",
+                    r.p_eng,
+                    r.p_task,
+                    r.aie,
+                    r.uram,
+                    r.latency_ms,
+                    r.throughput,
+                    r.power_watts,
+                    paper.4,
+                    paper.5,
+                    paper.6
+                );
+            }
+        }
+        Err(e) => eprintln!("table6 failed: {e}"),
+    }
+}
+
+fn run_fig3() {
+    println!("\n=== Fig. 3: DMA transfers per block-pair pass (ring vs shifting ring) ===");
+    println!(
+        "{:>4} | {:>11} {:>15} {:>15} {:>14} {:>10} | {:>9}",
+        "k", "ring+naive", "ring+relocated", "shifting+naive", "round-robin", "co-design", "reduction"
+    );
+    let fig3_rows = fig3::run(11);
+    persist("fig3", &fig3_rows);
+    for r in fig3_rows {
+        println!(
+            "{:>4} | {:>11} {:>15} {:>15} {:>14} {:>10} | {:>8.1}x",
+            r.k,
+            r.ring_naive,
+            r.ring_relocated,
+            r.shifting_naive,
+            r.round_robin_relocated,
+            r.codesign,
+            r.reduction
+        );
+    }
+    println!(
+        "paper formulas: ring+naive = 2k(k-1), co-design = 2(k-1); \
+         round-robin [17] shown at its best (relocated): 2(k-1)^2"
+    );
+    println!("\nFig. 3 diagram regenerated for the paper's 6-column example (k = 3):\n");
+    print!(
+        "{}",
+        svd_orderings::render::render_ordering(
+            svd_orderings::movement::OrderingKind::Ring,
+            svd_orderings::movement::DataflowKind::NaiveMemory,
+            3,
+            |l| l,
+        )
+    );
+    println!();
+    print!(
+        "{}",
+        svd_orderings::render::render_ordering(
+            svd_orderings::movement::OrderingKind::ShiftingRing,
+            svd_orderings::movement::DataflowKind::Relocated,
+            3,
+            |l| l,
+        )
+    );
+}
+
+fn run_fig5() {
+    use heterosvd::{HeteroSvdConfig, Placement};
+    println!("\n=== Fig. 5: AIE placement (regenerated from the placement engine) ===");
+    for p_eng in [2usize, 8] {
+        let cfg = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(p_eng)
+            .build()
+            .unwrap();
+        let placement = Placement::plan(&cfg).unwrap();
+        println!(
+            "\nP_eng = {p_eng}: {} orth-layers in {} band(s), {} AIEs/task",
+            placement.num_layers(),
+            placement.num_bands(),
+            placement.counts().total()
+        );
+        print!("{}", placement.render());
+    }
+}
+
+fn run_fig9(sizes: &[usize]) {
+    println!("\n=== Fig. 9: throughput & utilization vs design size (batch 100) ===");
+    println!(
+        "{:>6} | {:>10} {:>9} {:>9} | {:>10} {:>9} {:>9} | {:>6}",
+        "size",
+        "GPU tput",
+        "GPU core",
+        "GPU mem",
+        "HSVD tput",
+        "HSVD core",
+        "HSVD bw",
+        "P_task"
+    );
+    match fig9::run(sizes) {
+        Ok(rows) => {
+            persist("fig9", &rows);
+            for r in rows {
+                println!(
+                    "{:>6} | {:>10.2} {:>8.1}% {:>8.1}% | {:>10.2} {:>8.1}% {:>8.1}% | {:>6}",
+                    r.n,
+                    r.gpu_throughput,
+                    r.gpu_core_util * 100.0,
+                    r.gpu_mem_util * 100.0,
+                    r.hsvd_throughput,
+                    r.hsvd_core_util * 100.0,
+                    r.hsvd_mem_util * 100.0,
+                    r.p_task
+                );
+            }
+        }
+        Err(e) => eprintln!("fig9 failed: {e}"),
+    }
+}
+
+fn run_devices() {
+    println!("\n=== Device porting study (extension): VCK190 vs estimated AIE-ML (batch 100, 6 iterations) ===");
+    println!(
+        "{:>34} {:>6} | {:>8} | {:>9} {:>12} | {:>9} {:>12}",
+        "device", "size", "feasible", "lat cfg", "latency(ms)", "tput cfg", "tput(t/s)"
+    );
+    let rows = devices::run(&[128, 256], 6);
+    persist("devices", &rows);
+    for r in &rows {
+        println!(
+            "{:>34} {:>6} | {:>8} | ({:>2},{:>2}) {:>12.3} | ({:>2},{:>2}) {:>12.1}",
+            r.device,
+            r.n,
+            r.feasible,
+            r.latency_config.0,
+            r.latency_config.1,
+            r.latency_ms,
+            r.throughput_config.0,
+            r.throughput_config.1,
+            r.throughput
+        );
+    }
+    println!("(AIE-ML profile is estimated from public specs; a porting study, not a measurement)");
+}
+
+fn run_scalability(quick: bool) {
+    println!("\n=== Scalability what-if (extension): does more URAM flip the Table III crossover? ===");
+    println!(
+        "{:>6} {:>6} {:>10} | {:>6} | {:>12} {:>12} {:>8}",
+        "size", "URAMx", "freq", "P_task", "HSVD(t/s)", "GPU(t/s)", "ratio"
+    );
+    let sizes: &[(usize, usize)] = if quick {
+        &[(256, 11), (512, 13)]
+    } else {
+        &[(256, 11), (512, 13), (1024, 14)]
+    };
+    let rows = scalability::run(sizes);
+    persist("scalability", &rows);
+    for r in &rows {
+        println!(
+            "{:>6} {:>6} {:>10} | {:>6} | {:>12.2} {:>12.2} {:>7.2}x",
+            r.n,
+            r.uram_scale,
+            if r.optimistic_frequency { "450 fixed" } else { "derated" },
+            r.p_task,
+            r.hsvd_throughput,
+            r.gpu_throughput,
+            r.ratio
+        );
+    }
+    println!("(paper S V-B: 'with adequate RAM resources and optimized operating frequency,\n HeteroSVD has the potential to outperform GPU solutions')");
+}
+
+fn run_cpu(quick: bool) {
+    use baselines::CpuBaseline;
+    use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+    use heterosvd_bench::workload::random_matrix;
+    println!("\n=== CPU software baseline (extension): host block-Jacobi vs simulated accelerator (6 iterations) ===");
+    println!(
+        "{:>6} | {:>12} {:>12} | {:>8}",
+        "size", "CPU(ms)", "HSVD(ms)", "speedup"
+    );
+    let sizes: &[usize] = if quick { &[128, 256] } else { &[128, 256, 512] };
+    let cpu = CpuBaseline::new();
+    for &n in sizes {
+        let a = random_matrix(n, n, 4242);
+        let m = cpu.measure(&a, 6, 2);
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(8)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()
+            .unwrap();
+        let hsvd_ms = Accelerator::new(cfg)
+            .unwrap()
+            .run(&svd_kernels::Matrix::zeros(n, n))
+            .unwrap()
+            .timing
+            .task_time
+            .as_millis();
+        println!(
+            "{:>6} | {:>12.3} {:>12.3} | {:>7.1}x",
+            n,
+            m.latency * 1e3,
+            hsvd_ms,
+            m.latency * 1e3 / hsvd_ms
+        );
+    }
+    println!("(CPU numbers are host-machine wall clock; single-threaded f64 solver)");
+}
+
+fn run_pipeline() {
+    use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+    println!("\n=== Pipeline trace: block-pair passes through the array (128x128, P_eng=8, 208.3 MHz) ===");
+    let cfg = HeteroSvdConfig::builder(128, 128)
+        .engine_parallelism(8)
+        .pl_freq_mhz(208.3)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(1)
+        .record_trace(true)
+        .build()
+        .unwrap();
+    match Accelerator::new(cfg).and_then(|a| a.run(&svd_kernels::Matrix::zeros(128, 128))) {
+        Ok(out) => {
+            // Show the round boundary: passes 4..20 cover rounds 1-2
+            // (8 passes per round) including the dependency stall.
+            print!("{}", heterosvd::render::render_gantt(&out.trace, 4, 16, 90));
+            println!("(bars overlap while the pipeline streams; the gap at each 8-pass round\n boundary is the t_algo/t_datawait dependency stall of Eq. 10-11)");
+        }
+        Err(e) => eprintln!("pipeline trace failed: {e}"),
+    }
+}
+
+fn run_convergence(quick: bool) {
+    println!("\n=== Convergence study: iterations to precision (block size 8, 3 seeds) ===");
+    println!(
+        "{:>6} {:>10} | {:>10} {:>6} {:>14}",
+        "size", "precision", "mean iter", "max", "final measure"
+    );
+    let sizes: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256] };
+    let conv_rows = convergence::run(sizes, &[1e-2, 1e-6, 1e-10], 8, 3);
+    persist("convergence", &conv_rows);
+    for r in conv_rows {
+        println!(
+            "{:>6} {:>10.0e} | {:>10.1} {:>6} {:>14.3e}",
+            r.n, r.precision, r.mean_iterations, r.max_iterations, r.final_measure
+        );
+    }
+}
+
+fn run_accuracy(quick: bool) {
+    println!("\n=== QoR study: f32 accelerator vs f64 golden (precision 1e-6) ===");
+    println!(
+        "{:>6} {:>6} {:>6} | {:>12} {:>14} {:>16}",
+        "size", "P_eng", "iter", "sv error", "orthogonality", "reconstruction"
+    );
+    let sizes: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256] };
+    match accuracy::run(sizes, 4) {
+        Ok(rows) => {
+            persist("accuracy", &rows);
+            for r in rows {
+                println!(
+                    "{:>6} {:>6} {:>6} | {:>12.2e} {:>14.2e} {:>16.2e}",
+                    r.n, r.p_eng, r.iterations, r.sv_error, r.orthogonality, r.reconstruction
+                );
+            }
+        }
+        Err(e) => eprintln!("accuracy failed: {e}"),
+    }
+}
+
+fn run_ablation() {
+    println!(
+        "\n=== Ablation: the two halves of the co-design (1024x48 tall matrix, P_eng=3, 6 iterations) ==="
+    );
+    println!(
+        "{:>34} | {:>12} {:>10} {:>10} {:>12}",
+        "variant", "latency(ms)", "DMA", "neighbor", "DMA bytes"
+    );
+    match ablation::run(1024, 48, 3) {
+        Ok(rows) => {
+            persist("ablation", &rows);
+            let base = rows[0].latency_ms;
+            for r in &rows {
+                println!(
+                    "{:>34} | {:>12.3} {:>10} {:>10} {:>12} ({:.2}x)",
+                    r.name,
+                    r.latency_ms,
+                    r.dma_transfers,
+                    r.neighbor_accesses,
+                    r.dma_bytes,
+                    base / r.latency_ms
+                );
+            }
+        }
+        Err(e) => eprintln!("ablation failed: {e}"),
+    }
+}
+
+fn run_dse_report() {
+    println!("\n=== DSE flow (Eq. 15-16): full sweep at 256x256, batch 100, 6 iterations ===");
+    let report = dse_report::run(256, 100, 6);
+    persist("dse", &report);
+    println!(
+        "feasible points: {} / {} candidates, sweep took {:.1} ms",
+        report.feasible,
+        report.feasible + report.infeasible,
+        report.sweep_ms
+    );
+    for (label, best) in [
+        ("min-latency", &report.best_latency),
+        ("max-throughput", &report.best_throughput),
+        ("max-energy-eff", &report.best_ee),
+    ] {
+        if let Some(b) = best {
+            println!(
+                "{label:>15}: P_eng={} P_task={} freq={:.1}MHz latency={:.3}ms tput={:.1}t/s {:.2}W EE={:.3}",
+                b.point.engine_parallelism,
+                b.point.task_parallelism,
+                b.point.pl_freq_mhz,
+                b.latency.as_millis(),
+                b.throughput,
+                b.power_watts,
+                b.energy_efficiency
+            );
+        }
+    }
+}

@@ -1,0 +1,128 @@
+//! Ablation of the algorithm-hardware co-design (DESIGN.md §4.2):
+//! end-to-end latency and DMA counts for each combination of the two
+//! design choices — SVD ordering (ring vs shifting ring) and output
+//! dataflow (naive vs relocated).
+//!
+//! This experiment is not in the paper (which only evaluates the full
+//! co-design) but directly supports its §III-B argument: *both* halves
+//! are needed, and the shifting ring without the relocation is useless.
+
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig, HeteroSvdError};
+use serde::{Deserialize, Serialize};
+use svd_orderings::movement::{DataflowKind, OrderingKind};
+
+/// One ablation variant's measurement.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct AblationRow {
+    /// Variant label.
+    pub name: &'static str,
+    /// Ordering used.
+    pub ordering: OrderingKind,
+    /// Dataflow used.
+    pub dataflow: DataflowKind,
+    /// Simulated latency (ms, six iterations).
+    pub latency_ms: f64,
+    /// Total inter-tile DMA transfers.
+    pub dma_transfers: usize,
+    /// Total neighbor accesses.
+    pub neighbor_accesses: usize,
+    /// DMA bytes moved.
+    pub dma_bytes: usize,
+}
+
+/// The four ablation corners.
+pub const VARIANTS: [(&str, OrderingKind, DataflowKind); 4] = [
+    ("ring + naive (traditional)", OrderingKind::Ring, DataflowKind::NaiveMemory),
+    ("ring + relocated", OrderingKind::Ring, DataflowKind::Relocated),
+    ("shifting + naive", OrderingKind::ShiftingRing, DataflowKind::NaiveMemory),
+    ("shifting + relocated (co-design)", OrderingKind::ShiftingRing, DataflowKind::Relocated),
+];
+
+/// Runs the ablation on an `rows × cols` problem with engine parallelism
+/// `p_eng` (`p_eng = 3` keeps the layers in one band, isolating the
+/// co-design effect from band-break DMA). Tall matrices (large `rows`)
+/// make the DMA transfer time comparable to the kernel time, which is
+/// the regime where the co-design's latency win appears — with short
+/// columns the DMA hides entirely under the kernels and only the memory
+/// doubling matters.
+///
+/// # Errors
+///
+/// Propagates configuration/placement errors.
+pub fn run(rows: usize, cols: usize, p_eng: usize) -> Result<Vec<AblationRow>, HeteroSvdError> {
+    let mut variant_rows = Vec::with_capacity(VARIANTS.len());
+    for (name, ordering, dataflow) in VARIANTS {
+        let cfg = HeteroSvdConfig::builder(rows, cols)
+            .engine_parallelism(p_eng)
+            .ordering(ordering)
+            .dataflow(dataflow)
+            .pl_freq_mhz(208.3)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()?;
+        let out = Accelerator::new(cfg)?.run(&svd_kernels::Matrix::zeros(rows, cols))?;
+        variant_rows.push(AblationRow {
+            name,
+            ordering,
+            dataflow,
+            latency_ms: out.timing.task_time.as_millis(),
+            dma_transfers: out.stats.dma_transfers,
+            neighbor_accesses: out.stats.neighbor_accesses,
+            dma_bytes: out.stats.dma_bytes,
+        });
+    }
+    Ok(variant_rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codesign_is_best_on_both_axes() {
+        // Tall columns: DMA is on the critical path.
+        let rows = run(1024, 24, 3).unwrap();
+        let codesign = rows.last().unwrap();
+        for other in &rows[..3] {
+            assert!(
+                codesign.latency_ms < other.latency_ms,
+                "codesign {} ms vs {} {} ms",
+                codesign.latency_ms,
+                other.name,
+                other.latency_ms
+            );
+            assert!(codesign.dma_transfers < other.dma_transfers);
+        }
+    }
+
+    #[test]
+    fn short_columns_hide_dma_latency() {
+        // With short columns the kernels cover the transfers: all four
+        // variants tie on latency while the DMA counts still differ —
+        // the memory saving is the only win in this regime.
+        let rows = run(48, 48, 3).unwrap();
+        let codesign = rows.last().unwrap();
+        assert!(rows
+            .iter()
+            .all(|r| (r.latency_ms - codesign.latency_ms).abs() < 0.05 * codesign.latency_ms));
+        assert!(codesign.dma_transfers < rows[0].dma_transfers);
+    }
+
+    #[test]
+    fn dma_counts_follow_the_analysis_ratios() {
+        let rows = run(48, 48, 3).unwrap();
+        // ring+naive = 2k(k-1) = 12/pass, codesign = 2(k-1) = 4/pass.
+        assert_eq!(rows[0].dma_transfers, 3 * rows[3].dma_transfers);
+    }
+
+    #[test]
+    fn movement_totals_are_conserved() {
+        // Movements per pass are constant (2k per transition); only the
+        // DMA/neighbor split changes across variants.
+        let rows = run(48, 48, 3).unwrap();
+        let total0 = rows[0].dma_transfers + rows[0].neighbor_accesses;
+        for r in &rows[1..] {
+            assert_eq!(r.dma_transfers + r.neighbor_accesses, total0);
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Quality-of-results study (extension): accuracy of the accelerator's
+//! f32 factorization against the f64 golden model across sizes — the
+//! numerical side of the paper's QoR claims.
+
+use crate::workload::random_matrix;
+use heterosvd::{Accelerator, HeteroSvdConfig, HeteroSvdError};
+use serde::{Deserialize, Serialize};
+use svd_kernels::{hestenes_jacobi, verify, JacobiOptions};
+
+/// One accuracy measurement.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct AccuracyRow {
+    /// Matrix size `n`.
+    pub n: usize,
+    /// Engine parallelism used.
+    pub p_eng: usize,
+    /// Iterations the accelerator needed at 1e-6.
+    pub iterations: usize,
+    /// Max relative singular-value error vs the f64 golden model.
+    pub sv_error: f64,
+    /// Column-orthogonality error of the returned `U`.
+    pub orthogonality: f64,
+    /// Relative reconstruction error via recovered `V`.
+    pub reconstruction: f64,
+}
+
+/// Runs the accuracy study.
+///
+/// # Errors
+///
+/// Propagates accelerator and kernel errors.
+pub fn run(sizes: &[usize], p_eng: usize) -> Result<Vec<AccuracyRow>, HeteroSvdError> {
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let a = random_matrix(n, n, 7_000 + n as u64);
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(p_eng)
+            .precision(1e-6)
+            .build()?;
+        let out = Accelerator::new(cfg)?.run(&a)?;
+
+        let golden = hestenes_jacobi(&a, &JacobiOptions::default())?;
+        let sv_error = verify::singular_value_error(
+            &golden.sorted_singular_values(),
+            &out.result.sorted_singular_values(),
+        );
+        let orthogonality = verify::column_orthogonality_error(&out.result.u);
+        let a32 = a.cast::<f32>();
+        let v = out.result.recover_v(&a32)?;
+        let reconstruction =
+            verify::reconstruction_error(&a32, &out.result.u, &out.result.sigma, &v);
+
+        rows.push(AccuracyRow {
+            n,
+            p_eng,
+            iterations: out.result.sweeps,
+            sv_error,
+            orthogonality,
+            reconstruction,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_stays_near_f32_epsilon() {
+        for r in run(&[32, 64], 4).unwrap() {
+            assert!(r.sv_error < 1e-4, "n={}: sv error {}", r.n, r.sv_error);
+            assert!(r.orthogonality < 1e-3);
+            assert!(r.reconstruction < 1e-3);
+        }
+    }
+
+    #[test]
+    fn engine_parallelism_does_not_change_accuracy_class() {
+        let a2 = run(&[32], 2).unwrap()[0];
+        let a8 = run(&[32], 8).unwrap()[0];
+        assert!(a2.sv_error < 1e-4 && a8.sv_error < 1e-4);
+    }
+}

@@ -1,0 +1,99 @@
+//! Device porting study (extension): the same DSE flow on the paper's
+//! VCK190 and on an **estimated** AIE-ML device (fewer tiles, double the
+//! per-tile memory, smaller PL).
+//!
+//! The point: the whole framework — placement, feasibility, performance
+//! model, power — depends only on the device profile, so porting the
+//! accelerator is a parameter swap. The AIE-ML numbers are a what-if
+//! (public specs, no board calibration).
+
+use aie_sim::device::DeviceProfile;
+use heterosvd_dse::{run_dse, DseConfig, Objective};
+use serde::{Deserialize, Serialize};
+
+/// One device's DSE outcome for one problem size.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DeviceRow {
+    /// Device name.
+    pub device: String,
+    /// Matrix size.
+    pub n: usize,
+    /// Feasible design points.
+    pub feasible: usize,
+    /// Latency-optimal `(P_eng, P_task)`.
+    pub latency_config: (usize, usize),
+    /// Latency-optimal single-task latency (ms).
+    pub latency_ms: f64,
+    /// Throughput-optimal `(P_eng, P_task)`.
+    pub throughput_config: (usize, usize),
+    /// Throughput-optimal batch-100 throughput (tasks/s).
+    pub throughput: f64,
+}
+
+/// Runs the study for the given sizes on both devices.
+pub fn run(sizes: &[usize], iterations: usize) -> Vec<DeviceRow> {
+    let mut rows = Vec::new();
+    for &device in &[DeviceProfile::VCK190, DeviceProfile::VE2802_ESTIMATE] {
+        for &n in sizes {
+            let result = run_dse(
+                &DseConfig::new(n, n)
+                    .batch(100)
+                    .iterations(iterations)
+                    .device(device),
+            );
+            let Some(lat) = result.best(Objective::MinLatency) else {
+                continue;
+            };
+            let Some(tput) = result.best(Objective::MaxThroughput) else {
+                continue;
+            };
+            rows.push(DeviceRow {
+                device: device.name().to_string(),
+                n,
+                feasible: result.evaluations.len(),
+                latency_config: (
+                    lat.point.engine_parallelism,
+                    lat.point.task_parallelism,
+                ),
+                latency_ms: lat.latency.as_millis(),
+                throughput_config: (
+                    tput.point.engine_parallelism,
+                    tput.point.task_parallelism,
+                ),
+                throughput: tput.throughput,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_devices_produce_designs() {
+        let rows = run(&[128, 256], 6);
+        assert_eq!(rows.len(), 4);
+        let vck: Vec<_> = rows.iter().filter(|r| r.device.contains("VCK190")).collect();
+        let ml: Vec<_> = rows.iter().filter(|r| r.device.contains("AIE-ML")).collect();
+        assert_eq!(vck.len(), 2);
+        assert_eq!(ml.len(), 2);
+        // The smaller device supports fewer designs and lower throughput.
+        for (v, m) in vck.iter().zip(&ml) {
+            assert!(m.feasible < v.feasible);
+            assert!(m.throughput <= v.throughput * 1.01);
+        }
+    }
+
+    #[test]
+    fn latency_optima_are_comparable_across_devices() {
+        // The latency-optimal design needs only one pipeline; both
+        // devices fit it, so single-task latency is similar.
+        let rows = run(&[128], 6);
+        let vck = rows.iter().find(|r| r.device.contains("VCK190")).unwrap();
+        let ml = rows.iter().find(|r| r.device.contains("AIE-ML")).unwrap();
+        let rel = (vck.latency_ms - ml.latency_ms).abs() / vck.latency_ms;
+        assert!(rel < 0.35, "latency gap {rel}");
+    }
+}

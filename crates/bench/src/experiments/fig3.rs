@@ -1,0 +1,96 @@
+//! Fig. 3: DMA-transfer counts of the traditional ring ordering vs the
+//! co-designed shifting ring, per block-pair pass, as a function of the
+//! engine parallelism `k`.
+
+use serde::{Deserialize, Serialize};
+use svd_orderings::movement::{analyze, DataflowKind, OrderingKind};
+
+/// One regenerated data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig3Row {
+    /// Engine parallelism `k` (block pair holds `2k` columns).
+    pub k: usize,
+    /// Traditional design: ring ordering + naive memory (paper: `2k(k−1)`).
+    pub ring_naive: usize,
+    /// Ablation: ring ordering + relocated dataflow.
+    pub ring_relocated: usize,
+    /// Ablation: shifting ring + naive memory.
+    pub shifting_naive: usize,
+    /// Alternative traditional ordering: Brent–Luk round-robin \[17\]
+    /// with relocated dataflow (its best case) — quadratic in `k`, since
+    /// the fold's bidirectional flow cannot be shifted into alignment.
+    pub round_robin_relocated: usize,
+    /// Co-design: shifting ring + relocated dataflow (paper: `2(k−1)`).
+    pub codesign: usize,
+    /// Reduction factor of the full co-design over the traditional design.
+    pub reduction: f64,
+}
+
+/// Regenerates the Fig. 3 analysis for `k = 1..=max_k`.
+pub fn run(max_k: usize) -> Vec<Fig3Row> {
+    (1..=max_k)
+        .map(|k| {
+            let ring_naive = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k).dma_transfers;
+            let ring_relocated =
+                analyze(OrderingKind::Ring, DataflowKind::Relocated, k).dma_transfers;
+            let shifting_naive =
+                analyze(OrderingKind::ShiftingRing, DataflowKind::NaiveMemory, k).dma_transfers;
+            let codesign =
+                analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, k).dma_transfers;
+            let round_robin_relocated =
+                analyze(OrderingKind::RoundRobin, DataflowKind::Relocated, k).dma_transfers;
+            Fig3Row {
+                k,
+                ring_naive,
+                ring_relocated,
+                shifting_naive,
+                round_robin_relocated,
+                codesign,
+                reduction: if codesign == 0 {
+                    1.0
+                } else {
+                    ring_naive as f64 / codesign as f64
+                },
+            }
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corners_match_paper_formulas() {
+        use svd_orderings::movement::{codesign_dma_count, ring_naive_dma_count};
+        for row in run(11) {
+            assert_eq!(row.ring_naive, ring_naive_dma_count(row.k));
+            assert_eq!(row.codesign, codesign_dma_count(row.k));
+        }
+    }
+
+    #[test]
+    fn reduction_grows_linearly_with_k() {
+        // 2k(k-1) / 2(k-1) = k.
+        for row in run(11).iter().skip(1) {
+            assert!((row.reduction - row.k as f64).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn ablations_sit_between_corners() {
+        for row in run(11).iter().skip(1) {
+            assert!(row.codesign < row.ring_relocated);
+            assert!(row.ring_relocated < row.ring_naive);
+            assert!(row.codesign < row.shifting_naive);
+        }
+    }
+
+    #[test]
+    fn round_robin_is_quadratic_while_codesign_is_linear() {
+        for row in run(11).iter().skip(2) {
+            assert_eq!(row.round_robin_relocated, 2 * (row.k - 1) * (row.k - 1));
+            assert!(row.round_robin_relocated > row.codesign);
+        }
+    }
+}

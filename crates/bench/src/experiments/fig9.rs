@@ -1,0 +1,107 @@
+//! Fig. 9: throughput and core/memory utilization vs design size, GPU
+//! against HeteroSVD (batch 100).
+//!
+//! The mechanism the figure illustrates: the GPU's utilization *rises*
+//! with the problem size (bigger kernels fill more SMs), while HeteroSVD
+//! loses task parallelism to PL memory limits and PL frequency derating,
+//! so its relative throughput falls — the Table III crossover.
+
+use crate::workload::iterations_to_converge;
+use baselines::GpuBaseline;
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig, HeteroSvdError};
+use heterosvd_dse::{run_dse, DseConfig, Objective};
+use serde::{Deserialize, Serialize};
+
+/// Batch size of the Fig. 9 protocol.
+pub const BATCH: usize = 100;
+
+/// One regenerated data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Fig9Row {
+    /// Matrix size.
+    pub n: usize,
+    /// GPU batch throughput (tasks/s).
+    pub gpu_throughput: f64,
+    /// GPU compute-core utilization (0–1).
+    pub gpu_core_util: f64,
+    /// GPU memory-system utilization (0–1).
+    pub gpu_mem_util: f64,
+    /// HeteroSVD batch throughput (tasks/s).
+    pub hsvd_throughput: f64,
+    /// HeteroSVD orth-AIE core utilization (0–1).
+    pub hsvd_core_util: f64,
+    /// HeteroSVD PLIO bandwidth utilization (0–1).
+    pub hsvd_mem_util: f64,
+    /// HeteroSVD task parallelism chosen by the DSE.
+    pub p_task: usize,
+}
+
+/// Regenerates Fig. 9 for the given sizes.
+///
+/// # Errors
+///
+/// Propagates configuration errors from the accelerator and DSE.
+pub fn run(sizes: &[usize]) -> Result<Vec<Fig9Row>, HeteroSvdError> {
+    let gpu = GpuBaseline::published();
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let iterations = iterations_to_converge(n, 8, 0xFEED);
+        let dse = run_dse(&DseConfig::new(n, n).batch(BATCH).iterations(iterations));
+        let best = dse
+            .best(Objective::MaxThroughput)
+            .ok_or_else(|| HeteroSvdError::InvalidConfig(format!("no feasible design for {n}")))?
+            .clone();
+
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(best.point.engine_parallelism)
+            .task_parallelism(best.point.task_parallelism)
+            .pl_freq_mhz(best.point.pl_freq_mhz)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(iterations.max(1))
+            .build()?;
+        let acc = Accelerator::new(cfg)?;
+        let (out, sys) = acc.run_batch(&svd_kernels::Matrix::zeros(n, n), BATCH)?;
+
+        let counts = acc.placement().counts();
+        let hsvd_throughput = BATCH as f64 / sys.as_secs();
+        rows.push(Fig9Row {
+            n,
+            gpu_throughput: gpu.throughput(n, BATCH),
+            gpu_core_util: gpu.core_utilization(n),
+            gpu_mem_util: gpu.memory_utilization(n),
+            hsvd_throughput,
+            hsvd_core_util: out.stats.core_utilization(counts.orth),
+            hsvd_mem_util: out
+                .stats
+                .bandwidth_utilization(heterosvd::routing::PLIO_PER_TASK),
+            p_task: best.point.task_parallelism,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn gpu_utilization_rises_with_size() {
+        let rows = run(&[128, 256]).unwrap();
+        assert!(rows[1].gpu_core_util > rows[0].gpu_core_util);
+    }
+
+    #[test]
+    fn utilizations_are_fractions() {
+        for r in run(&[64, 128]).unwrap() {
+            for u in [
+                r.gpu_core_util,
+                r.gpu_mem_util,
+                r.hsvd_core_util,
+                r.hsvd_mem_util,
+            ] {
+                assert!((0.0..=1.0).contains(&u), "utilization {u}");
+            }
+            assert!(r.hsvd_throughput > 0.0);
+        }
+    }
+}

@@ -1,0 +1,15 @@
+//! One module per regenerated table/figure of the paper's evaluation.
+
+pub mod ablation;
+pub mod accuracy;
+pub mod convergence;
+pub mod devices;
+pub mod dse_report;
+pub mod fig3;
+pub mod scalability;
+pub mod fig9;
+pub mod table2;
+pub mod table3;
+pub mod table4;
+pub mod table5;
+pub mod table6;

@@ -1,0 +1,109 @@
+//! Scalability what-if (extension): the paper conjectures that "with
+//! adequate RAM resources and optimized operating frequency, HeteroSVD
+//! has the potential to outperform GPU solutions" at the large sizes
+//! where Table III shows the GPU winning (§V-B, Fig. 9 discussion).
+//!
+//! This experiment tests that conjecture inside the model: scale the
+//! URAM budget (the resource that caps task parallelism at large sizes)
+//! and lift the frequency derating, then re-run the DSE and compare the
+//! resulting throughput against the GPU baseline.
+
+use baselines::GpuBaseline;
+use heterosvd_dse::{run_dse, DseConfig, Objective};
+use perf_model::estimate;
+use serde::{Deserialize, Serialize};
+
+/// One what-if data point.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ScalabilityRow {
+    /// Matrix size.
+    pub n: usize,
+    /// URAM budget multiplier applied to the VCK190's 463 blocks.
+    pub uram_scale: usize,
+    /// Whether the frequency derating was lifted (fixed 450 MHz).
+    pub optimistic_frequency: bool,
+    /// Throughput-optimal task parallelism found.
+    pub p_task: usize,
+    /// HeteroSVD batch-100 throughput (tasks/s, analytic model).
+    pub hsvd_throughput: f64,
+    /// GPU batch-100 throughput (tasks/s).
+    pub gpu_throughput: f64,
+    /// HeteroSVD / GPU throughput ratio.
+    pub ratio: f64,
+}
+
+/// Runs the what-if sweep at the given sizes with the given iteration
+/// counts (size-matched, like Table III's convergence protocol).
+pub fn run(sizes_iters: &[(usize, usize)]) -> Vec<ScalabilityRow> {
+    let gpu = GpuBaseline::published();
+    let mut rows = Vec::new();
+    for &(n, iterations) in sizes_iters {
+        let gpu_throughput = gpu.throughput(n, 100);
+        for (uram_scale, optimistic) in [(1usize, false), (2, false), (4, true), (8, true)] {
+            let mut cfg = DseConfig::new(n, n).batch(100).iterations(iterations);
+            cfg.budget.uram *= uram_scale;
+            if optimistic {
+                cfg = cfg.freq_mhz(450.0);
+            }
+            let result = run_dse(&cfg);
+            let Some(best) = result.best(Objective::MaxThroughput) else {
+                continue;
+            };
+            // Recompute throughput from the model at the chosen point
+            // (best.throughput already is; keep it explicit).
+            let est = estimate(&best.point);
+            let hsvd_throughput = est.throughput(100, best.point.task_parallelism);
+            rows.push(ScalabilityRow {
+                n,
+                uram_scale,
+                optimistic_frequency: optimistic,
+                p_task: best.point.task_parallelism,
+                hsvd_throughput,
+                gpu_throughput,
+                ratio: hsvd_throughput / gpu_throughput,
+            });
+        }
+    }
+    rows
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn more_uram_buys_task_parallelism_at_512() {
+        let rows = run(&[(512, 13)]);
+        let base = rows.iter().find(|r| r.uram_scale == 1).unwrap();
+        let scaled = rows.iter().find(|r| r.uram_scale == 4).unwrap();
+        assert!(
+            scaled.p_task > base.p_task,
+            "P_task {} -> {}",
+            base.p_task,
+            scaled.p_task
+        );
+        assert!(scaled.hsvd_throughput > base.hsvd_throughput);
+    }
+
+    #[test]
+    fn paper_conjecture_holds_in_the_model_at_512() {
+        // Baseline VCK190 loses to the GPU at 512 (Table III: 0.89x);
+        // with more URAM + optimistic frequency the model flips the sign,
+        // supporting the paper's S V-B conjecture.
+        let rows = run(&[(512, 13)]);
+        let base = rows.iter().find(|r| r.uram_scale == 1).unwrap();
+        let best = rows
+            .iter()
+            .map(|r| r.ratio)
+            .fold(f64::NEG_INFINITY, f64::max);
+        assert!(best > base.ratio);
+        assert!(best > 1.0, "scaled ratio {best} should beat the GPU");
+    }
+
+    #[test]
+    fn rows_cover_all_scales() {
+        let rows = run(&[(256, 11)]);
+        assert_eq!(rows.len(), 4);
+        assert!(rows.iter().all(|r| r.gpu_throughput > 0.0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Table III: latency, throughput and energy efficiency against the GPU
+//! baseline \[11\] (batched, converged at 1e-6).
+//!
+//! Per the paper, the HeteroSVD configuration for each scenario comes
+//! from the DSE flow; iterations run until the convergence rate drops
+//! below 1e-6 (measured on the reference solver for our random
+//! workloads).
+
+use crate::workload::iterations_to_converge;
+use baselines::GpuBaseline;
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig, HeteroSvdError};
+use heterosvd_dse::{run_dse, DseConfig, Objective};
+use serde::{Deserialize, Serialize};
+
+/// Batch size of the Table III protocol.
+pub const BATCH: usize = 100;
+
+/// Paper's published Table III numbers:
+/// `(n, gpu latency s, gpu tasks/s, gpu EE, hsvd latency s, hsvd tasks/s, hsvd EE)`.
+pub const PAPER_ROWS: [(usize, f64, f64, f64, f64, f64, f64); 4] = [
+    (128, 0.0166, 1351.35, 5.005, 0.0023, 2389.69, 65.940),
+    (256, 0.0429, 217.39, 0.805, 0.0130, 239.48, 6.251),
+    (512, 0.1237, 27.55, 0.102, 0.1076, 24.42, 0.663),
+    (1024, 0.6857, 3.52, 0.013, 0.7937, 1.27, 0.057),
+];
+
+/// One regenerated row.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Table3Row {
+    /// Matrix size `n`.
+    pub n: usize,
+    /// Convergence iterations used for HeteroSVD.
+    pub iterations: usize,
+    /// GPU single-matrix latency (s).
+    pub gpu_latency: f64,
+    /// GPU batch throughput (tasks/s).
+    pub gpu_throughput: f64,
+    /// GPU energy efficiency (tasks/s/W).
+    pub gpu_ee: f64,
+    /// HeteroSVD single-matrix latency (s), latency-optimal config.
+    pub hsvd_latency: f64,
+    /// HeteroSVD batch throughput (tasks/s), throughput-optimal config.
+    pub hsvd_throughput: f64,
+    /// HeteroSVD energy efficiency (tasks/s/W).
+    pub hsvd_ee: f64,
+    /// Throughput-optimal `(P_eng, P_task)` from the DSE.
+    pub tp_config: (usize, usize),
+}
+
+/// Regenerates Table III for the given sizes.
+///
+/// # Errors
+///
+/// Propagates configuration/placement errors; fails if the DSE finds no
+/// feasible design (cannot happen for the paper's sizes).
+pub fn run(sizes: &[usize]) -> Result<Vec<Table3Row>, HeteroSvdError> {
+    let gpu = GpuBaseline::published();
+    let mut rows = Vec::with_capacity(sizes.len());
+    for &n in sizes {
+        let iterations = iterations_to_converge(n, 8, 0xC0FFEE);
+
+        // Latency scenario: best single-task design.
+        let lat_dse = run_dse(&DseConfig::new(n, n).batch(1).iterations(iterations));
+        let lat_best = lat_dse
+            .best(Objective::MinLatency)
+            .ok_or_else(|| HeteroSvdError::InvalidConfig(format!("no feasible design for {n}")))?
+            .clone();
+        let hsvd_latency = simulate_task_seconds(
+            n,
+            lat_best.point.engine_parallelism,
+            lat_best.point.task_parallelism,
+            lat_best.point.pl_freq_mhz,
+            iterations,
+        )?;
+
+        // Throughput scenario: best batch-100 design.
+        let tp_dse = run_dse(&DseConfig::new(n, n).batch(BATCH).iterations(iterations));
+        let tp_best = tp_dse
+            .best(Objective::MaxThroughput)
+            .ok_or_else(|| HeteroSvdError::InvalidConfig(format!("no feasible design for {n}")))?
+            .clone();
+        let task_s = simulate_task_seconds(
+            n,
+            tp_best.point.engine_parallelism,
+            tp_best.point.task_parallelism,
+            tp_best.point.pl_freq_mhz,
+            iterations,
+        )?;
+        let waves = BATCH.div_ceil(tp_best.point.task_parallelism);
+        let hsvd_throughput = BATCH as f64 / (task_s * waves as f64);
+        let hsvd_ee = hsvd_throughput / tp_best.power_watts;
+
+        rows.push(Table3Row {
+            n,
+            iterations,
+            gpu_latency: gpu.latency(n),
+            gpu_throughput: gpu.throughput(n, BATCH),
+            gpu_ee: gpu.energy_efficiency(n, BATCH),
+            hsvd_latency,
+            hsvd_throughput,
+            hsvd_ee,
+            tp_config: (
+                tp_best.point.engine_parallelism,
+                tp_best.point.task_parallelism,
+            ),
+        });
+    }
+    Ok(rows)
+}
+
+/// Simulates one task at the given design point, returning `t_task` in
+/// seconds.
+fn simulate_task_seconds(
+    n: usize,
+    p_eng: usize,
+    p_task: usize,
+    freq_mhz: f64,
+    iterations: usize,
+) -> Result<f64, HeteroSvdError> {
+    let cfg = HeteroSvdConfig::builder(n, n)
+        .engine_parallelism(p_eng)
+        .task_parallelism(p_task)
+        .pl_freq_mhz(freq_mhz)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(iterations.max(1))
+        .build()?;
+    let acc = Accelerator::new(cfg)?;
+    let out = acc.run(&svd_kernels::Matrix::zeros(n, n))?;
+    Ok(out.timing.task_time.as_secs())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_sizes_beat_gpu_in_latency_and_ee() {
+        let rows = run(&[128]).unwrap();
+        let r = &rows[0];
+        assert!(
+            r.hsvd_latency < r.gpu_latency,
+            "hsvd {} vs gpu {}",
+            r.hsvd_latency,
+            r.gpu_latency
+        );
+        assert!(r.hsvd_ee > r.gpu_ee, "EE {} vs {}", r.hsvd_ee, r.gpu_ee);
+    }
+
+    #[test]
+    fn iterations_come_from_convergence() {
+        let rows = run(&[64]).unwrap();
+        assert!((3..=15).contains(&rows[0].iterations));
+    }
+
+    #[test]
+    fn throughput_config_uses_task_parallelism() {
+        let rows = run(&[128]).unwrap();
+        assert!(rows[0].tp_config.1 > 1, "P_task = {}", rows[0].tp_config.1);
+    }
+}

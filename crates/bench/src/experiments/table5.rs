@@ -1,0 +1,128 @@
+//! Table V: model accuracy across application scenarios — the DSE picks
+//! the minimum-execution-time configuration for each `(size, batch)`
+//! scenario, then the model's prediction is compared against the
+//! simulated measurement (single iteration, as in the paper).
+
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig, HeteroSvdError};
+use heterosvd_dse::{run_dse, DseConfig, Objective};
+use serde::{Deserialize, Serialize};
+
+/// Paper's published Table V rows:
+/// `(n, batch, freq MHz, P_eng, P_task, on-board ms, model ms)`.
+pub const PAPER_ROWS: [(usize, usize, f64, usize, usize, f64, f64); 8] = [
+    (128, 1, 450.0, 8, 1, 0.357, 0.384),
+    (256, 1, 420.0, 8, 1, 1.202, 1.120),
+    (512, 1, 350.0, 8, 1, 7.815, 7.510),
+    (1024, 1, 310.0, 8, 1, 58.885, 58.255),
+    (128, 100, 330.0, 4, 9, 6.099, 6.412),
+    (256, 100, 310.0, 4, 9, 27.836, 26.623),
+    (512, 100, 310.0, 4, 7, 238.002, 224.301),
+    (1024, 100, 310.0, 8, 1, 5872.181, 5878.970),
+];
+
+/// One regenerated row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table5Row {
+    /// Matrix size.
+    pub n: usize,
+    /// Batch size.
+    pub batch: usize,
+    /// DSE-selected PL frequency (MHz).
+    pub freq_mhz: f64,
+    /// DSE-selected engine parallelism.
+    pub p_eng: usize,
+    /// DSE-selected task parallelism.
+    pub p_task: usize,
+    /// Simulated batch processing time (ms, one iteration).
+    pub measured_ms: f64,
+    /// Model-predicted batch processing time (ms).
+    pub model_ms: f64,
+    /// Relative model error.
+    pub error: f64,
+}
+
+/// Regenerates Table V for the given `(size, batch)` scenarios.
+///
+/// # Errors
+///
+/// Propagates configuration errors; fails when no design is feasible.
+pub fn run(scenarios: &[(usize, usize)]) -> Result<Vec<Table5Row>, HeteroSvdError> {
+    let mut rows = Vec::with_capacity(scenarios.len());
+    for &(n, batch) in scenarios {
+        let dse = run_dse(&DseConfig::new(n, n).batch(batch).iterations(1));
+        let objective = if batch > 1 {
+            Objective::MaxThroughput
+        } else {
+            Objective::MinLatency
+        };
+        let best = dse
+            .best(objective)
+            .ok_or_else(|| HeteroSvdError::InvalidConfig(format!("no feasible design for {n}")))?
+            .clone();
+
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(best.point.engine_parallelism)
+            .task_parallelism(best.point.task_parallelism)
+            .pl_freq_mhz(best.point.pl_freq_mhz)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(1)
+            .build()?;
+        let acc = Accelerator::new(cfg)?;
+        let (out, sys) = acc.run_batch(&svd_kernels::Matrix::zeros(n, n), batch)?;
+        let _ = out;
+        let measured_ms = sys.as_millis();
+        let model_ms = best.system_time.as_millis();
+
+        rows.push(Table5Row {
+            n,
+            batch,
+            freq_mhz: best.point.pl_freq_mhz,
+            p_eng: best.point.engine_parallelism,
+            p_task: best.point.task_parallelism,
+            measured_ms,
+            model_ms,
+            error: (model_ms - measured_ms).abs() / measured_ms,
+        });
+    }
+    Ok(rows)
+}
+
+/// The paper's scenario grid.
+pub fn paper_scenarios() -> Vec<(usize, usize)> {
+    PAPER_ROWS.iter().map(|&(n, b, ..)| (n, b)).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_tracks_simulator_within_12_percent() {
+        // Paper reports <= 7.52% across scenarios.
+        let rows = run(&[(128, 1), (128, 10)]).unwrap();
+        for r in &rows {
+            assert!(
+                r.error < 0.12,
+                "n={} batch={}: model {:.3} vs sim {:.3} ms (err {:.3})",
+                r.n,
+                r.batch,
+                r.model_ms,
+                r.measured_ms,
+                r.error
+            );
+        }
+    }
+
+    #[test]
+    fn single_task_scenarios_pick_high_p_eng() {
+        let rows = run(&[(128, 1)]).unwrap();
+        assert!(rows[0].p_eng >= 4, "P_eng = {}", rows[0].p_eng);
+        assert_eq!(rows[0].p_task, 1);
+    }
+
+    #[test]
+    fn batch_scenarios_pick_multiple_tasks() {
+        let rows = run(&[(128, 50)]).unwrap();
+        assert!(rows[0].p_task > 1, "P_task = {}", rows[0].p_task);
+    }
+}

@@ -1,0 +1,152 @@
+//! Table VI: how the micro-architecture parameters trade latency,
+//! throughput and power at 256×256, 208.3 MHz, six iterations.
+//!
+//! For each `P_eng` the task parallelism is maximized under the Eq. (16)
+//! budgets (stage 1 of the DSE). `P_eng = 6` does not divide 256, so —
+//! like the paper must have done — the problem is padded to the next
+//! multiple of `2·P_eng` (264) for that row.
+
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig, HeteroSvdError};
+use heterosvd_dse::{evaluate_point, DseConfig};
+use serde::{Deserialize, Serialize};
+
+/// The fixed PL frequency of the Table VI protocol.
+pub const FREQ_MHZ: f64 = 208.3;
+/// Iterations per design point.
+pub const ITERATIONS: usize = 6;
+
+/// Paper's published Table VI rows:
+/// `(P_eng, P_task, AIE, URAM, latency ms, tasks/s, watts)`.
+pub const PAPER_ROWS: [(usize, usize, usize, usize, f64, f64, f64); 4] = [
+    (2, 26, 293, 416, 35.689, 707.501, 44.16),
+    (4, 9, 357, 144, 19.303, 508.436, 34.63),
+    (6, 4, 366, 120, 13.117, 306.876, 30.79),
+    (8, 2, 322, 32, 9.247, 219.257, 26.06),
+];
+
+/// One regenerated row.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Table6Row {
+    /// Engine parallelism.
+    pub p_eng: usize,
+    /// Maximum feasible task parallelism.
+    pub p_task: usize,
+    /// AIE tiles used.
+    pub aie: usize,
+    /// URAM blocks used.
+    pub uram: usize,
+    /// Simulated single-task latency (ms, six iterations).
+    pub latency_ms: f64,
+    /// Steady-state throughput (tasks/s) with all pipelines busy.
+    pub throughput: f64,
+    /// Estimated power (W).
+    pub power_watts: f64,
+}
+
+/// Regenerates Table VI at size `n` for the given engine parallelisms.
+///
+/// # Errors
+///
+/// Propagates configuration errors; fails when a `P_eng` has no feasible
+/// `P_task` at all.
+pub fn run(n: usize, p_engs: &[usize]) -> Result<Vec<Table6Row>, HeteroSvdError> {
+    let mut rows = Vec::with_capacity(p_engs.len());
+    for &p_eng in p_engs {
+        // Pad to the next multiple of 2*P_eng when needed (e.g. 256 -> 264
+        // for P_eng = 6).
+        let padded = n.div_ceil(2 * p_eng) * 2 * p_eng;
+        let dse_cfg = DseConfig::new(padded, padded)
+            .iterations(ITERATIONS)
+            .freq_mhz(FREQ_MHZ);
+
+        // Stage 1: maximize task parallelism under the budgets.
+        let mut best = None;
+        for p_task in 1..=heterosvd::config::MAX_TASK_PARALLELISM {
+            if let Some(eval) = evaluate_point(&dse_cfg, p_eng, p_task) {
+                best = Some(eval);
+            }
+        }
+        let eval = best.ok_or_else(|| {
+            HeteroSvdError::InvalidConfig(format!("no feasible P_task for P_eng={p_eng}"))
+        })?;
+        let p_task = eval.point.task_parallelism;
+
+        // Measure the latency on the simulator (the DSE number is the
+        // analytic estimate).
+        let cfg = HeteroSvdConfig::builder(padded, padded)
+            .engine_parallelism(p_eng)
+            .task_parallelism(p_task)
+            .pl_freq_mhz(FREQ_MHZ)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(ITERATIONS)
+            .build()?;
+        let acc = Accelerator::new(cfg)?;
+        let out = acc.run(&svd_kernels::Matrix::zeros(padded, padded))?;
+        let latency_s = out.timing.task_time.as_secs();
+
+        rows.push(Table6Row {
+            p_eng,
+            p_task,
+            aie: eval.usage.aie,
+            uram: eval.usage.uram,
+            latency_ms: latency_s * 1e3,
+            throughput: p_task as f64 / latency_s,
+            power_watts: eval.power_watts,
+        });
+    }
+    Ok(rows)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reproduces_table6_p_task_column() {
+        // The placement model yields exactly the paper's maximum task
+        // parallelism for each P_eng at 256x256.
+        let rows = run(256, &[2, 4, 8]).unwrap();
+        let expect = [(2usize, 26usize), (4, 9), (8, 2)];
+        for (row, (p_eng, p_task)) in rows.iter().zip(expect) {
+            assert_eq!(row.p_eng, p_eng);
+            assert_eq!(
+                row.p_task, p_task,
+                "P_eng={p_eng}: max P_task {} vs paper {p_task}",
+                row.p_task
+            );
+        }
+    }
+
+    #[test]
+    fn latency_throughput_power_trends_match_paper() {
+        let rows = run(256, &[2, 4, 8]).unwrap();
+        // P_eng up: latency down, throughput down, power down.
+        for w in rows.windows(2) {
+            assert!(w[1].latency_ms < w[0].latency_ms);
+            assert!(w[1].throughput < w[0].throughput);
+            assert!(w[1].power_watts < w[0].power_watts);
+        }
+    }
+
+    #[test]
+    fn padded_p_eng6_runs() {
+        let rows = run(256, &[6]).unwrap();
+        assert_eq!(rows[0].p_eng, 6);
+        assert!(rows[0].p_task >= 2);
+    }
+
+    #[test]
+    fn aie_counts_near_paper() {
+        let rows = run(256, &[2, 4, 8]).unwrap();
+        let paper = [293.0, 357.0, 322.0];
+        for (row, paper_aie) in rows.iter().zip(paper) {
+            let rel = (row.aie as f64 - paper_aie).abs() / paper_aie;
+            assert!(
+                rel < 0.12,
+                "P_eng={}: {} AIEs vs paper {paper_aie}",
+                row.p_eng,
+                row.aie
+            );
+        }
+    }
+}

@@ -1,0 +1,46 @@
+#![warn(missing_docs)]
+
+//! Benchmark harness for the HeteroSVD reproduction.
+//!
+//! Each module under [`experiments`] regenerates one table or figure of
+//! the paper's evaluation (§V), returning structured rows that the
+//! `repro` binary prints side by side with the published numbers. The
+//! criterion benches under `benches/` measure the wall-clock cost of the
+//! same code paths.
+//!
+//! | Paper artifact | Regenerator |
+//! |---|---|
+//! | Table II (vs FPGA \[6\]) | [`experiments::table2`] |
+//! | Table III (vs GPU \[11\]) | [`experiments::table3`] |
+//! | Table IV (model vs on-board, fixed clock) | [`experiments::table4`] |
+//! | Table V (model vs on-board, DSE configs) | [`experiments::table5`] |
+//! | Table VI (micro-architecture sweep) | [`experiments::table6`] |
+//! | Fig. 3 (DMA counts) | [`experiments::fig3`] |
+//! | Fig. 9 (throughput + utilization) | [`experiments::fig9`] |
+//! | DSE flow (Eq. 15–16) | [`experiments::dse_report`] |
+//! | Co-design ablation (extension) | [`experiments::ablation`] |
+//! | Convergence study (extension) | [`experiments::convergence`] |
+//! | QoR / accuracy study (extension) | [`experiments::accuracy`] |
+
+pub mod experiments;
+pub mod workload;
+
+/// Formats a ratio as a speedup string (e.g. `1.98x`).
+pub fn speedup(ours: f64, theirs: f64) -> String {
+    if ours == 0.0 {
+        "inf".to_string()
+    } else {
+        format!("{:.2}x", theirs / ours)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn speedup_formats_ratio() {
+        assert_eq!(speedup(1.0, 2.0), "2.00x");
+        assert_eq!(speedup(0.0, 2.0), "inf");
+    }
+}

@@ -1,0 +1,461 @@
+//! The accelerator driver: Algorithm 1 end to end.
+
+use crate::config::{FidelityMode, HeteroSvdConfig};
+use crate::norm_pipeline::run_norm_stage;
+use crate::orth_pipeline::OrthPipeline;
+use crate::placement::Placement;
+use crate::timing::TimingBreakdown;
+use crate::HeteroSvdError;
+use aie_sim::ddr::DdrModel;
+use aie_sim::resources::ResourceUsage;
+use aie_sim::stats::SimStats;
+use aie_sim::time::TimePs;
+use svd_kernels::jacobi::{SvdResult, SweepStats};
+use svd_kernels::{Matrix, SvdError};
+
+/// Everything one accelerator run produces.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HeteroSvdOutput {
+    /// The factorization: `u` (normalized columns), `sigma`, convergence
+    /// history. `v` is `None` — Algorithm 1 outputs `U` and `Σ` only.
+    /// In timing-only fidelity the factors are zeros.
+    pub result: SvdResult<f32>,
+    /// Simulated hardware statistics.
+    pub stats: SimStats,
+    /// Timing breakdown (Eq. 8–14 decomposition).
+    pub timing: TimingBreakdown,
+    /// Resources the design occupies.
+    pub usage: ResourceUsage,
+    /// Per-pass execution trace (empty unless
+    /// [`HeteroSvdConfig::record_trace`] is set).
+    pub trace: Vec<crate::orth_pipeline::PassRecord>,
+}
+
+/// A configured HeteroSVD accelerator instance.
+///
+/// Construction validates the placement and the Eq. (16) resource budgets;
+/// [`Accelerator::run`] then factorizes matrices of the configured shape.
+#[derive(Debug, Clone)]
+pub struct Accelerator {
+    config: HeteroSvdConfig,
+    placement: Placement,
+}
+
+impl Accelerator {
+    /// Builds an accelerator, planning its placement and checking the
+    /// target device's resource budgets (Eq. 16).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeteroSvdError::Infeasible`] when the placement does not
+    /// fit tile memory or the design exceeds a resource budget.
+    pub fn new(config: HeteroSvdConfig) -> Result<Self, HeteroSvdError> {
+        let placement = Placement::plan(&config)?;
+        config.device.budget.check(&placement.usage())?;
+        Ok(Accelerator { config, placement })
+    }
+
+    /// The validated configuration.
+    pub fn config(&self) -> &HeteroSvdConfig {
+        &self.config
+    }
+
+    /// The planned placement.
+    pub fn placement(&self) -> &Placement {
+        &self.placement
+    }
+
+    /// Factorizes `a` (shape must match the configuration).
+    ///
+    /// # Errors
+    ///
+    /// * [`HeteroSvdError::InvalidConfig`] when `a`'s shape does not match.
+    /// * [`HeteroSvdError::Numeric`] when `a` is non-finite or the
+    ///   iteration fails to converge within `max_iterations` (adaptive
+    ///   mode only).
+    pub fn run(&self, a: &Matrix<f64>) -> Result<HeteroSvdOutput, HeteroSvdError> {
+        self.run_f32(&a.cast::<f32>())
+    }
+
+    /// [`Accelerator::run`] for an `f32` input (the device's native type).
+    pub fn run_f32(&self, a: &Matrix<f32>) -> Result<HeteroSvdOutput, HeteroSvdError> {
+        let cfg = &self.config;
+        if a.rows() != cfg.rows || a.cols() != cfg.cols {
+            return Err(HeteroSvdError::InvalidConfig(format!(
+                "matrix is {}x{} but the accelerator was configured for {}x{}",
+                a.rows(),
+                a.cols(),
+                cfg.rows,
+                cfg.cols
+            )));
+        }
+        if cfg.fidelity == FidelityMode::Functional && !a.is_finite() {
+            return Err(HeteroSvdError::Numeric(SvdError::NonFinite));
+        }
+
+        let mut b = a.clone();
+        let mut stats = SimStats::new();
+        let mut timing = TimingBreakdown::default();
+
+        // ---- First-iteration DDR loads (Eq. 12): blocks arrive serially.
+        let ddr = DdrModel::new(cfg.calibration);
+        let p = cfg.num_blocks();
+        let block_bytes = cfg.engine_parallelism * cfg.column_bytes();
+        let mut ready = Vec::with_capacity(p);
+        let mut t = TimePs::ZERO;
+        for _ in 0..p {
+            t += ddr.burst_time(block_bytes);
+            ready.push(t);
+            stats.ddr_bytes += block_bytes;
+        }
+        timing.ddr_time = t;
+
+        // ---- Orthogonalization iterations, driven by the system module
+        // (Fig. 2): it decides when to leave the orthogonalization stage.
+        let mut pipe = OrthPipeline::new(cfg, &self.placement);
+        pipe.set_block_ready(ready);
+        pipe.set_norm_floor_sq(a.column_norm_floor_sq());
+
+        let mut system = crate::pl_modules::SystemModule::new(
+            cfg.precision,
+            cfg.max_iterations,
+            cfg.fixed_iterations,
+        );
+        let mut history = Vec::new();
+        let mut orth_end = timing.ddr_time;
+        let mut last_convergence = 0.0;
+
+        while system.phase() == crate::pl_modules::Phase::Orthogonalizing {
+            let outcome = pipe.run_iteration(&mut b);
+            orth_end = outcome.end;
+            timing.iteration_ends.push(outcome.end);
+            history.push(SweepStats {
+                sweep: system.iterations(),
+                max_convergence: outcome.max_convergence,
+                rotations: outcome.rotations,
+            });
+            last_convergence = outcome.max_convergence;
+            system.iteration_done(outcome.max_convergence);
+        }
+
+        if cfg.fidelity == FidelityMode::Functional && system.hit_iteration_budget(last_convergence)
+        {
+            return Err(HeteroSvdError::Numeric(SvdError::NotConverged {
+                sweeps: history.len(),
+                off_diagonal: last_convergence,
+            }));
+        }
+
+        let (orth_stats, trace) = pipe.into_parts();
+        stats.merge(&orth_stats);
+        stats.iterations = history.len();
+
+        // ---- Normalization stage (Eq. 7).
+        let norm = run_norm_stage(cfg, &self.placement, &mut b, orth_end, &mut stats);
+        timing.norm_time = norm.end.saturating_sub(orth_end);
+
+        // ---- Results back to DDR.
+        let result_bytes = cfg.rows * cfg.cols * 4 + cfg.cols * 4;
+        let store = ddr.burst_time(result_bytes);
+        stats.ddr_bytes += result_bytes;
+        timing.task_time = norm.end + store;
+        stats.elapsed = timing.task_time;
+
+        let sigma = if cfg.fidelity == FidelityMode::Functional {
+            norm.sigma
+        } else {
+            vec![0.0; cfg.cols]
+        };
+
+        Ok(HeteroSvdOutput {
+            result: SvdResult {
+                u: b,
+                sigma,
+                v: None,
+                sweeps: history.len(),
+                history,
+            },
+            stats,
+            timing,
+            usage: self.placement.usage(),
+            trace,
+        })
+    }
+
+    /// Factorizes a batch of distinct matrices in parallel (one OS
+    /// thread per matrix, `crossbeam`-scoped): the functional results of
+    /// each task pipeline. The batch's *system time* still follows
+    /// Eq. (14) — `⌈B / P_task⌉ · t_task` — since the pipelines are
+    /// identical replicas; it is returned alongside the outputs.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first error any task produced.
+    pub fn run_many(
+        &self,
+        matrices: &[Matrix<f64>],
+    ) -> Result<(Vec<HeteroSvdOutput>, TimePs), HeteroSvdError> {
+        if matrices.is_empty() {
+            return Err(HeteroSvdError::InvalidConfig(
+                "batch must contain at least one matrix".into(),
+            ));
+        }
+        let outputs = crossbeam::scope(|scope| {
+            let handles: Vec<_> = matrices
+                .iter()
+                .map(|a| scope.spawn(move |_| self.run(a)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("batch worker panicked"))
+                .collect::<Result<Vec<_>, _>>()
+        })
+        .expect("batch scope panicked")?;
+        let t_task = outputs
+            .iter()
+            .map(|o| o.timing.task_time)
+            .fold(TimePs::ZERO, TimePs::max);
+        let waves = matrices.len().div_ceil(self.config.task_parallelism) as u64;
+        Ok((outputs, TimePs(t_task.0 * waves)))
+    }
+
+    /// The movement/DMA analysis of one block-pair pass under this
+    /// accelerator's ordering, dataflow, and physical placement rows
+    /// (the Fig. 3 analysis specialized to the planned design).
+    pub fn movement_report(&self) -> svd_orderings::movement::MovementReport {
+        let placement = &self.placement;
+        svd_orderings::movement::analyze_with_rows(
+            self.config.ordering,
+            self.config.dataflow,
+            self.config.engine_parallelism,
+            |layer| placement.row_of_layer(layer.min(placement.num_layers() - 1)),
+        )
+    }
+
+    /// Simulates a batch of `num_tasks` identical tasks: one task is
+    /// simulated, then the system time follows Eq. (14)
+    /// (`⌈num_tasks/P_task⌉ · t_task` — the `P_task` pipelines are
+    /// independent replicas).
+    ///
+    /// Returns the single-task output plus the batch system time.
+    pub fn run_batch(
+        &self,
+        a: &Matrix<f64>,
+        num_tasks: usize,
+    ) -> Result<(HeteroSvdOutput, TimePs), HeteroSvdError> {
+        if num_tasks == 0 {
+            return Err(HeteroSvdError::InvalidConfig(
+                "batch must contain at least one task".into(),
+            ));
+        }
+        let out = self.run(a)?;
+        let sys = out
+            .timing
+            .system_time(num_tasks, self.config.task_parallelism);
+        Ok((out, sys))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svd_kernels::jacobi::{hestenes_jacobi, JacobiOptions};
+    use svd_kernels::verify;
+
+    fn sample(n: usize) -> Matrix<f64> {
+        Matrix::from_fn(n, n, |r, c| {
+            ((r * 41 + c * 17 + 5) % 23) as f64 / 5.0 - 2.0 + if r == c { 2.0 } else { 0.0 }
+        })
+    }
+
+    fn accel(n: usize, p_eng: usize) -> Accelerator {
+        Accelerator::new(
+            HeteroSvdConfig::builder(n, n)
+                .engine_parallelism(p_eng)
+                .pl_freq_mhz(208.3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn factorization_matches_golden_model() {
+        let a = sample(32);
+        let out = accel(32, 4).run(&a).unwrap();
+        let golden = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let err = verify::singular_value_error(
+            &golden.sorted_singular_values(),
+            &out.result.sorted_singular_values(),
+        );
+        assert!(err < 1e-4, "singular value error {err}");
+        assert!(verify::column_orthogonality_error(&out.result.u) < 1e-3);
+    }
+
+    #[test]
+    fn reconstruction_error_is_small() {
+        let a = sample(16);
+        let out = accel(16, 2).run(&a).unwrap();
+        assert!(out.result.reconstruction_error(&a.cast()) < 1e-4);
+    }
+
+    #[test]
+    fn shape_mismatch_is_rejected() {
+        let a = sample(16);
+        let err = accel(32, 4).run(&a).unwrap_err();
+        assert!(matches!(err, HeteroSvdError::InvalidConfig(_)));
+    }
+
+    #[test]
+    fn non_finite_input_rejected() {
+        let mut a = sample(16);
+        a[(3, 3)] = f64::NAN;
+        let err = accel(16, 2).run(&a).unwrap_err();
+        assert!(matches!(
+            err,
+            HeteroSvdError::Numeric(SvdError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn timing_is_populated_and_ordered() {
+        let a = sample(16);
+        let out = accel(16, 2).run(&a).unwrap();
+        assert!(out.timing.ddr_time > TimePs::ZERO);
+        assert!(out.timing.iterations() >= 1);
+        let ends = &out.timing.iteration_ends;
+        assert!(ends.windows(2).all(|w| w[0] < w[1]));
+        assert!(out.timing.task_time > *ends.last().unwrap());
+        assert_eq!(out.stats.elapsed, out.timing.task_time);
+    }
+
+    #[test]
+    fn fixed_iterations_run_exactly() {
+        let a = sample(16);
+        let acc = Accelerator::new(
+            HeteroSvdConfig::builder(16, 16)
+                .engine_parallelism(2)
+                .fixed_iterations(6)
+                .pl_freq_mhz(208.3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let out = acc.run(&a).unwrap();
+        assert_eq!(out.timing.iterations(), 6);
+        assert_eq!(out.result.sweeps, 6);
+    }
+
+    #[test]
+    fn timing_only_mode_skips_math() {
+        let a = sample(16);
+        let acc = Accelerator::new(
+            HeteroSvdConfig::builder(16, 16)
+                .engine_parallelism(2)
+                .fidelity(FidelityMode::TimingOnly)
+                .fixed_iterations(6)
+                .pl_freq_mhz(208.3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        let out = acc.run(&a).unwrap();
+        assert!(out.timing.task_time > TimePs::ZERO);
+        assert!(out.result.sigma.iter().all(|&s| s == 0.0));
+        assert_eq!(out.stats.orth_invocations, 6 * 28 * 6); // iters*passes*pairs
+    }
+
+    #[test]
+    fn timing_only_matches_functional_timing() {
+        // The clock must not depend on fidelity: identical schedules.
+        let a = sample(16);
+        let functional = accel(16, 2);
+        let f_out = {
+            let acc = Accelerator::new(
+                HeteroSvdConfig::builder(16, 16)
+                    .engine_parallelism(2)
+                    .fixed_iterations(4)
+                    .pl_freq_mhz(208.3)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            acc.run(&a).unwrap()
+        };
+        let t_out = {
+            let acc = Accelerator::new(
+                HeteroSvdConfig::builder(16, 16)
+                    .engine_parallelism(2)
+                    .fidelity(FidelityMode::TimingOnly)
+                    .fixed_iterations(4)
+                    .pl_freq_mhz(208.3)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap();
+            acc.run(&a).unwrap()
+        };
+        let _ = functional;
+        assert_eq!(f_out.timing.task_time, t_out.timing.task_time);
+    }
+
+    #[test]
+    fn run_many_factorizes_each_matrix() {
+        let acc = accel(16, 2);
+        let mats: Vec<Matrix<f64>> = (0..4).map(|i| sample(16).scaled(1.0 + i as f64)).collect();
+        let (outs, sys) = acc.run_many(&mats).unwrap();
+        assert_eq!(outs.len(), 4);
+        // Scaling the matrix scales sigma: outputs must differ accordingly.
+        let s0 = outs[0].result.sorted_singular_values()[0];
+        let s3 = outs[3].result.sorted_singular_values()[0];
+        assert!((s3 / s0 - 4.0).abs() < 1e-3, "{s3} vs {s0}");
+        // P_task = 1: four waves.
+        assert_eq!(sys.0, outs[0].timing.task_time.0 * 4);
+        assert!(acc.run_many(&[]).is_err());
+    }
+
+    #[test]
+    fn movement_report_matches_configured_design() {
+        let acc = accel(16, 2);
+        let report = acc.movement_report();
+        // Single band at k=2: the co-design's 2(k-1) = 2 DMAs per pass.
+        assert_eq!(report.dma_transfers, 2);
+    }
+
+    #[test]
+    fn batch_system_time_follows_eq14() {
+        let a = sample(16);
+        let acc = accel(16, 2);
+        let (out, sys) = acc.run_batch(&a, 10).unwrap();
+        // P_task = 1: 10 sequential waves.
+        assert_eq!(sys.0, out.timing.task_time.0 * 10);
+        assert!(acc.run_batch(&a, 0).is_err());
+    }
+
+    #[test]
+    fn higher_engine_parallelism_reduces_latency() {
+        let a = sample(64);
+        let slow = accel(64, 2).run(&a).unwrap();
+        let fast = accel(64, 8).run(&a).unwrap();
+        assert!(
+            fast.timing.task_time < slow.timing.task_time,
+            "P_eng=8 {} vs P_eng=2 {}",
+            fast.timing.task_time,
+            slow.timing.task_time
+        );
+    }
+
+    #[test]
+    fn infeasible_designs_rejected_at_construction() {
+        // P_eng=8 and P_task=26 blows the AIE budget.
+        let cfg = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(8)
+            .task_parallelism(26)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Accelerator::new(cfg),
+            Err(HeteroSvdError::Infeasible(_))
+        ));
+    }
+}

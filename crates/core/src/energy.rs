@@ -1,0 +1,148 @@
+//! Per-component energy attribution for a simulated run.
+//!
+//! The paper reports energy efficiency as throughput per watt of board
+//! power (Table III). This module decomposes a run's energy into its
+//! architectural sources — static leakage, AIE compute, stream traffic,
+//! DDR — so design decisions (e.g. the co-design's DMA reduction) can be
+//! costed in joules, not just seconds.
+
+use crate::accelerator::HeteroSvdOutput;
+use aie_sim::calibration::PowerCalibration;
+use serde::{Deserialize, Serialize};
+
+/// Per-operation energy constants.
+///
+/// The dynamic constants are typical 7 nm-class values (tens of pJ per
+/// fp32 vector op, single-digit pJ/byte for on-chip movement, tens of
+/// pJ/byte at DDR); the static terms reuse the Table VI power fit so the
+/// run-average power stays consistent with [`PowerCalibration`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct EnergyModel {
+    /// Static power applied for the whole run (W).
+    pub static_watts: f64,
+    /// Energy per AIE-core busy second (J/s = W per busy core).
+    pub watts_per_busy_core: f64,
+    /// Energy per byte over a PLIO stream (J/byte).
+    pub plio_joules_per_byte: f64,
+    /// Energy per byte over inter-tile DMA (J/byte).
+    pub dma_joules_per_byte: f64,
+    /// Energy per byte to/from DDR (J/byte).
+    pub ddr_joules_per_byte: f64,
+}
+
+impl EnergyModel {
+    /// Defaults derived from the [`PowerCalibration`] fit plus typical
+    /// per-byte movement energies.
+    pub const DEFAULT: EnergyModel = EnergyModel {
+        static_watts: PowerCalibration::DEFAULT.base_watts,
+        watts_per_busy_core: 0.06,
+        plio_joules_per_byte: 5.0e-12,
+        dma_joules_per_byte: 10.0e-12,
+        ddr_joules_per_byte: 50.0e-12,
+    };
+}
+
+impl Default for EnergyModel {
+    fn default() -> Self {
+        EnergyModel::DEFAULT
+    }
+}
+
+/// Energy of one run, by source.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct EnergyBreakdown {
+    /// Static/leakage energy over the run (J).
+    pub static_j: f64,
+    /// Orth/norm kernel compute energy (J).
+    pub compute_j: f64,
+    /// PLIO stream traffic energy (J).
+    pub plio_j: f64,
+    /// Inter-tile DMA traffic energy (J).
+    pub dma_j: f64,
+    /// DDR traffic energy (J).
+    pub ddr_j: f64,
+}
+
+impl EnergyBreakdown {
+    /// Total energy (J).
+    pub fn total(&self) -> f64 {
+        self.static_j + self.compute_j + self.plio_j + self.dma_j + self.ddr_j
+    }
+
+    /// Run-average power (W) over an elapsed time in seconds.
+    pub fn average_watts(&self, elapsed_secs: f64) -> f64 {
+        if elapsed_secs <= 0.0 {
+            0.0
+        } else {
+            self.total() / elapsed_secs
+        }
+    }
+}
+
+impl HeteroSvdOutput {
+    /// Attributes the run's energy to its architectural sources.
+    pub fn energy_breakdown(&self, model: &EnergyModel) -> EnergyBreakdown {
+        let elapsed = self.stats.elapsed.as_secs();
+        EnergyBreakdown {
+            static_j: model.static_watts * elapsed,
+            compute_j: model.watts_per_busy_core * self.stats.orth_busy.as_secs(),
+            plio_j: model.plio_joules_per_byte
+                * (self.stats.plio_bytes_in + self.stats.plio_bytes_out) as f64,
+            dma_j: model.dma_joules_per_byte * self.stats.dma_bytes as f64,
+            ddr_j: model.ddr_joules_per_byte * self.stats.ddr_bytes as f64,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Accelerator, FidelityMode, HeteroSvdConfig};
+    use svd_kernels::Matrix;
+
+    fn run(ordering: svd_orderings::movement::OrderingKind,
+           dataflow: svd_orderings::movement::DataflowKind) -> HeteroSvdOutput {
+        let cfg = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(4)
+            .ordering(ordering)
+            .dataflow(dataflow)
+            .pl_freq_mhz(208.3)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()
+            .unwrap();
+        Accelerator::new(cfg).unwrap().run(&Matrix::zeros(64, 64)).unwrap()
+    }
+
+    #[test]
+    fn breakdown_sums_and_average_power_is_plausible() {
+        use svd_orderings::movement::{DataflowKind, OrderingKind};
+        let out = run(OrderingKind::ShiftingRing, DataflowKind::Relocated);
+        let e = out.energy_breakdown(&EnergyModel::default());
+        let parts = e.static_j + e.compute_j + e.plio_j + e.dma_j + e.ddr_j;
+        assert!((e.total() - parts).abs() < 1e-15);
+        let avg = e.average_watts(out.stats.elapsed.as_secs());
+        // Dominated by static power for one small pipeline; must land in
+        // the board's plausible envelope (Table III header: < 39 W board).
+        assert!((15.0..60.0).contains(&avg), "average power {avg} W");
+        assert!(e.static_j > 0.0 && e.compute_j > 0.0 && e.dma_j > 0.0);
+    }
+
+    #[test]
+    fn codesign_saves_dma_energy() {
+        use svd_orderings::movement::{DataflowKind, OrderingKind};
+        let naive = run(OrderingKind::Ring, DataflowKind::NaiveMemory)
+            .energy_breakdown(&EnergyModel::default());
+        let codesign = run(OrderingKind::ShiftingRing, DataflowKind::Relocated)
+            .energy_breakdown(&EnergyModel::default());
+        assert!(codesign.dma_j < naive.dma_j);
+        assert!(codesign.total() <= naive.total());
+    }
+
+    #[test]
+    fn zero_elapsed_yields_zero_average_power() {
+        let e = EnergyBreakdown::default();
+        assert_eq!(e.average_watts(0.0), 0.0);
+        assert_eq!(e.total(), 0.0);
+    }
+}

@@ -1,0 +1,74 @@
+use aie_sim::SimError;
+use std::error::Error;
+use std::fmt;
+use svd_kernels::SvdError;
+
+/// Errors produced by the HeteroSVD accelerator.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum HeteroSvdError {
+    /// An invalid configuration value was supplied.
+    InvalidConfig(String),
+    /// The design does not fit the platform (placement or Eq. 16 budgets).
+    Infeasible(SimError),
+    /// A numerical error from the SVD kernels.
+    Numeric(SvdError),
+}
+
+impl fmt::Display for HeteroSvdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            HeteroSvdError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            HeteroSvdError::Infeasible(e) => write!(f, "infeasible design: {e}"),
+            HeteroSvdError::Numeric(e) => write!(f, "numerical failure: {e}"),
+        }
+    }
+}
+
+impl Error for HeteroSvdError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            HeteroSvdError::Infeasible(e) => Some(e),
+            HeteroSvdError::Numeric(e) => Some(e),
+            HeteroSvdError::InvalidConfig(_) => None,
+        }
+    }
+}
+
+impl From<SimError> for HeteroSvdError {
+    fn from(e: SimError) -> Self {
+        HeteroSvdError::Infeasible(e)
+    }
+}
+
+impl From<SvdError> for HeteroSvdError {
+    fn from(e: SvdError) -> Self {
+        HeteroSvdError::Numeric(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_source() {
+        let e = HeteroSvdError::from(SimError::ResourceExceeded {
+            resource: "AIE",
+            used: 500,
+            budget: 400,
+        });
+        assert!(e.to_string().contains("infeasible"));
+        assert!(e.source().is_some());
+
+        let e = HeteroSvdError::InvalidConfig("p_eng must be >= 1".into());
+        assert!(e.source().is_none());
+        assert!(e.to_string().contains("p_eng"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<HeteroSvdError>();
+    }
+}

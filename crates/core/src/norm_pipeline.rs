@@ -1,0 +1,168 @@
+//! The normalization pipeline (Algorithm 1 lines 18–26; Eq. 7).
+//!
+//! After the orthogonalization stage converges, each block streams to the
+//! `k` norm-AIEs over the two norm PLIOs ("the two blocks in the block
+//! pair are transmitted sequentially between the PL and AIE", §III-C).
+//! Each norm-AIE computes `σⱼ = ‖bⱼ‖₂` and `uⱼ = bⱼ/σⱼ` for its columns;
+//! results return to the PL and finally to DDR.
+
+use crate::config::{FidelityMode, HeteroSvdConfig};
+use crate::placement::Placement;
+use aie_sim::kernel::KernelCostModel;
+use aie_sim::plio::{PlioDirection, PlioModel};
+use aie_sim::stats::SimStats;
+use aie_sim::time::TimePs;
+use aie_sim::timeline::Timeline;
+use svd_kernels::Matrix;
+
+/// Result of the normalization stage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NormOutcome {
+    /// Completion time of the stage (absolute simulation clock).
+    pub end: TimePs,
+    /// Singular values per column (empty in timing-only fidelity).
+    pub sigma: Vec<f32>,
+}
+
+/// Runs the normalization stage.
+///
+/// `b` holds the converged orthogonal columns; in functional fidelity the
+/// columns are normalized in place (becoming `U`) and `sigma` is returned.
+/// `start` is the simulation time the orth stage finished.
+pub fn run_norm_stage(
+    config: &HeteroSvdConfig,
+    placement: &Placement,
+    b: &mut Matrix<f32>,
+    start: TimePs,
+    stats: &mut SimStats,
+) -> NormOutcome {
+    let k = config.engine_parallelism;
+    let m_bytes = config.column_bytes();
+    let plio = PlioModel::new(config.calibration, config.pl_freq);
+    let kernels = KernelCostModel::new(config.calibration);
+    let functional = config.fidelity == FidelityMode::Functional;
+
+    let mut plio_in = Timeline::new();
+    let mut plio_out = Timeline::new();
+    let mut cores = vec![Timeline::new(); k];
+    let _ = placement; // placement fixes the norm tiles; counts already in usage
+
+    let tx = plio.throttled_transfer_time(m_bytes, 1, PlioDirection::ToAie, 1);
+    let rx = plio.throttled_transfer_time(m_bytes, 1, PlioDirection::ToPl, 1);
+    let norm_dur = kernels.norm_time(config.rows);
+
+    let mut sigma = Vec::with_capacity(if functional { config.cols } else { 0 });
+    let mut end = start;
+    for col in 0..config.cols {
+        // Tx the column to its norm-AIE (columns round-robin over cores).
+        let (_, tx_end) = plio_in.schedule(start, tx);
+        stats.plio_bytes_in += m_bytes;
+        stats.plio_busy += tx;
+
+        let core = col % k;
+        let (_, k_end) = cores[core].schedule(tx_end, norm_dur);
+        stats.norm_invocations += 1;
+
+        if functional {
+            let c = b.col_mut(col);
+            let norm_sq: f32 = c.iter().map(|&x| x * x).sum();
+            let norm = norm_sq.sqrt();
+            sigma.push(norm);
+            if norm > 0.0 {
+                let inv = 1.0 / norm;
+                for x in c.iter_mut() {
+                    *x *= inv;
+                }
+            }
+        }
+
+        let (_, rx_end) = plio_out.schedule(k_end, rx);
+        stats.plio_bytes_out += m_bytes;
+        stats.plio_busy += rx;
+        end = end.max(rx_end);
+    }
+
+    NormOutcome { end, sigma }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeteroSvdConfig;
+    use crate::placement::Placement;
+
+    fn setup(n: usize) -> (HeteroSvdConfig, Placement) {
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(2)
+            .pl_freq_mhz(208.3)
+            .build()
+            .unwrap();
+        let placement = Placement::plan(&cfg).unwrap();
+        (cfg, placement)
+    }
+
+    #[test]
+    fn normalizes_columns_and_returns_sigma() {
+        let (cfg, placement) = setup(8);
+        let mut b = Matrix::from_fn(8, 8, |r, c| if r == c { (c + 1) as f32 } else { 0.0 });
+        let mut stats = SimStats::new();
+        let out = run_norm_stage(&cfg, &placement, &mut b, TimePs::ZERO, &mut stats);
+        assert_eq!(out.sigma.len(), 8);
+        for (j, &s) in out.sigma.iter().enumerate() {
+            assert!((s - (j + 1) as f32).abs() < 1e-6);
+            assert!((b[(j, j)] - 1.0).abs() < 1e-6);
+        }
+        assert_eq!(stats.norm_invocations, 8);
+        assert!(out.end > TimePs::ZERO);
+    }
+
+    #[test]
+    fn zero_columns_are_left_zero() {
+        let (cfg, placement) = setup(8);
+        let mut b: Matrix<f32> = Matrix::zeros(8, 8);
+        let mut stats = SimStats::new();
+        let out = run_norm_stage(&cfg, &placement, &mut b, TimePs::ZERO, &mut stats);
+        assert!(out.sigma.iter().all(|&s| s == 0.0));
+        assert!(b.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn stage_time_scales_with_columns() {
+        let (cfg8, p8) = setup(8);
+        let (cfg16, p16) = setup(16);
+        let mut s1 = SimStats::new();
+        let mut s2 = SimStats::new();
+        let t8 = run_norm_stage(
+            &cfg8,
+            &p8,
+            &mut Matrix::zeros(8, 8),
+            TimePs::ZERO,
+            &mut s1,
+        )
+        .end;
+        let t16 = run_norm_stage(
+            &cfg16,
+            &p16,
+            &mut Matrix::zeros(16, 16),
+            TimePs::ZERO,
+            &mut s2,
+        )
+        .end;
+        assert!(t16 > t8);
+    }
+
+    #[test]
+    fn starts_after_given_time() {
+        let (cfg, placement) = setup(8);
+        let mut stats = SimStats::new();
+        let start = TimePs(1_000_000);
+        let out = run_norm_stage(
+            &cfg,
+            &placement,
+            &mut Matrix::zeros(8, 8),
+            start,
+            &mut stats,
+        );
+        assert!(out.end > start);
+    }
+}

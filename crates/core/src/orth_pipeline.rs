@@ -1,0 +1,561 @@
+//! The orthogonalization pipeline: block pairs streaming through the
+//! orth-AIE layers (Algorithm 1 lines 4–16; pipeline model of Fig. 7).
+//!
+//! Each block-pair pass:
+//!
+//! 1. **Tx** — the `2k` columns stream from the PL sender FIFOs through
+//!    the four input PLIOs (dynamic-forwarding packets, one per column).
+//! 2. **Layers** — the pass flows through the `2k−1` orth-layers. Between
+//!    layers, columns move per the ordering's movement pattern; neighbor
+//!    accesses cost a lock hand-off, DMA transfers serialize on the
+//!    layer's DMA channel and occupy a doubled buffer. Band-break
+//!    transitions (across placement bands) route through a mem-layer:
+//!    every column pays a double DMA hop.
+//! 3. **Rx** — updated columns return to the PL receiver FIFOs over the
+//!    two output PLIOs; the blocks become available for their next pass.
+//!
+//! Passes pipeline freely until a round-robin dependency forces a stall
+//! (a block's next pass cannot start before its previous Rx completes) —
+//! the `t_algo`/`t_datawait` effects of Eq. (10)–(11) emerge from this
+//! dependency tracking rather than being bolted on.
+
+use crate::config::{FidelityMode, HeteroSvdConfig};
+use crate::placement::Placement;
+use crate::routing::PlioPlan;
+use aie_sim::dma::DmaModel;
+use aie_sim::kernel::KernelCostModel;
+use aie_sim::pl::PlModel;
+use aie_sim::plio::{PlioDirection, PlioModel};
+use aie_sim::stats::SimStats;
+use aie_sim::time::TimePs;
+use aie_sim::timeline::Timeline;
+use svd_kernels::block::BlockPartition;
+use svd_kernels::rotation::orthogonalize_pair_gated;
+use svd_kernels::Matrix;
+use svd_orderings::movement::{classify, AccessKind, Movement};
+use svd_orderings::HardwareSchedule;
+
+/// One block-pair pass in the execution trace (enabled with
+/// [`crate::HeteroSvdConfigBuilder::record_trace`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize, serde::Deserialize)]
+pub struct PassRecord {
+    /// Outer iteration index.
+    pub iteration: usize,
+    /// Pass index within the iteration.
+    pub pass: usize,
+    /// The block pair processed.
+    pub blocks: (usize, usize),
+    /// When the pass's Tx became eligible (both blocks ready).
+    pub ready: TimePs,
+    /// When both blocks were back in the PL FIFOs.
+    pub end: TimePs,
+}
+
+/// Result of one orthogonalization iteration.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct IterationOutcome {
+    /// Wall-clock completion time of the iteration.
+    pub end: TimePs,
+    /// Largest Eq. (6) convergence measure observed (0 in timing-only).
+    pub max_convergence: f64,
+    /// Non-identity rotations applied (0 in timing-only).
+    pub rotations: usize,
+}
+
+/// The orth-stage simulator. One instance persists across iterations so
+/// that resource timelines (and therefore pipelining) carry over.
+#[derive(Debug)]
+pub struct OrthPipeline<'a> {
+    config: &'a HeteroSvdConfig,
+    placement: &'a Placement,
+    schedule: HardwareSchedule,
+    partition: BlockPartition,
+    plan: PlioPlan,
+    plio: PlioModel,
+    dma: DmaModel,
+    kernels: KernelCostModel,
+    pl: PlModel,
+    plio_in: Vec<Timeline>,
+    plio_out: Vec<Timeline>,
+    cores: Vec<Timeline>,
+    /// Per-(layer, slot) tile DMA channels (lateral DMA and band-break
+    /// copies through the mem-layer tiles run in parallel across slots).
+    dma_channels: Vec<Timeline>,
+    /// Per-layer DMA-layer tile channel (the wraparound copy's landing
+    /// buffer is a single dedicated mem-AIE per layer, §III-C).
+    wrap_channels: Vec<Timeline>,
+    /// Per-layer row stream-switch backbone: lateral DMA hops within a
+    /// row share its bandwidth and serialize (the congestion the
+    /// co-design eliminates).
+    switch_channels: Vec<Timeline>,
+    /// Time each block's data is available in the PL FIFOs.
+    block_ready: Vec<TimePs>,
+    /// Numerical-noise gate for rotations (see
+    /// [`svd_kernels::rotation::compute_rotation_gated`]).
+    norm_floor_sq: f32,
+    stats: SimStats,
+    trace: Vec<PassRecord>,
+    iterations_run: usize,
+}
+
+impl<'a> OrthPipeline<'a> {
+    /// Builds the pipeline for a validated configuration and placement.
+    pub fn new(config: &'a HeteroSvdConfig, placement: &'a Placement) -> Self {
+        let k = config.engine_parallelism;
+        let layers = placement.num_layers();
+        let partition = BlockPartition::new(config.cols, k)
+            .expect("config validation guarantees divisibility");
+        let plan = PlioPlan::standard();
+        OrthPipeline {
+            config,
+            placement,
+            schedule: HardwareSchedule::new(k, config.ordering),
+            partition,
+            plan,
+            plio: PlioModel::new(config.calibration, config.pl_freq),
+            dma: DmaModel::new(config.calibration),
+            kernels: KernelCostModel::new(config.calibration),
+            pl: PlModel::new(config.calibration),
+            plio_in: vec![Timeline::new(); plan.orth_in],
+            plio_out: vec![Timeline::new(); plan.orth_out],
+            cores: vec![Timeline::new(); layers * k],
+            dma_channels: vec![Timeline::new(); layers.max(1) * k],
+            wrap_channels: vec![Timeline::new(); layers.max(1)],
+            switch_channels: vec![Timeline::new(); layers.max(1)],
+            block_ready: vec![TimePs::ZERO; partition.num_blocks()],
+            norm_floor_sq: 0.0,
+            stats: SimStats::new(),
+            trace: Vec::new(),
+            iterations_run: 0,
+        }
+    }
+
+    /// Sets the initial availability of each block (the serialized DDR
+    /// loads of the first iteration, Eq. 12).
+    pub fn set_block_ready(&mut self, ready: Vec<TimePs>) {
+        assert_eq!(ready.len(), self.block_ready.len(), "block count mismatch");
+        self.block_ready = ready;
+    }
+
+    /// Sets the numerical-noise floor for rotation gating (computed from
+    /// the input matrix; see [`Matrix::column_norm_floor_sq`]).
+    pub fn set_norm_floor_sq(&mut self, floor_sq: f32) {
+        self.norm_floor_sq = floor_sq;
+    }
+
+    /// Accumulated statistics.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+
+    /// Consumes the pipeline, returning its statistics.
+    pub fn into_stats(self) -> SimStats {
+        self.stats
+    }
+
+    /// The recorded execution trace (empty unless
+    /// [`crate::HeteroSvdConfig::record_trace`] is set).
+    pub fn trace(&self) -> &[PassRecord] {
+        &self.trace
+    }
+
+    /// Consumes the pipeline, returning `(stats, trace)`.
+    pub fn into_parts(self) -> (SimStats, Vec<PassRecord>) {
+        (self.stats, self.trace)
+    }
+
+    /// Runs one full iteration over all block pairs, updating `b` in
+    /// place when the fidelity is functional.
+    pub fn run_iteration(&mut self, b: &mut Matrix<f32>) -> IterationOutcome {
+        let p = self.partition.num_blocks();
+        let mut max_conv = 0.0_f64;
+        let mut rotations = 0usize;
+        let mut iteration_end = self
+            .block_ready
+            .iter()
+            .copied()
+            .fold(TimePs::ZERO, TimePs::max);
+
+        // Config validation guarantees cols % (2·P_eng) == 0, so there are
+        // always at least two blocks.
+        debug_assert!(p >= 2, "block count must be >= 2");
+        let schedule = svd_kernels::block::BlockPairSchedule::round_robin(p);
+        for (pass, (u, v)) in schedule.iter().enumerate() {
+            let cols = self.partition.pair_columns(u, v);
+            let ready = self.block_ready[u].max(self.block_ready[v]);
+            let end = self.run_pass(b, u, v, &cols, &mut max_conv, &mut rotations);
+            if self.config.record_trace {
+                self.trace.push(PassRecord {
+                    iteration: self.iterations_run,
+                    pass,
+                    blocks: (u, v),
+                    ready,
+                    end,
+                });
+            }
+            iteration_end = iteration_end.max(end);
+        }
+
+        self.iterations_run += 1;
+        self.stats.iterations += 1;
+        IterationOutcome {
+            end: iteration_end,
+            max_convergence: max_conv,
+            rotations,
+        }
+    }
+
+    /// Streams one block pair through the array. Returns the time both
+    /// blocks are back in the PL FIFOs.
+    fn run_pass(
+        &mut self,
+        b: &mut Matrix<f32>,
+        u: usize,
+        v: usize,
+        cols: &[usize],
+        max_conv: &mut f64,
+        rotations: &mut usize,
+    ) -> TimePs {
+        let k = self.config.engine_parallelism;
+        let m_bytes = self.config.column_bytes();
+        let num_cols = cols.len();
+        let ready = self.block_ready[u].max(self.block_ready[v]);
+        let functional = self.config.fidelity == FidelityMode::Functional;
+
+        // ---- Tx: PL -> AIE over the four input ports (Eq. 8). ----
+        let tx_dur =
+            self.plio
+                .throttled_transfer_time(m_bytes, 1, PlioDirection::ToAie, self.active_ports());
+        let mut col_avail = vec![TimePs::ZERO; num_cols];
+        for (local, _global) in cols.iter().enumerate() {
+            let port = self.plan.input_port_of_column(local, k);
+            let (_, end) = self.plio_in[port].schedule(ready, tx_dur);
+            col_avail[local] = end;
+            self.stats.plio_bytes_in += m_bytes;
+            self.stats.plio_busy += tx_dur;
+        }
+
+        // ---- Layers. ----
+        let layers = self.placement.num_layers();
+        let mut prev_end = vec![TimePs::ZERO; k];
+        for layer in 0..layers {
+            let pairs = self.schedule.layers()[layer].pairs_by_slot.clone();
+            let mut slot_ready = vec![TimePs::ZERO; k];
+
+            if layer == 0 {
+                for (s, &(i, j)) in pairs.iter().enumerate() {
+                    slot_ready[s] = col_avail[i].max(col_avail[j]);
+                }
+            } else {
+                self.movement_ready(layer, &prev_end, &mut slot_ready, m_bytes);
+            }
+
+            let orth_dur = self.kernels.orth_time(self.config.rows);
+            let mut layer_end = vec![TimePs::ZERO; k];
+            for (s, &(i, j)) in pairs.iter().enumerate() {
+                let (_, end) = self.cores[layer * k + s].schedule(slot_ready[s], orth_dur);
+                layer_end[s] = end;
+                self.stats.orth_invocations += 1;
+                self.stats.orth_busy += orth_dur;
+                if functional {
+                    let (ci, cj) = b.col_pair_mut(cols[i], cols[j]);
+                    let conv = orthogonalize_pair_gated(ci, cj, self.norm_floor_sq) as f64;
+                    if conv > 0.0 {
+                        *rotations += 1;
+                    }
+                    if conv > *max_conv {
+                        *max_conv = conv;
+                    }
+                }
+            }
+            prev_end = layer_end;
+        }
+
+        // ---- Rx: AIE -> PL over the two output ports. ----
+        let last_pairs = &self.schedule.layers()[layers - 1].pairs_by_slot;
+        let mut col_slot = vec![0usize; num_cols];
+        for (s, &(i, j)) in last_pairs.iter().enumerate() {
+            col_slot[i] = s;
+            col_slot[j] = s;
+        }
+        let rx_dur =
+            self.plio
+                .throttled_transfer_time(m_bytes, 1, PlioDirection::ToPl, self.active_ports());
+        let mut block_u_end = TimePs::ZERO;
+        let mut block_v_end = TimePs::ZERO;
+        for local in 0..num_cols {
+            let port = self.plan.output_port_of_column(local, k);
+            let rx_ready = prev_end[col_slot[local]];
+            let (_, end) = self.plio_out[port].schedule(rx_ready, rx_dur);
+            self.stats.plio_bytes_out += m_bytes;
+            self.stats.plio_busy += rx_dur;
+            if local < k {
+                block_u_end = block_u_end.max(end);
+            } else {
+                block_v_end = block_v_end.max(end);
+            }
+        }
+
+        // HLS loop-switch overhead when the receiver hands the blocks back
+        // to the arrangement module (t_hls contribution per pass).
+        let hls = self.pl.hls_overhead(1, self.config.pl_freq);
+        self.block_ready[u] = block_u_end + hls;
+        self.block_ready[v] = block_v_end + hls;
+        self.block_ready[u].max(self.block_ready[v])
+    }
+
+    /// Computes each slot's input-ready time for the transition into
+    /// `layer`, scheduling DMA transfers on the layer's DMA channel.
+    fn movement_ready(
+        &mut self,
+        layer: usize,
+        prev_end: &[TimePs],
+        slot_ready: &mut [TimePs],
+        m_bytes: usize,
+    ) {
+        let k = self.config.engine_parallelism;
+        let src_row = self.placement.row_of_layer(layer - 1);
+        let dest_row = self.placement.row_of_layer(layer);
+        let band_break = self.placement.is_band_break(layer - 1);
+
+        let movements = self
+            .config
+            .ordering
+            .transition_movements_rows(src_row, dest_row, k);
+        let neighbor = self.kernels.neighbor_handoff_time();
+        // Route lengths: lateral DMA crosses one switch boundary; the
+        // wraparound spans the band (k columns plus the DMA-layer tile);
+        // band-break hops climb to the boundary mem-layer and descend
+        // into the next band.
+        let lateral_dur = self.dma.transfer_time_with_hops(m_bytes, 2);
+        let wrap_dur = self.dma.transfer_time_with_hops(m_bytes, k as u64 + 1);
+        let break_dur = self.dma.transfer_time_with_hops(m_bytes, 3);
+
+        for (idx, movement) in movements.iter().enumerate() {
+            let slot = idx % k;
+            let producer = match movement {
+                Movement::Straight => slot,
+                Movement::Leftward => (slot + 1).min(k - 1),
+                Movement::Rightward => slot.saturating_sub(1),
+                Movement::Wraparound => k - 1,
+            };
+            let ready = prev_end[producer];
+            let channel = layer * k + producer;
+            let arrival = if band_break {
+                // Through the mem-layer: two DMA hops (store + reload),
+                // parallel across the k mem-layer tiles.
+                let (_, mid) = self.dma_channels[channel].schedule(ready, break_dur);
+                let (_, end) = self.dma_channels[channel].schedule(mid, break_dur);
+                self.stats.dma_transfers += 2;
+                self.stats.dma_bytes += 2 * m_bytes;
+                end
+            } else {
+                match classify(*movement, dest_row, self.config.dataflow) {
+                    AccessKind::Neighbor => {
+                        self.stats.neighbor_accesses += 1;
+                        ready + neighbor
+                    }
+                    AccessKind::Dma if *movement == Movement::Wraparound => {
+                        // Through the layer's DMA-layer tile.
+                        let (_, end) = self.wrap_channels[layer].schedule(ready, wrap_dur);
+                        self.stats.dma_transfers += 1;
+                        self.stats.dma_bytes += m_bytes;
+                        end
+                    }
+                    AccessKind::Dma => {
+                        // Lateral DMA: hops along the row's stream switch.
+                        let (_, end) = self.switch_channels[layer].schedule(ready, lateral_dur);
+                        self.stats.dma_transfers += 1;
+                        self.stats.dma_bytes += m_bytes;
+                        end
+                    }
+                }
+            };
+            slot_ready[slot] = slot_ready[slot].max(arrival);
+        }
+    }
+
+    /// PLIO ports active within this task's interface group (the 24/32
+    /// GB/s caps are per group; independent task pipelines use separate
+    /// interface tiles).
+    fn active_ports(&self) -> usize {
+        self.plan.orth_in
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeteroSvdConfig;
+    use svd_orderings::movement::{DataflowKind, OrderingKind};
+
+    fn config(n: usize, p_eng: usize) -> HeteroSvdConfig {
+        HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(p_eng)
+            .pl_freq_mhz(208.3)
+            .build()
+            .unwrap()
+    }
+
+    fn run_one(config: &HeteroSvdConfig, b: &mut Matrix<f32>) -> (IterationOutcome, SimStats) {
+        let placement = Placement::plan(config).unwrap();
+        let mut pipe = OrthPipeline::new(config, &placement);
+        let out = pipe.run_iteration(b);
+        (out, pipe.into_stats())
+    }
+
+    fn sample(n: usize) -> Matrix<f32> {
+        Matrix::from_fn(n, n, |r, c| {
+            (((r * 31 + c * 17 + 3) % 13) as f32) / 3.0 - 2.0 + if r == c { 2.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn iteration_reduces_convergence() {
+        let cfg = config(16, 2);
+        let mut b = sample(16);
+        let placement = Placement::plan(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        let first = pipe.run_iteration(&mut b);
+        let mut later = first;
+        for _ in 0..4 {
+            later = pipe.run_iteration(&mut b);
+        }
+        assert!(first.max_convergence > 0.0);
+        assert!(
+            later.max_convergence < first.max_convergence,
+            "{} -> {}",
+            first.max_convergence,
+            later.max_convergence
+        );
+    }
+
+    #[test]
+    fn time_advances_monotonically() {
+        let cfg = config(16, 2);
+        let mut b = sample(16);
+        let placement = Placement::plan(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        let t1 = pipe.run_iteration(&mut b).end;
+        let t2 = pipe.run_iteration(&mut b).end;
+        assert!(t2 > t1);
+        assert!(t1 > TimePs::ZERO);
+    }
+
+    #[test]
+    fn codesign_produces_fewer_dmas_than_naive() {
+        // k = 3 keeps the 5 orth-layers in a single band, so no band-break
+        // DMA clouds the comparison: per pass, ring+naive needs 2k(k-1)=12
+        // DMAs and the co-design 2(k-1)=4 — a 3x reduction.
+        let mut naive_cfg = config(24, 3);
+        naive_cfg.ordering = OrderingKind::Ring;
+        naive_cfg.dataflow = DataflowKind::NaiveMemory;
+        let codesign_cfg = config(24, 3);
+
+        let (_, naive_stats) = run_one(&naive_cfg, &mut sample(24));
+        let (_, codesign_stats) = run_one(&codesign_cfg, &mut sample(24));
+        assert_eq!(naive_stats.dma_transfers, 3 * codesign_stats.dma_transfers);
+        let passes = naive_cfg.num_block_pairs();
+        assert_eq!(naive_stats.dma_transfers, passes * 12);
+        assert_eq!(codesign_stats.dma_transfers, passes * 4);
+    }
+
+    #[test]
+    fn codesign_is_faster_than_naive() {
+        let mut naive_cfg = config(32, 4);
+        naive_cfg.ordering = OrderingKind::Ring;
+        naive_cfg.dataflow = DataflowKind::NaiveMemory;
+        let codesign_cfg = config(32, 4);
+
+        let (naive, _) = run_one(&naive_cfg, &mut sample(32));
+        let (codesign, _) = run_one(&codesign_cfg, &mut sample(32));
+        assert!(
+            codesign.end < naive.end,
+            "codesign {} vs naive {}",
+            codesign.end,
+            naive.end
+        );
+    }
+
+    #[test]
+    fn dma_counts_match_movement_analysis() {
+        // Single-band placement (k=2 -> 3 layers), one block pair per
+        // iteration pass set: DMA per pass must equal the per-pass
+        // analysis formula.
+        let cfg = config(16, 2);
+        let placement = Placement::plan(&cfg).unwrap();
+        assert_eq!(placement.num_bands(), 1);
+        let (_, stats) = run_one(&cfg, &mut sample(16));
+        let passes = cfg.num_block_pairs();
+        let per_pass = svd_orderings::movement::codesign_dma_count(2);
+        assert_eq!(stats.dma_transfers, passes * per_pass);
+    }
+
+    #[test]
+    fn stats_count_invocations_and_bytes() {
+        let cfg = config(16, 2);
+        let (_, stats) = run_one(&cfg, &mut sample(16));
+        let passes = cfg.num_block_pairs(); // p=8 blocks -> 28 passes
+        let pairs_per_pass = 2 * (2 * 2 - 1); // k(2k-1) = 6
+        assert_eq!(stats.orth_invocations, passes * pairs_per_pass);
+        // Every pass moves 2k columns in and out.
+        assert_eq!(stats.plio_bytes_in, passes * 4 * 16 * 4);
+        assert_eq!(stats.plio_bytes_out, stats.plio_bytes_in);
+    }
+
+    #[test]
+    fn trace_records_every_pass_and_shows_pipelining() {
+        let mut cfg = config(16, 2);
+        cfg.record_trace = true;
+        let placement = Placement::plan(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        let mut b = sample(16);
+        pipe.run_iteration(&mut b);
+        pipe.run_iteration(&mut b);
+        let trace = pipe.trace();
+        assert_eq!(trace.len(), 2 * cfg.num_block_pairs());
+        // Pass ends are strictly increasing in schedule order.
+        for w in trace.windows(2) {
+            assert!(w[1].end > w[0].end);
+        }
+        // Pipelining: some pass becomes ready before its predecessor ends.
+        let overlapped = trace.windows(2).any(|w| w[1].ready < w[0].end);
+        assert!(overlapped, "expected overlapping passes in the pipeline");
+        // Iteration indices recorded.
+        assert_eq!(trace.first().unwrap().iteration, 0);
+        assert_eq!(trace.last().unwrap().iteration, 1);
+    }
+
+    #[test]
+    fn trace_is_empty_when_disabled() {
+        let cfg = config(16, 2);
+        let placement = Placement::plan(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        pipe.run_iteration(&mut sample(16));
+        assert!(pipe.trace().is_empty());
+    }
+
+    #[test]
+    fn functional_matches_software_block_jacobi() {
+        // One hardware iteration must produce the same matrix as one
+        // software block-Jacobi iteration (same pair order, same math).
+        let cfg = config(16, 2);
+        let mut hw = sample(16);
+        run_one(&cfg, &mut hw);
+
+        let mut sw = sample(16);
+        let floor = sw.column_norm_floor_sq();
+        let partition = BlockPartition::new(16, 2).unwrap();
+        let schedule = svd_kernels::block::BlockPairSchedule::round_robin(8);
+        for (u, v) in schedule.iter() {
+            let cols = partition.pair_columns(u, v);
+            svd_kernels::block::orthogonalize_column_set(&mut sw, &cols, floor);
+        }
+        for c in 0..16 {
+            for r in 0..16 {
+                let d = (hw[(r, c)] - sw[(r, c)]).abs();
+                assert!(d < 1e-6, "mismatch at ({r},{c}): {d}");
+            }
+        }
+    }
+}

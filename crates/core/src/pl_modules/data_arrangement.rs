@@ -1,0 +1,262 @@
+//! The data-arrangement module (Fig. 2): block FIFOs and round-robin
+//! reordering between DDR, the sender, and the receiver.
+
+use crate::HeteroSvdError;
+use svd_kernels::block::{BlockPairSchedule, BlockPartition};
+use svd_kernels::Matrix;
+
+/// FIFO occupancy statistics, used to cross-check the URAM sizing model.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct FifoStats {
+    /// Bytes currently buffered across all block FIFOs.
+    pub resident_bytes: usize,
+    /// High-water mark of [`FifoStats::resident_bytes`].
+    pub peak_bytes: usize,
+    /// Block fetches served to the sender.
+    pub fetches: usize,
+    /// Updated blocks stored from the receiver.
+    pub stores: usize,
+}
+
+/// The data-arrangement module: owns the working matrix in per-block
+/// FIFOs and enumerates block pairs round-robin (§III-A).
+///
+/// # Example
+///
+/// ```
+/// use heterosvd::pl_modules::DataArrangement;
+/// use svd_kernels::Matrix;
+///
+/// # fn main() -> Result<(), heterosvd::HeteroSvdError> {
+/// let a = Matrix::from_fn(8, 8, |r, c| (r + c) as f32);
+/// let mut da = DataArrangement::new(a, 2)?;
+/// let (u, v) = da.next_block_pair().expect("pairs remain");
+/// let cols = da.fetch_pair(u, v);
+/// assert_eq!(cols.len(), 4); // 2k columns
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DataArrangement {
+    matrix: Matrix<f32>,
+    partition: BlockPartition,
+    schedule: Vec<(usize, usize)>,
+    cursor: usize,
+    /// Blocks currently checked out to the array (double-buffered in the
+    /// FIFOs while in flight).
+    in_flight: Vec<bool>,
+    stats: FifoStats,
+}
+
+impl DataArrangement {
+    /// Builds the module around a working matrix with `block_cols`-column
+    /// blocks.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeteroSvdError::Numeric`] when `block_cols` does not
+    /// divide the column count.
+    pub fn new(matrix: Matrix<f32>, block_cols: usize) -> Result<Self, HeteroSvdError> {
+        let partition = BlockPartition::new(matrix.cols(), block_cols)?;
+        let schedule: Vec<(usize, usize)> =
+            BlockPairSchedule::round_robin(partition.num_blocks())
+                .iter()
+                .collect();
+        let resident = matrix.rows() * matrix.cols() * 4;
+        let in_flight = vec![false; partition.num_blocks()];
+        Ok(DataArrangement {
+            matrix,
+            partition,
+            schedule,
+            cursor: 0,
+            in_flight,
+            stats: FifoStats {
+                resident_bytes: resident,
+                peak_bytes: resident,
+                fetches: 0,
+                stores: 0,
+            },
+        })
+    }
+
+    /// The next block pair in round-robin order; `None` when the
+    /// iteration's pass list is exhausted (call [`Self::rewind`] for the
+    /// next iteration).
+    pub fn next_block_pair(&mut self) -> Option<(usize, usize)> {
+        let pair = self.schedule.get(self.cursor).copied();
+        if pair.is_some() {
+            self.cursor += 1;
+        }
+        pair
+    }
+
+    /// Restarts the pass enumeration for the next iteration.
+    pub fn rewind(&mut self) {
+        self.cursor = 0;
+    }
+
+    /// Fetches the columns of a block pair for the sender, marking both
+    /// blocks in flight (their FIFO slots stay allocated — the paper's
+    /// double buffering).
+    ///
+    /// # Panics
+    ///
+    /// Panics if either block is already in flight (the round-robin
+    /// schedule guarantees disjointness within a round).
+    pub fn fetch_pair(&mut self, u: usize, v: usize) -> Vec<Vec<f32>> {
+        for b in [u, v] {
+            assert!(!self.in_flight[b], "block {b} fetched twice");
+            self.in_flight[b] = true;
+        }
+        self.stats.fetches += 2;
+        let block_bytes = self.partition.block_cols * self.matrix.rows() * 4;
+        self.stats.resident_bytes += 2 * block_bytes; // in-flight copies
+        self.stats.peak_bytes = self.stats.peak_bytes.max(self.stats.resident_bytes);
+
+        self.partition
+            .pair_columns(u, v)
+            .into_iter()
+            .map(|c| self.matrix.col(c).to_vec())
+            .collect()
+    }
+
+    /// Stores updated columns from the receiver back into the block
+    /// FIFOs, releasing the in-flight copies.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the column count mismatches the block pair or a block
+    /// was not in flight.
+    pub fn store_pair(&mut self, u: usize, v: usize, columns: Vec<Vec<f32>>) {
+        let cols = self.partition.pair_columns(u, v);
+        assert_eq!(columns.len(), cols.len(), "column count mismatch");
+        for (global, data) in cols.into_iter().zip(columns) {
+            assert_eq!(data.len(), self.matrix.rows(), "column length mismatch");
+            self.matrix.col_mut(global).copy_from_slice(&data);
+        }
+        for b in [u, v] {
+            assert!(self.in_flight[b], "block {b} stored without fetch");
+            self.in_flight[b] = false;
+        }
+        self.stats.stores += 2;
+        let block_bytes = self.partition.block_cols * self.matrix.rows() * 4;
+        self.stats.resident_bytes -= 2 * block_bytes;
+    }
+
+    /// The working matrix (updated in place by stores).
+    pub fn matrix(&self) -> &Matrix<f32> {
+        &self.matrix
+    }
+
+    /// Consumes the module, returning the working matrix.
+    pub fn into_matrix(self) -> Matrix<f32> {
+        self.matrix
+    }
+
+    /// The block partition.
+    pub fn partition(&self) -> BlockPartition {
+        self.partition
+    }
+
+    /// FIFO occupancy statistics.
+    pub fn stats(&self) -> FifoStats {
+        self.stats
+    }
+
+    /// URAM blocks the peak FIFO occupancy requires (288 Kb blocks) —
+    /// comparable against [`aie_sim::pl::PlModel::uram_blocks_per_task`].
+    pub fn required_uram_blocks(&self) -> usize {
+        self.stats.peak_bytes.div_ceil(aie_sim::pl::URAM_BYTES)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn module(n: usize, k: usize) -> DataArrangement {
+        let a = Matrix::from_fn(n, n, |r, c| (r * n + c) as f32);
+        DataArrangement::new(a, k).unwrap()
+    }
+
+    #[test]
+    fn enumerates_all_pairs_in_rounds() {
+        let mut da = module(8, 2);
+        let mut pairs = Vec::new();
+        while let Some(p) = da.next_block_pair() {
+            pairs.push(p);
+        }
+        assert_eq!(pairs.len(), 4 * 3 / 2);
+        da.rewind();
+        assert_eq!(da.next_block_pair(), Some(pairs[0]));
+    }
+
+    #[test]
+    fn fetch_store_round_trip_preserves_data() {
+        let mut da = module(8, 2);
+        let before = da.matrix().clone();
+        let cols = da.fetch_pair(0, 2);
+        da.store_pair(0, 2, cols);
+        assert_eq!(da.matrix(), &before);
+    }
+
+    #[test]
+    fn stores_apply_updates() {
+        let mut da = module(4, 2);
+        let mut cols = da.fetch_pair(0, 1);
+        for c in &mut cols {
+            for x in c.iter_mut() {
+                *x += 100.0;
+            }
+        }
+        da.store_pair(0, 1, cols);
+        assert_eq!(da.matrix()[(0, 0)], 100.0);
+        assert_eq!(da.matrix()[(3, 3)], 115.0);
+    }
+
+    #[test]
+    fn in_flight_double_buffering_raises_peak() {
+        let mut da = module(8, 2);
+        let base = da.stats().resident_bytes;
+        let cols = da.fetch_pair(0, 1);
+        assert!(da.stats().resident_bytes > base);
+        da.store_pair(0, 1, cols);
+        assert_eq!(da.stats().resident_bytes, base);
+        assert!(da.stats().peak_bytes > base);
+        assert_eq!(da.stats().fetches, 2);
+        assert_eq!(da.stats().stores, 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "fetched twice")]
+    fn double_fetch_panics() {
+        let mut da = module(8, 2);
+        let _ = da.fetch_pair(0, 1);
+        let _ = da.fetch_pair(1, 2);
+    }
+
+    #[test]
+    fn uram_requirement_matches_pl_model_class() {
+        // The measured peak FIFO occupancy must not exceed the PL model's
+        // provisioned URAM (which rounds up to 4-block cascades).
+        let da = {
+            let mut da = module(256, 8);
+            let cols = da.fetch_pair(0, 1);
+            da.store_pair(0, 1, cols);
+            da
+        };
+        let provisioned = aie_sim::pl::PlModel::default().uram_blocks_per_task(256, 256);
+        assert!(
+            da.required_uram_blocks() <= provisioned,
+            "measured {} URAM vs provisioned {}",
+            da.required_uram_blocks(),
+            provisioned
+        );
+    }
+
+    #[test]
+    fn invalid_blocking_rejected() {
+        let a = Matrix::from_fn(6, 6, |_, _| 0.0_f32);
+        assert!(DataArrangement::new(a, 4).is_err());
+    }
+}

@@ -1,0 +1,31 @@
+//! The PL-side modules of the HeteroSVD system (Fig. 2).
+//!
+//! The programmable logic hosts four modules around the AIE array:
+//!
+//! * [`DataArrangement`] — reads the matrix from DDR, splits it into
+//!   blocks held in FIFOs, reorders blocks round-robin, and hands block
+//!   pairs to the sender; receives updated blocks back.
+//! * [`Sender`] — packs columns into dynamic-forwarding packets and
+//!   programs the stream-switch routes that steer each column to its
+//!   orth-AIE slot.
+//! * [`Receiver`] — reunites packets coming back from the array, sorts
+//!   them into columns, and reports the convergence measure.
+//! * [`SystemModule`] — the control state machine: keeps the
+//!   orthogonalization stage running until the Eq. (6) convergence rate
+//!   passes the user precision, then switches to normalization and
+//!   completion (Algorithm 1's outer control flow).
+//!
+//! These modules carry the *functional* data/control flow and validate
+//! the routing against the simulated switch fabric; the cycle-level
+//! timing of the same traffic lives in
+//! [`crate::orth_pipeline`]/[`crate::norm_pipeline`].
+
+mod data_arrangement;
+mod receiver;
+mod sender;
+mod system;
+
+pub use data_arrangement::{DataArrangement, FifoStats};
+pub use receiver::Receiver;
+pub use sender::Sender;
+pub use system::{Phase, SystemModule};

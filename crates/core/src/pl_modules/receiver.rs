@@ -1,0 +1,144 @@
+//! The receiver module (Fig. 2): reunites packets from the array, sorts
+//! them into columns, and deduces the convergence rate for the system
+//! module (§III-A).
+
+use crate::routing::{PacketHeader, PlioPlan};
+use aie_sim::packet::Packet;
+
+/// The receiver for one task pipeline.
+#[derive(Debug, Clone, Default)]
+pub struct Receiver {
+    plan: PlioPlan,
+    /// Largest Eq. (6) measure reported by the orth-AIEs this iteration.
+    convergence: f64,
+}
+
+impl Receiver {
+    /// A fresh receiver.
+    pub fn new() -> Self {
+        Receiver {
+            plan: PlioPlan::standard(),
+            convergence: 0.0,
+        }
+    }
+
+    /// Decodes a returning packet into `(local column, data)` using the
+    /// final layer's slot map, and folds the per-pass convergence
+    /// measure into the iteration maximum.
+    ///
+    /// `slot_columns[slot]` is the pair held by the last layer's slot
+    /// `slot`; the header's `side` selects which of the two columns the
+    /// packet carries.
+    pub fn accept(
+        &mut self,
+        packet: &Packet,
+        slot_columns: &[(usize, usize)],
+        convergence: f64,
+    ) -> Option<(usize, Vec<f32>)> {
+        let header = PacketHeader::decode(packet.id.0 as u32);
+        let &(i, j) = slot_columns.get(header.slot as usize)?;
+        let col = if header.side == 0 { i } else { j };
+        let data: Vec<f32> = packet
+            .payload
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
+        self.convergence = self.convergence.max(convergence);
+        Some((col, data))
+    }
+
+    /// The output port a local column returns on (one per block, §III-C).
+    pub fn output_port(&self, local_column: usize, k: usize) -> usize {
+        self.plan.output_port_of_column(local_column, k)
+    }
+
+    /// The iteration's running convergence maximum (Eq. 6).
+    pub fn convergence(&self) -> f64 {
+        self.convergence
+    }
+
+    /// Resets the convergence accumulator for the next iteration.
+    pub fn reset_convergence(&mut self) {
+        self.convergence = 0.0;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use aie_sim::packet::StreamId;
+    use bytes::Bytes;
+
+    fn packet(slot: u8, side: u8, values: &[f32]) -> Packet {
+        let header = PacketHeader {
+            layer: 4,
+            slot,
+            side,
+        };
+        let payload: Vec<u8> = values.iter().flat_map(|v| v.to_le_bytes()).collect();
+        Packet::new(StreamId(header.encode() as u16), Bytes::from(payload))
+    }
+
+    #[test]
+    fn decodes_column_and_tracks_convergence() {
+        let mut rx = Receiver::new();
+        let slots = vec![(0usize, 3usize), (1, 2)];
+        let (col, data) = rx
+            .accept(&packet(1, 1, &[1.5, -2.0]), &slots, 0.25)
+            .unwrap();
+        assert_eq!(col, 2);
+        assert_eq!(data, vec![1.5, -2.0]);
+        assert_eq!(rx.convergence(), 0.25);
+        // A smaller measure does not lower the maximum.
+        rx.accept(&packet(0, 0, &[0.0]), &slots, 0.01).unwrap();
+        assert_eq!(rx.convergence(), 0.25);
+        rx.reset_convergence();
+        assert_eq!(rx.convergence(), 0.0);
+    }
+
+    #[test]
+    fn unknown_slot_is_rejected() {
+        let mut rx = Receiver::new();
+        assert!(rx.accept(&packet(7, 0, &[1.0]), &[(0, 1)], 0.1).is_none());
+    }
+
+    #[test]
+    fn output_ports_split_by_block() {
+        let rx = Receiver::new();
+        assert_eq!(rx.output_port(0, 4), 0);
+        assert_eq!(rx.output_port(5, 4), 1);
+    }
+
+    #[test]
+    fn sender_to_receiver_round_trip() {
+        // Full packet loop: sender packetizes, receiver decodes; every
+        // column returns identical.
+        use crate::pl_modules::Sender;
+        use crate::{HeteroSvdConfig, Placement};
+        use svd_orderings::movement::OrderingKind;
+        use svd_orderings::HardwareSchedule;
+
+        let k = 3;
+        let cfg = HeteroSvdConfig::builder(24, 24)
+            .engine_parallelism(k)
+            .build()
+            .unwrap();
+        let placement = Placement::plan(&cfg).unwrap();
+        let schedule = HardwareSchedule::new(k, OrderingKind::ShiftingRing);
+        let sender = Sender::new(&placement, &schedule).unwrap();
+
+        let cols: Vec<Vec<f32>> = (0..2 * k)
+            .map(|c| (0..24).map(|r| (c * 100 + r) as f32).collect())
+            .collect();
+        let packets = sender.packetize(&schedule, &cols);
+
+        let mut rx = Receiver::new();
+        let layer0 = &schedule.layers()[0].pairs_by_slot;
+        for p in &packets {
+            let (col, data) = rx.accept(&p.packet, layer0, 0.5).unwrap();
+            assert_eq!(col, p.local_column);
+            assert_eq!(data, cols[col]);
+        }
+        assert_eq!(rx.convergence(), 0.5);
+    }
+}

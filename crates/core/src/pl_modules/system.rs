@@ -1,0 +1,154 @@
+//! The system module (Fig. 2): Algorithm 1's outer control flow as an
+//! explicit state machine.
+//!
+//! "If the convergence rate is less than the user-specified precision,
+//! the system module will terminate the orthogonalization stage and
+//! proceed into the normalization stage" (§III-A).
+
+use serde::{Deserialize, Serialize};
+
+/// The controller's phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Phase {
+    /// Streaming block pairs through the orth-AIEs (Algorithm 1 lines 2–17).
+    #[default]
+    Orthogonalizing,
+    /// Streaming blocks through the norm-AIEs (lines 18–26).
+    Normalizing,
+    /// Results stored; completion signal released.
+    Done,
+}
+
+/// The system module: convergence-driven stage control.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SystemModule {
+    precision: f64,
+    max_iterations: usize,
+    fixed_iterations: Option<usize>,
+    phase: Phase,
+    iterations: usize,
+}
+
+impl SystemModule {
+    /// Builds the controller.
+    ///
+    /// With `fixed_iterations` set, exactly that many orthogonalization
+    /// iterations run regardless of convergence (the Table II/VI
+    /// protocol); otherwise iteration continues until the Eq. (6) rate
+    /// drops below `precision` or `max_iterations` is hit.
+    pub fn new(precision: f64, max_iterations: usize, fixed_iterations: Option<usize>) -> Self {
+        SystemModule {
+            precision,
+            max_iterations,
+            fixed_iterations,
+            phase: Phase::Orthogonalizing,
+            iterations: 0,
+        }
+    }
+
+    /// Current phase.
+    pub fn phase(&self) -> Phase {
+        self.phase
+    }
+
+    /// Orthogonalization iterations completed.
+    pub fn iterations(&self) -> usize {
+        self.iterations
+    }
+
+    /// Reports one completed orthogonalization iteration with its
+    /// convergence rate; returns the phase to run next.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside the orthogonalization phase.
+    pub fn iteration_done(&mut self, convergence_rate: f64) -> Phase {
+        assert_eq!(
+            self.phase,
+            Phase::Orthogonalizing,
+            "iteration reported outside the orthogonalization phase"
+        );
+        self.iterations += 1;
+        let done = match self.fixed_iterations {
+            Some(n) => self.iterations >= n,
+            None => convergence_rate < self.precision || self.iterations >= self.max_iterations,
+        };
+        if done {
+            self.phase = Phase::Normalizing;
+        }
+        self.phase
+    }
+
+    /// `true` when the adaptive loop ended by budget rather than by
+    /// reaching the precision (the caller decides whether that is an
+    /// error; see [`crate::HeteroSvdError`]).
+    pub fn hit_iteration_budget(&self, last_convergence: f64) -> bool {
+        self.fixed_iterations.is_none()
+            && self.iterations >= self.max_iterations
+            && last_convergence >= self.precision
+    }
+
+    /// Reports the normalization stage complete; releases the completion
+    /// signal.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called outside the normalization phase.
+    pub fn normalization_done(&mut self) -> Phase {
+        assert_eq!(
+            self.phase,
+            Phase::Normalizing,
+            "normalization reported outside the normalization phase"
+        );
+        self.phase = Phase::Done;
+        self.phase
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn adaptive_mode_stops_on_precision() {
+        let mut sys = SystemModule::new(1e-6, 30, None);
+        assert_eq!(sys.phase(), Phase::Orthogonalizing);
+        assert_eq!(sys.iteration_done(0.5), Phase::Orthogonalizing);
+        assert_eq!(sys.iteration_done(1e-3), Phase::Orthogonalizing);
+        assert_eq!(sys.iteration_done(1e-7), Phase::Normalizing);
+        assert_eq!(sys.iterations(), 3);
+        assert!(!sys.hit_iteration_budget(1e-7));
+        assert_eq!(sys.normalization_done(), Phase::Done);
+    }
+
+    #[test]
+    fn fixed_mode_ignores_convergence() {
+        let mut sys = SystemModule::new(1e-6, 30, Some(2));
+        assert_eq!(sys.iteration_done(1e-12), Phase::Orthogonalizing);
+        assert_eq!(sys.iteration_done(0.9), Phase::Normalizing);
+        assert!(!sys.hit_iteration_budget(0.9));
+    }
+
+    #[test]
+    fn budget_exhaustion_is_detectable() {
+        let mut sys = SystemModule::new(1e-9, 2, None);
+        sys.iteration_done(0.5);
+        assert_eq!(sys.iteration_done(0.4), Phase::Normalizing);
+        assert!(sys.hit_iteration_budget(0.4));
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the orthogonalization phase")]
+    fn iteration_after_convergence_panics() {
+        let mut sys = SystemModule::new(1e-3, 30, None);
+        sys.iteration_done(1e-6);
+        sys.iteration_done(1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "outside the normalization phase")]
+    fn premature_normalization_panics() {
+        let mut sys = SystemModule::new(1e-3, 30, None);
+        sys.normalization_done();
+    }
+}

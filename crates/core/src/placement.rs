@@ -1,0 +1,485 @@
+//! AIE placement engine (§III-C).
+//!
+//! The shifting ring ordering for a block pair of `2k` columns needs
+//! `(2k−1)` orth-layers of `k` orth-AIEs — taller than the 8-row array.
+//! The placement:
+//!
+//! * partitions the layers into **column bands** of width `k`, each using
+//!   the `rows−2` interior rows (the first and last rows are reserved for
+//!   **mem-layers**, because an orth-layer on a boundary row would have no
+//!   subsequent row to hold its output);
+//! * inserts a mem-layer of `k` mem-AIEs between consecutive bands to
+//!   carry the boundary output across the band break (at the cost of some
+//!   unavoidable DMA);
+//! * dedicates one **DMA-layer** tile per orth-layer, adjacent to the
+//!   band, where the wraparound DMA copy lands (orth-AIEs have no spare
+//!   memory for the doubled DMA buffer);
+//! * places the `k` **norm-AIEs** in remaining idle tiles.
+//!
+//! The resulting per-task tile counts reproduce Table VI's AIE usage
+//! within a few percent (see `counts_match_table6` below).
+
+use crate::config::HeteroSvdConfig;
+use crate::HeteroSvdError;
+use aie_sim::geometry::{ArrayGeometry, TileCoord};
+use aie_sim::memory::TileMemory;
+use aie_sim::SimError;
+use aie_sim::pl::PlModel;
+use aie_sim::resources::ResourceUsage;
+use serde::{Deserialize, Serialize};
+
+/// Geometric packing of `P_task` pipelines onto the array (diagnostic;
+/// the Eq. 16 feasibility check is count-based like the paper's).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TaskPacking {
+    /// Pipelines stacked vertically per column band (when a task's
+    /// layers fit in half the interior rows or less).
+    pub vertical_stack: usize,
+    /// Array columns one pipeline occupies (`bands × (k+1)`).
+    pub columns_per_task: usize,
+    /// Total columns the packing needs.
+    pub columns_needed: usize,
+    /// Origin tile (bottom-left) of each pipeline.
+    pub origins: Vec<TileCoord>,
+}
+
+/// Per-task AIE tile counts by role.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct AieCounts {
+    /// Orthogonalization AIEs: `k(2k−1)`.
+    pub orth: usize,
+    /// Normalization AIEs: `k`.
+    pub norm: usize,
+    /// Memory AIEs: mem-layers between bands plus DMA-layer tiles.
+    pub mem: usize,
+}
+
+impl AieCounts {
+    /// Total tiles per task.
+    pub fn total(&self) -> usize {
+        self.orth + self.norm + self.mem
+    }
+}
+
+/// A concrete placement of one HeteroSVD task on the AIE array.
+///
+/// # Example
+///
+/// ```
+/// use heterosvd::{HeteroSvdConfig, Placement};
+///
+/// # fn main() -> Result<(), heterosvd::HeteroSvdError> {
+/// let cfg = HeteroSvdConfig::builder(128, 128).engine_parallelism(8).build()?;
+/// let placement = Placement::plan(&cfg)?;
+/// // P_eng = 8: 15 orth-layers fold into 3 bands of the 6 interior rows.
+/// assert_eq!(placement.num_layers(), 15);
+/// assert_eq!(placement.num_bands(), 3);
+/// assert_eq!(placement.counts().orth, 120);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Placement {
+    k: usize,
+    layers: usize,
+    usable_rows: usize,
+    num_bands: usize,
+    geometry: ArrayGeometry,
+    orth_tiles: Vec<Vec<TileCoord>>,
+    dma_tiles: Vec<TileCoord>,
+    mem_layer_tiles: Vec<TileCoord>,
+    norm_tiles: Vec<TileCoord>,
+    counts: AieCounts,
+    usage: ResourceUsage,
+}
+
+impl Placement {
+    /// Plans the placement for a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeteroSvdError::Infeasible`] when a column does not fit a
+    /// memory bank or a tile's working set exceeds its 32 KB memory.
+    pub fn plan(config: &HeteroSvdConfig) -> Result<Self, HeteroSvdError> {
+        let k = config.engine_parallelism;
+        let geometry = config.device.geometry;
+        let layers = 2 * k - 1;
+        let usable_rows = geometry.rows.saturating_sub(2).max(1);
+        let num_bands = layers.div_ceil(usable_rows);
+        let band_width = k + 1; // k orth columns + 1 DMA-layer column
+
+        let mut orth_tiles = Vec::with_capacity(layers);
+        let mut dma_tiles = Vec::with_capacity(layers);
+        for layer in 0..layers {
+            let band = layer / usable_rows;
+            let row = 1 + layer % usable_rows;
+            let origin = band * band_width;
+            let slots = (0..k)
+                .map(|s| TileCoord::new(row, origin + s))
+                .collect::<Vec<_>>();
+            orth_tiles.push(slots);
+            dma_tiles.push(TileCoord::new(row, origin + k));
+        }
+
+        // Mem-layers: between consecutive bands, on the top boundary row
+        // of the earlier band.
+        let mut mem_layer_tiles = Vec::new();
+        for band in 0..num_bands.saturating_sub(1) {
+            let origin = band * band_width;
+            for s in 0..k {
+                mem_layer_tiles.push(TileCoord::new(geometry.rows - 1, origin + s));
+            }
+        }
+
+        // Norm-AIEs: idle tiles on the bottom boundary row of band 0.
+        let norm_tiles = (0..k).map(|s| TileCoord::new(0, s)).collect::<Vec<_>>();
+
+        let counts = AieCounts {
+            orth: k * layers,
+            norm: k,
+            mem: mem_layer_tiles.len() + dma_tiles.len(),
+        };
+
+        Self::validate_memory(config)?;
+
+        let pl = PlModel::new(config.calibration);
+        let p_task = config.task_parallelism;
+        let usage = ResourceUsage {
+            aie: counts.total() * p_task,
+            plio: crate::routing::PLIO_PER_TASK * p_task,
+            bram: pl.bram_blocks(p_task),
+            uram: pl.uram_blocks_per_task(config.rows, config.cols) * p_task,
+            luts: pl.luts(config.cols, p_task),
+        };
+
+        Ok(Placement {
+            k,
+            layers,
+            usable_rows,
+            num_bands,
+            geometry,
+            orth_tiles,
+            dma_tiles,
+            mem_layer_tiles,
+            norm_tiles,
+            counts,
+            usage,
+        })
+    }
+
+    /// Validates that the per-tile working set fits the device's tile
+    /// memory: two double-buffered input columns plus (worst case) a
+    /// doubled DMA landing buffer of two columns.
+    fn validate_memory(config: &HeteroSvdConfig) -> Result<(), HeteroSvdError> {
+        let col = config.column_bytes();
+        let device = config.device;
+        if col > device.bank_bytes {
+            return Err(HeteroSvdError::Infeasible(
+                aie_sim::SimError::BufferTooLarge {
+                    bytes: col,
+                    bank_bytes: device.bank_bytes,
+                },
+            ));
+        }
+        let mut mem = TileMemory::with_layout(device.banks_per_tile, device.bank_bytes);
+        for label in ["in-l", "in-r", "in-l-pong", "in-r-pong", "dma-l", "dma-r"] {
+            mem.allocate(label, col).map_err(HeteroSvdError::Infeasible)?;
+        }
+        Ok(())
+    }
+
+    /// Engine parallelism `k`.
+    pub fn engine_parallelism(&self) -> usize {
+        self.k
+    }
+
+    /// Number of orth-layers (`2k−1`).
+    pub fn num_layers(&self) -> usize {
+        self.layers
+    }
+
+    /// Number of column bands the layers were folded into.
+    pub fn num_bands(&self) -> usize {
+        self.num_bands
+    }
+
+    /// Physical array row of an orth-layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `layer >= self.num_layers()`.
+    pub fn row_of_layer(&self, layer: usize) -> usize {
+        assert!(layer < self.layers, "layer {layer} out of range");
+        1 + layer % self.usable_rows
+    }
+
+    /// Band of an orth-layer.
+    pub fn band_of_layer(&self, layer: usize) -> usize {
+        assert!(layer < self.layers, "layer {layer} out of range");
+        layer / self.usable_rows
+    }
+
+    /// `true` when the transition `layer → layer+1` crosses a band break
+    /// (routed through a mem-layer: both columns of every slot move by
+    /// DMA regardless of the ordering).
+    pub fn is_band_break(&self, layer: usize) -> bool {
+        layer + 1 < self.layers && self.band_of_layer(layer) != self.band_of_layer(layer + 1)
+    }
+
+    /// Tiles of one orth-layer, indexed by slot.
+    pub fn orth_tiles(&self, layer: usize) -> &[TileCoord] {
+        &self.orth_tiles[layer]
+    }
+
+    /// The DMA-layer tile adjacent to an orth-layer.
+    pub fn dma_tile(&self, layer: usize) -> TileCoord {
+        self.dma_tiles[layer]
+    }
+
+    /// Mem-layer tiles (between bands).
+    pub fn mem_layer_tiles(&self) -> &[TileCoord] {
+        &self.mem_layer_tiles
+    }
+
+    /// Norm-AIE tiles.
+    pub fn norm_tiles(&self) -> &[TileCoord] {
+        &self.norm_tiles
+    }
+
+    /// Per-task AIE counts by role.
+    pub fn counts(&self) -> AieCounts {
+        self.counts
+    }
+
+    /// Whole-design resource usage (`P_task` pipelines plus PL).
+    pub fn usage(&self) -> ResourceUsage {
+        self.usage
+    }
+
+    /// The array geometry this placement targets.
+    pub fn array_geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Packs `p_task` pipelines geometrically onto the array: short
+    /// pipelines (few layers) stack vertically within a column band;
+    /// everything else tiles horizontally. Returns an error when the
+    /// packing exceeds the array width.
+    ///
+    /// This is a *diagnostic*: the paper's Eq. (16) feasibility check is
+    /// count-based, and its Table VI includes points (e.g. `P_eng = 8`,
+    /// `P_task = 2`) that only fit with placement optimizations beyond
+    /// this simple row-major packing — so the DSE does not enforce it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::ResourceExceeded`] (resource `"AIE"`) when the
+    /// packing needs more columns than the array has.
+    pub fn pack_tasks(&self, p_task: usize) -> Result<TaskPacking, SimError> {
+        let band_width = self.k + 1;
+        let columns_per_task = self.num_bands * band_width;
+        let layers_with_boundary = self.layers.min(self.usable_rows) + 1;
+        let vertical_stack = (self.geometry.rows / layers_with_boundary.max(1)).max(1);
+
+        let mut origins = Vec::with_capacity(p_task);
+        for t in 0..p_task {
+            let col = (t / vertical_stack) * columns_per_task;
+            let row = (t % vertical_stack) * layers_with_boundary;
+            origins.push(TileCoord::new(row, col));
+        }
+        let columns_needed = p_task.div_ceil(vertical_stack) * columns_per_task;
+        if columns_needed > self.geometry.cols {
+            return Err(SimError::ResourceExceeded {
+                resource: "AIE",
+                used: columns_needed,
+                budget: self.geometry.cols,
+            });
+        }
+        Ok(TaskPacking {
+            vertical_stack,
+            columns_per_task,
+            columns_needed,
+            origins,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::HeteroSvdConfig;
+
+    fn config(n: usize, p_eng: usize, p_task: usize) -> HeteroSvdConfig {
+        HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(p_eng)
+            .task_parallelism(p_task)
+            .build()
+            .unwrap()
+    }
+
+    #[test]
+    fn orth_count_matches_table1_formula() {
+        for k in [1usize, 2, 4, 8] {
+            let p = Placement::plan(&config(64, k, 1)).unwrap();
+            assert_eq!(p.counts().orth, k * (2 * k - 1));
+            assert_eq!(p.counts().norm, k);
+        }
+    }
+
+    #[test]
+    fn counts_match_table6() {
+        // Table VI AIE usage at 256x256: (P_eng, P_task) -> AIE.
+        let rows = [(2usize, 26usize, 293usize), (4, 9, 357), (8, 2, 322)];
+        for (p_eng, p_task, paper) in rows {
+            let p = Placement::plan(&config(256, p_eng, p_task)).unwrap();
+            let total = p.counts().total() * p_task;
+            let rel = (total as f64 - paper as f64).abs() / paper as f64;
+            assert!(
+                rel < 0.10,
+                "P_eng={p_eng} P_task={p_task}: model {total} AIEs vs paper {paper} (rel {rel:.3})"
+            );
+        }
+    }
+
+    #[test]
+    fn layers_fold_into_bands() {
+        // k=8 -> 15 layers over 6 usable rows -> 3 bands.
+        let p = Placement::plan(&config(256, 8, 1)).unwrap();
+        assert_eq!(p.num_layers(), 15);
+        assert_eq!(p.num_bands(), 3);
+        assert_eq!(p.row_of_layer(0), 1);
+        assert_eq!(p.row_of_layer(5), 6);
+        assert_eq!(p.row_of_layer(6), 1); // next band restarts
+        assert_eq!(p.band_of_layer(6), 1);
+        assert!(p.is_band_break(5));
+        assert!(!p.is_band_break(4));
+        // Mem-layers between 3 bands: 2 * k tiles.
+        assert_eq!(p.mem_layer_tiles().len(), 2 * 8);
+    }
+
+    #[test]
+    fn orth_tiles_avoid_boundary_rows() {
+        let p = Placement::plan(&config(128, 4, 1)).unwrap();
+        for layer in 0..p.num_layers() {
+            for t in p.orth_tiles(layer) {
+                assert!(t.row >= 1 && t.row <= 6, "orth tile on boundary row {t}");
+            }
+        }
+    }
+
+    #[test]
+    fn dma_tiles_sit_beside_their_band() {
+        let p = Placement::plan(&config(128, 4, 1)).unwrap();
+        for layer in 0..p.num_layers() {
+            let dma = p.dma_tile(layer);
+            let last_slot = p.orth_tiles(layer)[3];
+            assert_eq!(dma.row, last_slot.row);
+            assert_eq!(dma.col, last_slot.col + 1);
+        }
+    }
+
+    #[test]
+    fn usage_scales_with_task_parallelism() {
+        let one = Placement::plan(&config(256, 4, 1)).unwrap().usage();
+        let nine = Placement::plan(&config(256, 4, 9)).unwrap().usage();
+        assert_eq!(nine.aie, 9 * one.aie);
+        assert_eq!(nine.plio, 9 * one.plio);
+        assert_eq!(nine.uram, 9 * one.uram);
+    }
+
+    #[test]
+    fn oversized_columns_are_infeasible() {
+        // 4096-row columns exceed the 8 KB bank.
+        let c = HeteroSvdConfig::builder(4096, 64)
+            .engine_parallelism(4)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Placement::plan(&c),
+            Err(HeteroSvdError::Infeasible(_))
+        ));
+    }
+
+    #[test]
+    fn max_supported_column_length_is_1365() {
+        // 6 column buffers (2 in, 2 ping-pong, 2 DMA) must fit 32 KB:
+        // m*4*6 <= 32768 -> m <= 1365. The paper's largest size is 1024.
+        let ok = HeteroSvdConfig::builder(1024, 64)
+            .engine_parallelism(4)
+            .build()
+            .unwrap();
+        assert!(Placement::plan(&ok).is_ok());
+        let too_big = HeteroSvdConfig::builder(2048, 64)
+            .engine_parallelism(4)
+            .build()
+            .unwrap();
+        assert!(Placement::plan(&too_big).is_err());
+    }
+
+    #[test]
+    fn packing_stacks_short_pipelines_vertically() {
+        // P_eng = 2: 3 layers + boundary = 4 rows -> 2 pipelines per band.
+        let p = Placement::plan(&config(64, 2, 1)).unwrap();
+        let packing = p.pack_tasks(26).unwrap();
+        assert_eq!(packing.vertical_stack, 2);
+        assert_eq!(packing.columns_per_task, 3);
+        assert_eq!(packing.columns_needed, 13 * 3);
+        assert_eq!(packing.origins.len(), 26);
+        // Origins are distinct.
+        let set: std::collections::HashSet<_> = packing.origins.iter().collect();
+        assert_eq!(set.len(), 26);
+    }
+
+    #[test]
+    fn packing_rejects_overwide_designs() {
+        // P_eng = 8: 3 bands of 9 columns each = 27 columns per task; two
+        // tasks need 54 > 50 columns under row-major packing (the paper's
+        // placement evidently packs tighter; see method docs).
+        let p = Placement::plan(&config(64, 8, 1)).unwrap();
+        assert!(p.pack_tasks(1).is_ok());
+        assert!(matches!(
+            p.pack_tasks(2),
+            Err(SimError::ResourceExceeded { .. })
+        ));
+    }
+
+    #[test]
+    fn tile_roles_never_overlap() {
+        // Orth, DMA-layer, mem-layer and norm tiles must be pairwise
+        // disjoint for every engine parallelism.
+        for p_eng in 1..=11 {
+            let p = Placement::plan(&config(2 * p_eng * 2, p_eng, 1)).unwrap();
+            let mut seen = std::collections::HashSet::new();
+            for layer in 0..p.num_layers() {
+                for &t in p.orth_tiles(layer) {
+                    assert!(seen.insert(t), "P_eng={p_eng}: duplicate tile {t}");
+                }
+            }
+            // One DMA tile per layer, but stacked layers in the same band
+            // share the same physical DMA column rows across bands only;
+            // within a band each row is distinct.
+            let mut dma_seen = std::collections::HashSet::new();
+            for layer in 0..p.num_layers() {
+                let t = p.dma_tile(layer);
+                assert!(!seen.contains(&t), "P_eng={p_eng}: DMA tile {t} overlaps orth");
+                dma_seen.insert(t);
+            }
+            for &t in p.mem_layer_tiles() {
+                assert!(!seen.contains(&t) && !dma_seen.contains(&t));
+            }
+            for &t in p.norm_tiles() {
+                assert!(!seen.contains(&t) && !dma_seen.contains(&t));
+                assert!(!p.mem_layer_tiles().contains(&t));
+            }
+        }
+    }
+
+    #[test]
+    fn k1_degenerate_placement() {
+        let p = Placement::plan(&config(64, 1, 1)).unwrap();
+        assert_eq!(p.num_layers(), 1);
+        assert_eq!(p.num_bands(), 1);
+        assert_eq!(p.counts().orth, 1);
+        assert_eq!(p.counts().mem, 1); // one DMA-layer tile
+    }
+}

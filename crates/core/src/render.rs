@@ -1,0 +1,191 @@
+//! Text rendering of placements and dataflows (the Fig. 5 diagram,
+//! regenerated from the actual placement engine).
+//!
+//! Legend: `O` orth-AIE, `N` norm-AIE, `M` mem-layer AIE, `D` DMA-layer
+//! AIE, `.` idle tile. Row 0 (bottom line) touches the PL interface.
+
+use crate::orth_pipeline::PassRecord;
+use crate::placement::Placement;
+use std::fmt::Write;
+
+impl Placement {
+    /// Renders the placement of one task pipeline as an ASCII grid
+    /// (highest row first, like the paper's figures), clipped to the
+    /// columns the pipeline occupies plus one idle margin.
+    pub fn render(&self) -> String {
+        let rows = self.geometry().rows;
+        let width = self.occupied_columns() + 1;
+
+        let mut grid = vec![vec!['.'; width]; rows];
+        let mut mark = |t: aie_sim::TileCoord, c: char| {
+            if t.row < rows && t.col < width {
+                grid[t.row][t.col] = c;
+            }
+        };
+        for layer in 0..self.num_layers() {
+            for &t in self.orth_tiles(layer) {
+                mark(t, 'O');
+            }
+            mark(self.dma_tile(layer), 'D');
+        }
+        for &t in self.mem_layer_tiles() {
+            mark(t, 'M');
+        }
+        for &t in self.norm_tiles() {
+            mark(t, 'N');
+        }
+
+        let mut out = String::new();
+        for row in (0..rows).rev() {
+            let _ = write!(out, "row {row} |");
+            for c in &grid[row] {
+                let _ = write!(out, " {c}");
+            }
+            out.push('\n');
+        }
+        let _ = writeln!(out, "       +{}", "--".repeat(width));
+        let _ = writeln!(
+            out,
+            "        {}",
+            (0..width)
+                .map(|c| format!("{:>1}", c % 10))
+                .collect::<Vec<_>>()
+                .join(" ")
+        );
+        out.push_str("        (PL interface below row 0; O orth, N norm, M mem-layer, D DMA-layer)\n");
+        out
+    }
+
+    /// The number of array columns this pipeline's tiles span.
+    pub fn occupied_columns(&self) -> usize {
+        let mut max_col = 0;
+        for layer in 0..self.num_layers() {
+            max_col = max_col.max(self.dma_tile(layer).col);
+        }
+        max_col + 1
+    }
+
+    /// Array geometry the placement targets.
+    pub fn geometry(&self) -> aie_sim::ArrayGeometry {
+        self.array_geometry()
+    }
+}
+
+/// Renders a pass-trace excerpt as an ASCII Gantt chart: one line per
+/// block-pair pass, `#` spanning ready→end on a scaled time axis. Makes
+/// the pipelining (overlapping passes) and round-boundary stalls of the
+/// Fig. 7 model directly visible.
+///
+/// `width` is the chart width in characters; passes outside
+/// `first..first + count` are skipped.
+pub fn render_gantt(trace: &[PassRecord], first: usize, count: usize, width: usize) -> String {
+    let slice: Vec<&PassRecord> = trace.iter().skip(first).take(count).collect();
+    let Some(t0) = slice.first().map(|p| p.ready.0) else {
+        return String::from("(empty trace)\n");
+    };
+    let t1 = slice.iter().map(|p| p.end.0).max().unwrap_or(t0 + 1).max(t0 + 1);
+    let scale = |t: u64| ((t - t0) as u128 * (width as u128 - 1) / (t1 - t0) as u128) as usize;
+
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{:>6} {:>9} | time ({} .. {})",
+        "pass",
+        "blocks",
+        aie_sim::TimePs(t0),
+        aie_sim::TimePs(t1)
+    );
+    for p in &slice {
+        let start = scale(p.ready.0.max(t0));
+        let end = scale(p.end.0).max(start + 1);
+        let mut bar = vec![' '; width];
+        for cell in bar.iter_mut().take(end).skip(start) {
+            *cell = '#';
+        }
+        let _ = writeln!(
+            out,
+            "{:>6} {:>9} |{}|",
+            p.pass,
+            format!("({},{})", p.blocks.0, p.blocks.1),
+            bar.into_iter().collect::<String>()
+        );
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::HeteroSvdConfig;
+
+    fn placement(p_eng: usize) -> Placement {
+        let cfg = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(p_eng)
+            .build()
+            .unwrap();
+        Placement::plan(&cfg).unwrap()
+    }
+
+    /// The grid portion of a rendering (excluding the legend/axis).
+    fn grid(render: &str) -> String {
+        render
+            .lines()
+            .filter(|l| l.starts_with("row"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    }
+
+    #[test]
+    fn render_shows_all_tile_kinds() {
+        // k = 2 (Fig. 5's example is A_{m x 4}, i.e. block pairs of 4
+        // columns on a (2k-1) x k = 3x2 orth array).
+        let r = placement(2).render();
+        let g = grid(&r);
+        assert!(g.contains('O'));
+        assert!(g.contains('N'));
+        assert!(g.contains('D'));
+        assert!(r.contains("row 0"));
+        assert!(r.contains("row 7"));
+        // Single band: no mem-layer tiles in the grid.
+        assert!(!g.contains('M'));
+    }
+
+    #[test]
+    fn multi_band_render_includes_mem_layers() {
+        let r = placement(8).render();
+        assert!(grid(&r).contains('M'));
+        // 3 bands of width 9 span 27 columns.
+        assert_eq!(placement(8).occupied_columns(), 27);
+    }
+
+    #[test]
+    fn gantt_shows_overlapping_bars() {
+        use crate::{Accelerator, FidelityMode, HeteroSvdConfig};
+        let cfg = HeteroSvdConfig::builder(16, 16)
+            .engine_parallelism(2)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(1)
+            .record_trace(true)
+            .build()
+            .unwrap();
+        let out = Accelerator::new(cfg)
+            .unwrap()
+            .run(&svd_kernels::Matrix::zeros(16, 16))
+            .unwrap();
+        let chart = super::render_gantt(&out.trace, 0, 8, 60);
+        assert_eq!(chart.lines().count(), 9); // header + 8 passes
+        assert!(chart.contains('#'));
+        // Empty traces render gracefully.
+        assert!(super::render_gantt(&[], 0, 4, 40).contains("empty"));
+    }
+
+    #[test]
+    fn grid_counts_match_placement_counts() {
+        let p = placement(4);
+        let g = grid(&p.render());
+        let count = |ch: char| g.chars().filter(|&c| c == ch).count();
+        assert_eq!(count('O'), p.counts().orth);
+        assert_eq!(count('N'), p.counts().norm);
+        assert_eq!(count('M') + count('D'), p.counts().mem);
+    }
+}

@@ -1,0 +1,157 @@
+//! PLIO assignment and the dynamic-forwarding routing rule (§III-C).
+//!
+//! Each task pipeline uses six PLIOs (Table I): four PL→AIE streams feed
+//! the orthogonalization stage — odd and even columns of the two blocks of
+//! a block pair travel on separate ports so the tile switches can
+//! dynamically forward each packet to its slot — and two AIE→PL streams
+//! return results. The normalization stage reuses two of them ("for the
+//! norm-AIE, we only use two PLIOs", §III-C).
+
+use serde::{Deserialize, Serialize};
+
+/// PLIO ports per task pipeline (Table I: `6k` for `P_task = k`).
+pub const PLIO_PER_TASK: usize = 6;
+/// PL → AIE ports per task for the orth stage.
+pub const ORTH_IN_PORTS: usize = 4;
+/// AIE → PL ports per task for the orth stage.
+pub const ORTH_OUT_PORTS: usize = 2;
+/// Ports per task for the norm stage (reused from the orth set).
+pub const NORM_PORTS: usize = 2;
+
+/// The PLIO plan of one task pipeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct PlioPlan {
+    /// Number of PL→AIE orth input ports.
+    pub orth_in: usize,
+    /// Number of AIE→PL orth output ports.
+    pub orth_out: usize,
+    /// Number of ports used by the norm stage.
+    pub norm: usize,
+}
+
+impl PlioPlan {
+    /// The standard HeteroSVD plan.
+    pub fn standard() -> Self {
+        PlioPlan {
+            orth_in: ORTH_IN_PORTS,
+            orth_out: ORTH_OUT_PORTS,
+            norm: NORM_PORTS,
+        }
+    }
+
+    /// Total distinct PLIO ports (norm reuses orth ports).
+    pub fn total_ports(&self) -> usize {
+        self.orth_in + self.orth_out
+    }
+
+    /// The input port carrying local column `col` of a block pair:
+    /// odd and even columns of each block use different ports
+    /// ("odd and even columns are sourced from different blocks within the
+    /// block pair, utilizing four PLIOs", §III-C). Columns `0..k` belong
+    /// to the first block, `k..2k` to the second.
+    pub fn input_port_of_column(&self, col: usize, k: usize) -> usize {
+        let block = if k == 0 { 0 } else { usize::from(col >= k) };
+        let parity = col % 2;
+        (block * 2 + parity) % self.orth_in.max(1)
+    }
+
+    /// The output port carrying local column `col` (one port per block).
+    pub fn output_port_of_column(&self, col: usize, k: usize) -> usize {
+        let block = if k == 0 { 0 } else { usize::from(col >= k) };
+        block % self.orth_out.max(1)
+    }
+}
+
+/// A dynamic-forwarding packet header: the 32-bit word prepended to each
+/// column packet, carrying the destination slot for the tile switches.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct PacketHeader {
+    /// Destination orth-layer.
+    pub layer: u16,
+    /// Destination slot within the layer.
+    pub slot: u8,
+    /// Which side of the slot's pair this column is (0 = left, 1 = right).
+    pub side: u8,
+}
+
+impl PacketHeader {
+    /// Encodes the header into its 32-bit wire format.
+    pub fn encode(self) -> u32 {
+        (self.layer as u32) << 16 | (self.slot as u32) << 8 | self.side as u32
+    }
+
+    /// Decodes a 32-bit wire header.
+    pub fn decode(word: u32) -> Self {
+        PacketHeader {
+            layer: (word >> 16) as u16,
+            slot: (word >> 8) as u8,
+            side: word as u8,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_totals_match_table1() {
+        let p = PlioPlan::standard();
+        assert_eq!(p.total_ports(), PLIO_PER_TASK);
+        assert_eq!(p.orth_in, 4);
+        assert_eq!(p.orth_out, 2);
+        assert_eq!(p.norm, 2);
+    }
+
+    #[test]
+    fn columns_spread_over_four_input_ports() {
+        let p = PlioPlan::standard();
+        let k = 4;
+        let mut used = std::collections::HashSet::new();
+        for col in 0..2 * k {
+            let port = p.input_port_of_column(col, k);
+            assert!(port < p.orth_in);
+            used.insert(port);
+        }
+        assert_eq!(used.len(), 4, "all four ports should carry traffic");
+        // Blocks map to disjoint port pairs.
+        for col in 0..k {
+            assert!(p.input_port_of_column(col, k) < 2);
+            assert!(p.input_port_of_column(col + k, k) >= 2);
+        }
+    }
+
+    #[test]
+    fn output_ports_split_by_block() {
+        let p = PlioPlan::standard();
+        let k = 3;
+        for col in 0..k {
+            assert_eq!(p.output_port_of_column(col, k), 0);
+            assert_eq!(p.output_port_of_column(col + k, k), 1);
+        }
+    }
+
+    #[test]
+    fn header_round_trips() {
+        let h = PacketHeader {
+            layer: 14,
+            slot: 7,
+            side: 1,
+        };
+        assert_eq!(PacketHeader::decode(h.encode()), h);
+        let h0 = PacketHeader {
+            layer: 0,
+            slot: 0,
+            side: 0,
+        };
+        assert_eq!(h0.encode(), 0);
+        assert_eq!(PacketHeader::decode(0), h0);
+    }
+
+    #[test]
+    fn degenerate_k_zero_does_not_panic() {
+        let p = PlioPlan::standard();
+        assert!(p.input_port_of_column(0, 0) < 4);
+        assert_eq!(p.output_port_of_column(0, 0), 0);
+    }
+}

@@ -1,0 +1,174 @@
+//! One-call SVD for arbitrary shapes.
+//!
+//! [`svd`] wraps the accelerator with the shape adaptation a downstream
+//! user expects: wide matrices are transposed (the one-sided method
+//! needs `rows ≥ cols`), and dimensions are zero-padded to a valid
+//! block multiple — zero rows/columns leave the nonzero singular values
+//! untouched, and the padded zero columns are gated by the numerical
+//! noise floor. The returned factors are trimmed back to the input
+//! shape.
+
+use crate::accelerator::{Accelerator, HeteroSvdOutput};
+use crate::config::HeteroSvdConfig;
+use crate::HeteroSvdError;
+use svd_kernels::Matrix;
+
+/// Result of [`svd`]: trimmed factors plus the raw accelerator output.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SvdOutput {
+    /// Singular values of the input, sorted descending, `min(m, n)` of
+    /// them.
+    pub singular_values: Vec<f32>,
+    /// Left singular vectors of the *original* orientation (`m × min(m,n)`,
+    /// columns ordered like `singular_values`). For wide inputs these are
+    /// recovered from the transposed factorization's right side.
+    pub u: Matrix<f32>,
+    /// `true` when the input was factorized as its transpose.
+    pub transposed: bool,
+    /// The raw accelerator output (padded shape).
+    pub raw: HeteroSvdOutput,
+}
+
+/// Factorizes any finite matrix on the simulated accelerator.
+///
+/// `p_eng` is adapted downward when it does not divide the (padded)
+/// column count.
+///
+/// # Example
+///
+/// ```
+/// use heterosvd::svd::svd;
+/// use svd_kernels::Matrix;
+///
+/// # fn main() -> Result<(), heterosvd::HeteroSvdError> {
+/// // A wide 2x3 matrix: handled by transposition + padding.
+/// let a = Matrix::from_column_major(2, 3, vec![1.0, 4.0, 2.0, 5.0, 3.0, 6.0])
+///     .map_err(heterosvd::HeteroSvdError::Numeric)?;
+/// let out = svd(&a, 4, 1e-6)?;
+/// assert_eq!(out.singular_values.len(), 2);
+/// assert!(out.singular_values[0] > out.singular_values[1]);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Propagates accelerator errors ([`HeteroSvdError`]); rejects empty and
+/// non-finite inputs.
+pub fn svd(a: &Matrix<f64>, p_eng: usize, precision: f64) -> Result<SvdOutput, HeteroSvdError> {
+    if a.is_empty() {
+        return Err(HeteroSvdError::InvalidConfig(
+            "matrix must be non-empty".into(),
+        ));
+    }
+    let transposed = a.rows() < a.cols();
+    let work = if transposed { a.transpose() } else { a.clone() };
+    let min_dim = work.cols();
+
+    // Choose the largest engine parallelism <= p_eng that minimizes
+    // padding, then pad to a valid shape.
+    let orig_cols = work.cols();
+    let chosen = (1..=p_eng.clamp(1, crate::config::MAX_ENGINE_PARALLELISM))
+        .rev()
+        .min_by_key(|k| {
+            let padded = orig_cols.div_ceil(2 * k) * 2 * k;
+            (padded - orig_cols, p_eng.abs_diff(*k))
+        })
+        .unwrap_or(1);
+    let padded_cols = orig_cols.div_ceil(2 * chosen) * 2 * chosen;
+    let padded_rows = work.rows().max(padded_cols);
+    let padded = if padded_cols != orig_cols || padded_rows != work.rows() {
+        Matrix::from_fn(padded_rows, padded_cols, |r, c| {
+            if r < work.rows() && c < work.cols() {
+                work[(r, c)]
+            } else {
+                0.0
+            }
+        })
+    } else {
+        work
+    };
+
+    let config = HeteroSvdConfig::builder(padded.rows(), padded.cols())
+        .engine_parallelism(chosen)
+        .precision(precision)
+        .build()?;
+    let raw = Accelerator::new(config)?.run(&padded)?;
+
+    // Trim: keep the min(m, n) largest singular values and their columns,
+    // restricted to the original row count.
+    let order = raw.result.descending_order();
+    let kept: Vec<usize> = order.into_iter().take(min_dim).collect();
+    let singular_values: Vec<f32> = kept.iter().map(|&j| raw.result.sigma[j]).collect();
+    let out_rows = if transposed { a.cols() } else { a.rows() };
+    let u = Matrix::from_fn(out_rows, kept.len(), |r, c| raw.result.u[(r, kept[c])]);
+
+    Ok(SvdOutput {
+        singular_values,
+        u,
+        transposed,
+        raw,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use svd_kernels::{hestenes_jacobi, verify, JacobiOptions};
+
+    fn golden_svs(a: &Matrix<f64>) -> Vec<f64> {
+        let work = if a.rows() < a.cols() {
+            a.transpose()
+        } else {
+            a.clone()
+        };
+        hestenes_jacobi(&work, &JacobiOptions::default())
+            .unwrap()
+            .sorted_singular_values()
+    }
+
+    #[test]
+    fn square_awkward_size_is_padded() {
+        // 30 columns with p_eng 4: pads to 32.
+        let a = Matrix::from_fn(30, 30, |r, c| {
+            ((r * 13 + c * 7) % 9) as f64 - 4.0 + if r == c { 3.0 } else { 0.0 }
+        });
+        let out = svd(&a, 4, 1e-6).unwrap();
+        assert_eq!(out.singular_values.len(), 30);
+        assert!(!out.transposed);
+        let golden = golden_svs(&a);
+        let err = verify::singular_value_error(&golden[..30], &out.singular_values);
+        assert!(err < 1e-4, "error {err}");
+    }
+
+    #[test]
+    fn wide_matrix_is_transposed() {
+        let a = Matrix::from_fn(8, 24, |r, c| ((r * 5 + c * 11) % 7) as f64 - 3.0);
+        let out = svd(&a, 4, 1e-6).unwrap();
+        assert!(out.transposed);
+        assert_eq!(out.singular_values.len(), 8);
+        assert_eq!(out.u.rows(), 24); // left vectors of A^T
+        let golden = golden_svs(&a);
+        let err = verify::singular_value_error(&golden[..8], &out.singular_values);
+        assert!(err < 1e-4, "error {err}");
+    }
+
+    #[test]
+    fn values_are_sorted_descending() {
+        let a = Matrix::from_fn(20, 10, |r, c| ((r + 2 * c) % 5) as f64 + 0.1 * r as f64);
+        let out = svd(&a, 8, 1e-6).unwrap();
+        for w in out.singular_values.windows(2) {
+            assert!(w[0] >= w[1]);
+        }
+    }
+
+    #[test]
+    fn tiny_and_empty_inputs() {
+        let one = Matrix::from_fn(1, 1, |_, _| 3.0);
+        let out = svd(&one, 4, 1e-6).unwrap();
+        assert!((out.singular_values[0] - 3.0).abs() < 1e-5);
+
+        let empty: Matrix<f64> = Matrix::zeros(0, 0);
+        assert!(svd(&empty, 4, 1e-6).is_err());
+    }
+}

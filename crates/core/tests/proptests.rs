@@ -1,0 +1,119 @@
+//! Property-based tests of the accelerator's structural invariants.
+
+use heterosvd::placement::Placement;
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use proptest::prelude::*;
+use svd_kernels::Matrix;
+
+fn valid_config(p_eng: usize, blocks: usize, rows_extra: usize) -> HeteroSvdConfig {
+    let cols = 2 * p_eng * blocks;
+    HeteroSvdConfig::builder(cols + rows_extra, cols)
+        .engine_parallelism(p_eng)
+        .pl_freq_mhz(208.3)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(1)
+        .build()
+        .unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Placement counts follow the Table I formulas for every valid
+    /// engine parallelism.
+    #[test]
+    fn placement_counts_follow_formulas(p_eng in 1usize..=11, blocks in 1usize..4) {
+        let cfg = valid_config(p_eng, blocks, 0);
+        let p = Placement::plan(&cfg).unwrap();
+        let k = p_eng;
+        let layers = 2 * k - 1;
+        prop_assert_eq!(p.num_layers(), layers);
+        prop_assert_eq!(p.counts().orth, k * layers);
+        prop_assert_eq!(p.counts().norm, k);
+        // mem = (bands-1)*k mem-layer tiles + one DMA tile per layer.
+        let bands = layers.div_ceil(6);
+        prop_assert_eq!(p.counts().mem, (bands - 1) * k + layers);
+        // Every orth tile is on an interior row.
+        for l in 0..layers {
+            prop_assert!((1..=6).contains(&p.row_of_layer(l)));
+            for t in p.orth_tiles(l) {
+                prop_assert_eq!(t.row, p.row_of_layer(l));
+            }
+        }
+    }
+
+    /// The simulated clock is deterministic: the same configuration and
+    /// shape always produce the same latency.
+    #[test]
+    fn timing_is_deterministic(p_eng in 1usize..5, blocks in 1usize..3) {
+        let cfg = valid_config(p_eng, blocks.max(1) + 1, 4);
+        let acc = Accelerator::new(cfg.clone()).unwrap();
+        let a = Matrix::zeros(cfg.rows, cfg.cols);
+        let t1 = acc.run(&a).unwrap().timing.task_time;
+        let t2 = acc.run(&a).unwrap().timing.task_time;
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Kernel invocation counts follow the schedule combinatorics for
+    /// any shape: iterations × block pairs × k(2k−1) orthogonalizations.
+    #[test]
+    fn invocation_counts_follow_combinatorics(p_eng in 1usize..5, blocks in 1usize..4) {
+        let cfg = valid_config(p_eng, blocks + 1, 0);
+        let acc = Accelerator::new(cfg.clone()).unwrap();
+        let out = acc.run(&Matrix::zeros(cfg.rows, cfg.cols)).unwrap();
+        let pairs_per_pass = p_eng * (2 * p_eng - 1);
+        prop_assert_eq!(
+            out.stats.orth_invocations,
+            cfg.num_block_pairs() * pairs_per_pass
+        );
+        prop_assert_eq!(out.stats.norm_invocations, cfg.cols);
+        // Every pass moves 2k columns in and out of the array, plus the
+        // norm stage's column round trip.
+        let orth_bytes = cfg.num_block_pairs() * 2 * p_eng * cfg.column_bytes();
+        let norm_bytes = cfg.cols * cfg.column_bytes();
+        prop_assert_eq!(out.stats.plio_bytes_in, orth_bytes + norm_bytes);
+        prop_assert_eq!(out.stats.plio_bytes_out, orth_bytes + norm_bytes);
+    }
+
+    /// More iterations never reduce the simulated latency.
+    #[test]
+    fn latency_monotone_in_iterations(iters in 1usize..6) {
+        let mk = |i: usize| {
+            let cfg = HeteroSvdConfig::builder(32, 32)
+                .engine_parallelism(4)
+                .pl_freq_mhz(208.3)
+                .fidelity(FidelityMode::TimingOnly)
+                .fixed_iterations(i)
+                .build()
+                .unwrap();
+            Accelerator::new(cfg)
+                .unwrap()
+                .run(&Matrix::zeros(32, 32))
+                .unwrap()
+                .timing
+                .task_time
+        };
+        prop_assert!(mk(iters + 1) > mk(iters));
+    }
+
+    /// The resource usage scales exactly linearly in task parallelism
+    /// for AIE/PLIO/URAM.
+    #[test]
+    fn usage_scales_in_tasks(p_task in 1usize..6) {
+        let base = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(4)
+            .task_parallelism(1)
+            .build()
+            .unwrap();
+        let scaled = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(4)
+            .task_parallelism(p_task)
+            .build()
+            .unwrap();
+        let u1 = Placement::plan(&base).unwrap().usage();
+        let un = Placement::plan(&scaled).unwrap().usage();
+        prop_assert_eq!(un.aie, p_task * u1.aie);
+        prop_assert_eq!(un.plio, p_task * u1.plio);
+        prop_assert_eq!(un.uram, p_task * u1.uram);
+    }
+}

@@ -1,0 +1,533 @@
+#![warn(missing_docs)]
+
+//! Design-space exploration for HeteroSVD micro-architectures
+//! (§IV-C, Eq. 15–16).
+//!
+//! Given a problem (`M × N`, batch size `B`), the DSE selects the
+//! first-order parameters of Table I — engine parallelism `P_eng`, task
+//! parallelism `P_task`, and the PL frequency — minimizing runtime subject
+//! to the AIE / PLIO / BRAM / URAM budgets:
+//!
+//! ```text
+//! min  runtime(P_eng, P_task, Freq)
+//! s.t. Resourceᵢ(P_eng, P_task) ≤ Cᵢ,  i ∈ {AIE, PLIO, BRAM, URAM}
+//! ```
+//!
+//! The two-stage flow of Fig. 8:
+//!
+//! 1. **Stage 1 — feasibility.** Enumerate `P_eng`; for each, place the
+//!    design ([`heterosvd::Placement`]) and keep every `P_task` whose
+//!    resource usage fits the VCK190 budgets (Eq. 16).
+//! 2. **Stage 2 — evaluation.** Score each feasible point with the
+//!    analytic performance model ([`perf_model::estimate`]) and the
+//!    power model, then pick the optimum for the requested objective
+//!    (latency or throughput).
+//!
+//! The sweep parallelizes over `P_eng` with `crossbeam` scoped threads —
+//! the full space (≤ 286 points, §IV-A) evaluates in milliseconds,
+//! compared to "more than seven hours" per point through the vendor EDA
+//! flow.
+//!
+//! # Example
+//!
+//! ```
+//! use heterosvd_dse::{DseConfig, Objective, run_dse};
+//!
+//! let result = run_dse(&DseConfig::new(256, 256).batch(100).iterations(6));
+//! let best = result.best(Objective::MaxThroughput).expect("feasible design");
+//! assert!(best.point.task_parallelism >= 1);
+//! ```
+
+use aie_sim::calibration::{Calibration, PowerCalibration};
+use aie_sim::device::DeviceProfile;
+use aie_sim::resources::{ResourceBudget, ResourceUsage};
+use aie_sim::time::TimePs;
+use heterosvd::{HeteroSvdConfig, Placement};
+use perf_model::{estimate_with, Bottleneck, DesignPoint};
+use serde::{Deserialize, Serialize};
+
+/// Optimization objective (the paper optimizes either latency or
+/// throughput depending on the application scenario, §IV-C).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Objective {
+    /// Minimize single-task latency (`t_task`).
+    MinLatency,
+    /// Maximize batch throughput (tasks/s).
+    MaxThroughput,
+    /// Maximize energy efficiency (tasks/s/W).
+    MaxEnergyEfficiency,
+}
+
+/// DSE problem description.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseConfig {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Batch size `B` (number of independent tasks).
+    pub batch: usize,
+    /// Orthogonalization iterations per task.
+    pub iterations: usize,
+    /// Optional fixed PL frequency in MHz (default: each design's
+    /// achievable frequency).
+    pub freq_mhz: Option<f64>,
+    /// Optional candidate frequency grid in MHz: each candidate at or
+    /// below a design's achievable frequency is evaluated as a separate
+    /// point (the third first-order parameter of Table I). Ignored when
+    /// `freq_mhz` is set.
+    pub freq_candidates_mhz: Vec<f64>,
+    /// Resource budgets (default VCK190). Checked *in addition to* the
+    /// device's own budget — override to model what-if capacities.
+    pub budget: ResourceBudget,
+    /// Target device profile (default VCK190).
+    pub device: DeviceProfile,
+    /// Timing calibration.
+    pub calibration: Calibration,
+    /// Power calibration.
+    pub power: PowerCalibration,
+}
+
+impl DseConfig {
+    /// A DSE problem for an `rows × cols` matrix, batch 1, six iterations.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        DseConfig {
+            rows,
+            cols,
+            batch: 1,
+            iterations: 6,
+            freq_mhz: None,
+            freq_candidates_mhz: Vec::new(),
+            budget: ResourceBudget::VCK190,
+            device: DeviceProfile::VCK190,
+            calibration: Calibration::DEFAULT,
+            power: PowerCalibration::DEFAULT,
+        }
+    }
+
+    /// Sets the batch size.
+    pub fn batch(mut self, batch: usize) -> Self {
+        self.batch = batch;
+        self
+    }
+
+    /// Sets the iteration count.
+    pub fn iterations(mut self, iterations: usize) -> Self {
+        self.iterations = iterations;
+        self
+    }
+
+    /// Fixes the PL frequency in MHz for every design point.
+    pub fn freq_mhz(mut self, mhz: f64) -> Self {
+        self.freq_mhz = Some(mhz);
+        self
+    }
+
+    /// Sets a candidate frequency grid (MHz); candidates above a design's
+    /// achievable frequency are skipped for that design.
+    pub fn freq_candidates_mhz(mut self, candidates: Vec<f64>) -> Self {
+        self.freq_candidates_mhz = candidates;
+        self
+    }
+
+    /// Targets a different device profile (its budget replaces the
+    /// default one too).
+    pub fn device(mut self, device: DeviceProfile) -> Self {
+        self.budget = device.budget;
+        self.device = device;
+        self
+    }
+}
+
+/// One evaluated design point.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DesignEvaluation {
+    /// The first-order parameters.
+    pub point: DesignPoint,
+    /// Resource usage after placement.
+    pub usage: ResourceUsage,
+    /// Single-task latency.
+    pub latency: TimePs,
+    /// Batch system time (Eq. 14).
+    pub system_time: TimePs,
+    /// Batch throughput in tasks/s.
+    pub throughput: f64,
+    /// Estimated power in watts.
+    pub power_watts: f64,
+    /// Energy efficiency in tasks/s/W.
+    pub energy_efficiency: f64,
+    /// The resource bounding this design's pass rate.
+    pub bottleneck: Bottleneck,
+}
+
+/// Result of a DSE sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct DseResult {
+    /// All feasible design points, in `(P_eng, P_task)` order.
+    pub evaluations: Vec<DesignEvaluation>,
+    /// Number of candidate points rejected by stage 1.
+    pub infeasible: usize,
+}
+
+impl DseResult {
+    /// The best feasible design for an objective.
+    pub fn best(&self, objective: Objective) -> Option<&DesignEvaluation> {
+        match objective {
+            Objective::MinLatency => self.evaluations.iter().min_by(|a, b| {
+                a.latency
+                    .cmp(&b.latency)
+                    .then(a.power_watts.total_cmp(&b.power_watts))
+            }),
+            Objective::MaxThroughput => self.evaluations.iter().max_by(|a, b| {
+                a.throughput
+                    .total_cmp(&b.throughput)
+                    .then(b.power_watts.total_cmp(&a.power_watts))
+            }),
+            Objective::MaxEnergyEfficiency => self
+                .evaluations
+                .iter()
+                .max_by(|a, b| a.energy_efficiency.total_cmp(&b.energy_efficiency)),
+        }
+    }
+
+    /// The Pareto frontier over (latency ↓, throughput ↑, power ↓):
+    /// points not dominated by any other feasible point.
+    pub fn pareto_frontier(&self) -> Vec<&DesignEvaluation> {
+        let dominates = |a: &DesignEvaluation, b: &DesignEvaluation| {
+            a.latency <= b.latency
+                && a.throughput >= b.throughput
+                && a.power_watts <= b.power_watts
+                && (a.latency < b.latency
+                    || a.throughput > b.throughput
+                    || a.power_watts < b.power_watts)
+        };
+        self.evaluations
+            .iter()
+            .filter(|cand| !self.evaluations.iter().any(|other| dominates(other, cand)))
+            .collect()
+    }
+
+    /// Stage-1 style selection: for each `P_eng`, the point with the
+    /// maximum feasible `P_task` ("maximize task parallelism by fully
+    /// utilizing resource", Fig. 8).
+    pub fn max_task_points(&self) -> Vec<&DesignEvaluation> {
+        let mut out: Vec<&DesignEvaluation> = Vec::new();
+        for eval in &self.evaluations {
+            match out
+                .iter_mut()
+                .find(|e| e.point.engine_parallelism == eval.point.engine_parallelism)
+            {
+                Some(slot) => {
+                    if eval.point.task_parallelism > slot.point.task_parallelism {
+                        *slot = eval;
+                    }
+                }
+                None => out.push(eval),
+            }
+        }
+        out
+    }
+}
+
+/// Evaluates one `(P_eng, P_task)` candidate at the configured (or
+/// achievable) frequency: stage-1 placement + feasibility, then stage-2
+/// performance/power scoring. Returns `None` when the point is invalid
+/// or infeasible.
+pub fn evaluate_point(cfg: &DseConfig, p_eng: usize, p_task: usize) -> Option<DesignEvaluation> {
+    evaluate_point_at(cfg, p_eng, p_task, cfg.freq_mhz)
+}
+
+/// [`evaluate_point`] at an explicit frequency override (MHz).
+pub fn evaluate_point_at(
+    cfg: &DseConfig,
+    p_eng: usize,
+    p_task: usize,
+    freq_mhz: Option<f64>,
+) -> Option<DesignEvaluation> {
+    if p_eng == 0 || !cfg.cols.is_multiple_of(2 * p_eng) {
+        return None;
+    }
+    // The accelerator checks the device budget itself; the DSE's own
+    // (possibly what-if) budget is checked below.
+    let mut device = cfg.device;
+    device.budget = cfg.budget;
+    let mut builder = HeteroSvdConfig::builder(cfg.rows, cfg.cols)
+        .engine_parallelism(p_eng)
+        .task_parallelism(p_task)
+        .device(device)
+        .calibration(cfg.calibration);
+    if let Some(mhz) = freq_mhz {
+        builder = builder.pl_freq_mhz(mhz);
+    }
+    let hw_cfg = builder.build().ok()?;
+    let placement = Placement::plan(&hw_cfg).ok()?;
+    let usage = placement.usage();
+    cfg.budget.check(&usage).ok()?;
+
+    let point = DesignPoint {
+        rows: cfg.rows,
+        cols: cfg.cols,
+        engine_parallelism: p_eng,
+        task_parallelism: p_task,
+        pl_freq_mhz: hw_cfg.pl_freq.mhz(),
+        iterations: cfg.iterations,
+    };
+    let est = estimate_with(&point, &cfg.calibration);
+    let system_time = est.system_time(cfg.batch, p_task);
+    let throughput = est.throughput(cfg.batch, p_task);
+    let power_watts = cfg.power.power_watts(
+        usage.aie,
+        usage.uram,
+        usage.bram,
+        point.pl_freq_mhz,
+        usage.luts,
+    );
+    Some(DesignEvaluation {
+        point,
+        usage,
+        latency: est.task,
+        system_time,
+        throughput,
+        power_watts,
+        energy_efficiency: throughput / power_watts,
+        bottleneck: est.bottleneck,
+    })
+}
+
+/// Runs the full two-stage DSE sweep over `P_eng ∈ [1, 11]` and
+/// `P_task ∈ [1, 26]` (Table I), parallelized over `P_eng`.
+pub fn run_dse(cfg: &DseConfig) -> DseResult {
+    let p_eng_range: Vec<usize> =
+        (1..=heterosvd::config::MAX_ENGINE_PARALLELISM).collect();
+    let mut per_eng: Vec<(usize, Vec<DesignEvaluation>, usize)> = Vec::new();
+
+    crossbeam::scope(|scope| {
+        let handles: Vec<_> = p_eng_range
+            .iter()
+            .map(|&p_eng| {
+                scope.spawn(move |_| {
+                    let mut evals = Vec::new();
+                    let mut infeasible = 0usize;
+                    for p_task in 1..=heterosvd::config::MAX_TASK_PARALLELISM {
+                        match evaluate_point(cfg, p_eng, p_task) {
+                            Some(e) => {
+                                // Explore lower candidate frequencies too
+                                // (they trade latency for power).
+                                let achievable = e.point.pl_freq_mhz;
+                                for &mhz in &cfg.freq_candidates_mhz {
+                                    if cfg.freq_mhz.is_none()
+                                        && mhz < achievable
+                                        && mhz > 0.0
+                                    {
+                                        if let Some(extra) =
+                                            evaluate_point_at(cfg, p_eng, p_task, Some(mhz))
+                                        {
+                                            evals.push(extra);
+                                        }
+                                    }
+                                }
+                                evals.push(e);
+                            }
+                            None => infeasible += 1,
+                        }
+                    }
+                    (p_eng, evals, infeasible)
+                })
+            })
+            .collect();
+        for h in handles {
+            per_eng.push(h.join().expect("dse worker panicked"));
+        }
+    })
+    .expect("dse scope panicked");
+
+    per_eng.sort_by_key(|(p_eng, _, _)| *p_eng);
+    let mut evaluations = Vec::new();
+    let mut infeasible = 0;
+    for (_, evals, inf) in per_eng {
+        evaluations.extend(evals);
+        infeasible += inf;
+    }
+    DseResult {
+        evaluations,
+        infeasible,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_finds_feasible_points_for_256() {
+        let result = run_dse(&DseConfig::new(256, 256).batch(100).iterations(6));
+        assert!(!result.evaluations.is_empty());
+        // Points must honor Table I ranges and the budgets.
+        for e in &result.evaluations {
+            assert!(e.point.engine_parallelism <= 11);
+            assert!(e.point.task_parallelism <= 26);
+            assert!(e.usage.aie <= 400);
+            assert!(e.usage.uram <= 463);
+            assert!(e.power_watts > 0.0);
+        }
+        assert!(result.infeasible > 0);
+    }
+
+    #[test]
+    fn latency_optimum_prefers_high_engine_parallelism() {
+        // Table VI: high P_eng minimizes latency.
+        let result = run_dse(&DseConfig::new(256, 256).freq_mhz(208.3));
+        let best = result.best(Objective::MinLatency).unwrap();
+        assert!(
+            best.point.engine_parallelism >= 8,
+            "latency-optimal P_eng = {}",
+            best.point.engine_parallelism
+        );
+    }
+
+    #[test]
+    fn throughput_optimum_prefers_high_task_parallelism() {
+        // Table VI: low P_eng + high P_task maximizes throughput.
+        let result = run_dse(&DseConfig::new(256, 256).batch(100).freq_mhz(208.3));
+        let best = result.best(Objective::MaxThroughput).unwrap();
+        let latency_best = result.best(Objective::MinLatency).unwrap();
+        assert!(best.point.task_parallelism > latency_best.point.task_parallelism);
+        assert!(best.point.engine_parallelism < latency_best.point.engine_parallelism);
+    }
+
+    #[test]
+    fn max_task_points_are_resource_saturated() {
+        let result = run_dse(&DseConfig::new(256, 256).freq_mhz(208.3));
+        for e in result.max_task_points() {
+            // One more task must be infeasible (or at the Table I cap).
+            if e.point.task_parallelism < 26 {
+                let cfg = DseConfig::new(256, 256).freq_mhz(208.3);
+                assert!(
+                    evaluate_point(
+                        &cfg,
+                        e.point.engine_parallelism,
+                        e.point.task_parallelism + 1
+                    )
+                    .is_none(),
+                    "P_eng={} P_task={} is not saturated",
+                    e.point.engine_parallelism,
+                    e.point.task_parallelism
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn power_increases_with_resources() {
+        let cfg = DseConfig::new(256, 256).freq_mhz(208.3);
+        let small = evaluate_point(&cfg, 2, 1).unwrap();
+        let large = evaluate_point(&cfg, 2, 20).unwrap();
+        assert!(large.power_watts > small.power_watts);
+    }
+
+    #[test]
+    fn invalid_blocking_is_skipped() {
+        // P_eng = 3 does not divide 256 columns evenly (256 % 6 != 0).
+        let cfg = DseConfig::new(256, 256);
+        assert!(evaluate_point(&cfg, 3, 1).is_none());
+        // P_eng = 0 and giant P_task also rejected.
+        assert!(evaluate_point(&cfg, 0, 1).is_none());
+        assert!(evaluate_point(&cfg, 2, 27).is_none());
+    }
+
+    #[test]
+    fn table6_trend_latency_and_throughput() {
+        // Reproduce Table VI's qualitative trade-off at 256x256, 208.3 MHz:
+        // P_eng up => latency down; P_task up => throughput up.
+        let cfg = DseConfig::new(256, 256).batch(100).iterations(6).freq_mhz(208.3);
+        let e2 = evaluate_point(&cfg, 2, 26).unwrap();
+        let e4 = evaluate_point(&cfg, 4, 9).unwrap();
+        let e8 = evaluate_point(&cfg, 8, 2).unwrap();
+        assert!(e8.latency < e4.latency && e4.latency < e2.latency);
+        assert!(e2.throughput > e4.throughput && e4.throughput > e8.throughput);
+        assert!(e2.power_watts > e8.power_watts);
+    }
+
+    #[test]
+    fn aie_ml_device_changes_the_feasible_set() {
+        // The estimated AIE-ML device has fewer AIEs and less URAM: its
+        // feasible set shrinks, but designs still exist.
+        let vck = run_dse(&DseConfig::new(256, 256).batch(100));
+        let aie_ml = run_dse(
+            &DseConfig::new(256, 256)
+                .batch(100)
+                .device(DeviceProfile::VE2802_ESTIMATE),
+        );
+        assert!(!aie_ml.evaluations.is_empty());
+        assert!(aie_ml.evaluations.len() < vck.evaluations.len());
+        for e in &aie_ml.evaluations {
+            assert!(e.usage.aie <= DeviceProfile::VE2802_ESTIMATE.budget.aie);
+            assert!(e.usage.uram <= DeviceProfile::VE2802_ESTIMATE.budget.uram);
+        }
+    }
+
+    #[test]
+    fn pareto_frontier_is_nonempty_and_undominated() {
+        let result = run_dse(&DseConfig::new(256, 256).batch(100).iterations(6));
+        let frontier = result.pareto_frontier();
+        assert!(!frontier.is_empty());
+        assert!(frontier.len() <= result.evaluations.len());
+        // Both single-objective optima must be on the frontier.
+        let lat = result.best(Objective::MinLatency).unwrap();
+        let tput = result.best(Objective::MaxThroughput).unwrap();
+        assert!(frontier.iter().any(|e| e.point == lat.point));
+        assert!(frontier.iter().any(|e| e.point == tput.point));
+        // No frontier point dominates another frontier point.
+        for a in &frontier {
+            for b in &frontier {
+                if a.point != b.point {
+                    let dominates = a.latency <= b.latency
+                        && a.throughput >= b.throughput
+                        && a.power_watts <= b.power_watts
+                        && (a.latency < b.latency
+                            || a.throughput > b.throughput
+                            || a.power_watts < b.power_watts);
+                    assert!(!dominates, "{:?} dominates {:?}", a.point, b.point);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn frequency_candidates_expand_the_space() {
+        let base = run_dse(&DseConfig::new(128, 128));
+        let swept = run_dse(
+            &DseConfig::new(128, 128).freq_candidates_mhz(vec![208.3, 310.0]),
+        );
+        assert!(swept.evaluations.len() > base.evaluations.len());
+        // Lower frequencies cost latency but save power.
+        let slow = swept
+            .evaluations
+            .iter()
+            .filter(|e| {
+                e.point.engine_parallelism == 8
+                    && e.point.task_parallelism == 1
+            })
+            .collect::<Vec<_>>();
+        assert!(slow.len() >= 2);
+        let fastest = slow
+            .iter()
+            .max_by(|a, b| a.point.pl_freq_mhz.total_cmp(&b.point.pl_freq_mhz))
+            .unwrap();
+        let slowest = slow
+            .iter()
+            .min_by(|a, b| a.point.pl_freq_mhz.total_cmp(&b.point.pl_freq_mhz))
+            .unwrap();
+        assert!(slowest.latency > fastest.latency);
+        assert!(slowest.power_watts < fastest.power_watts);
+    }
+
+    #[test]
+    fn energy_efficiency_objective_selects_consistently() {
+        let result = run_dse(&DseConfig::new(128, 128).batch(100));
+        let best = result.best(Objective::MaxEnergyEfficiency).unwrap();
+        for e in &result.evaluations {
+            assert!(best.energy_efficiency >= e.energy_efficiency);
+        }
+    }
+}

@@ -1,0 +1,536 @@
+//! Data-movement and DMA analysis of SVD orderings on the AIE array
+//! (the quantitative model behind Fig. 3 of the paper).
+//!
+//! A block pair of `2k` columns flows through `2k−1` orth-layers of `k`
+//! orth-AIEs, one layer per array row. Between consecutive layers, every
+//! column moves from its slot in layer `i` to its slot in layer `i+1`.
+//! Whether a movement is a cheap neighbor access or an expensive DMA
+//! transfer depends on (a) the movement's direction, (b) the destination
+//! row's core/memory orientation (even rows: core left of memory; odd rows:
+//! reversed), and (c) the dataflow strategy (naive output placement vs the
+//! paper's AIE-centric relocation, Fig. 4).
+
+use serde::{Deserialize, Serialize};
+
+/// Direction of one column's inter-layer movement.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Movement {
+    /// Same slot in the next layer.
+    Straight,
+    /// One slot toward column 0.
+    Leftward,
+    /// One slot away from column 0.
+    Rightward,
+    /// Between the first and last slots (long distance, `k−1` tiles).
+    Wraparound,
+}
+
+/// How a movement is realized on the array.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum AccessKind {
+    /// Direct shared-memory access between adjacent tiles.
+    Neighbor,
+    /// DMA transfer through the stream switch: needs a second buffer
+    /// (2× memory) and runs at the slower stream rate.
+    Dma,
+}
+
+/// SVD ordering variant (§III-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum OrderingKind {
+    /// Traditional ring ordering \[16\]: a monolithic movement pattern —
+    /// every transition moves `k−1` columns leftward plus one wraparound,
+    /// oblivious to the destination row's topology.
+    Ring,
+    /// Brent–Luk round-robin \[17\]: the folded tournament — every
+    /// transition moves `k−1` columns leftward *and* `k−1` rightward
+    /// (plus two in-place hand-offs at the fold ends). No wraparound,
+    /// but the bidirectional flow means one direction always mismatches
+    /// the destination row's parity — the shifting transform cannot fix
+    /// it, which is why the paper builds on the ring ordering instead.
+    RoundRobin,
+    /// The paper's shifting ring ordering: layer `i`'s slot assignment is
+    /// cyclically shifted right by `⌊i/2⌋`, so each transition's lateral
+    /// movements match the destination row's orientation.
+    #[default]
+    ShiftingRing,
+}
+
+/// Dataflow strategy for orth-AIE outputs (§III-B, Fig. 4).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default, Serialize, Deserialize)]
+pub enum DataflowKind {
+    /// Fig. 4(a): outputs stay in the producer's own memory. The next
+    /// layer's core reaches it through its south port only, so every
+    /// lateral movement needs DMA.
+    NaiveMemory,
+    /// Fig. 4(b): outputs are written into the next row's memory, so the
+    /// consumer can reach laterally-moved data through its row-parity
+    /// port: leftward into odd rows, rightward into even rows.
+    #[default]
+    Relocated,
+}
+
+impl OrderingKind {
+    /// Cyclic slot shift of layer `row` (`⌊row/2⌋` for the shifting ring,
+    /// zero for the traditional ring).
+    pub fn slot_shift(self, row: usize) -> usize {
+        match self {
+            OrderingKind::Ring | OrderingKind::RoundRobin => 0,
+            OrderingKind::ShiftingRing => row / 2,
+        }
+    }
+
+    /// The multiset of movements in the transition from layer `from_layer`
+    /// to layer `from_layer + 1`, for `k` orth-AIEs per layer (`2k`
+    /// columns total), with layers on consecutive abstract rows
+    /// (`layer i` → `row i`).
+    ///
+    /// Ring: `k` straight + `k−1` leftward + 1 wraparound, every
+    /// transition. Shifting ring: transitions into even rows transform
+    /// straight→rightward and leftward→straight (§III-B); transitions into
+    /// odd rows keep the ring pattern.
+    ///
+    /// Returns an empty vector for `k == 0`; for `k == 1` there are two
+    /// columns on one AIE and both movements are straight.
+    pub fn transition_movements(self, from_layer: usize, k: usize) -> Vec<Movement> {
+        self.transition_movements_rows(from_layer, from_layer + 1, k)
+    }
+
+    /// [`OrderingKind::transition_movements`] for layers placed on explicit
+    /// physical rows (as produced by the placement engine, where orth rows
+    /// start above the boundary mem-layer and may wrap into a new band).
+    ///
+    /// The shifting ring's transformation applies whenever the destination
+    /// row's slot shift exceeds the source row's (`⌊row/2⌋` increments),
+    /// which happens exactly on transitions into even physical rows.
+    pub fn transition_movements_rows(
+        self,
+        src_row: usize,
+        dest_row: usize,
+        k: usize,
+    ) -> Vec<Movement> {
+        if k == 0 {
+            return Vec::new();
+        }
+        if k == 1 {
+            return vec![Movement::Straight; 2];
+        }
+        let ring = || {
+            let mut m = vec![Movement::Straight; k];
+            m.extend(std::iter::repeat_n(Movement::Leftward, k - 1));
+            m.push(Movement::Wraparound);
+            m
+        };
+        match self {
+            OrderingKind::Ring => ring(),
+            OrderingKind::RoundRobin => {
+                // Folded tournament: both directions every transition,
+                // two fold-end columns stay in place, no wraparound.
+                let mut m = vec![Movement::Straight; 2];
+                m.extend(std::iter::repeat_n(Movement::Leftward, k - 1));
+                m.extend(std::iter::repeat_n(Movement::Rightward, k - 1));
+                m
+            }
+            OrderingKind::ShiftingRing => {
+                let shift_diff = self
+                    .slot_shift(dest_row)
+                    .wrapping_sub(self.slot_shift(src_row));
+                if shift_diff == 1 {
+                    // Shift increments (into an even row): straight becomes
+                    // rightward, leftward becomes straight.
+                    let mut m = vec![Movement::Rightward; k];
+                    m.extend(std::iter::repeat_n(Movement::Straight, k - 1));
+                    m.push(Movement::Wraparound);
+                    m
+                } else {
+                    // Shift unchanged (into an odd row): ring pattern.
+                    ring()
+                }
+            }
+        }
+    }
+}
+
+/// Classifies one movement into a neighbor access or a DMA transfer.
+///
+/// `dest_row` is the physical array row of the destination layer; its
+/// parity selects which lateral direction the relocated dataflow supports.
+pub fn classify(movement: Movement, dest_row: usize, dataflow: DataflowKind) -> AccessKind {
+    match (movement, dataflow) {
+        (Movement::Straight, _) => AccessKind::Neighbor,
+        (Movement::Wraparound, _) => AccessKind::Dma,
+        (_, DataflowKind::NaiveMemory) => AccessKind::Dma,
+        (Movement::Leftward, DataflowKind::Relocated) => {
+            if dest_row % 2 == 1 {
+                AccessKind::Neighbor
+            } else {
+                AccessKind::Dma
+            }
+        }
+        (Movement::Rightward, DataflowKind::Relocated) => {
+            if dest_row.is_multiple_of(2) {
+                AccessKind::Neighbor
+            } else {
+                AccessKind::Dma
+            }
+        }
+    }
+}
+
+/// Aggregate movement/DMA statistics for one block-pair pass.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct MovementReport {
+    /// Ordering analyzed.
+    pub ordering: OrderingKind,
+    /// Dataflow strategy analyzed.
+    pub dataflow: DataflowKind,
+    /// Orth-AIEs per layer (`k`); the block pair holds `2k` columns.
+    pub engine_parallelism: usize,
+    /// Total column movements across all layer transitions.
+    pub total_movements: usize,
+    /// Movements realized as DMA transfers.
+    pub dma_transfers: usize,
+    /// Movements realized as neighbor accesses.
+    pub neighbor_accesses: usize,
+    /// Extra memory buffers required by DMA (one per DMA transfer —
+    /// DMA "requires twice the memory resources", §II-B).
+    pub extra_dma_buffers: usize,
+    /// Per-transition DMA counts (length `2k−2`).
+    pub dma_per_transition: Vec<usize>,
+}
+
+impl MovementReport {
+    /// Fraction of movements requiring DMA, in `[0, 1]`.
+    pub fn dma_fraction(&self) -> f64 {
+        if self.total_movements == 0 {
+            0.0
+        } else {
+            self.dma_transfers as f64 / self.total_movements as f64
+        }
+    }
+}
+
+/// Analyzes the movements of one block-pair pass: `2k` columns through
+/// `2k−1` layers placed on consecutive array rows starting at row 0.
+///
+/// Use [`analyze_with_rows`] when the placement maps layers to
+/// non-consecutive physical rows.
+///
+/// # Example
+///
+/// ```
+/// use svd_orderings::movement::{analyze, DataflowKind, OrderingKind};
+///
+/// // The paper's headline: the co-design cuts per-pass DMA from
+/// // 2k(k-1) to 2(k-1) — an 8x reduction at k = 8.
+/// let naive = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, 8);
+/// let codesign = analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, 8);
+/// assert_eq!(naive.dma_transfers, 112);
+/// assert_eq!(codesign.dma_transfers, 14);
+/// ```
+pub fn analyze(ordering: OrderingKind, dataflow: DataflowKind, k: usize) -> MovementReport {
+    let layers = if k == 0 { 0 } else { 2 * k - 1 };
+    analyze_with_rows(ordering, dataflow, k, |layer| layer % layers.max(1))
+}
+
+/// [`analyze`] with an explicit layer→physical-row mapping, as produced by
+/// the placement engine (layers may wrap into a new column band whose rows
+/// restart at the array boundary).
+pub fn analyze_with_rows(
+    ordering: OrderingKind,
+    dataflow: DataflowKind,
+    k: usize,
+    row_of_layer: impl Fn(usize) -> usize,
+) -> MovementReport {
+    let transitions = if k == 0 { 0 } else { 2 * k - 2 };
+    let mut total = 0usize;
+    let mut dma = 0usize;
+    let mut per_transition = Vec::with_capacity(transitions);
+    for t in 0..transitions {
+        let src_row = row_of_layer(t);
+        let dest_row = row_of_layer(t + 1);
+        let movements = ordering.transition_movements_rows(src_row, dest_row, k);
+        let mut dma_here = 0usize;
+        for m in &movements {
+            total += 1;
+            if classify(*m, dest_row, dataflow) == AccessKind::Dma {
+                dma_here += 1;
+            }
+        }
+        dma += dma_here;
+        per_transition.push(dma_here);
+    }
+    MovementReport {
+        ordering,
+        dataflow,
+        engine_parallelism: k,
+        total_movements: total,
+        dma_transfers: dma,
+        neighbor_accesses: total - dma,
+        extra_dma_buffers: dma,
+        dma_per_transition: per_transition,
+    }
+}
+
+/// Closed-form DMA count of the traditional design (ring ordering + naive
+/// memory): `2k(k−1)` (§III-B).
+pub fn ring_naive_dma_count(k: usize) -> usize {
+    if k == 0 {
+        0
+    } else {
+        2 * k * (k - 1)
+    }
+}
+
+/// Closed-form DMA count of the co-designed HeteroSVD (shifting ring +
+/// relocated dataflow): `2(k−1)` (§III-B).
+pub fn codesign_dma_count(k: usize) -> usize {
+    if k == 0 {
+        0
+    } else {
+        2 * (k - 1)
+    }
+}
+
+/// Closed-form DMA count of the Brent–Luk round-robin \[17\] with naive
+/// memory: all `2(k−1)` lateral movements per transition are DMA, over
+/// `2k−2` transitions: `4(k−1)²`.
+pub fn round_robin_naive_dma_count(k: usize) -> usize {
+    if k == 0 {
+        0
+    } else {
+        4 * (k - 1) * (k - 1)
+    }
+}
+
+/// Closed-form DMA count of the round-robin with relocated dataflow: the
+/// parity-mismatched direction per transition stays DMA: `2(k−1)²`.
+pub fn round_robin_relocated_dma_count(k: usize) -> usize {
+    if k == 0 {
+        0
+    } else {
+        2 * (k - 1) * (k - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ring_naive_matches_paper_formula() {
+        for k in 1..=16 {
+            let r = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k);
+            assert_eq!(
+                r.dma_transfers,
+                ring_naive_dma_count(k),
+                "ring+naive DMA count for k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn codesign_matches_paper_formula() {
+        for k in 1..=16 {
+            let r = analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, k);
+            assert_eq!(
+                r.dma_transfers,
+                codesign_dma_count(k),
+                "shifting+relocated DMA count for k={k}"
+            );
+        }
+    }
+
+    #[test]
+    fn round_robin_matches_its_closed_forms() {
+        for k in 1..=16 {
+            let naive = analyze(OrderingKind::RoundRobin, DataflowKind::NaiveMemory, k);
+            let relocated = analyze(OrderingKind::RoundRobin, DataflowKind::Relocated, k);
+            assert_eq!(naive.dma_transfers, round_robin_naive_dma_count(k));
+            assert_eq!(relocated.dma_transfers, round_robin_relocated_dma_count(k));
+        }
+    }
+
+    #[test]
+    fn round_robin_has_no_wraparound_but_loses_to_the_codesign() {
+        for k in 2..=11 {
+            let movements = OrderingKind::RoundRobin.transition_movements(0, k);
+            assert!(!movements.contains(&Movement::Wraparound));
+            assert_eq!(movements.len(), 2 * k);
+            // Even its best (relocated) variant is quadratic in k, while
+            // the co-design is linear: the fold cannot be shifted away.
+            let rr = analyze(OrderingKind::RoundRobin, DataflowKind::Relocated, k).dma_transfers;
+            assert!(rr >= codesign_dma_count(k));
+            if k >= 3 {
+                assert!(rr > codesign_dma_count(k));
+            }
+        }
+    }
+
+    #[test]
+    fn fig3_example_k3() {
+        // Fig. 3 uses a 6-column matrix (k = 3): 12 DMAs -> 4 DMAs.
+        let naive = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, 3);
+        let codesign = analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, 3);
+        assert_eq!(naive.dma_transfers, 12);
+        assert_eq!(codesign.dma_transfers, 4);
+    }
+
+    #[test]
+    fn ablation_corners_are_between_the_extremes() {
+        for k in 2..=11 {
+            let naive = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k).dma_transfers;
+            let ring_reloc = analyze(OrderingKind::Ring, DataflowKind::Relocated, k).dma_transfers;
+            let shift_naive =
+                analyze(OrderingKind::ShiftingRing, DataflowKind::NaiveMemory, k).dma_transfers;
+            let codesign =
+                analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, k).dma_transfers;
+            assert!(codesign < ring_reloc && ring_reloc < naive);
+            assert!(codesign < shift_naive);
+            // Analytic forms for the ablation corners.
+            assert_eq!(ring_reloc, k * k - 1);
+            assert_eq!(shift_naive, (k - 1) * (2 * k + 1));
+        }
+    }
+
+    #[test]
+    fn total_movement_count_is_2k_times_transitions() {
+        for k in 1..=8 {
+            let r = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k);
+            let transitions = if k == 0 { 0 } else { 2 * k - 2 };
+            assert_eq!(r.total_movements, 2 * k * transitions);
+            assert_eq!(r.neighbor_accesses + r.dma_transfers, r.total_movements);
+            assert_eq!(r.dma_per_transition.len(), transitions);
+        }
+    }
+
+    #[test]
+    fn codesign_has_exactly_one_dma_per_transition() {
+        let r = analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, 5);
+        assert!(r.dma_per_transition.iter().all(|&d| d == 1));
+    }
+
+    #[test]
+    fn straight_is_always_neighbor() {
+        for row in 0..4 {
+            for df in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+                assert_eq!(classify(Movement::Straight, row, df), AccessKind::Neighbor);
+            }
+        }
+    }
+
+    #[test]
+    fn wraparound_is_always_dma() {
+        for row in 0..4 {
+            for df in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+                assert_eq!(classify(Movement::Wraparound, row, df), AccessKind::Dma);
+            }
+        }
+    }
+
+    #[test]
+    fn lateral_parity_rules() {
+        // Relocated dataflow: leftward is neighbor only into odd rows,
+        // rightward only into even rows.
+        assert_eq!(
+            classify(Movement::Leftward, 1, DataflowKind::Relocated),
+            AccessKind::Neighbor
+        );
+        assert_eq!(
+            classify(Movement::Leftward, 2, DataflowKind::Relocated),
+            AccessKind::Dma
+        );
+        assert_eq!(
+            classify(Movement::Rightward, 2, DataflowKind::Relocated),
+            AccessKind::Neighbor
+        );
+        assert_eq!(
+            classify(Movement::Rightward, 1, DataflowKind::Relocated),
+            AccessKind::Dma
+        );
+        // Naive: all lateral movements are DMA.
+        assert_eq!(
+            classify(Movement::Leftward, 1, DataflowKind::NaiveMemory),
+            AccessKind::Dma
+        );
+        assert_eq!(
+            classify(Movement::Rightward, 2, DataflowKind::NaiveMemory),
+            AccessKind::Dma
+        );
+    }
+
+    #[test]
+    fn shifting_ring_transition_composition() {
+        let k = 4;
+        // Into odd rows (even source): ring pattern.
+        let into_odd = OrderingKind::ShiftingRing.transition_movements(0, k);
+        assert_eq!(
+            into_odd.iter().filter(|m| **m == Movement::Straight).count(),
+            k
+        );
+        assert_eq!(
+            into_odd.iter().filter(|m| **m == Movement::Leftward).count(),
+            k - 1
+        );
+        // Into even rows (odd source): straight->rightward, leftward->straight.
+        let into_even = OrderingKind::ShiftingRing.transition_movements(1, k);
+        assert_eq!(
+            into_even
+                .iter()
+                .filter(|m| **m == Movement::Rightward)
+                .count(),
+            k
+        );
+        assert_eq!(
+            into_even.iter().filter(|m| **m == Movement::Straight).count(),
+            k - 1
+        );
+        assert_eq!(
+            into_even
+                .iter()
+                .filter(|m| **m == Movement::Wraparound)
+                .count(),
+            1
+        );
+    }
+
+    #[test]
+    fn slot_shift_follows_floor_half() {
+        assert_eq!(OrderingKind::ShiftingRing.slot_shift(0), 0);
+        assert_eq!(OrderingKind::ShiftingRing.slot_shift(1), 0);
+        assert_eq!(OrderingKind::ShiftingRing.slot_shift(2), 1);
+        assert_eq!(OrderingKind::ShiftingRing.slot_shift(5), 2);
+        assert_eq!(OrderingKind::Ring.slot_shift(7), 0);
+    }
+
+    #[test]
+    fn degenerate_sizes() {
+        let r = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, 0);
+        assert_eq!(r.total_movements, 0);
+        assert_eq!(r.dma_fraction(), 0.0);
+
+        let r = analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, 1);
+        assert_eq!(r.dma_transfers, 0);
+        assert_eq!(r.total_movements, 0);
+    }
+
+    #[test]
+    fn dma_fraction_in_unit_interval() {
+        for k in 1..=11 {
+            for ord in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+                for df in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+                    let f = analyze(ord, df, k).dma_fraction();
+                    assert!((0.0..=1.0).contains(&f));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn analyze_with_rows_respects_physical_placement() {
+        // Placing all layers on even physical rows makes every leftward
+        // movement DMA even for the shifting ring.
+        let r = analyze_with_rows(OrderingKind::ShiftingRing, DataflowKind::Relocated, 3, |_| 2);
+        assert!(r.dma_transfers > codesign_dma_count(3));
+    }
+}

@@ -1,0 +1,143 @@
+//! Text rendering of orderings and their data movements — the Fig. 3
+//! diagram regenerated from the schedule and movement analysis.
+
+use crate::movement::{classify, AccessKind, DataflowKind, Movement, OrderingKind};
+use crate::schedule::HardwareSchedule;
+use std::fmt::Write;
+
+/// Renders the layer-by-layer ordering with each transition's movement
+/// multiset and its neighbor/DMA classification under the given
+/// dataflow — a textual Fig. 3.
+///
+/// `row_of_layer` maps layers to physical rows (identity for the
+/// abstract analysis; the placement map for a planned design).
+///
+/// # Example
+///
+/// ```
+/// use svd_orderings::movement::{DataflowKind, OrderingKind};
+/// use svd_orderings::render::render_ordering;
+///
+/// let text = render_ordering(
+///     OrderingKind::ShiftingRing,
+///     DataflowKind::Relocated,
+///     3,
+///     |l| l,
+/// );
+/// assert!(text.contains("layer"));
+/// assert!(text.contains("DMA"));
+/// ```
+pub fn render_ordering(
+    ordering: OrderingKind,
+    dataflow: DataflowKind,
+    k: usize,
+    row_of_layer: impl Fn(usize) -> usize,
+) -> String {
+    let schedule = HardwareSchedule::new(k, ordering);
+    let mut out = String::new();
+    let _ = writeln!(
+        out,
+        "{ordering:?} ordering, {dataflow:?} dataflow, k = {k} ({} columns):",
+        2 * k
+    );
+    for (l, layer) in schedule.layers().iter().enumerate() {
+        let pairs: Vec<String> = layer
+            .pairs_by_slot
+            .iter()
+            .map(|(i, j)| format!("({i},{j})"))
+            .collect();
+        let _ = writeln!(
+            out,
+            "layer {l:>2} (row {}): [{}]",
+            row_of_layer(l),
+            pairs.join(" ")
+        );
+        if l + 1 < schedule.num_layers() {
+            let src = row_of_layer(l);
+            let dest = row_of_layer(l + 1);
+            let movements = ordering.transition_movements_rows(src, dest, k);
+            let mut counts: Vec<(Movement, AccessKind, usize)> = Vec::new();
+            for m in movements {
+                let kind = classify(m, dest, dataflow);
+                match counts.iter_mut().find(|(mm, kk, _)| *mm == m && *kk == kind) {
+                    Some(slot) => slot.2 += 1,
+                    None => counts.push((m, kind, 1)),
+                }
+            }
+            let rendered: Vec<String> = counts
+                .iter()
+                .map(|(m, kind, n)| {
+                    let arrow = match m {
+                        Movement::Straight => "|",
+                        Movement::Leftward => "<-",
+                        Movement::Rightward => "->",
+                        Movement::Wraparound => "<~>",
+                    };
+                    let tag = match kind {
+                        AccessKind::Neighbor => "neighbor",
+                        AccessKind::Dma => "DMA",
+                    };
+                    format!("{n}x {arrow} {tag}")
+                })
+                .collect();
+            let _ = writeln!(out, "          {}", rendered.join(", "));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::movement::{codesign_dma_count, ring_naive_dma_count};
+
+    fn dma_count_in(text: &str) -> usize {
+        // Sum the "Nx ... DMA" counts out of the rendering.
+        text.lines()
+            .flat_map(|l| l.split(','))
+            .filter(|seg| seg.contains("DMA"))
+            .filter_map(|seg| {
+                seg.trim()
+                    .split('x')
+                    .next()
+                    .and_then(|n| n.trim().parse::<usize>().ok())
+            })
+            .sum()
+    }
+
+    #[test]
+    fn rendering_totals_match_the_analysis() {
+        for k in [2usize, 3, 5] {
+            let naive = render_ordering(
+                OrderingKind::Ring,
+                DataflowKind::NaiveMemory,
+                k,
+                |l| l,
+            );
+            assert_eq!(dma_count_in(&naive), ring_naive_dma_count(k), "k={k}");
+            let codesign = render_ordering(
+                OrderingKind::ShiftingRing,
+                DataflowKind::Relocated,
+                k,
+                |l| l,
+            );
+            assert_eq!(dma_count_in(&codesign), codesign_dma_count(k), "k={k}");
+        }
+    }
+
+    #[test]
+    fn rendering_lists_every_layer() {
+        let text = render_ordering(OrderingKind::ShiftingRing, DataflowKind::Relocated, 3, |l| l);
+        for l in 0..5 {
+            assert!(text.contains(&format!("layer  {l}")), "missing layer {l}");
+        }
+        assert!(text.contains("<~>"), "wraparound arrow missing");
+    }
+
+    #[test]
+    fn degenerate_k1_renders() {
+        let text = render_ordering(OrderingKind::Ring, DataflowKind::NaiveMemory, 1, |l| l);
+        assert!(text.contains("layer  0"));
+        assert_eq!(dma_count_in(&text), 0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Hardware pair schedules: mapping orthogonalization rounds onto
+//! orth-layers and AIE slots.
+//!
+//! A block pair holds `2k` columns (local indices `0..2k`). A complete
+//! sweep orthogonalizes all `C(2k,2) = k(2k−1)` pairs in `2k−1` rounds of
+//! `k` disjoint pairs (circle-method tournament). Each round becomes one
+//! **orth-layer** of `k` orth-AIEs; the ordering variant decides which
+//! physical slot executes which pair (the shifting ring cyclically shifts
+//! layer `i`'s assignment by `⌊i/2⌋`, §III-B).
+
+use crate::movement::OrderingKind;
+use serde::{Deserialize, Serialize};
+use svd_kernels::jacobi::round_robin_rounds;
+
+/// One orth-layer: the pairs executed by the `k` orth-AIEs of one array
+/// row, indexed by physical slot.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct Layer {
+    /// Layer index (0-based; also the logical row before placement).
+    pub index: usize,
+    /// `pairs_by_slot[s]` is the column pair executed by the orth-AIE in
+    /// physical slot `s`.
+    pub pairs_by_slot: Vec<(usize, usize)>,
+}
+
+/// A complete schedule for one block pair of `2k` columns.
+///
+/// # Example
+///
+/// ```
+/// use svd_orderings::{HardwareSchedule, movement::OrderingKind};
+///
+/// let s = HardwareSchedule::new(3, OrderingKind::ShiftingRing);
+/// assert_eq!(s.num_layers(), 5);            // 2k - 1
+/// assert_eq!(s.engine_parallelism(), 3);    // k
+/// assert_eq!(s.total_pairs(), 15);          // C(6,2)
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct HardwareSchedule {
+    k: usize,
+    ordering: OrderingKind,
+    layers: Vec<Layer>,
+}
+
+impl HardwareSchedule {
+    /// Builds the schedule for `k` orth-AIEs per layer (`2k` columns).
+    ///
+    /// For `k == 0` the schedule is empty.
+    pub fn new(k: usize, ordering: OrderingKind) -> Self {
+        let rounds = round_robin_rounds(2 * k);
+        let layers = rounds
+            .into_iter()
+            .enumerate()
+            .map(|(i, pairs)| {
+                let shift = ordering.slot_shift(i) % k.max(1);
+                let mut by_slot = vec![(0usize, 0usize); pairs.len()];
+                for (j, pair) in pairs.into_iter().enumerate() {
+                    let slot = (j + shift) % by_slot.len().max(1);
+                    by_slot[slot] = pair;
+                }
+                Layer {
+                    index: i,
+                    pairs_by_slot: by_slot,
+                }
+            })
+            .collect();
+        HardwareSchedule {
+            k,
+            ordering,
+            layers,
+        }
+    }
+
+    /// Orth-AIEs per layer (`k`).
+    pub fn engine_parallelism(&self) -> usize {
+        self.k
+    }
+
+    /// The ordering variant this schedule was built for.
+    pub fn ordering(&self) -> OrderingKind {
+        self.ordering
+    }
+
+    /// Number of orth-layers (`2k−1`, or 0 when `k == 0`).
+    pub fn num_layers(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// All layers, in execution order.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Total pair count across all layers (`k(2k−1)` for `k > 0`).
+    pub fn total_pairs(&self) -> usize {
+        self.layers.iter().map(|l| l.pairs_by_slot.len()).sum()
+    }
+
+    /// `true` when every unordered column pair of `0..2k` appears exactly
+    /// once across the layers (complete tournament).
+    pub fn is_complete(&self) -> bool {
+        let n = 2 * self.k;
+        let mut seen = std::collections::HashSet::new();
+        for layer in &self.layers {
+            for &(i, j) in &layer.pairs_by_slot {
+                if i >= n || j >= n || i == j || !seen.insert((i.min(j), i.max(j))) {
+                    return false;
+                }
+            }
+        }
+        seen.len() == n * (n.saturating_sub(1)) / 2
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn schedule_shape() {
+        for k in 1..=8 {
+            let s = HardwareSchedule::new(k, OrderingKind::ShiftingRing);
+            assert_eq!(s.num_layers(), 2 * k - 1);
+            assert!(s.layers().iter().all(|l| l.pairs_by_slot.len() == k));
+            assert_eq!(s.total_pairs(), k * (2 * k - 1));
+        }
+    }
+
+    #[test]
+    fn schedules_are_complete_tournaments() {
+        for k in 1..=8 {
+            for ord in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+                let s = HardwareSchedule::new(k, ord);
+                assert!(s.is_complete(), "k={k} {ord:?} not complete");
+            }
+        }
+    }
+
+    #[test]
+    fn shifting_ring_rotates_pairs_relative_to_ring() {
+        let k = 3;
+        let ring = HardwareSchedule::new(k, OrderingKind::Ring);
+        let shifting = HardwareSchedule::new(k, OrderingKind::ShiftingRing);
+        // Layers 0 and 1 have shift 0: identical assignments.
+        assert_eq!(
+            ring.layers()[0].pairs_by_slot,
+            shifting.layers()[0].pairs_by_slot
+        );
+        assert_eq!(
+            ring.layers()[1].pairs_by_slot,
+            shifting.layers()[1].pairs_by_slot
+        );
+        // Layer 2 has shift 1: shifting's slots are ring's rotated right by one.
+        let r2 = &ring.layers()[2].pairs_by_slot;
+        let s2 = &shifting.layers()[2].pairs_by_slot;
+        for slot in 0..k {
+            assert_eq!(s2[(slot + 1) % k], r2[slot]);
+        }
+    }
+
+    #[test]
+    fn same_pair_sets_per_layer_regardless_of_ordering() {
+        // The ordering only remaps slots; each layer's *set* of pairs is
+        // identical, so the numerical trajectory is the same.
+        let k = 4;
+        let ring = HardwareSchedule::new(k, OrderingKind::Ring);
+        let shifting = HardwareSchedule::new(k, OrderingKind::ShiftingRing);
+        for (lr, ls) in ring.layers().iter().zip(shifting.layers()) {
+            let mut a = lr.pairs_by_slot.clone();
+            let mut b = ls.pairs_by_slot.clone();
+            a.sort_unstable();
+            b.sort_unstable();
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn k_zero_is_empty() {
+        let s = HardwareSchedule::new(0, OrderingKind::ShiftingRing);
+        assert_eq!(s.num_layers(), 0);
+        assert!(s.is_complete());
+        assert_eq!(s.total_pairs(), 0);
+    }
+
+    #[test]
+    fn k_one_single_layer() {
+        let s = HardwareSchedule::new(1, OrderingKind::ShiftingRing);
+        assert_eq!(s.num_layers(), 1);
+        assert_eq!(s.layers()[0].pairs_by_slot, vec![(0, 1)]);
+    }
+}

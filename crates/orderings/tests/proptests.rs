@@ -1,0 +1,163 @@
+//! Property-based tests of orderings and movement analysis.
+
+use proptest::prelude::*;
+use svd_orderings::movement::{
+    analyze, analyze_with_rows, classify, codesign_dma_count, ring_naive_dma_count, AccessKind,
+    DataflowKind, Movement, OrderingKind,
+};
+use svd_orderings::HardwareSchedule;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Every transition's movement multiset has exactly 2k movements and
+    /// one of the two §III-B compositions: the ring pattern
+    /// (k straight + (k−1) leftward + 1 wrap) or its shifted transform
+    /// (k rightward + (k−1) straight + 1 wrap).
+    #[test]
+    fn transitions_have_paper_composition(k in 2usize..16, layer in 0usize..32) {
+        for ordering in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+            let movements = ordering.transition_movements(layer, k);
+            prop_assert_eq!(movements.len(), 2 * k);
+            let count = |mv: Movement| movements.iter().filter(|m| **m == mv).count();
+            let ring_pattern = count(Movement::Straight) == k
+                && count(Movement::Leftward) == k - 1
+                && count(Movement::Rightward) == 0;
+            let shifted_pattern = count(Movement::Rightward) == k
+                && count(Movement::Straight) == k - 1
+                && count(Movement::Leftward) == 0;
+            prop_assert!(
+                ring_pattern || shifted_pattern,
+                "{:?} layer {}: unexpected composition",
+                ordering,
+                layer
+            );
+            if ordering == OrderingKind::Ring {
+                prop_assert!(ring_pattern);
+            }
+        }
+    }
+
+    /// Exactly one wraparound per transition, for both orderings.
+    #[test]
+    fn one_wraparound_per_transition(k in 2usize..16, layer in 0usize..16) {
+        for ordering in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+            let wraps = ordering
+                .transition_movements(layer, k)
+                .iter()
+                .filter(|m| **m == Movement::Wraparound)
+                .count();
+            prop_assert_eq!(wraps, 1);
+        }
+    }
+
+    /// The closed-form totals hold for consecutive-row placements.
+    #[test]
+    fn closed_forms_hold(k in 1usize..16) {
+        prop_assert_eq!(
+            analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k).dma_transfers,
+            ring_naive_dma_count(k)
+        );
+        prop_assert_eq!(
+            analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, k).dma_transfers,
+            codesign_dma_count(k)
+        );
+    }
+
+    /// Per-transition DMA counts never exceed the movement count, and
+    /// the report is internally consistent.
+    #[test]
+    fn reports_are_consistent(k in 1usize..14) {
+        for ordering in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+            for dataflow in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+                let r = analyze(ordering, dataflow, k);
+                prop_assert_eq!(r.dma_per_transition.iter().sum::<usize>(), r.dma_transfers);
+                for &d in &r.dma_per_transition {
+                    prop_assert!(d <= 2 * k);
+                }
+                prop_assert_eq!(r.extra_dma_buffers, r.dma_transfers);
+                prop_assert!(r.dma_fraction() <= 1.0);
+            }
+        }
+    }
+
+    /// Naive dataflow never beats relocated dataflow on DMA count, for
+    /// any ordering and any physical row mapping.
+    #[test]
+    fn relocation_never_hurts(k in 1usize..12, row_offset in 0usize..8) {
+        for ordering in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+            let naive = analyze_with_rows(ordering, DataflowKind::NaiveMemory, k,
+                |l| l + row_offset);
+            let relocated = analyze_with_rows(ordering, DataflowKind::Relocated, k,
+                |l| l + row_offset);
+            prop_assert!(relocated.dma_transfers <= naive.dma_transfers);
+        }
+    }
+
+    /// Slot shifts are monotone and step by at most one per row.
+    #[test]
+    fn slot_shift_steps_by_one(row in 0usize..1000) {
+        let s0 = OrderingKind::ShiftingRing.slot_shift(row);
+        let s1 = OrderingKind::ShiftingRing.slot_shift(row + 1);
+        prop_assert!(s1 == s0 || s1 == s0 + 1);
+        prop_assert_eq!(OrderingKind::Ring.slot_shift(row), 0);
+    }
+
+    /// Classification of laterals flips with destination-row parity
+    /// under relocated dataflow.
+    #[test]
+    fn lateral_classification_flips_with_parity(row in 0usize..100) {
+        let left = classify(Movement::Leftward, row, DataflowKind::Relocated);
+        let right = classify(Movement::Rightward, row, DataflowKind::Relocated);
+        prop_assert_ne!(left, right);
+        let left_next = classify(Movement::Leftward, row + 1, DataflowKind::Relocated);
+        prop_assert_ne!(left, left_next);
+    }
+
+    /// Schedules contain each column exactly once per layer.
+    #[test]
+    fn layers_partition_the_columns(k in 1usize..12) {
+        for ordering in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+            let s = HardwareSchedule::new(k, ordering);
+            for layer in s.layers() {
+                let mut seen = std::collections::HashSet::new();
+                for &(i, j) in &layer.pairs_by_slot {
+                    prop_assert!(seen.insert(i));
+                    prop_assert!(seen.insert(j));
+                }
+                prop_assert_eq!(seen.len(), 2 * k);
+            }
+        }
+    }
+
+    /// A schedule's slot assignment is a bijection between ring and
+    /// shifting layers (same pairs, rotated).
+    #[test]
+    fn shifting_is_a_rotation_of_ring(k in 1usize..12, layer_pick in 0usize..32) {
+        let ring = HardwareSchedule::new(k, OrderingKind::Ring);
+        let shifting = HardwareSchedule::new(k, OrderingKind::ShiftingRing);
+        let layers = ring.num_layers();
+        if layers == 0 { return Ok(()); }
+        let l = layer_pick % layers;
+        let shift = OrderingKind::ShiftingRing.slot_shift(l) % k;
+        let r = &ring.layers()[l].pairs_by_slot;
+        let s = &shifting.layers()[l].pairs_by_slot;
+        for slot in 0..k {
+            prop_assert_eq!(s[(slot + shift) % k], r[slot]);
+        }
+    }
+
+    /// `classify` is total: every (movement, row, dataflow) combination
+    /// returns a definite answer, and naive lateral is always DMA.
+    #[test]
+    fn classification_is_total(row in 0usize..256) {
+        for m in [Movement::Straight, Movement::Leftward, Movement::Rightward, Movement::Wraparound] {
+            for df in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+                let _ = classify(m, row, df);
+            }
+            if m == Movement::Leftward || m == Movement::Rightward {
+                prop_assert_eq!(classify(m, row, DataflowKind::NaiveMemory), AccessKind::Dma);
+            }
+        }
+    }
+}

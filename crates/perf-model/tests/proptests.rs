@@ -1,0 +1,80 @@
+//! Property-based tests of the analytic performance model.
+
+use perf_model::{estimate, DesignPoint, PerfEstimate};
+use proptest::prelude::*;
+
+fn valid_point(n_exp: u32, p_eng: usize, p_task: usize, mhz: f64, iters: usize) -> DesignPoint {
+    let n = 1usize << n_exp;
+    DesignPoint {
+        rows: n,
+        cols: n,
+        engine_parallelism: p_eng,
+        task_parallelism: p_task,
+        pl_freq_mhz: mhz,
+        iterations: iters,
+    }
+}
+
+fn total(e: &PerfEstimate, iters: usize) -> u64 {
+    e.ddr.0 + iters as u64 * e.iteration.0 + e.norm.0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(96))]
+
+    /// The task latency contains its parts (Eq. 14 composition).
+    #[test]
+    fn task_contains_components(
+        n_exp in 5u32..10,
+        p_eng in prop::sample::select(vec![1usize, 2, 4, 8]),
+        iters in 1usize..8,
+        mhz in 150.0f64..460.0,
+    ) {
+        let p = valid_point(n_exp, p_eng, 1, mhz, iters);
+        let e = estimate(&p);
+        prop_assert!(e.task.0 >= total(&e, iters));
+        prop_assert!(e.iteration.0 >= p.num_block_pairs() as u64 * e.pass_interval.0);
+        prop_assert!(e.fill.0 >= e.pass_interval.0);
+    }
+
+    /// Latency is monotone in iterations and anti-monotone in frequency
+    /// (given everything else fixed).
+    #[test]
+    fn monotonicity(
+        n_exp in 5u32..10,
+        p_eng in prop::sample::select(vec![2usize, 4, 8]),
+        mhz in 150.0f64..400.0,
+    ) {
+        let base = estimate(&valid_point(n_exp, p_eng, 1, mhz, 2));
+        let more_iters = estimate(&valid_point(n_exp, p_eng, 1, mhz, 3));
+        prop_assert!(more_iters.task > base.task);
+        let faster = estimate(&valid_point(n_exp, p_eng, 1, mhz * 1.5, 2));
+        prop_assert!(faster.task <= base.task);
+    }
+
+    /// System time follows the wave formula exactly for any batch and
+    /// task parallelism.
+    #[test]
+    fn system_time_is_wave_exact(
+        batch in 1usize..300,
+        p_task in 1usize..27,
+    ) {
+        let e = estimate(&valid_point(6, 4, p_task, 310.0, 2));
+        let waves = batch.div_ceil(p_task) as u64;
+        prop_assert_eq!(e.system_time(batch, p_task).0, e.task.0 * waves);
+        let tput = e.throughput(batch, p_task);
+        prop_assert!(tput > 0.0);
+        // Throughput never exceeds the perfect-parallel bound.
+        let perfect = p_task as f64 / e.task.as_secs();
+        prop_assert!(tput <= perfect * 1.0000001);
+    }
+
+    /// Engine parallelism reduces per-iteration latency at every size
+    /// in the paper's range.
+    #[test]
+    fn p_eng_reduces_iteration_latency(n_exp in 6u32..11) {
+        let t2 = estimate(&valid_point(n_exp, 2, 1, 208.3, 1)).iteration;
+        let t8 = estimate(&valid_point(n_exp, 8, 1, 208.3, 1)).iteration;
+        prop_assert!(t8 < t2);
+    }
+}

@@ -1,0 +1,87 @@
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by the SVD kernels.
+///
+/// Every fallible public function in this crate returns `Result<_, SvdError>`.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum SvdError {
+    /// Matrix dimensions are invalid for the requested operation.
+    ///
+    /// Carries a human-readable description of the mismatch.
+    DimensionMismatch(String),
+    /// The requested block size does not evenly relate to the matrix shape.
+    InvalidBlocking {
+        /// Number of matrix columns.
+        cols: usize,
+        /// Requested columns per block.
+        block_cols: usize,
+    },
+    /// The iteration failed to converge within the allowed sweep budget.
+    NotConverged {
+        /// Number of sweeps performed.
+        sweeps: usize,
+        /// Off-diagonal convergence measure after the final sweep.
+        off_diagonal: f64,
+    },
+    /// A non-finite value (NaN/∞) appeared during iteration, typically from
+    /// a non-finite input matrix.
+    NonFinite,
+    /// An invalid configuration value was supplied.
+    InvalidParameter(String),
+}
+
+impl fmt::Display for SvdError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SvdError::DimensionMismatch(msg) => write!(f, "dimension mismatch: {msg}"),
+            SvdError::InvalidBlocking { cols, block_cols } => write!(
+                f,
+                "invalid blocking: {block_cols} columns per block does not divide {cols} columns"
+            ),
+            SvdError::NotConverged {
+                sweeps,
+                off_diagonal,
+            } => write!(
+                f,
+                "jacobi iteration did not converge after {sweeps} sweeps \
+                 (off-diagonal measure {off_diagonal:.3e})"
+            ),
+            SvdError::NonFinite => write!(f, "non-finite value encountered during iteration"),
+            SvdError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+        }
+    }
+}
+
+impl Error for SvdError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = SvdError::DimensionMismatch("a is 3x4, b is 5x6".into());
+        assert!(e.to_string().starts_with("dimension mismatch"));
+
+        let e = SvdError::InvalidBlocking {
+            cols: 10,
+            block_cols: 3,
+        };
+        assert!(e.to_string().contains("3 columns per block"));
+        assert!(e.to_string().contains("10 columns"));
+
+        let e = SvdError::NotConverged {
+            sweeps: 30,
+            off_diagonal: 1e-3,
+        };
+        assert!(e.to_string().contains("30 sweeps"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SvdError>();
+    }
+}

@@ -1,0 +1,180 @@
+//! Matrix I/O: CSV reading and writing.
+//!
+//! The format is plain rows of comma-separated numbers; blank lines and
+//! `#` comments are skipped. This is the interchange format of the
+//! `hsvd` command-line tool.
+
+use crate::matrix::Matrix;
+use crate::scalar::Real;
+use crate::SvdError;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+/// Reads a CSV matrix from a reader. The reader can be a `File`, a byte
+/// slice, or `&mut R` for any `R: Read`.
+///
+/// # Example
+///
+/// ```
+/// use svd_kernels::io::read_csv;
+/// use svd_kernels::Matrix;
+///
+/// # fn main() -> Result<(), svd_kernels::SvdError> {
+/// let m: Matrix<f64> = read_csv("1,2\n3,4\n".as_bytes())?;
+/// assert_eq!(m[(1, 0)], 3.0);
+/// # Ok(())
+/// # }
+/// ```
+///
+/// # Errors
+///
+/// Returns [`SvdError::InvalidParameter`] on I/O errors, unparsable
+/// cells, ragged rows, or empty input.
+pub fn read_csv<T: Real, R: Read>(reader: R) -> Result<Matrix<T>, SvdError> {
+    let reader = BufReader::new(reader);
+    let mut rows: Vec<Vec<T>> = Vec::new();
+    for (lineno, line) in reader.lines().enumerate() {
+        let line = line.map_err(|e| SvdError::InvalidParameter(format!("read error: {e}")))?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let row: Result<Vec<T>, SvdError> = trimmed
+            .split(',')
+            .map(|cell| {
+                cell.trim().parse::<f64>().map(T::from_f64).map_err(|e| {
+                    SvdError::InvalidParameter(format!("line {}: {e}", lineno + 1))
+                })
+            })
+            .collect();
+        let row = row?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(SvdError::InvalidParameter(format!(
+                    "line {}: row has {} columns, expected {}",
+                    lineno + 1,
+                    row.len(),
+                    first.len()
+                )));
+            }
+        }
+        rows.push(row);
+    }
+    if rows.is_empty() {
+        return Err(SvdError::InvalidParameter("no data rows".into()));
+    }
+    let (m, n) = (rows.len(), rows[0].len());
+    Ok(Matrix::from_fn(m, n, |r, c| rows[r][c]))
+}
+
+/// Reads a CSV matrix from a file path.
+///
+/// # Errors
+///
+/// See [`read_csv`]; file-open failures are reported the same way.
+pub fn read_csv_path<T: Real>(path: impl AsRef<Path>) -> Result<Matrix<T>, SvdError> {
+    let path = path.as_ref();
+    let file = std::fs::File::open(path).map_err(|e| {
+        SvdError::InvalidParameter(format!("cannot open {}: {e}", path.display()))
+    })?;
+    read_csv(file)
+}
+
+/// Writes a matrix as CSV. A mut reference can be passed for any
+/// `W: Write`.
+///
+/// # Errors
+///
+/// Returns [`SvdError::InvalidParameter`] on I/O errors.
+pub fn write_csv<T: Real, W: Write>(matrix: &Matrix<T>, mut writer: W) -> Result<(), SvdError> {
+    for r in 0..matrix.rows() {
+        let mut line = String::new();
+        for c in 0..matrix.cols() {
+            if c > 0 {
+                line.push(',');
+            }
+            line.push_str(&format!("{}", matrix[(r, c)].to_f64()));
+        }
+        line.push('\n');
+        writer
+            .write_all(line.as_bytes())
+            .map_err(|e| SvdError::InvalidParameter(format!("write error: {e}")))?;
+    }
+    Ok(())
+}
+
+/// Writes a matrix to a CSV file.
+///
+/// # Errors
+///
+/// See [`write_csv`].
+pub fn write_csv_path<T: Real>(
+    matrix: &Matrix<T>,
+    path: impl AsRef<Path>,
+) -> Result<(), SvdError> {
+    let path = path.as_ref();
+    let file = std::fs::File::create(path).map_err(|e| {
+        SvdError::InvalidParameter(format!("cannot create {}: {e}", path.display()))
+    })?;
+    write_csv(matrix, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_csv() {
+        let a = Matrix::from_fn(3, 4, |r, c| r as f64 * 1.5 - c as f64 / 3.0);
+        let mut buf = Vec::new();
+        write_csv(&a, &mut buf).unwrap();
+        let b: Matrix<f64> = read_csv(buf.as_slice()).unwrap();
+        assert_eq!(a.rows(), b.rows());
+        assert_eq!(a.cols(), b.cols());
+        for c in 0..a.cols() {
+            for r in 0..a.rows() {
+                assert!((a[(r, c)] - b[(r, c)]).abs() < 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn skips_comments_and_blank_lines() {
+        let text = "# header\n\n1, 2\n# middle\n3,4\n";
+        let m: Matrix<f64> = read_csv(text.as_bytes()).unwrap();
+        assert_eq!(m.rows(), 2);
+        assert_eq!(m[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn rejects_ragged_rows() {
+        let err = read_csv::<f64, _>("1,2\n3\n".as_bytes()).unwrap_err();
+        assert!(matches!(err, SvdError::InvalidParameter(_)));
+        assert!(err.to_string().contains("line 2"));
+    }
+
+    #[test]
+    fn rejects_bad_cells_and_empty_input() {
+        assert!(read_csv::<f64, _>("1,x\n".as_bytes()).is_err());
+        assert!(read_csv::<f64, _>("# only comments\n".as_bytes()).is_err());
+    }
+
+    #[test]
+    fn reads_f32_matrices() {
+        let m: Matrix<f32> = read_csv("0.5,1.5\n-2,3\n".as_bytes()).unwrap();
+        assert_eq!(m[(1, 0)], -2.0_f32);
+    }
+
+    #[test]
+    fn path_helpers_round_trip() {
+        let dir = std::env::temp_dir().join("svd_kernels_io_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("m.csv");
+        let a = Matrix::from_fn(2, 2, |r, c| (r * 2 + c) as f64);
+        write_csv_path(&a, &path).unwrap();
+        let b: Matrix<f64> = read_csv_path(&path).unwrap();
+        assert_eq!(a, b);
+        let missing = read_csv_path::<f64>(dir.join("missing.csv"));
+        assert!(missing.is_err());
+    }
+}

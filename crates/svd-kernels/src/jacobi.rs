@@ -1,0 +1,531 @@
+//! Reference one-sided Hestenes–Jacobi SVD.
+//!
+//! This is the golden model for the whole workspace: a straightforward,
+//! numerically careful `f64` implementation of the algorithm the HeteroSVD
+//! accelerator realizes in hardware. The accelerator's output is validated
+//! against [`hestenes_jacobi`] in the integration tests.
+//!
+//! The method (Eq. 2 of the paper): repeatedly orthogonalize all column
+//! pairs of `B := A·V` with plane rotations until every pair satisfies the
+//! convergence criterion of Eq. (6); then `Σ = sqrt(diag(BᵀB))` and
+//! `U = B·Σ⁻¹` (Eq. 7).
+
+use crate::matrix::Matrix;
+use crate::rotation::{apply_rotation, column_products};
+use crate::scalar::Real;
+use crate::verify;
+use crate::SvdError;
+use serde::{Deserialize, Serialize};
+
+/// Pair-enumeration order used inside a sweep of the reference solver.
+///
+/// The hardware-oriented orderings (ring / shifting ring) live in the
+/// `svd-orderings` crate; both produce mathematically equivalent sweeps, so
+/// the reference solver only distinguishes the two classic software orders.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum SweepOrder {
+    /// Row-cyclic `(0,1), (0,2), …, (n−2, n−1)`.
+    #[default]
+    Cyclic,
+    /// Brent–Luk round-robin tournament: `n−1` rounds of `n/2` disjoint
+    /// pairs, the order a systolic array executes.
+    RoundRobin,
+}
+
+/// Options controlling the reference Jacobi iteration.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct JacobiOptions {
+    /// Convergence threshold for Eq. (6); the sweep loop stops when the
+    /// largest pairwise measure falls below it. Paper experiments use
+    /// `1e-6` (§V-B).
+    pub precision: f64,
+    /// Hard cap on the number of sweeps.
+    pub max_sweeps: usize,
+    /// Pair enumeration order.
+    pub order: SweepOrder,
+    /// Accumulate the right singular vectors `V`. Algorithm 1 outputs only
+    /// `U` and `Σ` (the paper's applications need the column space), so the
+    /// accelerator skips `V`; the reference can produce it for verification.
+    pub compute_v: bool,
+}
+
+impl Default for JacobiOptions {
+    fn default() -> Self {
+        JacobiOptions {
+            precision: 1e-12,
+            max_sweeps: 60,
+            order: SweepOrder::Cyclic,
+            compute_v: true,
+        }
+    }
+}
+
+impl JacobiOptions {
+    /// Options matching the paper's experimental setup: convergence at
+    /// `1e-6` (§V-B), no `V` accumulation (Algorithm 1).
+    pub fn paper() -> Self {
+        JacobiOptions {
+            precision: 1e-6,
+            max_sweeps: 30,
+            order: SweepOrder::RoundRobin,
+            compute_v: false,
+        }
+    }
+}
+
+/// Per-sweep convergence statistics.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Sweep index (0-based).
+    pub sweep: usize,
+    /// Largest Eq. (6) measure observed during the sweep.
+    pub max_convergence: f64,
+    /// Number of non-identity rotations applied.
+    pub rotations: usize,
+}
+
+/// Result of an SVD factorization `A = U·Σ·Vᵀ`.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct SvdResult<T = f64> {
+    /// Left singular vectors, `m × n` with orthonormal columns (columns
+    /// corresponding to zero singular values are zero).
+    pub u: Matrix<T>,
+    /// Singular values in the order produced by the iteration
+    /// (not sorted; use [`SvdResult::sorted_singular_values`]).
+    pub sigma: Vec<T>,
+    /// Right singular vectors, `n × n`, when requested.
+    pub v: Option<Matrix<T>>,
+    /// Number of sweeps executed until convergence.
+    pub sweeps: usize,
+    /// Convergence history, one entry per sweep.
+    pub history: Vec<SweepStats>,
+}
+
+impl<T: Real> SvdResult<T> {
+    /// Singular values sorted descending.
+    pub fn sorted_singular_values(&self) -> Vec<T> {
+        let mut s = self.sigma.clone();
+        s.sort_by(|a, b| b.partial_cmp(a).unwrap_or(std::cmp::Ordering::Equal));
+        s
+    }
+
+    /// Relative reconstruction error `‖A − UΣVᵀ‖_F / ‖A‖_F`.
+    ///
+    /// Requires `V`; when `V` was not accumulated this falls back to the
+    /// weaker invariant check `‖AᵀA − VΣ²Vᵀ‖`-free variant: it compares the
+    /// Frobenius norm of `A` against `‖Σ‖₂` (the rotations are orthogonal,
+    /// so the norms must agree).
+    pub fn reconstruction_error(&self, a: &Matrix<T>) -> f64 {
+        match &self.v {
+            Some(v) => verify::reconstruction_error(a, &self.u, &self.sigma, v),
+            None => {
+                let norm_a = a.frobenius_norm();
+                if norm_a == 0.0 {
+                    return 0.0;
+                }
+                let norm_sigma = self
+                    .sigma
+                    .iter()
+                    .map(|s| {
+                        let x = s.to_f64();
+                        x * x
+                    })
+                    .sum::<f64>()
+                    .sqrt();
+                (norm_a - norm_sigma).abs() / norm_a
+            }
+        }
+    }
+}
+
+/// Generates the Brent–Luk round-robin tournament schedule for `n` players:
+/// `n−1` rounds, each a set of `⌊n/2⌋` disjoint pairs, covering all
+/// `n(n−1)/2` pairs exactly once. For odd `n` a bye slot is inserted.
+pub fn round_robin_rounds(n: usize) -> Vec<Vec<(usize, usize)>> {
+    if n < 2 {
+        return Vec::new();
+    }
+    let even_n = if n.is_multiple_of(2) { n } else { n + 1 };
+    // Circle method: player 0 fixed, others rotate.
+    let mut circle: Vec<usize> = (1..even_n).collect();
+    let mut rounds = Vec::with_capacity(even_n - 1);
+    for _ in 0..even_n - 1 {
+        let mut pairs = Vec::with_capacity(even_n / 2);
+        let first = (0usize, circle[even_n - 2]);
+        if first.1 < n {
+            pairs.push((first.0.min(first.1), first.0.max(first.1)));
+        }
+        for k in 0..(even_n / 2 - 1) {
+            let a = circle[k];
+            let b = circle[even_n - 3 - k];
+            if a < n && b < n {
+                pairs.push((a.min(b), a.max(b)));
+            }
+        }
+        rounds.push(pairs);
+        circle.rotate_right(1);
+    }
+    rounds
+}
+
+/// Runs the reference one-sided Hestenes–Jacobi SVD.
+///
+/// # Errors
+///
+/// * [`SvdError::DimensionMismatch`] when `A` has more columns than rows
+///   (the one-sided method requires `m ≥ n`; transpose the input instead).
+/// * [`SvdError::NonFinite`] when `A` contains NaN/∞.
+/// * [`SvdError::NotConverged`] when the sweep budget is exhausted before
+///   reaching `opts.precision`.
+///
+/// # Example
+///
+/// ```
+/// use svd_kernels::{hestenes_jacobi, JacobiOptions, Matrix};
+///
+/// # fn main() -> Result<(), svd_kernels::SvdError> {
+/// let a = Matrix::from_fn(4, 3, |r, c| (r as f64 + 1.0) * (c as f64 + 1.0) + r as f64);
+/// let svd = hestenes_jacobi(&a, &JacobiOptions::default())?;
+/// assert!(svd.reconstruction_error(&a) < 1e-10);
+/// # Ok(())
+/// # }
+/// ```
+pub fn hestenes_jacobi<T: Real>(
+    a: &Matrix<T>,
+    opts: &JacobiOptions,
+) -> Result<SvdResult<T>, SvdError> {
+    if a.rows() < a.cols() {
+        return Err(SvdError::DimensionMismatch(format!(
+            "one-sided jacobi requires rows >= cols, got {}x{}",
+            a.rows(),
+            a.cols()
+        )));
+    }
+    if !a.is_finite() {
+        return Err(SvdError::NonFinite);
+    }
+    if opts.precision <= 0.0 {
+        return Err(SvdError::InvalidParameter(
+            "precision must be positive".into(),
+        ));
+    }
+
+    let n = a.cols();
+    let mut b = a.clone();
+    let floor_sq = a.column_norm_floor_sq();
+    let mut v = opts.compute_v.then(|| Matrix::<T>::identity(n));
+    let mut history = Vec::new();
+
+    let rr_rounds = match opts.order {
+        SweepOrder::RoundRobin => Some(round_robin_rounds(n)),
+        SweepOrder::Cyclic => None,
+    };
+
+    let mut converged = false;
+    let mut sweeps = 0;
+    for sweep in 0..opts.max_sweeps {
+        let mut max_conv = 0.0_f64;
+        let mut rotations = 0usize;
+
+        let mut do_pair = |b: &mut Matrix<T>, v: &mut Option<Matrix<T>>, i: usize, j: usize| {
+            let (alpha, beta, gamma) = {
+                let (ci, cj) = b.col_pair_mut(i, j);
+                column_products(ci, cj)
+            };
+            let rot = crate::rotation::compute_rotation_gated(alpha, beta, gamma, floor_sq);
+            max_conv = max_conv.max(rot.convergence.to_f64());
+            if !rot.identity {
+                rotations += 1;
+                let (ci, cj) = b.col_pair_mut(i, j);
+                apply_rotation(ci, cj, rot);
+                if let Some(v) = v.as_mut() {
+                    let (vi, vj) = v.col_pair_mut(i, j);
+                    apply_rotation(vi, vj, rot);
+                }
+            }
+        };
+
+        match &rr_rounds {
+            Some(rounds) => {
+                for round in rounds {
+                    for &(i, j) in round {
+                        do_pair(&mut b, &mut v, i, j);
+                    }
+                }
+            }
+            None => {
+                for i in 0..n {
+                    for j in i + 1..n {
+                        do_pair(&mut b, &mut v, i, j);
+                    }
+                }
+            }
+        }
+
+        history.push(SweepStats {
+            sweep,
+            max_convergence: max_conv,
+            rotations,
+        });
+        sweeps = sweep + 1;
+        if max_conv < opts.precision {
+            converged = true;
+            break;
+        }
+    }
+
+    if !converged && n > 1 {
+        let last = history.last().map(|h| h.max_convergence).unwrap_or(0.0);
+        if last >= opts.precision {
+            return Err(SvdError::NotConverged {
+                sweeps,
+                off_diagonal: last,
+            });
+        }
+    }
+
+    let (u, sigma) = normalize(&b);
+    Ok(SvdResult {
+        u,
+        sigma,
+        v,
+        sweeps,
+        history,
+    })
+}
+
+/// Normalization stage (Eq. 7): `σⱼ = ‖bⱼ‖₂`, `uⱼ = bⱼ / σⱼ`.
+///
+/// Columns with zero norm yield `σⱼ = 0` and a zero `uⱼ`. This is the exact
+/// unit of work performed by one norm-AIE invocation (Algorithm 1,
+/// lines 21–24).
+pub fn normalize<T: Real>(b: &Matrix<T>) -> (Matrix<T>, Vec<T>) {
+    let mut u = b.clone();
+    let mut sigma = Vec::with_capacity(b.cols());
+    for j in 0..b.cols() {
+        let col = u.col_mut(j);
+        let norm_sq: T = col.iter().map(|&x| x * x).sum();
+        let norm = norm_sq.sqrt();
+        sigma.push(norm);
+        if norm > T::ZERO {
+            let inv = T::ONE / norm;
+            for x in col.iter_mut() {
+                *x *= inv;
+            }
+        }
+    }
+    (u, sigma)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix(m: usize, n: usize) -> Matrix<f64> {
+        // Deterministic, well-conditioned test matrix.
+        Matrix::from_fn(m, n, |r, c| {
+            ((r * 37 + c * 101 + 13) % 29) as f64 / 7.0 - 2.0 + if r == c { 3.0 } else { 0.0 }
+        })
+    }
+
+    #[test]
+    fn factorizes_small_square_matrix() {
+        let a = sample_matrix(6, 6);
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        assert!(svd.reconstruction_error(&a) < 1e-10);
+        assert!(verify::column_orthogonality_error(&svd.u) < 1e-10);
+    }
+
+    #[test]
+    fn factorizes_rectangular_matrix() {
+        let a = sample_matrix(10, 4);
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        assert!(svd.reconstruction_error(&a) < 1e-10);
+    }
+
+    #[test]
+    fn rejects_wide_matrix() {
+        let a = sample_matrix(3, 5);
+        let err = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap_err();
+        assert!(matches!(err, SvdError::DimensionMismatch(_)));
+    }
+
+    #[test]
+    fn rejects_non_finite_input() {
+        let mut a = sample_matrix(4, 4);
+        a[(2, 2)] = f64::INFINITY;
+        assert!(matches!(
+            hestenes_jacobi(&a, &JacobiOptions::default()),
+            Err(SvdError::NonFinite)
+        ));
+    }
+
+    #[test]
+    fn rejects_nonpositive_precision() {
+        let a = sample_matrix(4, 4);
+        let opts = JacobiOptions {
+            precision: 0.0,
+            ..Default::default()
+        };
+        assert!(matches!(
+            hestenes_jacobi(&a, &opts),
+            Err(SvdError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn singular_values_match_known_diagonal() {
+        // diag(3, 2, 1): singular values are exactly 3, 2, 1.
+        let mut a = Matrix::zeros(3, 3);
+        a[(0, 0)] = 3.0;
+        a[(1, 1)] = 2.0;
+        a[(2, 2)] = 1.0;
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let s = svd.sorted_singular_values();
+        assert!((s[0] - 3.0).abs() < 1e-12);
+        assert!((s[1] - 2.0).abs() < 1e-12);
+        assert!((s[2] - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_2x2_singular_values() {
+        // A = [[3, 0], [4, 5]]: σ = sqrt(45 ± sqrt(45² - 4·225))/sqrt(2)
+        //   = {sqrt(45+sqrt(1125))/sqrt(2)... } use exact: σ₁σ₂=|det|=15, σ₁²+σ₂²=50.
+        let a = Matrix::from_column_major(2, 2, vec![3.0, 4.0, 0.0, 5.0]).unwrap();
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let s = svd.sorted_singular_values();
+        assert!((s[0] * s[1] - 15.0).abs() < 1e-10);
+        assert!((s[0] * s[0] + s[1] * s[1] - 50.0).abs() < 1e-10);
+    }
+
+    #[test]
+    fn round_robin_covers_all_pairs_even() {
+        let n = 8;
+        let rounds = round_robin_rounds(n);
+        assert_eq!(rounds.len(), n - 1);
+        let mut seen = std::collections::HashSet::new();
+        for round in &rounds {
+            assert_eq!(round.len(), n / 2);
+            let mut used = std::collections::HashSet::new();
+            for &(i, j) in round {
+                assert!(i < j);
+                assert!(used.insert(i), "index {i} reused within a round");
+                assert!(used.insert(j), "index {j} reused within a round");
+                assert!(seen.insert((i, j)), "pair ({i},{j}) repeated");
+            }
+        }
+        assert_eq!(seen.len(), n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn round_robin_covers_all_pairs_odd() {
+        let n = 7;
+        let rounds = round_robin_rounds(n);
+        let total: usize = rounds.iter().map(|r| r.len()).sum();
+        assert_eq!(total, n * (n - 1) / 2);
+    }
+
+    #[test]
+    fn round_robin_degenerate_sizes() {
+        assert!(round_robin_rounds(0).is_empty());
+        assert!(round_robin_rounds(1).is_empty());
+        let r2 = round_robin_rounds(2);
+        assert_eq!(r2, vec![vec![(0, 1)]]);
+    }
+
+    #[test]
+    fn round_robin_order_converges_like_cyclic() {
+        let a = sample_matrix(8, 8);
+        let cyc = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let rr = hestenes_jacobi(
+            &a,
+            &JacobiOptions {
+                order: SweepOrder::RoundRobin,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let sc = cyc.sorted_singular_values();
+        let sr = rr.sorted_singular_values();
+        for (a, b) in sc.iter().zip(&sr) {
+            assert!((a - b).abs() < 1e-9, "{a} vs {b}");
+        }
+    }
+
+    #[test]
+    fn convergence_history_is_monotone_eventually() {
+        let a = sample_matrix(12, 12);
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        assert!(svd.sweeps >= 2);
+        // Quadratic convergence: last sweep must be far below the first.
+        let first = svd.history.first().unwrap().max_convergence;
+        let last = svd.history.last().unwrap().max_convergence;
+        assert!(last < first);
+    }
+
+    #[test]
+    fn zero_matrix_has_zero_singular_values() {
+        let a: Matrix<f64> = Matrix::zeros(4, 3);
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        assert!(svd.sigma.iter().all(|&s| s == 0.0));
+        assert!(svd.reconstruction_error(&a) < 1e-14);
+    }
+
+    #[test]
+    fn rank_one_matrix() {
+        let a = Matrix::from_fn(5, 3, |r, c| ((r + 1) * (c + 1)) as f64);
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let s = svd.sorted_singular_values();
+        assert!(s[0] > 1.0);
+        assert!(s[1].abs() < 1e-10);
+        assert!(s[2].abs() < 1e-10);
+        assert!(svd.reconstruction_error(&a) < 1e-10);
+    }
+
+    #[test]
+    fn without_v_uses_norm_invariant_check() {
+        let a = sample_matrix(6, 6);
+        let svd = hestenes_jacobi(&a, &JacobiOptions::paper()).unwrap();
+        assert!(svd.v.is_none());
+        assert!(svd.reconstruction_error(&a) < 1e-6);
+    }
+
+    #[test]
+    fn not_converged_error_reports_progress() {
+        let a = sample_matrix(16, 16);
+        let opts = JacobiOptions {
+            max_sweeps: 1,
+            precision: 1e-14,
+            ..Default::default()
+        };
+        match hestenes_jacobi(&a, &opts) {
+            Err(SvdError::NotConverged {
+                sweeps,
+                off_diagonal,
+            }) => {
+                assert_eq!(sweeps, 1);
+                assert!(off_diagonal > 0.0);
+            }
+            other => panic!("expected NotConverged, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn normalize_produces_unit_columns() {
+        let b = Matrix::from_fn(4, 2, |r, c| (r + c + 1) as f64);
+        let (u, sigma) = normalize(&b);
+        for (j, s) in sigma.iter().enumerate() {
+            let norm: f64 = u.col(j).iter().map(|x| x * x).sum::<f64>().sqrt();
+            assert!((norm - 1.0).abs() < 1e-12);
+            assert!(*s > 0.0);
+        }
+    }
+
+    #[test]
+    fn normalize_zero_column_is_safe() {
+        let b: Matrix<f64> = Matrix::zeros(3, 2);
+        let (u, sigma) = normalize(&b);
+        assert_eq!(sigma, vec![0.0, 0.0]);
+        assert!(u.as_slice().iter().all(|&x| x == 0.0));
+    }
+}

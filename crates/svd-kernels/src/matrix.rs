@@ -1,0 +1,459 @@
+//! Column-major dense matrix.
+//!
+//! The one-sided Jacobi method operates on whole columns, so [`Matrix`]
+//! stores its elements column-major: column `j` occupies the contiguous
+//! slice `data[j*rows .. (j+1)*rows]`, retrievable with [`Matrix::col`].
+
+use crate::scalar::Real;
+use crate::SvdError;
+use serde::{Deserialize, Serialize};
+use std::fmt;
+use std::ops::{Index, IndexMut};
+
+/// Dense column-major matrix over a [`Real`] scalar.
+///
+/// # Example
+///
+/// ```
+/// use svd_kernels::Matrix;
+///
+/// let m = Matrix::from_fn(2, 3, |r, c| (r * 10 + c) as f64);
+/// assert_eq!(m[(1, 2)], 12.0);
+/// assert_eq!(m.col(1), &[1.0, 11.0]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Matrix<T = f64> {
+    rows: usize,
+    cols: usize,
+    data: Vec<T>,
+}
+
+impl<T: Real> Matrix<T> {
+    /// Creates a `rows × cols` matrix of zeros.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `rows * cols` overflows `usize`.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let len = rows
+            .checked_mul(cols)
+            .expect("matrix dimensions overflow usize");
+        Matrix {
+            rows,
+            cols,
+            data: vec![T::ZERO; len],
+        }
+    }
+
+    /// Creates the `n × n` identity matrix.
+    pub fn identity(n: usize) -> Self {
+        let mut m = Self::zeros(n, n);
+        for i in 0..n {
+            m[(i, i)] = T::ONE;
+        }
+        m
+    }
+
+    /// Creates a matrix by evaluating `f(row, col)` at every position.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> T) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for c in 0..cols {
+            for r in 0..rows {
+                m[(r, c)] = f(r, c);
+            }
+        }
+        m
+    }
+
+    /// Builds a matrix from column-major data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvdError::DimensionMismatch`] when `data.len() != rows * cols`.
+    pub fn from_column_major(rows: usize, cols: usize, data: Vec<T>) -> Result<Self, SvdError> {
+        if data.len() != rows * cols {
+            return Err(SvdError::DimensionMismatch(format!(
+                "expected {} elements for a {rows}x{cols} matrix, got {}",
+                rows * cols,
+                data.len()
+            )));
+        }
+        Ok(Matrix { rows, cols, data })
+    }
+
+    /// Number of rows.
+    #[inline]
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    #[inline]
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// `true` when the matrix has no elements.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Column `j` as a contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    #[inline]
+    pub fn col(&self, j: usize) -> &[T] {
+        assert!(j < self.cols, "column index {j} out of range {}", self.cols);
+        &self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Column `j` as a mutable contiguous slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `j >= self.cols()`.
+    #[inline]
+    pub fn col_mut(&mut self, j: usize) -> &mut [T] {
+        assert!(j < self.cols, "column index {j} out of range {}", self.cols);
+        &mut self.data[j * self.rows..(j + 1) * self.rows]
+    }
+
+    /// Two distinct columns as mutable slices, for in-place rotation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i == j` or either index is out of range.
+    pub fn col_pair_mut(&mut self, i: usize, j: usize) -> (&mut [T], &mut [T]) {
+        assert!(i != j, "column pair indices must be distinct");
+        assert!(
+            i < self.cols && j < self.cols,
+            "column index out of range {}",
+            self.cols
+        );
+        let rows = self.rows;
+        let (lo, hi) = if i < j { (i, j) } else { (j, i) };
+        let (head, tail) = self.data.split_at_mut(hi * rows);
+        let lo_col = &mut head[lo * rows..(lo + 1) * rows];
+        let hi_col = &mut tail[..rows];
+        if i < j {
+            (lo_col, hi_col)
+        } else {
+            (hi_col, lo_col)
+        }
+    }
+
+    /// Flat column-major view of the backing storage.
+    #[inline]
+    pub fn as_slice(&self) -> &[T] {
+        &self.data
+    }
+
+    /// Consumes the matrix, returning its column-major storage.
+    pub fn into_vec(self) -> Vec<T> {
+        self.data
+    }
+
+    /// Copies a contiguous range of columns `[start, start + count)` into a
+    /// new matrix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the column count.
+    pub fn columns_range(&self, start: usize, count: usize) -> Matrix<T> {
+        assert!(
+            start + count <= self.cols,
+            "column range {start}..{} out of bounds {}",
+            start + count,
+            self.cols
+        );
+        let data = self.data[start * self.rows..(start + count) * self.rows].to_vec();
+        Matrix {
+            rows: self.rows,
+            cols: count,
+            data,
+        }
+    }
+
+    /// Transpose (copies).
+    pub fn transpose(&self) -> Matrix<T> {
+        Matrix::from_fn(self.cols, self.rows, |r, c| self[(c, r)])
+    }
+
+    /// Matrix product `self * rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvdError::DimensionMismatch`] when the inner dimensions
+    /// disagree.
+    pub fn matmul(&self, rhs: &Matrix<T>) -> Result<Matrix<T>, SvdError> {
+        if self.cols != rhs.rows {
+            return Err(SvdError::DimensionMismatch(format!(
+                "cannot multiply {}x{} by {}x{}",
+                self.rows, self.cols, rhs.rows, rhs.cols
+            )));
+        }
+        let mut out = Matrix::zeros(self.rows, rhs.cols);
+        for j in 0..rhs.cols {
+            let rhs_col = rhs.col(j);
+            let out_col = out.col_mut(j);
+            for (k, &rjk) in rhs_col.iter().enumerate() {
+                if rjk == T::ZERO {
+                    continue;
+                }
+                let self_col = self.col(k);
+                for (o, &s) in out_col.iter_mut().zip(self_col.iter()) {
+                    *o += s * rjk;
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Scales every element by `s`, returning a new matrix.
+    pub fn scaled(&self, s: T) -> Matrix<T> {
+        let data = self.data.iter().map(|&v| v * s).collect();
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        }
+    }
+
+    /// Frobenius norm `sqrt(Σ aᵢⱼ²)`, accumulated in `f64`.
+    pub fn frobenius_norm(&self) -> f64 {
+        self.data
+            .iter()
+            .map(|v| {
+                let x = v.to_f64();
+                x * x
+            })
+            .sum::<f64>()
+            .sqrt()
+    }
+
+    /// Element-wise difference `self - rhs`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SvdError::DimensionMismatch`] when shapes differ.
+    pub fn sub(&self, rhs: &Matrix<T>) -> Result<Matrix<T>, SvdError> {
+        if self.rows != rhs.rows || self.cols != rhs.cols {
+            return Err(SvdError::DimensionMismatch(format!(
+                "cannot subtract {}x{} from {}x{}",
+                rhs.rows, rhs.cols, self.rows, self.cols
+            )));
+        }
+        let data = self
+            .data
+            .iter()
+            .zip(rhs.data.iter())
+            .map(|(&a, &b)| a - b)
+            .collect();
+        Ok(Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data,
+        })
+    }
+
+    /// `true` when every element is finite.
+    pub fn is_finite(&self) -> bool {
+        self.data.iter().all(|v| v.is_finite())
+    }
+
+    /// The squared numerical-noise floor for column norms: a column whose
+    /// squared norm is at or below this value is numerically zero at this
+    /// matrix's scale (its singular value is below the round-off error of
+    /// the factorization). Used to gate Jacobi rotations on
+    /// rank-deficient inputs; see
+    /// [`crate::rotation::compute_rotation_gated`].
+    pub fn column_norm_floor_sq(&self) -> T {
+        let norm = T::from_f64(self.frobenius_norm());
+        let scale = T::from_f64(8.0) * T::EPSILON * norm;
+        scale * scale
+    }
+
+    /// Converts the scalar type element-wise (e.g. `f64` golden input to the
+    /// accelerator's `f32`).
+    pub fn cast<U: Real>(&self) -> Matrix<U> {
+        Matrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|v| U::from_f64(v.to_f64())).collect(),
+        }
+    }
+}
+
+impl<T: Real> Index<(usize, usize)> for Matrix<T> {
+    type Output = T;
+
+    #[inline]
+    fn index(&self, (r, c): (usize, usize)) -> &T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &self.data[c * self.rows + r]
+    }
+}
+
+impl<T: Real> IndexMut<(usize, usize)> for Matrix<T> {
+    #[inline]
+    fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
+        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        &mut self.data[c * self.rows + r]
+    }
+}
+
+impl<T: Real> fmt::Display for Matrix<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "[{} x {}]", self.rows, self.cols)?;
+        let max_show = 8;
+        for r in 0..self.rows.min(max_show) {
+            for c in 0..self.cols.min(max_show) {
+                write!(f, "{:>12.5} ", self[(r, c)])?;
+            }
+            if self.cols > max_show {
+                write!(f, "...")?;
+            }
+            writeln!(f)?;
+        }
+        if self.rows > max_show {
+            writeln!(f, "...")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_identity() {
+        let z: Matrix<f64> = Matrix::zeros(3, 2);
+        assert_eq!(z.rows(), 3);
+        assert_eq!(z.cols(), 2);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+
+        let i: Matrix<f64> = Matrix::identity(3);
+        assert_eq!(i[(0, 0)], 1.0);
+        assert_eq!(i[(1, 0)], 0.0);
+        assert_eq!(i[(2, 2)], 1.0);
+    }
+
+    #[test]
+    fn column_major_layout() {
+        let m = Matrix::from_fn(2, 3, |r, c| (10 * r + c) as f64);
+        // Column 1 is contiguous: elements (0,1) and (1,1).
+        assert_eq!(m.col(1), &[1.0, 11.0]);
+        assert_eq!(m.as_slice(), &[0.0, 10.0, 1.0, 11.0, 2.0, 12.0]);
+    }
+
+    #[test]
+    fn from_column_major_validates_length() {
+        let err = Matrix::<f64>::from_column_major(2, 2, vec![1.0; 3]).unwrap_err();
+        assert!(matches!(err, SvdError::DimensionMismatch(_)));
+        let ok = Matrix::<f64>::from_column_major(2, 2, vec![1.0; 4]).unwrap();
+        assert_eq!(ok[(1, 1)], 1.0);
+    }
+
+    #[test]
+    fn col_pair_mut_returns_correct_order() {
+        let mut m = Matrix::from_fn(2, 3, |r, c| (10 * r + c) as f64);
+        {
+            let (ci, cj) = m.col_pair_mut(2, 0);
+            assert_eq!(ci, &[2.0, 12.0]);
+            assert_eq!(cj, &[0.0, 10.0]);
+            ci[0] = -1.0;
+        }
+        assert_eq!(m[(0, 2)], -1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn col_pair_mut_rejects_equal_indices() {
+        let mut m: Matrix<f64> = Matrix::zeros(2, 2);
+        let _ = m.col_pair_mut(1, 1);
+    }
+
+    #[test]
+    fn matmul_identity_is_noop() {
+        let a = Matrix::from_fn(3, 3, |r, c| (r + 2 * c) as f64);
+        let i = Matrix::identity(3);
+        assert_eq!(a.matmul(&i).unwrap(), a);
+        assert_eq!(i.matmul(&a).unwrap(), a);
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        // [1 2; 3 4] * [5 6; 7 8] = [19 22; 43 50]
+        let a = Matrix::from_column_major(2, 2, vec![1.0, 3.0, 2.0, 4.0]).unwrap();
+        let b = Matrix::from_column_major(2, 2, vec![5.0, 7.0, 6.0, 8.0]).unwrap();
+        let c = a.matmul(&b).unwrap();
+        assert_eq!(c[(0, 0)], 19.0);
+        assert_eq!(c[(0, 1)], 22.0);
+        assert_eq!(c[(1, 0)], 43.0);
+        assert_eq!(c[(1, 1)], 50.0);
+    }
+
+    #[test]
+    fn matmul_shape_mismatch_errors() {
+        let a: Matrix<f64> = Matrix::zeros(2, 3);
+        let b: Matrix<f64> = Matrix::zeros(2, 3);
+        assert!(a.matmul(&b).is_err());
+    }
+
+    #[test]
+    fn transpose_round_trip() {
+        let a = Matrix::from_fn(3, 5, |r, c| (r * 7 + c * 3) as f64);
+        assert_eq!(a.transpose().transpose(), a);
+        assert_eq!(a.transpose()[(4, 2)], a[(2, 4)]);
+    }
+
+    #[test]
+    fn frobenius_norm_matches_hand_computation() {
+        let a = Matrix::from_column_major(2, 2, vec![1.0, 2.0, 2.0, 4.0]).unwrap();
+        assert!((a.frobenius_norm() - 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn columns_range_extracts_block() {
+        let a = Matrix::from_fn(2, 6, |_, c| c as f64);
+        let b = a.columns_range(2, 3);
+        assert_eq!(b.cols(), 3);
+        assert_eq!(b.col(0), &[2.0, 2.0]);
+        assert_eq!(b.col(2), &[4.0, 4.0]);
+    }
+
+    #[test]
+    fn cast_f64_to_f32_and_back() {
+        let a = Matrix::from_fn(2, 2, |r, c| 0.5 + r as f64 + c as f64);
+        let b: Matrix<f32> = a.cast();
+        let c: Matrix<f64> = b.cast();
+        assert_eq!(a, c);
+    }
+
+    #[test]
+    fn is_finite_detects_nan() {
+        let mut a: Matrix<f64> = Matrix::zeros(2, 2);
+        assert!(a.is_finite());
+        a[(0, 1)] = f64::NAN;
+        assert!(!a.is_finite());
+    }
+
+    #[test]
+    fn sub_and_scaled() {
+        let a = Matrix::from_fn(2, 2, |r, c| (r + c) as f64);
+        let d = a.sub(&a).unwrap();
+        assert_eq!(d.frobenius_norm(), 0.0);
+        let s = a.scaled(2.0);
+        assert_eq!(s[(1, 1)], 4.0);
+    }
+
+    #[test]
+    fn display_is_nonempty() {
+        let a: Matrix<f64> = Matrix::identity(2);
+        assert!(!format!("{a}").is_empty());
+    }
+}

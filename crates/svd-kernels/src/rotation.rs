@@ -1,0 +1,272 @@
+//! Jacobi plane rotations (Eq. 3–5 of the paper).
+//!
+//! The one-sided Hestenes–Jacobi method orthogonalizes a pair of columns
+//! `(aᵢ, aⱼ)` by post-multiplying with a 2×2 rotation
+//!
+//! ```text
+//! [bᵢ, bⱼ] = [aᵢ, aⱼ] · [ c  -s ]
+//!                        [ s   c ]
+//! ```
+//!
+//! chosen such that `bᵢᵀ·bⱼ = 0`. The rotation is computed from the three
+//! inner products `α = aᵢᵀaᵢ`, `β = aⱼᵀaⱼ`, `γ = aᵢᵀaⱼ` — exactly the
+//! quantities the orth-AIE kernel computes on hardware.
+
+use crate::scalar::Real;
+use serde::{Deserialize, Serialize};
+
+/// A computed plane rotation `(c, s)` together with the convergence measure
+/// of the column pair it was derived from.
+///
+/// # Example
+///
+/// ```
+/// use svd_kernels::rotation::{compute_rotation, apply_rotation};
+///
+/// let mut x = vec![3.0_f64, 0.0];
+/// let mut y = vec![1.0_f64, 1.0];
+/// let rot = compute_rotation(
+///     x.iter().map(|v| v * v).sum(),
+///     y.iter().map(|v| v * v).sum(),
+///     x.iter().zip(&y).map(|(a, b)| a * b).sum(),
+/// );
+/// apply_rotation(&mut x, &mut y, rot);
+/// let dot: f64 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+/// assert!(dot.abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JacobiRotation<T> {
+    /// Cosine component `c = 1 / sqrt(1 + t²)`.
+    pub c: T,
+    /// Sine component `s = t·c` with the sign convention of Eq. (4).
+    pub s: T,
+    /// Convergence measure `|γ| / sqrt(α·β)` of Eq. (6) *before* rotation.
+    pub convergence: T,
+    /// `true` when the pair was already orthogonal (within machine noise)
+    /// and no rotation needs to be applied.
+    pub identity: bool,
+}
+
+impl<T: Real> JacobiRotation<T> {
+    /// The identity rotation (applied to an already-orthogonal pair).
+    pub fn identity() -> Self {
+        JacobiRotation {
+            c: T::ONE,
+            s: T::ZERO,
+            convergence: T::ZERO,
+            identity: true,
+        }
+    }
+}
+
+/// Computes the Jacobi rotation for a column pair from its inner products.
+///
+/// `alpha = aᵢᵀaᵢ`, `beta = aⱼᵀaⱼ`, `gamma = aᵢᵀaⱼ` (Eq. 4–5):
+///
+/// ```text
+/// τ = (β − α) / (2γ),   t = sign(τ) / (|τ| + sqrt(1 + τ²)),
+/// c = 1 / sqrt(1 + t²), s = t·c
+/// ```
+///
+/// When `gamma` is zero (columns already orthogonal) or either norm is zero
+/// (degenerate column), the identity rotation is returned.
+pub fn compute_rotation<T: Real>(alpha: T, beta: T, gamma: T) -> JacobiRotation<T> {
+    let norm_prod = alpha * beta;
+    if gamma == T::ZERO || norm_prod == T::ZERO {
+        return JacobiRotation::identity();
+    }
+    let convergence = gamma.abs() / norm_prod.sqrt();
+
+    // Note on signs: the paper (Eq. 4-5) defines τ with |γ| and folds
+    // sign(γ) into s. For the rotation convention of Eq. (3)
+    // (B = [aᵢ,aⱼ]·[[c,−s],[s,c]]), the orthogonality condition
+    // cs(β−α) + (c²−s²)γ = 0 has the small-magnitude root
+    // t = sign(τ)/(|τ| + sqrt(1+τ²)) with τ = (α−β)/(2γ), which is the
+    // algebraically equivalent form used here.
+    let two = T::from_f64(2.0);
+    let tau = (alpha - beta) / (two * gamma);
+    let t = tau.signum_or_one() / (tau.abs() + (T::ONE + tau * tau).sqrt());
+    let c = T::ONE / (T::ONE + t * t).sqrt();
+    let s = t * c;
+    JacobiRotation {
+        c,
+        s,
+        convergence,
+        identity: false,
+    }
+}
+
+/// Applies the rotation in place to a column pair:
+/// `x ← c·x + s·y`, `y ← −s·x + c·y` (the two columns of Eq. 3).
+///
+/// The identity rotation leaves the data untouched (and costs no FLOPs on
+/// the accelerator).
+///
+/// # Panics
+///
+/// Panics if the two slices have different lengths.
+pub fn apply_rotation<T: Real>(x: &mut [T], y: &mut [T], rot: JacobiRotation<T>) {
+    assert_eq!(x.len(), y.len(), "column pair length mismatch");
+    if rot.identity {
+        return;
+    }
+    let (c, s) = (rot.c, rot.s);
+    for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+        let xv = *xi;
+        let yv = *yi;
+        *xi = c * xv + s * yv;
+        *yi = c * yv - s * xv;
+    }
+}
+
+/// Inner products `(α, β, γ)` of a column pair, the input to
+/// [`compute_rotation`].
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn column_products<T: Real>(x: &[T], y: &[T]) -> (T, T, T) {
+    assert_eq!(x.len(), y.len(), "column pair length mismatch");
+    let mut alpha = T::ZERO;
+    let mut beta = T::ZERO;
+    let mut gamma = T::ZERO;
+    for (&xi, &yi) in x.iter().zip(y.iter()) {
+        alpha += xi * xi;
+        beta += yi * yi;
+        gamma += xi * yi;
+    }
+    (alpha, beta, gamma)
+}
+
+/// [`compute_rotation`] gated by a numerical-noise floor: when either
+/// column's squared norm is at or below `floor_sq`, the column is
+/// numerically zero (its singular value is below the round-off level of
+/// the factorization) and the pair counts as converged.
+///
+/// Without this gate, a rank-deficient matrix never converges in finite
+/// precision: its zero columns keep a noise-level mutual correlation whose
+/// Eq. (6) measure stays O(1). Use
+/// [`crate::matrix::Matrix::column_norm_floor_sq`] to derive the floor.
+pub fn compute_rotation_gated<T: Real>(
+    alpha: T,
+    beta: T,
+    gamma: T,
+    floor_sq: T,
+) -> JacobiRotation<T> {
+    if alpha <= floor_sq || beta <= floor_sq {
+        return JacobiRotation::identity();
+    }
+    compute_rotation(alpha, beta, gamma)
+}
+
+/// Orthogonalizes a column pair in place and returns the pre-rotation
+/// convergence measure of Eq. (6). This is the exact unit of work performed
+/// by one orth-AIE invocation (Algorithm 1, lines 8–12).
+pub fn orthogonalize_pair<T: Real>(x: &mut [T], y: &mut [T]) -> T {
+    orthogonalize_pair_gated(x, y, T::ZERO)
+}
+
+/// [`orthogonalize_pair`] with the numerical-noise gate of
+/// [`compute_rotation_gated`].
+pub fn orthogonalize_pair_gated<T: Real>(x: &mut [T], y: &mut [T], floor_sq: T) -> T {
+    let (alpha, beta, gamma) = column_products(x, y);
+    let rot = compute_rotation_gated(alpha, beta, gamma, floor_sq);
+    apply_rotation(x, y, rot);
+    rot.convergence
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn dot(x: &[f64], y: &[f64]) -> f64 {
+        x.iter().zip(y).map(|(a, b)| a * b).sum()
+    }
+
+    #[test]
+    fn rotation_orthogonalizes_pair() {
+        let mut x = vec![1.0, 2.0, 3.0, -1.0];
+        let mut y = vec![0.5, -1.0, 2.0, 4.0];
+        let conv = orthogonalize_pair(&mut x, &mut y);
+        assert!(conv > 0.0);
+        assert!(dot(&x, &y).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_preserves_frobenius_norm() {
+        // The rotation is orthogonal, so ||x||² + ||y||² is invariant.
+        let mut x = vec![1.0, 2.0, 3.0];
+        let mut y = vec![-4.0, 5.0, 6.0];
+        let before = dot(&x, &x) + dot(&y, &y);
+        orthogonalize_pair(&mut x, &mut y);
+        let after = dot(&x, &x) + dot(&y, &y);
+        assert!((before - after).abs() < 1e-10 * before);
+    }
+
+    #[test]
+    fn orthogonal_input_returns_identity() {
+        let x = vec![1.0, 0.0];
+        let y = vec![0.0, 1.0];
+        let (a, b, g) = column_products(&x, &y);
+        let rot = compute_rotation(a, b, g);
+        assert!(rot.identity);
+        assert_eq!(rot.convergence, 0.0);
+    }
+
+    #[test]
+    fn zero_column_returns_identity() {
+        let rot = compute_rotation(0.0, 4.0, 0.0);
+        assert!(rot.identity);
+    }
+
+    #[test]
+    fn convergence_measure_matches_eq6() {
+        let x = vec![2.0, 0.0];
+        let y = vec![1.0, 1.0];
+        let (a, b, g) = column_products(&x, &y);
+        let rot = compute_rotation(a, b, g);
+        // |γ|/sqrt(αβ) = 2 / sqrt(4·2) = 1/sqrt(2)
+        assert!((rot.convergence - 1.0 / 2.0_f64.sqrt()).abs() < 1e-14);
+    }
+
+    #[test]
+    fn c_s_satisfy_unit_circle() {
+        let rot = compute_rotation(3.0, 5.0, 1.5);
+        assert!((rot.c * rot.c + rot.s * rot.s - 1.0).abs() < 1e-14);
+    }
+
+    #[test]
+    fn works_in_f32() {
+        let mut x = vec![1.0_f32, 2.0, 3.0];
+        let mut y = vec![3.0_f32, -1.0, 0.5];
+        orthogonalize_pair(&mut x, &mut y);
+        let d: f32 = x.iter().zip(&y).map(|(a, b)| a * b).sum();
+        assert!(d.abs() < 1e-5);
+    }
+
+    #[test]
+    fn apply_identity_is_noop() {
+        let mut x = vec![1.0, 2.0];
+        let mut y = vec![3.0, 4.0];
+        apply_rotation(&mut x, &mut y, JacobiRotation::identity());
+        assert_eq!(x, vec![1.0, 2.0]);
+        assert_eq!(y, vec![3.0, 4.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let mut x = vec![1.0];
+        let mut y = vec![1.0, 2.0];
+        let _ = orthogonalize_pair(&mut x, &mut y);
+    }
+
+    #[test]
+    fn tau_sign_symmetry() {
+        // Swapping the roles of alpha/beta flips the sign of t (and s).
+        let r1 = compute_rotation(2.0, 8.0, 1.0);
+        let r2 = compute_rotation(8.0, 2.0, 1.0);
+        assert!((r1.s + r2.s).abs() < 1e-14);
+        assert!((r1.c - r2.c).abs() < 1e-14);
+    }
+}

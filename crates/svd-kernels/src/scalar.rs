@@ -1,0 +1,174 @@
+//! Floating-point scalar abstraction.
+//!
+//! The accelerator kernels run in `f32` (the AI engine's native vector
+//! type), while the golden reference runs in `f64`. [`Real`] is the minimal
+//! trait both share, so every algorithm in this crate is written once and
+//! instantiated for both precisions.
+
+use std::fmt::{Debug, Display};
+use std::iter::Sum;
+use std::ops::{Add, AddAssign, Div, DivAssign, Mul, MulAssign, Neg, Sub, SubAssign};
+
+/// A real scalar type usable in the SVD kernels (`f32` or `f64`).
+///
+/// This trait is sealed: it is implemented for exactly the two primitive
+/// float types, and downstream crates cannot add implementations. This
+/// keeps numeric behaviour predictable across the workspace.
+///
+/// # Example
+///
+/// ```
+/// use svd_kernels::Real;
+///
+/// fn hypot2<T: Real>(a: T, b: T) -> T {
+///     (a * a + b * b).sqrt()
+/// }
+/// assert_eq!(hypot2(3.0_f64, 4.0_f64), 5.0);
+/// ```
+pub trait Real:
+    Copy
+    + Debug
+    + Display
+    + Default
+    + PartialOrd
+    + PartialEq
+    + Add<Output = Self>
+    + Sub<Output = Self>
+    + Mul<Output = Self>
+    + Div<Output = Self>
+    + Neg<Output = Self>
+    + AddAssign
+    + SubAssign
+    + MulAssign
+    + DivAssign
+    + Sum
+    + sealed::Sealed
+    + Send
+    + Sync
+    + 'static
+{
+    /// Additive identity.
+    const ZERO: Self;
+    /// Multiplicative identity.
+    const ONE: Self;
+    /// Machine epsilon of the underlying type.
+    const EPSILON: Self;
+
+    /// Converts from `f64`, rounding to the target precision.
+    fn from_f64(v: f64) -> Self;
+    /// Widens to `f64` exactly (`f32` → `f64` is lossless).
+    fn to_f64(self) -> f64;
+    /// Square root.
+    fn sqrt(self) -> Self;
+    /// Absolute value.
+    fn abs(self) -> Self;
+    /// `max` that propagates the larger of two values (NaN-naive).
+    fn max(self, other: Self) -> Self;
+    /// `min` counterpart of [`Real::max`].
+    fn min(self, other: Self) -> Self;
+    /// Sign of the value: `1` for non-negative, `-1` for negative.
+    fn signum_or_one(self) -> Self;
+    /// `true` when the value is finite (not NaN or infinite).
+    fn is_finite(self) -> bool;
+}
+
+mod sealed {
+    pub trait Sealed {}
+    impl Sealed for f32 {}
+    impl Sealed for f64 {}
+}
+
+macro_rules! impl_real {
+    ($t:ty) => {
+        impl Real for $t {
+            const ZERO: Self = 0.0;
+            const ONE: Self = 1.0;
+            const EPSILON: Self = <$t>::EPSILON;
+
+            #[inline]
+            fn from_f64(v: f64) -> Self {
+                v as $t
+            }
+            #[inline]
+            fn to_f64(self) -> f64 {
+                self as f64
+            }
+            #[inline]
+            fn sqrt(self) -> Self {
+                <$t>::sqrt(self)
+            }
+            #[inline]
+            fn abs(self) -> Self {
+                <$t>::abs(self)
+            }
+            #[inline]
+            fn max(self, other: Self) -> Self {
+                <$t>::max(self, other)
+            }
+            #[inline]
+            fn min(self, other: Self) -> Self {
+                <$t>::min(self, other)
+            }
+            #[inline]
+            fn signum_or_one(self) -> Self {
+                if self < 0.0 {
+                    -1.0
+                } else {
+                    1.0
+                }
+            }
+            #[inline]
+            fn is_finite(self) -> bool {
+                <$t>::is_finite(self)
+            }
+        }
+    };
+}
+
+impl_real!(f32);
+impl_real!(f64);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constants_match_primitives() {
+        assert_eq!(<f64 as Real>::ZERO, 0.0);
+        assert_eq!(<f64 as Real>::ONE, 1.0);
+        assert_eq!(<f32 as Real>::EPSILON, f32::EPSILON);
+        assert_eq!(<f64 as Real>::EPSILON, f64::EPSILON);
+    }
+
+    #[test]
+    fn conversion_round_trip_f32() {
+        let x = 1.5_f32;
+        assert_eq!(<f32 as Real>::from_f64(x.to_f64()), x);
+    }
+
+    #[test]
+    fn signum_or_one_treats_zero_as_positive() {
+        assert_eq!(0.0_f64.signum_or_one(), 1.0);
+        assert_eq!((-0.5_f64).signum_or_one(), -1.0);
+        assert_eq!(2.0_f32.signum_or_one(), 1.0);
+    }
+
+    #[test]
+    fn sqrt_and_abs_delegate() {
+        assert_eq!(Real::sqrt(9.0_f64), 3.0);
+        assert_eq!(Real::abs(-4.0_f32), 4.0);
+    }
+
+    #[test]
+    fn max_min_delegate() {
+        assert_eq!(Real::max(1.0_f64, 2.0), 2.0);
+        assert_eq!(Real::min(1.0_f32, 2.0), 1.0);
+    }
+
+    #[test]
+    fn is_finite_detects_nan_and_inf() {
+        assert!(Real::is_finite(1.0_f64));
+        assert!(!Real::is_finite(f64::NAN));
+        assert!(!Real::is_finite(f32::INFINITY));
+    }
+}

@@ -1,0 +1,173 @@
+//! Golden verification helpers: reconstruction error, orthogonality,
+//! and singular-value comparison.
+
+use crate::matrix::Matrix;
+use crate::scalar::Real;
+
+/// Relative reconstruction error `‖A − U·diag(σ)·Vᵀ‖_F / ‖A‖_F`.
+///
+/// Returns the absolute error when `‖A‖_F == 0`.
+///
+/// # Panics
+///
+/// Panics if the factor shapes are inconsistent with `A`.
+pub fn reconstruction_error<T: Real>(
+    a: &Matrix<T>,
+    u: &Matrix<T>,
+    sigma: &[T],
+    v: &Matrix<T>,
+) -> f64 {
+    assert_eq!(u.rows(), a.rows(), "u row count mismatch");
+    assert_eq!(v.rows(), a.cols(), "v row count mismatch");
+    assert_eq!(u.cols(), sigma.len(), "sigma length mismatch");
+
+    // Compute U·diag(σ)·Vᵀ column by column: (UΣVᵀ)[:,j] = Σ_k u_k σ_k V[j,k]
+    let mut err_sq = 0.0_f64;
+    for j in 0..a.cols() {
+        let mut recon = vec![0.0_f64; a.rows()];
+        for k in 0..u.cols() {
+            let w = sigma[k].to_f64() * v[(j, k)].to_f64();
+            if w == 0.0 {
+                continue;
+            }
+            for (r, &ukr) in u.col(k).iter().enumerate() {
+                recon[r] += ukr.to_f64() * w;
+            }
+        }
+        for (r, &rv) in recon.iter().enumerate() {
+            let d = a[(r, j)].to_f64() - rv;
+            err_sq += d * d;
+        }
+    }
+    let norm_a = a.frobenius_norm();
+    let err = err_sq.sqrt();
+    if norm_a == 0.0 {
+        err
+    } else {
+        err / norm_a
+    }
+}
+
+/// Maximum deviation of `MᵀM` from the identity over column pairs with
+/// nonzero norm: measures how orthonormal the columns of `M` are.
+///
+/// # Example
+///
+/// ```
+/// use svd_kernels::{verify, Matrix};
+///
+/// let identity: Matrix<f64> = Matrix::identity(4);
+/// assert_eq!(verify::column_orthogonality_error(&identity), 0.0);
+/// ```
+///
+/// Zero columns (from zero singular values) are skipped, matching the
+/// convention of [`crate::jacobi::normalize`].
+pub fn column_orthogonality_error<T: Real>(m: &Matrix<T>) -> f64 {
+    let n = m.cols();
+    let mut worst = 0.0_f64;
+    for i in 0..n {
+        let ci = m.col(i);
+        let norm_i: f64 = ci.iter().map(|x| x.to_f64() * x.to_f64()).sum();
+        if norm_i == 0.0 {
+            continue;
+        }
+        worst = worst.max((norm_i - 1.0).abs());
+        for j in i + 1..n {
+            let cj = m.col(j);
+            let norm_j: f64 = cj.iter().map(|x| x.to_f64() * x.to_f64()).sum();
+            if norm_j == 0.0 {
+                continue;
+            }
+            let dot: f64 = ci
+                .iter()
+                .zip(cj.iter())
+                .map(|(&a, &b)| a.to_f64() * b.to_f64())
+                .sum();
+            worst = worst.max(dot.abs());
+        }
+    }
+    worst
+}
+
+/// Maximum relative difference between two descending-sorted singular-value
+/// lists, normalized by the largest singular value.
+///
+/// # Panics
+///
+/// Panics if the lists have different lengths.
+pub fn singular_value_error<T: Real, U: Real>(reference: &[T], measured: &[U]) -> f64 {
+    assert_eq!(
+        reference.len(),
+        measured.len(),
+        "singular value count mismatch"
+    );
+    let mut r: Vec<f64> = reference.iter().map(|v| v.to_f64()).collect();
+    let mut m: Vec<f64> = measured.iter().map(|v| v.to_f64()).collect();
+    r.sort_by(|a, b| b.total_cmp(a));
+    m.sort_by(|a, b| b.total_cmp(a));
+    let scale = r.first().copied().unwrap_or(0.0).max(1e-300);
+    r.iter()
+        .zip(m.iter())
+        .map(|(a, b)| (a - b).abs() / scale)
+        .fold(0.0, f64::max)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::jacobi::{hestenes_jacobi, JacobiOptions};
+
+    #[test]
+    fn reconstruction_of_exact_factorization_is_zero() {
+        // A = I: U = V = I, sigma = 1.
+        let a: Matrix<f64> = Matrix::identity(3);
+        let u = Matrix::identity(3);
+        let v = Matrix::identity(3);
+        let sigma = vec![1.0; 3];
+        assert!(reconstruction_error(&a, &u, &sigma, &v) < 1e-15);
+    }
+
+    #[test]
+    fn reconstruction_detects_wrong_sigma() {
+        let a: Matrix<f64> = Matrix::identity(2);
+        let u = Matrix::identity(2);
+        let v = Matrix::identity(2);
+        let err = reconstruction_error(&a, &u, &[2.0, 1.0], &v);
+        assert!(err > 0.4);
+    }
+
+    #[test]
+    fn orthogonality_error_of_identity_is_zero() {
+        let i: Matrix<f64> = Matrix::identity(4);
+        assert_eq!(column_orthogonality_error(&i), 0.0);
+    }
+
+    #[test]
+    fn orthogonality_error_detects_correlation() {
+        let mut m: Matrix<f64> = Matrix::identity(2);
+        m[(0, 1)] = 0.5; // second column no longer orthogonal to first
+        assert!(column_orthogonality_error(&m) >= 0.25);
+    }
+
+    #[test]
+    fn orthogonality_skips_zero_columns() {
+        let mut m: Matrix<f64> = Matrix::zeros(3, 2);
+        m[(0, 0)] = 1.0;
+        assert_eq!(column_orthogonality_error(&m), 0.0);
+    }
+
+    #[test]
+    fn singular_value_error_is_order_insensitive() {
+        let e = singular_value_error(&[3.0, 1.0, 2.0], &[1.0_f32, 2.0, 3.0]);
+        assert!(e < 1e-6);
+    }
+
+    #[test]
+    fn end_to_end_verification_of_reference_svd() {
+        let a = Matrix::from_fn(7, 5, |r, c| ((r * 13 + c * 7) % 11) as f64 - 5.0);
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let v = svd.v.as_ref().unwrap();
+        assert!(reconstruction_error(&a, &svd.u, &svd.sigma, v) < 1e-10);
+        assert!(column_orthogonality_error(v) < 1e-10);
+    }
+}

@@ -1,0 +1,160 @@
+//! Property-based tests of the numerical kernels.
+
+use proptest::prelude::*;
+use svd_kernels::block::{block_jacobi, BlockJacobiOptions};
+use svd_kernels::jacobi::{hestenes_jacobi, round_robin_rounds, JacobiOptions};
+use svd_kernels::rotation::{apply_rotation, column_products, compute_rotation};
+use svd_kernels::qr::{householder_qr, qr_preconditioned_svd};
+use svd_kernels::{verify, Matrix};
+
+fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {
+    (2usize..max_dim, 0usize..6, any::<u64>()).prop_map(|(n, extra, seed)| {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        Matrix::from_fn(n + extra, n, |_, _| rng.gen_range(-10.0..10.0))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Singular values are invariant under row permutations composed as
+    /// sign flips (orthogonal transforms of the domain): Q·A has the same
+    /// σ as A for a diagonal ±1 Q.
+    #[test]
+    fn singular_values_invariant_under_sign_flips(a in matrix_strategy(9), flip_seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(flip_seed);
+        let flips: Vec<f64> = (0..a.rows()).map(|_| if rng.gen::<bool>() { 1.0 } else { -1.0 }).collect();
+        let flipped = Matrix::from_fn(a.rows(), a.cols(), |r, c| flips[r] * a[(r, c)]);
+
+        let s1 = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap().sorted_singular_values();
+        let s2 = hestenes_jacobi(&flipped, &JacobiOptions::default()).unwrap().sorted_singular_values();
+        prop_assert!(verify::singular_value_error(&s1, &s2) < 1e-9);
+    }
+
+    /// Scaling the matrix scales every singular value.
+    #[test]
+    fn singular_values_scale_linearly(a in matrix_strategy(8), scale in 0.1_f64..10.0) {
+        let s1 = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap().sorted_singular_values();
+        let s2 = hestenes_jacobi(&a.scaled(scale), &JacobiOptions::default()).unwrap().sorted_singular_values();
+        let scaled: Vec<f64> = s1.iter().map(|v| v * scale).collect();
+        prop_assert!(verify::singular_value_error(&scaled, &s2) < 1e-9);
+    }
+
+    /// The Frobenius norm equals the l2 norm of the singular values.
+    #[test]
+    fn frobenius_equals_sigma_norm(a in matrix_strategy(9)) {
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let sigma_norm: f64 = svd.sigma.iter().map(|s| s * s).sum::<f64>().sqrt();
+        let rel = (a.frobenius_norm() - sigma_norm).abs() / a.frobenius_norm().max(1e-300);
+        prop_assert!(rel < 1e-10);
+    }
+
+    /// Block-Jacobi agrees with the unblocked reference for every valid
+    /// blocking.
+    #[test]
+    fn block_jacobi_matches_reference(seed in any::<u64>(), blocks in 2usize..5) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let block_cols = 2;
+        let n = block_cols * blocks * 2;
+        let a = Matrix::from_fn(n + 3, n, |_, _| rng.gen_range(-5.0..5.0));
+
+        let reference = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let blocked = block_jacobi(&a, &BlockJacobiOptions {
+            block_cols,
+            precision: 1e-11,
+            max_iterations: 60,
+            fixed_iterations: None,
+        }).unwrap();
+        let err = verify::singular_value_error(
+            &reference.sorted_singular_values(),
+            &blocked.sorted_singular_values(),
+        );
+        prop_assert!(err < 1e-7, "error {err}");
+    }
+
+    /// Round-robin schedules are complete tournaments for any n.
+    #[test]
+    fn round_robin_is_complete(n in 0usize..40) {
+        let rounds = round_robin_rounds(n);
+        let mut seen = std::collections::HashSet::new();
+        for round in &rounds {
+            let mut used = std::collections::HashSet::new();
+            for &(i, j) in round {
+                prop_assert!(i < j && j < n);
+                prop_assert!(used.insert(i) && used.insert(j));
+                prop_assert!(seen.insert((i, j)));
+            }
+        }
+        prop_assert_eq!(seen.len(), n * n.saturating_sub(1) / 2);
+    }
+
+    /// Applying a computed rotation twice keeps the pair orthogonal (the
+    /// second rotation is the identity).
+    #[test]
+    fn rotation_is_idempotent_on_orthogonal_pairs(
+        x in prop::collection::vec(-10.0_f64..10.0, 3..12),
+        y in prop::collection::vec(-10.0_f64..10.0, 3..12),
+    ) {
+        let len = x.len().min(y.len());
+        let mut xs = x[..len].to_vec();
+        let mut ys = y[..len].to_vec();
+        let (a, b, g) = column_products(&xs, &ys);
+        let rot = compute_rotation(a, b, g);
+        apply_rotation(&mut xs, &mut ys, rot);
+        let (a2, b2, g2) = column_products(&xs, &ys);
+        let rot2 = compute_rotation(a2, b2, g2);
+        // The residual correlation is round-off noise.
+        prop_assert!(rot2.convergence < 1e-10, "residual {}", rot2.convergence);
+        let scale = (a2 * b2).sqrt();
+        prop_assert!(g2.abs() <= 1e-10 * scale.max(1.0));
+    }
+
+    /// Matrix transpose preserves singular values (σ(A) = σ(Aᵀ) for
+    /// square A).
+    #[test]
+    fn transpose_preserves_spectrum(seed in any::<u64>(), n in 2usize..8) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n, n, |_, _| rng.gen_range(-5.0..5.0));
+        let s1 = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap().sorted_singular_values();
+        let s2 = hestenes_jacobi(&a.transpose(), &JacobiOptions::default()).unwrap().sorted_singular_values();
+        prop_assert!(verify::singular_value_error(&s1, &s2) < 1e-8);
+    }
+
+    /// QR reconstructs and the preconditioned SVD agrees with the direct
+    /// one on random tall matrices.
+    #[test]
+    fn qr_preconditioning_is_equivalent(seed in any::<u64>(), n in 2usize..7, extra in 1usize..20) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(n + extra, n, |_, _| rng.gen_range(-5.0..5.0));
+
+        let qr = householder_qr(&a).unwrap();
+        let recon = qr.q.matmul(&qr.r).unwrap();
+        prop_assert!(recon.sub(&a).unwrap().frobenius_norm() < 1e-9 * a.frobenius_norm().max(1.0));
+
+        let direct = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let pre = qr_preconditioned_svd(&a, &JacobiOptions::default()).unwrap();
+        let err = verify::singular_value_error(
+            &direct.sorted_singular_values(),
+            &pre.sorted_singular_values(),
+        );
+        prop_assert!(err < 1e-8, "error {err}");
+    }
+
+    /// Low-rank approximation error decreases monotonically with rank.
+    #[test]
+    fn truncation_error_is_monotone(a in matrix_strategy(7)) {
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let mut prev = f64::INFINITY;
+        for k in 1..=a.cols() {
+            let ak = svd.low_rank_approximation(&a, k).unwrap();
+            let err = ak.sub(&a).unwrap().frobenius_norm();
+            prop_assert!(err <= prev + 1e-9, "rank {k}: {err} > {prev}");
+            prev = err;
+        }
+    }
+}

@@ -1,0 +1,48 @@
+//! Calibration probe: simulated single-iteration latency vs the paper's
+//! on-board measurements (Table IV, PL fixed at 208.3 MHz).
+//!
+//! ```text
+//! cargo run --release --example calibration_probe
+//! ```
+
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use svd_kernels::Matrix;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // (size, P_eng, paper on-board ms)
+    let rows = [
+        (128usize, 2usize, 0.993),
+        (256, 2, 6.151),
+        (512, 2, 43.229),
+        (128, 4, 0.395),
+        (256, 4, 2.853),
+        (512, 4, 21.584),
+        (128, 8, 0.214),
+        (256, 8, 1.475),
+        (512, 8, 10.965),
+    ];
+    println!("{:>6} {:>6} {:>12} {:>12} {:>8}", "size", "P_eng", "paper(ms)", "sim(ms)", "ratio");
+    for (n, p_eng, paper) in rows {
+        let cfg = HeteroSvdConfig::builder(n, n)
+            .engine_parallelism(p_eng)
+            .pl_freq_mhz(208.3)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(1)
+            .build()?;
+        let acc = Accelerator::new(cfg)?;
+        let a = Matrix::zeros(n, n);
+        let out = acc.run(&a)?;
+        // Table IV reports the orth iteration time (model scope is one
+        // iteration), so compare avg_iteration.
+        let sim = out.timing.avg_iteration().as_millis();
+        println!(
+            "{:>6} {:>6} {:>12.3} {:>12.3} {:>8.2}",
+            n,
+            p_eng,
+            paper,
+            sim,
+            sim / paper
+        );
+    }
+    Ok(())
+}

@@ -1,0 +1,69 @@
+//! Design-space explorer: sweep the micro-architecture space for a
+//! problem size and print the feasible frontier (§IV-C, Fig. 8).
+//!
+//! ```text
+//! cargo run --release --example dse_explorer -- 256 100
+//! ```
+//!
+//! Arguments: matrix size (default 256) and batch size (default 100).
+
+use heterosvd_repro::dse::{run_dse, DseConfig, Objective};
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let n: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(256);
+    let batch: usize = args.next().and_then(|a| a.parse().ok()).unwrap_or(100);
+
+    let start = std::time::Instant::now();
+    let result = run_dse(&DseConfig::new(n, n).batch(batch).iterations(6));
+    let elapsed = start.elapsed();
+
+    println!("== DSE sweep: {n}x{n}, batch {batch}, 6 iterations ==");
+    println!(
+        "{} feasible / {} candidates in {:.1} ms\n",
+        result.evaluations.len(),
+        result.evaluations.len() + result.infeasible,
+        elapsed.as_secs_f64() * 1e3
+    );
+
+    println!(
+        "{:>6} {:>6} | {:>9} | {:>5} {:>5} {:>5} | {:>11} {:>11} {:>8} {:>8} | {:<14}",
+        "P_eng", "P_task", "freq(MHz)", "AIE", "URAM", "PLIO", "latency(ms)", "tput(t/s)", "power", "EE", "bottleneck"
+    );
+    // Print the stage-1 frontier: max P_task per P_eng.
+    for e in result.max_task_points() {
+        println!(
+            "{:>6} {:>6} | {:>9.1} | {:>5} {:>5} {:>5} | {:>11.3} {:>11.1} {:>8.2} {:>8.3} | {:<14}",
+            e.point.engine_parallelism,
+            e.point.task_parallelism,
+            e.point.pl_freq_mhz,
+            e.usage.aie,
+            e.usage.uram,
+            e.usage.plio,
+            e.latency.as_millis(),
+            e.throughput,
+            e.power_watts,
+            e.energy_efficiency,
+            format!("{:?}", e.bottleneck)
+        );
+    }
+
+    println!();
+    for (label, objective) in [
+        ("minimum latency", Objective::MinLatency),
+        ("maximum throughput", Objective::MaxThroughput),
+        ("maximum energy efficiency", Objective::MaxEnergyEfficiency),
+    ] {
+        if let Some(best) = result.best(objective) {
+            println!(
+                "best for {label:<26}: P_eng={} P_task={} @ {:.0} MHz -> {:.3} ms, {:.1} t/s, {:.2} W",
+                best.point.engine_parallelism,
+                best.point.task_parallelism,
+                best.point.pl_freq_mhz,
+                best.latency.as_millis(),
+                best.throughput,
+                best.power_watts
+            );
+        }
+    }
+}

@@ -1,0 +1,76 @@
+//! Recommender-system low-rank approximation: the second application the
+//! paper's introduction motivates (\[4\], \[5\]).
+//!
+//! A synthetic user×item rating matrix with a planted low-rank structure
+//! plus noise is factorized on the accelerator; truncating to the top-k
+//! singular triplets denoises the ratings. The example reports the
+//! reconstruction error against the planted ground truth as the retained
+//! rank grows — the error floor appears exactly at the planted rank.
+//!
+//! ```text
+//! cargo run --release --example recommender_lowrank
+//! ```
+
+use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig};
+use heterosvd_repro::svd_kernels::{hestenes_jacobi, JacobiOptions, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let (users, items, true_rank) = (96, 48, 6);
+    let mut rng = StdRng::seed_from_u64(7);
+
+    // Planted low-rank preference structure: taste vectors x item traits.
+    let tastes = Matrix::from_fn(users, true_rank, |_, _| rng.gen_range(-1.0..1.0));
+    let traits_m = Matrix::from_fn(true_rank, items, |_, _| rng.gen_range(-1.0..1.0));
+    let clean = tastes.matmul(&traits_m)?;
+    let noisy = Matrix::from_fn(users, items, |r, c| {
+        clean[(r, c)] + rng.gen_range(-0.05..0.05)
+    });
+
+    let config = HeteroSvdConfig::builder(users, items)
+        .engine_parallelism(4)
+        .precision(1e-6)
+        .build()?;
+    let out = Accelerator::new(config)?.run(&noisy)?;
+    println!("== Recommender low-rank denoising ({users} users x {items} items) ==");
+    println!(
+        "accelerator: {} iterations, {:.3} ms simulated latency",
+        out.result.sweeps,
+        out.timing.task_time.as_millis()
+    );
+
+    // The accelerator returns U and sigma (Algorithm 1); the library
+    // recovers V and builds the Eckart-Young rank-k approximations.
+    let noisy32 = noisy.cast::<f32>();
+    let order = out.result.descending_order();
+
+    let clean_norm = clean.frobenius_norm();
+    println!("\n{:>6} {:>14} {:>12}", "rank", "error vs truth", "sigma_k");
+    let mut floor_error = f64::INFINITY;
+    for k in [1, 2, 4, 6, 8, 12] {
+        let approx = out.result.low_rank_approximation(&noisy32, k)?;
+        let approx64: Matrix<f64> = approx.cast();
+        let err = approx64.sub(&clean)?.frobenius_norm() / clean_norm;
+        let sigma_k = out.result.sigma[order[k.min(items) - 1]];
+        println!("{k:>6} {err:>14.5} {sigma_k:>12.4}");
+        if k == true_rank {
+            floor_error = err;
+        }
+    }
+
+    // Sanity: the golden model agrees on the spectrum.
+    let golden = hestenes_jacobi(&noisy, &JacobiOptions::default())?;
+    let gs = golden.sorted_singular_values();
+    let hs = out.result.sorted_singular_values();
+    let spectral_err = (gs[0] - hs[0] as f64).abs() / gs[0];
+    println!("\nspectral agreement with f64 golden: {spectral_err:.2e}");
+    println!(
+        "planted rank {true_rank}: truncated reconstruction error {floor_error:.4} \
+         (noise floor; full-rank noise would be ~0.05)"
+    );
+
+    assert!(floor_error < 0.05, "rank-{true_rank} truncation must denoise");
+    assert!(spectral_err < 1e-4);
+    Ok(())
+}

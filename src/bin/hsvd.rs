@@ -1,0 +1,206 @@
+//! `hsvd` — command-line SVD through the simulated HeteroSVD accelerator.
+//!
+//! ```text
+//! hsvd --random 128            # factorize a seeded random 128x128 matrix
+//! hsvd matrix.csv              # factorize a CSV matrix (rows of comma-separated numbers)
+//! hsvd matrix.csv --p-eng 8 --precision 1e-6 --sigma-out sigma.csv
+//! ```
+//!
+//! Prints the singular values and the simulated hardware statistics;
+//! optionally writes `Σ` and `U` to CSV files.
+
+use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig};
+use heterosvd_repro::svd_kernels::{io as matrix_io, Matrix};
+use std::io::Write;
+use std::process::ExitCode;
+
+struct Args {
+    input: Option<String>,
+    random: Option<usize>,
+    seed: u64,
+    p_eng: usize,
+    p_task: usize,
+    freq_mhz: Option<f64>,
+    precision: f64,
+    iterations: Option<usize>,
+    sigma_out: Option<String>,
+    u_out: Option<String>,
+}
+
+fn usage() -> &'static str {
+    "usage: hsvd [matrix.csv | --random N] [options]\n\
+     \n\
+     options:\n\
+       --random N          factorize a seeded random NxN matrix\n\
+       --seed S            RNG seed for --random (default 1)\n\
+       --p-eng K           engine parallelism, 1..=11 (default 4)\n\
+       --p-task T          task parallelism, 1..=26 (default 1)\n\
+       --freq MHZ          PL frequency (default: achievable)\n\
+       --precision EPS     convergence threshold (default 1e-6)\n\
+       --iterations N      fixed iteration count instead of convergence\n\
+       --sigma-out FILE    write singular values to a CSV file\n\
+       --u-out FILE        write U to a CSV file"
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        input: None,
+        random: None,
+        seed: 1,
+        p_eng: 4,
+        p_task: 1,
+        freq_mhz: None,
+        precision: 1e-6,
+        iterations: None,
+        sigma_out: None,
+        u_out: None,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(arg) = it.next() {
+        let mut value = |name: &str| {
+            it.next()
+                .ok_or_else(|| format!("missing value for {name}"))
+        };
+        match arg.as_str() {
+            "--random" => args.random = Some(value("--random")?.parse().map_err(|e| format!("{e}"))?),
+            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
+            "--p-eng" => args.p_eng = value("--p-eng")?.parse().map_err(|e| format!("{e}"))?,
+            "--p-task" => args.p_task = value("--p-task")?.parse().map_err(|e| format!("{e}"))?,
+            "--freq" => args.freq_mhz = Some(value("--freq")?.parse().map_err(|e| format!("{e}"))?),
+            "--precision" => {
+                args.precision = value("--precision")?.parse().map_err(|e| format!("{e}"))?
+            }
+            "--iterations" => {
+                args.iterations = Some(value("--iterations")?.parse().map_err(|e| format!("{e}"))?)
+            }
+            "--sigma-out" => args.sigma_out = Some(value("--sigma-out")?),
+            "--u-out" => args.u_out = Some(value("--u-out")?),
+            "--help" | "-h" => return Err(usage().to_string()),
+            other if other.starts_with('-') => return Err(format!("unknown option {other}")),
+            other => args.input = Some(other.to_string()),
+        }
+    }
+    if args.input.is_none() && args.random.is_none() {
+        return Err(usage().to_string());
+    }
+    Ok(args)
+}
+
+fn run() -> Result<(), String> {
+    let args = parse_args()?;
+
+    let a = match (&args.input, args.random) {
+        (Some(path), _) => matrix_io::read_csv_path(path).map_err(|e| e.to_string())?,
+        (None, Some(n)) => {
+            use rand::{Rng, SeedableRng};
+            let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+            Matrix::from_fn(n, n, |r, c| {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                if r == c {
+                    v + 2.0
+                } else {
+                    v
+                }
+            })
+        }
+        _ => unreachable!("validated in parse_args"),
+    };
+
+    // Transpose wide matrices (the one-sided method needs rows >= cols).
+    let (a, transposed) = if a.rows() < a.cols() {
+        (a.transpose(), true)
+    } else {
+        (a, false)
+    };
+    if transposed {
+        eprintln!(
+            "note: input is wide; factorizing the transpose ({}x{})",
+            a.rows(),
+            a.cols()
+        );
+    }
+
+    // Adapt the requested engine parallelism to the problem and pad the
+    // matrix with zero rows/columns to a valid shape: zero-padding leaves
+    // the (nonzero) singular values untouched, and the noise-floor gate
+    // handles the padded zero columns.
+    let orig_cols = a.cols();
+    let p_eng = (1..=args.p_eng.clamp(1, 11))
+        .rev()
+        .min_by_key(|k| {
+            let padded = orig_cols.div_ceil(2 * k) * 2 * k;
+            (padded - orig_cols, args.p_eng.abs_diff(*k))
+        })
+        .unwrap_or(1);
+    let padded_cols = orig_cols.div_ceil(2 * p_eng) * 2 * p_eng;
+    let padded_rows = a.rows().max(padded_cols);
+    let a = if padded_cols != orig_cols || padded_rows != a.rows() {
+        eprintln!(
+            "note: padding {}x{} to {}x{} (P_eng {})",
+            a.rows(),
+            orig_cols,
+            padded_rows,
+            padded_cols,
+            p_eng
+        );
+        let src = a;
+        Matrix::from_fn(padded_rows, padded_cols, |r, c| {
+            if r < src.rows() && c < src.cols() {
+                src[(r, c)]
+            } else {
+                0.0
+            }
+        })
+    } else {
+        a
+    };
+
+    let mut builder = HeteroSvdConfig::builder(a.rows(), a.cols())
+        .engine_parallelism(p_eng)
+        .task_parallelism(args.p_task)
+        .precision(args.precision);
+    if let Some(mhz) = args.freq_mhz {
+        builder = builder.pl_freq_mhz(mhz);
+    }
+    if let Some(iters) = args.iterations {
+        builder = builder.fixed_iterations(iters);
+    }
+    let config = builder.build().map_err(|e| e.to_string())?;
+    let accelerator = Accelerator::new(config).map_err(|e| e.to_string())?;
+    let out = accelerator.run(&a).map_err(|e| e.to_string())?;
+
+    let mut svs = out.result.sorted_singular_values();
+    svs.truncate(orig_cols); // drop the padded zero columns' values
+    println!("singular values ({}):", svs.len());
+    let shown = svs.len().min(16);
+    let line: Vec<String> = svs[..shown].iter().map(|s| format!("{s:.6}")).collect();
+    println!("  {}{}", line.join(", "), if svs.len() > shown { ", ..." } else { "" });
+    println!(
+        "converged in {} iterations; simulated latency {:.3} ms on {} AIEs ({} DMA transfers)",
+        out.result.sweeps,
+        out.timing.task_time.as_millis(),
+        out.usage.aie,
+        out.stats.dma_transfers
+    );
+
+    if let Some(path) = &args.sigma_out {
+        let sigma = Matrix::from_fn(svs.len(), 1, |r, _| svs[r] as f64);
+        matrix_io::write_csv_path(&sigma, path).map_err(|e| e.to_string())?;
+        println!("wrote sigma to {path}");
+    }
+    if let Some(path) = &args.u_out {
+        matrix_io::write_csv_path(&out.result.u, path).map_err(|e| e.to_string())?;
+        println!("wrote U to {path}");
+    }
+    Ok(())
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(msg) => {
+            let _ = writeln!(std::io::stderr(), "{msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

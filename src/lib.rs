@@ -1,0 +1,32 @@
+#![warn(missing_docs)]
+
+//! Umbrella crate for the HeteroSVD reproduction workspace.
+//!
+//! This crate re-exports the public API of every member crate so that the
+//! workspace-level examples and integration tests can exercise the whole
+//! system through a single dependency. Downstream users should normally
+//! depend on the individual crates ([`heterosvd`], [`svd_kernels`], ...)
+//! directly.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig};
+//! use heterosvd_repro::svd_kernels::Matrix;
+//!
+//! # fn main() -> Result<(), Box<dyn std::error::Error>> {
+//! let a = Matrix::from_fn(16, 16, |r, c| ((r * 31 + c * 17) % 13) as f64 - 6.0);
+//! let config = HeteroSvdConfig::builder(16, 16).engine_parallelism(2).build()?;
+//! let output = Accelerator::new(config)?.run(&a)?;
+//! assert!(output.result.reconstruction_error(&a.cast()) < 1e-4);
+//! # Ok(())
+//! # }
+//! ```
+
+pub use aie_sim;
+pub use baselines;
+pub use heterosvd;
+pub use heterosvd_dse as dse;
+pub use perf_model;
+pub use svd_kernels;
+pub use svd_orderings as orderings;

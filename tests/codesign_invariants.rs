@@ -1,0 +1,101 @@
+//! Invariants of the algorithm-hardware co-design: the simulator's DMA
+//! accounting must agree with the closed-form movement analysis, and the
+//! paper's headline formulas must hold through the whole stack.
+
+use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use heterosvd_repro::orderings::movement::{
+    analyze, codesign_dma_count, ring_naive_dma_count, DataflowKind, OrderingKind,
+};
+use heterosvd_repro::orderings::HardwareSchedule;
+use heterosvd_repro::svd_kernels::Matrix;
+
+fn dma_per_pass(n: usize, p_eng: usize, ordering: OrderingKind, dataflow: DataflowKind) -> usize {
+    let cfg = HeteroSvdConfig::builder(n, n)
+        .engine_parallelism(p_eng)
+        .ordering(ordering)
+        .dataflow(dataflow)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(1)
+        .build()
+        .unwrap();
+    let acc = Accelerator::new(cfg).unwrap();
+    let out = acc.run(&Matrix::zeros(n, n)).unwrap();
+    let passes = acc.config().num_block_pairs();
+    assert_eq!(out.stats.dma_transfers % passes, 0);
+    out.stats.dma_transfers / passes
+}
+
+#[test]
+fn simulator_dma_matches_closed_forms_single_band() {
+    // k = 2 and k = 3 keep all layers in one placement band, so the
+    // simulator must reproduce the paper's formulas exactly.
+    for (n, k) in [(16usize, 2usize), (24, 3)] {
+        assert_eq!(
+            dma_per_pass(n, k, OrderingKind::Ring, DataflowKind::NaiveMemory),
+            ring_naive_dma_count(k),
+            "ring+naive k={k}"
+        );
+        assert_eq!(
+            dma_per_pass(n, k, OrderingKind::ShiftingRing, DataflowKind::Relocated),
+            codesign_dma_count(k),
+            "codesign k={k}"
+        );
+    }
+}
+
+#[test]
+fn simulator_dma_matches_analysis_with_physical_rows() {
+    // For multi-band placements the analysis must be fed the physical
+    // layer->row map; band-break transitions are all-DMA double hops.
+    let k = 4;
+    let cfg = HeteroSvdConfig::builder(16, 16)
+        .engine_parallelism(k)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(1)
+        .build()
+        .unwrap();
+    let acc = Accelerator::new(cfg.clone()).unwrap();
+    let out = acc.run(&Matrix::zeros(16, 16)).unwrap();
+    let passes = cfg.num_block_pairs();
+
+    // Expected: non-break transitions follow the analysis; the one break
+    // transition (layer 5 -> 6) costs 2 DMA per column = 4k.
+    let placement = acc.placement();
+    let mut expected = 0usize;
+    for t in 0..placement.num_layers() - 1 {
+        if placement.is_band_break(t) {
+            expected += 2 * 2 * k;
+        } else {
+            let report = heterosvd_repro::orderings::movement::analyze_with_rows(
+                cfg.ordering,
+                cfg.dataflow,
+                k,
+                |l| placement.row_of_layer(l),
+            );
+            expected += report.dma_per_transition[t];
+        }
+    }
+    assert_eq!(out.stats.dma_transfers, passes * expected);
+}
+
+#[test]
+fn headline_formulas_hold_for_all_k() {
+    for k in 1..=11 {
+        let naive = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k);
+        let codesign = analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, k);
+        assert_eq!(naive.dma_transfers, ring_naive_dma_count(k));
+        assert_eq!(codesign.dma_transfers, codesign_dma_count(k));
+        // The schedule behind the analysis is a complete tournament.
+        assert!(HardwareSchedule::new(k, OrderingKind::ShiftingRing).is_complete());
+    }
+}
+
+#[test]
+fn dma_reduction_translates_to_memory_savings() {
+    // Each avoided DMA avoids a doubled buffer: the co-design's extra
+    // buffer count is k times smaller.
+    let k = 3;
+    let naive = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k);
+    let codesign = analyze(OrderingKind::ShiftingRing, DataflowKind::Relocated, k);
+    assert_eq!(naive.extra_dma_buffers, k * codesign.extra_dma_buffers);
+}

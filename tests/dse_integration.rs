@@ -1,0 +1,115 @@
+//! DSE integration: every design the explorer returns must actually
+//! build, fit the device, and perform as predicted.
+
+use heterosvd_repro::dse::{run_dse, DseConfig, Objective};
+use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use heterosvd_repro::svd_kernels::Matrix;
+
+#[test]
+fn every_feasible_point_constructs_an_accelerator() {
+    let result = run_dse(&DseConfig::new(128, 128).iterations(6));
+    assert!(!result.evaluations.is_empty());
+    for e in &result.evaluations {
+        let cfg = HeteroSvdConfig::builder(128, 128)
+            .engine_parallelism(e.point.engine_parallelism)
+            .task_parallelism(e.point.task_parallelism)
+            .pl_freq_mhz(e.point.pl_freq_mhz)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()
+            .expect("feasible point must build");
+        let acc = Accelerator::new(cfg).expect("feasible point must place");
+        assert_eq!(acc.placement().usage(), e.usage);
+    }
+}
+
+#[test]
+fn best_latency_point_is_actually_fastest_in_simulation() {
+    let result = run_dse(&DseConfig::new(64, 64).iterations(6).freq_mhz(310.0));
+    let best = result.best(Objective::MinLatency).unwrap();
+    let a = Matrix::zeros(64, 64);
+
+    let simulate = |p_eng: usize, p_task: usize| {
+        let cfg = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(p_eng)
+            .task_parallelism(p_task)
+            .pl_freq_mhz(310.0)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()
+            .unwrap();
+        Accelerator::new(cfg).unwrap().run(&a).unwrap().timing.task_time
+    };
+
+    let best_sim = simulate(
+        best.point.engine_parallelism,
+        best.point.task_parallelism,
+    );
+    // Check against a sample of other feasible points.
+    for e in result.evaluations.iter().step_by(7) {
+        let other = simulate(e.point.engine_parallelism, e.point.task_parallelism);
+        assert!(
+            best_sim.0 <= (other.0 as f64 * 1.05) as u64,
+            "DSE best ({:?}) simulated at {} but point {:?} runs at {}",
+            best.point,
+            best_sim,
+            e.point,
+            other
+        );
+    }
+}
+
+#[test]
+fn dse_predictions_match_simulation_within_15_percent() {
+    let result = run_dse(&DseConfig::new(64, 64).iterations(6).freq_mhz(310.0));
+    let a = Matrix::zeros(64, 64);
+    for e in result.evaluations.iter().step_by(11) {
+        let cfg = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(e.point.engine_parallelism)
+            .task_parallelism(e.point.task_parallelism)
+            .pl_freq_mhz(310.0)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()
+            .unwrap();
+        let sim = Accelerator::new(cfg)
+            .unwrap()
+            .run(&a)
+            .unwrap()
+            .timing
+            .task_time;
+        let err =
+            (e.latency.0 as f64 - sim.0 as f64).abs() / sim.0 as f64;
+        // 64x64 is below the paper's smallest size; fill-path effects
+        // loom larger there, so the budget is wider than Table IV's.
+        assert!(
+            err < 0.15,
+            "point {:?}: model {} vs sim {} (err {err:.3})",
+            e.point,
+            e.latency,
+            sim
+        );
+    }
+}
+
+#[test]
+fn infeasible_designs_are_rejected_consistently() {
+    // The DSE and the accelerator must agree on feasibility.
+    let cfg = DseConfig::new(256, 256);
+    for p_eng in [2usize, 4, 8] {
+        for p_task in [1usize, 10, 26] {
+            let dse_feasible =
+                heterosvd_repro::dse::evaluate_point(&cfg, p_eng, p_task).is_some();
+            let hw = HeteroSvdConfig::builder(256, 256)
+                .engine_parallelism(p_eng)
+                .task_parallelism(p_task)
+                .build()
+                .and_then(Accelerator::new);
+            assert_eq!(
+                dse_feasible,
+                hw.is_ok(),
+                "feasibility disagreement at P_eng={p_eng} P_task={p_task}"
+            );
+        }
+    }
+}

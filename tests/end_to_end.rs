@@ -1,0 +1,221 @@
+//! End-to-end integration: the simulated accelerator against the f64
+//! golden solver across sizes, shapes and configurations.
+
+use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig};
+use heterosvd_repro::orderings::movement::{DataflowKind, OrderingKind};
+use heterosvd_repro::svd_kernels::{hestenes_jacobi, verify, JacobiOptions, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |r, c| {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if r == c {
+            v + 2.0
+        } else {
+            v
+        }
+    })
+}
+
+fn check_against_golden(a: &Matrix<f64>, p_eng: usize) {
+    let cfg = HeteroSvdConfig::builder(a.rows(), a.cols())
+        .engine_parallelism(p_eng)
+        .precision(1e-6)
+        .build()
+        .unwrap();
+    let out = Accelerator::new(cfg).unwrap().run(a).unwrap();
+    let golden = hestenes_jacobi(a, &JacobiOptions::default()).unwrap();
+    let err = verify::singular_value_error(
+        &golden.sorted_singular_values(),
+        &out.result.sorted_singular_values(),
+    );
+    assert!(
+        err < 5e-4,
+        "{}x{} P_eng={p_eng}: singular value error {err}",
+        a.rows(),
+        a.cols()
+    );
+    assert!(
+        verify::column_orthogonality_error(&out.result.u) < 1e-3,
+        "U not orthogonal"
+    );
+}
+
+#[test]
+fn accelerator_matches_golden_square_sizes() {
+    for (n, p_eng) in [(16, 2), (32, 4), (64, 8), (48, 4)] {
+        check_against_golden(&random_matrix(n, n, n as u64), p_eng);
+    }
+}
+
+#[test]
+fn accelerator_matches_golden_odd_engine_parallelisms() {
+    // Odd k exercises the shifting-ring slot rotation hardest (the shift
+    // wraps mid-array); every Table I value of P_eng must be functional.
+    for (n, p_eng) in [(30, 3), (40, 5), (28, 7), (36, 9), (44, 11)] {
+        check_against_golden(&random_matrix(n, n, 1000 + n as u64), p_eng);
+    }
+}
+
+#[test]
+fn accelerator_matches_golden_rectangular() {
+    check_against_golden(&random_matrix(96, 32, 9), 4);
+    check_against_golden(&random_matrix(64, 16, 10), 2);
+}
+
+#[test]
+fn accelerator_handles_rank_deficient_input() {
+    // Rank-3 matrix: the noise-floor gate must let convergence finish.
+    let base = random_matrix(48, 3, 11);
+    let mix = random_matrix(3, 48, 12);
+    let a = base.matmul(&mix).unwrap();
+    let cfg = HeteroSvdConfig::builder(48, 48)
+        .engine_parallelism(4)
+        .precision(1e-6)
+        .build()
+        .unwrap();
+    let out = Accelerator::new(cfg).unwrap().run(&a).unwrap();
+    let svs = out.result.sorted_singular_values();
+    assert!(svs[2] > 1e-3, "three real singular values expected");
+    // The rest are numerically zero.
+    let scale = svs[0];
+    for s in &svs[3..] {
+        assert!(*s / scale < 1e-3, "spurious singular value {s}");
+    }
+}
+
+#[test]
+fn all_orderings_produce_identical_math() {
+    // The ordering/dataflow only changes timing, never results.
+    let a = random_matrix(32, 32, 13);
+    let mut results = Vec::new();
+    for ordering in [
+        OrderingKind::Ring,
+        OrderingKind::RoundRobin,
+        OrderingKind::ShiftingRing,
+    ] {
+        for dataflow in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+            let cfg = HeteroSvdConfig::builder(32, 32)
+                .engine_parallelism(4)
+                .ordering(ordering)
+                .dataflow(dataflow)
+                .fixed_iterations(6)
+                .build()
+                .unwrap();
+            let out = Accelerator::new(cfg).unwrap().run(&a).unwrap();
+            results.push(out.result.sigma.clone());
+        }
+    }
+    for pair in results.windows(2) {
+        assert_eq!(pair[0], pair[1], "ordering changed the numerics");
+    }
+}
+
+#[test]
+fn codesign_is_fastest_variant() {
+    let a = random_matrix(36, 36, 14);
+    let mut timings = Vec::new();
+    for (name, ordering, dataflow) in [
+        ("ring+naive", OrderingKind::Ring, DataflowKind::NaiveMemory),
+        (
+            "codesign",
+            OrderingKind::ShiftingRing,
+            DataflowKind::Relocated,
+        ),
+    ] {
+        let cfg = HeteroSvdConfig::builder(36, 36)
+            .engine_parallelism(3)
+            .ordering(ordering)
+            .dataflow(dataflow)
+            .pl_freq_mhz(208.3)
+            .fixed_iterations(6)
+            .build()
+            .unwrap();
+        let out = Accelerator::new(cfg).unwrap().run(&a).unwrap();
+        timings.push((name, out.timing.task_time, out.stats.dma_transfers));
+    }
+    assert!(
+        timings[1].1 < timings[0].1,
+        "co-design {} !< naive {}",
+        timings[1].1,
+        timings[0].1
+    );
+    assert!(timings[1].2 < timings[0].2, "co-design must reduce DMA");
+}
+
+#[test]
+fn convergence_iterations_decrease_with_looser_precision() {
+    let a = random_matrix(32, 32, 15);
+    let run_with = |precision: f64| {
+        let cfg = HeteroSvdConfig::builder(32, 32)
+            .engine_parallelism(4)
+            .precision(precision)
+            .build()
+            .unwrap();
+        Accelerator::new(cfg).unwrap().run(&a).unwrap().result.sweeps
+    };
+    // f32 kernels bottom out near 1e-7 on the Eq. 6 measure, so the
+    // tight precision stays above that floor.
+    let tight = run_with(1e-6);
+    let loose = run_with(1e-2);
+    assert!(loose < tight, "loose {loose} !< tight {tight}");
+}
+
+#[test]
+fn aie_ml_profile_admits_taller_columns_than_vck190() {
+    use heterosvd_repro::aie_sim::device::DeviceProfile;
+    use heterosvd_repro::heterosvd::FidelityMode;
+    // 2048-row columns need 8 KB buffers x6: beyond a 32 KB AIE1 tile,
+    // within a 64 KB AIE-ML tile.
+    let build = |device: DeviceProfile| {
+        HeteroSvdConfig::builder(2048, 32)
+            .engine_parallelism(4)
+            .device(device)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(1)
+            .build()
+            .and_then(Accelerator::new)
+    };
+    assert!(build(DeviceProfile::VCK190).is_err());
+    let acc = build(DeviceProfile::VE2802_ESTIMATE).expect("fits AIE-ML tiles");
+    let out = acc.run(&Matrix::zeros(2048, 32)).unwrap();
+    assert!(out.timing.task_time.0 > 0);
+}
+
+#[test]
+fn functional_run_on_aie_ml_profile_matches_golden() {
+    use heterosvd_repro::aie_sim::device::DeviceProfile;
+    let a = random_matrix(32, 32, 321);
+    let cfg = HeteroSvdConfig::builder(32, 32)
+        .engine_parallelism(4)
+        .device(DeviceProfile::VE2802_ESTIMATE)
+        .precision(1e-6)
+        .build()
+        .unwrap();
+    let out = Accelerator::new(cfg).unwrap().run(&a).unwrap();
+    let golden = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+    let err = verify::singular_value_error(
+        &golden.sorted_singular_values(),
+        &out.result.sorted_singular_values(),
+    );
+    assert!(err < 1e-4, "AIE-ML functional error {err}");
+}
+
+#[test]
+fn batch_results_equal_single_results() {
+    let a = random_matrix(16, 16, 16);
+    let cfg = HeteroSvdConfig::builder(16, 16)
+        .engine_parallelism(2)
+        .task_parallelism(4)
+        .fixed_iterations(6)
+        .build()
+        .unwrap();
+    let acc = Accelerator::new(cfg).unwrap();
+    let single = acc.run(&a).unwrap();
+    let (batch_out, sys) = acc.run_batch(&a, 10).unwrap();
+    assert_eq!(single.result.sigma, batch_out.result.sigma);
+    // ceil(10/4) = 3 waves.
+    assert_eq!(sys.0, batch_out.timing.task_time.0 * 3);
+}

@@ -1,0 +1,119 @@
+//! The performance model (Eq. 8–14) must track the cycle-approximate
+//! simulator — the invariant behind Tables IV and V.
+
+use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use heterosvd_repro::perf_model::{estimate, DesignPoint};
+use heterosvd_repro::svd_kernels::Matrix;
+
+fn simulate_iteration_ms(n: usize, p_eng: usize, freq: f64) -> f64 {
+    let cfg = HeteroSvdConfig::builder(n, n)
+        .engine_parallelism(p_eng)
+        .pl_freq_mhz(freq)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(1)
+        .build()
+        .unwrap();
+    let acc = Accelerator::new(cfg).unwrap();
+    acc.run(&Matrix::zeros(n, n))
+        .unwrap()
+        .timing
+        .avg_iteration()
+        .as_millis()
+}
+
+fn model_iteration_ms(n: usize, p_eng: usize, freq: f64) -> f64 {
+    estimate(&DesignPoint {
+        rows: n,
+        cols: n,
+        engine_parallelism: p_eng,
+        task_parallelism: 1,
+        pl_freq_mhz: freq,
+        iterations: 1,
+    })
+    .iteration
+    .as_millis()
+}
+
+#[test]
+fn model_tracks_simulator_on_paper_grid() {
+    // Table IV's grid shrunk to test-friendly sizes; the paper's
+    // model-vs-board error budget is 3.03% max / 1.78% avg, ours must
+    // stay below 10% everywhere.
+    let mut worst = 0.0_f64;
+    for n in [64usize, 128, 256] {
+        for p_eng in [2usize, 4, 8] {
+            let sim = simulate_iteration_ms(n, p_eng, 208.3);
+            let model = model_iteration_ms(n, p_eng, 208.3);
+            let err = (model - sim).abs() / sim;
+            worst = worst.max(err);
+            // The paper's grid starts at 128; 64x64 iterations are
+            // fill-dominated (28 passes) and get a wider budget.
+            let budget = if n >= 128 { 0.10 } else { 0.20 };
+            assert!(
+                err < budget,
+                "n={n} P_eng={p_eng}: model {model:.3} vs sim {sim:.3} ms (err {err:.3})"
+            );
+        }
+    }
+    assert!(worst < 0.20);
+}
+
+#[test]
+fn model_tracks_simulator_across_frequencies() {
+    for freq in [200.0, 310.0, 450.0] {
+        let sim = simulate_iteration_ms(128, 4, freq);
+        let model = model_iteration_ms(128, 4, freq);
+        let err = (model - sim).abs() / sim;
+        assert!(err < 0.10, "freq {freq}: err {err:.3}");
+    }
+}
+
+#[test]
+fn model_and_simulator_agree_on_ranking() {
+    // Whatever the absolute errors, the model must rank design points
+    // like the simulator does — that is what the DSE relies on.
+    let mut sims = Vec::new();
+    let mut models = Vec::new();
+    for p_eng in [2usize, 4, 8] {
+        sims.push(simulate_iteration_ms(128, p_eng, 208.3));
+        models.push(model_iteration_ms(128, p_eng, 208.3));
+    }
+    for i in 0..sims.len() - 1 {
+        assert_eq!(
+            sims[i] > sims[i + 1],
+            models[i] > models[i + 1],
+            "ranking disagreement at index {i}: sims {sims:?} models {models:?}"
+        );
+    }
+}
+
+#[test]
+fn task_level_model_tracks_simulator() {
+    let n = 128;
+    let cfg = HeteroSvdConfig::builder(n, n)
+        .engine_parallelism(4)
+        .pl_freq_mhz(310.0)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(6)
+        .build()
+        .unwrap();
+    let acc = Accelerator::new(cfg).unwrap();
+    let sim_task = acc
+        .run(&Matrix::zeros(n, n))
+        .unwrap()
+        .timing
+        .task_time
+        .as_millis();
+    let model_task = estimate(&DesignPoint {
+        rows: n,
+        cols: n,
+        engine_parallelism: 4,
+        task_parallelism: 1,
+        pl_freq_mhz: 310.0,
+        iterations: 6,
+    })
+    .task
+    .as_millis();
+    let err = (model_task - sim_task).abs() / sim_task;
+    assert!(err < 0.10, "t_task: model {model_task:.3} vs sim {sim_task:.3} ms");
+}

@@ -1,0 +1,195 @@
+//! Property-based tests (proptest) on the core invariants of the stack.
+
+use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig};
+use heterosvd_repro::orderings::movement::{
+    analyze, classify, AccessKind, DataflowKind, Movement, OrderingKind,
+};
+use heterosvd_repro::orderings::HardwareSchedule;
+use heterosvd_repro::perf_model::{estimate, DesignPoint};
+use heterosvd_repro::svd_kernels::rotation::{
+    column_products, compute_rotation, orthogonalize_pair,
+};
+use heterosvd_repro::svd_kernels::{hestenes_jacobi, verify, JacobiOptions, Matrix};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// A Jacobi rotation always orthogonalizes its pair and preserves the
+    /// combined norm (it is an orthogonal transform).
+    #[test]
+    fn rotation_orthogonalizes_and_preserves_norm(
+        x in prop::collection::vec(-100.0_f64..100.0, 2..32),
+        y_seed in prop::collection::vec(-100.0_f64..100.0, 2..32),
+    ) {
+        let len = x.len().min(y_seed.len());
+        let mut xs = x[..len].to_vec();
+        let mut ys = y_seed[..len].to_vec();
+        let norm_before: f64 = xs.iter().chain(ys.iter()).map(|v| v * v).sum();
+        orthogonalize_pair(&mut xs, &mut ys);
+        let dot: f64 = xs.iter().zip(&ys).map(|(a, b)| a * b).sum();
+        let norm_after: f64 = xs.iter().chain(ys.iter()).map(|v| v * v).sum();
+        prop_assert!(dot.abs() <= 1e-8 * norm_after.max(1.0));
+        prop_assert!((norm_before - norm_after).abs() <= 1e-9 * norm_before.max(1.0));
+    }
+
+    /// c² + s² = 1 for every non-identity rotation.
+    #[test]
+    fn rotation_is_unitary(
+        alpha in 1e-6_f64..1e6,
+        beta in 1e-6_f64..1e6,
+        gamma in -1e6_f64..1e6,
+    ) {
+        let rot = compute_rotation(alpha, beta, gamma);
+        prop_assert!((rot.c * rot.c + rot.s * rot.s - 1.0).abs() < 1e-12);
+    }
+
+    /// The reference SVD reconstructs arbitrary well-scaled matrices and
+    /// its singular values are non-negative.
+    #[test]
+    fn reference_svd_reconstructs(seed in 0_u64..500, n in 2_usize..10, extra in 0_usize..6) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let rows = n + extra;
+        let a = Matrix::from_fn(rows, n, |_, _| rng.gen_range(-10.0..10.0));
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        prop_assert!(svd.reconstruction_error(&a) < 1e-8);
+        prop_assert!(svd.sigma.iter().all(|&s| s >= 0.0));
+        prop_assert!(verify::column_orthogonality_error(svd.v.as_ref().unwrap()) < 1e-8);
+    }
+
+    /// Hardware schedules are complete tournaments for every k and
+    /// ordering.
+    #[test]
+    fn schedules_are_complete(k in 0_usize..16) {
+        for ordering in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+            let s = HardwareSchedule::new(k, ordering);
+            prop_assert!(s.is_complete());
+            if k > 0 {
+                prop_assert_eq!(s.num_layers(), 2 * k - 1);
+            }
+        }
+    }
+
+    /// Movement analysis conservation: DMA + neighbor = total, and the
+    /// co-design never uses more DMA than any other corner.
+    #[test]
+    fn movement_analysis_is_conservative(k in 1_usize..16) {
+        let mut counts = Vec::new();
+        for ordering in [OrderingKind::Ring, OrderingKind::ShiftingRing] {
+            for dataflow in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+                let r = analyze(ordering, dataflow, k);
+                prop_assert_eq!(r.dma_transfers + r.neighbor_accesses, r.total_movements);
+                prop_assert_eq!(r.total_movements, 2 * k * (2 * k).saturating_sub(2));
+                counts.push((ordering, dataflow, r.dma_transfers));
+            }
+        }
+        let codesign = counts
+            .iter()
+            .find(|(o, d, _)| *o == OrderingKind::ShiftingRing && *d == DataflowKind::Relocated)
+            .unwrap()
+            .2;
+        for (_, _, dma) in &counts {
+            prop_assert!(codesign <= *dma);
+        }
+    }
+
+    /// Classification is total and consistent: straight is always a
+    /// neighbor access, wraparound always DMA, laterals depend only on
+    /// the row parity and dataflow.
+    #[test]
+    fn classification_is_parity_periodic(row in 0_usize..64) {
+        for df in [DataflowKind::NaiveMemory, DataflowKind::Relocated] {
+            prop_assert_eq!(classify(Movement::Straight, row, df), AccessKind::Neighbor);
+            prop_assert_eq!(classify(Movement::Wraparound, row, df), AccessKind::Dma);
+            for m in [Movement::Leftward, Movement::Rightward] {
+                prop_assert_eq!(classify(m, row, df), classify(m, row + 2, df));
+            }
+        }
+    }
+
+    /// The performance model is monotone: more work never takes less
+    /// time.
+    #[test]
+    fn perf_model_monotone_in_size(p_eng in 1_usize..9_usize) {
+        let p_eng = if p_eng > 4 { 8 } else { p_eng.next_power_of_two() };
+        let t = |n: usize| {
+            estimate(&DesignPoint {
+                rows: n,
+                cols: n,
+                engine_parallelism: p_eng,
+                task_parallelism: 1,
+                pl_freq_mhz: 310.0,
+                iterations: 1,
+            })
+            .iteration
+        };
+        prop_assert!(t(64) < t(128));
+        prop_assert!(t(128) < t(256));
+    }
+}
+
+proptest! {
+    // The accelerator runs are comparatively slow; fewer cases.
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// The full accelerator agrees with the golden solver on random
+    /// inputs of random shapes.
+    #[test]
+    fn accelerator_matches_golden_random(seed in 0_u64..1000) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let p_eng = [2usize, 4][rng.gen_range(0..2)];
+        let blocks = rng.gen_range(2..5) * 2;
+        let n = p_eng * blocks;
+        let rows = n + rng.gen_range(0..16);
+        let a = Matrix::from_fn(rows, n, |_, _| rng.gen_range(-5.0..5.0));
+
+        let cfg = HeteroSvdConfig::builder(rows, n)
+            .engine_parallelism(p_eng)
+            .precision(1e-6)
+            .build()
+            .unwrap();
+        let out = Accelerator::new(cfg).unwrap().run(&a).unwrap();
+        let golden = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let err = verify::singular_value_error(
+            &golden.sorted_singular_values(),
+            &out.result.sorted_singular_values(),
+        );
+        prop_assert!(err < 1e-3, "seed {seed}: singular value error {err}");
+    }
+
+    /// Simulated time is invariant to the matrix *values* (timing-only
+    /// schedules depend only on the shape and config).
+    #[test]
+    fn timing_depends_only_on_shape(seed in 0_u64..100) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let a = Matrix::from_fn(24, 24, |_, _| rng.gen_range(-1.0..1.0));
+        let cfg = HeteroSvdConfig::builder(24, 24)
+            .engine_parallelism(2)
+            .fixed_iterations(4)
+            .build()
+            .unwrap();
+        let acc = Accelerator::new(cfg).unwrap();
+        let t1 = acc.run(&a).unwrap().timing.task_time;
+        let t2 = acc.run(&Matrix::zeros(24, 24)).unwrap().timing.task_time;
+        prop_assert_eq!(t1, t2);
+    }
+
+    /// Per-pass column products are consistent: α, β ≥ 0 and |γ| ≤ √(αβ)
+    /// (Cauchy–Schwarz), so the Eq. 6 measure is in [0, 1].
+    #[test]
+    fn convergence_measure_is_bounded(
+        x in prop::collection::vec(-50.0_f64..50.0, 4..16),
+        y in prop::collection::vec(-50.0_f64..50.0, 4..16),
+    ) {
+        let len = x.len().min(y.len());
+        let (alpha, beta, gamma) = column_products(&x[..len], &y[..len]);
+        prop_assert!(alpha >= 0.0 && beta >= 0.0);
+        let bound = (alpha * beta).sqrt() * (1.0 + 1e-12);
+        prop_assert!(gamma.abs() <= bound + 1e-12);
+        let rot = compute_rotation(alpha, beta, gamma);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&rot.convergence));
+    }
+}

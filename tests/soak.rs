@@ -1,0 +1,71 @@
+//! Soak tests at the paper's smallest full size (128²). These exercise
+//! the complete functional accelerator at realistic scale and take tens
+//! of seconds in debug builds, so they are `#[ignore]`d by default:
+//!
+//! ```text
+//! cargo test --release --test soak -- --ignored
+//! ```
+
+use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig};
+use heterosvd_repro::svd_kernels::{hestenes_jacobi, verify, JacobiOptions, Matrix};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn random_matrix(n: usize, seed: u64) -> Matrix<f64> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Matrix::from_fn(n, n, |r, c| {
+        let v: f64 = rng.gen_range(-1.0..1.0);
+        if r == c {
+            v + 2.0
+        } else {
+            v
+        }
+    })
+}
+
+#[test]
+#[ignore = "full-size functional run; use --release --ignored"]
+fn full_128_functional_matches_golden() {
+    let a = random_matrix(128, 2024);
+    let cfg = HeteroSvdConfig::builder(128, 128)
+        .engine_parallelism(8)
+        .precision(1e-6)
+        .build()
+        .unwrap();
+    let out = Accelerator::new(cfg).unwrap().run(&a).unwrap();
+    let golden = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+    let err = verify::singular_value_error(
+        &golden.sorted_singular_values(),
+        &out.result.sorted_singular_values(),
+    );
+    assert!(err < 1e-4, "singular value error {err}");
+    assert!(verify::column_orthogonality_error(&out.result.u) < 1e-3);
+    // Paper-scale sanity on the simulated clock (Table II ballpark).
+    let ms = out.timing.task_time.as_millis();
+    assert!((0.2..10.0).contains(&ms), "latency {ms} ms out of range");
+}
+
+#[test]
+#[ignore = "full-size batch run; use --release --ignored"]
+fn batch_of_32_distinct_matrices_all_converge() {
+    let cfg = HeteroSvdConfig::builder(64, 64)
+        .engine_parallelism(4)
+        .task_parallelism(8)
+        .precision(1e-6)
+        .build()
+        .unwrap();
+    let acc = Accelerator::new(cfg).unwrap();
+    let mats: Vec<Matrix<f64>> = (0..32).map(|i| random_matrix(64, 5000 + i)).collect();
+    let (outs, sys) = acc.run_many(&mats).unwrap();
+    assert_eq!(outs.len(), 32);
+    for (i, out) in outs.iter().enumerate() {
+        let golden = hestenes_jacobi(&mats[i], &JacobiOptions::default()).unwrap();
+        let err = verify::singular_value_error(
+            &golden.sorted_singular_values(),
+            &out.result.sorted_singular_values(),
+        );
+        assert!(err < 1e-4, "matrix {i}: error {err}");
+    }
+    // 32 tasks on 8 pipelines: 4 waves.
+    assert_eq!(sys.0, outs.iter().map(|o| o.timing.task_time.0).max().unwrap() * 4);
+}
