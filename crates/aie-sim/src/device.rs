@@ -90,7 +90,11 @@ mod tests {
         let d = DeviceProfile::VCK190;
         assert!(d.name().contains("VCK190"));
         assert_eq!(
-            DeviceProfile { banks_per_tile: 5, ..d }.name(),
+            DeviceProfile {
+                banks_per_tile: 5,
+                ..d
+            }
+            .name(),
             "custom"
         );
         assert_eq!(d.geometry, ArrayGeometry::VCK190);

@@ -56,7 +56,9 @@ impl DmaModel {
 
     /// Wall-clock duration of a transfer over `hops` switch traversals.
     pub fn transfer_time_with_hops(&self, bytes: usize, hops: u64) -> TimePs {
-        self.cal.aie_freq().cycles(self.transfer_cycles_with_hops(bytes, hops))
+        self.cal
+            .aie_freq()
+            .cycles(self.transfer_cycles_with_hops(bytes, hops))
     }
 
     /// Extra destination-side buffer bytes the transfer occupies (the

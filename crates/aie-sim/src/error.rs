@@ -57,7 +57,10 @@ impl fmt::Display for SimError {
                 resource,
                 used,
                 budget,
-            } => write!(f, "{resource} budget exceeded: {used} used, {budget} available"),
+            } => write!(
+                f,
+                "{resource} budget exceeded: {used} used, {budget} available"
+            ),
             SimError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
         }
     }

@@ -171,9 +171,18 @@ mod tests {
     #[test]
     fn hops_are_manhattan_plus_entry() {
         let f = fabric();
-        assert_eq!(f.hops(TileCoord::new(0, 0), TileCoord::new(0, 0)).unwrap(), 1);
-        assert_eq!(f.hops(TileCoord::new(0, 0), TileCoord::new(0, 3)).unwrap(), 4);
-        assert_eq!(f.hops(TileCoord::new(1, 2), TileCoord::new(4, 6)).unwrap(), 8);
+        assert_eq!(
+            f.hops(TileCoord::new(0, 0), TileCoord::new(0, 0)).unwrap(),
+            1
+        );
+        assert_eq!(
+            f.hops(TileCoord::new(0, 0), TileCoord::new(0, 3)).unwrap(),
+            4
+        );
+        assert_eq!(
+            f.hops(TileCoord::new(1, 2), TileCoord::new(4, 6)).unwrap(),
+            8
+        );
         // Symmetric.
         assert_eq!(
             f.hops(TileCoord::new(4, 6), TileCoord::new(1, 2)).unwrap(),

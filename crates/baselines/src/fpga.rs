@@ -18,12 +18,8 @@
 use serde::{Deserialize, Serialize};
 
 /// Published Table II anchors: `(n, seconds)` at 200 MHz, six iterations.
-pub const PAPER_LATENCY_ANCHORS: [(usize, f64); 4] = [
-    (128, 0.0014),
-    (256, 0.0113),
-    (512, 0.0829),
-    (1024, 0.6119),
-];
+pub const PAPER_LATENCY_ANCHORS: [(usize, f64); 4] =
+    [(128, 0.0014), (256, 0.0113), (512, 0.0829), (1024, 0.6119)];
 
 /// Published resource usage of the baseline (Table II).
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -116,7 +112,10 @@ mod tests {
         for (n, paper) in PAPER_LATENCY_ANCHORS {
             let est = m.latency(n, 6);
             let rel = (est - paper).abs() / paper;
-            assert!(rel < 0.08, "{n}: model {est:.5} vs paper {paper:.5} ({rel:.3})");
+            assert!(
+                rel < 0.08,
+                "{n}: model {est:.5} vs paper {paper:.5} ({rel:.3})"
+            );
         }
     }
 

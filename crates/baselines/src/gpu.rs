@@ -67,11 +67,7 @@ impl GpuBaseline {
         let first = &self.anchors[0];
         let last = &self.anchors[self.anchors.len() - 1];
         // Log-log interpolation (values span decades).
-        let xy: Vec<(f64, f64)> = self
-            .anchors
-            .iter()
-            .map(|a| (a.0, field(a).ln()))
-            .collect();
+        let xy: Vec<(f64, f64)> = self.anchors.iter().map(|a| (a.0, field(a).ln())).collect();
         let y = if x <= first.0 {
             let (x0, y0) = xy[0];
             let (x1, y1) = xy[1];

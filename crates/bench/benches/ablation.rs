@@ -14,7 +14,11 @@ fn bench_codesign_ablation(c: &mut Criterion) {
     group.sample_size(10);
     let variants = [
         ("ring+naive", OrderingKind::Ring, DataflowKind::NaiveMemory),
-        ("ring+relocated", OrderingKind::Ring, DataflowKind::Relocated),
+        (
+            "ring+relocated",
+            OrderingKind::Ring,
+            DataflowKind::Relocated,
+        ),
         (
             "shifting+naive",
             OrderingKind::ShiftingRing,

@@ -24,7 +24,13 @@ fn bench_orthogonalize_pair(c: &mut Criterion) {
 
 fn bench_rotation_factors(c: &mut Criterion) {
     c.bench_function("compute_rotation", |b| {
-        b.iter(|| black_box(compute_rotation(black_box(3.7), black_box(5.1), black_box(1.3))))
+        b.iter(|| {
+            black_box(compute_rotation(
+                black_box(3.7),
+                black_box(5.1),
+                black_box(1.3),
+            ))
+        })
     });
 }
 

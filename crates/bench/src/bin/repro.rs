@@ -339,7 +339,13 @@ fn run_fig3() {
     println!("\n=== Fig. 3: DMA transfers per block-pair pass (ring vs shifting ring) ===");
     println!(
         "{:>4} | {:>11} {:>15} {:>15} {:>14} {:>10} | {:>9}",
-        "k", "ring+naive", "ring+relocated", "shifting+naive", "round-robin", "co-design", "reduction"
+        "k",
+        "ring+naive",
+        "ring+relocated",
+        "shifting+naive",
+        "round-robin",
+        "co-design",
+        "reduction"
     );
     let fig3_rows = fig3::run(11);
     persist("fig3", &fig3_rows);
@@ -404,14 +410,7 @@ fn run_fig9(sizes: &[usize]) {
     println!("\n=== Fig. 9: throughput & utilization vs design size (batch 100) ===");
     println!(
         "{:>6} | {:>10} {:>9} {:>9} | {:>10} {:>9} {:>9} | {:>6}",
-        "size",
-        "GPU tput",
-        "GPU core",
-        "GPU mem",
-        "HSVD tput",
-        "HSVD core",
-        "HSVD bw",
-        "P_task"
+        "size", "GPU tput", "GPU core", "GPU mem", "HSVD tput", "HSVD core", "HSVD bw", "P_task"
     );
     match fig9::run(sizes) {
         Ok(rows) => {
@@ -460,7 +459,9 @@ fn run_devices() {
 }
 
 fn run_scalability(quick: bool) {
-    println!("\n=== Scalability what-if (extension): does more URAM flip the Table III crossover? ===");
+    println!(
+        "\n=== Scalability what-if (extension): does more URAM flip the Table III crossover? ==="
+    );
     println!(
         "{:>6} {:>6} {:>10} | {:>6} | {:>12} {:>12} {:>8}",
         "size", "URAMx", "freq", "P_task", "HSVD(t/s)", "GPU(t/s)", "ratio"
@@ -477,7 +478,11 @@ fn run_scalability(quick: bool) {
             "{:>6} {:>6} {:>10} | {:>6} | {:>12.2} {:>12.2} {:>7.2}x",
             r.n,
             r.uram_scale,
-            if r.optimistic_frequency { "450 fixed" } else { "derated" },
+            if r.optimistic_frequency {
+                "450 fixed"
+            } else {
+                "derated"
+            },
             r.p_task,
             r.hsvd_throughput,
             r.gpu_throughput,
@@ -553,7 +558,11 @@ fn run_convergence(quick: bool) {
         "{:>6} {:>10} | {:>10} {:>6} {:>14}",
         "size", "precision", "mean iter", "max", "final measure"
     );
-    let sizes: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[32, 64, 128]
+    } else {
+        &[32, 64, 128, 256]
+    };
     let conv_rows = convergence::run(sizes, &[1e-2, 1e-6, 1e-10], 8, 3);
     persist("convergence", &conv_rows);
     for r in conv_rows {
@@ -570,7 +579,11 @@ fn run_accuracy(quick: bool) {
         "{:>6} {:>6} {:>6} | {:>12} {:>14} {:>16}",
         "size", "P_eng", "iter", "sv error", "orthogonality", "reconstruction"
     );
-    let sizes: &[usize] = if quick { &[32, 64, 128] } else { &[32, 64, 128, 256] };
+    let sizes: &[usize] = if quick {
+        &[32, 64, 128]
+    } else {
+        &[32, 64, 128, 256]
+    };
     match accuracy::run(sizes, 4) {
         Ok(rows) => {
             persist("accuracy", &rows);

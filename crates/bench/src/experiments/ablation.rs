@@ -15,7 +15,7 @@ use svd_orderings::movement::{DataflowKind, OrderingKind};
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
 pub struct AblationRow {
     /// Variant label.
-    pub name: &'static str,
+    pub name: String,
     /// Ordering used.
     pub ordering: OrderingKind,
     /// Dataflow used.
@@ -32,10 +32,26 @@ pub struct AblationRow {
 
 /// The four ablation corners.
 pub const VARIANTS: [(&str, OrderingKind, DataflowKind); 4] = [
-    ("ring + naive (traditional)", OrderingKind::Ring, DataflowKind::NaiveMemory),
-    ("ring + relocated", OrderingKind::Ring, DataflowKind::Relocated),
-    ("shifting + naive", OrderingKind::ShiftingRing, DataflowKind::NaiveMemory),
-    ("shifting + relocated (co-design)", OrderingKind::ShiftingRing, DataflowKind::Relocated),
+    (
+        "ring + naive (traditional)",
+        OrderingKind::Ring,
+        DataflowKind::NaiveMemory,
+    ),
+    (
+        "ring + relocated",
+        OrderingKind::Ring,
+        DataflowKind::Relocated,
+    ),
+    (
+        "shifting + naive",
+        OrderingKind::ShiftingRing,
+        DataflowKind::NaiveMemory,
+    ),
+    (
+        "shifting + relocated (co-design)",
+        OrderingKind::ShiftingRing,
+        DataflowKind::Relocated,
+    ),
 ];
 
 /// Runs the ablation on an `rows × cols` problem with engine parallelism
@@ -62,7 +78,7 @@ pub fn run(rows: usize, cols: usize, p_eng: usize) -> Result<Vec<AblationRow>, H
             .build()?;
         let out = Accelerator::new(cfg)?.run(&svd_kernels::Matrix::zeros(rows, cols))?;
         variant_rows.push(AblationRow {
-            name,
+            name: name.to_string(),
             ordering,
             dataflow,
             latency_ms: out.timing.task_time.as_millis(),

@@ -25,7 +25,12 @@ pub struct ConvergenceRow {
 }
 
 /// Measures convergence across sizes and precisions.
-pub fn run(sizes: &[usize], precisions: &[f64], block_cols: usize, samples: usize) -> Vec<ConvergenceRow> {
+pub fn run(
+    sizes: &[usize],
+    precisions: &[f64],
+    block_cols: usize,
+    samples: usize,
+) -> Vec<ConvergenceRow> {
     let mut rows = Vec::new();
     for &n in sizes {
         for &precision in precisions {
@@ -87,7 +92,12 @@ mod tests {
     #[test]
     fn final_measure_is_below_precision() {
         for r in run(&[24], &[1e-4, 1e-8], 4, 2) {
-            assert!(r.final_measure < r.precision, "{} >= {}", r.final_measure, r.precision);
+            assert!(
+                r.final_measure < r.precision,
+                "{} >= {}",
+                r.final_measure,
+                r.precision
+            );
         }
     }
 

@@ -51,15 +51,9 @@ pub fn run(sizes: &[usize], iterations: usize) -> Vec<DeviceRow> {
                 device: device.name().to_string(),
                 n,
                 feasible: result.evaluations.len(),
-                latency_config: (
-                    lat.point.engine_parallelism,
-                    lat.point.task_parallelism,
-                ),
+                latency_config: (lat.point.engine_parallelism, lat.point.task_parallelism),
                 latency_ms: lat.latency.as_millis(),
-                throughput_config: (
-                    tput.point.engine_parallelism,
-                    tput.point.task_parallelism,
-                ),
+                throughput_config: (tput.point.engine_parallelism, tput.point.task_parallelism),
                 throughput: tput.throughput,
             });
         }
@@ -75,8 +69,14 @@ mod tests {
     fn both_devices_produce_designs() {
         let rows = run(&[128, 256], 6);
         assert_eq!(rows.len(), 4);
-        let vck: Vec<_> = rows.iter().filter(|r| r.device.contains("VCK190")).collect();
-        let ml: Vec<_> = rows.iter().filter(|r| r.device.contains("AIE-ML")).collect();
+        let vck: Vec<_> = rows
+            .iter()
+            .filter(|r| r.device.contains("VCK190"))
+            .collect();
+        let ml: Vec<_> = rows
+            .iter()
+            .filter(|r| r.device.contains("AIE-ML"))
+            .collect();
         assert_eq!(vck.len(), 2);
         assert_eq!(ml.len(), 2);
         // The smaller device supports fewer designs and lower throughput.

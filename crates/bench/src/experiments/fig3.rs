@@ -30,7 +30,8 @@ pub struct Fig3Row {
 pub fn run(max_k: usize) -> Vec<Fig3Row> {
     (1..=max_k)
         .map(|k| {
-            let ring_naive = analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k).dma_transfers;
+            let ring_naive =
+                analyze(OrderingKind::Ring, DataflowKind::NaiveMemory, k).dma_transfers;
             let ring_relocated =
                 analyze(OrderingKind::Ring, DataflowKind::Relocated, k).dma_transfers;
             let shifting_naive =

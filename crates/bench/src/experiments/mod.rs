@@ -6,8 +6,8 @@ pub mod convergence;
 pub mod devices;
 pub mod dse_report;
 pub mod fig3;
-pub mod scalability;
 pub mod fig9;
+pub mod scalability;
 pub mod table2;
 pub mod table3;
 pub mod table4;

@@ -85,12 +85,7 @@ mod tests {
     fn heterosvd_beats_fpga_at_small_sizes() {
         let rows = run(&[128, 256]).unwrap();
         for row in &rows {
-            assert!(
-                row.speedup > 1.0,
-                "n={}: speedup {:.2}",
-                row.n,
-                row.speedup
-            );
+            assert!(row.speedup > 1.0, "n={}: speedup {:.2}", row.n, row.speedup);
         }
     }
 

@@ -190,7 +190,10 @@ impl Accelerator {
     ///
     /// # Errors
     ///
-    /// Returns the first error any task produced.
+    /// Returns the first error any task produced. A panicking worker
+    /// thread is contained and surfaces as
+    /// [`HeteroSvdError::WorkerPanicked`] rather than unwinding through
+    /// the caller.
     pub fn run_many(
         &self,
         matrices: &[Matrix<f64>],
@@ -205,18 +208,31 @@ impl Accelerator {
                 .iter()
                 .map(|a| scope.spawn(move |_| self.run(a)))
                 .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("batch worker panicked"))
-                .collect::<Result<Vec<_>, _>>()
+            Self::join_batch(handles)
         })
-        .expect("batch scope panicked")?;
+        .unwrap_or_else(|payload| Err(HeteroSvdError::worker_panicked(payload.as_ref())))?;
         let t_task = outputs
             .iter()
             .map(|o| o.timing.task_time)
             .fold(TimePs::ZERO, TimePs::max);
         let waves = matrices.len().div_ceil(self.config.task_parallelism) as u64;
         Ok((outputs, TimePs(t_task.0 * waves)))
+    }
+
+    /// Joins a batch of worker handles, converting a panic in any worker
+    /// into [`HeteroSvdError::WorkerPanicked`] so the batch fails cleanly
+    /// instead of unwinding through the scope.
+    fn join_batch<'scope, T>(
+        handles: Vec<crossbeam::ScopedJoinHandle<'scope, Result<T, HeteroSvdError>>>,
+    ) -> Result<Vec<T>, HeteroSvdError> {
+        handles
+            .into_iter()
+            .map(|h| {
+                h.join().unwrap_or_else(|payload| {
+                    Err(HeteroSvdError::worker_panicked(payload.as_ref()))
+                })
+            })
+            .collect()
     }
 
     /// The movement/DMA analysis of one block-pair pass under this
@@ -280,6 +296,31 @@ mod tests {
     }
 
     #[test]
+    fn panicking_batch_worker_surfaces_as_error() {
+        // Drive join_batch through the same scope/spawn plumbing run_many
+        // uses, with one worker that panics and one that succeeds: the
+        // batch must come back as a WorkerPanicked Err, not unwind.
+        let result = crossbeam::scope(|scope| {
+            let handles = vec![
+                scope.spawn(|_| -> Result<u32, HeteroSvdError> { Ok(7) }),
+                scope.spawn(|_| -> Result<u32, HeteroSvdError> {
+                    panic!("injected batch worker failure")
+                }),
+            ];
+            Accelerator::join_batch(handles)
+        })
+        .unwrap_or_else(|payload| Err(HeteroSvdError::worker_panicked(payload.as_ref())));
+        let err = result.unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                HeteroSvdError::WorkerPanicked(msg) if msg.contains("injected batch worker failure")
+            ),
+            "unexpected error: {err:?}"
+        );
+    }
+
+    #[test]
     fn factorization_matches_golden_model() {
         let a = sample(32);
         let out = accel(32, 4).run(&a).unwrap();
@@ -311,10 +352,7 @@ mod tests {
         let mut a = sample(16);
         a[(3, 3)] = f64::NAN;
         let err = accel(16, 2).run(&a).unwrap_err();
-        assert!(matches!(
-            err,
-            HeteroSvdError::Numeric(SvdError::NonFinite)
-        ));
+        assert!(matches!(err, HeteroSvdError::Numeric(SvdError::NonFinite)));
     }
 
     #[test]

@@ -100,8 +100,10 @@ mod tests {
     use crate::{Accelerator, FidelityMode, HeteroSvdConfig};
     use svd_kernels::Matrix;
 
-    fn run(ordering: svd_orderings::movement::OrderingKind,
-           dataflow: svd_orderings::movement::DataflowKind) -> HeteroSvdOutput {
+    fn run(
+        ordering: svd_orderings::movement::OrderingKind,
+        dataflow: svd_orderings::movement::DataflowKind,
+    ) -> HeteroSvdOutput {
         let cfg = HeteroSvdConfig::builder(64, 64)
             .engine_parallelism(4)
             .ordering(ordering)
@@ -111,7 +113,10 @@ mod tests {
             .fixed_iterations(6)
             .build()
             .unwrap();
-        Accelerator::new(cfg).unwrap().run(&Matrix::zeros(64, 64)).unwrap()
+        Accelerator::new(cfg)
+            .unwrap()
+            .run(&Matrix::zeros(64, 64))
+            .unwrap()
     }
 
     #[test]

@@ -13,6 +13,23 @@ pub enum HeteroSvdError {
     Infeasible(SimError),
     /// A numerical error from the SVD kernels.
     Numeric(SvdError),
+    /// A batch worker thread panicked; the payload's message is carried
+    /// so the batch fails as an `Err` instead of tearing down the caller.
+    WorkerPanicked(String),
+}
+
+impl HeteroSvdError {
+    /// Converts a caught panic payload (from `join` or `catch_unwind`)
+    /// into [`HeteroSvdError::WorkerPanicked`], extracting the message
+    /// when the payload is a string.
+    pub fn worker_panicked(payload: &(dyn std::any::Any + Send)) -> Self {
+        let msg = payload
+            .downcast_ref::<&'static str>()
+            .map(|s| (*s).to_string())
+            .or_else(|| payload.downcast_ref::<String>().cloned())
+            .unwrap_or_else(|| "opaque panic payload".to_string());
+        HeteroSvdError::WorkerPanicked(msg)
+    }
 }
 
 impl fmt::Display for HeteroSvdError {
@@ -21,6 +38,7 @@ impl fmt::Display for HeteroSvdError {
             HeteroSvdError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
             HeteroSvdError::Infeasible(e) => write!(f, "infeasible design: {e}"),
             HeteroSvdError::Numeric(e) => write!(f, "numerical failure: {e}"),
+            HeteroSvdError::WorkerPanicked(msg) => write!(f, "batch worker panicked: {msg}"),
         }
     }
 }
@@ -30,7 +48,7 @@ impl Error for HeteroSvdError {
         match self {
             HeteroSvdError::Infeasible(e) => Some(e),
             HeteroSvdError::Numeric(e) => Some(e),
-            HeteroSvdError::InvalidConfig(_) => None,
+            HeteroSvdError::InvalidConfig(_) | HeteroSvdError::WorkerPanicked(_) => None,
         }
     }
 }
@@ -64,6 +82,30 @@ mod tests {
         let e = HeteroSvdError::InvalidConfig("p_eng must be >= 1".into());
         assert!(e.source().is_none());
         assert!(e.to_string().contains("p_eng"));
+    }
+
+    #[test]
+    fn panic_payloads_become_worker_panicked() {
+        let static_str: Box<dyn std::any::Any + Send> = Box::new("boom");
+        let owned: Box<dyn std::any::Any + Send> = Box::new("expected 4 columns".to_string());
+        let opaque: Box<dyn std::any::Any + Send> = Box::new(42_u32);
+
+        let e = HeteroSvdError::worker_panicked(static_str.as_ref());
+        assert_eq!(e, HeteroSvdError::WorkerPanicked("boom".into()));
+        assert!(e.to_string().contains("panicked: boom"));
+        assert!(e.source().is_none());
+
+        let e = HeteroSvdError::worker_panicked(owned.as_ref());
+        assert_eq!(
+            e,
+            HeteroSvdError::WorkerPanicked("expected 4 columns".into())
+        );
+
+        let e = HeteroSvdError::worker_panicked(opaque.as_ref());
+        assert_eq!(
+            e,
+            HeteroSvdError::WorkerPanicked("opaque panic payload".into())
+        );
     }
 
     #[test]

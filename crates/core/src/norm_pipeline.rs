@@ -132,14 +132,7 @@ mod tests {
         let (cfg16, p16) = setup(16);
         let mut s1 = SimStats::new();
         let mut s2 = SimStats::new();
-        let t8 = run_norm_stage(
-            &cfg8,
-            &p8,
-            &mut Matrix::zeros(8, 8),
-            TimePs::ZERO,
-            &mut s1,
-        )
-        .end;
+        let t8 = run_norm_stage(&cfg8, &p8, &mut Matrix::zeros(8, 8), TimePs::ZERO, &mut s1).end;
         let t16 = run_norm_stage(
             &cfg16,
             &p16,

@@ -103,8 +103,8 @@ impl<'a> OrthPipeline<'a> {
     pub fn new(config: &'a HeteroSvdConfig, placement: &'a Placement) -> Self {
         let k = config.engine_parallelism;
         let layers = placement.num_layers();
-        let partition = BlockPartition::new(config.cols, k)
-            .expect("config validation guarantees divisibility");
+        let partition =
+            BlockPartition::new(config.cols, k).expect("config validation guarantees divisibility");
         let plan = PlioPlan::standard();
         OrthPipeline {
             config,
@@ -223,9 +223,12 @@ impl<'a> OrthPipeline<'a> {
         let functional = self.config.fidelity == FidelityMode::Functional;
 
         // ---- Tx: PL -> AIE over the four input ports (Eq. 8). ----
-        let tx_dur =
-            self.plio
-                .throttled_transfer_time(m_bytes, 1, PlioDirection::ToAie, self.active_ports());
+        let tx_dur = self.plio.throttled_transfer_time(
+            m_bytes,
+            1,
+            PlioDirection::ToAie,
+            self.active_ports(),
+        );
         let mut col_avail = vec![TimePs::ZERO; num_cols];
         for (local, _global) in cols.iter().enumerate() {
             let port = self.plan.input_port_of_column(local, k);

@@ -58,10 +58,9 @@ impl DataArrangement {
     /// divide the column count.
     pub fn new(matrix: Matrix<f32>, block_cols: usize) -> Result<Self, HeteroSvdError> {
         let partition = BlockPartition::new(matrix.cols(), block_cols)?;
-        let schedule: Vec<(usize, usize)> =
-            BlockPairSchedule::round_robin(partition.num_blocks())
-                .iter()
-                .collect();
+        let schedule: Vec<(usize, usize)> = BlockPairSchedule::round_robin(partition.num_blocks())
+            .iter()
+            .collect();
         let resident = matrix.rows() * matrix.cols() * 4;
         let in_flight = vec![false; partition.num_blocks()];
         Ok(DataArrangement {

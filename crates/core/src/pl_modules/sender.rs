@@ -66,7 +66,11 @@ impl Sender {
     /// # Panics
     ///
     /// Panics if `columns.len() != 2k`.
-    pub fn packetize(&self, schedule: &HardwareSchedule, columns: &[Vec<f32>]) -> Vec<OutboundPacket> {
+    pub fn packetize(
+        &self,
+        schedule: &HardwareSchedule,
+        columns: &[Vec<f32>],
+    ) -> Vec<OutboundPacket> {
         assert_eq!(columns.len(), 2 * self.k, "expected 2k columns");
         let layer0 = &schedule.layers()[0];
         let mut out = Vec::with_capacity(columns.len());
@@ -77,10 +81,7 @@ impl Sender {
                     slot: slot as u8,
                     side,
                 };
-                let payload: Vec<u8> = columns[col]
-                    .iter()
-                    .flat_map(|v| v.to_le_bytes())
-                    .collect();
+                let payload: Vec<u8> = columns[col].iter().flat_map(|v| v.to_le_bytes()).collect();
                 out.push(OutboundPacket {
                     port: self.plan.input_port_of_column(col, self.k),
                     packet: Packet::new(StreamId(header.encode() as u16), Bytes::from(payload)),

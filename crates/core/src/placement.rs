@@ -23,9 +23,9 @@ use crate::config::HeteroSvdConfig;
 use crate::HeteroSvdError;
 use aie_sim::geometry::{ArrayGeometry, TileCoord};
 use aie_sim::memory::TileMemory;
-use aie_sim::SimError;
 use aie_sim::pl::PlModel;
 use aie_sim::resources::ResourceUsage;
+use aie_sim::SimError;
 use serde::{Deserialize, Serialize};
 
 /// Geometric packing of `P_task` pipelines onto the array (diagnostic;
@@ -183,7 +183,8 @@ impl Placement {
         }
         let mut mem = TileMemory::with_layout(device.banks_per_tile, device.bank_bytes);
         for label in ["in-l", "in-r", "in-l-pong", "in-r-pong", "dma-l", "dma-r"] {
-            mem.allocate(label, col).map_err(HeteroSvdError::Infeasible)?;
+            mem.allocate(label, col)
+                .map_err(HeteroSvdError::Infeasible)?;
         }
         Ok(())
     }
@@ -461,7 +462,10 @@ mod tests {
             let mut dma_seen = std::collections::HashSet::new();
             for layer in 0..p.num_layers() {
                 let t = p.dma_tile(layer);
-                assert!(!seen.contains(&t), "P_eng={p_eng}: DMA tile {t} overlaps orth");
+                assert!(
+                    !seen.contains(&t),
+                    "P_eng={p_eng}: DMA tile {t} overlaps orth"
+                );
                 dma_seen.insert(t);
             }
             for &t in p.mem_layer_tiles() {

@@ -52,7 +52,9 @@ impl Placement {
                 .collect::<Vec<_>>()
                 .join(" ")
         );
-        out.push_str("        (PL interface below row 0; O orth, N norm, M mem-layer, D DMA-layer)\n");
+        out.push_str(
+            "        (PL interface below row 0; O orth, N norm, M mem-layer, D DMA-layer)\n",
+        );
         out
     }
 
@@ -83,7 +85,12 @@ pub fn render_gantt(trace: &[PassRecord], first: usize, count: usize, width: usi
     let Some(t0) = slice.first().map(|p| p.ready.0) else {
         return String::from("(empty trace)\n");
     };
-    let t1 = slice.iter().map(|p| p.end.0).max().unwrap_or(t0 + 1).max(t0 + 1);
+    let t1 = slice
+        .iter()
+        .map(|p| p.end.0)
+        .max()
+        .unwrap_or(t0 + 1)
+        .max(t0 + 1);
     let scale = |t: u64| ((t - t0) as u128 * (width as u128 - 1) / (t1 - t0) as u128) as usize;
 
     let mut out = String::new();

@@ -297,8 +297,7 @@ pub fn evaluate_point_at(
 /// Runs the full two-stage DSE sweep over `P_eng ∈ [1, 11]` and
 /// `P_task ∈ [1, 26]` (Table I), parallelized over `P_eng`.
 pub fn run_dse(cfg: &DseConfig) -> DseResult {
-    let p_eng_range: Vec<usize> =
-        (1..=heterosvd::config::MAX_ENGINE_PARALLELISM).collect();
+    let p_eng_range: Vec<usize> = (1..=heterosvd::config::MAX_ENGINE_PARALLELISM).collect();
     let mut per_eng: Vec<(usize, Vec<DesignEvaluation>, usize)> = Vec::new();
 
     crossbeam::scope(|scope| {
@@ -315,10 +314,7 @@ pub fn run_dse(cfg: &DseConfig) -> DseResult {
                                 // (they trade latency for power).
                                 let achievable = e.point.pl_freq_mhz;
                                 for &mhz in &cfg.freq_candidates_mhz {
-                                    if cfg.freq_mhz.is_none()
-                                        && mhz < achievable
-                                        && mhz > 0.0
-                                    {
+                                    if cfg.freq_mhz.is_none() && mhz < achievable && mhz > 0.0 {
                                         if let Some(extra) =
                                             evaluate_point_at(cfg, p_eng, p_task, Some(mhz))
                                         {
@@ -439,7 +435,10 @@ mod tests {
     fn table6_trend_latency_and_throughput() {
         // Reproduce Table VI's qualitative trade-off at 256x256, 208.3 MHz:
         // P_eng up => latency down; P_task up => throughput up.
-        let cfg = DseConfig::new(256, 256).batch(100).iterations(6).freq_mhz(208.3);
+        let cfg = DseConfig::new(256, 256)
+            .batch(100)
+            .iterations(6)
+            .freq_mhz(208.3);
         let e2 = evaluate_point(&cfg, 2, 26).unwrap();
         let e4 = evaluate_point(&cfg, 4, 9).unwrap();
         let e8 = evaluate_point(&cfg, 8, 2).unwrap();
@@ -496,18 +495,13 @@ mod tests {
     #[test]
     fn frequency_candidates_expand_the_space() {
         let base = run_dse(&DseConfig::new(128, 128));
-        let swept = run_dse(
-            &DseConfig::new(128, 128).freq_candidates_mhz(vec![208.3, 310.0]),
-        );
+        let swept = run_dse(&DseConfig::new(128, 128).freq_candidates_mhz(vec![208.3, 310.0]));
         assert!(swept.evaluations.len() > base.evaluations.len());
         // Lower frequencies cost latency but save power.
         let slow = swept
             .evaluations
             .iter()
-            .filter(|e| {
-                e.point.engine_parallelism == 8
-                    && e.point.task_parallelism == 1
-            })
+            .filter(|e| e.point.engine_parallelism == 8 && e.point.task_parallelism == 1)
             .collect::<Vec<_>>();
         assert!(slow.len() >= 2);
         let fastest = slow

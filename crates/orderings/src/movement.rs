@@ -465,11 +465,17 @@ mod tests {
         // Into odd rows (even source): ring pattern.
         let into_odd = OrderingKind::ShiftingRing.transition_movements(0, k);
         assert_eq!(
-            into_odd.iter().filter(|m| **m == Movement::Straight).count(),
+            into_odd
+                .iter()
+                .filter(|m| **m == Movement::Straight)
+                .count(),
             k
         );
         assert_eq!(
-            into_odd.iter().filter(|m| **m == Movement::Leftward).count(),
+            into_odd
+                .iter()
+                .filter(|m| **m == Movement::Leftward)
+                .count(),
             k - 1
         );
         // Into even rows (odd source): straight->rightward, leftward->straight.
@@ -482,7 +488,10 @@ mod tests {
             k
         );
         assert_eq!(
-            into_even.iter().filter(|m| **m == Movement::Straight).count(),
+            into_even
+                .iter()
+                .filter(|m| **m == Movement::Straight)
+                .count(),
             k - 1
         );
         assert_eq!(
@@ -530,7 +539,12 @@ mod tests {
     fn analyze_with_rows_respects_physical_placement() {
         // Placing all layers on even physical rows makes every leftward
         // movement DMA even for the shifting ring.
-        let r = analyze_with_rows(OrderingKind::ShiftingRing, DataflowKind::Relocated, 3, |_| 2);
+        let r = analyze_with_rows(
+            OrderingKind::ShiftingRing,
+            DataflowKind::Relocated,
+            3,
+            |_| 2,
+        );
         assert!(r.dma_transfers > codesign_dma_count(3));
     }
 }

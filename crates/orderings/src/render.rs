@@ -59,7 +59,10 @@ pub fn render_ordering(
             let mut counts: Vec<(Movement, AccessKind, usize)> = Vec::new();
             for m in movements {
                 let kind = classify(m, dest, dataflow);
-                match counts.iter_mut().find(|(mm, kk, _)| *mm == m && *kk == kind) {
+                match counts
+                    .iter_mut()
+                    .find(|(mm, kk, _)| *mm == m && *kk == kind)
+                {
                     Some(slot) => slot.2 += 1,
                     None => counts.push((m, kind, 1)),
                 }
@@ -108,12 +111,7 @@ mod tests {
     #[test]
     fn rendering_totals_match_the_analysis() {
         for k in [2usize, 3, 5] {
-            let naive = render_ordering(
-                OrderingKind::Ring,
-                DataflowKind::NaiveMemory,
-                k,
-                |l| l,
-            );
+            let naive = render_ordering(OrderingKind::Ring, DataflowKind::NaiveMemory, k, |l| l);
             assert_eq!(dma_count_in(&naive), ring_naive_dma_count(k), "k={k}");
             let codesign = render_ordering(
                 OrderingKind::ShiftingRing,
@@ -127,7 +125,12 @@ mod tests {
 
     #[test]
     fn rendering_lists_every_layer() {
-        let text = render_ordering(OrderingKind::ShiftingRing, DataflowKind::Relocated, 3, |l| l);
+        let text = render_ordering(
+            OrderingKind::ShiftingRing,
+            DataflowKind::Relocated,
+            3,
+            |l| l,
+        );
         for l in 0..5 {
             assert!(text.contains(&format!("layer  {l}")), "missing layer {l}");
         }

@@ -359,8 +359,7 @@ mod tests {
         // cap; at 600 MHz (9.6 GB/s each) they exceed it and throttle.
         let nominal = estimate(&point(128, 4, 450.0));
         let extreme = estimate(&point(128, 4, 600.0));
-        let expected_unthrottled =
-            nominal.column_tx.0 as f64 * 450.0 / 600.0;
+        let expected_unthrottled = nominal.column_tx.0 as f64 * 450.0 / 600.0;
         assert!(extreme.column_tx.0 as f64 > expected_unthrottled * 1.1);
     }
 

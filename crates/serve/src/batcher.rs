@@ -1,0 +1,215 @@
+//! Dynamic batching: coalesces same-shape requests into Eq. (14) batches.
+
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::Metrics;
+use crate::queue::{BoundedQueue, PopResult};
+use crate::request::PendingRequest;
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// How long one admission-queue poll blocks before the batcher rechecks
+/// for shutdown.
+pub(crate) const POLL_TICK: Duration = Duration::from_millis(20);
+
+/// Pause between same-shape sweeps while a batch lingers open.
+const LINGER_SLICE: Duration = Duration::from_micros(200);
+
+/// One request inside a formed batch, stamped when the batcher took it.
+pub(crate) struct BatchEntry {
+    pub(crate) request: PendingRequest,
+    pub(crate) picked_at: Instant,
+}
+
+/// A shape-uniform batch ready for a replica.
+pub(crate) struct Batch {
+    pub(crate) shape: (usize, usize),
+    pub(crate) entries: Vec<BatchEntry>,
+}
+
+/// Outcome of one batch-formation attempt.
+pub(crate) enum FormOutcome {
+    /// A batch is ready for dispatch.
+    Formed(Batch),
+    /// The queue stayed empty for a poll tick; caller decides what next.
+    Idle,
+    /// The queue is closed and fully drained; the batcher should exit.
+    Drained,
+}
+
+/// Pulls one seed request off the queue, then lingers — up to
+/// `config.max_linger` — sweeping same-shape requests into the batch
+/// until it is full. Cancelled and deadline-expired requests are
+/// completed (with their terminal error) as they are encountered and
+/// never reach a replica.
+pub(crate) fn form_batch(
+    queue: &BoundedQueue<PendingRequest>,
+    config: &ServeConfig,
+    metrics: &Metrics,
+) -> FormOutcome {
+    // Find a live seed request.
+    let seed = loop {
+        match queue.pop(POLL_TICK) {
+            PopResult::Item(req) => {
+                if let Some(req) = admit_or_complete(req, metrics) {
+                    break req;
+                }
+            }
+            PopResult::TimedOut => return FormOutcome::Idle,
+            PopResult::Closed => return FormOutcome::Drained,
+        }
+    };
+
+    let shape = seed.shape;
+    let linger_deadline = Instant::now() + config.max_linger;
+    let mut entries = vec![BatchEntry {
+        request: seed,
+        picked_at: Instant::now(),
+    }];
+
+    while entries.len() < config.max_batch {
+        let wanted = config.max_batch - entries.len();
+        let picked_at = Instant::now();
+        for request in queue.take_matching(wanted, |r| r.shape == shape) {
+            if let Some(request) = admit_or_complete(request, metrics) {
+                entries.push(BatchEntry { request, picked_at });
+            }
+        }
+        if entries.len() >= config.max_batch {
+            break;
+        }
+        let now = Instant::now();
+        if now >= linger_deadline {
+            break;
+        }
+        if queue.is_closed() && queue.is_empty() {
+            break;
+        }
+        std::thread::sleep(LINGER_SLICE.min(linger_deadline - now));
+    }
+
+    FormOutcome::Formed(Batch { shape, entries })
+}
+
+/// Filters one request at pickup: completes it with its terminal error
+/// if it was cancelled or its deadline elapsed, otherwise passes it on.
+fn admit_or_complete(request: PendingRequest, metrics: &Metrics) -> Option<PendingRequest> {
+    if request.state.is_cancelled() {
+        if request.state.complete(Err(ServeError::Cancelled)) {
+            metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+        }
+        return None;
+    }
+    if request.deadline_elapsed(Instant::now()) {
+        if request.state.complete(Err(ServeError::DeadlineExceeded)) {
+            metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+        }
+        return None;
+    }
+    Some(request)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::request::{RequestId, RequestState};
+    use svd_kernels::Matrix;
+
+    fn pending(id: u64, shape: (usize, usize)) -> PendingRequest {
+        PendingRequest {
+            id: RequestId(id),
+            matrix: Matrix::zeros(shape.0, shape.1),
+            shape,
+            state: RequestState::new(),
+            submitted_at: Instant::now(),
+            deadline: None,
+            poison: false,
+        }
+    }
+
+    fn config(max_batch: usize, linger: Duration) -> ServeConfig {
+        ServeConfig {
+            max_batch,
+            max_linger: linger,
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn coalesces_only_matching_shapes() {
+        let queue = BoundedQueue::new(16);
+        let metrics = Metrics::new();
+        queue.try_push(pending(1, (8, 8))).unwrap();
+        queue.try_push(pending(2, (12, 8))).unwrap();
+        queue.try_push(pending(3, (8, 8))).unwrap();
+        let out = form_batch(&queue, &config(4, Duration::from_millis(1)), &metrics);
+        let batch = match out {
+            FormOutcome::Formed(b) => b,
+            _ => panic!("expected a batch"),
+        };
+        assert_eq!(batch.shape, (8, 8));
+        let ids: Vec<u64> = batch.entries.iter().map(|e| e.request.id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(queue.len(), 1, "the (12,8) request stays queued");
+    }
+
+    #[test]
+    fn full_batch_short_circuits_the_linger() {
+        let queue = BoundedQueue::new(16);
+        let metrics = Metrics::new();
+        for id in 0..3 {
+            queue.try_push(pending(id, (8, 8))).unwrap();
+        }
+        let start = Instant::now();
+        let out = form_batch(&queue, &config(3, Duration::from_secs(5)), &metrics);
+        assert!(matches!(out, FormOutcome::Formed(b) if b.entries.len() == 3));
+        assert!(start.elapsed() < Duration::from_secs(1));
+    }
+
+    #[test]
+    fn cancelled_requests_never_reach_a_batch() {
+        let queue = BoundedQueue::new(16);
+        let metrics = Metrics::new();
+        let doomed = pending(1, (8, 8));
+        doomed.state.cancelled.store(true, Ordering::SeqCst);
+        let doomed_state = std::sync::Arc::clone(&doomed.state);
+        queue.try_push(doomed).unwrap();
+        queue.try_push(pending(2, (8, 8))).unwrap();
+        let out = form_batch(&queue, &config(2, Duration::from_millis(1)), &metrics);
+        let batch = match out {
+            FormOutcome::Formed(b) => b,
+            _ => panic!("expected a batch"),
+        };
+        assert_eq!(batch.entries.len(), 1);
+        assert_eq!(batch.entries[0].request.id, RequestId(2));
+        assert!(!doomed_state.complete(Err(ServeError::Cancelled)));
+        assert_eq!(metrics.cancelled.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn expired_deadline_is_a_terminal_timeout() {
+        let queue = BoundedQueue::new(4);
+        let metrics = Metrics::new();
+        let mut stale = pending(1, (8, 8));
+        stale.deadline = Some(Instant::now() - Duration::from_millis(1));
+        queue.try_push(stale).unwrap();
+        let out = form_batch(&queue, &config(2, Duration::from_millis(1)), &metrics);
+        assert!(matches!(out, FormOutcome::Idle));
+        assert_eq!(metrics.timed_out.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn empty_queue_reports_idle_then_drained_after_close() {
+        let queue: BoundedQueue<PendingRequest> = BoundedQueue::new(4);
+        let metrics = Metrics::new();
+        assert!(matches!(
+            form_batch(&queue, &config(2, Duration::from_millis(1)), &metrics),
+            FormOutcome::Idle
+        ));
+        queue.close();
+        assert!(matches!(
+            form_batch(&queue, &config(2, Duration::from_millis(1)), &metrics),
+            FormOutcome::Drained
+        ));
+    }
+}

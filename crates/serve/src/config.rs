@@ -1,0 +1,157 @@
+//! Service configuration.
+
+use crate::error::ServeError;
+use heterosvd::FidelityMode;
+use std::time::Duration;
+
+/// Configuration for [`crate::SvdService`].
+///
+/// The accelerator-side knobs (`engine_parallelism`, `task_parallelism`,
+/// precision, fidelity) are shared by every replica; each replica builds
+/// one [`heterosvd::Accelerator`] per distinct request shape and reuses
+/// it across batches.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeConfig {
+    /// Number of accelerator replicas (worker threads).
+    pub workers: usize,
+    /// Bound of the admission queue; `try_submit` returns
+    /// [`ServeError::QueueFull`] beyond it.
+    pub queue_capacity: usize,
+    /// Largest batch the dynamic batcher forms.
+    pub max_batch: usize,
+    /// Longest the batcher lingers waiting to fill a batch once it holds
+    /// at least one request.
+    pub max_linger: Duration,
+    /// Engine parallelism (`P_eng`) of every replica.
+    pub engine_parallelism: usize,
+    /// Task parallelism (`P_task`) of every replica: the divisor in the
+    /// Eq. (14) batch system time `⌈B / P_task⌉ · t_task`.
+    pub task_parallelism: usize,
+    /// Convergence precision forwarded to the accelerator.
+    pub precision: f64,
+    /// Fixed iteration count (None = adaptive convergence).
+    pub fixed_iterations: Option<usize>,
+    /// Whether replicas compute real factorizations or timing only.
+    pub fidelity: FidelityMode,
+    /// Deadline applied to requests submitted without an explicit one.
+    pub default_timeout: Option<Duration>,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 64,
+            max_batch: 8,
+            max_linger: Duration::from_millis(2),
+            engine_parallelism: 2,
+            task_parallelism: 4,
+            precision: 1e-6,
+            fixed_iterations: None,
+            fidelity: FidelityMode::Functional,
+            default_timeout: None,
+        }
+    }
+}
+
+impl ServeConfig {
+    /// Validates the cross-field invariants the service relies on.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] describing the first violated
+    /// invariant.
+    pub fn validate(&self) -> Result<(), ServeError> {
+        if self.workers == 0 {
+            return Err(ServeError::InvalidRequest("workers must be >= 1".into()));
+        }
+        if self.queue_capacity == 0 {
+            return Err(ServeError::InvalidRequest(
+                "queue_capacity must be >= 1".into(),
+            ));
+        }
+        if self.max_batch == 0 {
+            return Err(ServeError::InvalidRequest("max_batch must be >= 1".into()));
+        }
+        if self.engine_parallelism == 0 {
+            return Err(ServeError::InvalidRequest(
+                "engine_parallelism must be >= 1".into(),
+            ));
+        }
+        if self.task_parallelism == 0 {
+            return Err(ServeError::InvalidRequest(
+                "task_parallelism must be >= 1".into(),
+            ));
+        }
+        if self.fidelity == FidelityMode::TimingOnly && self.fixed_iterations.is_none() {
+            // Fail at start() rather than letting every replica build
+            // error out request by request.
+            return Err(ServeError::InvalidRequest(
+                "timing-only fidelity requires fixed_iterations".into(),
+            ));
+        }
+        Ok(())
+    }
+
+    /// The smallest column count a request may have: one block pair.
+    pub fn min_cols(&self) -> usize {
+        2 * self.engine_parallelism
+    }
+
+    /// Checks that a `rows x cols` request is admissible under the
+    /// replica shape constraints (`rows >= cols`, `cols` a positive
+    /// multiple of `2 * P_eng`).
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] naming the violated constraint.
+    pub fn check_shape(&self, rows: usize, cols: usize) -> Result<(), ServeError> {
+        let unit = self.min_cols();
+        if cols == 0 || !cols.is_multiple_of(unit) {
+            return Err(ServeError::InvalidRequest(format!(
+                "cols = {cols} must be a positive multiple of 2*P_eng = {unit}"
+            )));
+        }
+        if rows < cols {
+            return Err(ServeError::InvalidRequest(format!(
+                "rows = {rows} must be >= cols = {cols} (submit the transpose)"
+            )));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_config_is_valid() {
+        ServeConfig::default().validate().unwrap();
+    }
+
+    #[test]
+    fn zero_knobs_are_rejected() {
+        for mutate in [
+            (|c: &mut ServeConfig| c.workers = 0) as fn(&mut ServeConfig),
+            |c| c.queue_capacity = 0,
+            |c| c.max_batch = 0,
+            |c| c.engine_parallelism = 0,
+            |c| c.task_parallelism = 0,
+        ] {
+            let mut c = ServeConfig::default();
+            mutate(&mut c);
+            assert!(c.validate().is_err(), "accepted invalid config {c:?}");
+        }
+    }
+
+    #[test]
+    fn shape_constraints_follow_the_accelerator() {
+        let c = ServeConfig::default(); // P_eng = 2 -> cols % 4 == 0
+        c.check_shape(16, 8).unwrap();
+        c.check_shape(8, 8).unwrap();
+        assert!(c.check_shape(16, 6).is_err());
+        assert!(c.check_shape(16, 0).is_err());
+        assert!(c.check_shape(4, 8).is_err());
+    }
+}

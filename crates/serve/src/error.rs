@@ -1,0 +1,99 @@
+//! Error type for the serving runtime.
+
+use heterosvd::HeteroSvdError;
+use std::error::Error;
+use std::fmt;
+
+/// Errors a request or the service can produce.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ServeError {
+    /// The admission queue is at capacity; the caller should back off
+    /// and retry (backpressure, not failure).
+    QueueFull {
+        /// The configured queue bound that was hit.
+        capacity: usize,
+    },
+    /// The service is draining and no longer admits requests.
+    ShuttingDown,
+    /// The request's deadline elapsed before execution started.
+    DeadlineExceeded,
+    /// The request was cancelled by its submitter.
+    Cancelled,
+    /// The request's matrix cannot be served under the service
+    /// configuration (shape constraints are checked at admission).
+    InvalidRequest(String),
+    /// The replica executing the request's batch panicked; the replica
+    /// was retired and replaced, and the batch failed.
+    WorkerPanicked(String),
+    /// The accelerator reported an error for the request's batch.
+    Svd(HeteroSvdError),
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::QueueFull { capacity } => {
+                write!(f, "admission queue full (capacity {capacity})")
+            }
+            ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
+            ServeError::Cancelled => write!(f, "request cancelled"),
+            ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
+            ServeError::WorkerPanicked(msg) => {
+                write!(f, "replica panicked while serving batch: {msg}")
+            }
+            ServeError::Svd(e) => write!(f, "accelerator error: {e}"),
+        }
+    }
+}
+
+impl Error for ServeError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ServeError::Svd(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<HeteroSvdError> for ServeError {
+    fn from(e: HeteroSvdError) -> Self {
+        // A panic contained inside `run_many` is still a replica-side
+        // panic from the service's point of view.
+        match e {
+            HeteroSvdError::WorkerPanicked(msg) => ServeError::WorkerPanicked(msg),
+            other => ServeError::Svd(other),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_condition() {
+        assert!(ServeError::QueueFull { capacity: 8 }
+            .to_string()
+            .contains("capacity 8"));
+        assert!(ServeError::DeadlineExceeded
+            .to_string()
+            .contains("deadline"));
+        assert!(ServeError::Cancelled.to_string().contains("cancelled"));
+    }
+
+    #[test]
+    fn contained_run_many_panics_map_to_worker_panicked() {
+        let e: ServeError = HeteroSvdError::WorkerPanicked("boom".into()).into();
+        assert_eq!(e, ServeError::WorkerPanicked("boom".into()));
+        let e: ServeError = HeteroSvdError::InvalidConfig("bad".into()).into();
+        assert!(matches!(e, ServeError::Svd(_)));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ServeError>();
+    }
+}

@@ -1,0 +1,66 @@
+#![warn(missing_docs)]
+
+//! Batch-serving runtime for the HeteroSVD accelerator.
+//!
+//! The simulator crates answer "how fast is one factorization?"; this
+//! crate answers the system-level question the paper's Eq. (14) batch
+//! model raises: how does a *pool* of accelerators behave under a stream
+//! of concurrent SVD requests?
+//!
+//! ```text
+//!  callers ──try_submit──▶ [bounded admission queue]   (backpressure)
+//!                                   │
+//!                             batcher thread           (coalesce same
+//!                                   │                   shape, linger)
+//!                           [dispatch queue]
+//!                             │    │    │
+//!                          replica pool (N threads)    (run_many; panic
+//!                             │    │    │               containment +
+//!                            results to handles         replacement)
+//! ```
+//!
+//! * **Backpressure** — [`SvdService::try_submit`] never blocks; a full
+//!   queue is [`ServeError::QueueFull`] and the caller backs off.
+//! * **Dynamic batching** — same-shape requests are coalesced up to the
+//!   configured batch size or linger budget, then executed with
+//!   [`heterosvd::Accelerator::run_many`]; every request in a batch of
+//!   size `B` is charged the Eq. (14) system time `⌈B / P_task⌉ · t_task`
+//!   (see [`LatencyRecord::sim_exec_ps`]).
+//! * **Lifecycle** — per-request deadlines, cancellation, worker-panic
+//!   containment (the poisoned replica is retired and replaced), and
+//!   drain-on-shutdown.
+//! * **Observability** — [`SvdService::metrics`] returns a serializable
+//!   [`MetricsSnapshot`] with counters, queue depth, rolling throughput,
+//!   and queue-wait/linger/execution percentiles.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use heterosvd_serve::{ServeConfig, SvdService};
+//! use svd_kernels::Matrix;
+//!
+//! # fn main() -> Result<(), heterosvd_serve::ServeError> {
+//! let service = SvdService::start(ServeConfig::default())?;
+//! let a = Matrix::from_fn(8, 8, |r, c| ((r * 5 + c * 3) % 7) as f64 + if r == c { 4.0 } else { 0.0 });
+//! let handle = service.try_submit(a)?;
+//! let response = handle.wait()?;
+//! assert_eq!(response.output.result.sigma.len(), 8);
+//! println!("charged {} ps in a batch of {}", response.latency.sim_exec_ps, response.latency.batch_size);
+//! service.shutdown();
+//! # Ok(())
+//! # }
+//! ```
+
+mod batcher;
+mod config;
+mod error;
+mod metrics;
+pub mod queue;
+mod request;
+mod service;
+
+pub use config::ServeConfig;
+pub use error::ServeError;
+pub use metrics::{MetricsSnapshot, Percentiles};
+pub use request::{LatencyRecord, RequestHandle, RequestId, SubmitOptions, SvdResponse};
+pub use service::SvdService;

@@ -1,0 +1,251 @@
+//! Service observability: counters, gauges, latency percentiles.
+
+use crate::request::LatencyRecord;
+use parking_lot::Mutex;
+use serde::Serialize;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Instant;
+
+/// Cap on retained latency samples; the recorder keeps the most recent
+/// window so a long-running service does not grow without bound.
+const MAX_SAMPLES: usize = 65_536;
+
+/// Live metric state shared by the service threads.
+pub(crate) struct Metrics {
+    started_at: Instant,
+    pub(crate) submitted: AtomicU64,
+    pub(crate) rejected_full: AtomicU64,
+    pub(crate) rejected_invalid: AtomicU64,
+    pub(crate) completed_ok: AtomicU64,
+    pub(crate) failed: AtomicU64,
+    pub(crate) cancelled: AtomicU64,
+    pub(crate) timed_out: AtomicU64,
+    pub(crate) worker_panics: AtomicU64,
+    pub(crate) replicas_spawned: AtomicU64,
+    pub(crate) batches_dispatched: AtomicU64,
+    samples: Mutex<Vec<Sample>>,
+}
+
+#[derive(Clone, Copy)]
+struct Sample {
+    queue_wait_us: u64,
+    linger_us: u64,
+    sim_exec_ps: u64,
+    batch_size: u64,
+}
+
+impl Metrics {
+    pub(crate) fn new() -> Self {
+        Metrics {
+            started_at: Instant::now(),
+            submitted: AtomicU64::new(0),
+            rejected_full: AtomicU64::new(0),
+            rejected_invalid: AtomicU64::new(0),
+            completed_ok: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            worker_panics: AtomicU64::new(0),
+            replicas_spawned: AtomicU64::new(0),
+            batches_dispatched: AtomicU64::new(0),
+            samples: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub(crate) fn record_latency(&self, rec: &LatencyRecord) {
+        let mut samples = self.samples.lock();
+        if samples.len() >= MAX_SAMPLES {
+            // Drop the oldest half in one move to amortize the shift.
+            let keep = samples.split_off(MAX_SAMPLES / 2);
+            *samples = keep;
+        }
+        samples.push(Sample {
+            queue_wait_us: rec.queue_wait.as_micros() as u64,
+            linger_us: rec.batch_linger.as_micros() as u64,
+            sim_exec_ps: rec.sim_exec_ps,
+            batch_size: rec.batch_size as u64,
+        });
+    }
+
+    pub(crate) fn snapshot(&self, queue_depth: usize, replicas_live: usize) -> MetricsSnapshot {
+        let samples = self.samples.lock().clone();
+        let elapsed = self.started_at.elapsed().as_secs_f64();
+        let completed = self.completed_ok.load(Ordering::Relaxed);
+        let mut queue_wait: Vec<u64> = samples.iter().map(|s| s.queue_wait_us).collect();
+        let mut linger: Vec<u64> = samples.iter().map(|s| s.linger_us).collect();
+        let mut exec: Vec<u64> = samples.iter().map(|s| s.sim_exec_ps).collect();
+        let mean_batch = if samples.is_empty() {
+            0.0
+        } else {
+            samples.iter().map(|s| s.batch_size as f64).sum::<f64>() / samples.len() as f64
+        };
+        MetricsSnapshot {
+            submitted: self.submitted.load(Ordering::Relaxed),
+            rejected_queue_full: self.rejected_full.load(Ordering::Relaxed),
+            rejected_invalid: self.rejected_invalid.load(Ordering::Relaxed),
+            completed_ok: completed,
+            failed: self.failed.load(Ordering::Relaxed),
+            cancelled: self.cancelled.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            worker_panics: self.worker_panics.load(Ordering::Relaxed),
+            replicas_spawned: self.replicas_spawned.load(Ordering::Relaxed),
+            replicas_live: replicas_live as u64,
+            batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            queue_depth: queue_depth as u64,
+            mean_batch_size: mean_batch,
+            throughput_rps: if elapsed > 0.0 {
+                completed as f64 / elapsed
+            } else {
+                0.0
+            },
+            queue_wait_us: Percentiles::from_samples(&mut queue_wait),
+            batch_linger_us: Percentiles::from_samples(&mut linger),
+            sim_exec_ps: Percentiles::from_samples(&mut exec),
+        }
+    }
+}
+
+/// p50/p95/p99/max summary of one latency axis.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct Percentiles {
+    /// Median.
+    pub p50: u64,
+    /// 95th percentile.
+    pub p95: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest observed sample.
+    pub max: u64,
+}
+
+impl Percentiles {
+    /// Summarizes `samples` (sorted in place); zeros when empty.
+    pub fn from_samples(samples: &mut [u64]) -> Self {
+        if samples.is_empty() {
+            return Percentiles {
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0,
+            };
+        }
+        samples.sort_unstable();
+        // Nearest-rank percentiles: the smallest sample with at least
+        // q of the distribution at or below it.
+        let at = |q: f64| {
+            let rank = (samples.len() as f64 * q).ceil() as usize;
+            samples[rank.saturating_sub(1).min(samples.len() - 1)]
+        };
+        Percentiles {
+            p50: at(0.50),
+            p95: at(0.95),
+            p99: at(0.99),
+            max: *samples.last().expect("non-empty"),
+        }
+    }
+}
+
+/// Point-in-time view of the service's counters and latency summaries.
+///
+/// Serializable so operators can scrape it as JSON.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsSnapshot {
+    /// Requests admitted past the queue bound check.
+    pub submitted: u64,
+    /// Submissions rejected with `QueueFull` (backpressure events).
+    pub rejected_queue_full: u64,
+    /// Submissions rejected for shape/validation reasons.
+    pub rejected_invalid: u64,
+    /// Requests completed successfully.
+    pub completed_ok: u64,
+    /// Requests that ended in an accelerator or replica error.
+    pub failed: u64,
+    /// Requests cancelled before execution.
+    pub cancelled: u64,
+    /// Requests whose deadline elapsed before execution.
+    pub timed_out: u64,
+    /// Replica panics contained by the service.
+    pub worker_panics: u64,
+    /// Replicas spawned over the service lifetime (initial + replacements).
+    pub replicas_spawned: u64,
+    /// Replicas currently alive.
+    pub replicas_live: u64,
+    /// Batches handed to replicas.
+    pub batches_dispatched: u64,
+    /// Admission queue depth at snapshot time.
+    pub queue_depth: u64,
+    /// Mean executed batch size over the sample window.
+    pub mean_batch_size: f64,
+    /// Completed requests per wall-clock second since service start.
+    pub throughput_rps: f64,
+    /// Queue-wait percentiles (microseconds).
+    pub queue_wait_us: Percentiles,
+    /// Batch-linger percentiles (microseconds).
+    pub batch_linger_us: Percentiles,
+    /// Simulated Eq. (14) execution-time percentiles (picoseconds).
+    pub sim_exec_ps: Percentiles,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn percentiles_of_known_distribution() {
+        let mut xs: Vec<u64> = (1..=100).collect();
+        let p = Percentiles::from_samples(&mut xs);
+        assert_eq!(p.p50, 50);
+        assert_eq!(p.p95, 95);
+        assert_eq!(p.p99, 99);
+        assert_eq!(p.max, 100);
+    }
+
+    #[test]
+    fn empty_percentiles_are_zero() {
+        let p = Percentiles::from_samples(&mut []);
+        assert_eq!(
+            p,
+            Percentiles {
+                p50: 0,
+                p95: 0,
+                p99: 0,
+                max: 0
+            }
+        );
+    }
+
+    #[test]
+    fn snapshot_serializes_to_json() {
+        let m = Metrics::new();
+        m.submitted.store(3, Ordering::Relaxed);
+        m.completed_ok.store(2, Ordering::Relaxed);
+        m.record_latency(&LatencyRecord {
+            queue_wait: Duration::from_micros(120),
+            batch_linger: Duration::from_micros(40),
+            sim_exec_ps: 5_000,
+            batch_size: 2,
+            wall_total: Duration::from_micros(200),
+        });
+        let snap = m.snapshot(1, 2);
+        let json = serde_json::to_string_pretty(&snap).unwrap();
+        assert!(json.contains("\"submitted\": 3"));
+        assert!(json.contains("\"queue_wait_us\""));
+        assert!(json.contains("\"p95\""));
+    }
+
+    #[test]
+    fn sample_window_is_bounded() {
+        let m = Metrics::new();
+        for i in 0..(MAX_SAMPLES + 10) {
+            m.record_latency(&LatencyRecord {
+                queue_wait: Duration::from_micros(i as u64),
+                batch_linger: Duration::ZERO,
+                sim_exec_ps: 1,
+                batch_size: 1,
+                wall_total: Duration::ZERO,
+            });
+        }
+        assert!(m.samples.lock().len() <= MAX_SAMPLES);
+    }
+}

@@ -1,0 +1,255 @@
+//! Bounded MPMC queue used for admission (backpressure) and dispatch.
+
+use parking_lot::{Condvar, Mutex};
+use std::collections::VecDeque;
+use std::time::Duration;
+
+/// A bounded multi-producer/multi-consumer FIFO with close semantics.
+///
+/// * `try_push` never blocks: it reports a full queue to the caller so
+///   admission can exert backpressure.
+/// * `push` blocks until space frees up (used on the internal dispatch
+///   path, where the producer is the batcher and must not drop work).
+/// * `pop` blocks until an item, a timeout, or close-and-drained.
+/// * After [`BoundedQueue::close`], pushes fail and pops drain whatever
+///   remains before returning `None`.
+pub struct BoundedQueue<T> {
+    state: Mutex<QueueState<T>>,
+    space: Condvar,
+    items: Condvar,
+    capacity: usize,
+}
+
+struct QueueState<T> {
+    buf: VecDeque<T>,
+    closed: bool,
+}
+
+/// Outcome of a non-blocking push.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PushError<T> {
+    /// The queue was at capacity; the item is handed back.
+    Full(T),
+    /// The queue was closed; the item is handed back.
+    Closed(T),
+}
+
+/// Outcome of a blocking pop with timeout.
+#[derive(Debug, PartialEq, Eq)]
+pub enum PopResult<T> {
+    /// An item was dequeued.
+    Item(T),
+    /// The timeout elapsed with the queue still open.
+    TimedOut,
+    /// The queue is closed and fully drained.
+    Closed,
+}
+
+impl<T> BoundedQueue<T> {
+    /// Creates a queue bounded at `capacity` items (>= 1).
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity >= 1, "queue capacity must be >= 1");
+        BoundedQueue {
+            state: Mutex::new(QueueState {
+                buf: VecDeque::with_capacity(capacity.min(1024)),
+                closed: false,
+            }),
+            space: Condvar::new(),
+            items: Condvar::new(),
+            capacity,
+        }
+    }
+
+    /// The configured bound.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Current depth (racy by nature; a gauge, not a guarantee).
+    pub fn len(&self) -> usize {
+        self.state.lock().buf.len()
+    }
+
+    /// Whether the queue is currently empty (racy; a gauge).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Non-blocking push; fails on a full or closed queue.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Full`] or [`PushError::Closed`], returning the item.
+    pub fn try_push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.buf.len() >= self.capacity {
+            return Err(PushError::Full(item));
+        }
+        st.buf.push_back(item);
+        drop(st);
+        self.items.notify_one();
+        Ok(())
+    }
+
+    /// Blocking push; waits for space. Fails only if the queue closes.
+    ///
+    /// # Errors
+    ///
+    /// [`PushError::Closed`] with the item when the queue closed while
+    /// (or before) waiting.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock();
+        loop {
+            if st.closed {
+                return Err(PushError::Closed(item));
+            }
+            if st.buf.len() < self.capacity {
+                st.buf.push_back(item);
+                drop(st);
+                self.items.notify_one();
+                return Ok(());
+            }
+            self.space.wait(&mut st);
+        }
+    }
+
+    /// Blocking pop with a timeout.
+    pub fn pop(&self, timeout: Duration) -> PopResult<T> {
+        let mut st = self.state.lock();
+        loop {
+            if let Some(item) = st.buf.pop_front() {
+                drop(st);
+                self.space.notify_one();
+                return PopResult::Item(item);
+            }
+            if st.closed {
+                return PopResult::Closed;
+            }
+            if self.items.wait_for(&mut st, timeout).timed_out() {
+                return if let Some(item) = st.buf.pop_front() {
+                    drop(st);
+                    self.space.notify_one();
+                    PopResult::Item(item)
+                } else if st.closed {
+                    PopResult::Closed
+                } else {
+                    PopResult::TimedOut
+                };
+            }
+        }
+    }
+
+    /// Dequeues up to `max` items satisfying `pred`, preserving the
+    /// relative order of everything left behind. Non-blocking; used by
+    /// the batcher to coalesce same-shape requests.
+    pub fn take_matching<F: FnMut(&T) -> bool>(&self, max: usize, mut pred: F) -> Vec<T> {
+        let mut st = self.state.lock();
+        let mut taken = Vec::new();
+        let mut rest = VecDeque::with_capacity(st.buf.len());
+        while let Some(item) = st.buf.pop_front() {
+            if taken.len() < max && pred(&item) {
+                taken.push(item);
+            } else {
+                rest.push_back(item);
+            }
+        }
+        st.buf = rest;
+        let n = taken.len();
+        drop(st);
+        for _ in 0..n {
+            self.space.notify_one();
+        }
+        taken
+    }
+
+    /// Closes the queue: pushes fail from now on, pops drain the
+    /// remainder. Idempotent.
+    pub fn close(&self) {
+        let mut st = self.state.lock();
+        st.closed = true;
+        drop(st);
+        self.items.notify_all();
+        self.space.notify_all();
+    }
+
+    /// Whether [`BoundedQueue::close`] was called.
+    pub fn is_closed(&self) -> bool {
+        self.state.lock().closed
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::time::Duration;
+
+    const TICK: Duration = Duration::from_millis(50);
+
+    #[test]
+    fn try_push_exerts_backpressure_at_capacity() {
+        let q = BoundedQueue::new(2);
+        q.try_push(1).unwrap();
+        q.try_push(2).unwrap();
+        assert_eq!(q.try_push(3), Err(PushError::Full(3)));
+        assert_eq!(q.pop(TICK), PopResult::Item(1));
+        q.try_push(3).unwrap();
+        assert_eq!(q.len(), 2);
+    }
+
+    #[test]
+    fn pop_times_out_when_empty() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(1);
+        assert_eq!(q.pop(Duration::from_millis(5)), PopResult::TimedOut);
+    }
+
+    #[test]
+    fn close_drains_then_reports_closed() {
+        let q = BoundedQueue::new(4);
+        q.try_push(1).unwrap();
+        q.close();
+        assert_eq!(q.try_push(2), Err(PushError::Closed(2)));
+        assert_eq!(q.pop(TICK), PopResult::Item(1));
+        assert_eq!(q.pop(TICK), PopResult::Closed);
+    }
+
+    #[test]
+    fn take_matching_preserves_order_of_rest() {
+        let q = BoundedQueue::new(8);
+        for v in [1, 2, 3, 4, 5, 6] {
+            q.try_push(v).unwrap();
+        }
+        let evens = q.take_matching(2, |v| v % 2 == 0);
+        assert_eq!(evens, vec![2, 4]);
+        let mut rest = Vec::new();
+        while let PopResult::Item(v) = q.pop(TICK) {
+            rest.push(v);
+        }
+        assert_eq!(rest, vec![1, 3, 5, 6]);
+    }
+
+    #[test]
+    fn blocking_push_waits_for_space() {
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(10));
+        assert_eq!(q.pop(TICK), PopResult::Item(1));
+        t.join().unwrap().unwrap();
+        assert_eq!(q.pop(TICK), PopResult::Item(2));
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumers() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(1));
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.pop(Duration::from_secs(10)));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(t.join().unwrap(), PopResult::Closed);
+    }
+}

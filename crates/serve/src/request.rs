@@ -1,0 +1,225 @@
+//! Request lifecycle: submission options, handles, and latency records.
+
+use crate::error::ServeError;
+use heterosvd::HeteroSvdOutput;
+use parking_lot::{Condvar, Mutex};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+use svd_kernels::Matrix;
+
+/// Opaque id assigned at admission, unique within a service instance.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct RequestId(pub(crate) u64);
+
+impl std::fmt::Display for RequestId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "req-{}", self.0)
+    }
+}
+
+/// Per-request options accepted at submission.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct SubmitOptions {
+    /// Overrides the service's default deadline. The deadline covers
+    /// wall-clock queueing and lingering; once a batch starts executing
+    /// the request is carried to completion.
+    pub timeout: Option<Duration>,
+}
+
+/// Where each slice of a request's life went.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencyRecord {
+    /// Wall-clock time from admission until the batcher picked the
+    /// request out of the queue.
+    pub queue_wait: Duration,
+    /// Wall-clock time the request spent inside the batcher while the
+    /// batch filled (bounded by the configured max linger).
+    pub batch_linger: Duration,
+    /// Simulated execution time charged to the request: the Eq. (14)
+    /// batch system time `⌈B / P_task⌉ · t_task`, in picoseconds. Every
+    /// request in a batch is charged the same amount.
+    pub sim_exec_ps: u64,
+    /// Size of the batch the request executed in.
+    pub batch_size: usize,
+    /// Wall-clock time from admission until completion.
+    pub wall_total: Duration,
+}
+
+/// Successful result of a served request.
+#[derive(Debug, Clone)]
+pub struct SvdResponse {
+    /// Id echoed from the handle.
+    pub id: RequestId,
+    /// The accelerator output (factors, stats, per-task timing).
+    pub output: HeteroSvdOutput,
+    /// The request's latency decomposition.
+    pub latency: LatencyRecord,
+}
+
+/// Caller-side handle to an admitted request.
+///
+/// Waiting consumes the handle, so a result is delivered exactly once.
+#[derive(Debug)]
+pub struct RequestHandle {
+    pub(crate) id: RequestId,
+    pub(crate) state: Arc<RequestState>,
+}
+
+impl RequestHandle {
+    /// The id assigned at admission.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Requests cancellation. Best-effort: a request already executing
+    /// is carried to completion; one still queued or lingering completes
+    /// with [`ServeError::Cancelled`].
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a result is already available (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.state.slot.lock().is_some()
+    }
+
+    /// Blocks until the request completes and takes the result.
+    ///
+    /// # Errors
+    ///
+    /// Whatever terminal error the request ended with.
+    pub fn wait(self) -> Result<SvdResponse, ServeError> {
+        let mut slot = self.state.slot.lock();
+        while slot.is_none() {
+            self.state.done.wait(&mut slot);
+        }
+        slot.take().expect("slot filled")
+    }
+
+    /// Blocks up to `timeout` for completion.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` hands the handle back on timeout so the caller can
+    /// keep waiting or cancel.
+    pub fn wait_timeout(self, timeout: Duration) -> Result<Result<SvdResponse, ServeError>, Self> {
+        let deadline = Instant::now() + timeout;
+        {
+            let mut slot = self.state.slot.lock();
+            loop {
+                if let Some(result) = slot.take() {
+                    return Ok(result);
+                }
+                let now = Instant::now();
+                if now >= deadline {
+                    break;
+                }
+                self.state.done.wait_for(&mut slot, deadline - now);
+            }
+        }
+        Err(self)
+    }
+}
+
+/// Shared completion slot between the handle and the service threads.
+#[derive(Debug)]
+pub(crate) struct RequestState {
+    slot: Mutex<Option<Result<SvdResponse, ServeError>>>,
+    done: Condvar,
+    pub(crate) cancelled: AtomicBool,
+}
+
+impl RequestState {
+    pub(crate) fn new() -> Arc<Self> {
+        Arc::new(RequestState {
+            slot: Mutex::new(None),
+            done: Condvar::new(),
+            cancelled: AtomicBool::new(false),
+        })
+    }
+
+    /// Completes the request if still pending; the first completion
+    /// wins and later ones are dropped. Returns whether this call won.
+    pub(crate) fn complete(&self, result: Result<SvdResponse, ServeError>) -> bool {
+        let mut slot = self.slot.lock();
+        if slot.is_some() {
+            return false;
+        }
+        *slot = Some(result);
+        drop(slot);
+        self.done.notify_all();
+        true
+    }
+
+    pub(crate) fn is_cancelled(&self) -> bool {
+        self.cancelled.load(Ordering::SeqCst)
+    }
+}
+
+/// A request travelling through the service internals.
+#[derive(Debug)]
+pub(crate) struct PendingRequest {
+    pub(crate) id: RequestId,
+    pub(crate) matrix: Matrix<f64>,
+    pub(crate) shape: (usize, usize),
+    pub(crate) state: Arc<RequestState>,
+    pub(crate) submitted_at: Instant,
+    pub(crate) deadline: Option<Instant>,
+    /// Test/chaos hook: the replica that picks this request up panics
+    /// (inside its containment boundary) instead of executing it.
+    pub(crate) poison: bool,
+}
+
+impl PendingRequest {
+    pub(crate) fn deadline_elapsed(&self, now: Instant) -> bool {
+        self.deadline.is_some_and(|d| now >= d)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn first_completion_wins() {
+        let state = RequestState::new();
+        assert!(state.complete(Err(ServeError::Cancelled)));
+        assert!(!state.complete(Err(ServeError::DeadlineExceeded)));
+        // The losing write did not clobber the winner.
+        let handle = RequestHandle {
+            id: RequestId(1),
+            state,
+        };
+        assert_eq!(handle.wait().unwrap_err(), ServeError::Cancelled);
+    }
+
+    #[test]
+    fn wait_returns_the_stored_result() {
+        let state = RequestState::new();
+        let handle = RequestHandle {
+            id: RequestId(7),
+            state: Arc::clone(&state),
+        };
+        let writer = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(5));
+            state.complete(Err(ServeError::DeadlineExceeded));
+        });
+        assert_eq!(handle.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        writer.join().unwrap();
+    }
+
+    #[test]
+    fn wait_timeout_hands_the_handle_back() {
+        let state = RequestState::new();
+        let handle = RequestHandle {
+            id: RequestId(9),
+            state,
+        };
+        let handle = handle
+            .wait_timeout(Duration::from_millis(2))
+            .expect_err("nothing completed it");
+        handle.cancel();
+        assert!(handle.state.is_cancelled());
+    }
+}

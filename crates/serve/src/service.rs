@@ -1,0 +1,490 @@
+//! The serving front end: admission, dispatch, replica pool, lifecycle.
+
+use crate::batcher::{self, Batch, BatchEntry, FormOutcome};
+use crate::config::ServeConfig;
+use crate::error::ServeError;
+use crate::metrics::{Metrics, MetricsSnapshot};
+use crate::queue::{BoundedQueue, PopResult, PushError};
+use crate::request::{
+    LatencyRecord, PendingRequest, RequestHandle, RequestId, RequestState, SubmitOptions,
+    SvdResponse,
+};
+use heterosvd::{Accelerator, HeteroSvdConfig, HeteroSvdError};
+use parking_lot::Mutex;
+use std::collections::HashMap;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+use svd_kernels::Matrix;
+
+/// A batch-serving SVD service.
+///
+/// Requests enter through a bounded admission queue ([`SvdService::try_submit`]
+/// exerts backpressure with [`ServeError::QueueFull`]), a batcher thread
+/// coalesces same-shape requests into batches, and a pool of accelerator
+/// replicas executes each batch via [`Accelerator::run_many`], charging
+/// every request in a batch the Eq. (14) system time
+/// `⌈B / P_task⌉ · t_task`.
+///
+/// A replica that panics while serving a batch is contained: the batch's
+/// requests fail with [`ServeError::WorkerPanicked`], the replica thread
+/// retires, and a replacement is spawned so capacity recovers.
+/// [`SvdService::shutdown`] (also run on drop) closes admission, drains
+/// everything already queued, and joins all threads.
+pub struct SvdService {
+    inner: Arc<Inner>,
+    batcher: Mutex<Option<JoinHandle<()>>>,
+    shutdown_done: AtomicBool,
+}
+
+struct Inner {
+    config: ServeConfig,
+    admission: BoundedQueue<PendingRequest>,
+    dispatch: BoundedQueue<Batch>,
+    metrics: Metrics,
+    next_id: AtomicU64,
+    replicas_live: AtomicUsize,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+    shutting_down: AtomicBool,
+}
+
+impl SvdService {
+    /// Validates `config`, spawns the batcher and the replica pool, and
+    /// starts serving.
+    ///
+    /// # Errors
+    ///
+    /// [`ServeError::InvalidRequest`] when the configuration is invalid.
+    pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
+        config.validate()?;
+        let inner = Arc::new(Inner {
+            admission: BoundedQueue::new(config.queue_capacity),
+            dispatch: BoundedQueue::new(config.workers.max(1) * 2),
+            metrics: Metrics::new(),
+            next_id: AtomicU64::new(0),
+            replicas_live: AtomicUsize::new(0),
+            workers: Mutex::new(Vec::new()),
+            shutting_down: AtomicBool::new(false),
+            config,
+        });
+        for _ in 0..inner.config.workers {
+            spawn_replica(&inner);
+        }
+        let batcher_inner = Arc::clone(&inner);
+        let batcher = std::thread::Builder::new()
+            .name("svd-batcher".into())
+            .spawn(move || batcher_main(batcher_inner))
+            .expect("failed to spawn batcher thread");
+        Ok(SvdService {
+            inner,
+            batcher: Mutex::new(Some(batcher)),
+            shutdown_done: AtomicBool::new(false),
+        })
+    }
+
+    /// Submits `matrix` with the service's default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`SvdService::try_submit_with`].
+    pub fn try_submit(&self, matrix: Matrix<f64>) -> Result<RequestHandle, ServeError> {
+        self.try_submit_with(matrix, SubmitOptions::default())
+    }
+
+    /// Submits `matrix`, never blocking: a full queue is reported as
+    /// [`ServeError::QueueFull`] so the caller can back off.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidRequest`] — the shape violates the replica
+    ///   constraints ([`ServeConfig::check_shape`]).
+    /// * [`ServeError::QueueFull`] — backpressure; retry later.
+    /// * [`ServeError::ShuttingDown`] — the service no longer admits.
+    pub fn try_submit_with(
+        &self,
+        matrix: Matrix<f64>,
+        options: SubmitOptions,
+    ) -> Result<RequestHandle, ServeError> {
+        self.submit_pending(matrix, options, false)
+    }
+
+    /// Chaos/test hook: admits a request whose replica panics instead of
+    /// executing it, exercising the containment and replacement path.
+    #[doc(hidden)]
+    pub fn try_submit_poison(&self, rows: usize, cols: usize) -> Result<RequestHandle, ServeError> {
+        self.submit_pending(Matrix::zeros(rows, cols), SubmitOptions::default(), true)
+    }
+
+    fn submit_pending(
+        &self,
+        matrix: Matrix<f64>,
+        options: SubmitOptions,
+        poison: bool,
+    ) -> Result<RequestHandle, ServeError> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        if let Err(e) = inner.config.check_shape(matrix.rows(), matrix.cols()) {
+            inner
+                .metrics
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(e);
+        }
+        let submitted_at = Instant::now();
+        let timeout = options.timeout.or(inner.config.default_timeout);
+        let id = RequestId(inner.next_id.fetch_add(1, Ordering::Relaxed));
+        let state = RequestState::new();
+        let request = PendingRequest {
+            id,
+            shape: (matrix.rows(), matrix.cols()),
+            matrix,
+            state: Arc::clone(&state),
+            submitted_at,
+            deadline: timeout.map(|t| submitted_at + t),
+            poison,
+        };
+        match inner.admission.try_push(request) {
+            Ok(()) => {
+                inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                Ok(RequestHandle { id, state })
+            }
+            Err(PushError::Full(_)) => {
+                inner.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::QueueFull {
+                    capacity: inner.admission.capacity(),
+                })
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// A point-in-time view of the service's counters and latency
+    /// percentiles.
+    pub fn metrics(&self) -> MetricsSnapshot {
+        self.inner.metrics.snapshot(
+            self.inner.admission.len(),
+            self.inner.replicas_live.load(Ordering::SeqCst),
+        )
+    }
+
+    /// The configuration the service was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.inner.config
+    }
+
+    /// Stops admitting, drains every queued request to a terminal state,
+    /// and joins the batcher and all replicas. Idempotent; also run on
+    /// drop.
+    pub fn shutdown(&self) {
+        if self.shutdown_done.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        self.inner.shutting_down.store(true, Ordering::SeqCst);
+        self.inner.admission.close();
+        if let Some(handle) = self.batcher.lock().take() {
+            let _ = handle.join();
+        }
+        // The batcher closed the dispatch queue on exit; replicas drain
+        // it and retire. Replacement replicas may register while we join,
+        // so loop until the registry is empty.
+        loop {
+            let drained: Vec<JoinHandle<()>> = {
+                let mut workers = self.inner.workers.lock();
+                workers.drain(..).collect()
+            };
+            if drained.is_empty() {
+                break;
+            }
+            for handle in drained {
+                let _ = handle.join();
+            }
+        }
+    }
+}
+
+impl Drop for SvdService {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+/// Batcher thread: forms batches until admission is closed and drained,
+/// then closes the dispatch queue so replicas retire.
+fn batcher_main(inner: Arc<Inner>) {
+    loop {
+        match batcher::form_batch(&inner.admission, &inner.config, &inner.metrics) {
+            FormOutcome::Formed(batch) => {
+                if let Err(PushError::Closed(batch)) = inner.dispatch.push(batch) {
+                    // Dispatch can only close after this thread exits, but
+                    // fail the batch defensively rather than dropping it.
+                    fail_batch(&inner, &batch, &ServeError::ShuttingDown);
+                    break;
+                }
+            }
+            FormOutcome::Idle => continue,
+            FormOutcome::Drained => break,
+        }
+    }
+    inner.dispatch.close();
+}
+
+/// Spawns one replica thread and registers it for shutdown joining.
+fn spawn_replica(inner: &Arc<Inner>) {
+    inner
+        .metrics
+        .replicas_spawned
+        .fetch_add(1, Ordering::Relaxed);
+    inner.replicas_live.fetch_add(1, Ordering::SeqCst);
+    let thread_inner = Arc::clone(inner);
+    let handle = std::thread::Builder::new()
+        .name("svd-replica".into())
+        .spawn(move || replica_main(thread_inner))
+        .expect("failed to spawn replica thread");
+    inner.workers.lock().push(handle);
+}
+
+/// Replica thread: executes batches until the dispatch queue drains.
+/// A panic while serving a batch fails that batch, retires this replica,
+/// and spawns a replacement.
+fn replica_main(inner: Arc<Inner>) {
+    let mut accelerators: HashMap<(usize, usize), Accelerator> = HashMap::new();
+    loop {
+        match inner.dispatch.pop(batcher::POLL_TICK) {
+            PopResult::Item(batch) => {
+                let exec_started = Instant::now();
+                let outcome = catch_unwind(AssertUnwindSafe(|| {
+                    execute_batch(&inner, &mut accelerators, &batch, exec_started)
+                }));
+                if let Err(payload) = outcome {
+                    let err = ServeError::from(HeteroSvdError::worker_panicked(payload.as_ref()));
+                    inner.metrics.worker_panics.fetch_add(1, Ordering::Relaxed);
+                    fail_batch(&inner, &batch, &err);
+                    inner.replicas_live.fetch_sub(1, Ordering::SeqCst);
+                    // Replace the poisoned replica; during shutdown the
+                    // replacement drains the closed queue and retires.
+                    spawn_replica(&inner);
+                    return;
+                }
+            }
+            PopResult::TimedOut => continue,
+            PopResult::Closed => break,
+        }
+    }
+    inner.replicas_live.fetch_sub(1, Ordering::SeqCst);
+}
+
+/// Completes every still-pending request of `batch` with `err`.
+fn fail_batch(inner: &Inner, batch: &Batch, err: &ServeError) {
+    for entry in &batch.entries {
+        if entry.request.state.complete(Err(err.clone())) {
+            inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+        }
+    }
+}
+
+/// Runs one shape-uniform batch on this replica's accelerator, charging
+/// each request the shared Eq. (14) system time.
+fn execute_batch(
+    inner: &Inner,
+    accelerators: &mut HashMap<(usize, usize), Accelerator>,
+    batch: &Batch,
+    exec_started: Instant,
+) {
+    // Last-moment lifecycle checks: cancelled or expired requests are
+    // completed here and excluded from the accelerator run.
+    let now = Instant::now();
+    let mut live: Vec<&BatchEntry> = Vec::with_capacity(batch.entries.len());
+    for entry in &batch.entries {
+        if entry.request.state.is_cancelled() {
+            if entry.request.state.complete(Err(ServeError::Cancelled)) {
+                inner.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            }
+        } else if entry.request.deadline_elapsed(now) {
+            if entry
+                .request
+                .state
+                .complete(Err(ServeError::DeadlineExceeded))
+            {
+                inner.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            }
+        } else {
+            live.push(entry);
+        }
+    }
+    if live.is_empty() {
+        return;
+    }
+    if let Some(pill) = live.iter().find(|e| e.request.poison) {
+        panic!("poison pill {} detonated in replica", pill.request.id);
+    }
+
+    inner
+        .metrics
+        .batches_dispatched
+        .fetch_add(1, Ordering::Relaxed);
+    let accelerator = match cached_accelerator(accelerators, inner, batch.shape) {
+        Ok(a) => a,
+        Err(e) => {
+            let err = ServeError::from(e);
+            for entry in &live {
+                if entry.request.state.complete(Err(err.clone())) {
+                    inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+            return;
+        }
+    };
+
+    let matrices: Vec<Matrix<f64>> = live.iter().map(|e| e.request.matrix.clone()).collect();
+    match accelerator.run_many(&matrices) {
+        Ok((outputs, system_time)) => {
+            for (entry, output) in live.iter().zip(outputs) {
+                let latency = LatencyRecord {
+                    queue_wait: entry
+                        .picked_at
+                        .saturating_duration_since(entry.request.submitted_at),
+                    batch_linger: exec_started.saturating_duration_since(entry.picked_at),
+                    sim_exec_ps: system_time.0,
+                    batch_size: live.len(),
+                    wall_total: entry.request.submitted_at.elapsed(),
+                };
+                let response = SvdResponse {
+                    id: entry.request.id,
+                    output,
+                    latency,
+                };
+                if entry.request.state.complete(Ok(response)) {
+                    inner.metrics.completed_ok.fetch_add(1, Ordering::Relaxed);
+                    inner.metrics.record_latency(&latency);
+                }
+            }
+        }
+        Err(e) => {
+            let err = ServeError::from(e);
+            for entry in &live {
+                if entry.request.state.complete(Err(err.clone())) {
+                    inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// Returns this replica's accelerator for `shape`, building it on first
+/// use. Each replica keeps one accelerator per distinct request shape.
+fn cached_accelerator<'a>(
+    accelerators: &'a mut HashMap<(usize, usize), Accelerator>,
+    inner: &Inner,
+    shape: (usize, usize),
+) -> Result<&'a Accelerator, HeteroSvdError> {
+    use std::collections::hash_map::Entry;
+    match accelerators.entry(shape) {
+        Entry::Occupied(slot) => Ok(slot.into_mut()),
+        Entry::Vacant(slot) => {
+            let cfg = &inner.config;
+            let mut builder = HeteroSvdConfig::builder(shape.0, shape.1)
+                .engine_parallelism(cfg.engine_parallelism)
+                .task_parallelism(cfg.task_parallelism)
+                .precision(cfg.precision)
+                .fidelity(cfg.fidelity);
+            if let Some(iters) = cfg.fixed_iterations {
+                builder = builder.fixed_iterations(iters);
+            }
+            let accelerator = Accelerator::new(builder.build()?)?;
+            Ok(slot.insert(accelerator))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    fn test_matrix(rows: usize, cols: usize, salt: u64) -> Matrix<f64> {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let x = (r as u64 * 31 + c as u64 * 7 + salt * 13) % 17;
+            x as f64 / 4.0 - 2.0 + if r == c { 3.0 } else { 0.0 }
+        })
+    }
+
+    fn quick_config() -> ServeConfig {
+        ServeConfig {
+            workers: 2,
+            queue_capacity: 32,
+            max_batch: 4,
+            max_linger: Duration::from_millis(1),
+            ..ServeConfig::default()
+        }
+    }
+
+    #[test]
+    fn single_request_round_trip() {
+        let service = SvdService::start(quick_config()).unwrap();
+        let handle = service.try_submit(test_matrix(8, 8, 1)).unwrap();
+        let response = handle.wait().unwrap();
+        assert_eq!(response.output.result.sigma.len(), 8);
+        assert!(response.latency.sim_exec_ps > 0);
+        service.shutdown();
+        let m = service.metrics();
+        assert_eq!(m.completed_ok, 1);
+        assert_eq!(m.replicas_live, 0);
+    }
+
+    #[test]
+    fn invalid_shape_is_rejected_at_admission() {
+        let service = SvdService::start(quick_config()).unwrap();
+        // P_eng = 2 means cols must be a multiple of 4.
+        let err = service.try_submit(test_matrix(9, 6, 0)).unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+        assert_eq!(service.metrics().rejected_invalid, 1);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_are_refused() {
+        let service = SvdService::start(quick_config()).unwrap();
+        service.shutdown();
+        let err = service.try_submit(test_matrix(8, 8, 0)).unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
+    }
+
+    #[test]
+    fn cancelled_request_completes_with_cancelled() {
+        // One slow-to-start service path: saturate with a linger so the
+        // cancel lands while the request is still queued.
+        let config = ServeConfig {
+            max_linger: Duration::from_millis(50),
+            ..quick_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let handle = service.try_submit(test_matrix(8, 8, 2)).unwrap();
+        handle.cancel();
+        match handle.wait() {
+            Err(ServeError::Cancelled) => {}
+            // The race is legal: the batch may already have executed.
+            Ok(response) => assert_eq!(response.output.result.sigma.len(), 8),
+            Err(other) => panic!("unexpected terminal state: {other:?}"),
+        }
+        service.shutdown();
+    }
+
+    #[test]
+    fn zero_timeout_requests_time_out() {
+        let service = SvdService::start(quick_config()).unwrap();
+        let handle = service
+            .try_submit_with(
+                test_matrix(8, 8, 3),
+                SubmitOptions {
+                    timeout: Some(Duration::ZERO),
+                },
+            )
+            .unwrap();
+        assert_eq!(handle.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        assert_eq!(service.metrics().timed_out, 1);
+        service.shutdown();
+    }
+}

@@ -1,0 +1,150 @@
+//! Property-based tests of the serving runtime.
+//!
+//! Two invariants the batcher and queue must hold under arbitrary
+//! traffic: the admission queue never exceeds its bound (backpressure is
+//! exact, not approximate), and no request is ever dropped or completed
+//! twice regardless of arrival order, cancellations, and deadlines.
+
+use heterosvd::FidelityMode;
+use heterosvd_serve::queue::{BoundedQueue, PopResult, PushError};
+use heterosvd_serve::{ServeConfig, ServeError, SvdService};
+use proptest::prelude::*;
+use std::collections::VecDeque;
+use std::time::Duration;
+use svd_kernels::Matrix;
+
+/// A fast, lifecycle-heavy configuration: timing-only replicas so the
+/// accelerator step is instantaneous and the properties concentrate on
+/// the queue/batcher/lifecycle machinery.
+fn lifecycle_config(queue_capacity: usize, max_batch: usize) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity,
+        max_batch,
+        max_linger: Duration::from_micros(500),
+        fidelity: FidelityMode::TimingOnly,
+        fixed_iterations: Some(2),
+        ..ServeConfig::default()
+    }
+}
+
+fn matrix_for(shape_idx: usize) -> Matrix<f64> {
+    // All shapes valid for P_eng = 2 (cols a multiple of 4).
+    let (rows, cols) = [(8, 8), (12, 8), (12, 12)][shape_idx % 3];
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * 13 + c * 5 + shape_idx) % 11) as f64 - 5.0 + if r == c { 6.0 } else { 0.0 }
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The queue primitive agrees with a model VecDeque under a random
+    /// push/pop/sweep interleaving, and its depth never exceeds the
+    /// configured bound.
+    #[test]
+    fn queue_matches_model_and_respects_bound(
+        capacity in 1usize..9,
+        ops in prop::collection::vec((0u8..3, 0u64..50), 1..64),
+    ) {
+        let queue = BoundedQueue::new(capacity);
+        let mut model: VecDeque<u64> = VecDeque::new();
+        for (op, value) in ops {
+            match op {
+                0 => {
+                    // try_push: succeeds iff the model has room.
+                    match queue.try_push(value) {
+                        Ok(()) => {
+                            prop_assert!(model.len() < capacity);
+                            model.push_back(value);
+                        }
+                        Err(PushError::Full(v)) => {
+                            prop_assert_eq!(v, value);
+                            prop_assert_eq!(model.len(), capacity);
+                        }
+                        Err(PushError::Closed(_)) => prop_assert!(false, "queue never closed"),
+                    }
+                }
+                1 => {
+                    // pop: FIFO against the model.
+                    match queue.pop(Duration::from_millis(1)) {
+                        PopResult::Item(v) => {
+                            prop_assert_eq!(Some(v), model.pop_front());
+                        }
+                        PopResult::TimedOut => prop_assert!(model.is_empty()),
+                        PopResult::Closed => prop_assert!(false, "queue never closed"),
+                    }
+                }
+                _ => {
+                    // Shape-style sweep: take up to 2 items below a pivot.
+                    let taken = queue.take_matching(2, |v| *v < value);
+                    let mut expected = Vec::new();
+                    let mut rest = VecDeque::new();
+                    while let Some(v) = model.pop_front() {
+                        if expected.len() < 2 && v < value {
+                            expected.push(v);
+                        } else {
+                            rest.push_back(v);
+                        }
+                    }
+                    model = rest;
+                    prop_assert_eq!(taken, expected);
+                }
+            }
+            prop_assert!(queue.len() <= capacity, "depth exceeded the bound");
+        }
+    }
+
+    /// Under random arrivals, cancellations, and instant deadlines,
+    /// every admitted request reaches exactly one terminal state and the
+    /// ledger balances: admitted = completed + cancelled + timed out +
+    /// failed, with nothing dropped and nothing double-counted.
+    #[test]
+    fn no_request_is_dropped_or_duplicated(
+        arrivals in prop::collection::vec((0usize..3, 0u8..4), 1..24),
+        capacity in 4usize..12,
+    ) {
+        let service = SvdService::start(lifecycle_config(capacity, 4)).unwrap();
+        let mut handles = Vec::new();
+        let mut admitted = 0u64;
+        for (shape_idx, fate) in arrivals {
+            let options = heterosvd_serve::SubmitOptions {
+                // fate 1: a deadline that has effectively already passed.
+                timeout: if fate == 1 { Some(Duration::ZERO) } else { None },
+            };
+            match service.try_submit_with(matrix_for(shape_idx), options) {
+                Ok(handle) => {
+                    admitted += 1;
+                    if fate == 2 {
+                        handle.cancel();
+                    }
+                    handles.push(handle);
+                }
+                Err(ServeError::QueueFull { .. }) => {}
+                Err(other) => return Err(TestCaseError::fail(format!("unexpected: {other}"))),
+            }
+        }
+        // Each handle yields exactly one result (wait consumes it).
+        let mut terminal = 0u64;
+        for handle in handles {
+            match handle.wait() {
+                Ok(_)
+                | Err(ServeError::Cancelled)
+                | Err(ServeError::DeadlineExceeded) => terminal += 1,
+                Err(other) => return Err(TestCaseError::fail(format!("bad terminal: {other}"))),
+            }
+        }
+        prop_assert_eq!(terminal, admitted);
+        service.shutdown();
+        let m = service.metrics();
+        prop_assert_eq!(m.submitted, admitted);
+        prop_assert_eq!(
+            m.completed_ok + m.cancelled + m.timed_out + m.failed,
+            admitted,
+            "ledger does not balance: {:?}",
+            m
+        );
+        prop_assert_eq!(m.failed, 0);
+        prop_assert_eq!(m.queue_depth, 0);
+    }
+}

@@ -51,12 +51,7 @@ impl<T: Real> SvdResult<T> {
             }
             let u_j = self.u.col(j);
             for c in 0..n {
-                let dot: T = a
-                    .col(c)
-                    .iter()
-                    .zip(u_j.iter())
-                    .map(|(&x, &y)| x * y)
-                    .sum();
+                let dot: T = a.col(c).iter().zip(u_j.iter()).map(|(&x, &y)| x * y).sum();
                 v[(c, j)] = dot / sigma;
             }
         }
@@ -141,10 +136,7 @@ impl<T: Real> SvdResult<T> {
         if max == 0.0 {
             return 0;
         }
-        self.sigma
-            .iter()
-            .filter(|s| s.to_f64() > tol * max)
-            .count()
+        self.sigma.iter().filter(|s| s.to_f64() > tol * max).count()
     }
 
     /// Nuclear norm `Σ σᵢ` (used for compression/energy diagnostics).
@@ -166,11 +158,14 @@ mod tests {
     }
 
     fn svd_without_v(a: &Matrix<f64>) -> SvdResult<f64> {
-        hestenes_jacobi(a, &JacobiOptions {
-            compute_v: false,
-            precision: 1e-13,
-            ..Default::default()
-        })
+        hestenes_jacobi(
+            a,
+            &JacobiOptions {
+                compute_v: false,
+                precision: 1e-13,
+                ..Default::default()
+            },
+        )
         .unwrap()
     }
 
@@ -276,11 +271,14 @@ mod tests {
         let right = sample(2, 8);
         let a = left.matmul(&right).unwrap();
         let a32: Matrix<f32> = a.cast();
-        let svd32 = hestenes_jacobi(&a32, &JacobiOptions {
-            precision: 1e-6,
-            compute_v: false,
-            ..Default::default()
-        })
+        let svd32 = hestenes_jacobi(
+            &a32,
+            &JacobiOptions {
+                precision: 1e-6,
+                compute_v: false,
+                ..Default::default()
+            },
+        )
         .unwrap();
         let norm = a32.frobenius_norm();
         let err_at = |k: usize| {
@@ -290,7 +288,10 @@ mod tests {
         let e2 = err_at(2);
         let e8 = err_at(8);
         assert!(e2 < 1e-5, "rank-2 error {e2}");
-        assert!(e8 <= e2 * 1.01 + 1e-6, "rank-8 error {e8} worse than rank-2 {e2}");
+        assert!(
+            e8 <= e2 * 1.01 + 1e-6,
+            "rank-8 error {e8} worse than rank-2 {e2}"
+        );
     }
 
     #[test]

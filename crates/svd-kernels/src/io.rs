@@ -42,9 +42,10 @@ pub fn read_csv<T: Real, R: Read>(reader: R) -> Result<Matrix<T>, SvdError> {
         let row: Result<Vec<T>, SvdError> = trimmed
             .split(',')
             .map(|cell| {
-                cell.trim().parse::<f64>().map(T::from_f64).map_err(|e| {
-                    SvdError::InvalidParameter(format!("line {}: {e}", lineno + 1))
-                })
+                cell.trim()
+                    .parse::<f64>()
+                    .map(T::from_f64)
+                    .map_err(|e| SvdError::InvalidParameter(format!("line {}: {e}", lineno + 1)))
             })
             .collect();
         let row = row?;
@@ -74,9 +75,8 @@ pub fn read_csv<T: Real, R: Read>(reader: R) -> Result<Matrix<T>, SvdError> {
 /// See [`read_csv`]; file-open failures are reported the same way.
 pub fn read_csv_path<T: Real>(path: impl AsRef<Path>) -> Result<Matrix<T>, SvdError> {
     let path = path.as_ref();
-    let file = std::fs::File::open(path).map_err(|e| {
-        SvdError::InvalidParameter(format!("cannot open {}: {e}", path.display()))
-    })?;
+    let file = std::fs::File::open(path)
+        .map_err(|e| SvdError::InvalidParameter(format!("cannot open {}: {e}", path.display())))?;
     read_csv(file)
 }
 
@@ -108,10 +108,7 @@ pub fn write_csv<T: Real, W: Write>(matrix: &Matrix<T>, mut writer: W) -> Result
 /// # Errors
 ///
 /// See [`write_csv`].
-pub fn write_csv_path<T: Real>(
-    matrix: &Matrix<T>,
-    path: impl AsRef<Path>,
-) -> Result<(), SvdError> {
+pub fn write_csv_path<T: Real>(matrix: &Matrix<T>, path: impl AsRef<Path>) -> Result<(), SvdError> {
     let path = path.as_ref();
     let file = std::fs::File::create(path).map_err(|e| {
         SvdError::InvalidParameter(format!("cannot create {}: {e}", path.display()))

@@ -47,7 +47,7 @@ pub mod verify;
 
 mod error;
 
-pub use block::{BlockJacobiOptions, BlockPartition, BlockPairSchedule};
+pub use block::{BlockJacobiOptions, BlockPairSchedule, BlockPartition};
 pub use error::SvdError;
 pub use jacobi::{hestenes_jacobi, JacobiOptions, SvdResult, SweepStats};
 pub use matrix::Matrix;

@@ -292,7 +292,10 @@ impl<T: Real> Index<(usize, usize)> for Matrix<T> {
 
     #[inline]
     fn index(&self, (r, c): (usize, usize)) -> &T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         &self.data[c * self.rows + r]
     }
 }
@@ -300,7 +303,10 @@ impl<T: Real> Index<(usize, usize)> for Matrix<T> {
 impl<T: Real> IndexMut<(usize, usize)> for Matrix<T> {
     #[inline]
     fn index_mut(&mut self, (r, c): (usize, usize)) -> &mut T {
-        assert!(r < self.rows && c < self.cols, "index ({r},{c}) out of range");
+        assert!(
+            r < self.rows && c < self.cols,
+            "index ({r},{c}) out of range"
+        );
         &mut self.data[c * self.rows + r]
     }
 }

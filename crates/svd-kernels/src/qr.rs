@@ -76,11 +76,7 @@ pub fn householder_qr<T: Real>(a: &Matrix<T>) -> Result<QrFactors<T>, SvdError> 
                 let two = T::from_f64(2.0);
                 for j in k..n {
                     let cj = work.col_mut(j);
-                    let dot: T = v
-                        .iter()
-                        .zip(cj[k..].iter())
-                        .map(|(&vi, &x)| vi * x)
-                        .sum();
+                    let dot: T = v.iter().zip(cj[k..].iter()).map(|(&vi, &x)| vi * x).sum();
                     let scale = two * dot / v_norm_sq;
                     for (vi, x) in v.iter().zip(cj[k..].iter_mut()) {
                         *x -= scale * *vi;
@@ -110,11 +106,7 @@ pub fn householder_qr<T: Real>(a: &Matrix<T>) -> Result<QrFactors<T>, SvdError> 
         let two = T::from_f64(2.0);
         for j in 0..n {
             let cj = q.col_mut(j);
-            let dot: T = v
-                .iter()
-                .zip(cj[k..].iter())
-                .map(|(&vi, &x)| vi * x)
-                .sum();
+            let dot: T = v.iter().zip(cj[k..].iter()).map(|(&vi, &x)| vi * x).sum();
             let scale = two * dot / v_norm_sq;
             for (vi, x) in v.iter().zip(cj[k..].iter_mut()) {
                 *x -= scale * *vi;

@@ -3,8 +3,8 @@
 use proptest::prelude::*;
 use svd_kernels::block::{block_jacobi, BlockJacobiOptions};
 use svd_kernels::jacobi::{hestenes_jacobi, round_robin_rounds, JacobiOptions};
-use svd_kernels::rotation::{apply_rotation, column_products, compute_rotation};
 use svd_kernels::qr::{householder_qr, qr_preconditioned_svd};
+use svd_kernels::rotation::{apply_rotation, column_products, compute_rotation};
 use svd_kernels::{verify, Matrix};
 
 fn matrix_strategy(max_dim: usize) -> impl Strategy<Value = Matrix<f64>> {

@@ -21,7 +21,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         (256, 8, 1.475),
         (512, 8, 10.965),
     ];
-    println!("{:>6} {:>6} {:>12} {:>12} {:>8}", "size", "P_eng", "paper(ms)", "sim(ms)", "ratio");
+    println!(
+        "{:>6} {:>6} {:>12} {:>12} {:>8}",
+        "size", "P_eng", "paper(ms)", "sim(ms)", "ratio"
+    );
     for (n, p_eng, paper) in rows {
         let cfg = HeteroSvdConfig::builder(n, n)
             .engine_parallelism(p_eng)

@@ -28,7 +28,17 @@ fn main() {
 
     println!(
         "{:>6} {:>6} | {:>9} | {:>5} {:>5} {:>5} | {:>11} {:>11} {:>8} {:>8} | {:<14}",
-        "P_eng", "P_task", "freq(MHz)", "AIE", "URAM", "PLIO", "latency(ms)", "tput(t/s)", "power", "EE", "bottleneck"
+        "P_eng",
+        "P_task",
+        "freq(MHz)",
+        "AIE",
+        "URAM",
+        "PLIO",
+        "latency(ms)",
+        "tput(t/s)",
+        "power",
+        "EE",
+        "bottleneck"
     );
     // Print the stage-1 frontier: max P_task per P_eng.
     for e in result.max_task_points() {

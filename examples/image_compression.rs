@@ -21,7 +21,9 @@ fn synthetic_image(n: usize) -> Matrix<f64> {
         128.0
             + 60.0 * (2.0 * std::f64::consts::PI * x).sin() * (2.0 * std::f64::consts::PI * y).cos()
             + 30.0 * (6.0 * std::f64::consts::PI * (x + y)).sin()
-            + 10.0 * (14.0 * std::f64::consts::PI * x).cos() * (10.0 * std::f64::consts::PI * y).sin()
+            + 10.0
+                * (14.0 * std::f64::consts::PI * x).cos()
+                * (10.0 * std::f64::consts::PI * y).sin()
     })
 }
 
@@ -84,6 +86,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\n>40 dB PSNR at rank {k40}: {:.0}x compression",
         full_storage as f64 / (k40 * (2 * n + 1)) as f64
     );
-    assert!(k40 <= 16, "smooth synthetic image should compress by rank 16");
+    assert!(
+        k40 <= 16,
+        "smooth synthetic image should compress by rank 16"
+    );
     Ok(())
 }

@@ -55,13 +55,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let accelerator = Accelerator::new(config)?;
 
     // Factorize the whole batch in parallel (one thread per channel).
-    let channels: Vec<_> = (0..batch).map(|_| channel_matrix(rx, tx, &mut rng)).collect();
+    let channels: Vec<_> = (0..batch)
+        .map(|_| channel_matrix(rx, tx, &mut rng))
+        .collect();
     let (outputs, system_time) = accelerator.run_many(&channels)?;
 
     let mut total_gain = 0.0;
     let mut worst_ratio: f64 = 1.0;
     for (i, (h, out)) in channels.iter().zip(&outputs).enumerate() {
-
         // Beamforming gain of the dominant left singular vector u1:
         // ||Hᵀu1|| should equal sigma_max.
         let svs = out.result.sorted_singular_values();
@@ -69,7 +70,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let best_col = (0..tx)
             .max_by(|&a, &b| out.result.sigma[a].total_cmp(&out.result.sigma[b]))
             .expect("nonzero width");
-        let u1: Vec<f64> = out.result.u.col(best_col).iter().map(|&v| v as f64).collect();
+        let u1: Vec<f64> = out
+            .result
+            .u
+            .col(best_col)
+            .iter()
+            .map(|&v| v as f64)
+            .collect();
         // (H^T u)_j = <H[:,j], u>
         let mut htu = vec![0.0_f64; tx];
         for (j, slot) in htu.iter_mut().enumerate() {

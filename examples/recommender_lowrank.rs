@@ -70,7 +70,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
          (noise floor; full-rank noise would be ~0.05)"
     );
 
-    assert!(floor_error < 0.05, "rank-{true_rank} truncation must denoise");
+    assert!(
+        floor_error < 0.05,
+        "rank-{true_rank} truncation must denoise"
+    );
     assert!(spectral_err < 1e-4);
     Ok(())
 }

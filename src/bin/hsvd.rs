@@ -1,20 +1,97 @@
-//! `hsvd` — command-line SVD through the simulated HeteroSVD accelerator.
+//! `hsvd` — command-line front end for the HeteroSVD reproduction.
 //!
 //! ```text
-//! hsvd --random 128            # factorize a seeded random 128x128 matrix
-//! hsvd matrix.csv              # factorize a CSV matrix (rows of comma-separated numbers)
-//! hsvd matrix.csv --p-eng 8 --precision 1e-6 --sigma-out sigma.csv
+//! hsvd run --random 128                 # factorize a seeded random 128x128 matrix
+//! hsvd run matrix.csv --p-eng 8         # factorize a CSV matrix
+//! hsvd serve-bench --requests 200 --workers 4 --seed 7
 //! ```
 //!
-//! Prints the singular values and the simulated hardware statistics;
-//! optionally writes `Σ` and `U` to CSV files.
+//! `run` prints the singular values and the simulated hardware
+//! statistics (optionally writing `Σ` and `U` to CSV); `serve-bench`
+//! drives the batch-serving runtime with a seeded open-loop workload and
+//! reports throughput and latency percentiles. For compatibility with
+//! pre-subcommand invocations, `hsvd matrix.csv` is treated as
+//! `hsvd run matrix.csv`.
 
-use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig};
+use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use heterosvd_repro::serve::{ServeConfig, ServeError, SvdService};
 use heterosvd_repro::svd_kernels::{io as matrix_io, Matrix};
+use rand::{Rng, SeedableRng};
 use std::io::Write;
 use std::process::ExitCode;
+use std::time::{Duration, Instant};
 
-struct Args {
+// ---------------------------------------------------------------- args
+
+/// Shared flag cursor: walks an argument list handing out flag values
+/// with uniform error messages. Both subcommands parse through this.
+struct ArgCursor {
+    args: std::vec::IntoIter<String>,
+}
+
+impl ArgCursor {
+    fn new(args: Vec<String>) -> Self {
+        ArgCursor {
+            args: args.into_iter(),
+        }
+    }
+
+    fn next(&mut self) -> Option<String> {
+        self.args.next()
+    }
+
+    /// The raw value following a flag.
+    fn value(&mut self, flag: &str) -> Result<String, String> {
+        self.args
+            .next()
+            .ok_or_else(|| format!("missing value for {flag}"))
+    }
+
+    /// The parsed value following a flag.
+    fn parse<T: std::str::FromStr>(&mut self, flag: &str) -> Result<T, String>
+    where
+        T::Err: std::fmt::Display,
+    {
+        self.value(flag)?
+            .parse()
+            .map_err(|e| format!("invalid value for {flag}: {e}"))
+    }
+}
+
+fn usage() -> &'static str {
+    "usage: hsvd <command> [options]\n\
+     \n\
+     commands:\n\
+       run          factorize one matrix on the simulated accelerator\n\
+       serve-bench  benchmark the batch-serving runtime\n\
+     \n\
+     run [matrix.csv | --random N] [options]:\n\
+       --random N          factorize a seeded random NxN matrix\n\
+       --seed S            RNG seed for --random (default 1)\n\
+       --p-eng K           engine parallelism, 1..=11 (default 4)\n\
+       --p-task T          task parallelism, 1..=26 (default 1)\n\
+       --freq MHZ          PL frequency (default: achievable)\n\
+       --precision EPS     convergence threshold (default 1e-6)\n\
+       --iterations N      fixed iteration count instead of convergence\n\
+       --sigma-out FILE    write singular values to a CSV file\n\
+       --u-out FILE        write U to a CSV file\n\
+     \n\
+     serve-bench [options]:\n\
+       --requests N        number of requests to submit (default 200)\n\
+       --workers W         accelerator replicas (default 4)\n\
+       --seed S            workload RNG seed (default 7)\n\
+       --rate RPS          open-loop arrival rate, req/s (default 5000)\n\
+       --queue-cap N       admission queue bound (default 128)\n\
+       --max-batch B       dynamic batcher size cap (default 8)\n\
+       --linger-us U       batcher linger budget in µs (default 500)\n\
+       --p-eng K           engine parallelism per replica (default 2)\n\
+       --p-task T          task parallelism per replica (default 4)\n\
+       --timing-only       skip numerics (timing model, 6 fixed sweeps)"
+}
+
+// ---------------------------------------------------------------- run
+
+struct RunArgs {
     input: Option<String>,
     random: Option<usize>,
     seed: u64,
@@ -27,23 +104,8 @@ struct Args {
     u_out: Option<String>,
 }
 
-fn usage() -> &'static str {
-    "usage: hsvd [matrix.csv | --random N] [options]\n\
-     \n\
-     options:\n\
-       --random N          factorize a seeded random NxN matrix\n\
-       --seed S            RNG seed for --random (default 1)\n\
-       --p-eng K           engine parallelism, 1..=11 (default 4)\n\
-       --p-task T          task parallelism, 1..=26 (default 1)\n\
-       --freq MHZ          PL frequency (default: achievable)\n\
-       --precision EPS     convergence threshold (default 1e-6)\n\
-       --iterations N      fixed iteration count instead of convergence\n\
-       --sigma-out FILE    write singular values to a CSV file\n\
-       --u-out FILE        write U to a CSV file"
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args {
+fn parse_run_args(mut cursor: ArgCursor) -> Result<RunArgs, String> {
+    let mut args = RunArgs {
         input: None,
         random: None,
         seed: 1,
@@ -55,26 +117,17 @@ fn parse_args() -> Result<Args, String> {
         sigma_out: None,
         u_out: None,
     };
-    let mut it = std::env::args().skip(1);
-    while let Some(arg) = it.next() {
-        let mut value = |name: &str| {
-            it.next()
-                .ok_or_else(|| format!("missing value for {name}"))
-        };
+    while let Some(arg) = cursor.next() {
         match arg.as_str() {
-            "--random" => args.random = Some(value("--random")?.parse().map_err(|e| format!("{e}"))?),
-            "--seed" => args.seed = value("--seed")?.parse().map_err(|e| format!("{e}"))?,
-            "--p-eng" => args.p_eng = value("--p-eng")?.parse().map_err(|e| format!("{e}"))?,
-            "--p-task" => args.p_task = value("--p-task")?.parse().map_err(|e| format!("{e}"))?,
-            "--freq" => args.freq_mhz = Some(value("--freq")?.parse().map_err(|e| format!("{e}"))?),
-            "--precision" => {
-                args.precision = value("--precision")?.parse().map_err(|e| format!("{e}"))?
-            }
-            "--iterations" => {
-                args.iterations = Some(value("--iterations")?.parse().map_err(|e| format!("{e}"))?)
-            }
-            "--sigma-out" => args.sigma_out = Some(value("--sigma-out")?),
-            "--u-out" => args.u_out = Some(value("--u-out")?),
+            "--random" => args.random = Some(cursor.parse("--random")?),
+            "--seed" => args.seed = cursor.parse("--seed")?,
+            "--p-eng" => args.p_eng = cursor.parse("--p-eng")?,
+            "--p-task" => args.p_task = cursor.parse("--p-task")?,
+            "--freq" => args.freq_mhz = Some(cursor.parse("--freq")?),
+            "--precision" => args.precision = cursor.parse("--precision")?,
+            "--iterations" => args.iterations = Some(cursor.parse("--iterations")?),
+            "--sigma-out" => args.sigma_out = Some(cursor.value("--sigma-out")?),
+            "--u-out" => args.u_out = Some(cursor.value("--u-out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other if other.starts_with('-') => return Err(format!("unknown option {other}")),
             other => args.input = Some(other.to_string()),
@@ -86,13 +139,12 @@ fn parse_args() -> Result<Args, String> {
     Ok(args)
 }
 
-fn run() -> Result<(), String> {
-    let args = parse_args()?;
+fn cmd_run(cursor: ArgCursor) -> Result<(), String> {
+    let args = parse_run_args(cursor)?;
 
     let a = match (&args.input, args.random) {
         (Some(path), _) => matrix_io::read_csv_path(path).map_err(|e| e.to_string())?,
         (None, Some(n)) => {
-            use rand::{Rng, SeedableRng};
             let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
             Matrix::from_fn(n, n, |r, c| {
                 let v: f64 = rng.gen_range(-1.0..1.0);
@@ -103,7 +155,7 @@ fn run() -> Result<(), String> {
                 }
             })
         }
-        _ => unreachable!("validated in parse_args"),
+        _ => unreachable!("validated in parse_run_args"),
     };
 
     // Transpose wide matrices (the one-sided method needs rows >= cols).
@@ -174,7 +226,11 @@ fn run() -> Result<(), String> {
     println!("singular values ({}):", svs.len());
     let shown = svs.len().min(16);
     let line: Vec<String> = svs[..shown].iter().map(|s| format!("{s:.6}")).collect();
-    println!("  {}{}", line.join(", "), if svs.len() > shown { ", ..." } else { "" });
+    println!(
+        "  {}{}",
+        line.join(", "),
+        if svs.len() > shown { ", ..." } else { "" }
+    );
     println!(
         "converged in {} iterations; simulated latency {:.3} ms on {} AIEs ({} DMA transfers)",
         out.result.sweeps,
@@ -193,6 +249,210 @@ fn run() -> Result<(), String> {
         println!("wrote U to {path}");
     }
     Ok(())
+}
+
+// ---------------------------------------------------------- serve-bench
+
+struct BenchArgs {
+    requests: usize,
+    workers: usize,
+    seed: u64,
+    rate: f64,
+    queue_cap: usize,
+    max_batch: usize,
+    linger_us: u64,
+    p_eng: usize,
+    p_task: usize,
+    timing_only: bool,
+}
+
+fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
+    let mut args = BenchArgs {
+        requests: 200,
+        workers: 4,
+        seed: 7,
+        rate: 5000.0,
+        queue_cap: 128,
+        max_batch: 8,
+        linger_us: 500,
+        p_eng: 2,
+        p_task: 4,
+        timing_only: false,
+    };
+    while let Some(arg) = cursor.next() {
+        match arg.as_str() {
+            "--requests" => args.requests = cursor.parse("--requests")?,
+            "--workers" => args.workers = cursor.parse("--workers")?,
+            "--seed" => args.seed = cursor.parse("--seed")?,
+            "--rate" => args.rate = cursor.parse("--rate")?,
+            "--queue-cap" => args.queue_cap = cursor.parse("--queue-cap")?,
+            "--max-batch" => args.max_batch = cursor.parse("--max-batch")?,
+            "--linger-us" => args.linger_us = cursor.parse("--linger-us")?,
+            "--p-eng" => args.p_eng = cursor.parse("--p-eng")?,
+            "--p-task" => args.p_task = cursor.parse("--p-task")?,
+            "--timing-only" => args.timing_only = true,
+            "--help" | "-h" => return Err(usage().to_string()),
+            other => return Err(format!("unknown option {other}")),
+        }
+    }
+    if args.requests == 0 {
+        return Err("serve-bench needs --requests >= 1".to_string());
+    }
+    if args.rate <= 0.0 {
+        return Err("serve-bench needs --rate > 0".to_string());
+    }
+    Ok(args)
+}
+
+fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
+    let args = parse_bench_args(cursor)?;
+
+    let service = SvdService::start(ServeConfig {
+        workers: args.workers,
+        queue_capacity: args.queue_cap,
+        max_batch: args.max_batch,
+        max_linger: Duration::from_micros(args.linger_us),
+        engine_parallelism: args.p_eng,
+        task_parallelism: args.p_task,
+        fidelity: if args.timing_only {
+            FidelityMode::TimingOnly
+        } else {
+            FidelityMode::Functional
+        },
+        // Timing-only fidelity cannot estimate convergence, so pin the
+        // sweep count to the paper's typical iteration budget.
+        fixed_iterations: args.timing_only.then_some(6),
+        ..ServeConfig::default()
+    })
+    .map_err(|e| e.to_string())?;
+
+    // The workload is generated up front from the seed so the matrices
+    // (and hence every functional result) are deterministic; the arrival
+    // process replays exponential inter-arrival gaps open-loop.
+    let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
+    let unit = 2 * args.p_eng;
+    let shapes = [
+        (2 * unit, 2 * unit),
+        (3 * unit, 2 * unit),
+        (3 * unit, 3 * unit),
+        (4 * unit, 3 * unit),
+    ];
+    let workload: Vec<(Matrix<f64>, f64)> = (0..args.requests)
+        .map(|_| {
+            let (rows, cols) = shapes[rng.gen_range(0..shapes.len())];
+            let m = Matrix::from_fn(rows, cols, |r, c| {
+                let v: f64 = rng.gen_range(-1.0..1.0);
+                if r == c {
+                    v + 3.0
+                } else {
+                    v
+                }
+            });
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            let gap_secs = -u.ln() / args.rate;
+            (m, gap_secs)
+        })
+        .collect();
+
+    println!(
+        "serve-bench: {} requests, {} workers, seed {}, ~{:.0} req/s open-loop",
+        args.requests, args.workers, args.seed, args.rate
+    );
+
+    let bench_start = Instant::now();
+    let mut next_arrival = Instant::now();
+    let mut handles = Vec::with_capacity(args.requests);
+    let mut dropped = 0u64;
+    for (matrix, gap_secs) in workload {
+        next_arrival += Duration::from_secs_f64(gap_secs);
+        let now = Instant::now();
+        if next_arrival > now {
+            std::thread::sleep(next_arrival - now);
+        }
+        match service.try_submit(matrix) {
+            Ok(handle) => handles.push(handle),
+            // Open-loop: an over-capacity arrival is dropped, not retried.
+            Err(ServeError::QueueFull { .. }) => dropped += 1,
+            Err(other) => return Err(other.to_string()),
+        }
+    }
+
+    let mut sigma_checksum = 0.0f64;
+    let mut completed = 0u64;
+    let mut failed = 0u64;
+    for handle in handles {
+        match handle.wait() {
+            Ok(response) => {
+                completed += 1;
+                sigma_checksum += response
+                    .output
+                    .result
+                    .sigma
+                    .iter()
+                    .map(|&s| s as f64)
+                    .sum::<f64>();
+            }
+            Err(_) => failed += 1,
+        }
+    }
+    let wall = bench_start.elapsed();
+    service.shutdown();
+    let m = service.metrics();
+
+    let us = |ps: u64| ps as f64 / 1e6;
+    println!(
+        "admitted {} | dropped at admission {} | completed {} | failed {}",
+        m.submitted, dropped, completed, failed
+    );
+    println!(
+        "batches {} | mean batch size {:.2} | worker panics {} | replicas spawned {}",
+        m.batches_dispatched, m.mean_batch_size, m.worker_panics, m.replicas_spawned
+    );
+    println!(
+        "wall time {:.1} ms | throughput {:.0} req/s",
+        wall.as_secs_f64() * 1e3,
+        completed as f64 / wall.as_secs_f64()
+    );
+    println!(
+        "queue wait   p50/p95/p99/max  {} / {} / {} / {} µs",
+        m.queue_wait_us.p50, m.queue_wait_us.p95, m.queue_wait_us.p99, m.queue_wait_us.max
+    );
+    println!(
+        "batch linger p50/p95/p99/max  {} / {} / {} / {} µs",
+        m.batch_linger_us.p50, m.batch_linger_us.p95, m.batch_linger_us.p99, m.batch_linger_us.max
+    );
+    println!(
+        "sim exec     p50/p95/p99/max  {:.3} / {:.3} / {:.3} / {:.3} µs (Eq. 14 charged time)",
+        us(m.sim_exec_ps.p50),
+        us(m.sim_exec_ps.p95),
+        us(m.sim_exec_ps.p99),
+        us(m.sim_exec_ps.max)
+    );
+    if args.timing_only {
+        println!("sigma checksum n/a (timing-only fidelity)");
+    } else {
+        println!(
+            "sigma checksum {sigma_checksum:.6} (deterministic for --seed {})",
+            args.seed
+        );
+    }
+    Ok(())
+}
+
+// --------------------------------------------------------------- main
+
+fn run() -> Result<(), String> {
+    let mut argv: Vec<String> = std::env::args().skip(1).collect();
+    if argv.is_empty() {
+        return Err(usage().to_string());
+    }
+    match argv[0].as_str() {
+        "run" => cmd_run(ArgCursor::new(argv.split_off(1))),
+        "serve-bench" => cmd_serve_bench(ArgCursor::new(argv.split_off(1))),
+        "--help" | "-h" | "help" => Err(usage().to_string()),
+        // Pre-subcommand compatibility: `hsvd matrix.csv [...]`.
+        _ => cmd_run(ArgCursor::new(argv)),
+    }
 }
 
 fn main() -> ExitCode {

@@ -27,6 +27,7 @@ pub use aie_sim;
 pub use baselines;
 pub use heterosvd;
 pub use heterosvd_dse as dse;
+pub use heterosvd_serve as serve;
 pub use perf_model;
 pub use svd_kernels;
 pub use svd_orderings as orderings;

@@ -38,13 +38,15 @@ fn best_latency_point_is_actually_fastest_in_simulation() {
             .fixed_iterations(6)
             .build()
             .unwrap();
-        Accelerator::new(cfg).unwrap().run(&a).unwrap().timing.task_time
+        Accelerator::new(cfg)
+            .unwrap()
+            .run(&a)
+            .unwrap()
+            .timing
+            .task_time
     };
 
-    let best_sim = simulate(
-        best.point.engine_parallelism,
-        best.point.task_parallelism,
-    );
+    let best_sim = simulate(best.point.engine_parallelism, best.point.task_parallelism);
     // Check against a sample of other feasible points.
     for e in result.evaluations.iter().step_by(7) {
         let other = simulate(e.point.engine_parallelism, e.point.task_parallelism);
@@ -78,8 +80,7 @@ fn dse_predictions_match_simulation_within_15_percent() {
             .unwrap()
             .timing
             .task_time;
-        let err =
-            (e.latency.0 as f64 - sim.0 as f64).abs() / sim.0 as f64;
+        let err = (e.latency.0 as f64 - sim.0 as f64).abs() / sim.0 as f64;
         // 64x64 is below the paper's smallest size; fill-path effects
         // loom larger there, so the budget is wider than Table IV's.
         assert!(
@@ -98,8 +99,7 @@ fn infeasible_designs_are_rejected_consistently() {
     let cfg = DseConfig::new(256, 256);
     for p_eng in [2usize, 4, 8] {
         for p_task in [1usize, 10, 26] {
-            let dse_feasible =
-                heterosvd_repro::dse::evaluate_point(&cfg, p_eng, p_task).is_some();
+            let dse_feasible = heterosvd_repro::dse::evaluate_point(&cfg, p_eng, p_task).is_some();
             let hw = HeteroSvdConfig::builder(256, 256)
                 .engine_parallelism(p_eng)
                 .task_parallelism(p_task)

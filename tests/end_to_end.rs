@@ -154,7 +154,12 @@ fn convergence_iterations_decrease_with_looser_precision() {
             .precision(precision)
             .build()
             .unwrap();
-        Accelerator::new(cfg).unwrap().run(&a).unwrap().result.sweeps
+        Accelerator::new(cfg)
+            .unwrap()
+            .run(&a)
+            .unwrap()
+            .result
+            .sweeps
     };
     // f32 kernels bottom out near 1e-7 on the Eq. 6 measure, so the
     // tight precision stays above that floor.

@@ -115,5 +115,8 @@ fn task_level_model_tracks_simulator() {
     .task
     .as_millis();
     let err = (model_task - sim_task).abs() / sim_task;
-    assert!(err < 0.10, "t_task: model {model_task:.3} vs sim {sim_task:.3} ms");
+    assert!(
+        err < 0.10,
+        "t_task: model {model_task:.3} vs sim {sim_task:.3} ms"
+    );
 }

@@ -4,7 +4,9 @@
 //! system module — must produce exactly the same matrix trajectory as
 //! the pipelined accelerator.
 
-use heterosvd_repro::heterosvd::pl_modules::{DataArrangement, Phase, Receiver, Sender, SystemModule};
+use heterosvd_repro::heterosvd::pl_modules::{
+    DataArrangement, Phase, Receiver, Sender, SystemModule,
+};
 use heterosvd_repro::heterosvd::{Accelerator, HeteroSvdConfig, Placement};
 use heterosvd_repro::orderings::movement::OrderingKind;
 use heterosvd_repro::orderings::HardwareSchedule;
@@ -66,8 +68,7 @@ fn run_through_modules(a: &Matrix<f64>, k: usize, iterations: usize) -> (Matrix<
                 for &(i, j) in &layer.pairs_by_slot {
                     let (lo, hi) = if i < j { (i, j) } else { (j, i) };
                     let (head, tail) = working.split_at_mut(hi);
-                    let conv =
-                        orthogonalize_pair_gated(&mut head[lo], &mut tail[0], floor) as f64;
+                    let conv = orthogonalize_pair_gated(&mut head[lo], &mut tail[0], floor) as f64;
                     pass_conv = pass_conv.max(conv);
                 }
             }

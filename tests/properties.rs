@@ -139,10 +139,10 @@ proptest! {
     fn accelerator_matches_golden_random(seed in 0_u64..1000) {
         use rand::{Rng, SeedableRng};
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
-        let p_eng = [2usize, 4][rng.gen_range(0..2)];
-        let blocks = rng.gen_range(2..5) * 2;
+        let p_eng = [2usize, 4][rng.gen_range(0..2usize)];
+        let blocks = rng.gen_range(2..5usize) * 2;
         let n = p_eng * blocks;
-        let rows = n + rng.gen_range(0..16);
+        let rows = n + rng.gen_range(0..16usize);
         let a = Matrix::from_fn(rows, n, |_, _| rng.gen_range(-5.0..5.0));
 
         let cfg = HeteroSvdConfig::builder(rows, n)

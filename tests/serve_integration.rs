@@ -1,0 +1,87 @@
+//! End-to-end test of the serving runtime against the golden solver:
+//! many threads submit concurrently, every request completes exactly
+//! once, and each response's singular values match `hestenes_jacobi` on
+//! the request's own matrix.
+
+use heterosvd_repro::serve::{ServeConfig, SvdService};
+use heterosvd_repro::svd_kernels::{hestenes_jacobi, verify, JacobiOptions, Matrix};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+fn request_matrix(i: usize) -> Matrix<f64> {
+    // Mixed valid shapes for P_eng = 2; diagonally dominant so the
+    // factorization is well conditioned.
+    let (rows, cols) = [(8, 8), (12, 8), (16, 12), (12, 12)][i % 4];
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r * 23 + c * 7 + i * 31) % 19) as f64 / 4.0 + if r == c { 6.0 } else { 0.0 }
+    })
+}
+
+#[test]
+fn concurrent_submissions_complete_exactly_once_with_correct_values() {
+    const N: usize = 24;
+    const SUBMITTERS: usize = 6;
+
+    let service = Arc::new(
+        SvdService::start(ServeConfig {
+            workers: 3,
+            queue_capacity: 64,
+            max_batch: 4,
+            max_linger: Duration::from_millis(2),
+            ..ServeConfig::default()
+        })
+        .unwrap(),
+    );
+    let completions = Arc::new(AtomicU64::new(0));
+
+    std::thread::scope(|scope| {
+        for t in 0..SUBMITTERS {
+            let service = Arc::clone(&service);
+            let completions = Arc::clone(&completions);
+            scope.spawn(move || {
+                for i in (t..N).step_by(SUBMITTERS) {
+                    let a = request_matrix(i);
+                    let golden = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+                    // The queue is sized for the burst, but retry on
+                    // backpressure to keep the test honest about the API.
+                    let handle = loop {
+                        match service.try_submit(a.clone()) {
+                            Ok(h) => break h,
+                            Err(heterosvd_repro::serve::ServeError::QueueFull { .. }) => {
+                                std::thread::sleep(Duration::from_micros(200));
+                            }
+                            Err(other) => panic!("admission failed: {other}"),
+                        }
+                    };
+                    let response = handle.wait().expect("request must complete");
+                    // `wait` consumes the handle, so this is the one and
+                    // only delivery; count it for the exactly-once check.
+                    completions.fetch_add(1, Ordering::SeqCst);
+                    let err = verify::singular_value_error(
+                        &golden.sorted_singular_values(),
+                        &response.output.result.sorted_singular_values(),
+                    );
+                    assert!(
+                        err < 1e-3,
+                        "request {i}: singular value error {err} vs golden"
+                    );
+                    assert!(
+                        response.latency.sim_exec_ps > 0,
+                        "request {i} was not charged simulated time"
+                    );
+                }
+            });
+        }
+    });
+
+    assert_eq!(completions.load(Ordering::SeqCst), N as u64);
+    service.shutdown();
+    let m = service.metrics();
+    assert_eq!(m.completed_ok, N as u64, "ledger: {m:?}");
+    assert_eq!(m.failed, 0);
+    assert_eq!(m.cancelled, 0);
+    assert_eq!(m.timed_out, 0);
+    assert_eq!(m.replicas_live, 0);
+    assert!(m.throughput_rps > 0.0);
+}

@@ -67,5 +67,8 @@ fn batch_of_32_distinct_matrices_all_converge() {
         assert!(err < 1e-4, "matrix {i}: error {err}");
     }
     // 32 tasks on 8 pipelines: 4 waves.
-    assert_eq!(sys.0, outs.iter().map(|o| o.timing.task_time.0).max().unwrap() * 4);
+    assert_eq!(
+        sys.0,
+        outs.iter().map(|o| o.timing.task_time.0).max().unwrap() * 4
+    );
 }

@@ -1,0 +1,252 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `criterion`.
+//!
+//! The crates-io mirror is unreachable in this build environment, so the
+//! workspace vendors the benchmark-definition API it uses
+//! (`criterion_group!`/`criterion_main!`, [`Criterion::bench_function`],
+//! benchmark groups, [`BenchmarkId`]) backed by a deliberately small
+//! timing loop: each benchmark runs a short warm-up followed by a fixed
+//! number of timed iterations and prints mean time per iteration.
+//!
+//! This keeps `cargo bench` runnable and the bench targets compiling,
+//! without criterion's statistical machinery. Passing `--test` (as
+//! `cargo test` does for bench targets) runs each benchmark exactly once
+//! as a smoke test.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// How many timed iterations a full measurement performs.
+const MEASURE_ITERS: u32 = 30;
+
+/// The benchmark manager handed to each group function.
+pub struct Criterion {
+    test_mode: bool,
+}
+
+impl Default for Criterion {
+    /// Builds the manager, reading `--test` from the command line.
+    fn default() -> Self {
+        let test_mode = std::env::args().any(|a| a == "--test");
+        Criterion { test_mode }
+    }
+}
+
+impl Criterion {
+    /// Ignored configuration hook (API compatibility).
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Ignored configuration hook (API compatibility).
+    pub fn measurement_time(self, _d: Duration) -> Self {
+        self
+    }
+
+    /// Ignored configuration hook (API compatibility).
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    /// Runs one named benchmark.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(name, self.test_mode, &mut routine);
+        self
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.to_string(),
+            test_mode: self.test_mode,
+            _criterion: self,
+        }
+    }
+}
+
+/// A named set of related benchmarks.
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    test_mode: bool,
+    _criterion: &'a mut Criterion,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Ignored configuration hook (API compatibility).
+    pub fn sample_size(&mut self, _n: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored configuration hook (API compatibility).
+    pub fn measurement_time(&mut self, _d: Duration) -> &mut Self {
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut routine: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.test_mode, &mut |b| routine(b, input));
+        self
+    }
+
+    /// Runs one named benchmark inside the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        let label = format!("{}/{}", self.name, id.label);
+        run_one(&label, self.test_mode, &mut routine);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Identifies one benchmark within a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter.
+    pub fn new(function: impl Into<String>, parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: format!("{}/{}", function.into(), parameter),
+        }
+    }
+
+    /// An id made of the parameter alone.
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+/// The per-benchmark timing handle.
+pub struct Bencher {
+    test_mode: bool,
+    /// Mean time per iteration of the last `iter` call.
+    elapsed: Duration,
+    iters_run: u64,
+}
+
+impl Bencher {
+    /// Times `routine`, running warm-up plus measured iterations (or a
+    /// single iteration in `--test` mode).
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        if self.test_mode {
+            black_box(routine());
+            self.elapsed = Duration::ZERO;
+            self.iters_run = 1;
+            return;
+        }
+        // Warm-up: run until ~10 ms have elapsed (at least once).
+        let warm_start = Instant::now();
+        loop {
+            black_box(routine());
+            if warm_start.elapsed() > Duration::from_millis(10) {
+                break;
+            }
+        }
+        let start = Instant::now();
+        for _ in 0..MEASURE_ITERS {
+            black_box(routine());
+        }
+        self.elapsed = start.elapsed() / MEASURE_ITERS;
+        self.iters_run = u64::from(MEASURE_ITERS);
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, routine: &mut F) {
+    let mut bencher = Bencher {
+        test_mode,
+        elapsed: Duration::ZERO,
+        iters_run: 0,
+    };
+    routine(&mut bencher);
+    if test_mode {
+        println!("test bench {label} ... ok");
+    } else {
+        println!(
+            "{label}: {:?}/iter ({} iters)",
+            bencher.elapsed, bencher.iters_run
+        );
+    }
+}
+
+/// Declares a group of benchmark functions (API-compatible subset).
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+    (name = $group:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $group() {
+            let mut criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the bench binary's `main`, running each group.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_routine() {
+        let mut c = Criterion { test_mode: true };
+        let mut runs = 0u32;
+        c.bench_function("probe", |b| b.iter(|| runs += 1));
+        assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn groups_compose_ids() {
+        let mut c = Criterion { test_mode: true };
+        let mut group = c.benchmark_group("g");
+        let mut hits = 0;
+        group.bench_with_input(BenchmarkId::from_parameter(128), &128usize, |b, &n| {
+            b.iter(|| hits += n)
+        });
+        group.finish();
+        assert_eq!(hits, 128);
+    }
+}

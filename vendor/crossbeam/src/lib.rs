@@ -1,0 +1,113 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! The crates-io mirror is unreachable in this build environment, so the
+//! workspace vendors the API subset it uses: [`scope`]d threads that may
+//! borrow from the enclosing stack frame. The implementation delegates to
+//! `std::thread::scope` (stabilized long after crossbeam pioneered the
+//! pattern) and keeps crossbeam's error-reporting shape: [`scope`] returns
+//! `Err` if a spawned thread panicked without being joined, and joining a
+//! handle returns the panic payload of that one thread.
+
+use std::any::Any;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Result of joining a thread: `Err` carries the panic payload.
+pub type ThreadResult<T> = Result<T, Box<dyn Any + Send + 'static>>;
+
+/// A scope for spawning threads that borrow from the caller's stack.
+pub struct Scope<'scope, 'env: 'scope> {
+    inner: &'scope std::thread::Scope<'scope, 'env>,
+}
+
+/// Handle to a thread spawned in a [`Scope`].
+pub struct ScopedJoinHandle<'scope, T> {
+    inner: std::thread::ScopedJoinHandle<'scope, T>,
+}
+
+impl<'scope, T> ScopedJoinHandle<'scope, T> {
+    /// Waits for the thread to finish; `Err` carries its panic payload.
+    pub fn join(self) -> ThreadResult<T> {
+        self.inner.join()
+    }
+}
+
+impl<'scope, 'env> Scope<'scope, 'env> {
+    /// Spawns a scoped thread. As in crossbeam, the closure receives a
+    /// reference to the scope so it can spawn further threads.
+    pub fn spawn<F, T>(&self, f: F) -> ScopedJoinHandle<'scope, T>
+    where
+        F: for<'a> FnOnce(&'a Scope<'scope, 'env>) -> T + Send + 'scope,
+        T: Send + 'scope,
+    {
+        let inner_scope = self.inner;
+        ScopedJoinHandle {
+            inner: inner_scope.spawn(move || {
+                let scope = Scope { inner: inner_scope };
+                f(&scope)
+            }),
+        }
+    }
+}
+
+/// Creates a scope in which threads borrowing `'env` data can be spawned.
+///
+/// All spawned threads are joined before `scope` returns. Returns `Err`
+/// with the first panic payload if a thread panicked without being joined
+/// (joined panics are reported through [`ScopedJoinHandle::join`] instead).
+pub fn scope<'env, F, R>(f: F) -> ThreadResult<R>
+where
+    F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+{
+    catch_unwind(AssertUnwindSafe(|| {
+        std::thread::scope(|s| {
+            let wrapper = Scope { inner: s };
+            f(&wrapper)
+        })
+    }))
+}
+
+/// `crossbeam::thread` module alias, mirroring the real crate layout.
+pub mod thread {
+    pub use super::{scope, Scope, ScopedJoinHandle};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scoped_threads_borrow_stack_data() {
+        let data = [1u64, 2, 3, 4];
+        let total = scope(|s| {
+            let handles: Vec<_> = data.iter().map(|&x| s.spawn(move |_| x * 10)).collect();
+            handles.into_iter().map(|h| h.join().unwrap()).sum::<u64>()
+        })
+        .unwrap();
+        assert_eq!(total, 100);
+    }
+
+    #[test]
+    fn joined_panics_surface_per_handle() {
+        let result = scope(|s| {
+            let good = s.spawn(|_| 7);
+            let bad = s.spawn(|_| -> i32 { panic!("boom") });
+            (good.join(), bad.join())
+        })
+        .unwrap();
+        assert_eq!(result.0.unwrap(), 7);
+        assert!(result.1.is_err());
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let n = scope(|s| {
+            s.spawn(|inner| inner.spawn(|_| 21).join().unwrap() * 2)
+                .join()
+                .unwrap()
+        })
+        .unwrap();
+        assert_eq!(n, 42);
+    }
+}

@@ -1,0 +1,248 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `proptest`.
+//!
+//! The crates-io mirror is unreachable in this build environment, so the
+//! workspace vendors the property-testing surface it uses: the
+//! [`proptest!`] macro, `prop_assert*` macros, range/tuple/collection
+//! strategies, [`prelude::any`], and `prop::sample::select`.
+//!
+//! Differences from real proptest, deliberately accepted:
+//!
+//! * **No shrinking** — a failing case reports the generated inputs
+//!   verbatim instead of a minimized counterexample.
+//! * **Deterministic seeding** — case `i` of test `t` always runs with a
+//!   seed derived from `(t, i)`, so failures reproduce without a
+//!   persistence file.
+//! * Uniform sampling only (no edge-case biasing).
+
+pub mod strategy;
+pub mod test_runner;
+
+/// Strategy constructors, mirroring proptest's `prop` module layout.
+pub mod prop {
+    /// Collection strategies.
+    pub mod collection {
+        pub use crate::strategy::vec;
+    }
+    /// Sampling strategies.
+    pub mod sample {
+        pub use crate::strategy::select;
+    }
+}
+
+/// `any::<T>()` support.
+pub mod arbitrary {
+    use crate::strategy::{FullRange, Strategy};
+
+    /// Types with a canonical "anything" strategy.
+    pub trait Arbitrary: Sized + std::fmt::Debug {
+        /// The strategy type returned by [`any`].
+        type Strategy: Strategy<Value = Self>;
+        /// The canonical strategy covering the whole domain.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    /// The canonical strategy for `T` (the whole domain, uniform).
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+
+    macro_rules! impl_arbitrary_prim {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                type Strategy = FullRange<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    FullRange::new()
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_prim!(bool, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+}
+
+/// The glob-import surface used by test files.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::prop;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{ProptestConfig, TestCaseError, TestCaseResult};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Defines property tests: each `fn name(arg in strategy, ...) { body }`
+/// becomes a `#[test]` that runs the body over generated inputs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = ($config); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! {
+            config = ($crate::test_runner::ProptestConfig::default());
+            $($rest)*
+        }
+    };
+}
+
+#[macro_export]
+#[doc(hidden)]
+macro_rules! __proptest_impl {
+    (config = ($config:expr); $(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strategy:expr),+ $(,)?) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let __config = $config;
+            $crate::test_runner::run(&__config, stringify!($name), |__rng| {
+                $(let $arg = $crate::strategy::Strategy::generate(&($strategy), __rng);)+
+                let mut __desc = ::std::string::String::new();
+                $(
+                    __desc.push_str(stringify!($arg));
+                    __desc.push_str(" = ");
+                    __desc.push_str(&::std::format!("{:?}; ", $arg));
+                )+
+                let __result = (move || -> $crate::test_runner::TestCaseResult {
+                    $body
+                    ::std::result::Result::Ok(())
+                })();
+                (__desc, __result)
+            });
+        }
+    )*};
+}
+
+/// Asserts a condition inside a property test, failing the case (with its
+/// generated inputs) rather than panicking the whole harness.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::string::String::from(concat!("assertion failed: ", stringify!($cond))),
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!($($fmt)+),
+            ));
+        }
+    };
+}
+
+/// `prop_assert!` for equality, reporting both sides on failure.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (__l, __r) = (&$left, &$right);
+        if !(*__l == *__r) {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "{}\n  left: {:?}\n right: {:?}",
+                    ::std::format!($($fmt)+),
+                    __l,
+                    __r
+                ),
+            ));
+        }
+    }};
+}
+
+/// `prop_assert!` for inequality, reporting the value on failure.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (__l, __r) = (&$left, &$right);
+        if *__l == *__r {
+            return ::std::result::Result::Err($crate::test_runner::TestCaseError::fail(
+                ::std::format!(
+                    "assertion failed: `{} != {}`\n  both: {:?}",
+                    stringify!($left),
+                    stringify!($right),
+                    __l
+                ),
+            ));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn ranges_stay_in_bounds(x in 3usize..17, y in -2.5f64..2.5, b in any::<bool>()) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+            prop_assert!(matches!(b, true | false));
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in prop::collection::vec(0u64..100, 2..8)) {
+            prop_assert!((2..8).contains(&v.len()));
+            prop_assert!(v.iter().all(|&x| x < 100));
+        }
+
+        #[test]
+        fn tuples_and_select(pair in (1u32..5, 10u32..20), pick in prop::sample::select(vec![2usize, 4, 8])) {
+            prop_assert!(pair.0 < 5 && pair.1 >= 10);
+            prop_assert!([2, 4, 8].contains(&pick));
+        }
+
+        #[test]
+        fn prop_map_transforms(n in (0u8..10).prop_map(|v| v * 3)) {
+            prop_assert_eq!(n % 3, 0);
+            prop_assert_ne!(n, 31);
+        }
+    }
+
+    #[test]
+    fn failing_case_reports_inputs() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(&ProptestConfig::with_cases(4), "doomed", |rng| {
+                let x = crate::strategy::Strategy::generate(&(0u64..10), rng);
+                (
+                    format!("x = {x:?}; "),
+                    Err(TestCaseError::fail("always fails".to_string())),
+                )
+            });
+        });
+        let msg = *result.unwrap_err().downcast::<String>().unwrap();
+        assert!(msg.contains("always fails"), "{msg}");
+        assert!(msg.contains("x = "), "{msg}");
+    }
+
+    #[test]
+    fn panics_are_caught_as_failures() {
+        let result = std::panic::catch_unwind(|| {
+            crate::test_runner::run(&ProptestConfig::with_cases(2), "panicky", |_rng| {
+                (String::new(), {
+                    let v: Vec<u8> = vec![];
+                    let _ = v[3];
+                    Ok(())
+                })
+            });
+        });
+        assert!(result.is_err());
+    }
+}

@@ -1,0 +1,115 @@
+//! The case-execution loop: deterministic seeding, panic capture, and
+//! failure reporting.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::panic::{catch_unwind, AssertUnwindSafe};
+
+/// Per-block configuration (`#![proptest_config(...)]`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig { cases: 32 }
+    }
+}
+
+/// Why a case did not pass.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TestCaseError {
+    /// The property was violated.
+    Fail(String),
+    /// The inputs were rejected (not used by the vendored strategies,
+    /// kept for API familiarity).
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// A failure with the given message.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+}
+
+/// Result of one property-test case.
+pub type TestCaseResult = Result<(), TestCaseError>;
+
+/// The RNG handed to strategies. Deterministic: case `i` of test `name`
+/// always sees the same stream.
+#[derive(Debug, Clone)]
+pub struct TestRng {
+    inner: StdRng,
+}
+
+impl TestRng {
+    fn for_case(test_name: &str, case: u32) -> Self {
+        // FNV-1a over the test name, mixed with the case index.
+        let mut h: u64 = 0xcbf29ce484222325;
+        for b in test_name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x100000001b3);
+        }
+        TestRng {
+            inner: StdRng::seed_from_u64(h ^ (u64::from(case) << 32 | 0x9E37)),
+        }
+    }
+
+    /// The underlying generator (used by strategy implementations).
+    pub fn rng(&mut self) -> &mut StdRng {
+        &mut self.inner
+    }
+}
+
+/// Runs `config.cases` generated cases of the closure, which returns a
+/// human-readable description of the generated inputs plus the case
+/// outcome. Panics (failing the enclosing `#[test]`) on the first
+/// violated case, echoing the inputs that triggered it.
+pub fn run<F>(config: &ProptestConfig, test_name: &str, mut case_fn: F)
+where
+    F: FnMut(&mut TestRng) -> (String, TestCaseResult),
+{
+    for case in 0..config.cases {
+        let mut rng = TestRng::for_case(test_name, case);
+        let outcome = catch_unwind(AssertUnwindSafe(|| case_fn(&mut rng)));
+        let (desc, result) = match outcome {
+            Ok(pair) => pair,
+            Err(payload) => {
+                let msg = payload
+                    .downcast_ref::<String>()
+                    .map(String::as_str)
+                    .or_else(|| payload.downcast_ref::<&str>().copied())
+                    .unwrap_or("<non-string panic payload>");
+                panic!(
+                    "proptest `{test_name}` case {case}/{} panicked: {msg}",
+                    config.cases
+                );
+            }
+        };
+        match result {
+            Ok(()) => {}
+            Err(TestCaseError::Fail(msg)) => {
+                panic!(
+                    "proptest `{test_name}` case {case}/{} failed: {msg}\n  inputs: {desc}",
+                    config.cases
+                );
+            }
+            Err(TestCaseError::Reject(msg)) => {
+                panic!(
+                    "proptest `{test_name}` case {case}/{} rejected its inputs: {msg}",
+                    config.cases
+                );
+            }
+        }
+    }
+}

@@ -1,0 +1,576 @@
+#![warn(missing_docs)]
+
+//! Offline stand-in for `serde`.
+//!
+//! The crates-io mirror is unreachable in this build environment, so the
+//! workspace vendors a simplified serialization framework with the same
+//! surface the code actually uses: `#[derive(Serialize, Deserialize)]`
+//! plus `serde_json::{to_string, to_string_pretty, from_str}`.
+//!
+//! Instead of real serde's visitor-based zero-copy data model, this crate
+//! serializes through an owned [`Value`] tree (the JSON object model):
+//! [`Serialize`] renders a value into a [`Value`], [`Deserialize`] parses
+//! one back. That is a strict simplification — adequate for the report
+//! files and snapshots this workspace emits, not for streaming or
+//! non-self-describing formats.
+
+// Let the derive macros' `::serde::` paths resolve inside this crate's
+// own tests (the same trick real serde uses).
+extern crate self as serde;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+use std::collections::{BTreeMap, HashMap};
+use std::fmt;
+
+/// A self-describing data value (the JSON object model).
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent / unit.
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// Signed integer.
+    Int(i64),
+    /// Unsigned integer (kept separate to round-trip `u64::MAX`).
+    UInt(u64),
+    /// Floating-point number.
+    Float(f64),
+    /// String.
+    Str(String),
+    /// Ordered sequence.
+    Seq(Vec<Value>),
+    /// Key-value map, preserving insertion order.
+    Map(Vec<(String, Value)>),
+}
+
+impl Value {
+    /// The value as a map, if it is one.
+    pub fn as_map(&self) -> Option<&[(String, Value)]> {
+        match self {
+            Value::Map(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as a sequence, if it is one.
+    pub fn as_seq(&self) -> Option<&[Value]> {
+        match self {
+            Value::Seq(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Value::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as an `f64`, coercing from any numeric variant.
+    pub fn as_f64(&self) -> Option<f64> {
+        match *self {
+            Value::Int(v) => Some(v as f64),
+            Value::UInt(v) => Some(v as f64),
+            Value::Float(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an `i64`, coercing from exactly-representable numbers.
+    pub fn as_i64(&self) -> Option<i64> {
+        match *self {
+            Value::Int(v) => Some(v),
+            Value::UInt(v) => i64::try_from(v).ok(),
+            Value::Float(v) if v.fract() == 0.0 && v.abs() < 2f64.powi(63) => Some(v as i64),
+            _ => None,
+        }
+    }
+
+    /// The value as a `u64`, coercing from exactly-representable numbers.
+    pub fn as_u64(&self) -> Option<u64> {
+        match *self {
+            Value::UInt(v) => Some(v),
+            Value::Int(v) => u64::try_from(v).ok(),
+            Value::Float(v) if v.fract() == 0.0 && (0.0..2f64.powi(64)).contains(&v) => {
+                Some(v as u64)
+            }
+            _ => None,
+        }
+    }
+}
+
+/// A deserialization error.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeError(String);
+
+impl DeError {
+    /// A free-form error.
+    pub fn custom(msg: impl Into<String>) -> Self {
+        DeError(msg.into())
+    }
+
+    /// "expected X while deserializing Y".
+    pub fn expected(what: &str, ty: &str) -> Self {
+        DeError(format!("expected {what} while deserializing {ty}"))
+    }
+
+    /// A missing map key.
+    pub fn missing_field(ty: &str, field: &str) -> Self {
+        DeError(format!("missing field `{field}` while deserializing {ty}"))
+    }
+
+    /// An unknown enum variant string.
+    pub fn unknown_variant(ty: &str, variant: &str) -> Self {
+        DeError(format!("unknown {ty} variant `{variant}`"))
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// Looks up a derive-generated struct field in a deserialized map.
+pub fn get_field<'v>(map: &'v [(String, Value)], name: &str) -> Result<&'v Value, DeError> {
+    map.iter()
+        .find(|(k, _)| k == name)
+        .map(|(_, v)| v)
+        .ok_or_else(|| DeError::missing_field("struct", name))
+}
+
+/// Types renderable into a [`Value`].
+pub trait Serialize {
+    /// Renders `self` into the value tree.
+    fn serialize(&self) -> Value;
+}
+
+/// Types parseable from a [`Value`].
+pub trait Deserialize: Sized {
+    /// Parses an instance from the value tree.
+    fn deserialize(value: &Value) -> Result<Self, DeError>;
+}
+
+// ---- primitive impls --------------------------------------------------
+
+macro_rules! impl_int {
+    ($($t:ty => $variant:ident as $as:ty),*) => {$(
+        impl Serialize for $t {
+            fn serialize(&self) -> Value {
+                Value::$variant(*self as $as)
+            }
+        }
+        impl Deserialize for $t {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let wide = value
+                    .as_i64()
+                    .map(|v| v as i128)
+                    .or_else(|| value.as_u64().map(|v| v as i128))
+                    .ok_or_else(|| DeError::expected("integer", stringify!($t)))?;
+                <$t>::try_from(wide)
+                    .map_err(|_| DeError::expected(concat!("in-range ", stringify!($t)), stringify!($t)))
+            }
+        }
+    )*};
+}
+
+impl_int!(
+    u8 => UInt as u64, u16 => UInt as u64, u32 => UInt as u64,
+    u64 => UInt as u64, usize => UInt as u64,
+    i8 => Int as i64, i16 => Int as i64, i32 => Int as i64,
+    i64 => Int as i64, isize => Int as i64
+);
+
+impl Serialize for f64 {
+    fn serialize(&self) -> Value {
+        Value::Float(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .ok_or_else(|| DeError::expected("number", "f64"))
+    }
+}
+
+impl Serialize for f32 {
+    fn serialize(&self) -> Value {
+        Value::Float(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_f64()
+            .map(|v| v as f32)
+            .ok_or_else(|| DeError::expected("number", "f32"))
+    }
+}
+
+impl Serialize for bool {
+    fn serialize(&self) -> Value {
+        Value::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Bool(b) => Ok(*b),
+            _ => Err(DeError::expected("bool", "bool")),
+        }
+    }
+}
+
+impl Serialize for String {
+    fn serialize(&self) -> Value {
+        Value::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_str()
+            .map(str::to_string)
+            .ok_or_else(|| DeError::expected("string", "String"))
+    }
+}
+
+impl Serialize for str {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn serialize(&self) -> Value {
+        Value::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        let s = value
+            .as_str()
+            .ok_or_else(|| DeError::expected("string", "char"))?;
+        let mut chars = s.chars();
+        match (chars.next(), chars.next()) {
+            (Some(c), None) => Ok(c),
+            _ => Err(DeError::expected("single-character string", "char")),
+        }
+    }
+}
+
+impl Serialize for () {
+    fn serialize(&self) -> Value {
+        Value::Null
+    }
+}
+
+impl Deserialize for () {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(()),
+            _ => Err(DeError::expected("null", "()")),
+        }
+    }
+}
+
+// ---- containers -------------------------------------------------------
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Serialize> Serialize for Box<T> {
+    fn serialize(&self) -> Value {
+        (**self).serialize()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        T::deserialize(value).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn serialize(&self) -> Value {
+        match self {
+            Some(v) => v.serialize(),
+            None => Value::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        match value {
+            Value::Null => Ok(None),
+            other => T::deserialize(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_seq()
+            .ok_or_else(|| DeError::expected("sequence", "Vec"))?
+            .iter()
+            .map(T::deserialize)
+            .collect()
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn serialize(&self) -> Value {
+        Value::Seq(self.iter().map(Serialize::serialize).collect())
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+)),*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn serialize(&self) -> Value {
+                Value::Seq(vec![$(self.$idx.serialize()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn deserialize(value: &Value) -> Result<Self, DeError> {
+                let seq = value.as_seq().ok_or_else(|| DeError::expected("sequence", "tuple"))?;
+                let expected = [$($idx),+].len();
+                if seq.len() != expected {
+                    return Err(DeError::expected("tuple-length sequence", "tuple"));
+                }
+                Ok(($($name::deserialize(&seq[$idx])?,)+))
+            }
+        }
+    )*};
+}
+
+impl_tuple!(
+    (A: 0),
+    (A: 0, B: 1),
+    (A: 0, B: 1, C: 2),
+    (A: 0, B: 1, C: 2, D: 3)
+);
+
+/// Map keys serializable as JSON object keys.
+pub trait MapKey: Sized {
+    /// Renders the key as a string.
+    fn to_key(&self) -> String;
+    /// Parses the key back from a string.
+    fn from_key(key: &str) -> Result<Self, DeError>;
+}
+
+impl MapKey for String {
+    fn to_key(&self) -> String {
+        self.clone()
+    }
+    fn from_key(key: &str) -> Result<Self, DeError> {
+        Ok(key.to_string())
+    }
+}
+
+macro_rules! impl_map_key_int {
+    ($($t:ty),*) => {$(
+        impl MapKey for $t {
+            fn to_key(&self) -> String {
+                self.to_string()
+            }
+            fn from_key(key: &str) -> Result<Self, DeError> {
+                key.parse().map_err(|_| DeError::expected("integer key", stringify!($t)))
+            }
+        }
+    )*};
+}
+impl_map_key_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<K: MapKey, V: Serialize, S> Serialize for HashMap<K, V, S> {
+    fn serialize(&self) -> Value {
+        let mut entries: Vec<(String, Value)> = self
+            .iter()
+            .map(|(k, v)| (k.to_key(), v.serialize()))
+            .collect();
+        // HashMap iteration order is unstable; sort for deterministic output.
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Value::Map(entries)
+    }
+}
+
+impl<K: MapKey + Eq + std::hash::Hash, V: Deserialize, S: std::hash::BuildHasher + Default>
+    Deserialize for HashMap<K, V, S>
+{
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "HashMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl<K: MapKey, V: Serialize> Serialize for BTreeMap<K, V> {
+    fn serialize(&self) -> Value {
+        Value::Map(
+            self.iter()
+                .map(|(k, v)| (k.to_key(), v.serialize()))
+                .collect(),
+        )
+    }
+}
+
+impl<K: MapKey + Ord, V: Deserialize> Deserialize for BTreeMap<K, V> {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        value
+            .as_map()
+            .ok_or_else(|| DeError::expected("map", "BTreeMap"))?
+            .iter()
+            .map(|(k, v)| Ok((K::from_key(k)?, V::deserialize(v)?)))
+            .collect()
+    }
+}
+
+impl Serialize for Value {
+    fn serialize(&self) -> Value {
+        self.clone()
+    }
+}
+
+impl Deserialize for Value {
+    fn deserialize(value: &Value) -> Result<Self, DeError> {
+        Ok(value.clone())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Named {
+        count: usize,
+        ratio: f64,
+        label: String,
+        flags: Vec<bool>,
+        nested: Option<Inner>,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Inner {
+        id: u16,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct NewType(u64);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Pair(i32, i32);
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    enum Mode {
+        Fast,
+        Slow,
+    }
+
+    #[derive(Debug, PartialEq, Serialize, Deserialize)]
+    struct Generic<T> {
+        inner: Vec<T>,
+    }
+
+    fn round_trip<T: Serialize + Deserialize + PartialEq + std::fmt::Debug>(v: T) {
+        let value = v.serialize();
+        let back = T::deserialize(&value).unwrap();
+        assert_eq!(v, back);
+    }
+
+    #[test]
+    fn named_struct_round_trips() {
+        round_trip(Named {
+            count: 3,
+            ratio: 0.25,
+            label: "hi".into(),
+            flags: vec![true, false],
+            nested: Some(Inner { id: 9 }),
+        });
+        round_trip(Named {
+            count: 0,
+            ratio: -1.5,
+            label: String::new(),
+            flags: vec![],
+            nested: None,
+        });
+    }
+
+    #[test]
+    fn newtype_serializes_transparently() {
+        assert_eq!(NewType(7).serialize(), Value::UInt(7));
+        round_trip(NewType(u64::MAX));
+        assert_eq!(
+            Pair(1, -2).serialize(),
+            Value::Seq(vec![Value::Int(1), Value::Int(-2)])
+        );
+        round_trip(Pair(-3, 4));
+    }
+
+    #[test]
+    fn unit_enums_are_strings() {
+        assert_eq!(Mode::Fast.serialize(), Value::Str("Fast".into()));
+        round_trip(Mode::Slow);
+        assert!(Mode::deserialize(&Value::Str("Medium".into())).is_err());
+    }
+
+    #[test]
+    fn generics_and_maps_round_trip() {
+        round_trip(Generic {
+            inner: vec![1u32, 2, 3],
+        });
+        let mut m = HashMap::new();
+        m.insert(5u16, vec![1.0f64, 2.0]);
+        m.insert(2u16, vec![]);
+        let v = m.serialize();
+        // Deterministic (sorted) key order.
+        assert_eq!(
+            v.as_map()
+                .unwrap()
+                .iter()
+                .map(|(k, _)| k.as_str())
+                .collect::<Vec<_>>(),
+            vec!["2", "5"]
+        );
+        let back: HashMap<u16, Vec<f64>> = HashMap::deserialize(&v).unwrap();
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn integer_range_checks() {
+        assert!(u8::deserialize(&Value::UInt(300)).is_err());
+        assert_eq!(i64::deserialize(&Value::UInt(5)).unwrap(), 5);
+        assert!(u32::deserialize(&Value::Int(-1)).is_err());
+    }
+}

@@ -1,0 +1,444 @@
+//! Offline stand-in for `serde_derive`.
+//!
+//! The crates-io mirror is unreachable in this build environment, so the
+//! workspace vendors its own serde (see `vendor/serde`): a simplified,
+//! JSON-oriented data model where `Serialize` renders to `serde::Value`
+//! and `Deserialize` parses from it. These derives generate those impls.
+//!
+//! Because `syn`/`quote` are equally unavailable, the item is parsed
+//! directly from the `proc_macro` token stream. Supported shapes — which
+//! cover every derived type in this workspace — are:
+//!
+//! * structs with named fields (including type generics),
+//! * tuple structs (newtypes serialize transparently, wider tuples as
+//!   sequences),
+//! * unit structs, and
+//! * enums whose variants are all unit variants (serialized as strings).
+//!
+//! `#[serde(...)]` attributes are not supported and produce a compile
+//! error rather than being silently ignored.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+/// Derives `serde::Serialize` (the vendored, value-based trait).
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Serialize)
+}
+
+/// Derives `serde::Deserialize` (the vendored, value-based trait).
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    expand(input, Mode::Deserialize)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Mode {
+    Serialize,
+    Deserialize,
+}
+
+enum Kind {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+    Enum(Vec<String>),
+}
+
+struct Item {
+    name: String,
+    generics: Vec<String>,
+    kind: Kind,
+}
+
+fn expand(input: TokenStream, mode: Mode) -> TokenStream {
+    match parse_item(input) {
+        Ok(item) => {
+            let code = match mode {
+                Mode::Serialize => gen_serialize(&item),
+                Mode::Deserialize => gen_deserialize(&item),
+            };
+            code.parse().expect("generated impl must parse")
+        }
+        Err(msg) => format!("compile_error!({msg:?});")
+            .parse()
+            .expect("compile_error must parse"),
+    }
+}
+
+fn parse_item(input: TokenStream) -> Result<Item, String> {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let mut i = 0;
+
+    skip_attrs_and_vis(&tokens, &mut i)?;
+
+    let item_kw = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected `struct` or `enum`, got {other:?}")),
+    };
+    i += 1;
+    if item_kw != "struct" && item_kw != "enum" {
+        return Err(format!("cannot derive serde traits for `{item_kw}` items"));
+    }
+
+    let name = match tokens.get(i) {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => return Err(format!("expected item name, got {other:?}")),
+    };
+    i += 1;
+
+    let generics = parse_generics(&tokens, &mut i)?;
+
+    // Skip anything (e.g. a `where` clause) up to the body or `;`.
+    loop {
+        match tokens.get(i) {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                let kind = if item_kw == "enum" {
+                    parse_enum_body(g.stream())?
+                } else {
+                    parse_named_body(g.stream())?
+                };
+                return Ok(Item {
+                    name,
+                    generics,
+                    kind,
+                });
+            }
+            Some(TokenTree::Group(g))
+                if g.delimiter() == Delimiter::Parenthesis && item_kw == "struct" =>
+            {
+                let arity = count_tuple_fields(g.stream());
+                return Ok(Item {
+                    name,
+                    generics,
+                    kind: Kind::Tuple(arity),
+                });
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => {
+                return Ok(Item {
+                    name,
+                    generics,
+                    kind: Kind::Unit,
+                });
+            }
+            Some(_) => i += 1,
+            None => return Err("unexpected end of item".into()),
+        }
+    }
+}
+
+/// Skips `#[...]` / `#![...]` attributes and a `pub`/`pub(...)` visibility.
+fn skip_attrs_and_vis(tokens: &[TokenTree], i: &mut usize) -> Result<(), String> {
+    loop {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == '#' => {
+                *i += 1;
+                if let Some(TokenTree::Punct(p)) = tokens.get(*i) {
+                    if p.as_char() == '!' {
+                        *i += 1;
+                    }
+                }
+                match tokens.get(*i) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Bracket => {
+                        if g.stream().to_string().starts_with("serde") {
+                            return Err(
+                                "the vendored serde derive does not support #[serde(...)] \
+                                 attributes"
+                                    .into(),
+                            );
+                        }
+                        *i += 1;
+                    }
+                    other => return Err(format!("malformed attribute: {other:?}")),
+                }
+            }
+            Some(TokenTree::Ident(id)) if id.to_string() == "pub" => {
+                *i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(*i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        *i += 1;
+                    }
+                }
+            }
+            _ => return Ok(()),
+        }
+    }
+}
+
+/// Parses `<...>` after the item name, returning type-parameter idents.
+fn parse_generics(tokens: &[TokenTree], i: &mut usize) -> Result<Vec<String>, String> {
+    match tokens.get(*i) {
+        Some(TokenTree::Punct(p)) if p.as_char() == '<' => {}
+        _ => return Ok(Vec::new()),
+    }
+    *i += 1;
+    let mut depth = 1usize;
+    let mut params = Vec::new();
+    let mut at_param_start = true;
+    while depth > 0 {
+        match tokens.get(*i) {
+            Some(TokenTree::Punct(p)) => match p.as_char() {
+                '<' => {
+                    depth += 1;
+                    *i += 1;
+                }
+                '>' => {
+                    depth -= 1;
+                    *i += 1;
+                }
+                ',' => {
+                    if depth == 1 {
+                        at_param_start = true;
+                    }
+                    *i += 1;
+                }
+                '\'' => {
+                    // Lifetime: consume the quote and its ident.
+                    at_param_start = false;
+                    *i += 2;
+                }
+                _ => {
+                    at_param_start = false;
+                    *i += 1;
+                }
+            },
+            Some(TokenTree::Ident(id)) => {
+                let text = id.to_string();
+                if depth == 1 && at_param_start && text != "const" {
+                    params.push(text);
+                }
+                at_param_start = false;
+                *i += 1;
+            }
+            Some(_) => {
+                at_param_start = false;
+                *i += 1;
+            }
+            None => return Err("unterminated generics".into()),
+        }
+    }
+    Ok(params)
+}
+
+/// Parses `{ field: Type, ... }` returning field names in order.
+fn parse_named_body(body: TokenStream) -> Result<Kind, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut fields = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let field = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected field name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Punct(p)) if p.as_char() == ':' => i += 1,
+            other => return Err(format!("expected `:` after field `{field}`, got {other:?}")),
+        }
+        fields.push(field);
+        // Skip the type up to the next top-level comma.
+        let mut angle = 0i32;
+        while let Some(tok) = tokens.get(i) {
+            match tok {
+                TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+                TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+                TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => {
+                    i += 1;
+                    break;
+                }
+                _ => {}
+            }
+            i += 1;
+        }
+    }
+    Ok(Kind::Named(fields))
+}
+
+/// Counts fields of a tuple struct body `(Type, Type, ...)`.
+fn count_tuple_fields(body: TokenStream) -> usize {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    if tokens.is_empty() {
+        return 0;
+    }
+    let mut angle = 0i32;
+    let mut count = 1;
+    for tok in &tokens {
+        match tok {
+            TokenTree::Punct(p) if p.as_char() == '<' => angle += 1,
+            TokenTree::Punct(p) if p.as_char() == '>' => angle -= 1,
+            TokenTree::Punct(p) if p.as_char() == ',' && angle == 0 => count += 1,
+            _ => {}
+        }
+    }
+    // A trailing comma does not introduce a field.
+    if matches!(tokens.last(), Some(TokenTree::Punct(p)) if p.as_char() == ',') && angle == 0 {
+        count -= 1;
+    }
+    count
+}
+
+/// Parses an enum body, requiring every variant to be a unit variant.
+fn parse_enum_body(body: TokenStream) -> Result<Kind, String> {
+    let tokens: Vec<TokenTree> = body.into_iter().collect();
+    let mut i = 0;
+    let mut variants = Vec::new();
+    while i < tokens.len() {
+        skip_attrs_and_vis(&tokens, &mut i)?;
+        if i >= tokens.len() {
+            break;
+        }
+        let variant = match tokens.get(i) {
+            Some(TokenTree::Ident(id)) => id.to_string(),
+            other => return Err(format!("expected variant name, got {other:?}")),
+        };
+        i += 1;
+        match tokens.get(i) {
+            Some(TokenTree::Group(_)) => {
+                return Err(format!(
+                    "the vendored serde derive only supports unit enum variants; \
+                     variant `{variant}` carries data"
+                ));
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ',' => i += 1,
+            Some(TokenTree::Punct(p)) if p.as_char() == '=' => {
+                // Explicit discriminant: skip to the next comma.
+                while let Some(tok) = tokens.get(i) {
+                    i += 1;
+                    if matches!(tok, TokenTree::Punct(p) if p.as_char() == ',') {
+                        break;
+                    }
+                }
+            }
+            None => {}
+            other => return Err(format!("unexpected token in enum body: {other:?}")),
+        }
+        variants.push(variant);
+    }
+    Ok(Kind::Enum(variants))
+}
+
+/// `impl<...> Trait for Name<...>` header pieces for the item's generics.
+fn impl_header(item: &Item, bound: &str) -> (String, String) {
+    if item.generics.is_empty() {
+        (String::new(), item.name.clone())
+    } else {
+        let bounds: Vec<String> = item
+            .generics
+            .iter()
+            .map(|g| format!("{g}: {bound}"))
+            .collect();
+        (
+            format!("<{}>", bounds.join(", ")),
+            format!("{}<{}>", item.name, item.generics.join(", ")),
+        )
+    }
+}
+
+fn gen_serialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Serialize");
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "(::std::string::String::from({f:?}), \
+                         ::serde::Serialize::serialize(&self.{f}))"
+                    )
+                })
+                .collect();
+            format!("::serde::Value::Map(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Tuple(1) => "::serde::Serialize::serialize(&self.0)".to_string(),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Serialize::serialize(&self.{idx})"))
+                .collect();
+            format!("::serde::Value::Seq(::std::vec![{}])", entries.join(", "))
+        }
+        Kind::Unit => "::serde::Value::Null".to_string(),
+        Kind::Enum(variants) => {
+            let name = &item.name;
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    format!(
+                        "{name}::{v} => ::serde::Value::Str(::std::string::String::from({v:?}))"
+                    )
+                })
+                .collect();
+            format!("match self {{ {} }}", arms.join(", "))
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Serialize for {ty} {{\n\
+             fn serialize(&self) -> ::serde::Value {{ {body} }}\n\
+         }}"
+    )
+}
+
+fn gen_deserialize(item: &Item) -> String {
+    let (impl_generics, ty) = impl_header(item, "::serde::Deserialize");
+    let name = &item.name;
+    let body = match &item.kind {
+        Kind::Named(fields) => {
+            let entries: Vec<String> = fields
+                .iter()
+                .map(|f| {
+                    format!(
+                        "{f}: ::serde::Deserialize::deserialize(\
+                         ::serde::get_field(__map, {f:?})?)?"
+                    )
+                })
+                .collect();
+            format!(
+                "let __map = __value.as_map().ok_or_else(|| \
+                 ::serde::DeError::expected(\"map\", {name:?}))?;\n\
+                 ::std::result::Result::Ok({name} {{ {} }})",
+                entries.join(", ")
+            )
+        }
+        Kind::Tuple(1) => format!(
+            "::std::result::Result::Ok({name}(::serde::Deserialize::deserialize(__value)?))"
+        ),
+        Kind::Tuple(n) => {
+            let entries: Vec<String> = (0..*n)
+                .map(|idx| format!("::serde::Deserialize::deserialize(&__seq[{idx}])?"))
+                .collect();
+            format!(
+                "let __seq = __value.as_seq().ok_or_else(|| \
+                 ::serde::DeError::expected(\"sequence\", {name:?}))?;\n\
+                 if __seq.len() != {n} {{ return ::std::result::Result::Err(\
+                 ::serde::DeError::expected(\"{n}-element sequence\", {name:?})); }}\n\
+                 ::std::result::Result::Ok({name}({}))",
+                entries.join(", ")
+            )
+        }
+        Kind::Unit => format!("::std::result::Result::Ok({name})"),
+        Kind::Enum(variants) => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| format!("{v:?} => ::std::result::Result::Ok({name}::{v})"))
+                .collect();
+            format!(
+                "let __s = __value.as_str().ok_or_else(|| \
+                 ::serde::DeError::expected(\"string\", {name:?}))?;\n\
+                 match __s {{ {}, __other => ::std::result::Result::Err(\
+                 ::serde::DeError::unknown_variant({name:?}, __other)) }}",
+                arms.join(", ")
+            )
+        }
+    };
+    format!(
+        "#[automatically_derived]\n\
+         impl{impl_generics} ::serde::Deserialize for {ty} {{\n\
+             fn deserialize(__value: &::serde::Value) \
+             -> ::std::result::Result<Self, ::serde::DeError> {{ {body} }}\n\
+         }}"
+    )
+}
