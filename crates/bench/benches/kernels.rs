@@ -4,7 +4,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use std::hint::black_box;
-use svd_kernels::rotation::{column_products, compute_rotation, orthogonalize_pair};
+use svd_kernels::rotation::{
+    column_products, column_products_scalar, compute_rotation, orthogonalize_pair,
+    orthogonalize_pair_gated, orthogonalize_pair_gated_scalar,
+};
 
 fn bench_orthogonalize_pair(c: &mut Criterion) {
     let mut group = c.benchmark_group("orthogonalize_pair");
@@ -46,10 +49,49 @@ fn bench_column_products(c: &mut Criterion) {
     group.finish();
 }
 
+fn bench_column_products_f32_chunked_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("column_products_f32");
+    for m in [256usize, 1024] {
+        let x: Vec<f32> = (0..m).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..m).map(|i| (i as f32 * 0.73).cos()).collect();
+        group.bench_with_input(BenchmarkId::new("chunked", m), &m, |b, _| {
+            b.iter(|| black_box(column_products(&x, &y)))
+        });
+        group.bench_with_input(BenchmarkId::new("scalar", m), &m, |b, _| {
+            b.iter(|| black_box(column_products_scalar(&x, &y)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_orthogonalize_f32_chunked_vs_scalar(c: &mut Criterion) {
+    let mut group = c.benchmark_group("orthogonalize_pair_f32");
+    let m = 256usize;
+    let x: Vec<f32> = (0..m).map(|i| (i as f32 * 0.37).sin()).collect();
+    let y: Vec<f32> = (0..m).map(|i| (i as f32 * 0.73).cos()).collect();
+    group.bench_function("chunked", |b| {
+        b.iter(|| {
+            let mut xs = x.clone();
+            let mut ys = y.clone();
+            black_box(orthogonalize_pair_gated(&mut xs, &mut ys, 0.0))
+        })
+    });
+    group.bench_function("scalar", |b| {
+        b.iter(|| {
+            let mut xs = x.clone();
+            let mut ys = y.clone();
+            black_box(orthogonalize_pair_gated_scalar(&mut xs, &mut ys, 0.0))
+        })
+    });
+    group.finish();
+}
+
 criterion_group!(
     benches,
     bench_orthogonalize_pair,
     bench_rotation_factors,
-    bench_column_products
+    bench_column_products,
+    bench_column_products_f32_chunked_vs_scalar,
+    bench_orthogonalize_f32_chunked_vs_scalar
 );
 criterion_main!(benches);

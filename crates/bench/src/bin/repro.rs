@@ -11,10 +11,16 @@
 //! as JSON for downstream plotting.
 
 use heterosvd_bench::experiments::{
-    ablation, accuracy, convergence, devices, dse_report, fig3, fig9, scalability, table2, table3,
-    table4, table5, table6,
+    ablation, accuracy, convergence, devices, dse_report, fig3, fig9, hotpath, scalability, table2,
+    table3, table4, table5, table6,
 };
 use std::sync::OnceLock;
+
+/// Counting allocator so the `hotpath` experiment can report heap
+/// allocations per pass (pure counting; delegates to the system
+/// allocator).
+#[global_allocator]
+static ALLOC: hotpath::CountingAllocator = hotpath::CountingAllocator::new();
 
 static OUT_DIR: OnceLock<Option<String>> = OnceLock::new();
 
@@ -126,6 +132,65 @@ fn main() {
     }
     if want("accuracy") {
         run_accuracy(quick);
+    }
+    if want("hotpath") {
+        run_hotpath(quick);
+    }
+}
+
+fn run_hotpath(quick: bool) {
+    println!(
+        "\n=== Hot path: orthogonalization sweep, baseline vs optimized (256x256, P_eng=4) ==="
+    );
+    let sweeps = if quick { 2 } else { 5 };
+    let report = match hotpath::run(256, 4, sweeps, &|| ALLOC.count()) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("hotpath failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>20} | {:>12} {:>12} {:>12} {:>8} | {:>18}",
+        "variant", "ns/pass", "sweeps/s", "allocs/pass", "workers", "checksum"
+    );
+    for r in &report.results {
+        println!(
+            "{:>20} | {:>12.0} {:>12.3} {:>12.2} {:>8} | {:>18.6}",
+            r.variant,
+            r.ns_per_pass,
+            r.sweeps_per_sec,
+            r.allocations_per_pass,
+            r.workers,
+            r.checksum
+        );
+    }
+    println!(
+        "speedup vs baseline: {:.2}x serial, {:.2}x parallel ({} passes/sweep, {} measured sweeps)",
+        report.speedup_serial,
+        report.speedup_parallel,
+        report.passes_per_sweep,
+        report.measured_sweeps
+    );
+    persist("hotpath", &report);
+
+    // The emitter proper: BENCH_hotpath.json at the repo root seeds the
+    // perf trajectory regardless of `--out`.
+    let path = std::env::var("BENCH_HOTPATH_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_hotpath.json").to_string()
+    });
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize hotpath report: {e}");
+            std::process::exit(1);
+        }
     }
 }
 

@@ -7,6 +7,7 @@ pub mod devices;
 pub mod dse_report;
 pub mod fig3;
 pub mod fig9;
+pub mod hotpath;
 pub mod scalability;
 pub mod table2;
 pub mod table3;

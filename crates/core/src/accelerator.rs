@@ -4,13 +4,16 @@ use crate::config::{FidelityMode, HeteroSvdConfig};
 use crate::norm_pipeline::run_norm_stage;
 use crate::orth_pipeline::OrthPipeline;
 use crate::placement::Placement;
+use crate::plan_cache::{self, PlanHandle};
 use crate::timing::TimingBreakdown;
 use crate::HeteroSvdError;
 use aie_sim::ddr::DdrModel;
 use aie_sim::resources::ResourceUsage;
 use aie_sim::stats::SimStats;
 use aie_sim::time::TimePs;
+use std::sync::Arc;
 use svd_kernels::jacobi::{SvdResult, SweepStats};
+use svd_kernels::parallel::{with_pool, RotationPool};
 use svd_kernels::{Matrix, SvdError};
 
 /// Everything one accelerator run produces.
@@ -38,21 +41,25 @@ pub struct HeteroSvdOutput {
 #[derive(Debug, Clone)]
 pub struct Accelerator {
     config: HeteroSvdConfig,
-    placement: Placement,
+    /// The immutable plan, shared through the process-wide cache:
+    /// cloning an accelerator (one per serving replica) shares the plan
+    /// instead of re-running placement.
+    plan: Arc<PlanHandle>,
 }
 
 impl Accelerator {
-    /// Builds an accelerator, planning its placement and checking the
-    /// target device's resource budgets (Eq. 16).
+    /// Builds an accelerator, planning its placement (or reusing a
+    /// cached plan of the same design) and checking the target device's
+    /// resource budgets (Eq. 16).
     ///
     /// # Errors
     ///
     /// Returns [`HeteroSvdError::Infeasible`] when the placement does not
     /// fit tile memory or the design exceeds a resource budget.
     pub fn new(config: HeteroSvdConfig) -> Result<Self, HeteroSvdError> {
-        let placement = Placement::plan(&config)?;
-        config.device.budget.check(&placement.usage())?;
-        Ok(Accelerator { config, placement })
+        let plan = plan_cache::global().get_or_build(&config)?;
+        config.device.budget.check(&plan.placement.usage())?;
+        Ok(Accelerator { config, plan })
     }
 
     /// The validated configuration.
@@ -62,7 +69,12 @@ impl Accelerator {
 
     /// The planned placement.
     pub fn placement(&self) -> &Placement {
-        &self.placement
+        &self.plan.placement
+    }
+
+    /// The shared plan (placement, schedule, calibrated models).
+    pub fn plan(&self) -> &Arc<PlanHandle> {
+        &self.plan
     }
 
     /// Factorizes `a` (shape must match the configuration).
@@ -74,26 +86,50 @@ impl Accelerator {
     ///   iteration fails to converge within `max_iterations` (adaptive
     ///   mode only).
     pub fn run(&self, a: &Matrix<f64>) -> Result<HeteroSvdOutput, HeteroSvdError> {
-        self.run_f32(&a.cast::<f32>())
+        // The f32 cast is already a fresh working copy — hand it
+        // straight to the pipeline instead of cloning a second time.
+        self.run_owned(a.cast::<f32>())
     }
 
     /// [`Accelerator::run`] for an `f32` input (the device's native type).
     pub fn run_f32(&self, a: &Matrix<f32>) -> Result<HeteroSvdOutput, HeteroSvdError> {
+        self.run_owned(a.clone())
+    }
+
+    /// Core driver: consumes the working copy `b` directly (no second
+    /// buffer), parallelizing functional rotations per the configured
+    /// [`HeteroSvdConfig::functional_parallelism`].
+    fn run_owned(&self, b: Matrix<f32>) -> Result<HeteroSvdOutput, HeteroSvdError> {
         let cfg = &self.config;
-        if a.rows() != cfg.rows || a.cols() != cfg.cols {
+        if b.rows() != cfg.rows || b.cols() != cfg.cols {
             return Err(HeteroSvdError::InvalidConfig(format!(
                 "matrix is {}x{} but the accelerator was configured for {}x{}",
-                a.rows(),
-                a.cols(),
+                b.rows(),
+                b.cols(),
                 cfg.rows,
                 cfg.cols
             )));
         }
-        if cfg.fidelity == FidelityMode::Functional && !a.is_finite() {
+        if cfg.fidelity == FidelityMode::Functional && !b.is_finite() {
             return Err(HeteroSvdError::Numeric(SvdError::NonFinite));
         }
+        let workers = cfg.effective_functional_workers();
+        if workers > 1 {
+            with_pool(workers, |pool| self.run_inner(b, Some(pool)))
+        } else {
+            self.run_inner(b, None)
+        }
+    }
 
-        let mut b = a.clone();
+    /// Runs the full Algorithm 1 on the working copy `b`, optionally
+    /// distributing each layer's rotations across `pool` (bit-identical
+    /// to the serial path by construction).
+    fn run_inner(
+        &self,
+        mut b: Matrix<f32>,
+        pool: Option<&RotationPool>,
+    ) -> Result<HeteroSvdOutput, HeteroSvdError> {
+        let cfg = &self.config;
         let mut stats = SimStats::new();
         let mut timing = TimingBreakdown::default();
 
@@ -112,9 +148,9 @@ impl Accelerator {
 
         // ---- Orthogonalization iterations, driven by the system module
         // (Fig. 2): it decides when to leave the orthogonalization stage.
-        let mut pipe = OrthPipeline::new(cfg, &self.placement);
+        let mut pipe = OrthPipeline::new(cfg, &self.plan);
         pipe.set_block_ready(ready);
-        pipe.set_norm_floor_sq(a.column_norm_floor_sq());
+        pipe.set_norm_floor_sq(b.column_norm_floor_sq());
 
         let mut system = crate::pl_modules::SystemModule::new(
             cfg.precision,
@@ -126,7 +162,7 @@ impl Accelerator {
         let mut last_convergence = 0.0;
 
         while system.phase() == crate::pl_modules::Phase::Orthogonalizing {
-            let outcome = pipe.run_iteration(&mut b);
+            let outcome = pipe.run_iteration_with(&mut b, pool);
             orth_end = outcome.end;
             timing.iteration_ends.push(outcome.end);
             history.push(SweepStats {
@@ -151,7 +187,7 @@ impl Accelerator {
         stats.iterations = history.len();
 
         // ---- Normalization stage (Eq. 7).
-        let norm = run_norm_stage(cfg, &self.placement, &mut b, orth_end, &mut stats);
+        let norm = run_norm_stage(cfg, &self.plan.placement, &mut b, orth_end, &mut stats);
         timing.norm_time = norm.end.saturating_sub(orth_end);
 
         // ---- Results back to DDR.
@@ -177,7 +213,7 @@ impl Accelerator {
             },
             stats,
             timing,
-            usage: self.placement.usage(),
+            usage: self.plan.placement.usage(),
             trace,
         })
     }
@@ -239,7 +275,7 @@ impl Accelerator {
     /// accelerator's ordering, dataflow, and physical placement rows
     /// (the Fig. 3 analysis specialized to the planned design).
     pub fn movement_report(&self) -> svd_orderings::movement::MovementReport {
-        let placement = &self.placement;
+        let placement = &self.plan.placement;
         svd_orderings::movement::analyze_with_rows(
             self.config.ordering,
             self.config.dataflow,

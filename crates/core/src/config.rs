@@ -58,6 +58,11 @@ pub struct HeteroSvdConfig {
     /// Record a per-pass execution trace (see
     /// [`crate::orth_pipeline::PassRecord`]); off by default.
     pub record_trace: bool,
+    /// Worker threads applying a layer's independent column-pair
+    /// rotations in functional mode (default: the host's available
+    /// parallelism; `1` = fully serial). Results are bit-identical at
+    /// any setting; this knob only changes host-side wall-clock.
+    pub functional_parallelism: usize,
     /// Target device (geometry, budgets, tile memory; default VCK190).
     pub device: DeviceProfile,
     /// Timing calibration.
@@ -90,6 +95,20 @@ impl HeteroSvdConfig {
     pub fn geometry(&self) -> ArrayGeometry {
         self.device.geometry
     }
+
+    /// The worker-thread count the functional hot path actually uses:
+    /// capped at `P_eng` (a layer has at most `P_eng` independent
+    /// pairs) and forced to 1 outside functional fidelity (timing-only
+    /// runs perform no rotations worth parallelizing).
+    pub fn effective_functional_workers(&self) -> usize {
+        if self.fidelity == FidelityMode::Functional {
+            self.functional_parallelism
+                .min(self.engine_parallelism)
+                .max(1)
+        } else {
+            1
+        }
+    }
 }
 
 /// Builder for [`HeteroSvdConfig`] (see [`HeteroSvdConfig::builder`]).
@@ -107,6 +126,7 @@ pub struct HeteroSvdConfigBuilder {
     fixed_iterations: Option<usize>,
     fidelity: FidelityMode,
     record_trace: bool,
+    functional_parallelism: Option<usize>,
     device: DeviceProfile,
     calibration: Calibration,
 }
@@ -126,6 +146,7 @@ impl HeteroSvdConfigBuilder {
             fixed_iterations: None,
             fidelity: FidelityMode::Functional,
             record_trace: false,
+            functional_parallelism: None,
             device: DeviceProfile::VCK190,
             calibration: Calibration::DEFAULT,
         }
@@ -191,6 +212,14 @@ impl HeteroSvdConfigBuilder {
     /// costs memory proportional to passes × iterations).
     pub fn record_trace(mut self, record: bool) -> Self {
         self.record_trace = record;
+        self
+    }
+
+    /// Sets the host-side worker count for functional-mode rotations
+    /// (default: available parallelism; `1` = serial). Must be `>= 1`.
+    /// Any setting produces bit-identical results.
+    pub fn functional_parallelism(mut self, workers: usize) -> Self {
+        self.functional_parallelism = Some(workers);
         self
     }
 
@@ -264,6 +293,11 @@ impl HeteroSvdConfigBuilder {
                 "fixed_iterations must be at least 1".into(),
             ));
         }
+        if let Some(0) = self.functional_parallelism {
+            return Err(HeteroSvdError::InvalidConfig(
+                "functional_parallelism must be at least 1".into(),
+            ));
+        }
 
         let pl_model = PlModel::new(self.calibration);
         let pl_freq = match self.pl_freq_mhz {
@@ -291,6 +325,9 @@ impl HeteroSvdConfigBuilder {
             fixed_iterations: self.fixed_iterations,
             fidelity: self.fidelity,
             record_trace: self.record_trace,
+            functional_parallelism: self
+                .functional_parallelism
+                .unwrap_or_else(svd_kernels::parallel::available_workers),
             device: self.device,
             calibration: self.calibration,
         })
@@ -381,6 +418,35 @@ mod tests {
             .is_err());
         assert!(HeteroSvdConfig::builder(128, 128)
             .precision(f64::NAN)
+            .build()
+            .is_err());
+    }
+
+    #[test]
+    fn functional_parallelism_defaults_and_validates() {
+        let c = HeteroSvdConfig::builder(128, 128).build().unwrap();
+        assert!(c.functional_parallelism >= 1);
+        let c = HeteroSvdConfig::builder(128, 128)
+            .functional_parallelism(3)
+            .build()
+            .unwrap();
+        assert_eq!(c.functional_parallelism, 3);
+        // Capped at P_eng = 4 for the effective count, never below 1.
+        assert_eq!(c.effective_functional_workers(), 3);
+        let wide = HeteroSvdConfig::builder(128, 128)
+            .functional_parallelism(64)
+            .build()
+            .unwrap();
+        assert_eq!(wide.effective_functional_workers(), 4);
+        let timing = HeteroSvdConfig::builder(128, 128)
+            .functional_parallelism(64)
+            .fidelity(FidelityMode::TimingOnly)
+            .fixed_iterations(6)
+            .build()
+            .unwrap();
+        assert_eq!(timing.effective_functional_workers(), 1);
+        assert!(HeteroSvdConfig::builder(128, 128)
+            .functional_parallelism(0)
             .build()
             .is_err());
     }

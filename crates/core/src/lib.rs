@@ -42,6 +42,7 @@ pub mod norm_pipeline;
 pub mod orth_pipeline;
 pub mod pl_modules;
 pub mod placement;
+pub mod plan_cache;
 pub mod render;
 pub mod routing;
 pub mod svd;
@@ -54,5 +55,6 @@ pub use config::{FidelityMode, HeteroSvdConfig, HeteroSvdConfigBuilder};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HeteroSvdError;
 pub use placement::Placement;
+pub use plan_cache::{PlanCache, PlanHandle};
 pub use routing::PlioPlan;
 pub use timing::TimingBreakdown;

@@ -18,22 +18,34 @@
 //! (a block's next pass cannot start before its previous Rx completes) —
 //! the `t_algo`/`t_datawait` effects of Eq. (10)–(11) emerge from this
 //! dependency tracking rather than being bolted on.
+//!
+//! # Hot-path memory discipline
+//!
+//! `run_pass` executes once per block pair per iteration — hundreds of
+//! thousands of times in a large factorization — so it must not touch
+//! the allocator. Everything a pass needs is prepared once:
+//!
+//! * immutable plan data (schedule, movement classification, port maps,
+//!   cost models) lives in the shared [`PlanHandle`] and is *borrowed*,
+//!   never cloned, per layer;
+//! * mutable scratch (`col_avail`, `prev_end`, `slot_ready`,
+//!   `layer_end`, pair/column/convergence buffers) lives in
+//!   [`PassScratch`], sized at construction and reused via
+//!   `clear()`/overwrite every pass;
+//! * all transfer/kernel durations depend only on the configuration, so
+//!   they are computed once in [`OrthPipeline::new`].
+//!
+//! The steady-state pass therefore performs zero heap allocations (the
+//! counting-allocator test in `tests/zero_alloc.rs` enforces this).
 
 use crate::config::{FidelityMode, HeteroSvdConfig};
-use crate::placement::Placement;
-use crate::routing::PlioPlan;
-use aie_sim::dma::DmaModel;
-use aie_sim::kernel::KernelCostModel;
-use aie_sim::pl::PlModel;
-use aie_sim::plio::{PlioDirection, PlioModel};
+use crate::plan_cache::{PlanHandle, StepKind};
+use aie_sim::plio::PlioDirection;
 use aie_sim::stats::SimStats;
 use aie_sim::time::TimePs;
 use aie_sim::timeline::Timeline;
-use svd_kernels::block::BlockPartition;
-use svd_kernels::rotation::orthogonalize_pair_gated;
+use svd_kernels::parallel::{orthogonalize_pairs_serial, RotationPool};
 use svd_kernels::Matrix;
-use svd_orderings::movement::{classify, AccessKind, Movement};
-use svd_orderings::HardwareSchedule;
 
 /// One block-pair pass in the execution trace (enabled with
 /// [`crate::HeteroSvdConfigBuilder::record_trace`]).
@@ -62,19 +74,31 @@ pub struct IterationOutcome {
     pub rotations: usize,
 }
 
+/// Reusable per-pass scratch, allocated once and recycled every pass.
+#[derive(Debug)]
+struct PassScratch {
+    /// Tx completion time of each local column (len `2k`).
+    col_avail: Vec<TimePs>,
+    /// Completion time of each slot in the previous layer (len `k`).
+    prev_end: Vec<TimePs>,
+    /// Input-ready time of each slot in the current layer (len `k`).
+    slot_ready: Vec<TimePs>,
+    /// Completion time of each slot in the current layer (len `k`).
+    layer_end: Vec<TimePs>,
+    /// Global column indices of the current block pair (capacity `2k`).
+    cols: Vec<usize>,
+    /// Global column-index pairs of the current layer (capacity `k`).
+    pairs: Vec<(usize, usize)>,
+    /// Per-slot convergence values of the current layer (len `k`).
+    conv: Vec<f32>,
+}
+
 /// The orth-stage simulator. One instance persists across iterations so
 /// that resource timelines (and therefore pipelining) carry over.
 #[derive(Debug)]
 pub struct OrthPipeline<'a> {
     config: &'a HeteroSvdConfig,
-    placement: &'a Placement,
-    schedule: HardwareSchedule,
-    partition: BlockPartition,
-    plan: PlioPlan,
-    plio: PlioModel,
-    dma: DmaModel,
-    kernels: KernelCostModel,
-    pl: PlModel,
+    plan: &'a PlanHandle,
     plio_in: Vec<Timeline>,
     plio_out: Vec<Timeline>,
     cores: Vec<Timeline>,
@@ -90,6 +114,22 @@ pub struct OrthPipeline<'a> {
     switch_channels: Vec<Timeline>,
     /// Time each block's data is available in the PL FIFOs.
     block_ready: Vec<TimePs>,
+    /// Input PLIO port of each local column (precomputed, len `2k`).
+    in_ports: Vec<usize>,
+    /// Output PLIO port of each local column (precomputed, len `2k`).
+    out_ports: Vec<usize>,
+    /// Final-layer slot of each local column (precomputed, len `2k`).
+    rx_slot: Vec<usize>,
+    scratch: PassScratch,
+    // Durations depend only on the configuration: computed once.
+    tx_dur: TimePs,
+    rx_dur: TimePs,
+    orth_dur: TimePs,
+    neighbor_dur: TimePs,
+    lateral_dur: TimePs,
+    wrap_dur: TimePs,
+    break_dur: TimePs,
+    hls_dur: TimePs,
     /// Numerical-noise gate for rotations (see
     /// [`svd_kernels::rotation::compute_rotation_gated`]).
     norm_floor_sq: f32,
@@ -99,30 +139,73 @@ pub struct OrthPipeline<'a> {
 }
 
 impl<'a> OrthPipeline<'a> {
-    /// Builds the pipeline for a validated configuration and placement.
-    pub fn new(config: &'a HeteroSvdConfig, placement: &'a Placement) -> Self {
+    /// Builds the pipeline for a validated configuration and its plan.
+    pub fn new(config: &'a HeteroSvdConfig, plan: &'a PlanHandle) -> Self {
         let k = config.engine_parallelism;
-        let layers = placement.num_layers();
-        let partition =
-            BlockPartition::new(config.cols, k).expect("config validation guarantees divisibility");
-        let plan = PlioPlan::standard();
+        let layers = plan.placement.num_layers();
+        let m_bytes = config.column_bytes();
+        let plio_plan = plan.plio_plan;
+        let active_ports = plio_plan.orth_in;
+        let in_ports: Vec<usize> = (0..2 * k)
+            .map(|c| plio_plan.input_port_of_column(c, k))
+            .collect();
+        let out_ports: Vec<usize> = (0..2 * k)
+            .map(|c| plio_plan.output_port_of_column(c, k))
+            .collect();
+        let mut rx_slot = vec![0usize; 2 * k];
+        let last_layer = plan
+            .schedule
+            .layers()
+            .last()
+            .expect("k >= 1 guarantees layers");
+        for (s, &(i, j)) in last_layer.pairs_by_slot.iter().enumerate() {
+            rx_slot[i] = s;
+            rx_slot[j] = s;
+        }
         OrthPipeline {
             config,
-            placement,
-            schedule: HardwareSchedule::new(k, config.ordering),
-            partition,
             plan,
-            plio: PlioModel::new(config.calibration, config.pl_freq),
-            dma: DmaModel::new(config.calibration),
-            kernels: KernelCostModel::new(config.calibration),
-            pl: PlModel::new(config.calibration),
-            plio_in: vec![Timeline::new(); plan.orth_in],
-            plio_out: vec![Timeline::new(); plan.orth_out],
+            plio_in: vec![Timeline::new(); plio_plan.orth_in],
+            plio_out: vec![Timeline::new(); plio_plan.orth_out],
             cores: vec![Timeline::new(); layers * k],
             dma_channels: vec![Timeline::new(); layers.max(1) * k],
             wrap_channels: vec![Timeline::new(); layers.max(1)],
             switch_channels: vec![Timeline::new(); layers.max(1)],
-            block_ready: vec![TimePs::ZERO; partition.num_blocks()],
+            block_ready: vec![TimePs::ZERO; plan.partition.num_blocks()],
+            in_ports,
+            out_ports,
+            rx_slot,
+            scratch: PassScratch {
+                col_avail: vec![TimePs::ZERO; 2 * k],
+                prev_end: vec![TimePs::ZERO; k],
+                slot_ready: vec![TimePs::ZERO; k],
+                layer_end: vec![TimePs::ZERO; k],
+                cols: Vec::with_capacity(2 * k),
+                pairs: Vec::with_capacity(k),
+                conv: vec![0.0; k],
+            },
+            tx_dur: plan.plio.throttled_transfer_time(
+                m_bytes,
+                1,
+                PlioDirection::ToAie,
+                active_ports,
+            ),
+            rx_dur: plan.plio.throttled_transfer_time(
+                m_bytes,
+                1,
+                PlioDirection::ToPl,
+                active_ports,
+            ),
+            orth_dur: plan.kernels.orth_time(config.rows),
+            neighbor_dur: plan.kernels.neighbor_handoff_time(),
+            // Route lengths: lateral DMA crosses one switch boundary; the
+            // wraparound spans the band (k columns plus the DMA-layer
+            // tile); band-break hops climb to the boundary mem-layer and
+            // descend into the next band.
+            lateral_dur: plan.dma.transfer_time_with_hops(m_bytes, 2),
+            wrap_dur: plan.dma.transfer_time_with_hops(m_bytes, k as u64 + 1),
+            break_dur: plan.dma.transfer_time_with_hops(m_bytes, 3),
+            hls_dur: plan.pl.hls_overhead(1, config.pl_freq),
             norm_floor_sq: 0.0,
             stats: SimStats::new(),
             trace: Vec::new(),
@@ -165,9 +248,21 @@ impl<'a> OrthPipeline<'a> {
     }
 
     /// Runs one full iteration over all block pairs, updating `b` in
-    /// place when the fidelity is functional.
+    /// place when the fidelity is functional (serial rotations).
     pub fn run_iteration(&mut self, b: &mut Matrix<f32>) -> IterationOutcome {
-        let p = self.partition.num_blocks();
+        self.run_iteration_with(b, None)
+    }
+
+    /// [`OrthPipeline::run_iteration`] with an optional worker pool: a
+    /// layer's independent rotations are distributed across the pool,
+    /// producing bit-identical results to the serial path (disjoint
+    /// columns; convergence reduced in slot order).
+    pub fn run_iteration_with(
+        &mut self,
+        b: &mut Matrix<f32>,
+        pool: Option<&RotationPool>,
+    ) -> IterationOutcome {
+        let plan = self.plan;
         let mut max_conv = 0.0_f64;
         let mut rotations = 0usize;
         let mut iteration_end = self
@@ -178,12 +273,10 @@ impl<'a> OrthPipeline<'a> {
 
         // Config validation guarantees cols % (2·P_eng) == 0, so there are
         // always at least two blocks.
-        debug_assert!(p >= 2, "block count must be >= 2");
-        let schedule = svd_kernels::block::BlockPairSchedule::round_robin(p);
-        for (pass, (u, v)) in schedule.iter().enumerate() {
-            let cols = self.partition.pair_columns(u, v);
+        debug_assert!(plan.partition.num_blocks() >= 2, "block count must be >= 2");
+        for (pass, (u, v)) in plan.pair_schedule.iter().enumerate() {
             let ready = self.block_ready[u].max(self.block_ready[v]);
-            let end = self.run_pass(b, u, v, &cols, &mut max_conv, &mut rotations);
+            let end = self.run_pass(b, u, v, pool, &mut max_conv, &mut rotations);
             if self.config.record_trace {
                 self.trace.push(PassRecord {
                     iteration: self.iterations_run,
@@ -212,57 +305,76 @@ impl<'a> OrthPipeline<'a> {
         b: &mut Matrix<f32>,
         u: usize,
         v: usize,
-        cols: &[usize],
+        pool: Option<&RotationPool>,
         max_conv: &mut f64,
         rotations: &mut usize,
     ) -> TimePs {
+        let plan = self.plan;
         let k = self.config.engine_parallelism;
         let m_bytes = self.config.column_bytes();
-        let num_cols = cols.len();
         let ready = self.block_ready[u].max(self.block_ready[v]);
         let functional = self.config.fidelity == FidelityMode::Functional;
 
+        self.scratch.cols.clear();
+        self.scratch.cols.extend(plan.partition.block_range(u));
+        self.scratch.cols.extend(plan.partition.block_range(v));
+        let num_cols = self.scratch.cols.len();
+
         // ---- Tx: PL -> AIE over the four input ports (Eq. 8). ----
-        let tx_dur = self.plio.throttled_transfer_time(
-            m_bytes,
-            1,
-            PlioDirection::ToAie,
-            self.active_ports(),
-        );
-        let mut col_avail = vec![TimePs::ZERO; num_cols];
-        for (local, _global) in cols.iter().enumerate() {
-            let port = self.plan.input_port_of_column(local, k);
-            let (_, end) = self.plio_in[port].schedule(ready, tx_dur);
-            col_avail[local] = end;
+        for local in 0..num_cols {
+            let (_, end) = self.plio_in[self.in_ports[local]].schedule(ready, self.tx_dur);
+            self.scratch.col_avail[local] = end;
             self.stats.plio_bytes_in += m_bytes;
-            self.stats.plio_busy += tx_dur;
+            self.stats.plio_busy += self.tx_dur;
         }
 
         // ---- Layers. ----
-        let layers = self.placement.num_layers();
-        let mut prev_end = vec![TimePs::ZERO; k];
+        let layers = plan.placement.num_layers();
+        self.scratch.prev_end.fill(TimePs::ZERO);
         for layer in 0..layers {
-            let pairs = self.schedule.layers()[layer].pairs_by_slot.clone();
-            let mut slot_ready = vec![TimePs::ZERO; k];
+            let pairs = &plan.schedule.layers()[layer].pairs_by_slot;
 
             if layer == 0 {
                 for (s, &(i, j)) in pairs.iter().enumerate() {
-                    slot_ready[s] = col_avail[i].max(col_avail[j]);
+                    self.scratch.slot_ready[s] =
+                        self.scratch.col_avail[i].max(self.scratch.col_avail[j]);
                 }
             } else {
-                self.movement_ready(layer, &prev_end, &mut slot_ready, m_bytes);
+                self.movement_ready(layer, m_bytes);
             }
 
-            let orth_dur = self.kernels.orth_time(self.config.rows);
-            let mut layer_end = vec![TimePs::ZERO; k];
-            for (s, &(i, j)) in pairs.iter().enumerate() {
-                let (_, end) = self.cores[layer * k + s].schedule(slot_ready[s], orth_dur);
-                layer_end[s] = end;
+            for s in 0..pairs.len() {
+                let (_, end) =
+                    self.cores[layer * k + s].schedule(self.scratch.slot_ready[s], self.orth_dur);
+                self.scratch.layer_end[s] = end;
                 self.stats.orth_invocations += 1;
-                self.stats.orth_busy += orth_dur;
-                if functional {
-                    let (ci, cj) = b.col_pair_mut(cols[i], cols[j]);
-                    let conv = orthogonalize_pair_gated(ci, cj, self.norm_floor_sq) as f64;
+                self.stats.orth_busy += self.orth_dur;
+            }
+            if functional {
+                self.scratch.pairs.clear();
+                for &(i, j) in pairs.iter() {
+                    self.scratch
+                        .pairs
+                        .push((self.scratch.cols[i], self.scratch.cols[j]));
+                }
+                match pool {
+                    Some(pool) => pool.execute(
+                        b,
+                        &self.scratch.pairs,
+                        self.norm_floor_sq,
+                        &mut self.scratch.conv,
+                    ),
+                    None => orthogonalize_pairs_serial(
+                        b,
+                        &self.scratch.pairs,
+                        self.norm_floor_sq,
+                        &mut self.scratch.conv,
+                    ),
+                }
+                // Reduce in slot order so the serial and parallel paths
+                // accumulate identically.
+                for &conv in &self.scratch.conv[..pairs.len()] {
+                    let conv = conv as f64;
                     if conv > 0.0 {
                         *rotations += 1;
                     }
@@ -271,27 +383,17 @@ impl<'a> OrthPipeline<'a> {
                     }
                 }
             }
-            prev_end = layer_end;
+            std::mem::swap(&mut self.scratch.prev_end, &mut self.scratch.layer_end);
         }
 
         // ---- Rx: AIE -> PL over the two output ports. ----
-        let last_pairs = &self.schedule.layers()[layers - 1].pairs_by_slot;
-        let mut col_slot = vec![0usize; num_cols];
-        for (s, &(i, j)) in last_pairs.iter().enumerate() {
-            col_slot[i] = s;
-            col_slot[j] = s;
-        }
-        let rx_dur =
-            self.plio
-                .throttled_transfer_time(m_bytes, 1, PlioDirection::ToPl, self.active_ports());
         let mut block_u_end = TimePs::ZERO;
         let mut block_v_end = TimePs::ZERO;
         for local in 0..num_cols {
-            let port = self.plan.output_port_of_column(local, k);
-            let rx_ready = prev_end[col_slot[local]];
-            let (_, end) = self.plio_out[port].schedule(rx_ready, rx_dur);
+            let rx_ready = self.scratch.prev_end[self.rx_slot[local]];
+            let (_, end) = self.plio_out[self.out_ports[local]].schedule(rx_ready, self.rx_dur);
             self.stats.plio_bytes_out += m_bytes;
-            self.stats.plio_busy += rx_dur;
+            self.stats.plio_busy += self.rx_dur;
             if local < k {
                 block_u_end = block_u_end.max(end);
             } else {
@@ -301,88 +403,52 @@ impl<'a> OrthPipeline<'a> {
 
         // HLS loop-switch overhead when the receiver hands the blocks back
         // to the arrangement module (t_hls contribution per pass).
-        let hls = self.pl.hls_overhead(1, self.config.pl_freq);
-        self.block_ready[u] = block_u_end + hls;
-        self.block_ready[v] = block_v_end + hls;
+        self.block_ready[u] = block_u_end + self.hls_dur;
+        self.block_ready[v] = block_v_end + self.hls_dur;
         self.block_ready[u].max(self.block_ready[v])
     }
 
     /// Computes each slot's input-ready time for the transition into
-    /// `layer`, scheduling DMA transfers on the layer's DMA channel.
-    fn movement_ready(
-        &mut self,
-        layer: usize,
-        prev_end: &[TimePs],
-        slot_ready: &mut [TimePs],
-        m_bytes: usize,
-    ) {
+    /// `layer` from the plan's pre-classified movement table, scheduling
+    /// DMA transfers on the appropriate channels.
+    fn movement_ready(&mut self, layer: usize, m_bytes: usize) {
+        let plan = self.plan;
         let k = self.config.engine_parallelism;
-        let src_row = self.placement.row_of_layer(layer - 1);
-        let dest_row = self.placement.row_of_layer(layer);
-        let band_break = self.placement.is_band_break(layer - 1);
-
-        let movements = self
-            .config
-            .ordering
-            .transition_movements_rows(src_row, dest_row, k);
-        let neighbor = self.kernels.neighbor_handoff_time();
-        // Route lengths: lateral DMA crosses one switch boundary; the
-        // wraparound spans the band (k columns plus the DMA-layer tile);
-        // band-break hops climb to the boundary mem-layer and descend
-        // into the next band.
-        let lateral_dur = self.dma.transfer_time_with_hops(m_bytes, 2);
-        let wrap_dur = self.dma.transfer_time_with_hops(m_bytes, k as u64 + 1);
-        let break_dur = self.dma.transfer_time_with_hops(m_bytes, 3);
-
-        for (idx, movement) in movements.iter().enumerate() {
-            let slot = idx % k;
-            let producer = match movement {
-                Movement::Straight => slot,
-                Movement::Leftward => (slot + 1).min(k - 1),
-                Movement::Rightward => slot.saturating_sub(1),
-                Movement::Wraparound => k - 1,
-            };
-            let ready = prev_end[producer];
-            let channel = layer * k + producer;
-            let arrival = if band_break {
-                // Through the mem-layer: two DMA hops (store + reload),
-                // parallel across the k mem-layer tiles.
-                let (_, mid) = self.dma_channels[channel].schedule(ready, break_dur);
-                let (_, end) = self.dma_channels[channel].schedule(mid, break_dur);
-                self.stats.dma_transfers += 2;
-                self.stats.dma_bytes += 2 * m_bytes;
-                end
-            } else {
-                match classify(*movement, dest_row, self.config.dataflow) {
-                    AccessKind::Neighbor => {
-                        self.stats.neighbor_accesses += 1;
-                        ready + neighbor
-                    }
-                    AccessKind::Dma if *movement == Movement::Wraparound => {
-                        // Through the layer's DMA-layer tile.
-                        let (_, end) = self.wrap_channels[layer].schedule(ready, wrap_dur);
-                        self.stats.dma_transfers += 1;
-                        self.stats.dma_bytes += m_bytes;
-                        end
-                    }
-                    AccessKind::Dma => {
-                        // Lateral DMA: hops along the row's stream switch.
-                        let (_, end) = self.switch_channels[layer].schedule(ready, lateral_dur);
-                        self.stats.dma_transfers += 1;
-                        self.stats.dma_bytes += m_bytes;
-                        end
-                    }
+        self.scratch.slot_ready.fill(TimePs::ZERO);
+        for step in &plan.movement[layer - 1] {
+            let ready = self.scratch.prev_end[step.producer];
+            let arrival = match step.kind {
+                StepKind::BandBreak => {
+                    // Through the mem-layer: two DMA hops (store + reload),
+                    // parallel across the k mem-layer tiles.
+                    let channel = layer * k + step.producer;
+                    let (_, mid) = self.dma_channels[channel].schedule(ready, self.break_dur);
+                    let (_, end) = self.dma_channels[channel].schedule(mid, self.break_dur);
+                    self.stats.dma_transfers += 2;
+                    self.stats.dma_bytes += 2 * m_bytes;
+                    end
+                }
+                StepKind::Neighbor => {
+                    self.stats.neighbor_accesses += 1;
+                    ready + self.neighbor_dur
+                }
+                StepKind::Wrap => {
+                    // Through the layer's DMA-layer tile.
+                    let (_, end) = self.wrap_channels[layer].schedule(ready, self.wrap_dur);
+                    self.stats.dma_transfers += 1;
+                    self.stats.dma_bytes += m_bytes;
+                    end
+                }
+                StepKind::Lateral => {
+                    // Lateral DMA: hops along the row's stream switch.
+                    let (_, end) = self.switch_channels[layer].schedule(ready, self.lateral_dur);
+                    self.stats.dma_transfers += 1;
+                    self.stats.dma_bytes += m_bytes;
+                    end
                 }
             };
-            slot_ready[slot] = slot_ready[slot].max(arrival);
+            self.scratch.slot_ready[step.slot] = self.scratch.slot_ready[step.slot].max(arrival);
         }
-    }
-
-    /// PLIO ports active within this task's interface group (the 24/32
-    /// GB/s caps are per group; independent task pipelines use separate
-    /// interface tiles).
-    fn active_ports(&self) -> usize {
-        self.plan.orth_in
     }
 }
 
@@ -390,6 +456,7 @@ impl<'a> OrthPipeline<'a> {
 mod tests {
     use super::*;
     use crate::config::HeteroSvdConfig;
+    use svd_kernels::block::BlockPartition;
     use svd_orderings::movement::{DataflowKind, OrderingKind};
 
     fn config(n: usize, p_eng: usize) -> HeteroSvdConfig {
@@ -401,8 +468,8 @@ mod tests {
     }
 
     fn run_one(config: &HeteroSvdConfig, b: &mut Matrix<f32>) -> (IterationOutcome, SimStats) {
-        let placement = Placement::plan(config).unwrap();
-        let mut pipe = OrthPipeline::new(config, &placement);
+        let plan = PlanHandle::build(config).unwrap();
+        let mut pipe = OrthPipeline::new(config, &plan);
         let out = pipe.run_iteration(b);
         (out, pipe.into_stats())
     }
@@ -417,8 +484,8 @@ mod tests {
     fn iteration_reduces_convergence() {
         let cfg = config(16, 2);
         let mut b = sample(16);
-        let placement = Placement::plan(&cfg).unwrap();
-        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        let plan = PlanHandle::build(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &plan);
         let first = pipe.run_iteration(&mut b);
         let mut later = first;
         for _ in 0..4 {
@@ -437,8 +504,8 @@ mod tests {
     fn time_advances_monotonically() {
         let cfg = config(16, 2);
         let mut b = sample(16);
-        let placement = Placement::plan(&cfg).unwrap();
-        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        let plan = PlanHandle::build(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &plan);
         let t1 = pipe.run_iteration(&mut b).end;
         let t2 = pipe.run_iteration(&mut b).end;
         assert!(t2 > t1);
@@ -486,8 +553,8 @@ mod tests {
         // iteration pass set: DMA per pass must equal the per-pass
         // analysis formula.
         let cfg = config(16, 2);
-        let placement = Placement::plan(&cfg).unwrap();
-        assert_eq!(placement.num_bands(), 1);
+        let plan = PlanHandle::build(&cfg).unwrap();
+        assert_eq!(plan.placement.num_bands(), 1);
         let (_, stats) = run_one(&cfg, &mut sample(16));
         let passes = cfg.num_block_pairs();
         let per_pass = svd_orderings::movement::codesign_dma_count(2);
@@ -510,8 +577,8 @@ mod tests {
     fn trace_records_every_pass_and_shows_pipelining() {
         let mut cfg = config(16, 2);
         cfg.record_trace = true;
-        let placement = Placement::plan(&cfg).unwrap();
-        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        let plan = PlanHandle::build(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &plan);
         let mut b = sample(16);
         pipe.run_iteration(&mut b);
         pipe.run_iteration(&mut b);
@@ -532,8 +599,8 @@ mod tests {
     #[test]
     fn trace_is_empty_when_disabled() {
         let cfg = config(16, 2);
-        let placement = Placement::plan(&cfg).unwrap();
-        let mut pipe = OrthPipeline::new(&cfg, &placement);
+        let plan = PlanHandle::build(&cfg).unwrap();
+        let mut pipe = OrthPipeline::new(&cfg, &plan);
         pipe.run_iteration(&mut sample(16));
         assert!(pipe.trace().is_empty());
     }
@@ -560,5 +627,25 @@ mod tests {
                 assert!(d < 1e-6, "mismatch at ({r},{c}): {d}");
             }
         }
+    }
+
+    #[test]
+    fn parallel_iteration_is_bit_identical_to_serial() {
+        let cfg = config(24, 3);
+        let plan = PlanHandle::build(&cfg).unwrap();
+
+        let mut serial = sample(24);
+        let mut pipe_s = OrthPipeline::new(&cfg, &plan);
+        let out_s = pipe_s.run_iteration(&mut serial);
+
+        let mut pooled = sample(24);
+        let mut pipe_p = OrthPipeline::new(&cfg, &plan);
+        let out_p = svd_kernels::parallel::with_pool(3, |pool| {
+            pipe_p.run_iteration_with(&mut pooled, Some(pool))
+        });
+
+        assert_eq!(serial.as_slice(), pooled.as_slice());
+        assert_eq!(out_s, out_p);
+        assert_eq!(pipe_s.stats(), pipe_p.stats());
     }
 }

@@ -1,0 +1,100 @@
+//! The functional-parallelism knob must be invisible in the results:
+//! for any shape and seed, a parallel-mode `run_f32` produces *exactly*
+//! the output of a serial-mode run — sigma bit patterns, U entries,
+//! iteration counts, and simulated statistics all identical.
+
+use heterosvd::{Accelerator, HeteroSvdConfig, HeteroSvdOutput};
+use rand::{Rng, SeedableRng};
+use svd_kernels::Matrix;
+
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    Matrix::from_fn(rows, cols, |r, c| {
+        rng.gen_range(-10.0f32..10.0) + if r == c { 12.0 } else { 0.0 }
+    })
+}
+
+fn run(rows: usize, cols: usize, p_eng: usize, workers: usize, a: &Matrix<f32>) -> HeteroSvdOutput {
+    let cfg = HeteroSvdConfig::builder(rows, cols)
+        .engine_parallelism(p_eng)
+        .functional_parallelism(workers)
+        .pl_freq_mhz(208.3)
+        .build()
+        .unwrap();
+    Accelerator::new(cfg).unwrap().run_f32(a).unwrap()
+}
+
+fn assert_outputs_identical(serial: &HeteroSvdOutput, parallel: &HeteroSvdOutput, label: &str) {
+    let s_bits: Vec<u32> = serial.result.sigma.iter().map(|x| x.to_bits()).collect();
+    let p_bits: Vec<u32> = parallel.result.sigma.iter().map(|x| x.to_bits()).collect();
+    assert_eq!(s_bits, p_bits, "{label}: sigma must match bit for bit");
+    let su: Vec<u32> = serial
+        .result
+        .u
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    let pu: Vec<u32> = parallel
+        .result
+        .u
+        .as_slice()
+        .iter()
+        .map(|x| x.to_bits())
+        .collect();
+    assert_eq!(su, pu, "{label}: U must match bit for bit");
+    assert_eq!(
+        serial.result.sweeps, parallel.result.sweeps,
+        "{label}: iteration count"
+    );
+    assert_eq!(
+        serial.result.history, parallel.result.history,
+        "{label}: convergence history"
+    );
+    assert_eq!(serial.stats, parallel.stats, "{label}: SimStats");
+    assert_eq!(
+        serial.timing.task_time, parallel.timing.task_time,
+        "{label}: simulated latency"
+    );
+}
+
+#[test]
+fn parallel_run_is_bit_identical_across_shapes_and_seeds() {
+    // (rows, cols, P_eng) covering square/tall shapes, one band and
+    // multiple bands, with several seeds each.
+    let shapes = [
+        (16usize, 16usize, 2usize),
+        (24, 12, 3),
+        (40, 16, 4),
+        (64, 64, 8),
+    ];
+    for &(rows, cols, p_eng) in &shapes {
+        for seed in [1u64, 42, 9001] {
+            let a = random_matrix(rows, cols, seed);
+            let serial = run(rows, cols, p_eng, 1, &a);
+            for workers in [2usize, 4, 16] {
+                let parallel = run(rows, cols, p_eng, workers, &a);
+                assert_outputs_identical(
+                    &serial,
+                    &parallel,
+                    &format!("{rows}x{cols} p_eng={p_eng} seed={seed} workers={workers}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn parallel_run_matches_serial_through_f64_entry_point() {
+    let a64 = random_matrix(32, 16, 7).cast::<f64>();
+    let mk = |workers: usize| {
+        let cfg = HeteroSvdConfig::builder(32, 16)
+            .engine_parallelism(4)
+            .functional_parallelism(workers)
+            .pl_freq_mhz(208.3)
+            .build()
+            .unwrap();
+        Accelerator::new(cfg).unwrap().run(&a64).unwrap()
+    };
+    assert_outputs_identical(&mk(1), &mk(8), "f64 entry point");
+}

@@ -29,6 +29,13 @@ pub struct ServeConfig {
     pub task_parallelism: usize,
     /// Convergence precision forwarded to the accelerator.
     pub precision: f64,
+    /// Host-side worker threads each replica applies to a layer's
+    /// independent rotations (forwarded to
+    /// [`heterosvd::HeteroSvdConfig::functional_parallelism`]). Default
+    /// 1: replicas and per-matrix batch threads already parallelize
+    /// across requests, so nesting more threads usually oversubscribes.
+    /// Results are bit-identical at any setting.
+    pub functional_parallelism: usize,
     /// Fixed iteration count (None = adaptive convergence).
     pub fixed_iterations: Option<usize>,
     /// Whether replicas compute real factorizations or timing only.
@@ -47,6 +54,7 @@ impl Default for ServeConfig {
             engine_parallelism: 2,
             task_parallelism: 4,
             precision: 1e-6,
+            functional_parallelism: 1,
             fixed_iterations: None,
             fidelity: FidelityMode::Functional,
             default_timeout: None,
@@ -83,6 +91,11 @@ impl ServeConfig {
                 "task_parallelism must be >= 1".into(),
             ));
         }
+        if self.functional_parallelism == 0 {
+            return Err(ServeError::InvalidRequest(
+                "functional_parallelism must be >= 1".into(),
+            ));
+        }
         if self.fidelity == FidelityMode::TimingOnly && self.fixed_iterations.is_none() {
             // Fail at start() rather than letting every replica build
             // error out request by request.
@@ -96,6 +109,31 @@ impl ServeConfig {
     /// The smallest column count a request may have: one block pair.
     pub fn min_cols(&self) -> usize {
         2 * self.engine_parallelism
+    }
+
+    /// The accelerator configuration every replica uses for `shape`
+    /// requests — the single construction site, so each replica of the
+    /// pool derives an *identical* config and therefore shares one
+    /// cached plan (see [`heterosvd::plan_cache`]).
+    ///
+    /// # Errors
+    ///
+    /// [`heterosvd::HeteroSvdError::InvalidConfig`] when the shape or
+    /// knobs are invalid (admission normally rejects such shapes first).
+    pub fn accelerator_config(
+        &self,
+        shape: (usize, usize),
+    ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
+        let mut builder = heterosvd::HeteroSvdConfig::builder(shape.0, shape.1)
+            .engine_parallelism(self.engine_parallelism)
+            .task_parallelism(self.task_parallelism)
+            .precision(self.precision)
+            .functional_parallelism(self.functional_parallelism)
+            .fidelity(self.fidelity);
+        if let Some(iters) = self.fixed_iterations {
+            builder = builder.fixed_iterations(iters);
+        }
+        builder.build()
     }
 
     /// Checks that a `rows x cols` request is admissible under the

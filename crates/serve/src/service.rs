@@ -9,7 +9,7 @@ use crate::request::{
     LatencyRecord, PendingRequest, RequestHandle, RequestId, RequestState, SubmitOptions,
     SvdResponse,
 };
-use heterosvd::{Accelerator, HeteroSvdConfig, HeteroSvdError};
+use heterosvd::{Accelerator, HeteroSvdError};
 use parking_lot::Mutex;
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -385,16 +385,7 @@ fn cached_accelerator<'a>(
     match accelerators.entry(shape) {
         Entry::Occupied(slot) => Ok(slot.into_mut()),
         Entry::Vacant(slot) => {
-            let cfg = &inner.config;
-            let mut builder = HeteroSvdConfig::builder(shape.0, shape.1)
-                .engine_parallelism(cfg.engine_parallelism)
-                .task_parallelism(cfg.task_parallelism)
-                .precision(cfg.precision)
-                .fidelity(cfg.fidelity);
-            if let Some(iters) = cfg.fixed_iterations {
-                builder = builder.fixed_iterations(iters);
-            }
-            let accelerator = Accelerator::new(builder.build()?)?;
+            let accelerator = Accelerator::new(inner.config.accelerator_config(shape)?)?;
             Ok(slot.insert(accelerator))
         }
     }

@@ -40,9 +40,11 @@ pub mod block;
 pub mod io;
 pub mod jacobi;
 pub mod matrix;
+pub mod parallel;
 pub mod qr;
 pub mod rotation;
 pub mod scalar;
+pub mod simd;
 pub mod verify;
 
 mod error;

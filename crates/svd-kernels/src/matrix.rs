@@ -151,6 +151,12 @@ impl<T: Real> Matrix<T> {
         &self.data
     }
 
+    /// Flat mutable column-major view of the backing storage.
+    #[inline]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        &mut self.data
+    }
+
     /// Consumes the matrix, returning its column-major storage.
     pub fn into_vec(self) -> Vec<T> {
         self.data

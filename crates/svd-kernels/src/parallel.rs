@@ -1,0 +1,410 @@
+//! Intra-layer parallel execution of independent column-pair rotations.
+//!
+//! Every orthogonalization layer of the shifting-ring schedule rotates `k`
+//! column pairs that are pairwise disjoint by construction (each column
+//! appears in exactly one pair of the layer). Those rotations are therefore
+//! embarrassingly parallel, and the paper's hardware exploits exactly this:
+//! the `k` orthogonalization kernel groups of a layer run concurrently on
+//! separate AIE columns. This module is the software analog — a small
+//! persistent worker pool that executes a layer's rotations across threads
+//! while preserving *bit-identical* results:
+//!
+//! * each pair is processed by exactly the same fused kernel
+//!   ([`crate::rotation::orthogonalize_pair_gated`]) regardless of which
+//!   worker claims it, and pairs touch disjoint columns, so the matrix
+//!   contents after a layer are independent of claim order;
+//! * per-pair convergence values are written to a caller-provided slot
+//!   array and reduced *in slot order* by the caller, so floating-point
+//!   summation order matches the serial path exactly.
+//!
+//! The pool is created once per accelerator run ([`with_pool`]) and reused
+//! for every layer of every pass — spawning threads per layer would cost
+//! more than the rotations themselves at the matrix sizes the simulator
+//! models. Work distribution is a lock-free claim counter: workers CAS a
+//! shared cursor to claim pair indices, so load balances even when column
+//! lengths differ. A generation tag folded into the cursor prevents a
+//! stale worker (one that observed an old job) from claiming slots of a
+//! newer job.
+
+use crate::matrix::Matrix;
+use crate::rotation::orthogonalize_pair_gated;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Condvar, Mutex};
+
+/// Number of workers to use when the caller asks for "all available":
+/// the host's reported parallelism, with a fallback of 1.
+pub fn available_workers() -> usize {
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1)
+}
+
+/// Checks that `pairs` are in bounds, distinct, and pairwise disjoint —
+/// the precondition that makes parallel execution race-free.
+///
+/// # Panics
+///
+/// Panics (never data-races) if any pair repeats a column, exceeds
+/// `cols`, or shares a column with another pair.
+fn validate_pairs(cols: usize, pairs: &[(usize, usize)]) {
+    // Quadratic disjointness scan, allocation-free: layers hold at most
+    // P_eng <= 11 pairs, so this costs a few dozen comparisons per layer.
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        assert!(u != v, "pair {i} repeats column {u}");
+        assert!(
+            u < cols && v < cols,
+            "pair {i} = ({u}, {v}) out of range for {cols} columns"
+        );
+        for &(u2, v2) in &pairs[..i] {
+            assert!(
+                u != u2 && u != v2 && v != u2 && v != v2,
+                "pairs share a column: ({u}, {v}) vs ({u2}, {v2})"
+            );
+        }
+    }
+}
+
+/// Serially orthogonalizes each `(u, v)` column pair of `m`, writing the
+/// per-pair convergence value to `conv_out[i]`.
+///
+/// This is the `workers == 1` path and the reference the parallel path
+/// must match bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `conv_out.len() < pairs.len()` or any pair is invalid.
+pub fn orthogonalize_pairs_serial(
+    m: &mut Matrix<f32>,
+    pairs: &[(usize, usize)],
+    floor_sq: f32,
+    conv_out: &mut [f32],
+) {
+    assert!(conv_out.len() >= pairs.len(), "conv_out too short");
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        let (x, y) = m.col_pair_mut(u, v);
+        conv_out[i] = orthogonalize_pair_gated(x, y, floor_sq);
+    }
+}
+
+/// A layer's worth of rotation work, published to workers.
+///
+/// Raw pointers let workers slice disjoint columns without aliasing
+/// `&mut` borrows; [`validate_pairs`] guarantees disjointness before a
+/// job is published.
+struct Job {
+    data: *mut f32,
+    rows: usize,
+    pairs: *const (usize, usize),
+    npairs: usize,
+    floor_sq: f32,
+    conv: *mut f32,
+}
+
+// SAFETY: a Job only grants access to pairwise-disjoint column slices
+// (checked by validate_pairs) and disjoint conv slots (one per claimed
+// index), so sharing it across threads is race-free.
+unsafe impl Send for Job {}
+unsafe impl Sync for Job {}
+
+/// By-value copy of a [`Job`]'s fields, taken under the control lock and
+/// carried into the lock-free claim loop.
+#[derive(Clone, Copy)]
+struct JobSnapshot {
+    data: *mut f32,
+    rows: usize,
+    pairs: *const (usize, usize),
+    npairs: usize,
+    floor_sq: f32,
+    conv: *mut f32,
+}
+
+impl JobSnapshot {
+    fn of(job: &Job) -> Self {
+        JobSnapshot {
+            data: job.data,
+            rows: job.rows,
+            pairs: job.pairs,
+            npairs: job.npairs,
+            floor_sq: job.floor_sq,
+            conv: job.conv,
+        }
+    }
+}
+
+struct Control {
+    /// Monotonic job generation; folded into the claim cursor so stale
+    /// workers cannot claim slots of a newer job.
+    gen: u32,
+    job: Option<Job>,
+    shutdown: bool,
+}
+
+/// Persistent pool of rotation workers for one accelerator run.
+///
+/// Created via [`with_pool`]; [`RotationPool::execute`] runs one layer.
+pub struct RotationPool {
+    control: Mutex<Control>,
+    work_cv: Condvar,
+    /// `(gen << 32) | next_unclaimed_index`.
+    cursor: AtomicU64,
+    /// `(gen << 32) | completed_count`.
+    completed: AtomicU64,
+}
+
+fn tag(gen: u32, n: usize) -> u64 {
+    ((gen as u64) << 32) | n as u64
+}
+
+impl RotationPool {
+    fn new() -> Self {
+        RotationPool {
+            control: Mutex::new(Control {
+                gen: 0,
+                job: None,
+                shutdown: false,
+            }),
+            work_cv: Condvar::new(),
+            cursor: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+        }
+    }
+
+    /// Orthogonalizes every `(u, v)` pair of `m` across the pool, writing
+    /// per-pair convergence values to `conv_out` (indexed by pair slot).
+    ///
+    /// Blocks until all pairs complete. The calling thread participates,
+    /// so a pool with `w` workers applies `w + 1` threads to the layer.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pairs alias, are out of range, or `conv_out` is short.
+    pub fn execute(
+        &self,
+        m: &mut Matrix<f32>,
+        pairs: &[(usize, usize)],
+        floor_sq: f32,
+        conv_out: &mut [f32],
+    ) {
+        assert!(conv_out.len() >= pairs.len(), "conv_out too short");
+        validate_pairs(m.cols(), pairs);
+        if pairs.is_empty() {
+            return;
+        }
+        let rows = m.rows();
+        let job = Job {
+            data: m.as_mut_slice().as_mut_ptr(),
+            rows,
+            pairs: pairs.as_ptr(),
+            npairs: pairs.len(),
+            floor_sq,
+            conv: conv_out.as_mut_ptr(),
+        };
+        let snapshot = JobSnapshot::of(&job);
+        let gen;
+        {
+            let mut ctl = self.control.lock().unwrap();
+            ctl.gen = ctl.gen.wrapping_add(1);
+            gen = ctl.gen;
+            // Reset the counters *before* publishing the job: a worker
+            // that wakes and reads the job must see a fresh cursor.
+            self.cursor.store(tag(gen, 0), Ordering::SeqCst);
+            self.completed.store(tag(gen, 0), Ordering::SeqCst);
+            ctl.job = Some(job);
+            self.work_cv.notify_all();
+        }
+        // The caller claims work too — with small layers it often
+        // finishes everything before a worker even wakes.
+        self.run_tasks(gen, snapshot);
+        let done = tag(gen, pairs.len());
+        while self.completed.load(Ordering::Acquire) != done {
+            std::hint::spin_loop();
+        }
+        self.control.lock().unwrap().job = None;
+    }
+
+    /// Claims and runs tasks of generation `gen` until the cursor drains
+    /// or a newer generation supersedes it.
+    ///
+    /// The snapshot's pointers are valid for as long as `gen` is the
+    /// current generation: `execute` keeps the job published (and its
+    /// borrows alive) until `completed` reaches `npairs`, which cannot
+    /// happen before every claimed index below has finished.
+    fn run_tasks(&self, gen: u32, job: JobSnapshot) {
+        loop {
+            let cur = self.cursor.load(Ordering::Acquire);
+            if (cur >> 32) as u32 != gen {
+                return; // a newer job took over; our snapshot is stale
+            }
+            let idx = (cur & 0xffff_ffff) as usize;
+            if idx >= job.npairs {
+                return;
+            }
+            // Claim index `idx`. The generation folded into the value
+            // makes this CAS fail if another `execute` reset the cursor
+            // between our load and here — a stale claim is impossible.
+            if self
+                .cursor
+                .compare_exchange_weak(cur, cur + 1, Ordering::AcqRel, Ordering::Acquire)
+                .is_err()
+            {
+                continue;
+            }
+            // SAFETY: idx < npairs; pairs are disjoint and in bounds
+            // (validate_pairs), so these column slices alias nothing any
+            // other claimant touches; conv slot idx is exclusively ours;
+            // the pointers outlive this claim (see doc comment above).
+            unsafe {
+                let &(u, v) = &*job.pairs.add(idx);
+                let x = std::slice::from_raw_parts_mut(job.data.add(u * job.rows), job.rows);
+                let y = std::slice::from_raw_parts_mut(job.data.add(v * job.rows), job.rows);
+                *job.conv.add(idx) = orthogonalize_pair_gated(x, y, job.floor_sq);
+            }
+            self.completed.fetch_add(1, Ordering::AcqRel);
+        }
+    }
+
+    /// Worker thread body: wait for jobs, drain them, exit on shutdown.
+    fn worker_loop(&self) {
+        let mut last_seen: u32 = 0;
+        loop {
+            let (gen, snapshot) = {
+                let mut ctl = self.control.lock().unwrap();
+                loop {
+                    if ctl.shutdown {
+                        return;
+                    }
+                    if let Some(job) = ctl.job.as_ref() {
+                        if ctl.gen != last_seen {
+                            break (ctl.gen, JobSnapshot::of(job));
+                        }
+                    }
+                    ctl = self.work_cv.wait(ctl).unwrap();
+                }
+            };
+            last_seen = gen;
+            self.run_tasks(gen, snapshot);
+        }
+    }
+
+    fn shutdown(&self) {
+        self.control.lock().unwrap().shutdown = true;
+        self.work_cv.notify_all();
+    }
+}
+
+/// Runs `f` with a [`RotationPool`] backed by `workers` total threads
+/// (the calling thread counts as one; `workers - 1` are spawned).
+///
+/// `workers <= 1` spawns nothing: [`RotationPool::execute`] then runs
+/// entirely on the caller, matching today's serial behavior. Worker
+/// threads are always joined before `with_pool` returns, even if `f`
+/// panics.
+pub fn with_pool<R>(workers: usize, f: impl FnOnce(&RotationPool) -> R) -> R {
+    let pool = RotationPool::new();
+    let extra = workers.max(1) - 1;
+    if extra == 0 {
+        return f(&pool);
+    }
+    std::thread::scope(|s| {
+        for _ in 0..extra {
+            s.spawn(|| pool.worker_loop());
+        }
+        // Shut the workers down when `f` returns *or* panics — otherwise
+        // the scope would join forever.
+        struct ShutdownGuard<'a>(&'a RotationPool);
+        impl Drop for ShutdownGuard<'_> {
+            fn drop(&mut self) {
+                self.0.shutdown();
+            }
+        }
+        let _guard = ShutdownGuard(&pool);
+        f(&pool)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn test_matrix(rows: usize, cols: usize, seed: u64) -> Matrix<f32> {
+        let mut state = seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).max(1);
+        Matrix::from_fn(rows, cols, |_, _| {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            ((state % 2000) as f32 - 1000.0) / 100.0
+        })
+    }
+
+    fn layer_pairs(cols: usize) -> Vec<(usize, usize)> {
+        (0..cols / 2).map(|i| (2 * i, 2 * i + 1)).collect()
+    }
+
+    #[test]
+    fn pool_matches_serial_bitwise() {
+        for workers in [1, 2, 4, 8] {
+            let pairs = layer_pairs(12);
+            let mut serial = test_matrix(33, 12, 7);
+            let mut pooled = serial.clone();
+            let mut conv_s = vec![0.0f32; pairs.len()];
+            let mut conv_p = vec![0.0f32; pairs.len()];
+            orthogonalize_pairs_serial(&mut serial, &pairs, 0.0, &mut conv_s);
+            with_pool(workers, |pool| {
+                pool.execute(&mut pooled, &pairs, 0.0, &mut conv_p);
+            });
+            assert_eq!(serial.as_slice(), pooled.as_slice(), "workers = {workers}");
+            assert_eq!(conv_s, conv_p, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn pool_is_reusable_across_many_layers() {
+        let pairs_a = layer_pairs(8);
+        let pairs_b: Vec<_> = (0..4).map(|i| (i, i + 4)).collect();
+        let mut serial = test_matrix(20, 8, 3);
+        let mut pooled = serial.clone();
+        let mut conv = vec![0.0f32; 4];
+        with_pool(3, |pool| {
+            for sweep in 0..10 {
+                let pairs = if sweep % 2 == 0 { &pairs_a } else { &pairs_b };
+                pool.execute(&mut pooled, pairs, 0.0, &mut conv);
+                orthogonalize_pairs_serial(&mut serial, pairs, 0.0, &mut conv);
+            }
+        });
+        assert_eq!(serial.as_slice(), pooled.as_slice());
+    }
+
+    #[test]
+    fn empty_layer_is_a_no_op() {
+        let mut m = test_matrix(5, 4, 1);
+        let before = m.clone();
+        with_pool(2, |pool| {
+            pool.execute(&mut m, &[], 0.0, &mut []);
+        });
+        assert_eq!(before.as_slice(), m.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "share a column")]
+    fn aliasing_pairs_are_rejected() {
+        let mut m = test_matrix(5, 4, 2);
+        let mut conv = [0.0f32; 2];
+        with_pool(1, |pool| {
+            pool.execute(&mut m, &[(0, 1), (1, 2)], 0.0, &mut conv);
+        });
+    }
+
+    #[test]
+    fn panic_in_body_still_joins_workers() {
+        let caught = std::panic::catch_unwind(|| {
+            with_pool(4, |_pool| panic!("body panicked"));
+        });
+        assert!(caught.is_err());
+        // Reaching here at all proves the scope joined its workers.
+    }
+
+    #[test]
+    fn available_workers_is_positive() {
+        assert!(available_workers() >= 1);
+    }
+}

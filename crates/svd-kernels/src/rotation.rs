@@ -11,9 +11,20 @@
 //! chosen such that `bᵢᵀ·bⱼ = 0`. The rotation is computed from the three
 //! inner products `α = aᵢᵀaᵢ`, `β = aⱼᵀaⱼ`, `γ = aᵢᵀaⱼ` — exactly the
 //! quantities the orth-AIE kernel computes on hardware.
+//!
+//! The inner products are accumulated in [`VECTOR_LANES`]-wide chunks with
+//! one partial accumulator per lane, mirroring the AIE vector unit's
+//! 8-lane fp32 MACs, and reduced in a fixed tree order so results are
+//! deterministic run to run. For `f32` the accumulation dispatches to the
+//! bit-identical AVX kernel in [`crate::simd`] when the CPU supports it.
+//! [`column_products_scalar`] keeps the strict sequential accumulation as
+//! a reference.
 
 use crate::scalar::Real;
 use serde::{Deserialize, Serialize};
+
+/// Accumulator lanes of the modeled AIE vector unit (8 × fp32 per MAC).
+pub const VECTOR_LANES: usize = 8;
 
 /// A computed plane rotation `(c, s)` together with the convergence measure
 /// of the column pair it was derived from.
@@ -111,6 +122,13 @@ pub fn apply_rotation<T: Real>(x: &mut [T], y: &mut [T], rot: JacobiRotation<T>)
         return;
     }
     let (c, s) = (rot.c, rot.s);
+    if T::simd_apply_rotation(x, y, c, s) {
+        return;
+    }
+    // The update is element-independent (no accumulation), so the plain
+    // zip loop auto-vectorizes onto packed multiply-adds and is
+    // bit-identical to any chunked rewrite of it; only the inner-product
+    // reductions need explicit VECTOR_LANES chunking.
     for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
         let xv = *xi;
         let yv = *yi;
@@ -119,13 +137,70 @@ pub fn apply_rotation<T: Real>(x: &mut [T], y: &mut [T], rot: JacobiRotation<T>)
     }
 }
 
+/// Reduces the lane accumulators in a fixed tree order (pairwise, then
+/// pairwise again), matching the AIE shift-rotate reduction and keeping
+/// the summation order independent of slice length.
+#[inline]
+pub(crate) fn reduce_lanes<T: Real>(l: [T; VECTOR_LANES]) -> T {
+    ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+}
+
 /// Inner products `(α, β, γ)` of a column pair, the input to
 /// [`compute_rotation`].
+///
+/// Accumulates in [`VECTOR_LANES`]-wide chunks with one partial sum per
+/// lane (the vectorized form the orth-AIE executes), reduced by
+/// [`reduce_lanes`]; the trailing `len % VECTOR_LANES` elements are added
+/// sequentially afterwards. The result is deterministic but differs from
+/// [`column_products_scalar`] by the usual floating-point reassociation
+/// error.
 ///
 /// # Panics
 ///
 /// Panics if the slices have different lengths.
 pub fn column_products<T: Real>(x: &[T], y: &[T]) -> (T, T, T) {
+    assert_eq!(x.len(), y.len(), "column pair length mismatch");
+    if let Some(products) = T::simd_column_products(x, y) {
+        return products;
+    }
+    let split = x.len() - x.len() % VECTOR_LANES;
+    let (xv, xt) = x.split_at(split);
+    let (yv, yt) = y.split_at(split);
+    let mut a = [T::ZERO; VECTOR_LANES];
+    let mut b = [T::ZERO; VECTOR_LANES];
+    let mut g = [T::ZERO; VECTOR_LANES];
+    for (xc, yc) in xv
+        .chunks_exact(VECTOR_LANES)
+        .zip(yv.chunks_exact(VECTOR_LANES))
+    {
+        for l in 0..VECTOR_LANES {
+            let xi = xc[l];
+            let yi = yc[l];
+            a[l] += xi * xi;
+            b[l] += yi * yi;
+            g[l] += xi * yi;
+        }
+    }
+    let mut alpha = reduce_lanes(a);
+    let mut beta = reduce_lanes(b);
+    let mut gamma = reduce_lanes(g);
+    for (&xi, &yi) in xt.iter().zip(yt.iter()) {
+        alpha += xi * xi;
+        beta += yi * yi;
+        gamma += xi * yi;
+    }
+    (alpha, beta, gamma)
+}
+
+/// [`column_products`] with strict sequential accumulation (one running
+/// sum per product). This is the pre-vectorization reference used by the
+/// hot-path benchmarks and by tests bounding the reassociation error of
+/// the chunked kernel.
+///
+/// # Panics
+///
+/// Panics if the slices have different lengths.
+pub fn column_products_scalar<T: Real>(x: &[T], y: &[T]) -> (T, T, T) {
     assert_eq!(x.len(), y.len(), "column pair length mismatch");
     let mut alpha = T::ZERO;
     let mut beta = T::ZERO;
@@ -167,11 +242,33 @@ pub fn orthogonalize_pair<T: Real>(x: &mut [T], y: &mut [T]) -> T {
 }
 
 /// [`orthogonalize_pair`] with the numerical-noise gate of
-/// [`compute_rotation_gated`].
+/// [`compute_rotation_gated`]: the fused product → rotation → apply unit
+/// of work of one orth-AIE invocation. The product traversal accumulates
+/// [`VECTOR_LANES`] wide (AVX-accelerated for `f32` where available, see
+/// [`crate::simd`]); identity rotations skip the apply traversal entirely
+/// (zero FLOPs on the accelerator).
 pub fn orthogonalize_pair_gated<T: Real>(x: &mut [T], y: &mut [T], floor_sq: T) -> T {
     let (alpha, beta, gamma) = column_products(x, y);
     let rot = compute_rotation_gated(alpha, beta, gamma, floor_sq);
     apply_rotation(x, y, rot);
+    rot.convergence
+}
+
+/// [`orthogonalize_pair_gated`] built on [`column_products_scalar`]: the
+/// pre-vectorization hot path, kept as the baseline the hot-path
+/// benchmarks compare against.
+pub fn orthogonalize_pair_gated_scalar<T: Real>(x: &mut [T], y: &mut [T], floor_sq: T) -> T {
+    let (alpha, beta, gamma) = column_products_scalar(x, y);
+    let rot = compute_rotation_gated(alpha, beta, gamma, floor_sq);
+    if !rot.identity {
+        let (c, s) = (rot.c, rot.s);
+        for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
+            let xv = *xi;
+            let yv = *yi;
+            *xi = c * xv + s * yv;
+            *yi = c * yv - s * xv;
+        }
+    }
     rot.convergence
 }
 
@@ -259,6 +356,49 @@ mod tests {
         let mut x = vec![1.0];
         let mut y = vec![1.0, 2.0];
         let _ = orthogonalize_pair(&mut x, &mut y);
+    }
+
+    #[test]
+    fn chunked_products_match_scalar_reference() {
+        // Lengths around the lane width exercise both the vector body and
+        // the scalar tail.
+        for n in [1, 5, 7, 8, 9, 16, 23, 64, 100] {
+            let x: Vec<f64> = (0..n).map(|i| ((i * 7 + 3) % 11) as f64 - 5.0).collect();
+            let y: Vec<f64> = (0..n).map(|i| ((i * 5 + 1) % 13) as f64 - 6.0).collect();
+            let (a1, b1, g1) = column_products(&x, &y);
+            let (a2, b2, g2) = column_products_scalar(&x, &y);
+            let tol = 1e-12 * (n as f64).max(1.0);
+            assert!((a1 - a2).abs() <= tol * a2.abs().max(1.0), "alpha n={n}");
+            assert!((b1 - b2).abs() <= tol * b2.abs().max(1.0), "beta n={n}");
+            assert!((g1 - g2).abs() <= tol * g2.abs().max(1.0), "gamma n={n}");
+        }
+    }
+
+    #[test]
+    fn chunked_products_are_deterministic() {
+        let x: Vec<f32> = (0..97).map(|i| (i as f32 * 0.37).sin()).collect();
+        let y: Vec<f32> = (0..97).map(|i| (i as f32 * 0.61).cos()).collect();
+        let first = column_products(&x, &y);
+        for _ in 0..8 {
+            assert_eq!(column_products(&x, &y), first);
+        }
+    }
+
+    #[test]
+    fn fused_and_scalar_paths_orthogonalize_identically_well() {
+        let mk = || {
+            let x: Vec<f32> = (0..40).map(|i| ((i * 13 + 5) % 17) as f32 - 8.0).collect();
+            let y: Vec<f32> = (0..40).map(|i| ((i * 11 + 2) % 19) as f32 - 9.0).collect();
+            (x, y)
+        };
+        let (mut x1, mut y1) = mk();
+        let (mut x2, mut y2) = mk();
+        let c1 = orthogonalize_pair_gated(&mut x1, &mut y1, 0.0);
+        let c2 = orthogonalize_pair_gated_scalar(&mut x2, &mut y2, 0.0);
+        assert!((c1 - c2).abs() < 1e-5);
+        let d1: f32 = x1.iter().zip(&y1).map(|(a, b)| a * b).sum();
+        let d2: f32 = x2.iter().zip(&y2).map(|(a, b)| a * b).sum();
+        assert!(d1.abs() < 1e-3 && d2.abs() < 1e-3);
     }
 
     #[test]

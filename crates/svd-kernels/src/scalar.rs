@@ -70,6 +70,26 @@ pub trait Real:
     fn signum_or_one(self) -> Self;
     /// `true` when the value is finite (not NaN or infinite).
     fn is_finite(self) -> bool;
+
+    /// Architecture-specific fused inner products `(α, β, γ)` of a column
+    /// pair, or `None` when no accelerated path applies (the caller runs
+    /// the portable chunked loop). Implementations must be bit-identical
+    /// to [`crate::rotation::column_products`]'s portable accumulation —
+    /// see the contract in [`crate::simd`]. Only `f32` overrides this.
+    #[inline]
+    fn simd_column_products(_x: &[Self], _y: &[Self]) -> Option<(Self, Self, Self)> {
+        None
+    }
+
+    /// Architecture-specific in-place rotation apply `x ← c·x + s·y`,
+    /// `y ← c·y − s·x`. Returns `false` when no accelerated path applies
+    /// and the caller must run the portable loop. Implementations must be
+    /// bit-identical to the scalar expressions (no FMA contraction). Only
+    /// `f32` overrides this.
+    #[inline]
+    fn simd_apply_rotation(_x: &mut [Self], _y: &mut [Self], _c: Self, _s: Self) -> bool {
+        false
+    }
 }
 
 mod sealed {
@@ -79,8 +99,11 @@ mod sealed {
 }
 
 macro_rules! impl_real {
-    ($t:ty) => {
+    // Shared primitive delegation, plus optional per-type items (the `f32`
+    // impl adds the SIMD fast-path overrides here).
+    ($t:ty $(, $extra:item)*) => {
         impl Real for $t {
+            $($extra)*
             const ZERO: Self = 0.0;
             const ONE: Self = 1.0;
             const EPSILON: Self = <$t>::EPSILON;
@@ -125,7 +148,17 @@ macro_rules! impl_real {
     };
 }
 
-impl_real!(f32);
+impl_real!(
+    f32,
+    #[inline]
+    fn simd_column_products(x: &[Self], y: &[Self]) -> Option<(Self, Self, Self)> {
+        crate::simd::column_products_f32(x, y)
+    },
+    #[inline]
+    fn simd_apply_rotation(x: &mut [Self], y: &mut [Self], c: Self, s: Self) -> bool {
+        crate::simd::apply_rotation_f32(x, y, c, s)
+    }
+);
 impl_real!(f64);
 
 #[cfg(test)]

@@ -1,0 +1,233 @@
+//! Architecture-specific fast paths for the rotation hot-path kernels,
+//! selected by runtime feature detection.
+//!
+//! The portable chunked loops in [`crate::rotation`] express the orth-AIE's
+//! 8-lane accumulation, but on the default x86-64 target (SSE2, 128-bit
+//! registers) the fused triple inner product needs six accumulator
+//! registers plus two streams and spills to the stack, capping throughput
+//! well below the machine's. The AVX kernels here keep each 8-lane
+//! accumulator in a single 256-bit register.
+//!
+//! **Semantics contract:** every function in this module performs the same
+//! IEEE-754 operations in the same per-lane order as the portable loop it
+//! replaces — the same [`VECTOR_LANES`] partial accumulators, the same
+//! fixed reduction tree ([`crate::rotation`]'s `reduce_lanes`), the same
+//! sequential scalar tail, and no FMA contraction (`mul` then `add` as two
+//! rounded operations). The fast path is therefore bit-identical to the
+//! portable path, and enabling or disabling it cannot change any result.
+//! The unit tests below assert exact equality, not tolerance.
+//!
+//! Only `f32` (the accelerator's native precision) is accelerated; the
+//! `f64` golden reference always takes the portable loop.
+
+use crate::rotation::VECTOR_LANES;
+
+/// Fused inner products `(α, β, γ)` of an `f32` column pair via the best
+/// available vector ISA, or `None` when no accelerated path applies on
+/// this CPU (the caller falls back to the portable chunked loop).
+#[inline]
+pub fn column_products_f32(x: &[f32], y: &[f32]) -> Option<(f32, f32, f32)> {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx") {
+        // SAFETY: AVX support was verified at runtime just above.
+        return Some(unsafe { x86::column_products_avx(x, y) });
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (x, y);
+    None
+}
+
+/// In-place rotation apply `x ← c·x + s·y`, `y ← c·y − s·x` via the best
+/// available vector ISA. Returns `false` when no accelerated path applies
+/// and the caller must run the portable loop.
+#[inline]
+pub fn apply_rotation_f32(x: &mut [f32], y: &mut [f32], c: f32, s: f32) -> bool {
+    debug_assert_eq!(x.len(), y.len());
+    #[cfg(target_arch = "x86_64")]
+    if is_x86_feature_detected!("avx") {
+        // SAFETY: AVX support was verified at runtime just above.
+        unsafe { x86::apply_rotation_avx(x, y, c, s) };
+        return true;
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = (x, y, c, s);
+    false
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::VECTOR_LANES;
+    use crate::rotation::reduce_lanes;
+    use std::arch::x86_64::{
+        _mm256_add_ps, _mm256_loadu_ps, _mm256_mul_ps, _mm256_set1_ps, _mm256_setzero_ps,
+        _mm256_storeu_ps, _mm256_sub_ps,
+    };
+
+    /// AVX form of the portable chunked `column_products` loop: one ymm
+    /// register per 8-lane accumulator, `vmulps` + `vaddps` per chunk (no
+    /// FMA), lanes reduced by the shared fixed tree, scalar tail appended
+    /// sequentially.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports AVX (e.g. via
+    /// `is_x86_feature_detected!("avx")`). `x` and `y` must have equal
+    /// lengths (checked by `debug_assert` in the dispatcher).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn column_products_avx(x: &[f32], y: &[f32]) -> (f32, f32, f32) {
+        let split = x.len() - x.len() % VECTOR_LANES;
+        let xp = x.as_ptr();
+        let yp = y.as_ptr();
+        let mut acc_a = _mm256_setzero_ps();
+        let mut acc_b = _mm256_setzero_ps();
+        let mut acc_g = _mm256_setzero_ps();
+        let mut i = 0;
+        while i < split {
+            let xv = _mm256_loadu_ps(xp.add(i));
+            let yv = _mm256_loadu_ps(yp.add(i));
+            acc_a = _mm256_add_ps(acc_a, _mm256_mul_ps(xv, xv));
+            acc_b = _mm256_add_ps(acc_b, _mm256_mul_ps(yv, yv));
+            acc_g = _mm256_add_ps(acc_g, _mm256_mul_ps(xv, yv));
+            i += VECTOR_LANES;
+        }
+        let mut a = [0.0f32; VECTOR_LANES];
+        let mut b = [0.0f32; VECTOR_LANES];
+        let mut g = [0.0f32; VECTOR_LANES];
+        _mm256_storeu_ps(a.as_mut_ptr(), acc_a);
+        _mm256_storeu_ps(b.as_mut_ptr(), acc_b);
+        _mm256_storeu_ps(g.as_mut_ptr(), acc_g);
+        let mut alpha = reduce_lanes(a);
+        let mut beta = reduce_lanes(b);
+        let mut gamma = reduce_lanes(g);
+        let mut j = split;
+        while j < x.len() {
+            let xi = *xp.add(j);
+            let yi = *yp.add(j);
+            alpha += xi * xi;
+            beta += yi * yi;
+            gamma += xi * yi;
+            j += 1;
+        }
+        (alpha, beta, gamma)
+    }
+
+    /// AVX form of the element-independent rotation apply: per chunk two
+    /// loads, four `vmulps`, one `vaddps`, one `vsubps`, two stores — the
+    /// same `c·x + s·y` / `c·y − s·x` expressions as the scalar loop,
+    /// without FMA contraction.
+    ///
+    /// # Safety
+    ///
+    /// The caller must ensure the CPU supports AVX (e.g. via
+    /// `is_x86_feature_detected!("avx")`). `x` and `y` must have equal
+    /// lengths (checked by `debug_assert` in the dispatcher).
+    #[target_feature(enable = "avx")]
+    pub unsafe fn apply_rotation_avx(x: &mut [f32], y: &mut [f32], c: f32, s: f32) {
+        let split = x.len() - x.len() % VECTOR_LANES;
+        let xp = x.as_mut_ptr();
+        let yp = y.as_mut_ptr();
+        let cv = _mm256_set1_ps(c);
+        let sv = _mm256_set1_ps(s);
+        let mut i = 0;
+        while i < split {
+            let xv = _mm256_loadu_ps(xp.add(i));
+            let yv = _mm256_loadu_ps(yp.add(i));
+            let xn = _mm256_add_ps(_mm256_mul_ps(cv, xv), _mm256_mul_ps(sv, yv));
+            let yn = _mm256_sub_ps(_mm256_mul_ps(cv, yv), _mm256_mul_ps(sv, xv));
+            _mm256_storeu_ps(xp.add(i), xn);
+            _mm256_storeu_ps(yp.add(i), yn);
+            i += VECTOR_LANES;
+        }
+        let mut j = split;
+        while j < x.len() {
+            let xv = *xp.add(j);
+            let yv = *yp.add(j);
+            *xp.add(j) = c * xv + s * yv;
+            *yp.add(j) = c * yv - s * xv;
+            j += 1;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// The portable chunked accumulation, replicated here verbatim so the
+    /// tests can compare the SIMD path against it even though
+    /// `rotation::column_products` itself dispatches to the SIMD path.
+    fn portable_products(x: &[f32], y: &[f32]) -> (f32, f32, f32) {
+        let split = x.len() - x.len() % VECTOR_LANES;
+        let (xv, xt) = x.split_at(split);
+        let (yv, yt) = y.split_at(split);
+        let mut a = [0.0f32; VECTOR_LANES];
+        let mut b = [0.0f32; VECTOR_LANES];
+        let mut g = [0.0f32; VECTOR_LANES];
+        for (xc, yc) in xv
+            .chunks_exact(VECTOR_LANES)
+            .zip(yv.chunks_exact(VECTOR_LANES))
+        {
+            for l in 0..VECTOR_LANES {
+                let xi = xc[l];
+                let yi = yc[l];
+                a[l] += xi * xi;
+                b[l] += yi * yi;
+                g[l] += xi * yi;
+            }
+        }
+        let tree = |l: [f32; VECTOR_LANES]| {
+            ((l[0] + l[1]) + (l[2] + l[3])) + ((l[4] + l[5]) + (l[6] + l[7]))
+        };
+        let (mut alpha, mut beta, mut gamma) = (tree(a), tree(b), tree(g));
+        for (&xi, &yi) in xt.iter().zip(yt.iter()) {
+            alpha += xi * xi;
+            beta += yi * yi;
+            gamma += xi * yi;
+        }
+        (alpha, beta, gamma)
+    }
+
+    fn test_columns(n: usize) -> (Vec<f32>, Vec<f32>) {
+        let x = (0..n).map(|i| (i as f32 * 0.37).sin() * 2.5).collect();
+        let y = (0..n)
+            .map(|i| (i as f32 * 0.73).cos() * 1.5 - 0.25)
+            .collect();
+        (x, y)
+    }
+
+    #[test]
+    fn simd_products_bit_identical_to_portable() {
+        // Exact equality, not tolerance: the SIMD path performs the same
+        // IEEE operations in the same order. Lengths cover the empty body,
+        // pure-tail, chunk boundaries, and mixed body+tail cases.
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 64, 100, 256, 1000] {
+            let (x, y) = test_columns(n);
+            match column_products_f32(&x, &y) {
+                Some(fast) => assert_eq!(fast, portable_products(&x, &y), "n={n}"),
+                None => return, // no accelerated path on this CPU
+            }
+        }
+    }
+
+    #[test]
+    fn simd_apply_bit_identical_to_scalar() {
+        let (c, s) = (0.8f32, 0.6f32);
+        for n in [0, 1, 7, 8, 9, 31, 100, 256] {
+            let (x0, y0) = test_columns(n);
+            let (mut xf, mut yf) = (x0.clone(), y0.clone());
+            if !apply_rotation_f32(&mut xf, &mut yf, c, s) {
+                return; // no accelerated path on this CPU
+            }
+            let (mut xs, mut ys) = (x0, y0);
+            for (xi, yi) in xs.iter_mut().zip(ys.iter_mut()) {
+                let xv = *xi;
+                let yv = *yi;
+                *xi = c * xv + s * yv;
+                *yi = c * yv - s * xv;
+            }
+            assert_eq!(xf, xs, "x n={n}");
+            assert_eq!(yf, ys, "y n={n}");
+        }
+    }
+}

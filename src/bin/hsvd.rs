@@ -86,6 +86,9 @@ fn usage() -> &'static str {
        --linger-us U       batcher linger budget in µs (default 500)\n\
        --p-eng K           engine parallelism per replica (default 2)\n\
        --p-task T          task parallelism per replica (default 4)\n\
+       --fn-par N          host threads per functional orth-layer\n\
+     \x20                   (default 1 = serial; results are bit-identical\n\
+     \x20                   for any setting)\n\
        --timing-only       skip numerics (timing model, 6 fixed sweeps)"
 }
 
@@ -263,6 +266,7 @@ struct BenchArgs {
     linger_us: u64,
     p_eng: usize,
     p_task: usize,
+    functional_parallelism: usize,
     timing_only: bool,
 }
 
@@ -277,6 +281,7 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
         linger_us: 500,
         p_eng: 2,
         p_task: 4,
+        functional_parallelism: 1,
         timing_only: false,
     };
     while let Some(arg) = cursor.next() {
@@ -290,6 +295,7 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
             "--linger-us" => args.linger_us = cursor.parse("--linger-us")?,
             "--p-eng" => args.p_eng = cursor.parse("--p-eng")?,
             "--p-task" => args.p_task = cursor.parse("--p-task")?,
+            "--fn-par" => args.functional_parallelism = cursor.parse("--fn-par")?,
             "--timing-only" => args.timing_only = true,
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option {other}")),
@@ -314,6 +320,7 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         max_linger: Duration::from_micros(args.linger_us),
         engine_parallelism: args.p_eng,
         task_parallelism: args.p_task,
+        functional_parallelism: args.functional_parallelism,
         fidelity: if args.timing_only {
             FidelityMode::TimingOnly
         } else {

@@ -13,13 +13,97 @@
 //! without criterion's statistical machinery. Passing `--test` (as
 //! `cargo test` does for bench targets) runs each benchmark exactly once
 //! as a smoke test.
+//!
+//! Beyond printing `ns/iter` per benchmark, completed measurements are
+//! recorded in a process-wide registry; `criterion_main!` ends by
+//! calling [`write_summary`], which emits machine-readable JSON (to
+//! `$CRITERION_JSON` if set, else `target/criterion/<bench>.json`) so
+//! offline runs produce comparable numbers.
 
+use std::sync::Mutex;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 /// How many timed iterations a full measurement performs.
 const MEASURE_ITERS: u32 = 30;
+
+/// One completed benchmark measurement.
+#[derive(Debug, Clone)]
+pub struct BenchResult {
+    /// Benchmark label (`group/function/param`).
+    pub name: String,
+    /// Mean wall-clock nanoseconds per iteration.
+    pub ns_per_iter: f64,
+    /// Timed iterations behind the mean.
+    pub iters: u64,
+}
+
+static RESULTS: Mutex<Vec<BenchResult>> = Mutex::new(Vec::new());
+
+/// Drains and returns every measurement recorded so far (in run order).
+pub fn take_results() -> Vec<BenchResult> {
+    std::mem::take(&mut *RESULTS.lock().unwrap())
+}
+
+fn json_escape(s: &str) -> String {
+    s.chars()
+        .flat_map(|c| match c {
+            '"' => vec!['\\', '"'],
+            '\\' => vec!['\\', '\\'],
+            c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+            c => vec![c],
+        })
+        .collect()
+}
+
+/// Serializes recorded measurements as JSON and writes them to
+/// `$CRITERION_JSON` (if set) or `target/criterion/<bench>.json`.
+/// No-op when nothing was measured (e.g. `--test` smoke mode). Called
+/// automatically by `criterion_main!`.
+pub fn write_summary() {
+    let results = take_results();
+    if results.is_empty() {
+        return;
+    }
+    let rows: Vec<String> = results
+        .iter()
+        .map(|r| {
+            format!(
+                "  {{\"name\": \"{}\", \"ns_per_iter\": {:.1}, \"iters\": {}}}",
+                json_escape(&r.name),
+                r.ns_per_iter,
+                r.iters
+            )
+        })
+        .collect();
+    let json = format!("{{\"results\": [\n{}\n]}}\n", rows.join(",\n"));
+    let path = match std::env::var_os("CRITERION_JSON") {
+        Some(p) => std::path::PathBuf::from(p),
+        None => {
+            let stem = std::env::current_exe()
+                .ok()
+                .and_then(|p| p.file_stem().map(|s| s.to_string_lossy().into_owned()))
+                .unwrap_or_else(|| "bench".to_string());
+            // Strip the `-<hash>` suffix cargo appends to bench binaries.
+            let stem = stem.rsplit_once('-').map_or(stem.clone(), |(base, tail)| {
+                if tail.len() == 16 && tail.chars().all(|c| c.is_ascii_hexdigit()) {
+                    base.to_string()
+                } else {
+                    stem.clone()
+                }
+            });
+            std::path::PathBuf::from("target/criterion").join(format!("{stem}.json"))
+        }
+    };
+    if let Some(dir) = path.parent() {
+        let _ = std::fs::create_dir_all(dir);
+    }
+    match std::fs::write(&path, &json) {
+        Ok(()) => println!("wrote benchmark summary to {}", path.display()),
+        Err(e) => eprintln!("failed to write benchmark summary {}: {e}", path.display()),
+    }
+}
 
 /// The benchmark manager handed to each group function.
 pub struct Criterion {
@@ -192,10 +276,16 @@ fn run_one<F: FnMut(&mut Bencher)>(label: &str, test_mode: bool, routine: &mut F
     if test_mode {
         println!("test bench {label} ... ok");
     } else {
+        let ns_per_iter = bencher.elapsed.as_nanos() as f64;
         println!(
-            "{label}: {:?}/iter ({} iters)",
+            "{label}: {ns_per_iter:.0} ns/iter ({:?}/iter, {} iters)",
             bencher.elapsed, bencher.iters_run
         );
+        RESULTS.lock().unwrap().push(BenchResult {
+            name: label.to_string(),
+            ns_per_iter,
+            iters: bencher.iters_run,
+        });
     }
 }
 
@@ -222,6 +312,7 @@ macro_rules! criterion_main {
     ($($group:path),+ $(,)?) => {
         fn main() {
             $($group();)+
+            $crate::write_summary();
         }
     };
 }
@@ -236,6 +327,24 @@ mod tests {
         let mut runs = 0u32;
         c.bench_function("probe", |b| b.iter(|| runs += 1));
         assert_eq!(runs, 1);
+    }
+
+    #[test]
+    fn measured_runs_are_recorded() {
+        let mut c = Criterion { test_mode: false };
+        c.bench_function("shim-registry-probe", |b| b.iter(|| black_box(1 + 1)));
+        let results = take_results();
+        let r = results
+            .iter()
+            .find(|r| r.name == "shim-registry-probe")
+            .expect("measured run must land in the registry");
+        assert!(r.ns_per_iter >= 0.0);
+        assert_eq!(r.iters, u64::from(MEASURE_ITERS));
+    }
+
+    #[test]
+    fn json_escaping_handles_quotes_and_controls() {
+        assert_eq!(json_escape("a\"b\\c\n"), "a\\\"b\\\\c\\u000a");
     }
 
     #[test]
