@@ -73,6 +73,46 @@ impl SimStats {
         self.plio_busy += other.plio_busy;
         self.iterations = self.iterations.max(other.iterations);
     }
+
+    /// Adds every counter of `delta` verbatim. Unlike [`SimStats::merge`]
+    /// (which models parallel tasks and so takes the maximum of `elapsed`
+    /// and `iterations`), this treats `delta` as additional *sequential*
+    /// work — the per-iteration stats delta a timing-replay path applies
+    /// once per replayed iteration.
+    pub fn accumulate(&mut self, delta: &SimStats) {
+        self.elapsed += delta.elapsed;
+        self.dma_transfers += delta.dma_transfers;
+        self.dma_bytes += delta.dma_bytes;
+        self.neighbor_accesses += delta.neighbor_accesses;
+        self.plio_bytes_in += delta.plio_bytes_in;
+        self.plio_bytes_out += delta.plio_bytes_out;
+        self.orth_invocations += delta.orth_invocations;
+        self.norm_invocations += delta.norm_invocations;
+        self.ddr_bytes += delta.ddr_bytes;
+        self.orth_busy += delta.orth_busy;
+        self.plio_busy += delta.plio_busy;
+        self.iterations += delta.iterations;
+    }
+
+    /// Component-wise difference `self − earlier`, where `earlier` is a
+    /// snapshot of the same accumulating counters taken before some work
+    /// ran. Panics (in debug builds) if any counter went backwards.
+    pub fn delta_since(&self, earlier: &SimStats) -> SimStats {
+        SimStats {
+            elapsed: self.elapsed.saturating_sub(earlier.elapsed),
+            dma_transfers: self.dma_transfers - earlier.dma_transfers,
+            dma_bytes: self.dma_bytes - earlier.dma_bytes,
+            neighbor_accesses: self.neighbor_accesses - earlier.neighbor_accesses,
+            plio_bytes_in: self.plio_bytes_in - earlier.plio_bytes_in,
+            plio_bytes_out: self.plio_bytes_out - earlier.plio_bytes_out,
+            orth_invocations: self.orth_invocations - earlier.orth_invocations,
+            norm_invocations: self.norm_invocations - earlier.norm_invocations,
+            ddr_bytes: self.ddr_bytes - earlier.ddr_bytes,
+            orth_busy: self.orth_busy.saturating_sub(earlier.orth_busy),
+            plio_busy: self.plio_busy.saturating_sub(earlier.plio_busy),
+            iterations: self.iterations - earlier.iterations,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -120,5 +160,51 @@ mod tests {
         assert_eq!(a.orth_invocations, 15);
         assert_eq!(a.orth_busy, TimePs(100));
         assert_eq!(a.iterations, 6);
+    }
+
+    #[test]
+    fn accumulate_adds_sequential_work() {
+        let mut a = SimStats {
+            elapsed: TimePs(100),
+            dma_transfers: 3,
+            iterations: 2,
+            orth_busy: TimePs(40),
+            ..Default::default()
+        };
+        let d = SimStats {
+            elapsed: TimePs(50),
+            dma_transfers: 2,
+            iterations: 1,
+            orth_busy: TimePs(10),
+            ..Default::default()
+        };
+        a.accumulate(&d);
+        // Sequential semantics: everything adds, including elapsed and
+        // iterations (where merge would have taken the max).
+        assert_eq!(a.elapsed, TimePs(150));
+        assert_eq!(a.dma_transfers, 5);
+        assert_eq!(a.iterations, 3);
+        assert_eq!(a.orth_busy, TimePs(50));
+    }
+
+    #[test]
+    fn delta_since_inverts_accumulate() {
+        let before = SimStats {
+            dma_transfers: 3,
+            orth_invocations: 10,
+            iterations: 2,
+            plio_busy: TimePs(70),
+            ..Default::default()
+        };
+        let delta = SimStats {
+            dma_transfers: 4,
+            orth_invocations: 6,
+            iterations: 1,
+            plio_busy: TimePs(30),
+            ..Default::default()
+        };
+        let mut after = before;
+        after.accumulate(&delta);
+        assert_eq!(after.delta_since(&before), delta);
     }
 }

@@ -11,8 +11,8 @@
 //! as JSON for downstream plotting.
 
 use heterosvd_bench::experiments::{
-    ablation, accuracy, convergence, devices, dse_report, fig3, fig9, hotpath, scalability, table2,
-    table3, table4, table5, table6,
+    ablation, accuracy, convergence, devices, dse_report, fig3, fig9, hotpath, scalability, serve,
+    table2, table3, table4, table5, table6,
 };
 use std::sync::OnceLock;
 
@@ -136,6 +136,61 @@ fn main() {
     if want("hotpath") {
         run_hotpath(quick);
     }
+    if want("serve") {
+        run_serve(quick);
+    }
+}
+
+fn run_serve(quick: bool) {
+    println!("\n=== Serving path: requests/sec, baseline vs optimized (256x256, P_eng=4, timing-only, 6 iterations) ===");
+    let requests = if quick { 32 } else { 128 };
+    let report = match serve::run(256, 4, 4, 8, 6, requests) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("serve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>12} | {:>9} {:>10} {:>10} {:>12} | {:>12} {:>12}",
+        "variant", "requests", "completed", "wall(s)", "req/s", "p50 wall(us)", "p99 wall(us)"
+    );
+    for r in &report.results {
+        println!(
+            "{:>12} | {:>9} {:>10} {:>10.3} {:>12.1} | {:>12} {:>12}",
+            r.variant,
+            r.requests,
+            r.completed,
+            r.wall_secs,
+            r.requests_per_sec,
+            r.p50_wall_us,
+            r.p99_wall_us
+        );
+    }
+    println!(
+        "throughput speedup vs baseline: {:.2}x (batch {}, {} iterations/request)",
+        report.speedup, report.max_batch, report.iterations
+    );
+    persist("serve", &report);
+
+    // The emitter proper: BENCH_serve.json at the repo root seeds the
+    // perf trajectory regardless of `--out`.
+    let path = std::env::var("BENCH_SERVE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_serve.json").to_string()
+    });
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize serve report: {e}");
+            std::process::exit(1);
+        }
+    }
 }
 
 fn run_hotpath(quick: bool) {
@@ -172,6 +227,12 @@ fn run_hotpath(quick: bool) {
         report.passes_per_sweep,
         report.measured_sweeps
     );
+    if report.parallel_auto_degraded {
+        println!(
+            "functional parallelism auto-degraded to serial: host reports {} hardware thread(s)",
+            report.host_parallelism
+        );
+    }
     persist("hotpath", &report);
 
     // The emitter proper: BENCH_hotpath.json at the repo root seeds the

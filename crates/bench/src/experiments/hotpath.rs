@@ -120,6 +120,13 @@ pub struct HotpathReport {
     pub speedup_serial: f64,
     /// `baseline.ns_per_pass / optimized-parallel.ns_per_pass`.
     pub speedup_parallel: f64,
+    /// `std::thread::available_parallelism()` on the benchmarking host.
+    pub host_parallelism: usize,
+    /// Whether `functional_parallelism` was auto-degraded to serial
+    /// because the host has a single hardware thread (on such hosts the
+    /// parallel variant measured ~1.7x *slower* than serial — pure
+    /// coordination overhead).
+    pub parallel_auto_degraded: bool,
 }
 
 fn test_matrix(n: usize) -> Matrix<f32> {
@@ -243,6 +250,7 @@ pub fn run(
             .map(|r| r.ns_per_pass)
             .unwrap_or(f64::NAN)
     };
+    let host_parallelism = svd_kernels::parallel::available_workers();
     Ok(HotpathReport {
         n,
         p_eng,
@@ -250,6 +258,8 @@ pub fn run(
         measured_sweeps,
         speedup_serial: ns("baseline") / ns("optimized-serial"),
         speedup_parallel: ns("baseline") / ns("optimized-parallel"),
+        host_parallelism,
+        parallel_auto_degraded: host_parallelism <= 1,
         results,
     })
 }

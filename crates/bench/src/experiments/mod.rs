@@ -9,6 +9,7 @@ pub mod fig3;
 pub mod fig9;
 pub mod hotpath;
 pub mod scalability;
+pub mod serve;
 pub mod table2;
 pub mod table3;
 pub mod table4;

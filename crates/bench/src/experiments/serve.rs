@@ -1,0 +1,244 @@
+//! Serving-path benchmark: requests/sec through the batch data path,
+//! before and after the PR-3 optimizations.
+//!
+//! Two variants push the same request stream (256×256 timing-only
+//! requests, fixed 6 iterations) through the serving stack:
+//!
+//! * **baseline** — an emulation of the pre-optimization data path,
+//!   frozen here as the measurement reference: requests queue as
+//!   `Matrix<f64>`, `execute_batch` *clones* every matrix out of its
+//!   entry (casting f64→f32 inside the accelerator), each batch spawns
+//!   a fresh `crossbeam::scope` thread per matrix, and every request
+//!   re-simulates the full orthogonalization timeline
+//!   (`timing_replay = false`).
+//! * **optimized** — the real [`heterosvd_serve::SvdService`]: f32 cast
+//!   once at admission, matrices *moved* into the accelerator, batches
+//!   run on the persistent [`heterosvd::BatchPool`], and per-plan
+//!   timing replay on (the default).
+//!
+//! Reported per variant: completed requests, wall seconds,
+//! requests/sec, and p50/p99 request wall latency in microseconds. The
+//! report's `speedup` is `optimized.requests_per_sec /
+//! baseline.requests_per_sec`.
+
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig, HeteroSvdError};
+use heterosvd_serve::{Percentiles, ServeConfig, SvdService};
+use std::time::{Duration, Instant};
+use svd_kernels::Matrix;
+
+/// One measured variant of the serving path.
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeRow {
+    /// `baseline` or `optimized`.
+    pub variant: String,
+    /// Requests pushed through the variant.
+    pub requests: usize,
+    /// Requests that completed successfully.
+    pub completed: usize,
+    /// Wall-clock seconds from first submission to last completion.
+    pub wall_secs: f64,
+    /// Completed requests per wall-clock second.
+    pub requests_per_sec: f64,
+    /// Median request wall latency (admission → completion), µs.
+    pub p50_wall_us: u64,
+    /// 99th-percentile request wall latency, µs.
+    pub p99_wall_us: u64,
+}
+
+/// The complete serving report (serialized to `BENCH_serve.json`).
+#[derive(Debug, Clone, serde::Serialize, serde::Deserialize)]
+pub struct ServeReport {
+    /// Matrix dimension of the workload (n×n).
+    pub n: usize,
+    /// Engine parallelism `P_eng` of every accelerator.
+    pub p_eng: usize,
+    /// Task parallelism `P_task` (Eq. 14 divisor).
+    pub p_task: usize,
+    /// Largest batch either variant forms.
+    pub max_batch: usize,
+    /// Fixed iteration count per request.
+    pub iterations: usize,
+    /// One row per variant.
+    pub results: Vec<ServeRow>,
+    /// `optimized.requests_per_sec / baseline.requests_per_sec`.
+    pub speedup: f64,
+}
+
+fn request_matrix(n: usize, seed: usize) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |r, c| {
+        ((r * 31 + c * 17 + seed * 7 + 3) % 13) as f64 / 3.0 - 2.0 + if r == c { 2.0 } else { 0.0 }
+    })
+}
+
+fn row(
+    variant: &str,
+    requests: usize,
+    completed: usize,
+    wall: Duration,
+    wall_us: &mut [u64],
+) -> ServeRow {
+    let secs = wall.as_secs_f64();
+    let pct = Percentiles::from_samples(wall_us);
+    ServeRow {
+        variant: variant.to_string(),
+        requests,
+        completed,
+        wall_secs: secs,
+        requests_per_sec: if secs > 0.0 {
+            completed as f64 / secs
+        } else {
+            0.0
+        },
+        p50_wall_us: pct.p50,
+        p99_wall_us: pct.p99,
+    }
+}
+
+/// The pre-optimization serving data path, frozen as the baseline: f64
+/// queue entries, a clone per request per batch, a fresh thread per
+/// matrix per batch, and full timeline re-simulation on every request.
+/// Do not optimize — its cost profile IS the measurement.
+fn run_baseline(
+    n: usize,
+    p_eng: usize,
+    p_task: usize,
+    max_batch: usize,
+    iterations: usize,
+    requests: usize,
+) -> Result<ServeRow, HeteroSvdError> {
+    let cfg = HeteroSvdConfig::builder(n, n)
+        .engine_parallelism(p_eng)
+        .task_parallelism(p_task)
+        .fidelity(FidelityMode::TimingOnly)
+        .fixed_iterations(iterations)
+        .timing_replay(false)
+        .build()?;
+    let accelerator = Accelerator::new(cfg)?;
+
+    // The old queue stored the caller's f64 matrices verbatim.
+    let queued: Vec<Matrix<f64>> = (0..requests).map(|i| request_matrix(n, i)).collect();
+    let mut wall_us: Vec<u64> = Vec::with_capacity(requests);
+    let mut completed = 0usize;
+    let start = Instant::now();
+    for batch in queued.chunks(max_batch) {
+        let batch_start = Instant::now();
+        // Clone-per-entry, exactly as the old execute_batch did.
+        let matrices: Vec<Matrix<f64>> = batch.to_vec();
+        // Thread-per-matrix crossbeam scope, exactly as the old
+        // run_many did.
+        let outputs: Vec<Result<_, HeteroSvdError>> = crossbeam::scope(|scope| {
+            let handles: Vec<_> = matrices
+                .iter()
+                .map(|m| {
+                    let acc = &accelerator;
+                    scope.spawn(move |_| acc.run(m))
+                })
+                .collect();
+            handles.into_iter().map(|h| h.join().unwrap()).collect()
+        })
+        .expect("baseline scope panicked");
+        let batch_wall = batch_start.elapsed();
+        for output in outputs {
+            output?;
+            completed += 1;
+            // Every request in the batch waited for the whole batch.
+            wall_us.push(batch_wall.as_micros() as u64);
+        }
+    }
+    Ok(row(
+        "baseline",
+        requests,
+        completed,
+        start.elapsed(),
+        &mut wall_us,
+    ))
+}
+
+/// The current serving stack end to end.
+fn run_optimized(
+    n: usize,
+    p_eng: usize,
+    p_task: usize,
+    max_batch: usize,
+    iterations: usize,
+    requests: usize,
+) -> Result<ServeRow, heterosvd_serve::ServeError> {
+    let service = SvdService::start(ServeConfig {
+        workers: 2,
+        queue_capacity: requests.max(1),
+        max_batch,
+        max_linger: Duration::from_micros(200),
+        engine_parallelism: p_eng,
+        task_parallelism: p_task,
+        fidelity: FidelityMode::TimingOnly,
+        fixed_iterations: Some(iterations),
+        ..ServeConfig::default()
+    })?;
+    let mut wall_us: Vec<u64> = Vec::with_capacity(requests);
+    let mut completed = 0usize;
+    let start = Instant::now();
+    let handles: Vec<_> = (0..requests)
+        .map(|i| service.try_submit(request_matrix(n, i)))
+        .collect::<Result<_, _>>()?;
+    for handle in handles {
+        let response = handle.wait()?;
+        completed += 1;
+        wall_us.push(response.latency.wall_total.as_micros() as u64);
+    }
+    let wall = start.elapsed();
+    service.shutdown();
+    Ok(row("optimized", requests, completed, wall, &mut wall_us))
+}
+
+/// Measures both variants on an `n×n` timing-only workload and returns
+/// the report.
+///
+/// # Errors
+///
+/// Accelerator or service errors from either variant.
+pub fn run(
+    n: usize,
+    p_eng: usize,
+    p_task: usize,
+    max_batch: usize,
+    iterations: usize,
+    requests: usize,
+) -> Result<ServeReport, HeteroSvdError> {
+    assert!(requests > 0, "need at least one request");
+    let baseline = run_baseline(n, p_eng, p_task, max_batch, iterations, requests)?;
+    let optimized = run_optimized(n, p_eng, p_task, max_batch, iterations, requests)
+        .map_err(|e| HeteroSvdError::InvalidConfig(format!("serving variant failed: {e}")))?;
+    let speedup = if baseline.requests_per_sec > 0.0 {
+        optimized.requests_per_sec / baseline.requests_per_sec
+    } else {
+        f64::NAN
+    };
+    Ok(ServeReport {
+        n,
+        p_eng,
+        p_task,
+        max_batch,
+        iterations,
+        results: vec![baseline, optimized],
+        speedup,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Both variants complete every request on a small workload and the
+    /// report is internally consistent.
+    #[test]
+    fn small_workload_report_is_consistent() {
+        let report = run(32, 2, 2, 4, 3, 8).unwrap();
+        assert_eq!(report.results.len(), 2);
+        for r in &report.results {
+            assert_eq!(r.completed, 8, "{} dropped requests", r.variant);
+            assert!(r.requests_per_sec > 0.0, "{}: zero throughput", r.variant);
+            assert!(r.p99_wall_us >= r.p50_wall_us);
+        }
+        assert!(report.speedup.is_finite());
+    }
+}

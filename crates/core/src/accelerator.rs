@@ -6,7 +6,7 @@ use crate::orth_pipeline::OrthPipeline;
 use crate::placement::Placement;
 use crate::plan_cache::{self, PlanHandle};
 use crate::timing::TimingBreakdown;
-use crate::HeteroSvdError;
+use crate::{batch_pool, replay, HeteroSvdError};
 use aie_sim::ddr::DdrModel;
 use aie_sim::resources::ResourceUsage;
 use aie_sim::stats::SimStats;
@@ -99,7 +99,7 @@ impl Accelerator {
     /// Core driver: consumes the working copy `b` directly (no second
     /// buffer), parallelizing functional rotations per the configured
     /// [`HeteroSvdConfig::functional_parallelism`].
-    fn run_owned(&self, b: Matrix<f32>) -> Result<HeteroSvdOutput, HeteroSvdError> {
+    pub(crate) fn run_owned(&self, b: Matrix<f32>) -> Result<HeteroSvdOutput, HeteroSvdError> {
         let cfg = &self.config;
         if b.rows() != cfg.rows || b.cols() != cfg.cols {
             return Err(HeteroSvdError::InvalidConfig(format!(
@@ -135,22 +135,22 @@ impl Accelerator {
 
         // ---- First-iteration DDR loads (Eq. 12): blocks arrive serially.
         let ddr = DdrModel::new(cfg.calibration);
-        let p = cfg.num_blocks();
-        let block_bytes = cfg.engine_parallelism * cfg.column_bytes();
-        let mut ready = Vec::with_capacity(p);
-        let mut t = TimePs::ZERO;
-        for _ in 0..p {
-            t += ddr.burst_time(block_bytes);
-            ready.push(t);
-            stats.ddr_bytes += block_bytes;
-        }
-        timing.ddr_time = t;
+        let (ready, ddr_time, ddr_bytes) = replay::ddr_initial_ready(cfg);
+        stats.ddr_bytes += ddr_bytes;
+        timing.ddr_time = ddr_time;
 
         // ---- Orthogonalization iterations, driven by the system module
         // (Fig. 2): it decides when to leave the orthogonalization stage.
         let mut pipe = OrthPipeline::new(cfg, &self.plan);
         pipe.set_block_ready(ready);
         pipe.set_norm_floor_sq(b.column_norm_floor_sq());
+        if cfg.timing_replay {
+            // The profile was probed from the same Eq. 12 state the
+            // pipeline just got, so replay activates (and is exact).
+            if let Some(profile) = self.plan.timing_profile(cfg) {
+                pipe.set_replay_profile(profile);
+            }
+        }
 
         let mut system = crate::pl_modules::SystemModule::new(
             cfg.precision,
@@ -218,57 +218,61 @@ impl Accelerator {
         })
     }
 
-    /// Factorizes a batch of distinct matrices in parallel (one OS
-    /// thread per matrix, `crossbeam`-scoped): the functional results of
-    /// each task pipeline. The batch's *system time* still follows
-    /// Eq. (14) — `⌈B / P_task⌉ · t_task` — since the pipelines are
-    /// identical replicas; it is returned alongside the outputs.
+    /// Factorizes a batch of distinct matrices on the process-wide
+    /// [`batch_pool`] (persistent bounded workers instead of one OS
+    /// thread per matrix). The batch's *system time* follows Eq. (14) —
+    /// `⌈B / P_task⌉ · t_task` — or its §IV-C overlapped variant when
+    /// [`HeteroSvdConfig::cross_batch_pipelining`] is set; it is
+    /// returned alongside the outputs.
     ///
     /// # Errors
     ///
     /// Returns the first error any task produced. A panicking worker
-    /// thread is contained and surfaces as
-    /// [`HeteroSvdError::WorkerPanicked`] rather than unwinding through
-    /// the caller.
+    /// is contained and surfaces as [`HeteroSvdError::WorkerPanicked`]
+    /// rather than unwinding through the caller.
     pub fn run_many(
         &self,
         matrices: &[Matrix<f64>],
+    ) -> Result<(Vec<HeteroSvdOutput>, TimePs), HeteroSvdError> {
+        self.run_many_f32(matrices.iter().map(|a| a.cast::<f32>()).collect())
+    }
+
+    /// [`Accelerator::run_many`] taking owned `f32` matrices (the
+    /// device's native type): callers that already hold `f32` data —
+    /// the serving path casts once at admission — hand it over without
+    /// any clone or re-cast.
+    ///
+    /// # Errors
+    ///
+    /// As [`Accelerator::run_many`].
+    pub fn run_many_f32(
+        &self,
+        matrices: Vec<Matrix<f32>>,
     ) -> Result<(Vec<HeteroSvdOutput>, TimePs), HeteroSvdError> {
         if matrices.is_empty() {
             return Err(HeteroSvdError::InvalidConfig(
                 "batch must contain at least one matrix".into(),
             ));
         }
-        let outputs = crossbeam::scope(|scope| {
-            let handles: Vec<_> = matrices
-                .iter()
-                .map(|a| scope.spawn(move |_| self.run(a)))
-                .collect();
-            Self::join_batch(handles)
-        })
-        .unwrap_or_else(|payload| Err(HeteroSvdError::worker_panicked(payload.as_ref())))?;
-        let t_task = outputs
-            .iter()
-            .map(|o| o.timing.task_time)
-            .fold(TimePs::ZERO, TimePs::max);
-        let waves = matrices.len().div_ceil(self.config.task_parallelism) as u64;
-        Ok((outputs, TimePs(t_task.0 * waves)))
-    }
-
-    /// Joins a batch of worker handles, converting a panic in any worker
-    /// into [`HeteroSvdError::WorkerPanicked`] so the batch fails cleanly
-    /// instead of unwinding through the scope.
-    fn join_batch<'scope, T>(
-        handles: Vec<crossbeam::ScopedJoinHandle<'scope, Result<T, HeteroSvdError>>>,
-    ) -> Result<Vec<T>, HeteroSvdError> {
-        handles
+        let num_tasks = matrices.len();
+        let tasks = matrices
             .into_iter()
-            .map(|h| {
-                h.join().unwrap_or_else(|payload| {
-                    Err(HeteroSvdError::worker_panicked(payload.as_ref()))
-                })
+            .map(|b| {
+                let acc = self.clone();
+                Box::new(move || acc.run_owned(b)) as Box<_>
             })
-            .collect()
+            .collect();
+        let outputs = batch_pool::global().run_batch(tasks)?;
+        let slowest = outputs
+            .iter()
+            .max_by_key(|o| o.timing.task_time)
+            .expect("batch is non-empty");
+        let sys = slowest.timing.system_time_with(
+            num_tasks,
+            self.config.task_parallelism,
+            self.config.cross_batch_pipelining,
+        );
+        Ok((outputs, sys))
     }
 
     /// The movement/DMA analysis of one block-pair pass under this
@@ -287,7 +291,8 @@ impl Accelerator {
     /// Simulates a batch of `num_tasks` identical tasks: one task is
     /// simulated, then the system time follows Eq. (14)
     /// (`⌈num_tasks/P_task⌉ · t_task` — the `P_task` pipelines are
-    /// independent replicas).
+    /// independent replicas), or its §IV-C overlapped variant when
+    /// [`HeteroSvdConfig::cross_batch_pipelining`] is set.
     ///
     /// Returns the single-task output plus the batch system time.
     pub fn run_batch(
@@ -301,9 +306,11 @@ impl Accelerator {
             ));
         }
         let out = self.run(a)?;
-        let sys = out
-            .timing
-            .system_time(num_tasks, self.config.task_parallelism);
+        let sys = out.timing.system_time_with(
+            num_tasks,
+            self.config.task_parallelism,
+            self.config.cross_batch_pipelining,
+        );
         Ok((out, sys))
     }
 }
@@ -332,28 +339,20 @@ mod tests {
     }
 
     #[test]
-    fn panicking_batch_worker_surfaces_as_error() {
-        // Drive join_batch through the same scope/spawn plumbing run_many
-        // uses, with one worker that panics and one that succeeds: the
-        // batch must come back as a WorkerPanicked Err, not unwind.
-        let result = crossbeam::scope(|scope| {
-            let handles = vec![
-                scope.spawn(|_| -> Result<u32, HeteroSvdError> { Ok(7) }),
-                scope.spawn(|_| -> Result<u32, HeteroSvdError> {
-                    panic!("injected batch worker failure")
-                }),
-            ];
-            Accelerator::join_batch(handles)
-        })
-        .unwrap_or_else(|payload| Err(HeteroSvdError::worker_panicked(payload.as_ref())));
-        let err = result.unwrap_err();
-        assert!(
-            matches!(
-                &err,
-                HeteroSvdError::WorkerPanicked(msg) if msg.contains("injected batch worker failure")
-            ),
-            "unexpected error: {err:?}"
-        );
+    fn run_many_f32_matches_run_many() {
+        // The zero-copy entry point must be behaviorally identical to the
+        // f64 one (which casts and delegates to it).
+        let acc = accel(16, 2);
+        let mats: Vec<Matrix<f64>> = (0..3).map(|i| sample(16).scaled(1.0 + i as f64)).collect();
+        let (by_ref, sys_ref) = acc.run_many(&mats).unwrap();
+        let owned: Vec<Matrix<f32>> = mats.iter().map(|a| a.cast::<f32>()).collect();
+        let (by_val, sys_val) = acc.run_many_f32(owned).unwrap();
+        assert_eq!(sys_ref, sys_val);
+        for (a, b) in by_ref.iter().zip(&by_val) {
+            assert_eq!(a.result.u.as_slice(), b.result.u.as_slice());
+            assert_eq!(a.timing, b.timing);
+        }
+        assert!(acc.run_many_f32(Vec::new()).is_err());
     }
 
     #[test]

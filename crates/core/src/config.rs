@@ -63,6 +63,16 @@ pub struct HeteroSvdConfig {
     /// parallelism; `1` = fully serial). Results are bit-identical at
     /// any setting; this knob only changes host-side wall-clock.
     pub functional_parallelism: usize,
+    /// Replay the plan's cached timing profile instead of re-simulating
+    /// every `Timeline` (default on). Replay is exact by construction —
+    /// the clock is data-independent and the profile is only used when
+    /// the run starts from the state it was probed from — so this knob
+    /// exists for benchmarking and cross-checking, not correctness.
+    pub timing_replay: bool,
+    /// Model §IV-C cross-batch pipelining in system-time projections:
+    /// after the first wave, each wave's DDR load overlaps the previous
+    /// wave's compute. Default off, preserving Eq. (14) exactness.
+    pub cross_batch_pipelining: bool,
     /// Target device (geometry, budgets, tile memory; default VCK190).
     pub device: DeviceProfile,
     /// Timing calibration.
@@ -98,16 +108,26 @@ impl HeteroSvdConfig {
 
     /// The worker-thread count the functional hot path actually uses:
     /// capped at `P_eng` (a layer has at most `P_eng` independent
-    /// pairs) and forced to 1 outside functional fidelity (timing-only
-    /// runs perform no rotations worth parallelizing).
+    /// pairs), forced to 1 outside functional fidelity (timing-only
+    /// runs perform no rotations worth parallelizing), and auto-degraded
+    /// to the serial path on single-hardware-thread hosts.
     pub fn effective_functional_workers(&self) -> usize {
-        if self.fidelity == FidelityMode::Functional {
-            self.functional_parallelism
-                .min(self.engine_parallelism)
-                .max(1)
-        } else {
-            1
+        self.effective_functional_workers_on(svd_kernels::parallel::available_workers())
+    }
+
+    /// [`HeteroSvdConfig::effective_functional_workers`] for a host
+    /// reporting `host_threads` hardware threads (factored out so the
+    /// degrade policy is testable on any machine). With one hardware
+    /// thread the `RotationPool` only adds claim/wake overhead while its
+    /// workers time-slice a single core — measurably slower than serial
+    /// (BENCH_hotpath.json) — so such hosts always get the serial path.
+    pub fn effective_functional_workers_on(&self, host_threads: usize) -> usize {
+        if self.fidelity != FidelityMode::Functional || host_threads <= 1 {
+            return 1;
         }
+        self.functional_parallelism
+            .min(self.engine_parallelism)
+            .max(1)
     }
 }
 
@@ -127,6 +147,8 @@ pub struct HeteroSvdConfigBuilder {
     fidelity: FidelityMode,
     record_trace: bool,
     functional_parallelism: Option<usize>,
+    timing_replay: bool,
+    cross_batch_pipelining: bool,
     device: DeviceProfile,
     calibration: Calibration,
 }
@@ -147,6 +169,8 @@ impl HeteroSvdConfigBuilder {
             fidelity: FidelityMode::Functional,
             record_trace: false,
             functional_parallelism: None,
+            timing_replay: true,
+            cross_batch_pipelining: false,
             device: DeviceProfile::VCK190,
             calibration: Calibration::DEFAULT,
         }
@@ -220,6 +244,21 @@ impl HeteroSvdConfigBuilder {
     /// Any setting produces bit-identical results.
     pub fn functional_parallelism(mut self, workers: usize) -> Self {
         self.functional_parallelism = Some(workers);
+        self
+    }
+
+    /// Enables or disables timing replay (default on). Disabling forces
+    /// full `Timeline` re-simulation every run — useful for equivalence
+    /// tests and for measuring what replay saves.
+    pub fn timing_replay(mut self, replay: bool) -> Self {
+        self.timing_replay = replay;
+        self
+    }
+
+    /// Enables the §IV-C cross-batch pipelining overlap term in
+    /// system-time projections (default off: plain Eq. 14).
+    pub fn cross_batch_pipelining(mut self, enabled: bool) -> Self {
+        self.cross_batch_pipelining = enabled;
         self
     }
 
@@ -328,6 +367,8 @@ impl HeteroSvdConfigBuilder {
             functional_parallelism: self
                 .functional_parallelism
                 .unwrap_or_else(svd_kernels::parallel::available_workers),
+            timing_replay: self.timing_replay,
+            cross_batch_pipelining: self.cross_batch_pipelining,
             device: self.device,
             calibration: self.calibration,
         })
@@ -432,23 +473,53 @@ mod tests {
             .unwrap();
         assert_eq!(c.functional_parallelism, 3);
         // Capped at P_eng = 4 for the effective count, never below 1.
-        assert_eq!(c.effective_functional_workers(), 3);
+        assert_eq!(c.effective_functional_workers_on(8), 3);
         let wide = HeteroSvdConfig::builder(128, 128)
             .functional_parallelism(64)
             .build()
             .unwrap();
-        assert_eq!(wide.effective_functional_workers(), 4);
+        assert_eq!(wide.effective_functional_workers_on(8), 4);
         let timing = HeteroSvdConfig::builder(128, 128)
             .functional_parallelism(64)
             .fidelity(FidelityMode::TimingOnly)
             .fixed_iterations(6)
             .build()
             .unwrap();
-        assert_eq!(timing.effective_functional_workers(), 1);
+        assert_eq!(timing.effective_functional_workers_on(8), 1);
         assert!(HeteroSvdConfig::builder(128, 128)
             .functional_parallelism(0)
             .build()
             .is_err());
+    }
+
+    #[test]
+    fn single_thread_hosts_degrade_to_serial() {
+        let c = HeteroSvdConfig::builder(128, 128)
+            .functional_parallelism(4)
+            .build()
+            .unwrap();
+        // One hardware thread: the pool would only add overhead.
+        assert_eq!(c.effective_functional_workers_on(1), 1);
+        assert_eq!(c.effective_functional_workers_on(2), 4);
+        // The live query agrees with the pure policy for this host.
+        assert_eq!(
+            c.effective_functional_workers(),
+            c.effective_functional_workers_on(svd_kernels::parallel::available_workers())
+        );
+    }
+
+    #[test]
+    fn replay_and_pipelining_knobs_default_and_build() {
+        let c = HeteroSvdConfig::builder(128, 128).build().unwrap();
+        assert!(c.timing_replay);
+        assert!(!c.cross_batch_pipelining);
+        let c = HeteroSvdConfig::builder(128, 128)
+            .timing_replay(false)
+            .cross_batch_pipelining(true)
+            .build()
+            .unwrap();
+        assert!(!c.timing_replay);
+        assert!(c.cross_batch_pipelining);
     }
 
     #[test]

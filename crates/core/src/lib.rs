@@ -36,6 +36,7 @@
 //! ```
 
 pub mod accelerator;
+pub mod batch_pool;
 pub mod config;
 pub mod energy;
 pub mod norm_pipeline;
@@ -44,6 +45,7 @@ pub mod pl_modules;
 pub mod placement;
 pub mod plan_cache;
 pub mod render;
+pub mod replay;
 pub mod routing;
 pub mod svd;
 pub mod timing;
@@ -51,10 +53,12 @@ pub mod timing;
 mod error;
 
 pub use accelerator::{Accelerator, HeteroSvdOutput};
+pub use batch_pool::BatchPool;
 pub use config::{FidelityMode, HeteroSvdConfig, HeteroSvdConfigBuilder};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HeteroSvdError;
 pub use placement::Placement;
 pub use plan_cache::{PlanCache, PlanHandle};
+pub use replay::TimingProfile;
 pub use routing::PlioPlan;
 pub use timing::TimingBreakdown;

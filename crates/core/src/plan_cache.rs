@@ -83,6 +83,11 @@ pub struct PlanHandle {
     /// Pre-classified movements of each layer transition:
     /// `movement[layer - 1]` holds the steps into `layer`.
     pub movement: Vec<Vec<MovementStep>>,
+    /// Lazily probed timing-replay profile (see [`crate::replay`]):
+    /// `None` before the first probe, `Some(None)` when the probe found
+    /// no steady state. Cached here so every run of the plan — across
+    /// accelerator clones and serving replicas — probes at most once.
+    timing_profile: OnceLock<Option<Arc<crate::replay::TimingProfile>>>,
 }
 
 impl PlanHandle {
@@ -144,7 +149,22 @@ impl PlanHandle {
             kernels: KernelCostModel::new(config.calibration),
             pl: PlModel::new(config.calibration),
             movement,
+            timing_profile: OnceLock::new(),
         })
+    }
+
+    /// This plan's timing-replay profile, probing it on first use and
+    /// caching the result (including a failed probe). The profile
+    /// depends only on plan-relevant config fields — the same fields
+    /// [`PlanKey`] fingerprints — so one probe is sound for every config
+    /// that shares this plan.
+    pub fn timing_profile(
+        &self,
+        config: &HeteroSvdConfig,
+    ) -> Option<Arc<crate::replay::TimingProfile>> {
+        self.timing_profile
+            .get_or_init(|| crate::replay::TimingProfile::build(config, self).map(Arc::new))
+            .clone()
     }
 }
 
@@ -304,6 +324,8 @@ mod tests {
         tweaked.record_trace = true;
         tweaked.functional_parallelism = 8;
         tweaked.fixed_iterations = Some(3);
+        tweaked.timing_replay = false;
+        tweaked.cross_batch_pipelining = true;
         let a = cache.get_or_build(&base).unwrap();
         let b = cache.get_or_build(&tweaked).unwrap();
         assert!(Arc::ptr_eq(&a, &b));
@@ -336,6 +358,15 @@ mod tests {
         // ...while the evicted one rebuilds on next use.
         cache.get_or_build(&config(32, 2)).unwrap();
         assert_eq!(cache.builds_for(&config(32, 2)), 2);
+    }
+
+    #[test]
+    fn timing_profile_probes_once_and_is_shared() {
+        let cfg = config(16, 2);
+        let plan = PlanHandle::build(&cfg).unwrap();
+        let a = plan.timing_profile(&cfg).expect("steady state");
+        let b = plan.timing_profile(&cfg).expect("cached");
+        assert!(Arc::ptr_eq(&a, &b));
     }
 
     #[test]

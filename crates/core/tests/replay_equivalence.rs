@@ -1,0 +1,117 @@
+//! Exact-equality sweep: timing replay vs. full re-simulation.
+//!
+//! The timing-replay cache (see `heterosvd::replay`) claims to be exact,
+//! not approximate: for every design it activates on, the replayed run
+//! must agree with a fully re-simulated run bit for bit — every `TimePs`
+//! in the timing breakdown, every `SimStats` counter, every trace
+//! record, and (in functional fidelity) every matrix element.
+
+use heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
+use svd_kernels::Matrix;
+use svd_orderings::movement::OrderingKind;
+
+fn sample(n: usize) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |r, c| {
+        ((r * 41 + c * 17 + 5) % 23) as f64 / 5.0 - 2.0 + if r == c { 2.0 } else { 0.0 }
+    })
+}
+
+fn accel(
+    n: usize,
+    p_eng: usize,
+    ordering: OrderingKind,
+    fidelity: FidelityMode,
+    replay: bool,
+) -> Accelerator {
+    let cfg = HeteroSvdConfig::builder(n, n)
+        .engine_parallelism(p_eng)
+        .ordering(ordering)
+        .pl_freq_mhz(208.3)
+        .fixed_iterations(5)
+        .fidelity(fidelity)
+        .record_trace(true)
+        .timing_replay(replay)
+        .build()
+        .unwrap();
+    Accelerator::new(cfg).unwrap()
+}
+
+#[test]
+fn replayed_runs_match_full_resimulation_bit_for_bit() {
+    let shapes = [(16usize, 2usize), (24, 3), (32, 4), (48, 2)];
+    let orderings = [
+        OrderingKind::ShiftingRing,
+        OrderingKind::Ring,
+        OrderingKind::RoundRobin,
+    ];
+    for &(n, p_eng) in &shapes {
+        for ordering in orderings {
+            for fidelity in [FidelityMode::Functional, FidelityMode::TimingOnly] {
+                let ctx = format!("n={n} p_eng={p_eng} {ordering:?} {fidelity:?}");
+                let with_replay = accel(n, p_eng, ordering, fidelity, true);
+                // The sweep must actually exercise replay, not fall back.
+                assert!(
+                    with_replay
+                        .plan()
+                        .timing_profile(with_replay.config())
+                        .is_some(),
+                    "no profile for {ctx} — sweep would be vacuous"
+                );
+                let a = sample(n);
+                let replayed = with_replay.run(&a).unwrap();
+                let resimulated = accel(n, p_eng, ordering, fidelity, false).run(&a).unwrap();
+
+                // Bit-identical TimePs across the whole breakdown
+                // (ddr_time, every iteration end, norm_time, task_time).
+                assert_eq!(replayed.timing, resimulated.timing, "timing for {ctx}");
+                // Identical counters (ddr_bytes, orth_invocations, DMA,
+                // PLIO, busy times, iterations — full struct equality).
+                assert_eq!(replayed.stats, resimulated.stats, "stats for {ctx}");
+                // Identical per-pass trace records.
+                assert_eq!(replayed.trace, resimulated.trace, "trace for {ctx}");
+                // Identical math.
+                assert_eq!(
+                    replayed.result.u.as_slice(),
+                    resimulated.result.u.as_slice(),
+                    "factors for {ctx}"
+                );
+                assert_eq!(
+                    replayed.result.sigma, resimulated.result.sigma,
+                    "sigma for {ctx}"
+                );
+                assert_eq!(
+                    replayed.result.history, resimulated.result.history,
+                    "history for {ctx}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn replay_is_exact_in_adaptive_convergence_mode() {
+    // Without fixed iterations the system module decides when to stop
+    // from the measured convergence — identical math must produce the
+    // same iteration count and the same replayed clock.
+    let build = |replay: bool| {
+        let cfg = HeteroSvdConfig::builder(32, 32)
+            .engine_parallelism(4)
+            .pl_freq_mhz(208.3)
+            .record_trace(true)
+            .timing_replay(replay)
+            .build()
+            .unwrap();
+        Accelerator::new(cfg).unwrap()
+    };
+    let a = sample(32);
+    let replayed = build(true).run(&a).unwrap();
+    let resimulated = build(false).run(&a).unwrap();
+    assert_eq!(replayed.timing, resimulated.timing);
+    assert_eq!(replayed.stats, resimulated.stats);
+    assert_eq!(replayed.trace, resimulated.trace);
+    assert_eq!(replayed.result.sweeps, resimulated.result.sweeps);
+    assert_eq!(
+        replayed.result.u.as_slice(),
+        resimulated.result.u.as_slice()
+    );
+}

@@ -76,4 +76,33 @@ fn steady_state_iterations_do_not_allocate() {
         "steady-state run_pass must not touch the allocator ({allocations} allocations observed \
          across 3 iterations)"
     );
+
+    // The timing-replay path must uphold the same guarantee: profile
+    // lookups plus the rotation math, nothing heap-bound per iteration.
+    let profile = plan
+        .timing_profile(&cfg)
+        .expect("plan reaches a steady state");
+    let mut replayed = OrthPipeline::new(&cfg, &plan);
+    replayed.set_norm_floor_sq(0.0);
+    replayed.set_block_ready(profile.initial_block_ready().to_vec());
+    replayed.set_replay_profile(profile);
+    let mut b2 = Matrix::from_fn(32, 32, |r, c| {
+        (((r * 31 + c * 17 + 3) % 13) as f32) / 3.0 - 2.0 + if r == c { 2.0 } else { 0.0 }
+    });
+    replayed.run_iteration(&mut b2);
+    assert!(replayed.replay_active(), "profile should activate replay");
+
+    ALLOCATIONS.store(0, Ordering::SeqCst);
+    TRACKING.store(true, Ordering::SeqCst);
+    for _ in 0..3 {
+        replayed.run_iteration(&mut b2);
+    }
+    TRACKING.store(false, Ordering::SeqCst);
+
+    let allocations = ALLOCATIONS.load(Ordering::SeqCst);
+    assert_eq!(
+        allocations, 0,
+        "replayed iterations must not touch the allocator ({allocations} allocations observed \
+         across 3 iterations)"
+    );
 }

@@ -40,6 +40,16 @@ pub struct ServeConfig {
     pub fixed_iterations: Option<usize>,
     /// Whether replicas compute real factorizations or timing only.
     pub fidelity: FidelityMode,
+    /// Whether replicas reuse the cached per-plan timing profile instead
+    /// of re-simulating the timeline for every request (forwarded to
+    /// [`heterosvd::HeteroSvdConfig::timing_replay`]). Replay is exact,
+    /// so this defaults on.
+    pub timing_replay: bool,
+    /// Whether the Eq. (14) batch system time models §IV-C cross-batch
+    /// PL-pass pipelining between consecutive waves (forwarded to
+    /// [`heterosvd::HeteroSvdConfig::cross_batch_pipelining`]). Defaults
+    /// off to preserve Eq. (14) exactly.
+    pub cross_batch_pipelining: bool,
     /// Deadline applied to requests submitted without an explicit one.
     pub default_timeout: Option<Duration>,
 }
@@ -57,6 +67,8 @@ impl Default for ServeConfig {
             functional_parallelism: 1,
             fixed_iterations: None,
             fidelity: FidelityMode::Functional,
+            timing_replay: true,
+            cross_batch_pipelining: false,
             default_timeout: None,
         }
     }
@@ -129,7 +141,9 @@ impl ServeConfig {
             .task_parallelism(self.task_parallelism)
             .precision(self.precision)
             .functional_parallelism(self.functional_parallelism)
-            .fidelity(self.fidelity);
+            .fidelity(self.fidelity)
+            .timing_replay(self.timing_replay)
+            .cross_batch_pipelining(self.cross_batch_pipelining);
         if let Some(iters) = self.fixed_iterations {
             builder = builder.fixed_iterations(iters);
         }

@@ -161,7 +161,11 @@ impl RequestState {
 #[derive(Debug)]
 pub(crate) struct PendingRequest {
     pub(crate) id: RequestId,
-    pub(crate) matrix: Matrix<f64>,
+    /// The request's matrix in the device's native `f32`: cast once at
+    /// admission (halving queued-request memory vs. storing the caller's
+    /// `f64`), then *moved* — never cloned — into the accelerator when
+    /// its batch executes.
+    pub(crate) matrix: Matrix<f32>,
     pub(crate) shape: (usize, usize),
     pub(crate) state: Arc<RequestState>,
     pub(crate) submitted_at: Instant,

@@ -1,6 +1,6 @@
 //! The serving front end: admission, dispatch, replica pool, lifecycle.
 
-use crate::batcher::{self, Batch, BatchEntry, FormOutcome};
+use crate::batcher::{self, Batch, FormOutcome};
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
@@ -141,7 +141,10 @@ impl SvdService {
         let request = PendingRequest {
             id,
             shape: (matrix.rows(), matrix.cols()),
-            matrix,
+            // Cast to the device's native f32 once, here: the request
+            // queues at half the memory and the replica moves the data
+            // straight into the accelerator with no further conversion.
+            matrix: matrix.cast::<f32>(),
             state: Arc::clone(&state),
             submitted_at,
             deadline: timeout.map(|t| submitted_at + t),
@@ -254,10 +257,10 @@ fn replica_main(inner: Arc<Inner>) {
     let mut accelerators: HashMap<(usize, usize), Accelerator> = HashMap::new();
     loop {
         match inner.dispatch.pop(batcher::POLL_TICK) {
-            PopResult::Item(batch) => {
+            PopResult::Item(mut batch) => {
                 let exec_started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    execute_batch(&inner, &mut accelerators, &batch, exec_started)
+                    execute_batch(&inner, &mut accelerators, &mut batch, exec_started)
                 }));
                 if let Err(payload) = outcome {
                     let err = ServeError::from(HeteroSvdError::worker_panicked(payload.as_ref()));
@@ -287,18 +290,21 @@ fn fail_batch(inner: &Inner, batch: &Batch, err: &ServeError) {
 }
 
 /// Runs one shape-uniform batch on this replica's accelerator, charging
-/// each request the shared Eq. (14) system time.
+/// each request the shared Eq. (14) system time. Takes the batch
+/// mutably: each live request's matrix is *moved* into the accelerator
+/// (zero-copy) while the entry itself stays behind for completion
+/// bookkeeping — and for [`fail_batch`] should this replica panic.
 fn execute_batch(
     inner: &Inner,
     accelerators: &mut HashMap<(usize, usize), Accelerator>,
-    batch: &Batch,
+    batch: &mut Batch,
     exec_started: Instant,
 ) {
     // Last-moment lifecycle checks: cancelled or expired requests are
     // completed here and excluded from the accelerator run.
     let now = Instant::now();
-    let mut live: Vec<&BatchEntry> = Vec::with_capacity(batch.entries.len());
-    for entry in &batch.entries {
+    let mut live: Vec<usize> = Vec::with_capacity(batch.entries.len());
+    for (idx, entry) in batch.entries.iter().enumerate() {
         if entry.request.state.is_cancelled() {
             if entry.request.state.complete(Err(ServeError::Cancelled)) {
                 inner.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
@@ -312,14 +318,17 @@ fn execute_batch(
                 inner.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
             }
         } else {
-            live.push(entry);
+            live.push(idx);
         }
     }
     if live.is_empty() {
         return;
     }
-    if let Some(pill) = live.iter().find(|e| e.request.poison) {
-        panic!("poison pill {} detonated in replica", pill.request.id);
+    if let Some(&pill) = live.iter().find(|&&i| batch.entries[i].request.poison) {
+        panic!(
+            "poison pill {} detonated in replica",
+            batch.entries[pill].request.id
+        );
     }
 
     inner
@@ -330,8 +339,8 @@ fn execute_batch(
         Ok(a) => a,
         Err(e) => {
             let err = ServeError::from(e);
-            for entry in &live {
-                if entry.request.state.complete(Err(err.clone())) {
+            for &i in &live {
+                if batch.entries[i].request.state.complete(Err(err.clone())) {
                     inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
@@ -339,10 +348,17 @@ fn execute_batch(
         }
     };
 
-    let matrices: Vec<Matrix<f64>> = live.iter().map(|e| e.request.matrix.clone()).collect();
-    match accelerator.run_many(&matrices) {
+    // Move each matrix out of its entry instead of cloning it (the old
+    // path copied rows × cols × 8 bytes per request per batch). The
+    // empty placeholder does not allocate.
+    let matrices: Vec<Matrix<f32>> = live
+        .iter()
+        .map(|&i| std::mem::replace(&mut batch.entries[i].request.matrix, Matrix::zeros(0, 0)))
+        .collect();
+    match accelerator.run_many_f32(matrices) {
         Ok((outputs, system_time)) => {
-            for (entry, output) in live.iter().zip(outputs) {
+            for (&i, output) in live.iter().zip(outputs) {
+                let entry = &batch.entries[i];
                 let latency = LatencyRecord {
                     queue_wait: entry
                         .picked_at
@@ -365,8 +381,8 @@ fn execute_batch(
         }
         Err(e) => {
             let err = ServeError::from(e);
-            for entry in &live {
-                if entry.request.state.complete(Err(err.clone())) {
+            for &i in &live {
+                if batch.entries[i].request.state.complete(Err(err.clone())) {
                     inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
