@@ -50,6 +50,7 @@ impl CpuBaseline {
             precision: 1e-30, // unreachable: fixed-iteration protocol
             max_iterations: iterations,
             fixed_iterations: Some(iterations),
+            adaptive: false,
         };
         let repeats = repeats.max(1);
         let start = Instant::now();

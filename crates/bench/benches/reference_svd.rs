@@ -30,6 +30,7 @@ fn bench_block_jacobi(c: &mut Criterion) {
             precision: 1e-6,
             max_iterations: 30,
             fixed_iterations: None,
+            adaptive: false,
         };
         group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
             b.iter(|| black_box(block_jacobi(&a, &opts).unwrap()))

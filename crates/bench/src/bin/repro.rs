@@ -11,8 +11,8 @@
 //! as JSON for downstream plotting.
 
 use heterosvd_bench::experiments::{
-    ablation, accuracy, convergence, devices, dse_report, fig3, fig9, hotpath, scalability, serve,
-    table2, table3, table4, table5, table6,
+    ablation, accuracy, adaptive, convergence, devices, dse_report, fig3, fig9, hotpath,
+    scalability, serve, table2, table3, table4, table5, table6,
 };
 use std::sync::OnceLock;
 
@@ -136,8 +136,108 @@ fn main() {
     if want("hotpath") {
         run_hotpath(quick);
     }
+    if want("adaptive") {
+        run_adaptive(quick);
+    }
     if want("serve") {
         run_serve(quick);
+    }
+}
+
+fn run_adaptive(quick: bool) {
+    println!(
+        "\n=== Adaptive sweep engine: exact vs threshold-gated + dirty-pair memo \
+         (fixed {} iterations, precision 1e-6, P_eng=4) ===",
+        adaptive::FIXED_ITERATIONS
+    );
+    let sizes: &[usize] = if quick {
+        &[64, 256]
+    } else {
+        &[64, 256, 512, 1024]
+    };
+    let report = match adaptive::run(sizes, 4, 1e-6) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("adaptive failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>6} {:>9} | {:>10} {:>10} {:>8} | {:>5} {:>5} | {:>11} {:>11} | {:>10} {:>10}",
+        "size",
+        "variant",
+        "wall(s)",
+        "rotations",
+        "conv@",
+        "sv-e",
+        "orth",
+        "memo skips",
+        "gated",
+        "speedup",
+        "sv-delta"
+    );
+    for size in &report.sizes {
+        for row in [&size.exact, &size.adaptive] {
+            println!(
+                "{:>6} {:>9} | {:>10.3} {:>10} {:>8} | {:>5.0e} {:>5.0e} | {:>11} {:>11} | {:>10} {:>10}",
+                size.n,
+                row.variant,
+                row.wall_secs,
+                row.rotations,
+                row.converged_sweep
+                    .map_or_else(|| "-".to_string(), |s| s.to_string()),
+                row.sv_error_vs_golden,
+                row.u_orth_error,
+                row.memo_skips,
+                row.gated_rotations,
+                if row.variant == "adaptive" {
+                    format!("{:.2}x", size.speedup)
+                } else {
+                    String::new()
+                },
+                if row.variant == "adaptive" {
+                    format!("{:.1e}", size.sv_delta_adaptive_vs_exact)
+                } else {
+                    String::new()
+                },
+            );
+        }
+        if !size.timing_identical || !size.stats_identical {
+            println!(
+                "  n={}: WARNING modeled timing/stats differ between variants",
+                size.n
+            );
+        }
+    }
+    persist("adaptive", &report);
+
+    // The emitter proper: BENCH_adaptive.json at the repo root seeds the
+    // perf trajectory regardless of `--out`.
+    let path = std::env::var("BENCH_ADAPTIVE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_adaptive.json").to_string()
+    });
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize adaptive report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Gates: quick (CI smoke) requires no regression at n=256; the full
+    // run additionally enforces the 1.8x speedup floor at n=512.
+    let violations = adaptive::gate_violations(&report, if quick { usize::MAX } else { 512 });
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("adaptive gate violated: {v}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -221,15 +321,18 @@ fn run_hotpath(quick: bool) {
         );
     }
     println!(
-        "speedup vs baseline: {:.2}x serial, {:.2}x parallel ({} passes/sweep, {} measured sweeps)",
+        "speedup vs baseline: {:.2}x serial, {} parallel ({} passes/sweep, {} measured sweeps)",
         report.speedup_serial,
-        report.speedup_parallel,
+        report
+            .speedup_parallel
+            .map_or_else(|| report.parallel_status.clone(), |s| format!("{s:.2}x")),
         report.passes_per_sweep,
         report.measured_sweeps
     );
     if report.parallel_auto_degraded {
         println!(
-            "functional parallelism auto-degraded to serial: host reports {} hardware thread(s)",
+            "optimized-parallel skipped (degraded): host reports {} hardware thread(s), a \
+             one-worker pool is serial plus coordination overhead",
             report.host_parallelism
         );
     }

@@ -44,6 +44,7 @@ pub fn run(
                     precision,
                     max_iterations: 40,
                     fixed_iterations: None,
+                    adaptive: false,
                 };
                 match block_jacobi(&a, &opts) {
                     Ok(r) => {

@@ -114,18 +114,24 @@ pub struct HotpathReport {
     pub passes_per_sweep: usize,
     /// Measured sweeps per variant (after one warm-up sweep).
     pub measured_sweeps: usize,
-    /// One row per variant.
+    /// One row per measured variant (the parallel row is absent when
+    /// the host degrades it, see [`Self::parallel_status`]).
     pub results: Vec<HotpathRow>,
     /// `baseline.ns_per_pass / optimized-serial.ns_per_pass`.
     pub speedup_serial: f64,
-    /// `baseline.ns_per_pass / optimized-parallel.ns_per_pass`.
-    pub speedup_parallel: f64,
+    /// `baseline.ns_per_pass / optimized-parallel.ns_per_pass`, or
+    /// `None` when the variant was skipped as degraded.
+    pub speedup_parallel: Option<f64>,
+    /// `"measured"`, or `"degraded"` when `functional_parallelism`
+    /// auto-degrades to one worker (single-hardware-thread host). A
+    /// degraded pool is the serial path plus coordination overhead
+    /// (measured ~1.7x *slower* than serial), so the variant is skipped
+    /// rather than published as a parallel number.
+    pub parallel_status: String,
     /// `std::thread::available_parallelism()` on the benchmarking host.
     pub host_parallelism: usize,
     /// Whether `functional_parallelism` was auto-degraded to serial
-    /// because the host has a single hardware thread (on such hosts the
-    /// parallel variant measured ~1.7x *slower* than serial — pure
-    /// coordination overhead).
+    /// because the host has a single hardware thread.
     pub parallel_auto_degraded: bool,
 }
 
@@ -215,15 +221,18 @@ pub fn run(
         ));
     }
 
-    // ---- Optimized parallel. ----
-    {
-        let cfg = config(n, p_eng, svd_kernels::parallel::available_workers())?;
-        let workers = cfg.effective_functional_workers();
-        let plan = PlanHandle::build(&cfg)?;
-        let mut pipe = OrthPipeline::new(&cfg, &plan);
+    // ---- Optimized parallel (skipped when degraded to one worker:
+    // a one-worker pool is the serial path plus coordination overhead,
+    // and publishing it as "parallel" misreads as a parallel speedup). ----
+    let cfg_parallel = config(n, p_eng, svd_kernels::parallel::available_workers())?;
+    let parallel_workers = cfg_parallel.effective_functional_workers();
+    let parallel_degraded = parallel_workers <= 1;
+    if !parallel_degraded {
+        let plan = PlanHandle::build(&cfg_parallel)?;
+        let mut pipe = OrthPipeline::new(&cfg_parallel, &plan);
         let mut b = test_matrix(n);
         pipe.set_norm_floor_sq(b.column_norm_floor_sq());
-        let (elapsed, allocs) = with_pool(workers, |pool| {
+        let (elapsed, allocs) = with_pool(parallel_workers, |pool| {
             pipe.run_iteration_with(&mut b, Some(pool)); // warm-up
             let allocs_before = alloc_count();
             let start = Instant::now();
@@ -239,7 +248,7 @@ pub fn run(
             passes_per_sweep,
             allocs,
             checksum(&b),
-            workers,
+            parallel_workers,
         ));
     }
 
@@ -248,18 +257,23 @@ pub fn run(
             .iter()
             .find(|r| r.variant == variant)
             .map(|r| r.ns_per_pass)
-            .unwrap_or(f64::NAN)
     };
-    let host_parallelism = svd_kernels::parallel::available_workers();
+    let baseline_ns = ns("baseline").unwrap_or(f64::NAN);
+    let serial_ns = ns("optimized-serial").unwrap_or(f64::NAN);
     Ok(HotpathReport {
         n,
         p_eng,
         passes_per_sweep,
         measured_sweeps,
-        speedup_serial: ns("baseline") / ns("optimized-serial"),
-        speedup_parallel: ns("baseline") / ns("optimized-parallel"),
-        host_parallelism,
-        parallel_auto_degraded: host_parallelism <= 1,
+        speedup_serial: baseline_ns / serial_ns,
+        speedup_parallel: ns("optimized-parallel").map(|p| baseline_ns / p),
+        parallel_status: if parallel_degraded {
+            "degraded".to_string()
+        } else {
+            "measured".to_string()
+        },
+        host_parallelism: svd_kernels::parallel::available_workers(),
+        parallel_auto_degraded: parallel_degraded,
         results,
     })
 }
@@ -537,12 +551,13 @@ impl<'a> BaselinePipeline<'a> {
 mod tests {
     use super::*;
 
-    /// The report is internally consistent on a small workload, and the
-    /// optimized serial and parallel variants agree bit for bit.
+    /// The report is internally consistent on a small workload; on a
+    /// multi-core host the optimized serial and parallel variants agree
+    /// bit for bit, and on a single-thread host the parallel variant is
+    /// recorded as degraded instead of being measured.
     #[test]
     fn small_workload_report_is_consistent() {
         let report = run(32, 4, 2, &|| 0).unwrap();
-        assert_eq!(report.results.len(), 3);
         assert_eq!(report.n, 32);
         for r in &report.results {
             assert!(
@@ -553,13 +568,27 @@ mod tests {
             assert!(r.sweeps_per_sec > 0.0);
             assert!(r.checksum.is_finite());
         }
-        let serial = &report.results[1];
-        let parallel = &report.results[2];
-        assert_eq!(
-            serial.checksum.to_bits(),
-            parallel.checksum.to_bits(),
-            "optimized serial and parallel sweeps must agree bit for bit"
-        );
+        if report.parallel_auto_degraded {
+            assert_eq!(report.results.len(), 2, "degraded parallel must be skipped");
+            assert_eq!(report.parallel_status, "degraded");
+            assert!(report.speedup_parallel.is_none());
+            assert!(!report
+                .results
+                .iter()
+                .any(|r| r.variant == "optimized-parallel"));
+        } else {
+            assert_eq!(report.results.len(), 3);
+            assert_eq!(report.parallel_status, "measured");
+            assert!(report.speedup_parallel.is_some());
+            let serial = &report.results[1];
+            let parallel = &report.results[2];
+            assert!(parallel.workers > 1);
+            assert_eq!(
+                serial.checksum.to_bits(),
+                parallel.checksum.to_bits(),
+                "optimized serial and parallel sweeps must agree bit for bit"
+            );
+        }
     }
 
     /// The frozen baseline converges like the real pipeline: sweeps

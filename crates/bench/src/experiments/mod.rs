@@ -2,6 +2,7 @@
 
 pub mod ablation;
 pub mod accuracy;
+pub mod adaptive;
 pub mod convergence;
 pub mod devices;
 pub mod dse_report;

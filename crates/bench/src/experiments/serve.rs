@@ -8,7 +8,7 @@
 //!   frozen here as the measurement reference: requests queue as
 //!   `Matrix<f64>`, `execute_batch` *clones* every matrix out of its
 //!   entry (casting f64→f32 inside the accelerator), each batch spawns
-//!   a fresh `crossbeam::scope` thread per matrix, and every request
+//!   a fresh scoped thread per matrix, and every request
 //!   re-simulates the full orthogonalization timeline
 //!   (`timing_replay = false`).
 //! * **optimized** — the real [`heterosvd_serve::SvdService`]: f32 cast
@@ -124,19 +124,19 @@ fn run_baseline(
         let batch_start = Instant::now();
         // Clone-per-entry, exactly as the old execute_batch did.
         let matrices: Vec<Matrix<f64>> = batch.to_vec();
-        // Thread-per-matrix crossbeam scope, exactly as the old
-        // run_many did.
-        let outputs: Vec<Result<_, HeteroSvdError>> = crossbeam::scope(|scope| {
+        // Thread-per-matrix scope, exactly as the old run_many did
+        // (std scoped threads; the old code used the since-removed
+        // crossbeam shim for the same spawn-per-matrix shape).
+        let outputs: Vec<Result<_, HeteroSvdError>> = std::thread::scope(|scope| {
             let handles: Vec<_> = matrices
                 .iter()
                 .map(|m| {
                     let acc = &accelerator;
-                    scope.spawn(move |_| acc.run(m))
+                    scope.spawn(move || acc.run(m))
                 })
                 .collect();
             handles.into_iter().map(|h| h.join().unwrap()).collect()
-        })
-        .expect("baseline scope panicked");
+        });
         let batch_wall = batch_start.elapsed();
         for output in outputs {
             output?;

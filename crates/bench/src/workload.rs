@@ -46,6 +46,7 @@ pub fn iterations_to_converge(n: usize, p_eng: usize, seed: u64) -> usize {
             precision: 1e-6,
             max_iterations: 30,
             fixed_iterations: None,
+            adaptive: false,
         };
         match block_jacobi(&a, &opts) {
             Ok(r) => r.sweeps,

@@ -2,7 +2,7 @@
 
 use crate::config::{FidelityMode, HeteroSvdConfig};
 use crate::norm_pipeline::run_norm_stage;
-use crate::orth_pipeline::OrthPipeline;
+use crate::orth_pipeline::{AdaptiveCounters, OrthPipeline};
 use crate::placement::Placement;
 use crate::plan_cache::{self, PlanHandle};
 use crate::timing::TimingBreakdown;
@@ -32,6 +32,11 @@ pub struct HeteroSvdOutput {
     /// Per-pass execution trace (empty unless
     /// [`HeteroSvdConfig::record_trace`] is set).
     pub trace: Vec<crate::orth_pipeline::PassRecord>,
+    /// Skipped-work counters of the convergence-adaptive engine (`None`
+    /// with [`HeteroSvdConfig::adaptive_sweeps`] off or outside
+    /// functional fidelity). Observational only: timing and stats never
+    /// depend on them.
+    pub adaptive: Option<AdaptiveCounters>,
 }
 
 /// A configured HeteroSVD accelerator instance.
@@ -162,6 +167,7 @@ impl Accelerator {
         let mut last_convergence = 0.0;
 
         while system.phase() == crate::pl_modules::Phase::Orthogonalizing {
+            pipe.set_rotation_threshold(system.rotation_threshold());
             let outcome = pipe.run_iteration_with(&mut b, pool);
             orth_end = outcome.end;
             timing.iteration_ends.push(outcome.end);
@@ -182,6 +188,7 @@ impl Accelerator {
             }));
         }
 
+        let adaptive = pipe.adaptive_counters();
         let (orth_stats, trace) = pipe.into_parts();
         stats.merge(&orth_stats);
         stats.iterations = history.len();
@@ -215,6 +222,7 @@ impl Accelerator {
             timing,
             usage: self.plan.placement.usage(),
             trace,
+            adaptive,
         })
     }
 

@@ -31,10 +31,12 @@ pub const MAX_BATCH_WORKERS: usize = 16;
 type BatchResult = Result<HeteroSvdOutput, HeteroSvdError>;
 type BatchTask = Box<dyn FnOnce() -> BatchResult + Send + 'static>;
 
+/// A type-erased unit of pool work: the thunk owns its task, its reply
+/// channel, and its panic handling, so workers stay oblivious to the
+/// result type and the pool can serve heterogeneous callers
+/// (factorizations, DSE sweeps, …) from one queue.
 struct Job {
-    task: BatchTask,
-    seq: usize,
-    reply: Sender<(usize, BatchResult)>,
+    thunk: Box<dyn FnOnce() + Send + 'static>,
 }
 
 /// A fixed-size pool of batch workers fed by one shared queue.
@@ -72,19 +74,46 @@ impl BatchPool {
     /// The first failing task's error; a panicking task surfaces as
     /// [`HeteroSvdError::WorkerPanicked`].
     pub fn run_batch(&self, tasks: Vec<BatchTask>) -> Result<Vec<HeteroSvdOutput>, HeteroSvdError> {
+        self.run_batch_with(tasks)
+    }
+
+    /// [`Self::run_batch`] for arbitrary result types: runs every task
+    /// on the pool and returns their `Ok` values in submission order,
+    /// or the first (by submission order) error.
+    ///
+    /// This is the entry point for non-factorization batch work (the
+    /// DSE sweep parallelizes its `P_eng` columns here), so the whole
+    /// workspace shares one bounded set of worker threads instead of
+    /// spawning scoped threads per call site.
+    ///
+    /// # Errors
+    ///
+    /// The first failing task's error; a panicking task surfaces as
+    /// [`HeteroSvdError::WorkerPanicked`].
+    pub fn run_batch_with<T, F>(&self, tasks: Vec<F>) -> Result<Vec<T>, HeteroSvdError>
+    where
+        T: Send + 'static,
+        F: FnOnce() -> Result<T, HeteroSvdError> + Send + 'static,
+    {
         let n = tasks.len();
-        let (reply, results) = channel();
+        let (reply, results) = channel::<(usize, Result<T, HeteroSvdError>)>();
         for (seq, task) in tasks.into_iter().enumerate() {
+            let reply = reply.clone();
             let job = Job {
-                task,
-                seq,
-                reply: reply.clone(),
+                thunk: Box::new(move || {
+                    let result = catch_unwind(AssertUnwindSafe(task)).unwrap_or_else(|payload| {
+                        Err(HeteroSvdError::worker_panicked(payload.as_ref()))
+                    });
+                    // The caller may have bailed on an earlier error;
+                    // that is fine.
+                    let _ = reply.send((seq, result));
+                }),
             };
             // Workers live for the whole process; the queue never closes.
             self.submit.send(job).expect("batch pool queue closed");
         }
         drop(reply);
-        let mut slots: Vec<Option<BatchResult>> = (0..n).map(|_| None).collect();
+        let mut slots: Vec<Option<Result<T, HeteroSvdError>>> = (0..n).map(|_| None).collect();
         for _ in 0..n {
             let (seq, result) = results.recv().map_err(|_| {
                 HeteroSvdError::WorkerPanicked("batch pool reply channel closed".into())
@@ -111,11 +140,9 @@ fn worker_main(jobs: Arc<Mutex<Receiver<Job>>>) {
                 Err(_) => return,
             }
         };
-        let Job { task, seq, reply } = job;
-        let result = catch_unwind(AssertUnwindSafe(task))
-            .unwrap_or_else(|payload| Err(HeteroSvdError::worker_panicked(payload.as_ref())));
-        // The caller may have bailed on an earlier error; that is fine.
-        let _ = reply.send((seq, result));
+        // The thunk contains its own panic barrier and reply; nothing
+        // here can unwind across the loop.
+        (job.thunk)();
     }
 }
 

@@ -69,6 +69,16 @@ pub struct HeteroSvdConfig {
     /// the run starts from the state it was probed from — so this knob
     /// exists for benchmarking and cross-checking, not correctness.
     pub timing_replay: bool,
+    /// Convergence-adaptive sweep engine for functional fidelity
+    /// (default on): threshold-Jacobi gating skips the rotation apply
+    /// for pairs whose Eq. (6) measure is below the per-sweep threshold,
+    /// and dirty-column tracking answers repeat visits of untouched
+    /// pairs from a cache without re-running the dot products. The
+    /// accelerator still streams every pass — modeled timing, stats, and
+    /// traces are bit-identical with the knob on or off — so this only
+    /// cuts host-side functional compute; singular values stay within
+    /// the configured `precision`'s accuracy budget of the exact engine.
+    pub adaptive_sweeps: bool,
     /// Model §IV-C cross-batch pipelining in system-time projections:
     /// after the first wave, each wave's DDR load overlaps the previous
     /// wave's compute. Default off, preserving Eq. (14) exactness.
@@ -148,6 +158,7 @@ pub struct HeteroSvdConfigBuilder {
     record_trace: bool,
     functional_parallelism: Option<usize>,
     timing_replay: bool,
+    adaptive_sweeps: bool,
     cross_batch_pipelining: bool,
     device: DeviceProfile,
     calibration: Calibration,
@@ -170,6 +181,7 @@ impl HeteroSvdConfigBuilder {
             record_trace: false,
             functional_parallelism: None,
             timing_replay: true,
+            adaptive_sweeps: true,
             cross_batch_pipelining: false,
             device: DeviceProfile::VCK190,
             calibration: Calibration::DEFAULT,
@@ -252,6 +264,17 @@ impl HeteroSvdConfigBuilder {
     /// tests and for measuring what replay saves.
     pub fn timing_replay(mut self, replay: bool) -> Self {
         self.timing_replay = replay;
+        self
+    }
+
+    /// Enables or disables the convergence-adaptive sweep engine
+    /// (default on). Only host-side functional compute is affected:
+    /// modeled timing, stats, and traces are bit-identical either way.
+    /// Turn it off to force the exact engine (every pair's rotation
+    /// computed and applied every visit) — useful for golden-model
+    /// comparisons and for measuring what the gating saves.
+    pub fn adaptive_sweeps(mut self, adaptive: bool) -> Self {
+        self.adaptive_sweeps = adaptive;
         self
     }
 
@@ -368,6 +391,7 @@ impl HeteroSvdConfigBuilder {
                 .functional_parallelism
                 .unwrap_or_else(svd_kernels::parallel::available_workers),
             timing_replay: self.timing_replay,
+            adaptive_sweeps: self.adaptive_sweeps,
             cross_batch_pipelining: self.cross_batch_pipelining,
             device: self.device,
             calibration: self.calibration,
@@ -512,13 +536,16 @@ mod tests {
     fn replay_and_pipelining_knobs_default_and_build() {
         let c = HeteroSvdConfig::builder(128, 128).build().unwrap();
         assert!(c.timing_replay);
+        assert!(c.adaptive_sweeps);
         assert!(!c.cross_batch_pipelining);
         let c = HeteroSvdConfig::builder(128, 128)
             .timing_replay(false)
+            .adaptive_sweeps(false)
             .cross_batch_pipelining(true)
             .build()
             .unwrap();
         assert!(!c.timing_replay);
+        assert!(!c.adaptive_sweeps);
         assert!(c.cross_batch_pipelining);
     }
 

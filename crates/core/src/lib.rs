@@ -57,6 +57,7 @@ pub use batch_pool::BatchPool;
 pub use config::{FidelityMode, HeteroSvdConfig, HeteroSvdConfigBuilder};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HeteroSvdError;
+pub use orth_pipeline::AdaptiveCounters;
 pub use placement::Placement;
 pub use plan_cache::{PlanCache, PlanHandle};
 pub use replay::TimingProfile;

@@ -46,7 +46,10 @@ use aie_sim::stats::SimStats;
 use aie_sim::time::TimePs;
 use aie_sim::timeline::Timeline;
 use std::sync::Arc;
-use svd_kernels::parallel::{orthogonalize_pairs_serial, RotationPool};
+use svd_kernels::adaptive::{did_rotate, AdaptiveState};
+use svd_kernels::parallel::{
+    orthogonalize_pairs_serial, orthogonalize_pairs_serial_adaptive, RotationPool,
+};
 use svd_kernels::Matrix;
 
 /// One block-pair pass in the execution trace (enabled with
@@ -93,6 +96,24 @@ struct PassScratch {
     pairs: Vec<(usize, usize)>,
     /// Per-slot convergence values of the current layer (len `k`).
     conv: Vec<f32>,
+    /// Dirty-column/pair-cache state of the convergence-adaptive engine
+    /// (`None` with [`crate::HeteroSvdConfig::adaptive_sweeps`] off or
+    /// outside functional fidelity). Sized once at construction — the
+    /// steady-state pass stays allocation-free.
+    adaptive: Option<AdaptiveState<f32>>,
+}
+
+/// Host-compute counters of the convergence-adaptive engine: how much
+/// functional work the gating and the dirty-column cache avoided. Purely
+/// observational — modeled timing and [`SimStats`] never depend on them.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, serde::Serialize, serde::Deserialize)]
+pub struct AdaptiveCounters {
+    /// Visits answered from the pair cache (both columns untouched since
+    /// a gated visit): even the dot products were skipped.
+    pub memo_skips: u64,
+    /// Visits that ran the dot products but skipped `compute_rotation`
+    /// and the O(n) apply (measure below the sweep threshold).
+    pub gated_rotations: u64,
 }
 
 /// The orth-stage simulator. One instance persists across iterations so
@@ -194,6 +215,8 @@ impl<'a> OrthPipeline<'a> {
                 cols: Vec::with_capacity(2 * k),
                 pairs: Vec::with_capacity(k),
                 conv: vec![0.0; k],
+                adaptive: (config.adaptive_sweeps && config.fidelity == FidelityMode::Functional)
+                    .then(|| AdaptiveState::new(config.cols)),
             },
             tx_dur: plan.plio.throttled_transfer_time(
                 m_bytes,
@@ -237,6 +260,25 @@ impl<'a> OrthPipeline<'a> {
     /// the input matrix; see [`Matrix::column_norm_floor_sq`]).
     pub fn set_norm_floor_sq(&mut self, floor_sq: f32) {
         self.norm_floor_sq = floor_sq;
+    }
+
+    /// Sets the adaptive engine's rotation threshold for the next
+    /// iteration (the driver derives it from the previous iteration's
+    /// convergence; see [`svd_kernels::adaptive::sweep_threshold`]).
+    /// No-op when the adaptive engine is off; `0` keeps it inert.
+    pub fn set_rotation_threshold(&mut self, threshold: f64) {
+        if let Some(state) = self.scratch.adaptive.as_mut() {
+            state.set_threshold(threshold as f32);
+        }
+    }
+
+    /// The adaptive engine's skipped-work counters, `None` when it is
+    /// off.
+    pub fn adaptive_counters(&self) -> Option<AdaptiveCounters> {
+        self.scratch.adaptive.as_ref().map(|s| AdaptiveCounters {
+            memo_skips: s.memo_skips(),
+            gated_rotations: s.gated_rotations(),
+        })
     }
 
     /// Attaches a cached timing profile. Replay only activates if, at the
@@ -397,14 +439,28 @@ impl<'a> OrthPipeline<'a> {
                             .pairs
                             .push((self.scratch.cols[i], self.scratch.cols[j]));
                     }
-                    match pool {
-                        Some(pool) => pool.execute(
+                    match (pool, self.scratch.adaptive.as_mut()) {
+                        (Some(pool), Some(state)) => pool.execute_adaptive(
+                            b,
+                            &self.scratch.pairs,
+                            self.norm_floor_sq,
+                            &mut self.scratch.conv,
+                            state,
+                        ),
+                        (Some(pool), None) => pool.execute(
                             b,
                             &self.scratch.pairs,
                             self.norm_floor_sq,
                             &mut self.scratch.conv,
                         ),
-                        None => orthogonalize_pairs_serial(
+                        (None, Some(state)) => orthogonalize_pairs_serial_adaptive(
+                            b,
+                            &self.scratch.pairs,
+                            self.norm_floor_sq,
+                            &mut self.scratch.conv,
+                            state,
+                        ),
+                        (None, None) => orthogonalize_pairs_serial(
                             b,
                             &self.scratch.pairs,
                             self.norm_floor_sq,
@@ -412,11 +468,18 @@ impl<'a> OrthPipeline<'a> {
                         ),
                     }
                     // Reduce in slot order, exactly like the live path.
+                    // Without the adaptive state the threshold is 0 and
+                    // `did_rotate` degenerates to the legacy `conv > 0`.
+                    let threshold = self
+                        .scratch
+                        .adaptive
+                        .as_ref()
+                        .map_or(0.0, |s| s.threshold());
                     for &conv in &self.scratch.conv[..pairs.len()] {
-                        let conv = conv as f64;
-                        if conv > 0.0 {
+                        if did_rotate(conv, threshold) {
                             rotations += 1;
                         }
+                        let conv = conv as f64;
                         if conv > max_conv {
                             max_conv = conv;
                         }
@@ -505,14 +568,28 @@ impl<'a> OrthPipeline<'a> {
                         .pairs
                         .push((self.scratch.cols[i], self.scratch.cols[j]));
                 }
-                match pool {
-                    Some(pool) => pool.execute(
+                match (pool, self.scratch.adaptive.as_mut()) {
+                    (Some(pool), Some(state)) => pool.execute_adaptive(
+                        b,
+                        &self.scratch.pairs,
+                        self.norm_floor_sq,
+                        &mut self.scratch.conv,
+                        state,
+                    ),
+                    (Some(pool), None) => pool.execute(
                         b,
                         &self.scratch.pairs,
                         self.norm_floor_sq,
                         &mut self.scratch.conv,
                     ),
-                    None => orthogonalize_pairs_serial(
+                    (None, Some(state)) => orthogonalize_pairs_serial_adaptive(
+                        b,
+                        &self.scratch.pairs,
+                        self.norm_floor_sq,
+                        &mut self.scratch.conv,
+                        state,
+                    ),
+                    (None, None) => orthogonalize_pairs_serial(
                         b,
                         &self.scratch.pairs,
                         self.norm_floor_sq,
@@ -520,12 +597,19 @@ impl<'a> OrthPipeline<'a> {
                     ),
                 }
                 // Reduce in slot order so the serial and parallel paths
-                // accumulate identically.
+                // accumulate identically. Without the adaptive state the
+                // threshold is 0 and `did_rotate` degenerates to the
+                // legacy `conv > 0` count.
+                let threshold = self
+                    .scratch
+                    .adaptive
+                    .as_ref()
+                    .map_or(0.0, |s| s.threshold());
                 for &conv in &self.scratch.conv[..pairs.len()] {
-                    let conv = conv as f64;
-                    if conv > 0.0 {
+                    if did_rotate(conv, threshold) {
                         *rotations += 1;
                     }
+                    let conv = conv as f64;
                     if conv > *max_conv {
                         *max_conv = conv;
                     }

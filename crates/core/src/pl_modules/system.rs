@@ -27,6 +27,9 @@ pub struct SystemModule {
     fixed_iterations: Option<usize>,
     phase: Phase,
     iterations: usize,
+    /// Convergence rate of the most recent iteration (`None` before the
+    /// first), feeding the adaptive engine's threshold schedule.
+    last_convergence: Option<f64>,
 }
 
 impl SystemModule {
@@ -43,6 +46,7 @@ impl SystemModule {
             fixed_iterations,
             phase: Phase::Orthogonalizing,
             iterations: 0,
+            last_convergence: None,
         }
     }
 
@@ -54,6 +58,15 @@ impl SystemModule {
     /// Orthogonalization iterations completed.
     pub fn iterations(&self) -> usize {
         self.iterations
+    }
+
+    /// The rotation threshold the adaptive sweep engine should use for
+    /// the *next* iteration, derived from the last reported convergence
+    /// rate via [`svd_kernels::adaptive::sweep_threshold`]: the target
+    /// precision until the iteration enters its quadratic tail, then the
+    /// natural `prev²` contraction rate (floored at the precision).
+    pub fn rotation_threshold(&self) -> f64 {
+        svd_kernels::adaptive::sweep_threshold(self.last_convergence, self.precision)
     }
 
     /// Reports one completed orthogonalization iteration with its
@@ -69,6 +82,7 @@ impl SystemModule {
             "iteration reported outside the orthogonalization phase"
         );
         self.iterations += 1;
+        self.last_convergence = Some(convergence_rate);
         let done = match self.fixed_iterations {
             Some(n) => self.iterations >= n,
             None => convergence_rate < self.precision || self.iterations >= self.max_iterations,
@@ -127,6 +141,19 @@ mod tests {
         assert_eq!(sys.iteration_done(1e-12), Phase::Orthogonalizing);
         assert_eq!(sys.iteration_done(0.9), Phase::Normalizing);
         assert!(!sys.hit_iteration_budget(0.9));
+    }
+
+    #[test]
+    fn rotation_threshold_follows_convergence() {
+        let mut sys = SystemModule::new(1e-6, 30, None);
+        // No iteration yet: only already-converged pairs may be gated.
+        assert_eq!(sys.rotation_threshold(), 1e-6);
+        // Pre-quadratic convergence keeps the gate at the precision.
+        sys.iteration_done(0.5);
+        assert_eq!(sys.rotation_threshold(), 1e-6);
+        // Quadratic tail: the gate tracks prev².
+        sys.iteration_done(1e-3);
+        assert_eq!(sys.rotation_threshold(), 1e-6_f64.max(1e-3 * 1e-3));
     }
 
     #[test]

@@ -89,6 +89,46 @@ fn replayed_runs_match_full_resimulation_bit_for_bit() {
 }
 
 #[test]
+fn adaptive_sweeps_leave_timing_stats_and_trace_bit_identical() {
+    // The convergence-adaptive engine only changes *host* functional
+    // compute (which rotations are evaluated); the modeled hardware —
+    // every `TimePs`, every `SimStats` counter, every trace record — runs
+    // the full Eq. 8–14 schedule either way. Flip the knob under a fixed
+    // iteration budget and demand bitwise identity, with replay both off
+    // and on.
+    for replay in [false, true] {
+        for fidelity in [FidelityMode::Functional, FidelityMode::TimingOnly] {
+            let build = |adaptive: bool| {
+                let cfg = HeteroSvdConfig::builder(32, 32)
+                    .engine_parallelism(4)
+                    .pl_freq_mhz(208.3)
+                    .fixed_iterations(5)
+                    .fidelity(fidelity)
+                    .record_trace(true)
+                    .timing_replay(replay)
+                    .adaptive_sweeps(adaptive)
+                    .build()
+                    .unwrap();
+                Accelerator::new(cfg).unwrap()
+            };
+            let ctx = format!("replay={replay} {fidelity:?}");
+            let a = sample(32);
+            let on = build(true).run(&a).unwrap();
+            let off = build(false).run(&a).unwrap();
+            assert_eq!(on.timing, off.timing, "timing for {ctx}");
+            assert_eq!(on.stats, off.stats, "stats for {ctx}");
+            assert_eq!(on.trace, off.trace, "trace for {ctx}");
+            // Counters follow the knob — but only where functional
+            // compute exists at all; timing-only runs have no columns to
+            // gate.
+            let functional = fidelity == FidelityMode::Functional;
+            assert_eq!(on.adaptive.is_some(), functional, "counters(on) for {ctx}");
+            assert!(off.adaptive.is_none(), "counters(off) for {ctx}");
+        }
+    }
+}
+
+#[test]
 fn replay_is_exact_in_adaptive_convergence_mode() {
     // Without fixed iterations the system module decides when to stop
     // from the measured convergence — identical math must produce the

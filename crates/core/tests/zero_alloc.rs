@@ -57,6 +57,11 @@ fn steady_state_iterations_do_not_allocate() {
     let plan = PlanHandle::build(&cfg).unwrap();
     let mut pipe = OrthPipeline::new(&cfg, &plan);
     pipe.set_norm_floor_sq(0.0);
+    // `adaptive_sweeps` defaults on, so the dirty-column versions and the
+    // per-pair visit cache are live. Arm the threshold gate so the tracked
+    // iterations exercise the full adaptive path — gating, version bumps,
+    // and cache-hit memo skips — not just the inert threshold-0 sweep.
+    pipe.set_rotation_threshold(1e-3);
     let mut b = Matrix::from_fn(32, 32, |r, c| {
         (((r * 31 + c * 17 + 3) % 13) as f32) / 3.0 - 2.0 + if r == c { 2.0 } else { 0.0 }
     });
@@ -64,6 +69,9 @@ fn steady_state_iterations_do_not_allocate() {
     // Warm-up: the first iteration may lazily size anything left.
     pipe.run_iteration(&mut b);
 
+    let counters_before = pipe
+        .adaptive_counters()
+        .expect("adaptive engine on by default");
     TRACKING.store(true, Ordering::SeqCst);
     for _ in 0..3 {
         pipe.run_iteration(&mut b);
@@ -75,6 +83,13 @@ fn steady_state_iterations_do_not_allocate() {
         allocations, 0,
         "steady-state run_pass must not touch the allocator ({allocations} allocations observed \
          across 3 iterations)"
+    );
+    let counters_after = pipe.adaptive_counters().unwrap();
+    assert!(
+        counters_after.gated_rotations > counters_before.gated_rotations
+            || counters_after.memo_skips > counters_before.memo_skips,
+        "tracked iterations were expected to exercise the adaptive gate \
+         (before {counters_before:?}, after {counters_after:?})"
     );
 
     // The timing-replay path must uphold the same guarantee: profile

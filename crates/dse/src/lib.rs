@@ -23,10 +23,10 @@
 //!    power model, then pick the optimum for the requested objective
 //!    (latency or throughput).
 //!
-//! The sweep parallelizes over `P_eng` with `crossbeam` scoped threads —
-//! the full space (≤ 286 points, §IV-A) evaluates in milliseconds,
-//! compared to "more than seven hours" per point through the vendor EDA
-//! flow.
+//! The sweep parallelizes over `P_eng` on the workspace's shared
+//! [`heterosvd::BatchPool`] — the full space (≤ 286 points, §IV-A)
+//! evaluates in milliseconds, compared to "more than seven hours" per
+//! point through the vendor EDA flow.
 //!
 //! # Example
 //!
@@ -297,50 +297,46 @@ pub fn evaluate_point_at(
 /// Runs the full two-stage DSE sweep over `P_eng ∈ [1, 11]` and
 /// `P_task ∈ [1, 26]` (Table I), parallelized over `P_eng`.
 pub fn run_dse(cfg: &DseConfig) -> DseResult {
-    let p_eng_range: Vec<usize> = (1..=heterosvd::config::MAX_ENGINE_PARALLELISM).collect();
-    let mut per_eng: Vec<(usize, Vec<DesignEvaluation>, usize)> = Vec::new();
-
-    crossbeam::scope(|scope| {
-        let handles: Vec<_> = p_eng_range
-            .iter()
-            .map(|&p_eng| {
-                scope.spawn(move |_| {
-                    let mut evals = Vec::new();
-                    let mut infeasible = 0usize;
-                    for p_task in 1..=heterosvd::config::MAX_TASK_PARALLELISM {
-                        match evaluate_point(cfg, p_eng, p_task) {
-                            Some(e) => {
-                                // Explore lower candidate frequencies too
-                                // (they trade latency for power).
-                                let achievable = e.point.pl_freq_mhz;
-                                for &mhz in &cfg.freq_candidates_mhz {
-                                    if cfg.freq_mhz.is_none() && mhz < achievable && mhz > 0.0 {
-                                        if let Some(extra) =
-                                            evaluate_point_at(cfg, p_eng, p_task, Some(mhz))
-                                        {
-                                            evals.push(extra);
-                                        }
+    // One pool task per P_eng column of the sweep. The shared pool's
+    // workers are long-lived (not scoped), so each task owns a clone of
+    // the config; results come back in submission = P_eng order.
+    let tasks: Vec<_> = (1..=heterosvd::config::MAX_ENGINE_PARALLELISM)
+        .map(|p_eng| {
+            let cfg = cfg.clone();
+            move || -> Result<(Vec<DesignEvaluation>, usize), heterosvd::HeteroSvdError> {
+                let mut evals = Vec::new();
+                let mut infeasible = 0usize;
+                for p_task in 1..=heterosvd::config::MAX_TASK_PARALLELISM {
+                    match evaluate_point(&cfg, p_eng, p_task) {
+                        Some(e) => {
+                            // Explore lower candidate frequencies too
+                            // (they trade latency for power).
+                            let achievable = e.point.pl_freq_mhz;
+                            for &mhz in &cfg.freq_candidates_mhz {
+                                if cfg.freq_mhz.is_none() && mhz < achievable && mhz > 0.0 {
+                                    if let Some(extra) =
+                                        evaluate_point_at(&cfg, p_eng, p_task, Some(mhz))
+                                    {
+                                        evals.push(extra);
                                     }
                                 }
-                                evals.push(e);
                             }
-                            None => infeasible += 1,
+                            evals.push(e);
                         }
+                        None => infeasible += 1,
                     }
-                    (p_eng, evals, infeasible)
-                })
-            })
-            .collect();
-        for h in handles {
-            per_eng.push(h.join().expect("dse worker panicked"));
-        }
-    })
-    .expect("dse scope panicked");
+                }
+                Ok((evals, infeasible))
+            }
+        })
+        .collect();
+    let per_eng = heterosvd::batch_pool::global()
+        .run_batch_with(tasks)
+        .expect("dse worker panicked");
 
-    per_eng.sort_by_key(|(p_eng, _, _)| *p_eng);
     let mut evaluations = Vec::new();
     let mut infeasible = 0;
-    for (_, evals, inf) in per_eng {
+    for (evals, inf) in per_eng {
         evaluations.extend(evals);
         infeasible += inf;
     }

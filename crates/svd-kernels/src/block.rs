@@ -6,6 +6,7 @@
 //! columns are orthogonalized. This exactly mirrors how HeteroSVD streams
 //! block pairs to the orth-AIE array (Algorithm 1, lines 4–16).
 
+use crate::adaptive::{did_rotate, sweep_threshold, AdaptiveState};
 use crate::jacobi::{normalize, round_robin_rounds, SvdResult, SweepStats};
 use crate::matrix::Matrix;
 use crate::rotation::{apply_rotation, column_products, compute_rotation_gated};
@@ -133,6 +134,12 @@ pub struct BlockJacobiOptions {
     /// Run exactly this many iterations regardless of convergence
     /// (the paper's Table II/VI protocol fixes six iterations).
     pub fixed_iterations: Option<usize>,
+    /// Run convergence-adaptive sweeps: threshold-Jacobi gating plus
+    /// dirty-column pair skipping across block-pair passes (see
+    /// [`crate::adaptive`]). Off by default — the block driver is the
+    /// software reference the accelerator's exact trajectory is checked
+    /// against.
+    pub adaptive: bool,
 }
 
 impl Default for BlockJacobiOptions {
@@ -142,6 +149,7 @@ impl Default for BlockJacobiOptions {
             precision: 1e-10,
             max_iterations: 40,
             fixed_iterations: None,
+            adaptive: false,
         }
     }
 }
@@ -194,6 +202,7 @@ pub fn block_jacobi<T: Real>(
 
     let mut b = a.clone();
     let floor_sq = a.column_norm_floor_sq();
+    let mut adaptive_state = opts.adaptive.then(|| AdaptiveState::<T>::new(a.cols()));
     let mut history = Vec::new();
     let iters = opts.fixed_iterations.unwrap_or(opts.max_iterations);
     let mut converged = false;
@@ -203,16 +212,25 @@ pub fn block_jacobi<T: Real>(
         let mut max_conv = 0.0_f64;
         let mut rotations = 0usize;
 
+        if let Some(state) = adaptive_state.as_mut() {
+            let prev = history.last().map(|h: &SweepStats| h.max_convergence);
+            state.set_threshold(T::from_f64(sweep_threshold(prev, opts.precision)));
+        }
+        let mut run_set = |b: &mut Matrix<T>, cols: &[usize]| match adaptive_state.as_mut() {
+            Some(state) => orthogonalize_column_set_adaptive(b, cols, floor_sq, state),
+            None => orthogonalize_column_set(b, cols, floor_sq),
+        };
+
         if p == 1 {
             // Single block: orthogonalize within it directly.
             let cols: Vec<usize> = partition.block_range(0).collect();
-            let (c, r) = orthogonalize_column_set(&mut b, &cols, floor_sq);
+            let (c, r) = run_set(&mut b, &cols);
             max_conv = max_conv.max(c);
             rotations += r;
         } else {
             for (u, v) in schedule.iter() {
                 let cols = partition.pair_columns(u, v);
-                let (c, r) = orthogonalize_column_set(&mut b, &cols, floor_sq);
+                let (c, r) = run_set(&mut b, &cols);
                 max_conv = max_conv.max(c);
                 rotations += r;
             }
@@ -277,6 +295,33 @@ pub fn orthogonalize_column_set<T: Real>(
                 rotations += 1;
                 let (ci, cj) = b.col_pair_mut(i, j);
                 apply_rotation(ci, cj, rot);
+            }
+        }
+    }
+    (max_conv, rotations)
+}
+
+/// [`orthogonalize_column_set`] through the convergence-adaptive state:
+/// each pair either memo-skips, gates, or rotates per `state`'s current
+/// threshold. The column indices in `cols` are global, matching the
+/// state's matrix-wide version counters, so skips carry across block-pair
+/// passes: a pair left clean by one pass stays skippable in every later
+/// pass that revisits it.
+pub fn orthogonalize_column_set_adaptive<T: Real>(
+    b: &mut Matrix<T>,
+    cols: &[usize],
+    floor_sq: T,
+    state: &mut AdaptiveState<T>,
+) -> (f64, usize) {
+    let mut max_conv = 0.0_f64;
+    let mut rotations = 0usize;
+    let threshold = state.threshold();
+    for round in round_robin_rounds(cols.len()) {
+        for (li, lj) in round {
+            let conv = state.visit(b, cols[li], cols[lj], floor_sq);
+            max_conv = max_conv.max(conv.to_f64());
+            if did_rotate(conv, threshold) {
+                rotations += 1;
             }
         }
     }
@@ -420,6 +465,38 @@ mod tests {
             &r.sorted_singular_values(),
         );
         assert!(err < 1e-6, "singular value error after 6 iterations: {err}");
+    }
+
+    #[test]
+    fn adaptive_block_jacobi_matches_exact_within_tolerance() {
+        let a = sample(24, 16);
+        let precision = 1e-8;
+        let exact = block_jacobi(
+            &a,
+            &BlockJacobiOptions {
+                block_cols: 4,
+                precision,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let adaptive = block_jacobi(
+            &a,
+            &BlockJacobiOptions {
+                block_cols: 4,
+                precision,
+                adaptive: true,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let err = verify::singular_value_error(
+            &exact.sorted_singular_values(),
+            &adaptive.sorted_singular_values(),
+        );
+        assert!(err <= 10.0 * precision, "singular value error {err}");
+        let diff = exact.sweeps.abs_diff(adaptive.sweeps);
+        assert!(diff <= 1, "{} vs {} sweeps", exact.sweeps, adaptive.sweeps);
     }
 
     #[test]

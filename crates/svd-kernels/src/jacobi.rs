@@ -10,6 +10,7 @@
 //! convergence criterion of Eq. (6); then `Σ = sqrt(diag(BᵀB))` and
 //! `U = B·Σ⁻¹` (Eq. 7).
 
+use crate::adaptive::{did_rotate, sweep_threshold, AdaptiveState};
 use crate::matrix::Matrix;
 use crate::rotation::{apply_rotation, column_products};
 use crate::scalar::Real;
@@ -47,6 +48,12 @@ pub struct JacobiOptions {
     /// `U` and `Σ` (the paper's applications need the column space), so the
     /// accelerator skips `V`; the reference can produce it for verification.
     pub compute_v: bool,
+    /// Run convergence-adaptive sweeps: threshold-Jacobi gating plus
+    /// dirty-column pair skipping (see [`crate::adaptive`]). The golden
+    /// model defaults to exact sweeps; the adaptive engine exists here so
+    /// properties of the accelerator's gating can be validated in `f64`.
+    /// Incompatible with `compute_v` (Algorithm 1 does not accumulate `V`).
+    pub adaptive: bool,
 }
 
 impl Default for JacobiOptions {
@@ -56,6 +63,7 @@ impl Default for JacobiOptions {
             max_sweeps: 60,
             order: SweepOrder::Cyclic,
             compute_v: true,
+            adaptive: false,
         }
     }
 }
@@ -69,6 +77,7 @@ impl JacobiOptions {
             max_sweeps: 30,
             order: SweepOrder::RoundRobin,
             compute_v: false,
+            adaptive: false,
         }
     }
 }
@@ -209,11 +218,17 @@ pub fn hestenes_jacobi<T: Real>(
             "precision must be positive".into(),
         ));
     }
+    if opts.adaptive && opts.compute_v {
+        return Err(SvdError::InvalidParameter(
+            "adaptive sweeps do not accumulate V; set compute_v = false".into(),
+        ));
+    }
 
     let n = a.cols();
     let mut b = a.clone();
     let floor_sq = a.column_norm_floor_sq();
     let mut v = opts.compute_v.then(|| Matrix::<T>::identity(n));
+    let mut adaptive_state = opts.adaptive.then(|| AdaptiveState::<T>::new(n));
     let mut history = Vec::new();
 
     let rr_rounds = match opts.order {
@@ -227,7 +242,23 @@ pub fn hestenes_jacobi<T: Real>(
         let mut max_conv = 0.0_f64;
         let mut rotations = 0usize;
 
+        if let Some(state) = adaptive_state.as_mut() {
+            let prev = history.last().map(|h: &SweepStats| h.max_convergence);
+            state.set_threshold(T::from_f64(sweep_threshold(prev, opts.precision)));
+        }
+
         let mut do_pair = |b: &mut Matrix<T>, v: &mut Option<Matrix<T>>, i: usize, j: usize| {
+            if let Some(state) = adaptive_state.as_mut() {
+                // Adaptive path: memo-skip clean converged pairs, gate
+                // sub-threshold rotations. The returned measure is exact
+                // either way, so the convergence test below is unchanged.
+                let conv = state.visit(b, i, j, floor_sq);
+                max_conv = max_conv.max(conv.to_f64());
+                if did_rotate(conv, state.threshold()) {
+                    rotations += 1;
+                }
+                return;
+            }
             let (alpha, beta, gamma) = {
                 let (ci, cj) = b.col_pair_mut(i, j);
                 column_products(ci, cj)
@@ -508,6 +539,41 @@ mod tests {
             }
             other => panic!("expected NotConverged, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn adaptive_sweeps_match_exact_singular_values() {
+        let a = sample_matrix(16, 16);
+        let exact = hestenes_jacobi(&a, &JacobiOptions::paper()).unwrap();
+        let adaptive = hestenes_jacobi(
+            &a,
+            &JacobiOptions {
+                adaptive: true,
+                ..JacobiOptions::paper()
+            },
+        )
+        .unwrap();
+        let se = exact.sorted_singular_values();
+        let sa = adaptive.sorted_singular_values();
+        let scale = se[0];
+        for (e, ad) in se.iter().zip(&sa) {
+            assert!((e - ad).abs() <= 10.0 * 1e-6 * scale, "{e} vs {ad}");
+        }
+        let diff = exact.sweeps.abs_diff(adaptive.sweeps);
+        assert!(diff <= 1, "{} vs {} sweeps", exact.sweeps, adaptive.sweeps);
+    }
+
+    #[test]
+    fn adaptive_rejects_v_accumulation() {
+        let a = sample_matrix(6, 6);
+        let opts = JacobiOptions {
+            adaptive: true,
+            ..Default::default()
+        };
+        assert!(matches!(
+            hestenes_jacobi(&a, &opts),
+            Err(SvdError::InvalidParameter(_))
+        ));
     }
 
     #[test]

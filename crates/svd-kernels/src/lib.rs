@@ -11,6 +11,9 @@
 //!   columns.
 //! * [`rotation`] — the two-sided plane rotation of Eq. (3)–(5) of the
 //!   paper, computed from the three inner products of a column pair.
+//! * [`adaptive`] — threshold-Jacobi gating and dirty-column pair
+//!   skipping: the convergence-adaptive sweep state shared by the host
+//!   solvers and the accelerator's functional pipeline.
 //! * [`jacobi`] — the reference one-sided Hestenes–Jacobi SVD, the golden
 //!   model every accelerator result is checked against.
 //! * [`block`] — matrix blocking utilities and the block-Jacobi driver
@@ -35,6 +38,7 @@
 //! # }
 //! ```
 
+pub mod adaptive;
 pub mod approx;
 pub mod block;
 pub mod io;

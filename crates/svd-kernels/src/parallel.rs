@@ -26,6 +26,7 @@
 //! stale worker (one that observed an old job) from claiming slots of a
 //! newer job.
 
+use crate::adaptive::{visit_via_view, AdaptiveState, AdaptiveView};
 use crate::matrix::Matrix;
 use crate::rotation::orthogonalize_pair_gated;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -86,6 +87,31 @@ pub fn orthogonalize_pairs_serial(
     }
 }
 
+/// [`orthogonalize_pairs_serial`] through the convergence-adaptive state:
+/// each pair either memo-skips, gates, or rotates per `state`'s threshold
+/// (see [`crate::adaptive`]). The conv slots receive the exact Eq. (6)
+/// measure in every case. With a zero threshold this is bit-identical to
+/// [`orthogonalize_pairs_serial`].
+///
+/// This is the `workers == 1` path and the reference
+/// [`RotationPool::execute_adaptive`] must match bit-for-bit.
+///
+/// # Panics
+///
+/// Panics if `conv_out.len() < pairs.len()` or any pair is invalid.
+pub fn orthogonalize_pairs_serial_adaptive(
+    m: &mut Matrix<f32>,
+    pairs: &[(usize, usize)],
+    floor_sq: f32,
+    conv_out: &mut [f32],
+    state: &mut AdaptiveState<f32>,
+) {
+    assert!(conv_out.len() >= pairs.len(), "conv_out too short");
+    for (i, &(u, v)) in pairs.iter().enumerate() {
+        conv_out[i] = state.visit(m, u, v, floor_sq);
+    }
+}
+
 /// A layer's worth of rotation work, published to workers.
 ///
 /// Raw pointers let workers slice disjoint columns without aliasing
@@ -98,11 +124,15 @@ struct Job {
     npairs: usize,
     floor_sq: f32,
     conv: *mut f32,
+    adaptive: Option<AdaptiveView<f32>>,
 }
 
 // SAFETY: a Job only grants access to pairwise-disjoint column slices
 // (checked by validate_pairs) and disjoint conv slots (one per claimed
-// index), so sharing it across threads is race-free.
+// index), so sharing it across threads is race-free. The adaptive view's
+// per-column version slots and per-pair cache entries are disjoint for
+// exactly the same reason (a layer's pairs share no column and no pair
+// id), and its skip counters are atomics.
 unsafe impl Send for Job {}
 unsafe impl Sync for Job {}
 
@@ -116,6 +146,7 @@ struct JobSnapshot {
     npairs: usize,
     floor_sq: f32,
     conv: *mut f32,
+    adaptive: Option<AdaptiveView<f32>>,
 }
 
 impl JobSnapshot {
@@ -127,6 +158,7 @@ impl JobSnapshot {
             npairs: job.npairs,
             floor_sq: job.floor_sq,
             conv: job.conv,
+            adaptive: job.adaptive,
         }
     }
 }
@@ -185,6 +217,41 @@ impl RotationPool {
         floor_sq: f32,
         conv_out: &mut [f32],
     ) {
+        self.execute_inner(m, pairs, floor_sq, conv_out, None);
+    }
+
+    /// [`RotationPool::execute`] through the convergence-adaptive state:
+    /// the pooled counterpart of [`orthogonalize_pairs_serial_adaptive`],
+    /// bit-identical to it for any worker count. Version bumps and cache
+    /// writes are race-free because a layer's pairs are column-disjoint
+    /// (so no two claimed pairs touch the same version slot or cache
+    /// entry), and the result is claim-order independent because each
+    /// pair's visit reads only its own columns' versions and its own
+    /// cache entry.
+    ///
+    /// # Panics
+    ///
+    /// Panics if pairs alias, are out of range, or `conv_out` is short.
+    pub fn execute_adaptive(
+        &self,
+        m: &mut Matrix<f32>,
+        pairs: &[(usize, usize)],
+        floor_sq: f32,
+        conv_out: &mut [f32],
+        state: &mut AdaptiveState<f32>,
+    ) {
+        let view = state.view();
+        self.execute_inner(m, pairs, floor_sq, conv_out, Some(view));
+    }
+
+    fn execute_inner(
+        &self,
+        m: &mut Matrix<f32>,
+        pairs: &[(usize, usize)],
+        floor_sq: f32,
+        conv_out: &mut [f32],
+        adaptive: Option<AdaptiveView<f32>>,
+    ) {
         assert!(conv_out.len() >= pairs.len(), "conv_out too short");
         validate_pairs(m.cols(), pairs);
         if pairs.is_empty() {
@@ -198,6 +265,7 @@ impl RotationPool {
             npairs: pairs.len(),
             floor_sq,
             conv: conv_out.as_mut_ptr(),
+            adaptive,
         };
         let snapshot = JobSnapshot::of(&job);
         let gen;
@@ -252,12 +320,17 @@ impl RotationPool {
             // SAFETY: idx < npairs; pairs are disjoint and in bounds
             // (validate_pairs), so these column slices alias nothing any
             // other claimant touches; conv slot idx is exclusively ours;
+            // the adaptive view's version slots and cache entry for this
+            // pair are exclusively ours for the same disjointness reason;
             // the pointers outlive this claim (see doc comment above).
             unsafe {
                 let &(u, v) = &*job.pairs.add(idx);
                 let x = std::slice::from_raw_parts_mut(job.data.add(u * job.rows), job.rows);
                 let y = std::slice::from_raw_parts_mut(job.data.add(v * job.rows), job.rows);
-                *job.conv.add(idx) = orthogonalize_pair_gated(x, y, job.floor_sq);
+                *job.conv.add(idx) = match &job.adaptive {
+                    Some(view) => visit_via_view(view, u, v, x, y, job.floor_sq),
+                    None => orthogonalize_pair_gated(x, y, job.floor_sq),
+                };
             }
             self.completed.fetch_add(1, Ordering::AcqRel);
         }
@@ -355,6 +428,58 @@ mod tests {
             assert_eq!(serial.as_slice(), pooled.as_slice(), "workers = {workers}");
             assert_eq!(conv_s, conv_p, "workers = {workers}");
         }
+    }
+
+    #[test]
+    fn adaptive_pool_matches_adaptive_serial_bitwise() {
+        for workers in [1, 2, 4, 8] {
+            let pairs = layer_pairs(12);
+            let mut serial = test_matrix(33, 12, 9);
+            let mut pooled = serial.clone();
+            let mut state_s = AdaptiveState::new(12);
+            let mut state_p = AdaptiveState::new(12);
+            let mut conv_s = vec![0.0f32; pairs.len()];
+            let mut conv_p = vec![0.0f32; pairs.len()];
+            with_pool(workers, |pool| {
+                // Several sweeps with a contracting threshold so all three
+                // visit outcomes occur (rotate, gate, memo-skip).
+                for (sweep, threshold) in [0.0f32, 0.5, 0.05, 0.05].into_iter().enumerate() {
+                    state_s.set_threshold(threshold);
+                    state_p.set_threshold(threshold);
+                    orthogonalize_pairs_serial_adaptive(
+                        &mut serial,
+                        &pairs,
+                        0.0,
+                        &mut conv_s,
+                        &mut state_s,
+                    );
+                    pool.execute_adaptive(&mut pooled, &pairs, 0.0, &mut conv_p, &mut state_p);
+                    assert_eq!(conv_s, conv_p, "workers={workers} sweep={sweep}");
+                }
+            });
+            assert_eq!(serial.as_slice(), pooled.as_slice(), "workers={workers}");
+            assert_eq!(state_s.memo_skips(), state_p.memo_skips());
+            assert_eq!(state_s.gated_rotations(), state_p.gated_rotations());
+        }
+    }
+
+    #[test]
+    fn adaptive_pool_with_zero_threshold_matches_exact_execute() {
+        let pairs = layer_pairs(8);
+        let mut exact = test_matrix(21, 8, 5);
+        let mut adaptive = exact.clone();
+        let mut state = AdaptiveState::new(8);
+        let mut conv_e = vec![0.0f32; pairs.len()];
+        let mut conv_a = vec![0.0f32; pairs.len()];
+        with_pool(3, |pool| {
+            for _ in 0..4 {
+                pool.execute(&mut exact, &pairs, 0.0, &mut conv_e);
+                pool.execute_adaptive(&mut adaptive, &pairs, 0.0, &mut conv_a, &mut state);
+                assert_eq!(conv_e, conv_a);
+            }
+        });
+        assert_eq!(exact.as_slice(), adaptive.as_slice());
+        assert_eq!(state.memo_skips(), 0);
     }
 
     #[test]

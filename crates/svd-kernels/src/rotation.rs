@@ -94,11 +94,22 @@ pub fn compute_rotation<T: Real>(alpha: T, beta: T, gamma: T) -> JacobiRotation<
     // cs(β−α) + (c²−s²)γ = 0 has the small-magnitude root
     // t = sign(τ)/(|τ| + sqrt(1+τ²)) with τ = (α−β)/(2γ), which is the
     // algebraically equivalent form used here.
-    let two = T::from_f64(2.0);
-    let tau = (alpha - beta) / (two * gamma);
-    let t = tau.signum_or_one() / (tau.abs() + (T::ONE + tau * tau).sqrt());
-    let c = T::ONE / (T::ONE + t * t).sqrt();
-    let s = t * c;
+    //
+    // The τ → t → (c, s) chain runs in f64 and rounds once at the end.
+    // In f32 the five chained roundings leave a correlated bias in
+    // c² + s² − 1 of order ε/8 per rotation; over the ~n·sweeps
+    // applications a column sees during a full SVD the bias compounds
+    // into an O(n·sweeps·ε) drift of the column norm (≈ 8e-5 relative at
+    // n = 512 — well above the 1e-5 singular-value gate). Rounding the
+    // f64 coefficients once leaves only an unbiased ±ε/2 cast error, so
+    // the drift reverts to a random walk (observed ≈ 3e-6 at n = 512).
+    // For T = f64 the conversions are the identity and nothing changes.
+    let tau = (alpha.to_f64() - beta.to_f64()) / (2.0 * gamma.to_f64());
+    let sign = if tau < 0.0 { -1.0 } else { 1.0 };
+    let t = sign / (tau.abs() + (1.0 + tau * tau).sqrt());
+    let c64 = 1.0 / (1.0 + t * t).sqrt();
+    let c = T::from_f64(c64);
+    let s = T::from_f64(t * c64);
     JacobiRotation {
         c,
         s,
@@ -125,10 +136,18 @@ pub fn apply_rotation<T: Real>(x: &mut [T], y: &mut [T], rot: JacobiRotation<T>)
     if T::simd_apply_rotation(x, y, c, s) {
         return;
     }
-    // The update is element-independent (no accumulation), so the plain
-    // zip loop auto-vectorizes onto packed multiply-adds and is
-    // bit-identical to any chunked rewrite of it; only the inner-product
-    // reductions need explicit VECTOR_LANES chunking.
+    apply_rotation_portable(x, y, c, s);
+}
+
+/// The portable apply traversal `x ← c·x + s·y`, `y ← c·y − s·x`, shared
+/// by [`apply_rotation`]'s non-SIMD path and the scalar baseline kernel.
+///
+/// The update is element-independent (no accumulation), so the plain zip
+/// loop auto-vectorizes onto packed multiply-adds and is bit-identical to
+/// any chunked rewrite of it; only the inner-product reductions need
+/// explicit [`VECTOR_LANES`] chunking.
+#[inline]
+pub fn apply_rotation_portable<T: Real>(x: &mut [T], y: &mut [T], c: T, s: T) {
     for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
         let xv = *xi;
         let yv = *yi;
@@ -261,13 +280,34 @@ pub fn orthogonalize_pair_gated_scalar<T: Real>(x: &mut [T], y: &mut [T], floor_
     let (alpha, beta, gamma) = column_products_scalar(x, y);
     let rot = compute_rotation_gated(alpha, beta, gamma, floor_sq);
     if !rot.identity {
-        let (c, s) = (rot.c, rot.s);
-        for (xi, yi) in x.iter_mut().zip(y.iter_mut()) {
-            let xv = *xi;
-            let yv = *yi;
-            *xi = c * xv + s * yv;
-            *yi = c * yv - s * xv;
-        }
+        apply_rotation_portable(x, y, rot.c, rot.s);
+    }
+    rot.convergence
+}
+
+/// [`orthogonalize_pair_gated`] with a threshold-Jacobi gate (de Rijk /
+/// Demmel–Veselić): the fused α/β/γ products always run, but when the
+/// Eq. (6) measure falls below `threshold` the `compute_rotation` tail and
+/// the O(n) apply traversal are skipped entirely — the pair is already
+/// orthogonal *enough* for this sweep.
+///
+/// Returns the exact pre-rotation measure either way, so convergence
+/// accounting is unaffected by gating. With `threshold == 0` this is
+/// bit-identical to [`orthogonalize_pair_gated`] (the measure is
+/// non-negative, so the gate never fires).
+///
+/// A rotation was applied iff the returned measure is positive and
+/// `>= threshold` — see [`crate::adaptive::did_rotate`].
+pub fn orthogonalize_pair_thresholded<T: Real>(
+    x: &mut [T],
+    y: &mut [T],
+    floor_sq: T,
+    threshold: T,
+) -> T {
+    let (alpha, beta, gamma) = column_products(x, y);
+    let rot = compute_rotation_gated(alpha, beta, gamma, floor_sq);
+    if rot.convergence >= threshold {
+        apply_rotation(x, y, rot);
     }
     rot.convergence
 }
@@ -399,6 +439,46 @@ mod tests {
         let d1: f32 = x1.iter().zip(&y1).map(|(a, b)| a * b).sum();
         let d2: f32 = x2.iter().zip(&y2).map(|(a, b)| a * b).sum();
         assert!(d1.abs() < 1e-3 && d2.abs() < 1e-3);
+    }
+
+    #[test]
+    fn thresholded_with_zero_threshold_is_bit_identical_to_gated() {
+        let mk = || {
+            let x: Vec<f32> = (0..40).map(|i| ((i * 13 + 5) % 17) as f32 - 8.0).collect();
+            let y: Vec<f32> = (0..40).map(|i| ((i * 11 + 2) % 19) as f32 - 9.0).collect();
+            (x, y)
+        };
+        let (mut x1, mut y1) = mk();
+        let (mut x2, mut y2) = mk();
+        let c1 = orthogonalize_pair_gated(&mut x1, &mut y1, 0.0);
+        let c2 = orthogonalize_pair_thresholded(&mut x2, &mut y2, 0.0, 0.0);
+        assert_eq!(c1, c2);
+        assert_eq!(x1, x2);
+        assert_eq!(y1, y2);
+    }
+
+    #[test]
+    fn thresholded_skips_apply_below_threshold() {
+        // Pair with a small but nonzero measure: a threshold above it must
+        // leave the columns untouched while still reporting the measure.
+        let mut x = vec![1.0_f64, 0.0, 0.0, 0.0];
+        let mut y = vec![1e-4_f64, 1.0, 0.0, 0.0];
+        let (a, b, g) = column_products(&x, &y);
+        let exact = compute_rotation(a, b, g).convergence;
+        let before = (x.clone(), y.clone());
+        let conv = orthogonalize_pair_thresholded(&mut x, &mut y, 0.0, 1e-2);
+        assert_eq!(conv, exact);
+        assert!(conv > 0.0 && conv < 1e-2);
+        assert_eq!((x, y), before, "gated pair must not be rotated");
+    }
+
+    #[test]
+    fn thresholded_rotates_at_or_above_threshold() {
+        let mut x = vec![1.0_f64, 2.0, 3.0, -1.0];
+        let mut y = vec![0.5_f64, -1.0, 2.0, 4.0];
+        let conv = orthogonalize_pair_thresholded(&mut x, &mut y, 0.0, 1e-3);
+        assert!(conv >= 1e-3);
+        assert!(dot(&x, &y).abs() < 1e-12, "pair must be orthogonalized");
     }
 
     #[test]

@@ -67,6 +67,7 @@ proptest! {
             precision: 1e-11,
             max_iterations: 60,
             fixed_iterations: None,
+            adaptive: false,
         }).unwrap();
         let err = verify::singular_value_error(
             &reference.sorted_singular_values(),
