@@ -18,16 +18,27 @@ pub struct SimStats {
     pub plio_bytes_in: usize,
     /// Bytes streamed AIE → PL.
     pub plio_bytes_out: usize,
+    /// PLIO stream transfers performed (column loads/stores).
+    pub plio_transfers: usize,
     /// Orthogonalization kernel invocations.
     pub orth_invocations: usize,
     /// Normalization kernel invocations.
     pub norm_invocations: usize,
     /// Bytes loaded from / stored to DDR.
     pub ddr_bytes: usize,
+    /// DDR burst transactions performed (block loads + result store).
+    pub ddr_transfers: usize,
     /// Accumulated busy time across all orth-AIE cores.
     pub orth_busy: TimePs,
     /// Accumulated busy time across all PLIO ports.
     pub plio_busy: TimePs,
+    /// Accumulated busy time across all inter-tile DMA channels
+    /// (lateral, wraparound, and band-break hops; neighbor hand-offs
+    /// use shared buffers and contribute nothing here).
+    pub dma_busy: TimePs,
+    /// Accumulated DDR controller busy time (initial staggered block
+    /// loads plus the final result store).
+    pub ddr_busy: TimePs,
     /// Outer block-Jacobi iterations executed.
     pub iterations: usize,
 }
@@ -66,11 +77,15 @@ impl SimStats {
         self.neighbor_accesses += other.neighbor_accesses;
         self.plio_bytes_in += other.plio_bytes_in;
         self.plio_bytes_out += other.plio_bytes_out;
+        self.plio_transfers += other.plio_transfers;
         self.orth_invocations += other.orth_invocations;
         self.norm_invocations += other.norm_invocations;
         self.ddr_bytes += other.ddr_bytes;
+        self.ddr_transfers += other.ddr_transfers;
         self.orth_busy += other.orth_busy;
         self.plio_busy += other.plio_busy;
+        self.dma_busy += other.dma_busy;
+        self.ddr_busy += other.ddr_busy;
         self.iterations = self.iterations.max(other.iterations);
     }
 
@@ -86,11 +101,15 @@ impl SimStats {
         self.neighbor_accesses += delta.neighbor_accesses;
         self.plio_bytes_in += delta.plio_bytes_in;
         self.plio_bytes_out += delta.plio_bytes_out;
+        self.plio_transfers += delta.plio_transfers;
         self.orth_invocations += delta.orth_invocations;
         self.norm_invocations += delta.norm_invocations;
         self.ddr_bytes += delta.ddr_bytes;
+        self.ddr_transfers += delta.ddr_transfers;
         self.orth_busy += delta.orth_busy;
         self.plio_busy += delta.plio_busy;
+        self.dma_busy += delta.dma_busy;
+        self.ddr_busy += delta.ddr_busy;
         self.iterations += delta.iterations;
     }
 
@@ -105,11 +124,15 @@ impl SimStats {
             neighbor_accesses: self.neighbor_accesses - earlier.neighbor_accesses,
             plio_bytes_in: self.plio_bytes_in - earlier.plio_bytes_in,
             plio_bytes_out: self.plio_bytes_out - earlier.plio_bytes_out,
+            plio_transfers: self.plio_transfers - earlier.plio_transfers,
             orth_invocations: self.orth_invocations - earlier.orth_invocations,
             norm_invocations: self.norm_invocations - earlier.norm_invocations,
             ddr_bytes: self.ddr_bytes - earlier.ddr_bytes,
+            ddr_transfers: self.ddr_transfers - earlier.ddr_transfers,
             orth_busy: self.orth_busy.saturating_sub(earlier.orth_busy),
             plio_busy: self.plio_busy.saturating_sub(earlier.plio_busy),
+            dma_busy: self.dma_busy.saturating_sub(earlier.dma_busy),
+            ddr_busy: self.ddr_busy.saturating_sub(earlier.ddr_busy),
             iterations: self.iterations - earlier.iterations,
         }
     }
@@ -176,6 +199,10 @@ mod tests {
             dma_transfers: 2,
             iterations: 1,
             orth_busy: TimePs(10),
+            dma_busy: TimePs(7),
+            ddr_busy: TimePs(3),
+            plio_transfers: 4,
+            ddr_transfers: 2,
             ..Default::default()
         };
         a.accumulate(&d);
@@ -185,6 +212,10 @@ mod tests {
         assert_eq!(a.dma_transfers, 5);
         assert_eq!(a.iterations, 3);
         assert_eq!(a.orth_busy, TimePs(50));
+        assert_eq!(a.dma_busy, TimePs(7));
+        assert_eq!(a.ddr_busy, TimePs(3));
+        assert_eq!(a.plio_transfers, 4);
+        assert_eq!(a.ddr_transfers, 2);
     }
 
     #[test]
@@ -201,6 +232,10 @@ mod tests {
             orth_invocations: 6,
             iterations: 1,
             plio_busy: TimePs(30),
+            dma_busy: TimePs(11),
+            ddr_busy: TimePs(5),
+            plio_transfers: 9,
+            ddr_transfers: 1,
             ..Default::default()
         };
         let mut after = before;

@@ -43,6 +43,13 @@ pub struct ServeRow {
     pub p50_wall_us: u64,
     /// 99th-percentile request wall latency, µs.
     pub p99_wall_us: u64,
+    /// The service's windowed throughput over exactly the measured
+    /// serving interval (completions per second between the snapshot
+    /// taken at submission start and the one taken after the last
+    /// completion). `None` for the baseline, which has no service to
+    /// snapshot. Unlike `requests_per_sec`, this excludes the service's
+    /// own startup from the denominator.
+    pub requests_per_sec_window: Option<f64>,
 }
 
 /// The complete serving report (serialized to `BENCH_serve.json`).
@@ -91,6 +98,7 @@ fn row(
         },
         p50_wall_us: pct.p50,
         p99_wall_us: pct.p99,
+        requests_per_sec_window: None,
     }
 }
 
@@ -176,6 +184,10 @@ fn run_optimized(
     })?;
     let mut wall_us: Vec<u64> = Vec::with_capacity(requests);
     let mut completed = 0usize;
+    // Snapshot once to pin the throughput window to the start of the
+    // measured interval; the post-run snapshot then reports completions
+    // per second over exactly the serving span, startup excluded.
+    let _ = service.metrics();
     let start = Instant::now();
     let handles: Vec<_> = (0..requests)
         .map(|i| service.try_submit(request_matrix(n, i)))
@@ -186,8 +198,11 @@ fn run_optimized(
         wall_us.push(response.latency.wall_total.as_micros() as u64);
     }
     let wall = start.elapsed();
+    let window_rate = service.metrics().throughput_rps_window;
     service.shutdown();
-    Ok(row("optimized", requests, completed, wall, &mut wall_us))
+    let mut measured = row("optimized", requests, completed, wall, &mut wall_us);
+    measured.requests_per_sec_window = Some(window_rate);
+    Ok(measured)
 }
 
 /// Measures both variants on an `n×n` timing-only workload and returns
@@ -238,6 +253,13 @@ mod tests {
             assert_eq!(r.completed, 8, "{} dropped requests", r.variant);
             assert!(r.requests_per_sec > 0.0, "{}: zero throughput", r.variant);
             assert!(r.p99_wall_us >= r.p50_wall_us);
+            match r.variant.as_str() {
+                "optimized" => {
+                    let w = r.requests_per_sec_window.expect("windowed rate present");
+                    assert!(w > 0.0, "windowed rate should cover the serving span");
+                }
+                _ => assert!(r.requests_per_sec_window.is_none()),
+            }
         }
         assert!(report.speedup.is_finite());
     }

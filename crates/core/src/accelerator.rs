@@ -37,6 +37,11 @@ pub struct HeteroSvdOutput {
     /// functional fidelity). Observational only: timing and stats never
     /// depend on them.
     pub adaptive: Option<AdaptiveCounters>,
+    /// Per-resource utilization of this run (`None` with
+    /// [`HeteroSvdConfig::observability`] off). Derived purely from
+    /// `stats`, so it is identical live or replayed and never feeds back
+    /// into the model.
+    pub utilization: Option<crate::obs::UtilizationReport>,
 }
 
 /// A configured HeteroSVD accelerator instance.
@@ -142,6 +147,8 @@ impl Accelerator {
         let ddr = DdrModel::new(cfg.calibration);
         let (ready, ddr_time, ddr_bytes) = replay::ddr_initial_ready(cfg);
         stats.ddr_bytes += ddr_bytes;
+        stats.ddr_transfers += cfg.num_blocks();
+        stats.ddr_busy += ddr_time;
         timing.ddr_time = ddr_time;
 
         // ---- Orthogonalization iterations, driven by the system module
@@ -201,6 +208,8 @@ impl Accelerator {
         let result_bytes = cfg.rows * cfg.cols * 4 + cfg.cols * 4;
         let store = ddr.burst_time(result_bytes);
         stats.ddr_bytes += result_bytes;
+        stats.ddr_transfers += 1;
+        stats.ddr_busy += store;
         timing.task_time = norm.end + store;
         stats.elapsed = timing.task_time;
 
@@ -209,6 +218,10 @@ impl Accelerator {
         } else {
             vec![0.0; cfg.cols]
         };
+
+        let utilization = cfg
+            .observability
+            .then(|| crate::obs::UtilizationReport::from_stats(&stats, self.resource_counts()));
 
         Ok(HeteroSvdOutput {
             result: SvdResult {
@@ -223,7 +236,27 @@ impl Accelerator {
             usage: self.plan.placement.usage(),
             trace,
             adaptive,
+            utilization,
         })
+    }
+
+    /// How many instances of each profiled resource class this design
+    /// instantiates. AIE cores are the orth cores only — matching the
+    /// `orth_busy` counter the utilization is computed from — and the
+    /// DMA count covers per-(layer, slot) channels plus each layer's
+    /// wraparound and stream-switch backbone, mirroring
+    /// [`crate::orth_pipeline::OrthPipeline`]'s timeline layout.
+    fn resource_counts(&self) -> crate::obs::ResourceCounts {
+        let cfg = &self.config;
+        let k = cfg.engine_parallelism;
+        let layers = self.plan.placement.num_layers();
+        let plio = self.plan.plio_plan;
+        crate::obs::ResourceCounts {
+            plio_ports: plio.orth_in + plio.orth_out + plio.norm,
+            aie_cores: layers * k,
+            dma_channels: layers.max(1) * k + 2 * layers.max(1),
+            ddr_controllers: 1,
+        }
     }
 
     /// Factorizes a batch of distinct matrices on the process-wide

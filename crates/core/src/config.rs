@@ -83,6 +83,14 @@ pub struct HeteroSvdConfig {
     /// after the first wave, each wave's DDR load overlaps the previous
     /// wave's compute. Default off, preserving Eq. (14) exactness.
     pub cross_batch_pipelining: bool,
+    /// Observability (default on): emit per-iteration spans into the
+    /// global [`crate::obs`] journal and attach a per-run
+    /// [`crate::obs::UtilizationReport`] to the output. Purely
+    /// observational — modeled timing, stats, and traces are
+    /// bit-identical with the knob on or off — and allocation-free on
+    /// the sweep hot path (the journal ring is preallocated; sampled-out
+    /// spans cost two atomic ops).
+    pub observability: bool,
     /// Target device (geometry, budgets, tile memory; default VCK190).
     pub device: DeviceProfile,
     /// Timing calibration.
@@ -160,6 +168,7 @@ pub struct HeteroSvdConfigBuilder {
     timing_replay: bool,
     adaptive_sweeps: bool,
     cross_batch_pipelining: bool,
+    observability: bool,
     device: DeviceProfile,
     calibration: Calibration,
 }
@@ -183,6 +192,7 @@ impl HeteroSvdConfigBuilder {
             timing_replay: true,
             adaptive_sweeps: true,
             cross_batch_pipelining: false,
+            observability: true,
             device: DeviceProfile::VCK190,
             calibration: Calibration::DEFAULT,
         }
@@ -282,6 +292,14 @@ impl HeteroSvdConfigBuilder {
     /// system-time projections (default off: plain Eq. 14).
     pub fn cross_batch_pipelining(mut self, enabled: bool) -> Self {
         self.cross_batch_pipelining = enabled;
+        self
+    }
+
+    /// Enables or disables observability (default on): span emission
+    /// into the global journal plus the per-run utilization report.
+    /// Modeled timing, stats, and traces are bit-identical either way.
+    pub fn observability(mut self, enabled: bool) -> Self {
+        self.observability = enabled;
         self
     }
 
@@ -393,6 +411,7 @@ impl HeteroSvdConfigBuilder {
             timing_replay: self.timing_replay,
             adaptive_sweeps: self.adaptive_sweeps,
             cross_batch_pipelining: self.cross_batch_pipelining,
+            observability: self.observability,
             device: self.device,
             calibration: self.calibration,
         })
@@ -538,15 +557,18 @@ mod tests {
         assert!(c.timing_replay);
         assert!(c.adaptive_sweeps);
         assert!(!c.cross_batch_pipelining);
+        assert!(c.observability);
         let c = HeteroSvdConfig::builder(128, 128)
             .timing_replay(false)
             .adaptive_sweeps(false)
             .cross_batch_pipelining(true)
+            .observability(false)
             .build()
             .unwrap();
         assert!(!c.timing_replay);
         assert!(!c.adaptive_sweeps);
         assert!(c.cross_batch_pipelining);
+        assert!(!c.observability);
     }
 
     #[test]

@@ -40,6 +40,7 @@ pub mod batch_pool;
 pub mod config;
 pub mod energy;
 pub mod norm_pipeline;
+pub mod obs;
 pub mod orth_pipeline;
 pub mod pl_modules;
 pub mod placement;
@@ -57,6 +58,7 @@ pub use batch_pool::BatchPool;
 pub use config::{FidelityMode, HeteroSvdConfig, HeteroSvdConfigBuilder};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HeteroSvdError;
+pub use obs::{JournalSummary, ObsConfig, ResourceKind, SpanJournal, Stage, UtilizationReport};
 pub use orth_pipeline::AdaptiveCounters;
 pub use placement::Placement;
 pub use plan_cache::{PlanCache, PlanHandle};

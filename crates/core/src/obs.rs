@@ -1,0 +1,659 @@
+//! End-to-end observability: span journal and resource utilization.
+//!
+//! The serving stack and the simulator both produce timing signals —
+//! wall-clock on the host side (admission, linger, replica execution)
+//! and modeled [`TimePs`] on the simulated side (Eq. 8–14). This module
+//! gives both a common, low-overhead sink:
+//!
+//! * [`SpanJournal`] — a fixed-capacity ring of [`SpanEvent`]s plus
+//!   running per-stage aggregates. Recording is lock-free when a span is
+//!   sampled out (two relaxed atomics, no allocation) and allocation-free
+//!   always: the ring buffer is preallocated and overwrites the oldest
+//!   event when full. The process-global journal ([`global`]) is what
+//!   the serve path and the simulator emit into; [`configure`] flips
+//!   sampling/enablement at runtime.
+//! * [`UtilizationReport`] — per-resource (PLIO ports, orth-AIE cores,
+//!   DMA channels, DDR) busy fraction and operation counts for one
+//!   accelerator run, derived purely from [`SimStats`]. Because replay
+//!   reproduces stats bit-identically, the report is identical whether
+//!   the run was live-simulated or replayed, and whether the journal
+//!   was sampling or not. [`UtilizationReport::merge`] aggregates runs
+//!   (a serving batch, a whole serving session) into one report.
+//!
+//! Everything here is observational: no simulated clock or counter is
+//! consulted to *drive* the model, so `observability` on/off cannot
+//! perturb timing — `replay_equivalence.rs` pins that bit-exactly.
+
+use aie_sim::stats::SimStats;
+use aie_sim::time::TimePs;
+use serde::{Deserialize, Serialize};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard, OnceLock};
+use std::time::Duration;
+
+/// Number of pipeline stages a span can belong to.
+pub const STAGE_COUNT: usize = 5;
+
+/// Default capacity of the process-global journal's event ring.
+pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
+
+/// The pipeline stage a span measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum Stage {
+    /// Admission: request validated and enqueued.
+    Admit,
+    /// Time spent waiting in the admission queue until batch pickup.
+    Queue,
+    /// Batch formation: pickup until dispatch to a replica.
+    BatchForm,
+    /// Replica execution: host wall-clock of one batch's accelerator run.
+    ReplicaExec,
+    /// Simulated-timing stage: one modeled iteration (live or replayed)
+    /// or one replay-profile probe; `modeled` carries the [`TimePs`].
+    SimReplay,
+}
+
+impl Stage {
+    /// Every stage, in journal/report order.
+    pub const ALL: [Stage; STAGE_COUNT] = [
+        Stage::Admit,
+        Stage::Queue,
+        Stage::BatchForm,
+        Stage::ReplicaExec,
+        Stage::SimReplay,
+    ];
+
+    /// Stable snake_case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            Stage::Admit => "admit",
+            Stage::Queue => "queue",
+            Stage::BatchForm => "batch_form",
+            Stage::ReplicaExec => "replica_exec",
+            Stage::SimReplay => "sim_replay",
+        }
+    }
+
+    fn index(self) -> usize {
+        match self {
+            Stage::Admit => 0,
+            Stage::Queue => 1,
+            Stage::BatchForm => 2,
+            Stage::ReplicaExec => 3,
+            Stage::SimReplay => 4,
+        }
+    }
+}
+
+/// One recorded span.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpanEvent {
+    /// Which stage the span measures.
+    pub stage: Stage,
+    /// The request this span belongs to, when request-scoped.
+    pub request_id: Option<u64>,
+    /// Host wall-clock duration of the stage.
+    pub wall: Duration,
+    /// Modeled simulated time, for sim stages.
+    pub modeled: Option<TimePs>,
+}
+
+/// Runtime switches for the journal (see [`configure`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ObsConfig {
+    /// Master switch; when off, [`SpanJournal::record`] is one relaxed
+    /// atomic load.
+    pub enabled: bool,
+    /// Record every `sample_every`-th span (1 = all). Sampled-out spans
+    /// cost two relaxed atomic ops and are counted, not stored.
+    pub sample_every: u64,
+}
+
+impl Default for ObsConfig {
+    fn default() -> Self {
+        ObsConfig {
+            enabled: true,
+            sample_every: 1,
+        }
+    }
+}
+
+/// Per-stage running aggregates, maintained at record time so the
+/// summary covers every recorded span even after the ring overwrites.
+#[derive(Debug, Clone, Copy, Default)]
+struct StageAgg {
+    count: u64,
+    wall_ns_total: u64,
+    wall_ns_max: u64,
+    modeled_ps_total: u64,
+}
+
+struct Ring {
+    buf: Vec<SpanEvent>,
+    /// Total spans ever written into the ring (write cursor = `% cap`).
+    written: u64,
+    agg: [StageAgg; STAGE_COUNT],
+}
+
+/// Fixed-capacity, preallocated span sink. See the module docs for the
+/// overhead contract.
+pub struct SpanJournal {
+    ring: Mutex<Ring>,
+    enabled: AtomicBool,
+    sample_every: AtomicU64,
+    counter: AtomicU64,
+    sampled_out: AtomicU64,
+    capacity: usize,
+}
+
+impl std::fmt::Debug for SpanJournal {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("SpanJournal")
+            .field("capacity", &self.capacity)
+            .field("enabled", &self.enabled.load(Ordering::Relaxed))
+            .field("sample_every", &self.sample_every.load(Ordering::Relaxed))
+            .finish_non_exhaustive()
+    }
+}
+
+impl SpanJournal {
+    /// A journal whose ring holds the last `capacity` events. The ring
+    /// is preallocated here; recording never allocates.
+    pub fn with_capacity(capacity: usize) -> Self {
+        let capacity = capacity.max(1);
+        SpanJournal {
+            ring: Mutex::new(Ring {
+                buf: Vec::with_capacity(capacity),
+                written: 0,
+                agg: [StageAgg::default(); STAGE_COUNT],
+            }),
+            enabled: AtomicBool::new(true),
+            sample_every: AtomicU64::new(1),
+            counter: AtomicU64::new(0),
+            sampled_out: AtomicU64::new(0),
+            capacity,
+        }
+    }
+
+    fn lock(&self) -> MutexGuard<'_, Ring> {
+        // The ring's invariants hold at every await-free update, so a
+        // poisoned lock (panicking recorder) is still safe to reuse.
+        self.ring.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Applies runtime switches (enable + sampling period).
+    pub fn configure(&self, cfg: ObsConfig) {
+        self.enabled.store(cfg.enabled, Ordering::Relaxed);
+        self.sample_every
+            .store(cfg.sample_every.max(1), Ordering::Relaxed);
+    }
+
+    /// Whether the journal currently records at all.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled.load(Ordering::Relaxed)
+    }
+
+    /// Records one span. Disabled: one atomic load. Sampled out: two
+    /// relaxed atomic RMWs. Sampled in: one short mutex section writing
+    /// into preallocated storage. No path allocates.
+    pub fn record(
+        &self,
+        stage: Stage,
+        request_id: Option<u64>,
+        wall: Duration,
+        modeled: Option<TimePs>,
+    ) {
+        if !self.enabled.load(Ordering::Relaxed) {
+            return;
+        }
+        let n = self.counter.fetch_add(1, Ordering::Relaxed);
+        let every = self.sample_every.load(Ordering::Relaxed).max(1);
+        if !n.is_multiple_of(every) {
+            self.sampled_out.fetch_add(1, Ordering::Relaxed);
+            return;
+        }
+        let ev = SpanEvent {
+            stage,
+            request_id,
+            wall,
+            modeled,
+        };
+        let mut ring = self.lock();
+        let pos = (ring.written % self.capacity as u64) as usize;
+        if ring.buf.len() < self.capacity {
+            ring.buf.push(ev);
+        } else {
+            ring.buf[pos] = ev;
+        }
+        ring.written += 1;
+        let wall_ns = wall.as_nanos().min(u64::MAX as u128) as u64;
+        let agg = &mut ring.agg[stage.index()];
+        agg.count += 1;
+        agg.wall_ns_total = agg.wall_ns_total.saturating_add(wall_ns);
+        agg.wall_ns_max = agg.wall_ns_max.max(wall_ns);
+        agg.modeled_ps_total = agg
+            .modeled_ps_total
+            .saturating_add(modeled.map_or(0, |t| t.0));
+    }
+
+    /// The buffered (most recent) events, oldest first.
+    pub fn events(&self) -> Vec<SpanEvent> {
+        let ring = self.lock();
+        let len = ring.buf.len();
+        let start = (ring.written % self.capacity as u64) as usize;
+        let mut out = Vec::with_capacity(len);
+        if len < self.capacity {
+            out.extend_from_slice(&ring.buf);
+        } else {
+            out.extend_from_slice(&ring.buf[start..]);
+            out.extend_from_slice(&ring.buf[..start]);
+        }
+        out
+    }
+
+    /// Per-stage aggregates over every span recorded since the last
+    /// [`SpanJournal::clear`] (not just the buffered tail).
+    pub fn summary(&self) -> JournalSummary {
+        let ring = self.lock();
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let agg = ring.agg[s.index()];
+                StageSummary {
+                    stage: s.name().to_string(),
+                    count: agg.count,
+                    wall_us_total: agg.wall_ns_total / 1_000,
+                    wall_us_max: agg.wall_ns_max / 1_000,
+                    modeled_ps_total: agg.modeled_ps_total,
+                }
+            })
+            .collect();
+        JournalSummary {
+            recorded: ring.written,
+            sampled_out: self.sampled_out.load(Ordering::Relaxed),
+            buffered: ring.buf.len(),
+            stages,
+        }
+    }
+
+    /// Drops buffered events, aggregates, and sampling counters.
+    pub fn clear(&self) {
+        let mut ring = self.lock();
+        ring.buf.clear();
+        ring.written = 0;
+        ring.agg = [StageAgg::default(); STAGE_COUNT];
+        drop(ring);
+        self.counter.store(0, Ordering::Relaxed);
+        self.sampled_out.store(0, Ordering::Relaxed);
+    }
+}
+
+/// Aggregates of one stage's spans (see [`SpanJournal::summary`]).
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StageSummary {
+    /// Stage name (snake_case, see [`Stage::name`]).
+    pub stage: String,
+    /// Spans recorded for this stage.
+    pub count: u64,
+    /// Sum of wall-clock durations, microseconds.
+    pub wall_us_total: u64,
+    /// Largest single wall-clock duration, microseconds.
+    pub wall_us_max: u64,
+    /// Sum of modeled simulated time, picoseconds (sim stages).
+    pub modeled_ps_total: u64,
+}
+
+/// Snapshot of the journal's per-stage aggregates and ring state.
+#[derive(Debug, Clone, PartialEq, Eq, Serialize, Deserialize)]
+pub struct JournalSummary {
+    /// Spans written into the ring since the last clear.
+    pub recorded: u64,
+    /// Spans dropped by sampling (counted, never stored).
+    pub sampled_out: u64,
+    /// Events currently held in the ring.
+    pub buffered: usize,
+    /// One entry per [`Stage`], in [`Stage::ALL`] order.
+    pub stages: Vec<StageSummary>,
+}
+
+static GLOBAL: OnceLock<SpanJournal> = OnceLock::new();
+
+/// The process-global journal every built-in emitter records into.
+pub fn global() -> &'static SpanJournal {
+    GLOBAL.get_or_init(|| SpanJournal::with_capacity(DEFAULT_JOURNAL_CAPACITY))
+}
+
+/// Applies runtime switches to the [`global`] journal.
+pub fn configure(cfg: ObsConfig) {
+    global().configure(cfg);
+}
+
+/// A modeled-hardware resource class tracked by the profiler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum ResourceKind {
+    /// PLIO stream ports (PL ↔ AIE array boundary).
+    Plio,
+    /// Orthogonalization AIE cores (`(2k−1) · k` tiles).
+    AieCore,
+    /// Inter-tile DMA channels (lateral, wraparound, band-break).
+    Dma,
+    /// The DDR controller (initial block loads + result store).
+    Ddr,
+}
+
+impl ResourceKind {
+    /// Every resource class, in report order.
+    pub const ALL: [ResourceKind; 4] = [
+        ResourceKind::Plio,
+        ResourceKind::AieCore,
+        ResourceKind::Dma,
+        ResourceKind::Ddr,
+    ];
+
+    /// Stable snake_case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            ResourceKind::Plio => "plio",
+            ResourceKind::AieCore => "aie_core",
+            ResourceKind::Dma => "dma",
+            ResourceKind::Ddr => "ddr",
+        }
+    }
+}
+
+/// How many instances of each resource class a plan instantiates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct ResourceCounts {
+    /// PLIO ports (orth in + orth out + norm).
+    pub plio_ports: usize,
+    /// Orthogonalization AIE cores.
+    pub aie_cores: usize,
+    /// Inter-tile DMA channels (per-core + wrap + switch).
+    pub dma_channels: usize,
+    /// DDR controllers (always 1 on the modeled device).
+    pub ddr_controllers: usize,
+}
+
+impl ResourceCounts {
+    fn of(self, kind: ResourceKind) -> usize {
+        match kind {
+            ResourceKind::Plio => self.plio_ports,
+            ResourceKind::AieCore => self.aie_cores,
+            ResourceKind::Dma => self.dma_channels,
+            ResourceKind::Ddr => self.ddr_controllers,
+        }
+    }
+}
+
+/// One resource class's utilization over a report's horizon.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ResourceUtil {
+    /// Which resource class.
+    pub kind: ResourceKind,
+    /// Instances of the class in the plan.
+    pub count: usize,
+    /// Busy time summed across all instances.
+    pub busy: TimePs,
+    /// Operations performed (transfers or kernel invocations).
+    pub ops: u64,
+    /// `busy / (horizon · count)`, clamped to `[0, 1]`.
+    pub busy_fraction: f64,
+}
+
+/// Per-resource utilization of one (or one aggregate of) accelerator
+/// run(s), derived purely from [`SimStats`] — see the module docs for
+/// why that makes it replay- and observability-invariant.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct UtilizationReport {
+    /// Total simulated time covered (sums under [`UtilizationReport::merge`]).
+    pub horizon: TimePs,
+    /// One entry per [`ResourceKind`], in [`ResourceKind::ALL`] order.
+    pub resources: Vec<ResourceUtil>,
+    /// The class with the highest busy fraction — the modeled
+    /// bottleneck in the sense of the paper's Eq. 8–14 decomposition.
+    pub critical: ResourceKind,
+}
+
+impl UtilizationReport {
+    /// Builds the report for one run from its final statistics.
+    pub fn from_stats(stats: &SimStats, counts: ResourceCounts) -> Self {
+        let horizon = stats.elapsed;
+        let entry = |kind: ResourceKind, busy: TimePs, ops: u64| {
+            let count = counts.of(kind);
+            ResourceUtil {
+                kind,
+                count,
+                busy,
+                ops,
+                busy_fraction: busy_fraction(busy, horizon, count),
+            }
+        };
+        let resources = vec![
+            entry(
+                ResourceKind::Plio,
+                stats.plio_busy,
+                stats.plio_transfers as u64,
+            ),
+            entry(
+                ResourceKind::AieCore,
+                stats.orth_busy,
+                (stats.orth_invocations + stats.norm_invocations) as u64,
+            ),
+            entry(
+                ResourceKind::Dma,
+                stats.dma_busy,
+                stats.dma_transfers as u64,
+            ),
+            entry(
+                ResourceKind::Ddr,
+                stats.ddr_busy,
+                stats.ddr_transfers as u64,
+            ),
+        ];
+        let critical = critical_of(&resources);
+        UtilizationReport {
+            horizon,
+            resources,
+            critical,
+        }
+    }
+
+    /// Folds another report (same plan or a compatible one) into this
+    /// one: horizons and busy times add (sequential aggregation over
+    /// simulated time), instance counts take the maximum, and busy
+    /// fractions and the critical resource are recomputed.
+    pub fn merge(&mut self, other: &UtilizationReport) {
+        self.horizon += other.horizon;
+        for (mine, theirs) in self.resources.iter_mut().zip(&other.resources) {
+            debug_assert_eq!(mine.kind, theirs.kind);
+            mine.count = mine.count.max(theirs.count);
+            mine.busy += theirs.busy;
+            mine.ops += theirs.ops;
+        }
+        for r in &mut self.resources {
+            r.busy_fraction = busy_fraction(r.busy, self.horizon, r.count);
+        }
+        self.critical = critical_of(&self.resources);
+    }
+
+    /// This report's entry for `kind`.
+    pub fn resource(&self, kind: ResourceKind) -> &ResourceUtil {
+        self.resources
+            .iter()
+            .find(|r| r.kind == kind)
+            .expect("report holds every resource kind")
+    }
+}
+
+fn busy_fraction(busy: TimePs, horizon: TimePs, count: usize) -> f64 {
+    if horizon == TimePs::ZERO || count == 0 {
+        return 0.0;
+    }
+    (busy.0 as f64 / (horizon.0 as f64 * count as f64)).min(1.0)
+}
+
+fn critical_of(resources: &[ResourceUtil]) -> ResourceKind {
+    resources
+        .iter()
+        .max_by(|a, b| {
+            a.busy_fraction
+                .partial_cmp(&b.busy_fraction)
+                .unwrap_or(std::cmp::Ordering::Equal)
+        })
+        .map(|r| r.kind)
+        .unwrap_or(ResourceKind::Plio)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn counts() -> ResourceCounts {
+        ResourceCounts {
+            plio_ports: 4,
+            aie_cores: 28,
+            dma_channels: 36,
+            ddr_controllers: 1,
+        }
+    }
+
+    #[test]
+    fn journal_records_and_summarizes() {
+        let j = SpanJournal::with_capacity(8);
+        j.record(Stage::Admit, Some(1), Duration::from_micros(5), None);
+        j.record(
+            Stage::SimReplay,
+            None,
+            Duration::from_micros(10),
+            Some(TimePs(1234)),
+        );
+        j.record(
+            Stage::SimReplay,
+            None,
+            Duration::from_micros(2),
+            Some(TimePs(766)),
+        );
+        let s = j.summary();
+        assert_eq!(s.recorded, 3);
+        assert_eq!(s.sampled_out, 0);
+        assert_eq!(s.buffered, 3);
+        let admit = &s.stages[Stage::Admit.index()];
+        assert_eq!((admit.count, admit.wall_us_total), (1, 5));
+        let sim = &s.stages[Stage::SimReplay.index()];
+        assert_eq!(sim.count, 2);
+        assert_eq!(sim.wall_us_total, 12);
+        assert_eq!(sim.wall_us_max, 10);
+        assert_eq!(sim.modeled_ps_total, 2000);
+        assert_eq!(j.events().len(), 3);
+    }
+
+    #[test]
+    fn ring_overwrites_oldest_but_summary_keeps_totals() {
+        let j = SpanJournal::with_capacity(4);
+        for i in 0..10u64 {
+            j.record(Stage::Queue, Some(i), Duration::from_micros(1), None);
+        }
+        let events = j.events();
+        assert_eq!(events.len(), 4);
+        let ids: Vec<_> = events.iter().map(|e| e.request_id.unwrap()).collect();
+        assert_eq!(ids, vec![6, 7, 8, 9]);
+        let s = j.summary();
+        assert_eq!(s.recorded, 10);
+        assert_eq!(s.stages[Stage::Queue.index()].count, 10);
+        assert_eq!(s.stages[Stage::Queue.index()].wall_us_total, 10);
+    }
+
+    #[test]
+    fn sampling_drops_and_counts() {
+        let j = SpanJournal::with_capacity(16);
+        j.configure(ObsConfig {
+            enabled: true,
+            sample_every: 4,
+        });
+        for _ in 0..8 {
+            j.record(Stage::Admit, None, Duration::ZERO, None);
+        }
+        let s = j.summary();
+        // Spans 0 and 4 sampled in, the other six counted as dropped.
+        assert_eq!(s.recorded, 2);
+        assert_eq!(s.sampled_out, 6);
+    }
+
+    #[test]
+    fn disabled_journal_records_nothing() {
+        let j = SpanJournal::with_capacity(16);
+        j.configure(ObsConfig {
+            enabled: false,
+            sample_every: 1,
+        });
+        j.record(Stage::Admit, None, Duration::ZERO, None);
+        let s = j.summary();
+        assert_eq!(s.recorded, 0);
+        assert_eq!(s.sampled_out, 0);
+    }
+
+    #[test]
+    fn clear_resets_everything() {
+        let j = SpanJournal::with_capacity(4);
+        j.record(Stage::Admit, None, Duration::from_micros(1), None);
+        j.clear();
+        let s = j.summary();
+        assert_eq!((s.recorded, s.buffered), (0, 0));
+        assert_eq!(s.stages[Stage::Admit.index()].count, 0);
+    }
+
+    #[test]
+    fn utilization_identifies_critical_resource() {
+        let stats = SimStats {
+            elapsed: TimePs(1_000),
+            plio_busy: TimePs(3_200),  // 4 ports  -> 0.8
+            orth_busy: TimePs(14_000), // 28 cores -> 0.5
+            dma_busy: TimePs(3_600),   // 36 chans -> 0.1
+            ddr_busy: TimePs(200),     // 1 ctrl   -> 0.2
+            plio_transfers: 100,
+            orth_invocations: 50,
+            norm_invocations: 6,
+            dma_transfers: 20,
+            ddr_transfers: 9,
+            ..Default::default()
+        };
+        let r = UtilizationReport::from_stats(&stats, counts());
+        assert_eq!(r.critical, ResourceKind::Plio);
+        assert!((r.resource(ResourceKind::Plio).busy_fraction - 0.8).abs() < 1e-12);
+        assert!((r.resource(ResourceKind::AieCore).busy_fraction - 0.5).abs() < 1e-12);
+        assert!((r.resource(ResourceKind::Dma).busy_fraction - 0.1).abs() < 1e-12);
+        assert!((r.resource(ResourceKind::Ddr).busy_fraction - 0.2).abs() < 1e-12);
+        assert_eq!(r.resource(ResourceKind::AieCore).ops, 56);
+        assert_eq!(r.resource(ResourceKind::Ddr).ops, 9);
+    }
+
+    #[test]
+    fn utilization_merge_weights_by_horizon() {
+        let mk = |elapsed: u64, plio: u64| {
+            UtilizationReport::from_stats(
+                &SimStats {
+                    elapsed: TimePs(elapsed),
+                    plio_busy: TimePs(plio),
+                    plio_transfers: 1,
+                    ..Default::default()
+                },
+                counts(),
+            )
+        };
+        let mut a = mk(1_000, 4_000); // fraction 1.0
+        let b = mk(3_000, 0); // fraction 0.0
+        a.merge(&b);
+        assert_eq!(a.horizon, TimePs(4_000));
+        assert_eq!(a.resource(ResourceKind::Plio).ops, 2);
+        // 4000 busy over 4 ports x 4000 ps = 0.25, not the 0.5 mean.
+        assert!((a.resource(ResourceKind::Plio).busy_fraction - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_horizon_is_all_zero() {
+        let r = UtilizationReport::from_stats(&SimStats::default(), counts());
+        for res in &r.resources {
+            assert_eq!(res.busy_fraction, 0.0);
+        }
+    }
+}

@@ -362,16 +362,40 @@ impl<'a> OrthPipeline<'a> {
         b: &mut Matrix<f32>,
         pool: Option<&RotationPool>,
     ) -> IterationOutcome {
+        // Span bracketing is observational: the modeled clock below never
+        // reads the wall clock, so the knob cannot perturb timing. The
+        // journal's ring is preallocated and sampled-out spans are two
+        // atomic ops, keeping the iteration allocation-free either way.
+        let span_start = self.config.observability.then(std::time::Instant::now);
         if self.iterations_run == 0 {
             self.replay_active = self
                 .replay
                 .as_ref()
                 .is_some_and(|p| p.initial_block_ready() == self.block_ready.as_slice());
         }
-        if self.replay_active {
+        let outcome = if self.replay_active {
             let profile = Arc::clone(self.replay.as_ref().expect("replay_active implies profile"));
-            return self.run_iteration_replay(&profile, b, pool);
+            self.run_iteration_replay(&profile, b, pool)
+        } else {
+            self.run_iteration_live(b, pool)
+        };
+        if let Some(t0) = span_start {
+            crate::obs::global().record(
+                crate::obs::Stage::SimReplay,
+                None,
+                t0.elapsed(),
+                Some(outcome.end),
+            );
         }
+        outcome
+    }
+
+    /// One fully live-simulated iteration (every `Timeline` scheduled).
+    fn run_iteration_live(
+        &mut self,
+        b: &mut Matrix<f32>,
+        pool: Option<&RotationPool>,
+    ) -> IterationOutcome {
         let plan = self.plan;
         let mut max_conv = 0.0_f64;
         let mut rotations = 0usize;
@@ -537,6 +561,7 @@ impl<'a> OrthPipeline<'a> {
             self.scratch.col_avail[local] = end;
             self.stats.plio_bytes_in += m_bytes;
             self.stats.plio_busy += self.tx_dur;
+            self.stats.plio_transfers += 1;
         }
 
         // ---- Layers. ----
@@ -626,6 +651,7 @@ impl<'a> OrthPipeline<'a> {
             let (_, end) = self.plio_out[self.out_ports[local]].schedule(rx_ready, self.rx_dur);
             self.stats.plio_bytes_out += m_bytes;
             self.stats.plio_busy += self.rx_dur;
+            self.stats.plio_transfers += 1;
             if local < k {
                 block_u_end = block_u_end.max(end);
             } else {
@@ -658,6 +684,7 @@ impl<'a> OrthPipeline<'a> {
                     let (_, end) = self.dma_channels[channel].schedule(mid, self.break_dur);
                     self.stats.dma_transfers += 2;
                     self.stats.dma_bytes += 2 * m_bytes;
+                    self.stats.dma_busy += self.break_dur + self.break_dur;
                     end
                 }
                 StepKind::Neighbor => {
@@ -669,6 +696,7 @@ impl<'a> OrthPipeline<'a> {
                     let (_, end) = self.wrap_channels[layer].schedule(ready, self.wrap_dur);
                     self.stats.dma_transfers += 1;
                     self.stats.dma_bytes += m_bytes;
+                    self.stats.dma_busy += self.wrap_dur;
                     end
                 }
                 StepKind::Lateral => {
@@ -676,6 +704,7 @@ impl<'a> OrthPipeline<'a> {
                     let (_, end) = self.switch_channels[layer].schedule(ready, self.lateral_dur);
                     self.stats.dma_transfers += 1;
                     self.stats.dma_bytes += m_bytes;
+                    self.stats.dma_busy += self.lateral_dur;
                     end
                 }
             };

@@ -90,6 +90,23 @@ impl TimingProfile {
     /// returning `None` when no steady state appears within the probe
     /// budget (callers then keep simulating live).
     pub fn build(config: &HeteroSvdConfig, plan: &PlanHandle) -> Option<TimingProfile> {
+        // One journal span covers the whole probe (its wall cost is what
+        // replay amortizes away); the modeled time is the steady-state
+        // per-iteration shift the probe discovered, if any.
+        let span_start = config.observability.then(std::time::Instant::now);
+        let built = Self::build_inner(config, plan);
+        if let Some(t0) = span_start {
+            crate::obs::global().record(
+                crate::obs::Stage::SimReplay,
+                None,
+                t0.elapsed(),
+                built.as_ref().map(|p| p.steady_delta),
+            );
+        }
+        built
+    }
+
+    fn build_inner(config: &HeteroSvdConfig, plan: &PlanHandle) -> Option<TimingProfile> {
         // The probe is timing-only regardless of the caller's fidelity:
         // the clock is data-independent, so one probe serves both.
         let mut probe_cfg = config.clone();
@@ -97,6 +114,9 @@ impl TimingProfile {
         probe_cfg.fixed_iterations = Some(1);
         probe_cfg.record_trace = true;
         probe_cfg.functional_parallelism = 1;
+        // The probe's internal iterations are an implementation detail;
+        // only the single probe span above reaches the journal.
+        probe_cfg.observability = false;
 
         let (initial, _, _) = ddr_initial_ready(&probe_cfg);
         let mut pipe = OrthPipeline::new(&probe_cfg, plan);

@@ -129,6 +129,57 @@ fn adaptive_sweeps_leave_timing_stats_and_trace_bit_identical() {
 }
 
 #[test]
+fn observability_knob_leaves_modeled_behavior_bit_identical() {
+    // Observability is measurement, not behavior: span records and the
+    // utilization report are derived *from* the run and must never feed
+    // back into it. Flip the knob and demand bitwise identity of every
+    // modeled quantity, with replay both off and on.
+    for replay in [false, true] {
+        for fidelity in [FidelityMode::Functional, FidelityMode::TimingOnly] {
+            let build = |observability: bool| {
+                let cfg = HeteroSvdConfig::builder(32, 32)
+                    .engine_parallelism(4)
+                    .pl_freq_mhz(208.3)
+                    .fixed_iterations(5)
+                    .fidelity(fidelity)
+                    .record_trace(true)
+                    .timing_replay(replay)
+                    .observability(observability)
+                    .build()
+                    .unwrap();
+                Accelerator::new(cfg).unwrap()
+            };
+            let ctx = format!("replay={replay} {fidelity:?}");
+            let a = sample(32);
+            let on = build(true).run(&a).unwrap();
+            let off = build(false).run(&a).unwrap();
+            assert_eq!(on.timing, off.timing, "timing for {ctx}");
+            assert_eq!(on.stats, off.stats, "stats for {ctx}");
+            assert_eq!(on.trace, off.trace, "trace for {ctx}");
+            if fidelity == FidelityMode::Functional {
+                assert_eq!(
+                    on.result.u.as_slice(),
+                    off.result.u.as_slice(),
+                    "factors for {ctx}"
+                );
+                assert_eq!(on.result.sigma, off.result.sigma, "sigma for {ctx}");
+            }
+            // Only the report's presence follows the knob.
+            assert!(on.utilization.is_some(), "report missing for {ctx}");
+            assert!(off.utilization.is_none(), "report leaked for {ctx}");
+            // And the report itself is internally consistent: fractions
+            // clamped, the critical resource is the argmax.
+            let report = on.utilization.unwrap();
+            let critical = report.resource(report.critical).busy_fraction;
+            for r in &report.resources {
+                assert!((0.0..=1.0).contains(&r.busy_fraction), "fraction for {ctx}");
+                assert!(r.busy_fraction <= critical, "critical not argmax for {ctx}");
+            }
+        }
+    }
+}
+
+#[test]
 fn replay_is_exact_in_adaptive_convergence_mode() {
     // Without fixed iterations the system module decides when to stop
     // from the measured convergence — identical math must produce the

@@ -48,6 +48,13 @@ static GLOBAL: CountingAlloc = CountingAlloc;
 
 #[test]
 fn steady_state_iterations_do_not_allocate() {
+    // Leave observability ON but sample every span out: the hot path
+    // still walks the record() entry (two relaxed atomics) and must not
+    // reach the journal's ring mutex or any heap.
+    heterosvd::obs::configure(heterosvd::obs::ObsConfig {
+        enabled: true,
+        sample_every: u64::MAX,
+    });
     let cfg = HeteroSvdConfig::builder(32, 32)
         .engine_parallelism(4)
         .functional_parallelism(1)

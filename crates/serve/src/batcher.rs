@@ -12,9 +12,6 @@ use std::time::{Duration, Instant};
 /// for shutdown.
 pub(crate) const POLL_TICK: Duration = Duration::from_millis(20);
 
-/// Pause between same-shape sweeps while a batch lingers open.
-const LINGER_SLICE: Duration = Duration::from_micros(200);
-
 /// One request inside a formed batch, stamped when the batcher took it.
 pub(crate) struct BatchEntry {
     pub(crate) request: PendingRequest,
@@ -68,6 +65,10 @@ pub(crate) fn form_batch(
     }];
 
     while entries.len() < config.max_batch {
+        // Snapshot the push sequence *before* sweeping: a push that
+        // races with the sweep advances it and the wait below returns
+        // immediately instead of sleeping through the arrival.
+        let seen = queue.push_seq();
         let wanted = config.max_batch - entries.len();
         let picked_at = Instant::now();
         for request in queue.take_matching(wanted, |r| r.shape == shape) {
@@ -78,14 +79,41 @@ pub(crate) fn form_batch(
         if entries.len() >= config.max_batch {
             break;
         }
-        let now = Instant::now();
-        if now >= linger_deadline {
+        if Instant::now() >= linger_deadline {
             break;
         }
-        if queue.is_closed() && queue.is_empty() {
+        // Sleep on the queue's condvar, bounded by the linger deadline,
+        // instead of the old fixed-slice sleep-poll: a new arrival wakes
+        // the batcher in one signal (no up-to-a-slice added latency) and
+        // an idle linger burns no CPU. `false` means the deadline passed
+        // or the queue closed without growing — either way no new
+        // request can join this batch, so stop lingering.
+        if !queue.wait_for_push(seen, linger_deadline) {
             break;
         }
-        std::thread::sleep(LINGER_SLICE.min(linger_deadline - now));
+    }
+
+    if config.observability {
+        let journal = heterosvd::obs::global();
+        for entry in &entries {
+            journal.record(
+                heterosvd::obs::Stage::Queue,
+                Some(entry.request.id.0),
+                entry
+                    .picked_at
+                    .saturating_duration_since(entry.request.submitted_at),
+                None,
+            );
+        }
+        // One formation span per batch: how long the batch lingered
+        // from its seed pick to dispatch readiness, stamped with the
+        // seed's request id.
+        journal.record(
+            heterosvd::obs::Stage::BatchForm,
+            Some(entries[0].request.id.0),
+            Instant::now().saturating_duration_since(entries[0].picked_at),
+            None,
+        );
     }
 
     FormOutcome::Formed(Batch { shape, entries })
@@ -102,7 +130,7 @@ fn admit_or_complete(request: PendingRequest, metrics: &Metrics) -> Option<Pendi
     }
     if request.deadline_elapsed(Instant::now()) {
         if request.state.complete(Err(ServeError::DeadlineExceeded)) {
-            metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+            metrics.timed_out_batcher.fetch_add(1, Ordering::Relaxed);
         }
         return None;
     }
@@ -195,7 +223,57 @@ mod tests {
         queue.try_push(stale).unwrap();
         let out = form_batch(&queue, &config(2, Duration::from_millis(1)), &metrics);
         assert!(matches!(out, FormOutcome::Idle));
-        assert_eq!(metrics.timed_out.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.timed_out_batcher.load(Ordering::Relaxed), 1);
+    }
+
+    #[test]
+    fn linger_wakes_promptly_on_new_arrival() {
+        // With a 10 s linger, the old sleep-poll batcher would add up to
+        // one fixed slice of latency per arrival; the condvar wait must
+        // instead complete the batch almost immediately after the second
+        // request lands (generous bound for loaded CI machines).
+        let queue = std::sync::Arc::new(BoundedQueue::new(8));
+        let metrics = Metrics::new();
+        queue.try_push(pending(1, (8, 8))).unwrap();
+        let q2 = std::sync::Arc::clone(&queue);
+        let pusher = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            q2.try_push(pending(2, (8, 8))).unwrap();
+        });
+        let start = Instant::now();
+        let out = form_batch(&queue, &config(2, Duration::from_secs(10)), &metrics);
+        pusher.join().unwrap();
+        assert!(matches!(out, FormOutcome::Formed(b) if b.entries.len() == 2));
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "batch took {:?}; the linger slept through the arrival",
+            start.elapsed()
+        );
+    }
+
+    #[test]
+    fn closed_queue_with_nonmatching_leftover_ends_the_linger() {
+        // A closed queue holding only a different shape can never grow
+        // this batch: the linger must end immediately instead of
+        // sleeping out its full budget (the pre-condvar code did the
+        // latter).
+        let queue = BoundedQueue::new(8);
+        let metrics = Metrics::new();
+        queue.try_push(pending(1, (8, 8))).unwrap();
+        queue.try_push(pending(2, (12, 8))).unwrap();
+        queue.close();
+        let start = Instant::now();
+        let out = form_batch(&queue, &config(4, Duration::from_secs(10)), &metrics);
+        let batch = match out {
+            FormOutcome::Formed(b) => b,
+            _ => panic!("expected a batch"),
+        };
+        assert_eq!(batch.entries.len(), 1);
+        assert!(
+            start.elapsed() < Duration::from_secs(2),
+            "lingered {:?} on a closed queue",
+            start.elapsed()
+        );
     }
 
     #[test]

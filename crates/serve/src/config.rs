@@ -52,6 +52,17 @@ pub struct ServeConfig {
     pub cross_batch_pipelining: bool,
     /// Deadline applied to requests submitted without an explicit one.
     pub default_timeout: Option<Duration>,
+    /// Whether the service and its replicas emit observability data:
+    /// per-stage span journal entries, per-resource utilization reports,
+    /// and the aggregates behind [`crate::MetricsReport`]. Forwarded to
+    /// [`heterosvd::HeteroSvdConfig::observability`]; modeled timing and
+    /// results are bit-identical either way, so this defaults on.
+    pub observability: bool,
+    /// When set, the service runs an in-process scraper thread that
+    /// captures a [`crate::MetricsReport`] at this interval; the latest
+    /// capture is available from [`crate::SvdService::latest_scrape`].
+    /// `None` (the default) spawns no scraper.
+    pub metrics_scrape_interval: Option<Duration>,
 }
 
 impl Default for ServeConfig {
@@ -70,6 +81,8 @@ impl Default for ServeConfig {
             timing_replay: true,
             cross_batch_pipelining: false,
             default_timeout: None,
+            observability: true,
+            metrics_scrape_interval: None,
         }
     }
 }
@@ -143,7 +156,8 @@ impl ServeConfig {
             .functional_parallelism(self.functional_parallelism)
             .fidelity(self.fidelity)
             .timing_replay(self.timing_replay)
-            .cross_batch_pipelining(self.cross_batch_pipelining);
+            .cross_batch_pipelining(self.cross_batch_pipelining)
+            .observability(self.observability);
         if let Some(iters) = self.fixed_iterations {
             builder = builder.fixed_iterations(iters);
         }

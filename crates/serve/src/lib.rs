@@ -31,7 +31,11 @@
 //!   drain-on-shutdown.
 //! * **Observability** — [`SvdService::metrics`] returns a serializable
 //!   [`MetricsSnapshot`] with counters, queue depth, rolling throughput,
-//!   and queue-wait/linger/execution percentiles.
+//!   and queue-wait/linger/execution percentiles;
+//!   [`SvdService::metrics_report`] additionally folds in per-shape
+//!   accelerator resource utilization (busy fractions + the critical
+//!   resource) and the per-stage span-journal summary, exportable as
+//!   JSON or Prometheus text via [`MetricsReport`].
 //!
 //! # Quickstart
 //!
@@ -56,11 +60,13 @@ mod config;
 mod error;
 mod metrics;
 pub mod queue;
+mod report;
 mod request;
 mod service;
 
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use metrics::{MetricsSnapshot, Percentiles};
+pub use report::{MetricsReport, ShapeUtilization};
 pub use request::{LatencyRecord, RequestHandle, RequestId, SubmitOptions, SvdResponse};
 pub use service::SvdService;

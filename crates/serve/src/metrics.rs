@@ -19,11 +19,25 @@ pub(crate) struct Metrics {
     pub(crate) completed_ok: AtomicU64,
     pub(crate) failed: AtomicU64,
     pub(crate) cancelled: AtomicU64,
-    pub(crate) timed_out: AtomicU64,
+    /// Deadline expiries caught at batch formation (the request never
+    /// left the admission queue in time).
+    pub(crate) timed_out_batcher: AtomicU64,
+    /// Deadline expiries caught at replica-exec start (admitted in time,
+    /// but the deadline passed while the batch was forming/dispatching).
+    pub(crate) timed_out_exec: AtomicU64,
     pub(crate) worker_panics: AtomicU64,
     pub(crate) replicas_spawned: AtomicU64,
     pub(crate) batches_dispatched: AtomicU64,
     samples: Mutex<Vec<Sample>>,
+    /// Start of the current throughput window: advanced by every
+    /// snapshot so `throughput_rps_window` measures completions since
+    /// the *previous* snapshot, not since service start.
+    window: Mutex<WindowState>,
+}
+
+struct WindowState {
+    since: Instant,
+    completed: u64,
 }
 
 #[derive(Clone, Copy)]
@@ -44,11 +58,16 @@ impl Metrics {
             completed_ok: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             cancelled: AtomicU64::new(0),
-            timed_out: AtomicU64::new(0),
+            timed_out_batcher: AtomicU64::new(0),
+            timed_out_exec: AtomicU64::new(0),
             worker_panics: AtomicU64::new(0),
             replicas_spawned: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
             samples: Mutex::new(Vec::new()),
+            window: Mutex::new(WindowState {
+                since: Instant::now(),
+                completed: 0,
+            }),
         }
     }
 
@@ -71,6 +90,24 @@ impl Metrics {
         let samples = self.samples.lock().clone();
         let elapsed = self.started_at.elapsed().as_secs_f64();
         let completed = self.completed_ok.load(Ordering::Relaxed);
+        // Windowed rate: completions since the previous snapshot divided
+        // by the wall time since it, then the window restarts here. A
+        // long-running service reports its *current* rate instead of a
+        // lifetime average polluted by warmup and idle stretches.
+        let window_rate = {
+            let mut w = self.window.lock();
+            let span = w.since.elapsed().as_secs_f64();
+            let delta = completed.saturating_sub(w.completed);
+            w.since = Instant::now();
+            w.completed = completed;
+            if span > 0.0 {
+                delta as f64 / span
+            } else {
+                0.0
+            }
+        };
+        let timed_out_batcher = self.timed_out_batcher.load(Ordering::Relaxed);
+        let timed_out_exec = self.timed_out_exec.load(Ordering::Relaxed);
         let mut queue_wait: Vec<u64> = samples.iter().map(|s| s.queue_wait_us).collect();
         let mut linger: Vec<u64> = samples.iter().map(|s| s.linger_us).collect();
         let mut exec: Vec<u64> = samples.iter().map(|s| s.sim_exec_ps).collect();
@@ -86,7 +123,9 @@ impl Metrics {
             completed_ok: completed,
             failed: self.failed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
+            timed_out: timed_out_batcher + timed_out_exec,
+            timed_out_at_batcher: timed_out_batcher,
+            timed_out_at_exec: timed_out_exec,
             worker_panics: self.worker_panics.load(Ordering::Relaxed),
             replicas_spawned: self.replicas_spawned.load(Ordering::Relaxed),
             replicas_live: replicas_live as u64,
@@ -98,6 +137,7 @@ impl Metrics {
             } else {
                 0.0
             },
+            throughput_rps_window: window_rate,
             queue_wait_us: Percentiles::from_samples(&mut queue_wait),
             batch_linger_us: Percentiles::from_samples(&mut linger),
             sim_exec_ps: Percentiles::from_samples(&mut exec),
@@ -162,8 +202,14 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Requests cancelled before execution.
     pub cancelled: u64,
-    /// Requests whose deadline elapsed before execution.
+    /// Requests whose deadline elapsed before execution (both drop
+    /// points combined).
     pub timed_out: u64,
+    /// Deadline expiries caught at batch formation.
+    pub timed_out_at_batcher: u64,
+    /// Deadline expiries caught at replica-exec start (would otherwise
+    /// have burned a replica slot computing a result nobody reads).
+    pub timed_out_at_exec: u64,
     /// Replica panics contained by the service.
     pub worker_panics: u64,
     /// Replicas spawned over the service lifetime (initial + replacements).
@@ -176,8 +222,13 @@ pub struct MetricsSnapshot {
     pub queue_depth: u64,
     /// Mean executed batch size over the sample window.
     pub mean_batch_size: f64,
-    /// Completed requests per wall-clock second since service start.
+    /// Completed requests per wall-clock second since service start
+    /// (lifetime average).
     pub throughput_rps: f64,
+    /// Completed requests per second since the previous snapshot (each
+    /// snapshot advances the window). Prefer this for steady-state
+    /// rates: the lifetime average never recovers from warmup or idle.
+    pub throughput_rps_window: f64,
     /// Queue-wait percentiles (microseconds).
     pub queue_wait_us: Percentiles,
     /// Batch-linger percentiles (microseconds).
@@ -199,6 +250,83 @@ mod tests {
         assert_eq!(p.p95, 95);
         assert_eq!(p.p99, 99);
         assert_eq!(p.max, 100);
+    }
+
+    #[test]
+    fn single_sample_is_every_percentile() {
+        let p = Percentiles::from_samples(&mut [42]);
+        assert_eq!(
+            p,
+            Percentiles {
+                p50: 42,
+                p95: 42,
+                p99: 42,
+                max: 42
+            }
+        );
+    }
+
+    #[test]
+    fn ties_resolve_to_the_tied_value() {
+        // All samples equal: every percentile is that value.
+        let mut xs = vec![7u64; 1000];
+        let p = Percentiles::from_samples(&mut xs);
+        assert_eq!((p.p50, p.p95, p.p99, p.max), (7, 7, 7, 7));
+        // Heavy tie at the low end: p50 sits inside the tie, the tail
+        // percentiles escape it.
+        let mut xs: Vec<u64> = std::iter::repeat_n(1, 90)
+            .chain(std::iter::once(100))
+            .chain(std::iter::repeat_n(200, 9))
+            .collect();
+        let p = Percentiles::from_samples(&mut xs);
+        assert_eq!(p.p50, 1);
+        assert_eq!(p.p95, 200);
+        assert_eq!(p.p99, 200);
+        assert_eq!(p.max, 200);
+    }
+
+    #[test]
+    fn large_n_nearest_rank_is_exact() {
+        // 10_000 samples 1..=10_000: nearest-rank p_q is exactly
+        // ceil(n*q), with no interpolation and no off-by-one.
+        let mut xs: Vec<u64> = (1..=10_000).collect();
+        let p = Percentiles::from_samples(&mut xs);
+        assert_eq!(p.p50, 5_000);
+        assert_eq!(p.p95, 9_500);
+        assert_eq!(p.p99, 9_900);
+        assert_eq!(p.max, 10_000);
+    }
+
+    #[test]
+    fn windowed_rate_resets_per_snapshot() {
+        let m = Metrics::new();
+        m.completed_ok.store(100, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(5));
+        let first = m.snapshot(0, 0);
+        assert!(first.throughput_rps > 0.0);
+        assert!(first.throughput_rps_window > 0.0);
+        // No completions since the first snapshot: the windowed rate
+        // drops to exactly zero while the lifetime average stays stale.
+        std::thread::sleep(Duration::from_millis(5));
+        let second = m.snapshot(0, 0);
+        assert_eq!(second.throughput_rps_window, 0.0);
+        assert!(second.throughput_rps > 0.0);
+        // New completions show up in the next window.
+        m.completed_ok.store(150, Ordering::Relaxed);
+        std::thread::sleep(Duration::from_millis(5));
+        let third = m.snapshot(0, 0);
+        assert!(third.throughput_rps_window > 0.0);
+    }
+
+    #[test]
+    fn timed_out_splits_by_drop_point() {
+        let m = Metrics::new();
+        m.timed_out_batcher.fetch_add(3, Ordering::Relaxed);
+        m.timed_out_exec.fetch_add(2, Ordering::Relaxed);
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.timed_out, 5);
+        assert_eq!(snap.timed_out_at_batcher, 3);
+        assert_eq!(snap.timed_out_at_exec, 2);
     }
 
     #[test]

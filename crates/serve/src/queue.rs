@@ -2,7 +2,7 @@
 
 use parking_lot::{Condvar, Mutex};
 use std::collections::VecDeque;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// A bounded multi-producer/multi-consumer FIFO with close semantics.
 ///
@@ -23,6 +23,12 @@ pub struct BoundedQueue<T> {
 struct QueueState<T> {
     buf: VecDeque<T>,
     closed: bool,
+    /// Monotonic count of successful pushes; lets a consumer sleep on
+    /// the `items` condvar until the queue *grows* (see
+    /// [`BoundedQueue::wait_for_push`]) rather than poll-sleeping —
+    /// depth alone can't distinguish growth from a non-matching
+    /// leftover sitting in the buffer.
+    push_seq: u64,
 }
 
 /// Outcome of a non-blocking push.
@@ -53,6 +59,7 @@ impl<T> BoundedQueue<T> {
             state: Mutex::new(QueueState {
                 buf: VecDeque::with_capacity(capacity.min(1024)),
                 closed: false,
+                push_seq: 0,
             }),
             space: Condvar::new(),
             items: Condvar::new(),
@@ -89,6 +96,7 @@ impl<T> BoundedQueue<T> {
             return Err(PushError::Full(item));
         }
         st.buf.push_back(item);
+        st.push_seq += 1;
         drop(st);
         self.items.notify_one();
         Ok(())
@@ -108,6 +116,7 @@ impl<T> BoundedQueue<T> {
             }
             if st.buf.len() < self.capacity {
                 st.buf.push_back(item);
+                st.push_seq += 1;
                 drop(st);
                 self.items.notify_one();
                 return Ok(());
@@ -138,6 +147,40 @@ impl<T> BoundedQueue<T> {
                 } else {
                     PopResult::TimedOut
                 };
+            }
+        }
+    }
+
+    /// Monotonic count of successful pushes. Snapshot it *before*
+    /// sweeping the queue, then hand it to
+    /// [`BoundedQueue::wait_for_push`]: a push racing with the sweep
+    /// advances the sequence and the wait returns immediately, so no
+    /// arrival is ever slept through.
+    pub fn push_seq(&self) -> u64 {
+        self.state.lock().push_seq
+    }
+
+    /// Blocks until a push lands after the `seen` sequence snapshot,
+    /// returning `true` (the item may already have been consumed by a
+    /// racing consumer — re-sweep to find out). Returns `false` when
+    /// `deadline` passes or the queue closes with no new push: in both
+    /// cases the queue cannot have grown since `seen`, so there is
+    /// nothing new to sweep.
+    pub fn wait_for_push(&self, seen: u64, deadline: Instant) -> bool {
+        let mut st = self.state.lock();
+        loop {
+            if st.push_seq != seen {
+                return true;
+            }
+            if st.closed {
+                return false;
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return false;
+            }
+            if self.items.wait_for(&mut st, deadline - now).timed_out() {
+                return st.push_seq != seen;
             }
         }
     }
@@ -251,5 +294,81 @@ mod tests {
         std::thread::sleep(Duration::from_millis(10));
         q.close();
         assert_eq!(t.join().unwrap(), PopResult::Closed);
+    }
+
+    #[test]
+    fn close_wakes_blocked_producer_with_item_returned() {
+        // A producer blocked on a full queue must wake on close and get
+        // its item back — not deadlock waiting for space that will never
+        // free up.
+        let q = Arc::new(BoundedQueue::new(1));
+        q.try_push(1).unwrap();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || q2.push(2));
+        std::thread::sleep(Duration::from_millis(10));
+        q.close();
+        assert_eq!(t.join().unwrap(), Err(PushError::Closed(2)));
+        // The pre-close item still drains.
+        assert_eq!(q.pop(TICK), PopResult::Item(1));
+        assert_eq!(q.pop(TICK), PopResult::Closed);
+    }
+
+    #[test]
+    fn wait_for_push_wakes_on_new_push() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let seen = q.push_seq();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.try_push(7).unwrap();
+        });
+        let start = Instant::now();
+        assert!(q.wait_for_push(seen, Instant::now() + Duration::from_secs(10)));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "woke via deadline, not push"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_push_false_at_deadline_without_push() {
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let seen = q.push_seq();
+        assert!(!q.wait_for_push(seen, Instant::now() + Duration::from_millis(5)));
+        // A deadline already in the past returns immediately.
+        assert!(!q.wait_for_push(seen, Instant::now() - Duration::from_millis(1)));
+    }
+
+    #[test]
+    fn wait_for_push_false_on_close_without_push() {
+        let q: Arc<BoundedQueue<u32>> = Arc::new(BoundedQueue::new(4));
+        let seen = q.push_seq();
+        let q2 = Arc::clone(&q);
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(10));
+            q2.close();
+        });
+        let start = Instant::now();
+        assert!(!q.wait_for_push(seen, Instant::now() + Duration::from_secs(10)));
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "close did not wake the waiter"
+        );
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_for_push_sees_push_that_raced_the_snapshot() {
+        // A push landing between the snapshot and the wait advances the
+        // sequence, so the wait returns true immediately even though the
+        // notification fired before anyone was waiting — the lost-wakeup
+        // case the sequence number exists to prevent.
+        let q: BoundedQueue<u32> = BoundedQueue::new(4);
+        let seen = q.push_seq();
+        q.try_push(1).unwrap();
+        let start = Instant::now();
+        assert!(q.wait_for_push(seen, Instant::now() + Duration::from_secs(10)));
+        assert!(start.elapsed() < Duration::from_secs(1));
     }
 }

@@ -1,0 +1,375 @@
+//! Aggregated metrics export: one serializable report combining the
+//! counter/percentile snapshot, per-shape accelerator resource
+//! utilization, and the span-journal summary, renderable as JSON or
+//! Prometheus text exposition.
+
+use crate::metrics::MetricsSnapshot;
+use heterosvd::obs::{JournalSummary, UtilizationReport};
+use serde::Serialize;
+use std::fmt::Write as _;
+
+/// Resource utilization aggregated over every batch of one request
+/// shape (rows x cols) served so far.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShapeUtilization {
+    /// Request rows.
+    pub rows: usize,
+    /// Request cols.
+    pub cols: usize,
+    /// Per-resource busy fractions and the critical resource, merged
+    /// across all completed runs of this shape.
+    pub report: UtilizationReport,
+}
+
+/// One exportable observability capture of the whole service: the
+/// metrics snapshot, per-shape resource utilization, and the global
+/// span-journal summary.
+///
+/// Produced by [`crate::SvdService::metrics_report`] (or periodically by
+/// the in-process scraper when
+/// [`crate::ServeConfig::metrics_scrape_interval`] is set) and rendered
+/// by [`MetricsReport::to_json`] / [`MetricsReport::to_prometheus`].
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct MetricsReport {
+    /// Counters, gauges, and latency percentiles.
+    pub snapshot: MetricsSnapshot,
+    /// Resource utilization per served request shape, sorted by
+    /// (rows, cols). Empty when observability is disabled or nothing
+    /// has completed yet.
+    pub utilization: Vec<ShapeUtilization>,
+    /// Per-stage span summary from the global journal.
+    pub journal: JournalSummary,
+}
+
+impl MetricsReport {
+    /// Renders the report as pretty-printed JSON.
+    pub fn to_json(&self) -> String {
+        serde_json::to_string_pretty(self).expect("MetricsReport serializes infallibly")
+    }
+
+    /// Renders the report in the Prometheus text exposition format
+    /// (version 0.0.4): `# HELP`/`# TYPE` headers, one sample per line,
+    /// labels for quantiles, span stages, and per-shape resources.
+    pub fn to_prometheus(&self) -> String {
+        fn counter(out: &mut String, name: &str, help: &str, value: u64) {
+            let _ = writeln!(out, "# HELP hsvd_{name} {help}");
+            let _ = writeln!(out, "# TYPE hsvd_{name} counter");
+            let _ = writeln!(out, "hsvd_{name} {value}");
+        }
+        fn gauge(out: &mut String, name: &str, help: &str, value: f64) {
+            let _ = writeln!(out, "# HELP hsvd_{name} {help}");
+            let _ = writeln!(out, "# TYPE hsvd_{name} gauge");
+            let _ = writeln!(out, "hsvd_{name} {value}");
+        }
+        let mut buf = String::new();
+        let out = &mut buf;
+        let s = &self.snapshot;
+        counter(out, "submitted_total", "Requests admitted.", s.submitted);
+        counter(
+            out,
+            "rejected_queue_full_total",
+            "Submissions rejected by backpressure.",
+            s.rejected_queue_full,
+        );
+        counter(
+            out,
+            "rejected_invalid_total",
+            "Submissions rejected for shape/validation reasons.",
+            s.rejected_invalid,
+        );
+        counter(
+            out,
+            "completed_ok_total",
+            "Requests completed successfully.",
+            s.completed_ok,
+        );
+        counter(
+            out,
+            "failed_total",
+            "Requests that ended in an error.",
+            s.failed,
+        );
+        counter(
+            out,
+            "cancelled_total",
+            "Requests cancelled before execution.",
+            s.cancelled,
+        );
+        counter(
+            out,
+            "worker_panics_total",
+            "Replica panics contained by the service.",
+            s.worker_panics,
+        );
+        counter(
+            out,
+            "replicas_spawned_total",
+            "Replicas spawned over the service lifetime.",
+            s.replicas_spawned,
+        );
+        counter(
+            out,
+            "batches_dispatched_total",
+            "Batches handed to replicas.",
+            s.batches_dispatched,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_timed_out_total Deadline expiries by drop point."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_timed_out_total counter");
+        let _ = writeln!(
+            out,
+            "hsvd_timed_out_total{{point=\"batcher\"}} {}",
+            s.timed_out_at_batcher
+        );
+        let _ = writeln!(
+            out,
+            "hsvd_timed_out_total{{point=\"exec\"}} {}",
+            s.timed_out_at_exec
+        );
+        gauge(
+            out,
+            "replicas_live",
+            "Replicas currently alive.",
+            s.replicas_live as f64,
+        );
+        gauge(
+            out,
+            "queue_depth",
+            "Admission queue depth.",
+            s.queue_depth as f64,
+        );
+        gauge(
+            out,
+            "mean_batch_size",
+            "Mean executed batch size over the sample window.",
+            s.mean_batch_size,
+        );
+        gauge(
+            out,
+            "throughput_rps",
+            "Completed requests per second since start (lifetime).",
+            s.throughput_rps,
+        );
+        gauge(
+            out,
+            "throughput_rps_window",
+            "Completed requests per second since the previous snapshot.",
+            s.throughput_rps_window,
+        );
+
+        for (name, help, p) in [
+            (
+                "queue_wait_us",
+                "Queue wait (microseconds).",
+                &s.queue_wait_us,
+            ),
+            (
+                "batch_linger_us",
+                "Batch linger (microseconds).",
+                &s.batch_linger_us,
+            ),
+            (
+                "sim_exec_ps",
+                "Simulated Eq. (14) execution time (picoseconds).",
+                &s.sim_exec_ps,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP hsvd_{name} {help}");
+            let _ = writeln!(out, "# TYPE hsvd_{name} summary");
+            for (q, v) in [("0.5", p.p50), ("0.95", p.p95), ("0.99", p.p99)] {
+                let _ = writeln!(out, "hsvd_{name}{{quantile=\"{q}\"}} {v}");
+            }
+            let _ = writeln!(out, "hsvd_{name}_max {}", p.max);
+        }
+
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_stage_spans_total Spans recorded per stage."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_stage_spans_total counter");
+        for st in &self.journal.stages {
+            let _ = writeln!(
+                out,
+                "hsvd_stage_spans_total{{stage=\"{}\"}} {}",
+                st.stage, st.count
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_stage_wall_us_total Wall-clock microseconds spent per stage."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_stage_wall_us_total counter");
+        for st in &self.journal.stages {
+            let _ = writeln!(
+                out,
+                "hsvd_stage_wall_us_total{{stage=\"{}\"}} {}",
+                st.stage, st.wall_us_total
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_stage_modeled_ps_total Modeled picoseconds accumulated per stage."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_stage_modeled_ps_total counter");
+        for st in &self.journal.stages {
+            let _ = writeln!(
+                out,
+                "hsvd_stage_modeled_ps_total{{stage=\"{}\"}} {}",
+                st.stage, st.modeled_ps_total
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_spans_sampled_out_total Span records dropped by sampling."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_spans_sampled_out_total counter");
+        let _ = writeln!(
+            out,
+            "hsvd_spans_sampled_out_total {}",
+            self.journal.sampled_out
+        );
+
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_resource_busy_fraction Busy fraction per resource class per shape."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_resource_busy_fraction gauge");
+        for shape in &self.utilization {
+            for r in &shape.report.resources {
+                let _ = writeln!(
+                    out,
+                    "hsvd_resource_busy_fraction{{shape=\"{}x{}\",resource=\"{}\"}} {}",
+                    shape.rows,
+                    shape.cols,
+                    r.kind.name(),
+                    r.busy_fraction
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_resource_ops_total Operations per resource class per shape."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_resource_ops_total counter");
+        for shape in &self.utilization {
+            for r in &shape.report.resources {
+                let _ = writeln!(
+                    out,
+                    "hsvd_resource_ops_total{{shape=\"{}x{}\",resource=\"{}\"}} {}",
+                    shape.rows,
+                    shape.cols,
+                    r.kind.name(),
+                    r.ops
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_critical_resource The busiest resource class per shape (value always 1)."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_critical_resource gauge");
+        for shape in &self.utilization {
+            let _ = writeln!(
+                out,
+                "hsvd_critical_resource{{shape=\"{}x{}\",resource=\"{}\"}} 1",
+                shape.rows,
+                shape.cols,
+                shape.report.critical.name()
+            );
+        }
+        buf
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Metrics;
+    use aie_sim::{SimStats, TimePs};
+    use heterosvd::obs::{ResourceCounts, UtilizationReport};
+
+    fn sample_report() -> MetricsReport {
+        let metrics = Metrics::new();
+        let snapshot = metrics.snapshot(0, 2);
+        let stats = SimStats {
+            orth_invocations: 8,
+            norm_invocations: 4,
+            dma_transfers: 6,
+            plio_transfers: 16,
+            ddr_transfers: 3,
+            elapsed: TimePs(1_000),
+            orth_busy: TimePs(900),
+            dma_busy: TimePs(200),
+            ddr_busy: TimePs(100),
+            ..SimStats::default()
+        };
+        let report = UtilizationReport::from_stats(
+            &stats,
+            ResourceCounts {
+                plio_ports: 4,
+                aie_cores: 4,
+                dma_channels: 4,
+                ddr_controllers: 1,
+            },
+        );
+        MetricsReport {
+            snapshot,
+            utilization: vec![ShapeUtilization {
+                rows: 256,
+                cols: 256,
+                report,
+            }],
+            journal: heterosvd::obs::SpanJournal::with_capacity(4).summary(),
+        }
+    }
+
+    #[test]
+    fn json_round_trips_key_fields() {
+        let json = sample_report().to_json();
+        assert!(json.contains("\"snapshot\""));
+        assert!(json.contains("\"utilization\""));
+        assert!(json.contains("\"journal\""));
+        assert!(json.contains("\"critical\""));
+        assert!(json.contains("\"rows\": 256"));
+    }
+
+    #[test]
+    fn prometheus_exposition_is_well_formed() {
+        let text = sample_report().to_prometheus();
+        for line in text.lines() {
+            assert!(
+                line.starts_with("# ") || line.starts_with("hsvd_"),
+                "unexpected exposition line: {line}"
+            );
+        }
+        assert!(text.contains("# TYPE hsvd_submitted_total counter"));
+        assert!(text.contains("hsvd_timed_out_total{point=\"batcher\"}"));
+        assert!(text.contains("hsvd_queue_wait_us{quantile=\"0.95\"}"));
+        assert!(text.contains("hsvd_stage_spans_total{stage=\"admit\"}"));
+        assert!(text.contains("hsvd_resource_busy_fraction{shape=\"256x256\",resource=\"plio\"}"));
+        assert!(text.contains("hsvd_critical_resource{shape=\"256x256\""));
+    }
+
+    #[test]
+    fn every_type_header_precedes_its_samples() {
+        let text = sample_report().to_prometheus();
+        let mut typed: std::collections::HashSet<String> = std::collections::HashSet::new();
+        for line in text.lines() {
+            if let Some(rest) = line.strip_prefix("# TYPE ") {
+                typed.insert(rest.split_whitespace().next().unwrap().to_string());
+            } else if !line.starts_with('#') && !line.is_empty() {
+                let metric = line
+                    .split(['{', ' '])
+                    .next()
+                    .unwrap()
+                    .trim_end_matches("_max");
+                assert!(
+                    typed.contains(metric),
+                    "sample {metric} appears before its # TYPE header"
+                );
+            }
+        }
+    }
+}

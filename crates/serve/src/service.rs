@@ -5,12 +5,14 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PopResult, PushError};
+use crate::report::{MetricsReport, ShapeUtilization};
 use crate::request::{
     LatencyRecord, PendingRequest, RequestHandle, RequestId, RequestState, SubmitOptions,
     SvdResponse,
 };
+use heterosvd::obs::{self, Stage, UtilizationReport};
 use heterosvd::{Accelerator, HeteroSvdError};
-use parking_lot::Mutex;
+use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
@@ -36,6 +38,7 @@ use svd_kernels::Matrix;
 pub struct SvdService {
     inner: Arc<Inner>,
     batcher: Mutex<Option<JoinHandle<()>>>,
+    scraper: Mutex<Option<JoinHandle<()>>>,
     shutdown_done: AtomicBool,
 }
 
@@ -48,6 +51,61 @@ struct Inner {
     replicas_live: AtomicUsize,
     workers: Mutex<Vec<JoinHandle<()>>>,
     shutting_down: AtomicBool,
+    /// Per-shape resource utilization, merged across every batch each
+    /// replica completes (empty with observability off).
+    utilization: Mutex<HashMap<(usize, usize), UtilizationReport>>,
+    /// Latest capture taken by the scraper thread (None until the first
+    /// interval elapses, or when no scraper is configured).
+    latest_scrape: Mutex<Option<MetricsReport>>,
+    /// Scraper parking spot: `scraper_stop` flips on shutdown and
+    /// `scraper_cv` wakes the thread so it exits without waiting out its
+    /// interval.
+    scraper_stop: Mutex<bool>,
+    scraper_cv: Condvar,
+}
+
+impl Inner {
+    /// Builds one exportable observability capture: metrics snapshot +
+    /// per-shape utilization + global span-journal summary.
+    fn metrics_report(&self) -> MetricsReport {
+        let snapshot = self.metrics.snapshot(
+            self.admission.len(),
+            self.replicas_live.load(Ordering::SeqCst),
+        );
+        let mut utilization: Vec<ShapeUtilization> = self
+            .utilization
+            .lock()
+            .iter()
+            .map(|(&(rows, cols), report)| ShapeUtilization {
+                rows,
+                cols,
+                report: report.clone(),
+            })
+            .collect();
+        utilization.sort_by_key(|s| (s.rows, s.cols));
+        MetricsReport {
+            snapshot,
+            utilization,
+            journal: obs::global().summary(),
+        }
+    }
+}
+
+/// Scraper thread: captures a [`MetricsReport`] every `interval` until
+/// shutdown flips `scraper_stop`.
+fn scraper_main(inner: Arc<Inner>, interval: std::time::Duration) {
+    let mut stop = inner.scraper_stop.lock();
+    loop {
+        if *stop {
+            return;
+        }
+        if inner.scraper_cv.wait_for(&mut stop, interval).timed_out() {
+            drop(stop);
+            let report = inner.metrics_report();
+            *inner.latest_scrape.lock() = Some(report);
+            stop = inner.scraper_stop.lock();
+        }
+    }
 }
 
 impl SvdService {
@@ -67,6 +125,10 @@ impl SvdService {
             replicas_live: AtomicUsize::new(0),
             workers: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
+            utilization: Mutex::new(HashMap::new()),
+            latest_scrape: Mutex::new(None),
+            scraper_stop: Mutex::new(false),
+            scraper_cv: Condvar::new(),
             config,
         });
         for _ in 0..inner.config.workers {
@@ -77,9 +139,17 @@ impl SvdService {
             .name("svd-batcher".into())
             .spawn(move || batcher_main(batcher_inner))
             .expect("failed to spawn batcher thread");
+        let scraper = inner.config.metrics_scrape_interval.map(|interval| {
+            let scraper_inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("svd-metrics-scraper".into())
+                .spawn(move || scraper_main(scraper_inner, interval))
+                .expect("failed to spawn scraper thread")
+        });
         Ok(SvdService {
             inner,
             batcher: Mutex::new(Some(batcher)),
+            scraper: Mutex::new(scraper),
             shutdown_done: AtomicBool::new(false),
         })
     }
@@ -153,6 +223,9 @@ impl SvdService {
         match inner.admission.try_push(request) {
             Ok(()) => {
                 inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                if inner.config.observability {
+                    obs::global().record(Stage::Admit, Some(id.0), submitted_at.elapsed(), None);
+                }
                 Ok(RequestHandle { id, state })
             }
             Err(PushError::Full(_)) => {
@@ -179,6 +252,21 @@ impl SvdService {
         &self.inner.config
     }
 
+    /// One exportable observability capture: the metrics snapshot,
+    /// per-shape resource utilization merged across every completed
+    /// batch, and the global span-journal summary. Render it with
+    /// [`MetricsReport::to_json`] or [`MetricsReport::to_prometheus`].
+    pub fn metrics_report(&self) -> MetricsReport {
+        self.inner.metrics_report()
+    }
+
+    /// The most recent capture taken by the in-process scraper, or
+    /// `None` when no scrape has happened yet (including when
+    /// [`ServeConfig::metrics_scrape_interval`] is unset).
+    pub fn latest_scrape(&self) -> Option<MetricsReport> {
+        self.inner.latest_scrape.lock().clone()
+    }
+
     /// Stops admitting, drains every queued request to a terminal state,
     /// and joins the batcher and all replicas. Idempotent; also run on
     /// drop.
@@ -188,6 +276,11 @@ impl SvdService {
         }
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.admission.close();
+        *self.inner.scraper_stop.lock() = true;
+        self.inner.scraper_cv.notify_all();
+        if let Some(handle) = self.scraper.lock().take() {
+            let _ = handle.join();
+        }
         if let Some(handle) = self.batcher.lock().take() {
             let _ = handle.join();
         }
@@ -310,12 +403,16 @@ fn execute_batch(
                 inner.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
             }
         } else if entry.request.deadline_elapsed(now) {
+            // Second drop point, distinct from the batcher's pickup
+            // check: the deadline passed while the batch was forming or
+            // waiting for a replica. Counting it separately tells an
+            // operator whether to shrink the linger or add replicas.
             if entry
                 .request
                 .state
                 .complete(Err(ServeError::DeadlineExceeded))
             {
-                inner.metrics.timed_out.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.timed_out_exec.fetch_add(1, Ordering::Relaxed);
             }
         } else {
             live.push(idx);
@@ -357,6 +454,35 @@ fn execute_batch(
         .collect();
     match accelerator.run_many_f32(matrices) {
         Ok((outputs, system_time)) => {
+            if inner.config.observability {
+                obs::global().record(
+                    Stage::ReplicaExec,
+                    None,
+                    exec_started.elapsed(),
+                    Some(system_time),
+                );
+                // Merge each run's utilization into the per-shape
+                // aggregate: horizons and busy times add, so the busy
+                // fractions stay per-run averages.
+                let mut batch_util: Option<UtilizationReport> = None;
+                for output in &outputs {
+                    if let Some(util) = output.utilization.as_ref() {
+                        match batch_util.as_mut() {
+                            Some(acc) => acc.merge(util),
+                            None => batch_util = Some(util.clone()),
+                        }
+                    }
+                }
+                if let Some(util) = batch_util {
+                    let mut shapes = inner.utilization.lock();
+                    match shapes.get_mut(&batch.shape) {
+                        Some(acc) => acc.merge(&util),
+                        None => {
+                            shapes.insert(batch.shape, util);
+                        }
+                    }
+                }
+            }
             for (&i, output) in live.iter().zip(outputs) {
                 let entry = &batch.entries[i];
                 let latency = LatencyRecord {
@@ -492,6 +618,118 @@ mod tests {
             .unwrap();
         assert_eq!(handle.wait().unwrap_err(), ServeError::DeadlineExceeded);
         assert_eq!(service.metrics().timed_out, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn deadline_expiring_during_linger_is_counted_at_exec() {
+        // The request is alive when the batcher picks it up (generous
+        // 100 ms deadline) but the batch lingers 400 ms waiting to fill,
+        // so the deadline has passed by exec start. The regression this
+        // guards: this drop point must be counted separately from the
+        // batcher's pickup check, or an operator cannot tell whether to
+        // shrink the linger or grow the pool.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_linger: Duration::from_millis(400),
+            ..quick_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let handle = service
+            .try_submit_with(
+                test_matrix(8, 8, 4),
+                SubmitOptions {
+                    timeout: Some(Duration::from_millis(100)),
+                },
+            )
+            .unwrap();
+        assert_eq!(handle.wait().unwrap_err(), ServeError::DeadlineExceeded);
+        let m = service.metrics();
+        assert_eq!(m.timed_out, 1);
+        assert_eq!(m.timed_out_at_exec, 1);
+        assert_eq!(m.timed_out_at_batcher, 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn metrics_report_carries_utilization_and_journal() {
+        let service = SvdService::start(quick_config()).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|salt| service.try_submit(test_matrix(8, 8, salt)).unwrap())
+            .collect();
+        for handle in handles {
+            handle.wait().unwrap();
+        }
+        let report = service.metrics_report();
+        assert_eq!(report.snapshot.completed_ok, 4);
+        let shape = report
+            .utilization
+            .iter()
+            .find(|s| (s.rows, s.cols) == (8, 8))
+            .expect("utilization recorded for the served shape");
+        let aie = shape.report.resource(heterosvd::obs::ResourceKind::AieCore);
+        assert!(aie.ops > 0, "AIE cores did work");
+        assert!(aie.busy_fraction > 0.0 && aie.busy_fraction <= 1.0);
+        // The journal saw the serving stages (spans are process-global,
+        // so other tests may have added more — only lower-bound them).
+        let admit = report
+            .journal
+            .stages
+            .iter()
+            .find(|s| s.stage == "admit")
+            .unwrap();
+        assert!(admit.count >= 4);
+        // Both renderings include the per-shape utilization.
+        assert!(report.to_json().contains("\"critical\""));
+        assert!(report
+            .to_prometheus()
+            .contains("hsvd_critical_resource{shape=\"8x8\""));
+        service.shutdown();
+    }
+
+    #[test]
+    fn scraper_captures_reports_periodically() {
+        let config = ServeConfig {
+            metrics_scrape_interval: Some(Duration::from_millis(10)),
+            ..quick_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let handle = service.try_submit(test_matrix(8, 8, 9)).unwrap();
+        handle.wait().unwrap();
+        let deadline = Instant::now() + Duration::from_secs(5);
+        let scrape = loop {
+            if let Some(scrape) = service.latest_scrape() {
+                if scrape.snapshot.completed_ok >= 1 {
+                    break scrape;
+                }
+            }
+            assert!(
+                Instant::now() < deadline,
+                "scraper never captured the completion"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        };
+        assert_eq!(scrape.snapshot.completed_ok, 1);
+        // Shutdown joins the scraper promptly (no interval-long stall).
+        let begun = Instant::now();
+        service.shutdown();
+        assert!(begun.elapsed() < Duration::from_secs(5));
+    }
+
+    #[test]
+    fn observability_off_keeps_results_and_skips_reports() {
+        let config = ServeConfig {
+            observability: false,
+            ..quick_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let handle = service.try_submit(test_matrix(8, 8, 11)).unwrap();
+        let response = handle.wait().unwrap();
+        assert_eq!(response.output.result.sigma.len(), 8);
+        assert!(response.output.utilization.is_none());
+        let report = service.metrics_report();
+        assert!(report.utilization.is_empty());
         service.shutdown();
     }
 }

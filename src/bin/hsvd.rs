@@ -89,7 +89,14 @@ fn usage() -> &'static str {
        --fn-par N          host threads per functional orth-layer\n\
      \x20                   (default 1 = serial; results are bit-identical\n\
      \x20                   for any setting)\n\
-       --timing-only       skip numerics (timing model, 6 fixed sweeps)"
+       --timing-only       skip numerics (timing model, 6 fixed sweeps)\n\
+       --shape RxC         fix every request to one RxC shape (default:\n\
+     \x20                   a seeded mix of four shapes)\n\
+       --metrics-out FILE  write the end-of-run metrics report to FILE\n\
+     \x20                   as JSON and to FILE with a .prom extension in\n\
+     \x20                   Prometheus text format (counters, percentiles,\n\
+     \x20                   span-stage summaries, per-shape resource\n\
+     \x20                   utilization + critical resource)"
 }
 
 // ---------------------------------------------------------------- run
@@ -268,6 +275,24 @@ struct BenchArgs {
     p_task: usize,
     functional_parallelism: usize,
     timing_only: bool,
+    shape: Option<(usize, usize)>,
+    metrics_out: Option<String>,
+}
+
+/// Parses a `RxC` (or bare `N`, meaning NxN) shape argument.
+fn parse_shape(value: &str) -> Result<(usize, usize), String> {
+    let err = || format!("invalid value for --shape: {value} (expected RxC, e.g. 256x256)");
+    match value.split_once(['x', 'X']) {
+        Some((r, c)) => {
+            let rows = r.trim().parse().map_err(|_| err())?;
+            let cols = c.trim().parse().map_err(|_| err())?;
+            Ok((rows, cols))
+        }
+        None => {
+            let n = value.trim().parse().map_err(|_| err())?;
+            Ok((n, n))
+        }
+    }
 }
 
 fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
@@ -283,6 +308,8 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
         p_task: 4,
         functional_parallelism: 1,
         timing_only: false,
+        shape: None,
+        metrics_out: None,
     };
     while let Some(arg) = cursor.next() {
         match arg.as_str() {
@@ -297,6 +324,8 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
             "--p-task" => args.p_task = cursor.parse("--p-task")?,
             "--fn-par" => args.functional_parallelism = cursor.parse("--fn-par")?,
             "--timing-only" => args.timing_only = true,
+            "--shape" => args.shape = Some(parse_shape(&cursor.value("--shape")?)?),
+            "--metrics-out" => args.metrics_out = Some(cursor.value("--metrics-out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -338,12 +367,18 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     // process replays exponential inter-arrival gaps open-loop.
     let mut rng = rand::rngs::StdRng::seed_from_u64(args.seed);
     let unit = 2 * args.p_eng;
-    let shapes = [
-        (2 * unit, 2 * unit),
-        (3 * unit, 2 * unit),
-        (3 * unit, 3 * unit),
-        (4 * unit, 3 * unit),
-    ];
+    let shapes = match args.shape {
+        // A fixed --shape pins every request (one plan, one utilization
+        // row — e.g. `--shape 256x256 --p-eng 4` for the paper's design
+        // point).
+        Some((rows, cols)) => vec![(rows, cols)],
+        None => vec![
+            (2 * unit, 2 * unit),
+            (3 * unit, 2 * unit),
+            (3 * unit, 3 * unit),
+            (4 * unit, 3 * unit),
+        ],
+    };
     let workload: Vec<(Matrix<f64>, f64)> = (0..args.requests)
         .map(|_| {
             let (rows, cols) = shapes[rng.gen_range(0..shapes.len())];
@@ -404,7 +439,8 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     }
     let wall = bench_start.elapsed();
     service.shutdown();
-    let m = service.metrics();
+    let report = service.metrics_report();
+    let m = &report.snapshot;
 
     let us = |ps: u64| ps as f64 / 1e6;
     println!(
@@ -441,6 +477,47 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         println!(
             "sigma checksum {sigma_checksum:.6} (deterministic for --seed {})",
             args.seed
+        );
+    }
+
+    // Per-shape resource utilization: which hardware resource bounds
+    // each plan (the `*` marks the critical resource — see DESIGN.md
+    // §12 for how this relates to the Eq. 8–14 timing terms).
+    for shape in &report.utilization {
+        let parts: Vec<String> = shape
+            .report
+            .resources
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {:.1}%{}",
+                    r.kind.name(),
+                    r.busy_fraction * 100.0,
+                    if r.kind == shape.report.critical {
+                        "*"
+                    } else {
+                        ""
+                    }
+                )
+            })
+            .collect();
+        println!(
+            "utilization {}x{}: {} (critical: {})",
+            shape.rows,
+            shape.cols,
+            parts.join(" | "),
+            shape.report.critical.name()
+        );
+    }
+
+    if let Some(path) = &args.metrics_out {
+        std::fs::write(path, report.to_json()).map_err(|e| format!("writing {path}: {e}"))?;
+        let prom_path = std::path::Path::new(path).with_extension("prom");
+        std::fs::write(&prom_path, report.to_prometheus())
+            .map_err(|e| format!("writing {}: {e}", prom_path.display()))?;
+        println!(
+            "wrote metrics to {path} (JSON) and {} (Prometheus)",
+            prom_path.display()
         );
     }
     Ok(())
