@@ -68,6 +68,22 @@ impl KernelCostModel {
         self.cal.aie_freq().cycles(self.norm_cycles(m))
     }
 
+    /// AIE cycles for one streaming multiply-accumulate pass over `m`
+    /// elements (the rank-r apply pipeline's unit of work: a dot product
+    /// or an AXPY against a stationary factor column). Charged as one
+    /// vector pass plus the norm kernel's call overhead — the apply
+    /// kernels stream one operand like the normalization kernel does,
+    /// without its scalar sqrt/divide section.
+    pub fn mac_pass_cycles(&self, m: usize) -> u64 {
+        let steps = (m as u64).div_ceil(VECTOR_LANES);
+        self.cal.norm_call_cycles + steps * self.cal.vector_step_cycles
+    }
+
+    /// Wall-clock duration of one streaming MAC pass.
+    pub fn mac_pass_time(&self, m: usize) -> TimePs {
+        self.cal.aie_freq().cycles(self.mac_pass_cycles(m))
+    }
+
     /// Wall-clock duration of a neighbor shared-memory hand-off.
     pub fn neighbor_handoff_time(&self) -> TimePs {
         self.cal.aie_freq().cycles(self.cal.neighbor_handoff_cycles)
@@ -122,6 +138,23 @@ mod tests {
         let t = k.orth_time(128);
         // 1.25 GHz -> 800 ps per cycle.
         assert_eq!(t.0, k.orth_cycles(128) * 800);
+    }
+
+    #[test]
+    fn mac_pass_is_the_cheapest_kernel() {
+        let k = KernelCostModel::default();
+        for m in [8, 64, 256, 1024] {
+            assert!(k.mac_pass_cycles(m) < k.norm_cycles(m));
+            assert!(k.mac_pass_cycles(m) > 0);
+        }
+        // One vector pass: slope is exactly vector_step_cycles per lane
+        // group.
+        let cal = *k.calibration();
+        assert_eq!(
+            k.mac_pass_cycles(16) - k.mac_pass_cycles(8),
+            cal.vector_step_cycles
+        );
+        assert_eq!(k.mac_pass_time(64).0, k.mac_pass_cycles(64) * 800);
     }
 
     #[test]

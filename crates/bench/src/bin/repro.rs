@@ -11,7 +11,7 @@
 //! as JSON for downstream plotting.
 
 use heterosvd_bench::experiments::{
-    ablation, accuracy, adaptive, convergence, devices, dse_report, fig3, fig9, hotpath,
+    ablation, accuracy, adaptive, apply, convergence, devices, dse_report, fig3, fig9, hotpath,
     scalability, serve, table2, table3, table4, table5, table6,
 };
 use std::sync::OnceLock;
@@ -141,6 +141,94 @@ fn main() {
     }
     if want("serve") {
         run_serve(quick);
+    }
+    if want("apply") {
+        run_apply(quick);
+    }
+}
+
+fn run_apply(quick: bool) {
+    println!(
+        "\n=== Apply path: decompose-once / apply-constantly serving \
+         (P_eng={}, P_task={}, {} iterations/decompose) ===",
+        apply::P_ENG,
+        apply::P_TASK,
+        apply::ITERATIONS
+    );
+    let (sizes, applies, probes, mixed_requests): (&[usize], usize, usize, usize) = if quick {
+        (&[64, 256], 256, 3, 105)
+    } else {
+        (&[64, 256, 512], 1024, 6, 420)
+    };
+    let report = match apply::run(sizes, &[4, 16, 32], applies, probes, mixed_requests, 20) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("apply failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>6} {:>6} | {:>10} {:>12} {:>12} {:>10} | {:>12} {:>12}",
+        "size", "rank", "applies", "apply/s", "decomp/s", "speedup", "p50 wall(us)", "p99 wall(us)"
+    );
+    for r in &report.rows {
+        println!(
+            "{:>6} {:>6} | {:>10} {:>12.0} {:>12.2} {:>9.0}x | {:>12} {:>12}",
+            r.n,
+            r.rank,
+            r.applies,
+            r.applies_per_sec,
+            r.decomposes_per_sec,
+            r.speedup_vs_decompose,
+            r.p50_wall_us,
+            r.p99_wall_us
+        );
+    }
+    let m = &report.mixed;
+    println!(
+        "mixed {}:1 at n={}: {} applies ok (p99 {} us wall), {} decomposes ok (p99 {} us wall), \
+         store hit rate {:.1}%",
+        m.apply_ratio,
+        m.n,
+        m.apply.completed_ok,
+        m.apply_wall_us.p99,
+        m.decompose.completed_ok,
+        m.decompose_wall_us.p99,
+        m.store_hit_rate * 100.0
+    );
+    println!(
+        "exactness: max |served - direct| = {:e}, modeled timing replay-identical: {}",
+        report.max_abs_delta, report.replay_identical
+    );
+    persist("apply", &report);
+
+    // The emitter proper: BENCH_apply.json at the repo root seeds the
+    // perf trajectory regardless of `--out`.
+    let path = std::env::var("BENCH_APPLY_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_apply.json").to_string()
+    });
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize apply report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Gates: the binary exits nonzero on any violated serving
+    // acceptance criterion (speedup floor, mix, hit rate, exactness).
+    let violations = apply::gate_violations(&report);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("apply gate violated: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

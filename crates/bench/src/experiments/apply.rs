@@ -1,0 +1,436 @@
+//! Apply-path benchmark: decompose-once / apply-constantly serving
+//! (serialized to `BENCH_apply.json`).
+//!
+//! Three phases, all through the real [`heterosvd_serve::SvdService`]:
+//!
+//! * **Throughput sweep** — for each matrix size `n`, measure the
+//!   decompose rate (functional factorizations, fixed 6 iterations),
+//!   then publish rank-r factors once and measure the rank-r apply
+//!   rate for each `r`. The row's `speedup_vs_decompose` is the
+//!   headline "serve the factorization, don't re-run it" ratio.
+//! * **Bit-identity + replay** — every served `y` is compared
+//!   (`max_abs_delta`, must be exactly 0.0) against
+//!   `TruncatedSvd::apply_rank` evaluated directly on the
+//!   store-resident factors, and singleton-batch applies of one shape
+//!   must be charged an identical modeled `sim_exec_ps` every time
+//!   (`replay_identical`).
+//! * **Mixed traffic** — an interleaved apply:decompose stream (the
+//!   inference-serving mix) with per-type percentiles from the
+//!   service's metrics and the factor-store hit rate.
+
+use heterosvd::FidelityMode;
+use heterosvd_serve::{
+    FactorStoreStats, ModelId, Percentiles, ServeConfig, ServeError, SvdService, TypeSnapshot,
+};
+use std::time::Duration;
+use svd_kernels::Matrix;
+
+/// Engine parallelism of every measured service.
+pub const P_ENG: usize = 4;
+/// Task parallelism (Eq. 14 divisor) of every measured service.
+pub const P_TASK: usize = 4;
+/// Fixed iteration count per decompose request.
+pub const ITERATIONS: usize = 6;
+
+/// One (n, rank) point of the throughput sweep.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ApplyRow {
+    /// Matrix dimension of the published model (n×n).
+    pub n: usize,
+    /// Rank actually applied (`rank_hint` at submission).
+    pub rank: usize,
+    /// Apply requests measured.
+    pub applies: usize,
+    /// Completed applies per wall-clock second.
+    pub applies_per_sec: f64,
+    /// Completed decomposes per wall-clock second at the same `n`
+    /// (measured once per size, repeated on each of its rows).
+    pub decomposes_per_sec: f64,
+    /// `applies_per_sec / decomposes_per_sec`.
+    pub speedup_vs_decompose: f64,
+    /// Median apply wall latency (admission → completion), µs.
+    pub p50_wall_us: u64,
+    /// 99th-percentile apply wall latency, µs.
+    pub p99_wall_us: u64,
+    /// Modeled Eq. 8–14 apply-pipeline charge of a singleton batch, ps.
+    pub sim_exec_ps: u64,
+}
+
+/// The mixed apply:decompose phase.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct MixedReport {
+    /// Matrix dimension of the mixed workload (n×n).
+    pub n: usize,
+    /// Requests submitted (excluding the warm-up publishes).
+    pub requests: usize,
+    /// Apply requests per decompose request (deterministic interleave).
+    pub apply_ratio: f64,
+    /// Per-type service metrics for the apply side (counters, windowed
+    /// rate, queue-wait and modeled-exec percentiles — the p99s the
+    /// acceptance gate requires).
+    pub apply: TypeSnapshot,
+    /// Per-type service metrics for the decompose side.
+    pub decompose: TypeSnapshot,
+    /// Client-measured apply wall latency percentiles, µs.
+    pub apply_wall_us: Percentiles,
+    /// Client-measured decompose wall latency percentiles, µs.
+    pub decompose_wall_us: Percentiles,
+    /// `hits / (hits + misses)` of the factor store over the mix.
+    pub store_hit_rate: f64,
+    /// End-of-run factor-store counters.
+    pub store: FactorStoreStats,
+}
+
+/// The complete apply report (serialized to `BENCH_apply.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct ApplyReport {
+    /// Engine parallelism of every service.
+    pub p_eng: usize,
+    /// Task parallelism of every service.
+    pub p_task: usize,
+    /// Fixed iteration count per decompose.
+    pub iterations: usize,
+    /// One row per (n, rank) design point.
+    pub rows: Vec<ApplyRow>,
+    /// The mixed-traffic phase.
+    pub mixed: MixedReport,
+    /// Whether every singleton-batch apply of one shape was charged an
+    /// identical modeled time (profile-cache replay invariance).
+    pub replay_identical: bool,
+    /// Largest |served − direct| over every served element; the apply
+    /// path is bit-identical, so anything but 0.0 fails the gate.
+    pub max_abs_delta: f64,
+}
+
+fn service(queue_capacity: usize) -> Result<SvdService, ServeError> {
+    SvdService::start(ServeConfig {
+        workers: 2,
+        queue_capacity,
+        max_batch: 8,
+        max_linger: Duration::from_micros(200),
+        engine_parallelism: P_ENG,
+        task_parallelism: P_TASK,
+        fidelity: FidelityMode::Functional,
+        fixed_iterations: Some(ITERATIONS),
+        ..ServeConfig::default()
+    })
+}
+
+fn model_matrix(n: usize, salt: usize) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |r, c| {
+        ((r * 31 + c * 17 + salt * 7 + 3) % 13) as f64 / 3.0 - 2.0 + if r == c { 4.0 } else { 0.0 }
+    })
+}
+
+fn probe(n: usize, salt: usize) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i * 13 + salt * 5 + 1) % 17) as f64 / 4.0 - 2.0)
+        .collect()
+}
+
+/// |served − direct| over one response, where `direct` is the truncated
+/// product evaluated straight on the store-resident factors with the
+/// same f32-cast input the admission path uses.
+fn abs_delta(
+    served: &[f32],
+    factors: &heterosvd_serve::PublishedFactors,
+    x: &[f64],
+    rank: usize,
+) -> f64 {
+    let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    let direct = factors
+        .factors
+        .apply_rank(&xf, rank)
+        .expect("direct apply of resident factors");
+    served
+        .iter()
+        .zip(&direct)
+        .map(|(&a, &b)| (a as f64 - b as f64).abs())
+        .fold(0.0, f64::max)
+}
+
+struct SweepOutcome {
+    rows: Vec<ApplyRow>,
+    replay_identical: bool,
+    max_abs_delta: f64,
+}
+
+/// The throughput sweep plus the bit-identity/replay checks riding on
+/// the same service.
+fn run_sweep(
+    sizes: &[usize],
+    ranks: &[usize],
+    applies_per_row: usize,
+    decompose_probes: usize,
+) -> Result<SweepOutcome, ServeError> {
+    let service = service(applies_per_row.max(decompose_probes) + 8)?;
+    let mut rows = Vec::new();
+    let mut replay_identical = true;
+    let mut max_abs_delta = 0.0f64;
+
+    for (i, &n) in sizes.iter().enumerate() {
+        // Decompose throughput at this size: the "re-run the
+        // factorization per query" alternative the apply path replaces.
+        let decompose_wall = {
+            let start = std::time::Instant::now();
+            let handles: Vec<_> = (0..decompose_probes)
+                .map(|s| service.try_submit(model_matrix(n, s + 1)))
+                .collect::<Result<_, _>>()?;
+            for handle in handles {
+                handle.wait()?;
+            }
+            start.elapsed()
+        };
+        let decomposes_per_sec = decompose_probes as f64 / decompose_wall.as_secs_f64();
+
+        // Publish once at the largest rank this size serves; every row
+        // then applies with a rank hint against the same factors.
+        let pub_rank = ranks.iter().copied().max().unwrap_or(1).min(n / 2);
+        let model = ModelId(i as u64 + 1);
+        service
+            .try_submit_publish(model, model_matrix(n, 0), pub_rank)?
+            .wait()?;
+        let pinned = service
+            .store()
+            .get(model)
+            .expect("factors published just above");
+
+        for &rank in ranks.iter().filter(|&&r| r <= pub_rank) {
+            // Replay invariance + the row's modeled charge: sequential
+            // singleton batches of the same shape must cost the same.
+            let mut singleton_charge = 0u64;
+            for repeat in 0..3 {
+                let x = probe(n, rank);
+                let response = service.try_submit_apply(model, &x, Some(rank))?.wait()?;
+                max_abs_delta = max_abs_delta.max(abs_delta(&response.y, &pinned, &x, rank));
+                if repeat == 0 {
+                    singleton_charge = response.latency.sim_exec_ps;
+                } else if response.latency.sim_exec_ps != singleton_charge {
+                    replay_identical = false;
+                }
+            }
+
+            // Throughput: the full burst submitted up front, batching on.
+            let probes: Vec<Vec<f64>> = (0..applies_per_row).map(|s| probe(n, s + rank)).collect();
+            let start = std::time::Instant::now();
+            let handles: Vec<_> = probes
+                .iter()
+                .map(|x| service.try_submit_apply(model, x, Some(rank)))
+                .collect::<Result<_, _>>()?;
+            let mut wall_us: Vec<u64> = Vec::with_capacity(applies_per_row);
+            for (handle, x) in handles.into_iter().zip(&probes) {
+                let response = handle.wait()?;
+                wall_us.push(response.latency.wall_total.as_micros() as u64);
+                max_abs_delta = max_abs_delta.max(abs_delta(&response.y, &pinned, x, rank));
+            }
+            let wall = start.elapsed();
+            let applies_per_sec = applies_per_row as f64 / wall.as_secs_f64();
+            let pct = Percentiles::from_samples(&mut wall_us);
+            rows.push(ApplyRow {
+                n,
+                rank,
+                applies: applies_per_row,
+                applies_per_sec,
+                decomposes_per_sec,
+                speedup_vs_decompose: applies_per_sec / decomposes_per_sec,
+                p50_wall_us: pct.p50,
+                p99_wall_us: pct.p99,
+                sim_exec_ps: singleton_charge,
+            });
+        }
+    }
+    service.shutdown();
+    Ok(SweepOutcome {
+        rows,
+        replay_identical,
+        max_abs_delta,
+    })
+}
+
+/// The mixed inference-serving phase: a deterministic interleave of
+/// `ratio` applies per decompose over `models` published models.
+fn run_mixed(
+    n: usize,
+    models: usize,
+    requests: usize,
+    ratio: usize,
+) -> Result<MixedReport, ServeError> {
+    let service = service(requests + 8)?;
+    let pub_rank = 32.min(n / 2);
+    let published: Vec<ModelId> = (0..models)
+        .map(|m| {
+            let model = ModelId(1000 + m as u64);
+            service
+                .try_submit_publish(model, model_matrix(n, m), pub_rank)?
+                .wait()?;
+            Ok(model)
+        })
+        .collect::<Result<_, ServeError>>()?;
+
+    enum Handle {
+        Apply(heterosvd_serve::ApplyHandle),
+        Decompose(heterosvd_serve::RequestHandle),
+    }
+    let handles: Vec<Handle> = (0..requests)
+        .map(|i| {
+            // Every (ratio+1)-th request re-factorizes; the rest serve.
+            if i % (ratio + 1) == 0 {
+                service
+                    .try_submit(model_matrix(n, i + 7))
+                    .map(Handle::Decompose)
+            } else {
+                let model = published[i % published.len()];
+                service
+                    .try_submit_apply(model, &probe(n, i), None)
+                    .map(Handle::Apply)
+            }
+        })
+        .collect::<Result<_, _>>()?;
+
+    let mut apply_wall_us = Vec::new();
+    let mut decompose_wall_us = Vec::new();
+    for handle in handles {
+        match handle {
+            Handle::Apply(h) => apply_wall_us.push(h.wait()?.latency.wall_total.as_micros() as u64),
+            Handle::Decompose(h) => {
+                decompose_wall_us.push(h.wait()?.latency.wall_total.as_micros() as u64)
+            }
+        }
+    }
+    service.shutdown();
+    let metrics = service.metrics();
+    let store = service.store().stats();
+    let looked_up = store.hits + store.misses;
+    Ok(MixedReport {
+        n,
+        requests,
+        apply_ratio: ratio as f64,
+        apply: metrics.per_type.apply,
+        decompose: metrics.per_type.decompose,
+        apply_wall_us: Percentiles::from_samples(&mut apply_wall_us),
+        decompose_wall_us: Percentiles::from_samples(&mut decompose_wall_us),
+        store_hit_rate: if looked_up > 0 {
+            store.hits as f64 / looked_up as f64
+        } else {
+            0.0
+        },
+        store,
+    })
+}
+
+/// Measures the sweep and the mixed phase and returns the report.
+///
+/// `sizes` are the n×n design points (multiples of `2 * P_ENG`),
+/// `ranks` the apply ranks (rows are emitted for `rank <= n/2` only);
+/// the mixed phase runs at the largest size with `mixed_requests`
+/// requests interleaved `mixed_ratio` applies per decompose.
+///
+/// # Errors
+///
+/// Service errors from any phase.
+pub fn run(
+    sizes: &[usize],
+    ranks: &[usize],
+    applies_per_row: usize,
+    decompose_probes: usize,
+    mixed_requests: usize,
+    mixed_ratio: usize,
+) -> Result<ApplyReport, ServeError> {
+    assert!(!sizes.is_empty() && !ranks.is_empty(), "empty design space");
+    let sweep = run_sweep(sizes, ranks, applies_per_row, decompose_probes)?;
+    let mixed = run_mixed(*sizes.last().unwrap(), 2, mixed_requests, mixed_ratio)?;
+    Ok(ApplyReport {
+        p_eng: P_ENG,
+        p_task: P_TASK,
+        iterations: ITERATIONS,
+        rows: sweep.rows,
+        mixed,
+        replay_identical: sweep.replay_identical,
+        max_abs_delta: sweep.max_abs_delta,
+    })
+}
+
+/// The acceptance gates `repro -- apply` enforces (exit 1 on any):
+/// rank-≤32 serving at n=256 must beat re-factorizing by ≥ 10×, the
+/// mix must hold ≥ 20:1 with a ≥ 90% store hit rate and live per-type
+/// p99s, and the exactness invariants must hold bit-for-bit.
+pub fn gate_violations(report: &ApplyReport) -> Vec<String> {
+    let mut violations = Vec::new();
+    let mut gated_rows = 0;
+    for row in &report.rows {
+        if row.n == 256 && row.rank <= 32 {
+            gated_rows += 1;
+            if row.speedup_vs_decompose < 10.0 {
+                violations.push(format!(
+                    "apply throughput at n=256 r={} is only {:.1}x decompose (need >= 10x)",
+                    row.rank, row.speedup_vs_decompose
+                ));
+            }
+        }
+    }
+    if gated_rows == 0 {
+        violations.push("no n=256 rank<=32 row to gate".to_string());
+    }
+    if report.mixed.apply_ratio < 20.0 {
+        violations.push(format!(
+            "mixed ratio {:.0}:1 below the 20:1 serving mix",
+            report.mixed.apply_ratio
+        ));
+    }
+    if report.mixed.store_hit_rate < 0.9 {
+        violations.push(format!(
+            "store hit rate {:.1}% below 90%",
+            report.mixed.store_hit_rate * 100.0
+        ));
+    }
+    if report.mixed.apply.completed_ok == 0 || report.mixed.decompose.completed_ok == 0 {
+        violations.push("mixed phase starved one request type".to_string());
+    }
+    if report.mixed.apply_wall_us.p99 == 0 || report.mixed.apply.sim_exec_ps.p99 == 0 {
+        violations.push("mixed apply p99s missing or zero".to_string());
+    }
+    if !report.replay_identical {
+        violations.push("modeled apply timing not replay-invariant".to_string());
+    }
+    if report.max_abs_delta != 0.0 {
+        violations.push(format!(
+            "served apply diverged from the direct truncated product by {:e}",
+            report.max_abs_delta
+        ));
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny end-to-end run: rows for every admissible (n, r) point,
+    /// exactness invariants intact, and a consistent mixed phase.
+    #[test]
+    fn tiny_run_report_is_consistent() {
+        let report = run(&[8, 16], &[2, 4], 12, 2, 22, 10).unwrap();
+        // n=8 serves ranks {2, 4}; n=16 serves {2, 4} as well.
+        assert_eq!(report.rows.len(), 4);
+        for row in &report.rows {
+            assert!(row.applies_per_sec > 0.0, "zero rate at n={}", row.n);
+            assert!(row.sim_exec_ps > 0, "no modeled charge at n={}", row.n);
+            assert!(row.p99_wall_us >= row.p50_wall_us);
+        }
+        assert!(report.replay_identical);
+        assert_eq!(report.max_abs_delta, 0.0);
+        assert_eq!(report.mixed.n, 16);
+        // 22 requests at 10:1 plus the 2 warm-up publish decomposes.
+        assert_eq!(report.mixed.apply.completed_ok, 20);
+        assert_eq!(report.mixed.decompose.completed_ok, 4);
+        assert_eq!(report.mixed.store_hit_rate, 1.0);
+
+        // The tiny design space trips exactly the scale gates, not the
+        // exactness gates.
+        let violations = gate_violations(&report);
+        assert!(violations.iter().any(|v| v.contains("no n=256")));
+        assert!(violations.iter().any(|v| v.contains("mixed ratio")));
+        assert!(!violations.iter().any(|v| v.contains("diverged")));
+        assert!(!violations.iter().any(|v| v.contains("replay")));
+    }
+}

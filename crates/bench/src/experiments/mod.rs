@@ -3,6 +3,7 @@
 pub mod ablation;
 pub mod accuracy;
 pub mod adaptive;
+pub mod apply;
 pub mod convergence;
 pub mod devices;
 pub mod dse_report;

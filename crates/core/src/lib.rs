@@ -36,6 +36,7 @@
 //! ```
 
 pub mod accelerator;
+pub mod apply;
 pub mod batch_pool;
 pub mod config;
 pub mod energy;
@@ -54,6 +55,7 @@ pub mod timing;
 mod error;
 
 pub use accelerator::{Accelerator, HeteroSvdOutput};
+pub use apply::{ApplyModel, ApplyProfile, ApplyProfileCache, ApplyShape, ApplyTiming};
 pub use batch_pool::BatchPool;
 pub use config::{FidelityMode, HeteroSvdConfig, HeteroSvdConfigBuilder};
 pub use energy::{EnergyBreakdown, EnergyModel};
@@ -61,6 +63,7 @@ pub use error::HeteroSvdError;
 pub use obs::{JournalSummary, ObsConfig, ResourceKind, SpanJournal, Stage, UtilizationReport};
 pub use orth_pipeline::AdaptiveCounters;
 pub use placement::Placement;
+pub use plan_cache::CacheStats;
 pub use plan_cache::{PlanCache, PlanHandle};
 pub use replay::TimingProfile;
 pub use routing::PlioPlan;

@@ -32,7 +32,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
 /// Number of pipeline stages a span can belong to.
-pub const STAGE_COUNT: usize = 5;
+pub const STAGE_COUNT: usize = 6;
 
 /// Default capacity of the process-global journal's event ring.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
@@ -51,6 +51,9 @@ pub enum Stage {
     /// Simulated-timing stage: one modeled iteration (live or replayed)
     /// or one replay-profile probe; `modeled` carries the [`TimePs`].
     SimReplay,
+    /// Rank-r apply execution against store-resident factors; `modeled`
+    /// carries the Eq. 8–14 apply pipeline time.
+    Apply,
 }
 
 impl Stage {
@@ -61,6 +64,7 @@ impl Stage {
         Stage::BatchForm,
         Stage::ReplicaExec,
         Stage::SimReplay,
+        Stage::Apply,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -71,6 +75,7 @@ impl Stage {
             Stage::BatchForm => "batch_form",
             Stage::ReplicaExec => "replica_exec",
             Stage::SimReplay => "sim_replay",
+            Stage::Apply => "apply",
         }
     }
 
@@ -81,6 +86,7 @@ impl Stage {
             Stage::BatchForm => 2,
             Stage::ReplicaExec => 3,
             Stage::SimReplay => 4,
+            Stage::Apply => 5,
         }
     }
 }

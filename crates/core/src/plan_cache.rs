@@ -25,8 +25,10 @@ use aie_sim::dma::DmaModel;
 use aie_sim::kernel::KernelCostModel;
 use aie_sim::pl::PlModel;
 use aie_sim::plio::PlioModel;
+use serde::{Deserialize, Serialize};
 use std::collections::HashMap;
 use std::hash::{Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 use svd_kernels::block::{BlockPairSchedule, BlockPartition};
 use svd_orderings::movement::{classify, AccessKind, Movement};
@@ -212,10 +214,29 @@ struct CacheInner {
     clock: u64,
 }
 
+/// Counter snapshot of a [`PlanCache`] (exported through the serving
+/// metrics report, satellite of the factor-store subsystem).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct CacheStats {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that had to build a plan.
+    pub misses: u64,
+    /// Plans dropped by the LRU policy.
+    pub evictions: u64,
+    /// Plans currently resident.
+    pub resident: u64,
+    /// The configured capacity.
+    pub capacity: u64,
+}
+
 /// A small LRU cache of [`PlanHandle`]s.
 pub struct PlanCache {
     capacity: usize,
     inner: Mutex<CacheInner>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
@@ -228,6 +249,9 @@ impl PlanCache {
                 builds: HashMap::new(),
                 clock: 0,
             }),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
         }
     }
 
@@ -248,8 +272,10 @@ impl PlanCache {
         let stamp = inner.clock;
         if let Some((plan, last_use)) = inner.plans.get_mut(&key) {
             *last_use = stamp;
+            self.hits.fetch_add(1, Ordering::Relaxed);
             return Ok(Arc::clone(plan));
         }
+        self.misses.fetch_add(1, Ordering::Relaxed);
         let plan = Arc::new(PlanHandle::build(config)?);
         *inner.builds.entry(key).or_insert(0) += 1;
         if inner.plans.len() >= self.capacity {
@@ -260,6 +286,7 @@ impl PlanCache {
                 .map(|(k, _)| *k)
             {
                 inner.plans.remove(&oldest);
+                self.evictions.fetch_add(1, Ordering::Relaxed);
             }
         }
         inner.plans.insert(key, (Arc::clone(&plan), stamp));
@@ -281,6 +308,17 @@ impl PlanCache {
     pub fn builds_for(&self, config: &HeteroSvdConfig) -> u64 {
         let key = PlanKey::of(config);
         *self.inner.lock().unwrap().builds.get(&key).unwrap_or(&0)
+    }
+
+    /// Counter snapshot for the metrics path.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+            resident: self.len() as u64,
+            capacity: self.capacity as u64,
+        }
     }
 }
 
@@ -359,6 +397,21 @@ mod tests {
         // ...while the evicted one rebuilds on next use.
         cache.get_or_build(&config(32, 2)).unwrap();
         assert_eq!(cache.builds_for(&config(32, 2)), 2);
+    }
+
+    #[test]
+    fn stats_count_hits_misses_and_evictions() {
+        let cache = PlanCache::new(2);
+        cache.get_or_build(&config(16, 2)).unwrap(); // miss
+        cache.get_or_build(&config(16, 2)).unwrap(); // hit
+        cache.get_or_build(&config(32, 2)).unwrap(); // miss
+        cache.get_or_build(&config(48, 2)).unwrap(); // miss + eviction
+        let stats = cache.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 3);
+        assert_eq!(stats.evictions, 1);
+        assert_eq!(stats.resident, 2);
+        assert_eq!(stats.capacity, 2);
     }
 
     #[test]

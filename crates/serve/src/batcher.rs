@@ -1,11 +1,10 @@
-//! Dynamic batching: coalesces same-shape requests into Eq. (14) batches.
+//! Dynamic batching: coalesces compatible requests into Eq. (14) batches.
 
 use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::Metrics;
 use crate::queue::{BoundedQueue, PopResult};
-use crate::request::PendingRequest;
-use std::sync::atomic::Ordering;
+use crate::request::{BatchKey, PendingRequest};
 use std::time::{Duration, Instant};
 
 /// How long one admission-queue poll blocks before the batcher rechecks
@@ -18,9 +17,10 @@ pub(crate) struct BatchEntry {
     pub(crate) picked_at: Instant,
 }
 
-/// A shape-uniform batch ready for a replica.
+/// A batch ready for a replica: decompose batches are shape-uniform,
+/// apply batches are (model, version)-uniform.
 pub(crate) struct Batch {
-    pub(crate) shape: (usize, usize),
+    pub(crate) key: BatchKey,
     pub(crate) entries: Vec<BatchEntry>,
 }
 
@@ -35,10 +35,10 @@ pub(crate) enum FormOutcome {
 }
 
 /// Pulls one seed request off the queue, then lingers — up to
-/// `config.max_linger` — sweeping same-shape requests into the batch
-/// until it is full. Cancelled and deadline-expired requests are
-/// completed (with their terminal error) as they are encountered and
-/// never reach a replica.
+/// `config.max_linger` — sweeping requests with the same [`BatchKey`]
+/// into the batch until it is full. Cancelled and deadline-expired
+/// requests are completed (with their terminal error) as they are
+/// encountered and never reach a replica.
 pub(crate) fn form_batch(
     queue: &BoundedQueue<PendingRequest>,
     config: &ServeConfig,
@@ -57,7 +57,7 @@ pub(crate) fn form_batch(
         }
     };
 
-    let shape = seed.shape;
+    let key = seed.batch_key();
     let linger_deadline = Instant::now() + config.max_linger;
     let mut entries = vec![BatchEntry {
         request: seed,
@@ -71,7 +71,7 @@ pub(crate) fn form_batch(
         let seen = queue.push_seq();
         let wanted = config.max_batch - entries.len();
         let picked_at = Instant::now();
-        for request in queue.take_matching(wanted, |r| r.shape == shape) {
+        for request in queue.take_matching(wanted, |r| r.batch_key() == key) {
             if let Some(request) = admit_or_complete(request, metrics) {
                 entries.push(BatchEntry { request, picked_at });
             }
@@ -116,7 +116,7 @@ pub(crate) fn form_batch(
         );
     }
 
-    FormOutcome::Formed(Batch { shape, entries })
+    FormOutcome::Formed(Batch { key, entries })
 }
 
 /// Filters one request at pickup: completes it with its terminal error
@@ -124,13 +124,13 @@ pub(crate) fn form_batch(
 fn admit_or_complete(request: PendingRequest, metrics: &Metrics) -> Option<PendingRequest> {
     if request.state.is_cancelled() {
         if request.state.complete(Err(ServeError::Cancelled)) {
-            metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+            metrics.record_cancelled();
         }
         return None;
     }
     if request.deadline_elapsed(Instant::now()) {
         if request.state.complete(Err(ServeError::DeadlineExceeded)) {
-            metrics.timed_out_batcher.fetch_add(1, Ordering::Relaxed);
+            metrics.record_timed_out_batcher(request.request_type());
         }
         return None;
     }
@@ -140,14 +140,59 @@ fn admit_or_complete(request: PendingRequest, metrics: &Metrics) -> Option<Pendi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{RequestId, RequestState};
-    use svd_kernels::Matrix;
+    use crate::request::{Payload, RequestId, RequestState, RequestType};
+    use factor_store::{FactorMeta, ModelId, PublishedFactors};
+    use std::sync::atomic::Ordering;
+    use std::sync::Arc;
+    use svd_kernels::{Matrix, TruncatedSvd};
 
     fn pending(id: u64, shape: (usize, usize)) -> PendingRequest {
         PendingRequest {
             id: RequestId(id),
-            matrix: Matrix::zeros(shape.0, shape.1),
-            shape,
+            payload: Payload::Decompose {
+                matrix: Matrix::zeros(shape.0, shape.1),
+                shape,
+                publish: None,
+            },
+            state: RequestState::new(),
+            submitted_at: Instant::now(),
+            deadline: None,
+            poison: false,
+        }
+    }
+
+    fn published(model: u64, version: u64) -> Arc<PublishedFactors> {
+        let factors = TruncatedSvd {
+            u: Matrix::zeros(4, 2),
+            sigma: vec![2.0f32, 1.0],
+            v: Matrix::zeros(4, 2),
+            tail_sigma: 0.0,
+            retained_energy: 1.0,
+        };
+        let bytes = factors.approx_bytes();
+        Arc::new(PublishedFactors {
+            model: ModelId(model),
+            version,
+            meta: FactorMeta {
+                rows: 4,
+                cols: 4,
+                rank: 2,
+                tail_sigma: 0.0,
+                retained_energy: 1.0,
+                bytes,
+            },
+            factors,
+        })
+    }
+
+    fn pending_apply(id: u64, factors: Arc<PublishedFactors>) -> PendingRequest {
+        PendingRequest {
+            id: RequestId(id),
+            payload: Payload::Apply {
+                x: vec![0.0; factors.meta.cols],
+                rank: factors.meta.rank,
+                factors,
+            },
             state: RequestState::new(),
             submitted_at: Instant::now(),
             deadline: None,
@@ -175,10 +220,58 @@ mod tests {
             FormOutcome::Formed(b) => b,
             _ => panic!("expected a batch"),
         };
-        assert_eq!(batch.shape, (8, 8));
+        assert_eq!(batch.key, BatchKey::Decompose { rows: 8, cols: 8 });
         let ids: Vec<u64> = batch.entries.iter().map(|e| e.request.id.0).collect();
         assert_eq!(ids, vec![1, 3]);
         assert_eq!(queue.len(), 1, "the (12,8) request stays queued");
+    }
+
+    #[test]
+    fn apply_batches_split_by_model_and_version() {
+        // Same model, two versions: a version bump mid-stream must not
+        // mix pinned factor sets inside one batch.
+        let queue = BoundedQueue::new(16);
+        let metrics = Metrics::new();
+        let v1 = published(7, 1);
+        let v2 = published(7, 2);
+        queue.try_push(pending_apply(1, Arc::clone(&v1))).unwrap();
+        queue.try_push(pending_apply(2, Arc::clone(&v2))).unwrap();
+        queue.try_push(pending_apply(3, v1)).unwrap();
+        let out = form_batch(&queue, &config(4, Duration::from_millis(1)), &metrics);
+        let batch = match out {
+            FormOutcome::Formed(b) => b,
+            _ => panic!("expected a batch"),
+        };
+        assert_eq!(
+            batch.key,
+            BatchKey::Apply {
+                model: 7,
+                version: 1
+            }
+        );
+        let ids: Vec<u64> = batch.entries.iter().map(|e| e.request.id.0).collect();
+        assert_eq!(ids, vec![1, 3]);
+        assert_eq!(queue.len(), 1, "the v2 request stays queued");
+        assert!(batch
+            .entries
+            .iter()
+            .all(|e| e.request.request_type() == RequestType::Apply));
+    }
+
+    #[test]
+    fn apply_and_decompose_never_share_a_batch() {
+        let queue = BoundedQueue::new(16);
+        let metrics = Metrics::new();
+        queue.try_push(pending(1, (4, 4))).unwrap();
+        queue.try_push(pending_apply(2, published(1, 1))).unwrap();
+        let out = form_batch(&queue, &config(4, Duration::from_millis(1)), &metrics);
+        let batch = match out {
+            FormOutcome::Formed(b) => b,
+            _ => panic!("expected a batch"),
+        };
+        assert_eq!(batch.key, BatchKey::Decompose { rows: 4, cols: 4 });
+        assert_eq!(batch.entries.len(), 1);
+        assert_eq!(queue.len(), 1, "the apply request stays queued");
     }
 
     #[test]
@@ -224,6 +317,9 @@ mod tests {
         let out = form_batch(&queue, &config(2, Duration::from_millis(1)), &metrics);
         assert!(matches!(out, FormOutcome::Idle));
         assert_eq!(metrics.timed_out_batcher.load(Ordering::Relaxed), 1);
+        let snapshot = metrics.snapshot(0, 0);
+        assert_eq!(snapshot.per_type.decompose.timed_out_at_batcher, 1);
+        assert_eq!(snapshot.per_type.apply.timed_out_at_batcher, 0);
     }
 
     #[test]

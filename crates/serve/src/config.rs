@@ -63,6 +63,11 @@ pub struct ServeConfig {
     /// capture is available from [`crate::SvdService::latest_scrape`].
     /// `None` (the default) spawns no scraper.
     pub metrics_scrape_interval: Option<Duration>,
+    /// Byte budget of the service's factor store (resident truncated
+    /// factors published by decompose requests and served by apply
+    /// requests). Least-recently-used models are evicted past it; the
+    /// most recently published model is always retained.
+    pub factor_store_bytes: usize,
 }
 
 impl Default for ServeConfig {
@@ -83,6 +88,7 @@ impl Default for ServeConfig {
             default_timeout: None,
             observability: true,
             metrics_scrape_interval: None,
+            factor_store_bytes: 64 << 20,
         }
     }
 }
@@ -119,6 +125,11 @@ impl ServeConfig {
         if self.functional_parallelism == 0 {
             return Err(ServeError::InvalidRequest(
                 "functional_parallelism must be >= 1".into(),
+            ));
+        }
+        if self.factor_store_bytes == 0 {
+            return Err(ServeError::InvalidRequest(
+                "factor_store_bytes must be >= 1".into(),
             ));
         }
         if self.fidelity == FidelityMode::TimingOnly && self.fixed_iterations.is_none() {
@@ -204,6 +215,7 @@ mod tests {
             |c| c.max_batch = 0,
             |c| c.engine_parallelism = 0,
             |c| c.task_parallelism = 0,
+            |c| c.factor_store_bytes = 0,
         ] {
             let mut c = ServeConfig::default();
             mutate(&mut c);

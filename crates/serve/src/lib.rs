@@ -29,6 +29,14 @@
 //! * **Lifecycle** — per-request deadlines, cancellation, worker-panic
 //!   containment (the poisoned replica is retired and replaced), and
 //!   drain-on-shutdown.
+//! * **Decompose-once / apply-constantly** —
+//!   [`SvdService::try_submit_publish`] truncates a successful
+//!   factorization to rank r and publishes it (versioned, LRU
+//!   byte-budgeted) into the service's [`FactorStore`];
+//!   [`SvdService::try_submit_apply`] then serves `y = U_r·Σ_r·V_rᵀ·x`
+//!   against the store-resident factors, bit-identical to the direct
+//!   truncated product and charged the modeled Eq. 8–14 apply-pipeline
+//!   time.
 //! * **Observability** — [`SvdService::metrics`] returns a serializable
 //!   [`MetricsSnapshot`] with counters, queue depth, rolling throughput,
 //!   and queue-wait/linger/execution percentiles;
@@ -66,7 +74,15 @@ mod service;
 
 pub use config::ServeConfig;
 pub use error::ServeError;
-pub use metrics::{MetricsSnapshot, Percentiles};
-pub use report::{MetricsReport, ShapeUtilization};
-pub use request::{LatencyRecord, RequestHandle, RequestId, SubmitOptions, SvdResponse};
+pub use metrics::{MetricsSnapshot, PerTypeBreakdown, Percentiles, TypeSnapshot};
+pub use report::{CacheReport, MetricsReport, ShapeUtilization};
+pub use request::{
+    ApplyHandle, ApplyResponse, LatencyRecord, PublishSpec, RequestHandle, RequestId, RequestType,
+    SubmitOptions, SvdResponse,
+};
 pub use service::SvdService;
+
+// Factor-store types surface directly in this crate's API
+// (`SvdService::try_submit_publish` / `store()`); re-export them so
+// callers need only one dependency.
+pub use factor_store::{FactorMeta, FactorStore, FactorStoreStats, ModelId, PublishedFactors};

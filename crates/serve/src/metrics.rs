@@ -1,6 +1,6 @@
 //! Service observability: counters, gauges, latency percentiles.
 
-use crate::request::LatencyRecord;
+use crate::request::{LatencyRecord, RequestType};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -28,6 +28,10 @@ pub(crate) struct Metrics {
     pub(crate) worker_panics: AtomicU64,
     pub(crate) replicas_spawned: AtomicU64,
     pub(crate) batches_dispatched: AtomicU64,
+    /// Per-request-type counter split, indexed by
+    /// [`RequestType::index`]; the aggregates above stay authoritative
+    /// for mixed totals.
+    per_type: [TypeMetrics; 2],
     samples: Mutex<Vec<Sample>>,
     /// Start of the current throughput window: advanced by every
     /// snapshot so `throughput_rps_window` measures completions since
@@ -40,8 +44,55 @@ struct WindowState {
     completed: u64,
 }
 
+impl WindowState {
+    fn new() -> Self {
+        WindowState {
+            since: Instant::now(),
+            completed: 0,
+        }
+    }
+
+    /// Completions-per-second since the previous call, then the window
+    /// restarts at `completed`.
+    fn advance(&mut self, completed: u64) -> f64 {
+        let span = self.since.elapsed().as_secs_f64();
+        let delta = completed.saturating_sub(self.completed);
+        self.since = Instant::now();
+        self.completed = completed;
+        if span > 0.0 {
+            delta as f64 / span
+        } else {
+            0.0
+        }
+    }
+}
+
+/// Per-request-type slice of the counters that differ meaningfully
+/// between decompose and apply traffic (each type gets its own
+/// throughput window, advanced by the same snapshots as the aggregate).
+struct TypeMetrics {
+    submitted: AtomicU64,
+    completed_ok: AtomicU64,
+    timed_out_batcher: AtomicU64,
+    timed_out_exec: AtomicU64,
+    window: Mutex<WindowState>,
+}
+
+impl TypeMetrics {
+    fn new() -> Self {
+        TypeMetrics {
+            submitted: AtomicU64::new(0),
+            completed_ok: AtomicU64::new(0),
+            timed_out_batcher: AtomicU64::new(0),
+            timed_out_exec: AtomicU64::new(0),
+            window: Mutex::new(WindowState::new()),
+        }
+    }
+}
+
 #[derive(Clone, Copy)]
 struct Sample {
+    rtype: RequestType,
     queue_wait_us: u64,
     linger_us: u64,
     sim_exec_ps: u64,
@@ -63,15 +114,45 @@ impl Metrics {
             worker_panics: AtomicU64::new(0),
             replicas_spawned: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
+            per_type: [TypeMetrics::new(), TypeMetrics::new()],
             samples: Mutex::new(Vec::new()),
-            window: Mutex::new(WindowState {
-                since: Instant::now(),
-                completed: 0,
-            }),
+            window: Mutex::new(WindowState::new()),
         }
     }
 
-    pub(crate) fn record_latency(&self, rec: &LatencyRecord) {
+    fn of(&self, rtype: RequestType) -> &TypeMetrics {
+        &self.per_type[rtype.index()]
+    }
+
+    pub(crate) fn record_submitted(&self, rtype: RequestType) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.of(rtype).submitted.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, rtype: RequestType) {
+        self.completed_ok.fetch_add(1, Ordering::Relaxed);
+        self.of(rtype).completed_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_cancelled(&self) {
+        self.cancelled.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timed_out_batcher(&self, rtype: RequestType) {
+        self.timed_out_batcher.fetch_add(1, Ordering::Relaxed);
+        self.of(rtype)
+            .timed_out_batcher
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_timed_out_exec(&self, rtype: RequestType) {
+        self.timed_out_exec.fetch_add(1, Ordering::Relaxed);
+        self.of(rtype)
+            .timed_out_exec
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(&self, rec: &LatencyRecord, rtype: RequestType) {
         let mut samples = self.samples.lock();
         if samples.len() >= MAX_SAMPLES {
             // Drop the oldest half in one move to amortize the shift.
@@ -79,11 +160,37 @@ impl Metrics {
             *samples = keep;
         }
         samples.push(Sample {
+            rtype,
             queue_wait_us: rec.queue_wait.as_micros() as u64,
             linger_us: rec.batch_linger.as_micros() as u64,
             sim_exec_ps: rec.sim_exec_ps,
             batch_size: rec.batch_size as u64,
         });
+    }
+
+    fn type_snapshot(&self, rtype: RequestType, samples: &[Sample]) -> TypeSnapshot {
+        let tm = self.of(rtype);
+        let completed = tm.completed_ok.load(Ordering::Relaxed);
+        let window_rate = tm.window.lock().advance(completed);
+        let mut queue_wait: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.rtype == rtype)
+            .map(|s| s.queue_wait_us)
+            .collect();
+        let mut exec: Vec<u64> = samples
+            .iter()
+            .filter(|s| s.rtype == rtype)
+            .map(|s| s.sim_exec_ps)
+            .collect();
+        TypeSnapshot {
+            submitted: tm.submitted.load(Ordering::Relaxed),
+            completed_ok: completed,
+            timed_out_at_batcher: tm.timed_out_batcher.load(Ordering::Relaxed),
+            timed_out_at_exec: tm.timed_out_exec.load(Ordering::Relaxed),
+            throughput_rps_window: window_rate,
+            queue_wait_us: Percentiles::from_samples(&mut queue_wait),
+            sim_exec_ps: Percentiles::from_samples(&mut exec),
+        }
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize, replicas_live: usize) -> MetricsSnapshot {
@@ -94,18 +201,7 @@ impl Metrics {
         // by the wall time since it, then the window restarts here. A
         // long-running service reports its *current* rate instead of a
         // lifetime average polluted by warmup and idle stretches.
-        let window_rate = {
-            let mut w = self.window.lock();
-            let span = w.since.elapsed().as_secs_f64();
-            let delta = completed.saturating_sub(w.completed);
-            w.since = Instant::now();
-            w.completed = completed;
-            if span > 0.0 {
-                delta as f64 / span
-            } else {
-                0.0
-            }
-        };
+        let window_rate = self.window.lock().advance(completed);
         let timed_out_batcher = self.timed_out_batcher.load(Ordering::Relaxed);
         let timed_out_exec = self.timed_out_exec.load(Ordering::Relaxed);
         let mut queue_wait: Vec<u64> = samples.iter().map(|s| s.queue_wait_us).collect();
@@ -141,6 +237,10 @@ impl Metrics {
             queue_wait_us: Percentiles::from_samples(&mut queue_wait),
             batch_linger_us: Percentiles::from_samples(&mut linger),
             sim_exec_ps: Percentiles::from_samples(&mut exec),
+            per_type: PerTypeBreakdown {
+                decompose: self.type_snapshot(RequestType::Decompose, &samples),
+                apply: self.type_snapshot(RequestType::Apply, &samples),
+            },
         }
     }
 }
@@ -183,6 +283,37 @@ impl Percentiles {
             max: *samples.last().expect("non-empty"),
         }
     }
+}
+
+/// Per-request-type slice of a [`MetricsSnapshot`]: the counters,
+/// windowed rate, and latency summaries of one traffic class.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct TypeSnapshot {
+    /// Requests of this type admitted past the queue bound check.
+    pub submitted: u64,
+    /// Requests of this type completed successfully.
+    pub completed_ok: u64,
+    /// Deadline expiries of this type caught at batch formation.
+    pub timed_out_at_batcher: u64,
+    /// Deadline expiries of this type caught at replica-exec start.
+    pub timed_out_at_exec: u64,
+    /// Completions of this type per second since the previous snapshot.
+    pub throughput_rps_window: f64,
+    /// Queue-wait percentiles of this type (microseconds).
+    pub queue_wait_us: Percentiles,
+    /// Modeled execution-time percentiles of this type (picoseconds):
+    /// Eq. (14) batch system time for decompose, the Eq. 8–14 apply
+    /// pipeline system time for apply.
+    pub sim_exec_ps: Percentiles,
+}
+
+/// The per-type split carried by every [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PerTypeBreakdown {
+    /// Decompose (full factorization) traffic.
+    pub decompose: TypeSnapshot,
+    /// Apply (rank-r matvec) traffic.
+    pub apply: TypeSnapshot,
 }
 
 /// Point-in-time view of the service's counters and latency summaries.
@@ -235,6 +366,9 @@ pub struct MetricsSnapshot {
     pub batch_linger_us: Percentiles,
     /// Simulated Eq. (14) execution-time percentiles (picoseconds).
     pub sim_exec_ps: Percentiles,
+    /// The same counters split by request type, so apply traffic (orders
+    /// of magnitude cheaper) does not mask decompose regressions.
+    pub per_type: PerTypeBreakdown,
 }
 
 #[cfg(test)]
@@ -330,6 +464,45 @@ mod tests {
     }
 
     #[test]
+    fn per_type_counters_split_decompose_from_apply() {
+        let m = Metrics::new();
+        m.record_submitted(RequestType::Decompose);
+        m.record_submitted(RequestType::Apply);
+        m.record_submitted(RequestType::Apply);
+        m.record_completed(RequestType::Apply);
+        m.record_timed_out_batcher(RequestType::Decompose);
+        m.record_timed_out_exec(RequestType::Apply);
+        m.record_latency(
+            &LatencyRecord {
+                queue_wait: Duration::from_micros(10),
+                batch_linger: Duration::ZERO,
+                sim_exec_ps: 1_000,
+                batch_size: 1,
+                wall_total: Duration::from_micros(20),
+            },
+            RequestType::Apply,
+        );
+        std::thread::sleep(Duration::from_millis(2));
+        let snap = m.snapshot(0, 0);
+        // Aggregates see the union...
+        assert_eq!(snap.submitted, 3);
+        assert_eq!(snap.completed_ok, 1);
+        assert_eq!(snap.timed_out, 2);
+        // ...and the split attributes each event to its type.
+        assert_eq!(snap.per_type.decompose.submitted, 1);
+        assert_eq!(snap.per_type.apply.submitted, 2);
+        assert_eq!(snap.per_type.apply.completed_ok, 1);
+        assert_eq!(snap.per_type.decompose.completed_ok, 0);
+        assert_eq!(snap.per_type.decompose.timed_out_at_batcher, 1);
+        assert_eq!(snap.per_type.apply.timed_out_at_batcher, 0);
+        assert_eq!(snap.per_type.apply.timed_out_at_exec, 1);
+        assert_eq!(snap.per_type.apply.sim_exec_ps.p50, 1_000);
+        assert_eq!(snap.per_type.decompose.sim_exec_ps.p50, 0);
+        assert!(snap.per_type.apply.throughput_rps_window > 0.0);
+        assert_eq!(snap.per_type.decompose.throughput_rps_window, 0.0);
+    }
+
+    #[test]
     fn empty_percentiles_are_zero() {
         let p = Percentiles::from_samples(&mut []);
         assert_eq!(
@@ -348,31 +521,40 @@ mod tests {
         let m = Metrics::new();
         m.submitted.store(3, Ordering::Relaxed);
         m.completed_ok.store(2, Ordering::Relaxed);
-        m.record_latency(&LatencyRecord {
-            queue_wait: Duration::from_micros(120),
-            batch_linger: Duration::from_micros(40),
-            sim_exec_ps: 5_000,
-            batch_size: 2,
-            wall_total: Duration::from_micros(200),
-        });
+        m.record_latency(
+            &LatencyRecord {
+                queue_wait: Duration::from_micros(120),
+                batch_linger: Duration::from_micros(40),
+                sim_exec_ps: 5_000,
+                batch_size: 2,
+                wall_total: Duration::from_micros(200),
+            },
+            RequestType::Decompose,
+        );
         let snap = m.snapshot(1, 2);
         let json = serde_json::to_string_pretty(&snap).unwrap();
         assert!(json.contains("\"submitted\": 3"));
         assert!(json.contains("\"queue_wait_us\""));
         assert!(json.contains("\"p95\""));
+        assert!(json.contains("\"per_type\""));
+        assert!(json.contains("\"apply\""));
+        assert!(json.contains("\"decompose\""));
     }
 
     #[test]
     fn sample_window_is_bounded() {
         let m = Metrics::new();
         for i in 0..(MAX_SAMPLES + 10) {
-            m.record_latency(&LatencyRecord {
-                queue_wait: Duration::from_micros(i as u64),
-                batch_linger: Duration::ZERO,
-                sim_exec_ps: 1,
-                batch_size: 1,
-                wall_total: Duration::ZERO,
-            });
+            m.record_latency(
+                &LatencyRecord {
+                    queue_wait: Duration::from_micros(i as u64),
+                    batch_linger: Duration::ZERO,
+                    sim_exec_ps: 1,
+                    batch_size: 1,
+                    wall_total: Duration::ZERO,
+                },
+                RequestType::Decompose,
+            );
         }
         assert!(m.samples.lock().len() <= MAX_SAMPLES);
     }

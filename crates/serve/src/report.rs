@@ -3,8 +3,10 @@
 //! utilization, and the span-journal summary, renderable as JSON or
 //! Prometheus text exposition.
 
-use crate::metrics::MetricsSnapshot;
+use crate::metrics::{MetricsSnapshot, TypeSnapshot};
+use factor_store::FactorStoreStats;
 use heterosvd::obs::{JournalSummary, UtilizationReport};
+use heterosvd::CacheStats;
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -21,9 +23,24 @@ pub struct ShapeUtilization {
     pub report: UtilizationReport,
 }
 
+/// Hit/miss/eviction counters of the caches and the factor store the
+/// serving path leans on. The plan and apply-profile caches are
+/// process-global; the factor store belongs to the service.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct CacheReport {
+    /// The global execution-plan cache (decompose path).
+    pub plan: CacheStats,
+    /// The global apply-profile cache (one timing probe per shape,
+    /// replayed for every steady-state apply).
+    pub apply_profiles: CacheStats,
+    /// The service's factor store (publishes, lookup hits/misses,
+    /// evictions, resident bytes).
+    pub factor_store: FactorStoreStats,
+}
+
 /// One exportable observability capture of the whole service: the
-/// metrics snapshot, per-shape resource utilization, and the global
-/// span-journal summary.
+/// metrics snapshot, per-shape resource utilization, cache/store
+/// counters, and the global span-journal summary.
 ///
 /// Produced by [`crate::SvdService::metrics_report`] (or periodically by
 /// the in-process scraper when
@@ -37,6 +54,8 @@ pub struct MetricsReport {
     /// (rows, cols). Empty when observability is disabled or nothing
     /// has completed yet.
     pub utilization: Vec<ShapeUtilization>,
+    /// Plan-cache, apply-profile-cache, and factor-store counters.
+    pub caches: CacheReport,
     /// Per-stage span summary from the global journal.
     pub journal: JournalSummary,
 }
@@ -157,6 +176,142 @@ impl MetricsReport {
             "throughput_rps_window",
             "Completed requests per second since the previous snapshot.",
             s.throughput_rps_window,
+        );
+
+        // Per-request-type split: the same counters with a type label.
+        let per_type: [(&str, &TypeSnapshot); 2] = [
+            ("decompose", &s.per_type.decompose),
+            ("apply", &s.per_type.apply),
+        ];
+        for (name, help, pick) in [
+            (
+                "submitted_by_type_total",
+                "Requests admitted, by request type.",
+                (|t: &TypeSnapshot| t.submitted) as fn(&TypeSnapshot) -> u64,
+            ),
+            (
+                "completed_ok_by_type_total",
+                "Requests completed successfully, by request type.",
+                |t| t.completed_ok,
+            ),
+            (
+                "timed_out_at_batcher_by_type_total",
+                "Deadline expiries at batch formation, by request type.",
+                |t| t.timed_out_at_batcher,
+            ),
+            (
+                "timed_out_at_exec_by_type_total",
+                "Deadline expiries at replica-exec start, by request type.",
+                |t| t.timed_out_at_exec,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP hsvd_{name} {help}");
+            let _ = writeln!(out, "# TYPE hsvd_{name} counter");
+            for (label, t) in per_type {
+                let _ = writeln!(out, "hsvd_{name}{{type=\"{label}\"}} {}", pick(t));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_throughput_rps_window_by_type Windowed completion rate by request type."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_throughput_rps_window_by_type gauge");
+        for (label, t) in per_type {
+            let _ = writeln!(
+                out,
+                "hsvd_throughput_rps_window_by_type{{type=\"{label}\"}} {}",
+                t.throughput_rps_window
+            );
+        }
+        for (name, help, pick) in [
+            (
+                "queue_wait_us_by_type",
+                "Queue wait by request type (microseconds).",
+                (|t: &TypeSnapshot| t.queue_wait_us) as fn(&TypeSnapshot) -> crate::Percentiles,
+            ),
+            (
+                "sim_exec_ps_by_type",
+                "Modeled execution time by request type (picoseconds).",
+                |t| t.sim_exec_ps,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP hsvd_{name} {help}");
+            let _ = writeln!(out, "# TYPE hsvd_{name} summary");
+            for (label, t) in per_type {
+                let p = pick(t);
+                for (q, v) in [("0.5", p.p50), ("0.95", p.p95), ("0.99", p.p99)] {
+                    let _ = writeln!(out, "hsvd_{name}{{type=\"{label}\",quantile=\"{q}\"}} {v}");
+                }
+                let _ = writeln!(out, "hsvd_{name}_max{{type=\"{label}\"}} {}", p.max);
+            }
+        }
+
+        // Plan/profile-cache and factor-store counters.
+        for (prefix, stats) in [
+            ("plan_cache", &self.caches.plan),
+            ("apply_profile_cache", &self.caches.apply_profiles),
+        ] {
+            counter(
+                out,
+                &format!("{prefix}_hits_total"),
+                "Cache lookups served from a resident entry.",
+                stats.hits,
+            );
+            counter(
+                out,
+                &format!("{prefix}_misses_total"),
+                "Cache lookups that built/probed a new entry.",
+                stats.misses,
+            );
+            counter(
+                out,
+                &format!("{prefix}_evictions_total"),
+                "Entries evicted by the LRU policy.",
+                stats.evictions,
+            );
+            gauge(
+                out,
+                &format!("{prefix}_resident"),
+                "Entries currently resident.",
+                stats.resident as f64,
+            );
+        }
+        let fs = &self.caches.factor_store;
+        counter(
+            out,
+            "factor_store_hits_total",
+            "Factor lookups that found a resident version.",
+            fs.hits,
+        );
+        counter(
+            out,
+            "factor_store_misses_total",
+            "Factor lookups for models with no resident version.",
+            fs.misses,
+        );
+        counter(
+            out,
+            "factor_store_evictions_total",
+            "Factor versions evicted by the byte-budget LRU policy.",
+            fs.evictions,
+        );
+        counter(
+            out,
+            "factor_store_publishes_total",
+            "Factor versions published.",
+            fs.publishes,
+        );
+        gauge(
+            out,
+            "factor_store_resident_bytes",
+            "Bytes of resident truncated factors.",
+            fs.resident_bytes as f64,
+        );
+        gauge(
+            out,
+            "factor_store_resident_models",
+            "Models with a resident factor version.",
+            fs.resident_models as f64,
         );
 
         for (name, help, p) in [
@@ -321,6 +476,25 @@ mod tests {
                 cols: 256,
                 report,
             }],
+            caches: CacheReport {
+                plan: CacheStats {
+                    hits: 10,
+                    misses: 2,
+                    evictions: 1,
+                    resident: 1,
+                    capacity: 32,
+                },
+                apply_profiles: CacheStats::default(),
+                factor_store: FactorStoreStats {
+                    hits: 40,
+                    misses: 1,
+                    evictions: 0,
+                    publishes: 2,
+                    resident_bytes: 4096,
+                    resident_models: 2,
+                    byte_budget: 1 << 20,
+                },
+            },
             journal: heterosvd::obs::SpanJournal::with_capacity(4).summary(),
         }
     }
@@ -333,6 +507,9 @@ mod tests {
         assert!(json.contains("\"journal\""));
         assert!(json.contains("\"critical\""));
         assert!(json.contains("\"rows\": 256"));
+        assert!(json.contains("\"caches\""));
+        assert!(json.contains("\"factor_store\""));
+        assert!(json.contains("\"per_type\""));
     }
 
     #[test]
@@ -348,6 +525,11 @@ mod tests {
         assert!(text.contains("hsvd_timed_out_total{point=\"batcher\"}"));
         assert!(text.contains("hsvd_queue_wait_us{quantile=\"0.95\"}"));
         assert!(text.contains("hsvd_stage_spans_total{stage=\"admit\"}"));
+        assert!(text.contains("hsvd_submitted_by_type_total{type=\"apply\"}"));
+        assert!(text.contains("hsvd_sim_exec_ps_by_type{type=\"decompose\",quantile=\"0.99\"}"));
+        assert!(text.contains("hsvd_plan_cache_hits_total 10"));
+        assert!(text.contains("hsvd_factor_store_publishes_total 2"));
+        assert!(text.contains("hsvd_factor_store_resident_bytes 4096"));
         assert!(text.contains("hsvd_resource_busy_fraction{shape=\"256x256\",resource=\"plio\"}"));
         assert!(text.contains("hsvd_critical_resource{shape=\"256x256\""));
     }

@@ -1,6 +1,7 @@
 //! Request lifecycle: submission options, handles, and latency records.
 
 use crate::error::ServeError;
+use factor_store::{FactorMeta, ModelId, PublishedFactors};
 use heterosvd::HeteroSvdOutput;
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
@@ -16,6 +17,53 @@ impl std::fmt::Display for RequestId {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "req-{}", self.0)
     }
+}
+
+/// The two request kinds the service admits, batched and metered
+/// separately so apply traffic does not dilute decompose latency stats.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum RequestType {
+    /// Full factorization of a submitted matrix.
+    Decompose,
+    /// Rank-r matvec against store-resident factors.
+    Apply,
+}
+
+impl serde::Serialize for RequestType {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl RequestType {
+    /// Both request types, in metrics/report order.
+    pub const ALL: [RequestType; 2] = [RequestType::Decompose, RequestType::Apply];
+
+    /// Stable snake_case name (used in exports).
+    pub fn name(self) -> &'static str {
+        match self {
+            RequestType::Decompose => "decompose",
+            RequestType::Apply => "apply",
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            RequestType::Decompose => 0,
+            RequestType::Apply => 1,
+        }
+    }
+}
+
+/// Instruction attached to a decompose request: after the factorization
+/// succeeds, truncate it to `rank` and publish the factors as the next
+/// version of `model` in the service's factor store.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PublishSpec {
+    /// The model the factors belong to.
+    pub model: ModelId,
+    /// Truncation rank (validated against the matrix at admission).
+    pub rank: usize,
 }
 
 /// Per-request options accepted at submission.
@@ -46,7 +94,7 @@ pub struct LatencyRecord {
     pub wall_total: Duration,
 }
 
-/// Successful result of a served request.
+/// Successful result of a served decompose request.
 #[derive(Debug, Clone)]
 pub struct SvdResponse {
     /// Id echoed from the handle.
@@ -57,7 +105,39 @@ pub struct SvdResponse {
     pub latency: LatencyRecord,
 }
 
-/// Caller-side handle to an admitted request.
+/// Successful result of a served apply request.
+#[derive(Debug, Clone)]
+pub struct ApplyResponse {
+    /// Id echoed from the handle.
+    pub id: RequestId,
+    /// The model whose factors served the request.
+    pub model: ModelId,
+    /// The factor version the request was pinned to at admission.
+    pub version: u64,
+    /// The rank actually applied.
+    pub rank: usize,
+    /// The rank-r product `y = U_r·Σ_r·V_rᵀ·x`.
+    pub y: Vec<f32>,
+    /// Rank/accuracy metadata of the serving factor version.
+    pub meta: FactorMeta,
+    /// The request's latency decomposition (`sim_exec_ps` charges the
+    /// Eq. 8–14 apply pipeline system time).
+    pub latency: LatencyRecord,
+}
+
+/// Either terminal payload a request can complete with; typed handles
+/// unwrap their own variant. The variants differ in size (an
+/// `SvdResponse` carries full factors), but exactly one instance
+/// exists per in-flight request and it is moved, never copied, so the
+/// indirection boxing would buy costs more than the slack bytes.
+#[derive(Debug)]
+#[allow(clippy::large_enum_variant)]
+pub(crate) enum Completion {
+    Svd(SvdResponse),
+    Apply(ApplyResponse),
+}
+
+/// Caller-side handle to an admitted decompose request.
 ///
 /// Waiting consumes the handle, so a result is delivered exactly once.
 #[derive(Debug)]
@@ -90,11 +170,7 @@ impl RequestHandle {
     ///
     /// Whatever terminal error the request ended with.
     pub fn wait(self) -> Result<SvdResponse, ServeError> {
-        let mut slot = self.state.slot.lock();
-        while slot.is_none() {
-            self.state.done.wait(&mut slot);
-        }
-        slot.take().expect("slot filled")
+        take_svd(self.state.wait_take())
     }
 
     /// Blocks up to `timeout` for completion.
@@ -104,28 +180,84 @@ impl RequestHandle {
     /// `Err(self)` hands the handle back on timeout so the caller can
     /// keep waiting or cancel.
     pub fn wait_timeout(self, timeout: Duration) -> Result<Result<SvdResponse, ServeError>, Self> {
-        let deadline = Instant::now() + timeout;
-        {
-            let mut slot = self.state.slot.lock();
-            loop {
-                if let Some(result) = slot.take() {
-                    return Ok(result);
-                }
-                let now = Instant::now();
-                if now >= deadline {
-                    break;
-                }
-                self.state.done.wait_for(&mut slot, deadline - now);
-            }
+        match self.state.wait_take_until(Instant::now() + timeout) {
+            Some(result) => Ok(take_svd(result)),
+            None => Err(self),
         }
-        Err(self)
     }
+}
+
+/// Caller-side handle to an admitted apply request.
+///
+/// Same lifecycle as [`RequestHandle`], delivering an [`ApplyResponse`].
+#[derive(Debug)]
+pub struct ApplyHandle {
+    pub(crate) id: RequestId,
+    pub(crate) state: Arc<RequestState>,
+}
+
+impl ApplyHandle {
+    /// The id assigned at admission.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Requests cancellation (best-effort, as for [`RequestHandle`]).
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a result is already available (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.state.slot.lock().is_some()
+    }
+
+    /// Blocks until the request completes and takes the result.
+    ///
+    /// # Errors
+    ///
+    /// Whatever terminal error the request ended with.
+    pub fn wait(self) -> Result<ApplyResponse, ServeError> {
+        take_apply(self.state.wait_take())
+    }
+
+    /// Blocks up to `timeout` for completion; `Err(self)` hands the
+    /// handle back on timeout.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` on timeout.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<ApplyResponse, ServeError>, Self> {
+        match self.state.wait_take_until(Instant::now() + timeout) {
+            Some(result) => Ok(take_apply(result)),
+            None => Err(self),
+        }
+    }
+}
+
+fn take_svd(result: Result<Completion, ServeError>) -> Result<SvdResponse, ServeError> {
+    result.map(|completion| match completion {
+        Completion::Svd(response) => response,
+        // A decompose handle is only ever completed by the decompose
+        // path; the payload/handle pairing is fixed at admission.
+        Completion::Apply(_) => unreachable!("decompose handle completed with an apply response"),
+    })
+}
+
+fn take_apply(result: Result<Completion, ServeError>) -> Result<ApplyResponse, ServeError> {
+    result.map(|completion| match completion {
+        Completion::Apply(response) => response,
+        Completion::Svd(_) => unreachable!("apply handle completed with a decompose response"),
+    })
 }
 
 /// Shared completion slot between the handle and the service threads.
 #[derive(Debug)]
 pub(crate) struct RequestState {
-    slot: Mutex<Option<Result<SvdResponse, ServeError>>>,
+    slot: Mutex<Option<Result<Completion, ServeError>>>,
     done: Condvar,
     pub(crate) cancelled: AtomicBool,
 }
@@ -141,7 +273,7 @@ impl RequestState {
 
     /// Completes the request if still pending; the first completion
     /// wins and later ones are dropped. Returns whether this call won.
-    pub(crate) fn complete(&self, result: Result<SvdResponse, ServeError>) -> bool {
+    pub(crate) fn complete(&self, result: Result<Completion, ServeError>) -> bool {
         let mut slot = self.slot.lock();
         if slot.is_some() {
             return false;
@@ -152,21 +284,81 @@ impl RequestState {
         true
     }
 
+    /// Shorthand for failing the request with `err`.
+    #[cfg(test)]
+    pub(crate) fn fail(&self, err: ServeError) -> bool {
+        self.complete(Err(err))
+    }
+
     pub(crate) fn is_cancelled(&self) -> bool {
         self.cancelled.load(Ordering::SeqCst)
     }
+
+    fn wait_take(&self) -> Result<Completion, ServeError> {
+        let mut slot = self.slot.lock();
+        while slot.is_none() {
+            self.done.wait(&mut slot);
+        }
+        slot.take().expect("slot filled")
+    }
+
+    fn wait_take_until(&self, deadline: Instant) -> Option<Result<Completion, ServeError>> {
+        let mut slot = self.slot.lock();
+        loop {
+            if let Some(result) = slot.take() {
+                return Some(result);
+            }
+            let now = Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            self.done.wait_for(&mut slot, deadline - now);
+        }
+    }
+}
+
+/// The work a pending request carries: a matrix to decompose or a vector
+/// to stream through store-resident factors.
+#[derive(Debug)]
+pub(crate) enum Payload {
+    Decompose {
+        /// The request's matrix in the device's native `f32`: cast once
+        /// at admission (halving queued-request memory vs. storing the
+        /// caller's `f64`), then *moved* — never cloned — into the
+        /// accelerator when its batch executes.
+        matrix: Matrix<f32>,
+        shape: (usize, usize),
+        /// When set, the replica truncates and publishes the successful
+        /// factorization into the service's factor store.
+        publish: Option<PublishSpec>,
+    },
+    Apply {
+        /// The input vector in device `f32`.
+        x: Vec<f32>,
+        /// The factor version pinned at admission: the `Arc` keeps it
+        /// alive (and bit-identical) even if a republish or eviction
+        /// replaces it in the store mid-flight, and the replica applies
+        /// it without copying any factor data.
+        factors: Arc<PublishedFactors>,
+        /// The rank actually applied (`<=` the stored rank).
+        rank: usize,
+    },
+}
+
+/// What the batcher coalesces on: decompose batches are shape-uniform
+/// (one accelerator run), apply batches are (model, version)-uniform
+/// (one pinned factor set).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub(crate) enum BatchKey {
+    Decompose { rows: usize, cols: usize },
+    Apply { model: u64, version: u64 },
 }
 
 /// A request travelling through the service internals.
 #[derive(Debug)]
 pub(crate) struct PendingRequest {
     pub(crate) id: RequestId,
-    /// The request's matrix in the device's native `f32`: cast once at
-    /// admission (halving queued-request memory vs. storing the caller's
-    /// `f64`), then *moved* — never cloned — into the accelerator when
-    /// its batch executes.
-    pub(crate) matrix: Matrix<f32>,
-    pub(crate) shape: (usize, usize),
+    pub(crate) payload: Payload,
     pub(crate) state: Arc<RequestState>,
     pub(crate) submitted_at: Instant,
     pub(crate) deadline: Option<Instant>,
@@ -179,6 +371,26 @@ impl PendingRequest {
     pub(crate) fn deadline_elapsed(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now >= d)
     }
+
+    pub(crate) fn batch_key(&self) -> BatchKey {
+        match &self.payload {
+            Payload::Decompose { shape, .. } => BatchKey::Decompose {
+                rows: shape.0,
+                cols: shape.1,
+            },
+            Payload::Apply { factors, .. } => BatchKey::Apply {
+                model: factors.model.0,
+                version: factors.version,
+            },
+        }
+    }
+
+    pub(crate) fn request_type(&self) -> RequestType {
+        match &self.payload {
+            Payload::Decompose { .. } => RequestType::Decompose,
+            Payload::Apply { .. } => RequestType::Apply,
+        }
+    }
 }
 
 #[cfg(test)]
@@ -188,8 +400,8 @@ mod tests {
     #[test]
     fn first_completion_wins() {
         let state = RequestState::new();
-        assert!(state.complete(Err(ServeError::Cancelled)));
-        assert!(!state.complete(Err(ServeError::DeadlineExceeded)));
+        assert!(state.fail(ServeError::Cancelled));
+        assert!(!state.fail(ServeError::DeadlineExceeded));
         // The losing write did not clobber the winner.
         let handle = RequestHandle {
             id: RequestId(1),
@@ -207,7 +419,7 @@ mod tests {
         };
         let writer = std::thread::spawn(move || {
             std::thread::sleep(Duration::from_millis(5));
-            state.complete(Err(ServeError::DeadlineExceeded));
+            state.fail(ServeError::DeadlineExceeded);
         });
         assert_eq!(handle.wait().unwrap_err(), ServeError::DeadlineExceeded);
         writer.join().unwrap();
@@ -225,5 +437,47 @@ mod tests {
             .expect_err("nothing completed it");
         handle.cancel();
         assert!(handle.state.is_cancelled());
+    }
+
+    #[test]
+    fn apply_handle_round_trips_its_response() {
+        let state = RequestState::new();
+        let handle = ApplyHandle {
+            id: RequestId(3),
+            state: Arc::clone(&state),
+        };
+        let response = ApplyResponse {
+            id: RequestId(3),
+            model: ModelId(42),
+            version: 2,
+            rank: 4,
+            y: vec![1.0, 2.0],
+            meta: FactorMeta {
+                rows: 2,
+                cols: 2,
+                rank: 4,
+                tail_sigma: 0.0,
+                retained_energy: 1.0,
+                bytes: 64,
+            },
+            latency: LatencyRecord {
+                queue_wait: Duration::ZERO,
+                batch_linger: Duration::ZERO,
+                sim_exec_ps: 10,
+                batch_size: 1,
+                wall_total: Duration::ZERO,
+            },
+        };
+        assert!(state.complete(Ok(Completion::Apply(response))));
+        let got = handle.wait().unwrap();
+        assert_eq!(got.model, ModelId(42));
+        assert_eq!(got.y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn request_type_names_are_stable() {
+        assert_eq!(RequestType::Decompose.name(), "decompose");
+        assert_eq!(RequestType::Apply.name(), "apply");
+        assert_eq!(RequestType::ALL.len(), 2);
     }
 }

@@ -5,13 +5,15 @@ use crate::config::ServeConfig;
 use crate::error::ServeError;
 use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PopResult, PushError};
-use crate::report::{MetricsReport, ShapeUtilization};
+use crate::report::{CacheReport, MetricsReport, ShapeUtilization};
 use crate::request::{
-    LatencyRecord, PendingRequest, RequestHandle, RequestId, RequestState, SubmitOptions,
-    SvdResponse,
+    ApplyHandle, Completion, LatencyRecord, Payload, PendingRequest, PublishSpec, RequestHandle,
+    RequestId, RequestState, RequestType, SubmitOptions, SvdResponse,
 };
-use heterosvd::obs::{self, Stage, UtilizationReport};
-use heterosvd::{Accelerator, HeteroSvdError};
+use factor_store::{FactorStore, ModelId, PublishedFactors};
+use heterosvd::apply::ApplyShape;
+use heterosvd::obs::{self, ResourceCounts, Stage, UtilizationReport};
+use heterosvd::{Accelerator, ApplyModel, HeteroSvdError};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -25,10 +27,18 @@ use svd_kernels::Matrix;
 ///
 /// Requests enter through a bounded admission queue ([`SvdService::try_submit`]
 /// exerts backpressure with [`ServeError::QueueFull`]), a batcher thread
-/// coalesces same-shape requests into batches, and a pool of accelerator
+/// coalesces compatible requests into batches, and a pool of accelerator
 /// replicas executes each batch via [`Accelerator::run_many`], charging
 /// every request in a batch the Eq. (14) system time
 /// `⌈B / P_task⌉ · t_task`.
+///
+/// Alongside full factorizations the service runs a decompose-once /
+/// apply-constantly path: [`SvdService::try_submit_publish`] truncates a
+/// successful factorization and publishes it into the service's
+/// [`FactorStore`], and [`SvdService::try_submit_apply`] streams a vector
+/// through the store-resident rank-r factors — numerically exact (the
+/// same `f32` arithmetic a direct truncated product performs) and
+/// charged with the modeled Eq. 8–14 apply-pipeline time.
 ///
 /// A replica that panics while serving a batch is contained: the batch's
 /// requests fail with [`ServeError::WorkerPanicked`], the replica thread
@@ -51,6 +61,13 @@ struct Inner {
     replicas_live: AtomicUsize,
     workers: Mutex<Vec<JoinHandle<()>>>,
     shutting_down: AtomicBool,
+    /// Truncated factors published by decompose requests and served by
+    /// apply requests; apply admission pins the current version.
+    store: FactorStore,
+    /// Timing model of the rank-r apply pipeline, sharing the replicas'
+    /// calibration and PL frequency so modeled apply and decompose times
+    /// are directly comparable.
+    apply_model: ApplyModel,
     /// Per-shape resource utilization, merged across every batch each
     /// replica completes (empty with observability off).
     utilization: Mutex<HashMap<(usize, usize), UtilizationReport>>,
@@ -66,7 +83,8 @@ struct Inner {
 
 impl Inner {
     /// Builds one exportable observability capture: metrics snapshot +
-    /// per-shape utilization + global span-journal summary.
+    /// per-shape utilization + cache/store counters + global
+    /// span-journal summary.
     fn metrics_report(&self) -> MetricsReport {
         let snapshot = self.metrics.snapshot(
             self.admission.len(),
@@ -86,6 +104,11 @@ impl Inner {
         MetricsReport {
             snapshot,
             utilization,
+            caches: CacheReport {
+                plan: heterosvd::plan_cache::global().stats(),
+                apply_profiles: heterosvd::apply::global_profiles().stats(),
+                factor_store: self.store.stats(),
+            },
             journal: obs::global().summary(),
         }
     }
@@ -117,6 +140,16 @@ impl SvdService {
     /// [`ServeError::InvalidRequest`] when the configuration is invalid.
     pub fn start(config: ServeConfig) -> Result<Self, ServeError> {
         config.validate()?;
+        // The apply timing model shares the calibration and PL frequency
+        // of the replicas' accelerator config (built at the minimal
+        // admissible shape; the knobs are shape-independent).
+        let unit = config.min_cols();
+        let apply_model = ApplyModel::from_config(
+            &config
+                .accelerator_config((unit, unit))
+                .map_err(ServeError::from)?,
+        )
+        .map_err(ServeError::from)?;
         let inner = Arc::new(Inner {
             admission: BoundedQueue::new(config.queue_capacity),
             dispatch: BoundedQueue::new(config.workers.max(1) * 2),
@@ -125,6 +158,8 @@ impl SvdService {
             replicas_live: AtomicUsize::new(0),
             workers: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
+            store: FactorStore::new(config.factor_store_bytes),
+            apply_model,
             utilization: Mutex::new(HashMap::new()),
             latest_scrape: Mutex::new(None),
             scraper_stop: Mutex::new(false),
@@ -177,19 +212,144 @@ impl SvdService {
         matrix: Matrix<f64>,
         options: SubmitOptions,
     ) -> Result<RequestHandle, ServeError> {
-        self.submit_pending(matrix, options, false)
+        self.submit_decompose(matrix, None, options, false)
+    }
+
+    /// Submits `matrix` for decomposition and — on success — truncates
+    /// the factorization to `rank` and publishes it as the next version
+    /// of `model` in the service's factor store, where
+    /// [`SvdService::try_submit_apply`] can serve it.
+    ///
+    /// # Errors
+    ///
+    /// As [`SvdService::try_submit_with`], plus
+    /// [`ServeError::InvalidRequest`] when `rank` is outside
+    /// `1..=cols`.
+    pub fn try_submit_publish(
+        &self,
+        model: ModelId,
+        matrix: Matrix<f64>,
+        rank: usize,
+    ) -> Result<RequestHandle, ServeError> {
+        self.try_submit_publish_with(model, matrix, rank, SubmitOptions::default())
+    }
+
+    /// [`SvdService::try_submit_publish`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`SvdService::try_submit_publish`].
+    pub fn try_submit_publish_with(
+        &self,
+        model: ModelId,
+        matrix: Matrix<f64>,
+        rank: usize,
+        options: SubmitOptions,
+    ) -> Result<RequestHandle, ServeError> {
+        if rank == 0 || rank > matrix.cols() {
+            self.inner
+                .metrics
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::InvalidRequest(format!(
+                "publish rank {rank} outside 1..={}",
+                matrix.cols()
+            )));
+        }
+        self.submit_decompose(matrix, Some(PublishSpec { model, rank }), options, false)
+    }
+
+    /// Submits a rank-r apply `y = U_r·Σ_r·V_rᵀ·x` against the factors
+    /// of `model` with the service's default options. The current factor
+    /// version is pinned at admission: a republish or eviction racing
+    /// the request cannot change (or free) the factors it applies.
+    ///
+    /// `rank_hint` caps the applied rank; `None` applies the full stored
+    /// rank. The served result is bit-identical to the direct truncated
+    /// product at the same rank.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidRequest`] — no published factors for
+    ///   `model`, the length of `x` does not match, or the rank hint is
+    ///   outside `1..=stored_rank`.
+    /// * [`ServeError::QueueFull`] / [`ServeError::ShuttingDown`] — as
+    ///   for decompose submission.
+    pub fn try_submit_apply(
+        &self,
+        model: ModelId,
+        x: &[f64],
+        rank_hint: Option<usize>,
+    ) -> Result<ApplyHandle, ServeError> {
+        self.try_submit_apply_with(model, x, rank_hint, SubmitOptions::default())
+    }
+
+    /// [`SvdService::try_submit_apply`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// See [`SvdService::try_submit_apply`].
+    pub fn try_submit_apply_with(
+        &self,
+        model: ModelId,
+        x: &[f64],
+        rank_hint: Option<usize>,
+        options: SubmitOptions,
+    ) -> Result<ApplyHandle, ServeError> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let reject = |msg: String| {
+            inner
+                .metrics
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            Err(ServeError::InvalidRequest(msg))
+        };
+        let Some(factors) = inner.store.get(model) else {
+            return reject(format!("{model} has no published factors"));
+        };
+        if x.len() != factors.meta.cols {
+            return reject(format!(
+                "input length {} does not match {model} cols {}",
+                x.len(),
+                factors.meta.cols
+            ));
+        }
+        let rank = rank_hint.unwrap_or(factors.meta.rank);
+        if rank == 0 || rank > factors.meta.rank {
+            return reject(format!(
+                "rank hint {rank} outside 1..={} stored for {model}",
+                factors.meta.rank
+            ));
+        }
+        let payload = Payload::Apply {
+            // Cast to the device's native f32 once, at admission.
+            x: x.iter().map(|&v| v as f32).collect(),
+            factors,
+            rank,
+        };
+        let (id, state) = self.admit(payload, options, false)?;
+        Ok(ApplyHandle { id, state })
     }
 
     /// Chaos/test hook: admits a request whose replica panics instead of
     /// executing it, exercising the containment and replacement path.
     #[doc(hidden)]
     pub fn try_submit_poison(&self, rows: usize, cols: usize) -> Result<RequestHandle, ServeError> {
-        self.submit_pending(Matrix::zeros(rows, cols), SubmitOptions::default(), true)
+        self.submit_decompose(
+            Matrix::zeros(rows, cols),
+            None,
+            SubmitOptions::default(),
+            true,
+        )
     }
 
-    fn submit_pending(
+    fn submit_decompose(
         &self,
         matrix: Matrix<f64>,
+        publish: Option<PublishSpec>,
         options: SubmitOptions,
         poison: bool,
     ) -> Result<RequestHandle, ServeError> {
@@ -204,17 +364,38 @@ impl SvdService {
                 .fetch_add(1, Ordering::Relaxed);
             return Err(e);
         }
+        let payload = Payload::Decompose {
+            shape: (matrix.rows(), matrix.cols()),
+            // Cast to the device's native f32 once, here: the request
+            // queues at half the memory and the replica moves the data
+            // straight into the accelerator with no further conversion.
+            matrix: matrix.cast::<f32>(),
+            publish,
+        };
+        let (id, state) = self.admit(payload, options, poison)?;
+        Ok(RequestHandle { id, state })
+    }
+
+    /// Common admission tail: assigns an id, stamps the deadline, and
+    /// pushes onto the bounded queue.
+    fn admit(
+        &self,
+        payload: Payload,
+        options: SubmitOptions,
+        poison: bool,
+    ) -> Result<(RequestId, Arc<RequestState>), ServeError> {
+        let inner = &self.inner;
+        let rtype = match &payload {
+            Payload::Decompose { .. } => RequestType::Decompose,
+            Payload::Apply { .. } => RequestType::Apply,
+        };
         let submitted_at = Instant::now();
         let timeout = options.timeout.or(inner.config.default_timeout);
         let id = RequestId(inner.next_id.fetch_add(1, Ordering::Relaxed));
         let state = RequestState::new();
         let request = PendingRequest {
             id,
-            shape: (matrix.rows(), matrix.cols()),
-            // Cast to the device's native f32 once, here: the request
-            // queues at half the memory and the replica moves the data
-            // straight into the accelerator with no further conversion.
-            matrix: matrix.cast::<f32>(),
+            payload,
             state: Arc::clone(&state),
             submitted_at,
             deadline: timeout.map(|t| submitted_at + t),
@@ -222,11 +403,11 @@ impl SvdService {
         };
         match inner.admission.try_push(request) {
             Ok(()) => {
-                inner.metrics.submitted.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.record_submitted(rtype);
                 if inner.config.observability {
                     obs::global().record(Stage::Admit, Some(id.0), submitted_at.elapsed(), None);
                 }
-                Ok(RequestHandle { id, state })
+                Ok((id, state))
             }
             Err(PushError::Full(_)) => {
                 inner.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
@@ -236,6 +417,12 @@ impl SvdService {
             }
             Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
         }
+    }
+
+    /// The service's factor store: published truncated factors and
+    /// their hit/miss/eviction counters.
+    pub fn store(&self) -> &FactorStore {
+        &self.inner.store
     }
 
     /// A point-in-time view of the service's counters and latency
@@ -254,7 +441,8 @@ impl SvdService {
 
     /// One exportable observability capture: the metrics snapshot,
     /// per-shape resource utilization merged across every completed
-    /// batch, and the global span-journal summary. Render it with
+    /// batch, plan/profile-cache and factor-store counters, and the
+    /// global span-journal summary. Render it with
     /// [`MetricsReport::to_json`] or [`MetricsReport::to_prometheus`].
     pub fn metrics_report(&self) -> MetricsReport {
         self.inner.metrics_report()
@@ -382,11 +570,8 @@ fn fail_batch(inner: &Inner, batch: &Batch, err: &ServeError) {
     }
 }
 
-/// Runs one shape-uniform batch on this replica's accelerator, charging
-/// each request the shared Eq. (14) system time. Takes the batch
-/// mutably: each live request's matrix is *moved* into the accelerator
-/// (zero-copy) while the entry itself stays behind for completion
-/// bookkeeping — and for [`fail_batch`] should this replica panic.
+/// Runs one batch on this replica: last-moment lifecycle checks, then
+/// the decompose or apply execution path for the batch's key.
 fn execute_batch(
     inner: &Inner,
     accelerators: &mut HashMap<(usize, usize), Accelerator>,
@@ -394,13 +579,13 @@ fn execute_batch(
     exec_started: Instant,
 ) {
     // Last-moment lifecycle checks: cancelled or expired requests are
-    // completed here and excluded from the accelerator run.
+    // completed here and excluded from the run.
     let now = Instant::now();
     let mut live: Vec<usize> = Vec::with_capacity(batch.entries.len());
     for (idx, entry) in batch.entries.iter().enumerate() {
         if entry.request.state.is_cancelled() {
             if entry.request.state.complete(Err(ServeError::Cancelled)) {
-                inner.metrics.cancelled.fetch_add(1, Ordering::Relaxed);
+                inner.metrics.record_cancelled();
             }
         } else if entry.request.deadline_elapsed(now) {
             // Second drop point, distinct from the batcher's pickup
@@ -412,7 +597,9 @@ fn execute_batch(
                 .state
                 .complete(Err(ServeError::DeadlineExceeded))
             {
-                inner.metrics.timed_out_exec.fetch_add(1, Ordering::Relaxed);
+                inner
+                    .metrics
+                    .record_timed_out_exec(entry.request.request_type());
             }
         } else {
             live.push(idx);
@@ -432,11 +619,43 @@ fn execute_batch(
         .metrics
         .batches_dispatched
         .fetch_add(1, Ordering::Relaxed);
-    let accelerator = match cached_accelerator(accelerators, inner, batch.shape) {
+    match batch.key {
+        crate::request::BatchKey::Decompose { rows, cols } => {
+            execute_decompose(
+                inner,
+                accelerators,
+                batch,
+                &live,
+                exec_started,
+                (rows, cols),
+            );
+        }
+        crate::request::BatchKey::Apply { .. } => {
+            execute_apply(inner, batch, &live, exec_started);
+        }
+    }
+}
+
+/// Runs one shape-uniform decompose batch on this replica's accelerator,
+/// charging each request the shared Eq. (14) system time. Each live
+/// request's matrix is *moved* into the accelerator (zero-copy) — except
+/// a publish request's, which is cloned first because truncation may
+/// need the original to recover `V` — while the entry itself stays
+/// behind for completion bookkeeping and for [`fail_batch`] should this
+/// replica panic.
+fn execute_decompose(
+    inner: &Inner,
+    accelerators: &mut HashMap<(usize, usize), Accelerator>,
+    batch: &mut Batch,
+    live: &[usize],
+    exec_started: Instant,
+    shape: (usize, usize),
+) {
+    let accelerator = match cached_accelerator(accelerators, inner, shape) {
         Ok(a) => a,
         Err(e) => {
             let err = ServeError::from(e);
-            for &i in &live {
+            for &i in live {
                 if batch.entries[i].request.state.complete(Err(err.clone())) {
                     inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 }
@@ -447,11 +666,22 @@ fn execute_batch(
 
     // Move each matrix out of its entry instead of cloning it (the old
     // path copied rows × cols × 8 bytes per request per batch). The
-    // empty placeholder does not allocate.
-    let matrices: Vec<Matrix<f32>> = live
-        .iter()
-        .map(|&i| std::mem::replace(&mut batch.entries[i].request.matrix, Matrix::zeros(0, 0)))
-        .collect();
+    // empty placeholder does not allocate. Publish requests keep a copy
+    // of the original: `SvdResult::truncate` recovers V from it.
+    let mut matrices: Vec<Matrix<f32>> = Vec::with_capacity(live.len());
+    let mut publishes: Vec<Option<(PublishSpec, Matrix<f32>)>> = Vec::with_capacity(live.len());
+    for &i in live {
+        match &mut batch.entries[i].request.payload {
+            Payload::Decompose {
+                matrix, publish, ..
+            } => {
+                let m = std::mem::replace(matrix, Matrix::zeros(0, 0));
+                publishes.push(publish.map(|spec| (spec, m.clone())));
+                matrices.push(m);
+            }
+            Payload::Apply { .. } => unreachable!("apply request in a decompose batch"),
+        }
+    }
     match accelerator.run_many_f32(matrices) {
         Ok((outputs, system_time)) => {
             if inner.config.observability {
@@ -474,17 +704,29 @@ fn execute_batch(
                     }
                 }
                 if let Some(util) = batch_util {
-                    let mut shapes = inner.utilization.lock();
-                    match shapes.get_mut(&batch.shape) {
-                        Some(acc) => acc.merge(&util),
-                        None => {
-                            shapes.insert(batch.shape, util);
-                        }
-                    }
+                    merge_shape_utilization(inner, shape, util);
                 }
             }
-            for (&i, output) in live.iter().zip(outputs) {
+            for ((&i, output), publish) in live.iter().zip(outputs).zip(publishes) {
                 let entry = &batch.entries[i];
+                // Publish before completing the handle so a caller that
+                // waits on the publish handle observes the new version.
+                let mut publish_err = None;
+                if let Some((spec, original)) = publish {
+                    match output.result.truncate(&original, spec.rank) {
+                        Ok(truncated) => {
+                            inner.store.publish(spec.model, truncated);
+                        }
+                        Err(e) => publish_err = Some(e),
+                    }
+                }
+                if let Some(e) = publish_err {
+                    let err = ServeError::from(HeteroSvdError::Numeric(e));
+                    if entry.request.state.complete(Err(err)) {
+                        inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    }
+                    continue;
+                }
                 let latency = LatencyRecord {
                     queue_wait: entry
                         .picked_at
@@ -499,19 +741,138 @@ fn execute_batch(
                     output,
                     latency,
                 };
-                if entry.request.state.complete(Ok(response)) {
-                    inner.metrics.completed_ok.fetch_add(1, Ordering::Relaxed);
-                    inner.metrics.record_latency(&latency);
+                if entry.request.state.complete(Ok(Completion::Svd(response))) {
+                    inner.metrics.record_completed(RequestType::Decompose);
+                    inner
+                        .metrics
+                        .record_latency(&latency, RequestType::Decompose);
                 }
             }
         }
         Err(e) => {
             let err = ServeError::from(e);
-            for &i in &live {
+            for &i in live {
                 if batch.entries[i].request.state.complete(Err(err.clone())) {
                     inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
                 }
             }
+        }
+    }
+}
+
+/// Runs one (model, version)-uniform apply batch directly against the
+/// pinned store-resident factors: the numeric work is the exact rank-r
+/// product (no accelerator involvement, no factor copies), and every
+/// request is charged the modeled Eq. 8–14 apply-pipeline system time
+/// `⌈B / P_task⌉ · max_entry(t_apply)` from the replayed profile cache.
+fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started: Instant) {
+    let factors: Arc<PublishedFactors> = match &batch.entries[live[0]].request.payload {
+        Payload::Apply { factors, .. } => Arc::clone(factors),
+        Payload::Decompose { .. } => unreachable!("decompose request in an apply batch"),
+    };
+    let meta = factors.meta;
+
+    // First pass: modeled timing (replayed after the first probe per
+    // (shape, rank)) and the exact rank-r products.
+    let mut worst_timing: Option<heterosvd::ApplyTiming> = None;
+    let mut batch_util: Option<UtilizationReport> = None;
+    let mut results: Vec<Option<(usize, Vec<f32>)>> = Vec::with_capacity(live.len());
+    for &i in live {
+        let (x, rank) = match &batch.entries[i].request.payload {
+            Payload::Apply { x, rank, .. } => (x, *rank),
+            Payload::Decompose { .. } => unreachable!("decompose request in an apply batch"),
+        };
+        let outcome = ApplyShape::new(meta.rows, meta.cols, rank)
+            .map_err(ServeError::from)
+            .and_then(|shape| {
+                let profile =
+                    heterosvd::apply::global_profiles().get_or_probe(&inner.apply_model, shape);
+                if worst_timing.is_none_or(|t| profile.timing.total > t.total) {
+                    worst_timing = Some(profile.timing);
+                }
+                if inner.config.observability {
+                    let util = UtilizationReport::from_stats(
+                        &profile.stats,
+                        ResourceCounts {
+                            plio_ports: 2,
+                            aie_cores: inner.apply_model.engine_parallelism(),
+                            dma_channels: 0,
+                            ddr_controllers: 0,
+                        },
+                    );
+                    match batch_util.as_mut() {
+                        Some(acc) => acc.merge(&util),
+                        None => batch_util = Some(util),
+                    }
+                }
+                factors
+                    .factors
+                    .apply_rank(x, rank)
+                    .map_err(|e| ServeError::from(HeteroSvdError::Numeric(e)))
+            });
+        match outcome {
+            Ok(y) => results.push(Some((rank, y))),
+            Err(err) => {
+                if batch.entries[i].request.state.complete(Err(err)) {
+                    inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                }
+                results.push(None);
+            }
+        }
+    }
+
+    // Eq. 14 over the batch: the slowest entry's apply time paces each
+    // wave of P_task concurrent applies.
+    let system =
+        worst_timing.map(|t| t.system_time(live.len(), inner.apply_model.task_parallelism()));
+    let system_ps = system.map_or(0, |t| t.0);
+    if inner.config.observability {
+        obs::global().record(Stage::Apply, None, exec_started.elapsed(), system);
+        if let Some(util) = batch_util {
+            merge_shape_utilization(inner, (meta.rows, meta.cols), util);
+        }
+    }
+
+    // Second pass: complete with the shared batch system time.
+    for (&i, result) in live.iter().zip(results) {
+        let Some((rank, y)) = result else { continue };
+        let entry = &batch.entries[i];
+        let latency = LatencyRecord {
+            queue_wait: entry
+                .picked_at
+                .saturating_duration_since(entry.request.submitted_at),
+            batch_linger: exec_started.saturating_duration_since(entry.picked_at),
+            sim_exec_ps: system_ps,
+            batch_size: live.len(),
+            wall_total: entry.request.submitted_at.elapsed(),
+        };
+        let response = crate::request::ApplyResponse {
+            id: entry.request.id,
+            model: factors.model,
+            version: factors.version,
+            rank,
+            y,
+            meta,
+            latency,
+        };
+        if entry
+            .request
+            .state
+            .complete(Ok(Completion::Apply(response)))
+        {
+            inner.metrics.record_completed(RequestType::Apply);
+            inner.metrics.record_latency(&latency, RequestType::Apply);
+        }
+    }
+}
+
+/// Merges `util` into the per-shape aggregate under `shape`.
+fn merge_shape_utilization(inner: &Inner, shape: (usize, usize), util: UtilizationReport) {
+    let mut shapes = inner.utilization.lock();
+    match shapes.get_mut(&shape) {
+        Some(acc) => acc.merge(&util),
+        None => {
+            shapes.insert(shape, util);
         }
     }
 }
@@ -583,6 +944,10 @@ mod tests {
         service.shutdown();
         let err = service.try_submit(test_matrix(8, 8, 0)).unwrap_err();
         assert_eq!(err, ServeError::ShuttingDown);
+        let err = service
+            .try_submit_apply(ModelId(0), &[0.0; 8], None)
+            .unwrap_err();
+        assert_eq!(err, ServeError::ShuttingDown);
     }
 
     #[test]
@@ -649,6 +1014,101 @@ mod tests {
         assert_eq!(m.timed_out, 1);
         assert_eq!(m.timed_out_at_exec, 1);
         assert_eq!(m.timed_out_at_batcher, 0);
+        assert_eq!(m.per_type.decompose.timed_out_at_exec, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn publish_then_apply_round_trip_is_bit_identical() {
+        let service = SvdService::start(quick_config()).unwrap();
+        let a = test_matrix(8, 8, 5);
+        let model = ModelId(1);
+        service
+            .try_submit_publish(model, a.clone(), 4)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(service.store().version_of(model), Some(1));
+
+        let x: Vec<f64> = (0..8).map(|i| i as f64 / 3.0 - 1.0).collect();
+        let response = service
+            .try_submit_apply(model, &x, None)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(response.model, model);
+        assert_eq!(response.version, 1);
+        assert_eq!(response.rank, 4);
+        assert!(response.latency.sim_exec_ps > 0);
+        assert!(response.meta.retained_energy > 0.0);
+
+        // Bit-identical to the direct truncated product at the same rank.
+        let pinned = service.store().get(model).unwrap();
+        let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+        let expect = pinned.factors.apply_rank(&xf, 4).unwrap();
+        assert_eq!(response.y, expect);
+
+        let m = service.metrics();
+        assert_eq!(m.per_type.apply.completed_ok, 1);
+        assert_eq!(m.per_type.decompose.completed_ok, 1);
+        assert_eq!(m.per_type.apply.submitted, 1);
+        assert!(m.per_type.apply.sim_exec_ps.p50 > 0);
+        service.shutdown();
+    }
+
+    #[test]
+    fn rank_hint_caps_the_applied_rank() {
+        let service = SvdService::start(quick_config()).unwrap();
+        let model = ModelId(9);
+        service
+            .try_submit_publish(model, test_matrix(8, 8, 6), 6)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let x = vec![0.5; 8];
+        let response = service
+            .try_submit_apply(model, &x, Some(2))
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(response.rank, 2);
+        // A rank-2 apply must equal the rank-2 prefix of the factors.
+        let pinned = service.store().get(model).unwrap();
+        let expect = pinned.factors.apply_rank(&[0.5f32; 8], 2).unwrap();
+        assert_eq!(response.y, expect);
+        service.shutdown();
+    }
+
+    #[test]
+    fn apply_validation_rejects_bad_requests() {
+        let service = SvdService::start(quick_config()).unwrap();
+        // Unknown model.
+        let err = service
+            .try_submit_apply(ModelId(404), &[0.0; 8], None)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+        // Publish, then bad vector length and bad rank hints.
+        let model = ModelId(2);
+        service
+            .try_submit_publish(model, test_matrix(8, 8, 7), 4)
+            .unwrap()
+            .wait()
+            .unwrap();
+        for (x_len, hint) in [(7, None), (8, Some(0)), (8, Some(5))] {
+            let err = service
+                .try_submit_apply(model, &vec![0.0; x_len], hint)
+                .unwrap_err();
+            assert!(
+                matches!(err, ServeError::InvalidRequest(_)),
+                "{x_len} {hint:?}"
+            );
+        }
+        // Publish rank outside 1..=cols.
+        let err = service
+            .try_submit_publish(ModelId(3), test_matrix(8, 8, 8), 9)
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+        assert_eq!(service.metrics().rejected_invalid, 5);
         service.shutdown();
     }
 
@@ -685,6 +1145,39 @@ mod tests {
         assert!(report
             .to_prometheus()
             .contains("hsvd_critical_resource{shape=\"8x8\""));
+        service.shutdown();
+    }
+
+    #[test]
+    fn report_exports_cache_and_store_counters() {
+        let service = SvdService::start(quick_config()).unwrap();
+        let model = ModelId(77);
+        service
+            .try_submit_publish(model, test_matrix(8, 8, 12), 3)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let x = vec![1.0; 8];
+        for _ in 0..3 {
+            service
+                .try_submit_apply(model, &x, None)
+                .unwrap()
+                .wait()
+                .unwrap();
+        }
+        let report = service.metrics_report();
+        assert_eq!(report.caches.factor_store.publishes, 1);
+        assert!(report.caches.factor_store.hits >= 3);
+        assert_eq!(report.caches.factor_store.resident_models, 1);
+        // The plan cache served the decompose; the profile cache saw the
+        // applies (global counters — lower-bound only).
+        assert!(report.caches.plan.hits + report.caches.plan.misses >= 1);
+        assert!(report.caches.apply_profiles.hits + report.caches.apply_profiles.misses >= 3);
+        let prom = report.to_prometheus();
+        assert!(prom.contains("hsvd_factor_store_hits_total"));
+        assert!(prom.contains("hsvd_plan_cache_hits_total"));
+        assert!(prom.contains("hsvd_apply_profile_cache_hits_total"));
+        assert!(prom.contains("type=\"apply\""));
         service.shutdown();
     }
 

@@ -1,0 +1,164 @@
+//! Acceptance tests for the decompose-once / apply-constantly path:
+//! the store-served rank-r product must be *bit-identical* to the
+//! direct truncated product computed from the same resident factors,
+//! across a sweep of (n, r) design points, and the modeled apply
+//! timing must be replay-invariant (the profile cache returns the same
+//! Eq. 8–14 charge for every repeat of a shape).
+
+use heterosvd_serve::{ModelId, ServeConfig, SvdService};
+use std::time::Duration;
+use svd_kernels::Matrix;
+
+fn well_conditioned(n: usize, salt: u64) -> Matrix<f64> {
+    Matrix::from_fn(n, n, |r, c| {
+        ((r as u64 * 29 + c as u64 * 11 + salt * 7) % 13) as f64 / 3.0
+            + if r == c { 5.0 } else { 0.0 }
+    })
+}
+
+fn probe(n: usize, salt: u64) -> Vec<f64> {
+    (0..n)
+        .map(|i| ((i as u64 * 13 + salt * 5 + 1) % 17) as f64 / 4.0 - 2.0)
+        .collect()
+}
+
+fn service() -> SvdService {
+    SvdService::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_linger: Duration::from_micros(200),
+        ..ServeConfig::default()
+    })
+    .unwrap()
+}
+
+/// The headline bit-identity sweep: for every (n, r) design point,
+/// publish rank-r factors of an n×n matrix and check the served `y`
+/// against `TruncatedSvd::apply_rank` evaluated directly on the
+/// store-resident factors — `assert_eq!` on the raw f32 vectors, no
+/// tolerance.
+#[test]
+fn served_apply_is_bit_identical_across_n_r_sweep() {
+    let service = service();
+    let mut points = 0u64;
+    for (i, &n) in [8usize, 16, 24, 32].iter().enumerate() {
+        let model = ModelId(100 + i as u64);
+        // Publish at the largest rank of the sweep so one decompose
+        // serves every smaller rank via the rank hint.
+        let full = n / 2;
+        service
+            .try_submit_publish(model, well_conditioned(n, i as u64), full)
+            .unwrap()
+            .wait()
+            .expect("publish decompose must converge");
+        let pinned = service.store().get(model).expect("factors just published");
+        assert_eq!(pinned.version, 1);
+        assert_eq!(pinned.meta.rank, full);
+
+        let mut ranks = vec![1, 2, full / 2, full];
+        ranks.dedup();
+        for rank in ranks {
+            let x = probe(n, rank as u64);
+            // The admission path casts the caller's f64 probe to f32
+            // once; the reference must see the same f32 input.
+            let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+            let direct = pinned.factors.apply_rank(&xf, rank).unwrap();
+            let response = service
+                .try_submit_apply(model, &x, Some(rank))
+                .unwrap()
+                .wait()
+                .expect("apply must complete");
+            assert_eq!(response.model, model);
+            assert_eq!(response.version, 1);
+            assert_eq!(response.rank, rank);
+            assert_eq!(
+                response.y, direct,
+                "served y diverged from the direct truncated product at n={n} r={rank}"
+            );
+            points += 1;
+        }
+    }
+    assert!(points >= 12, "sweep degenerated to {points} design points");
+
+    // Shutdown joins the workers, so the counters below are final.
+    service.shutdown();
+    let m = service.metrics();
+    assert_eq!(m.per_type.apply.completed_ok, points);
+    assert_eq!(m.per_type.decompose.completed_ok, 4);
+}
+
+/// Replay invariance of the modeled apply timing: repeats of the same
+/// (shape, rank) apply are charged exactly the same `sim_exec_ps` —
+/// the first request probes the pipeline model, every later one
+/// replays the cached profile.
+#[test]
+fn modeled_apply_timing_is_replay_invariant() {
+    let service = service();
+    let model = ModelId(7001);
+    service
+        .try_submit_publish(model, well_conditioned(16, 3), 6)
+        .unwrap()
+        .wait()
+        .expect("publish decompose must converge");
+
+    let x = probe(16, 9);
+    let mut charges = Vec::new();
+    let mut outputs = Vec::new();
+    for _ in 0..5 {
+        // One at a time: every request forms a singleton batch, so the
+        // Eq. 14 system time has the same batch factor each round.
+        let response = service
+            .try_submit_apply(model, &x, None)
+            .unwrap()
+            .wait()
+            .expect("apply must complete");
+        charges.push(response.latency.sim_exec_ps);
+        outputs.push(response.y);
+    }
+    assert!(charges[0] > 0, "apply pipeline charged zero modeled time");
+    assert!(
+        charges.iter().all(|&c| c == charges[0]),
+        "modeled apply timing drifted across replays: {charges:?}"
+    );
+    assert!(
+        outputs.iter().all(|y| *y == outputs[0]),
+        "served results drifted across replays"
+    );
+    service.shutdown();
+}
+
+/// Version pinning: a republish bumps the served version, and applies
+/// admitted after the bump are served by the new factors while the old
+/// `Arc` stays valid for anything still holding it.
+#[test]
+fn republish_bumps_version_and_serves_new_factors() {
+    let service = service();
+    let model = ModelId(42);
+    service
+        .try_submit_publish(model, well_conditioned(8, 1), 4)
+        .unwrap()
+        .wait()
+        .expect("publish v1 must converge");
+    let v1 = service.store().get(model).unwrap();
+
+    service
+        .try_submit_publish(model, well_conditioned(8, 2), 3)
+        .unwrap()
+        .wait()
+        .expect("publish v2 must converge");
+
+    let x = probe(8, 4);
+    let response = service
+        .try_submit_apply(model, &x, None)
+        .unwrap()
+        .wait()
+        .expect("apply must complete");
+    assert_eq!(response.version, 2);
+    assert_eq!(response.rank, 3);
+
+    // The superseded version is unchanged and still applies cleanly.
+    assert_eq!(v1.version, 1);
+    let xf: Vec<f32> = x.iter().map(|&v| v as f32).collect();
+    v1.factors.apply_rank(&xf, 4).unwrap();
+    service.shutdown();
+}

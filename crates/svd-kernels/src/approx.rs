@@ -11,6 +11,182 @@ use crate::matrix::Matrix;
 use crate::scalar::Real;
 use crate::SvdError;
 
+/// The rank-`r` truncation of an SVD: `U_r` (m×r), `Σ_r` (descending),
+/// and `V_r` (n×r), plus the accuracy metadata the Eckart–Young theorem
+/// attaches to the cut — the retained-energy fraction
+/// `Σ_{i≤r} σᵢ² / Σ σᵢ²` and the tail singular value `σ_{r+1}` (the
+/// spectral-norm error of the truncation; zero at full rank).
+///
+/// This is the unit a factor store serves: applying it to a vector
+/// computes `y = U_r·Σ_r·V_rᵀ·x` without ever materializing the rank-r
+/// matrix, in `O((m + n)·r)` flops instead of `O(m·n)`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TruncatedSvd<T> {
+    /// Left singular vectors, one column per retained component (m×r).
+    pub u: Matrix<T>,
+    /// Retained singular values, sorted descending (length r).
+    pub sigma: Vec<T>,
+    /// Right singular vectors, one column per retained component (n×r).
+    pub v: Matrix<T>,
+    /// The first discarded singular value `σ_{r+1}` — the Eckart–Young
+    /// spectral-norm error bound. Zero when nothing was discarded.
+    pub tail_sigma: T,
+    /// Fraction of the squared Frobenius energy the truncation keeps:
+    /// `Σ_{i≤r} σᵢ² / Σ σᵢ²` (1.0 for a zero matrix).
+    pub retained_energy: f64,
+}
+
+impl<T: Real> TruncatedSvd<T> {
+    /// Number of retained components.
+    pub fn rank(&self) -> usize {
+        self.sigma.len()
+    }
+
+    /// Row count `m` of the matrix the factors approximate.
+    pub fn rows(&self) -> usize {
+        self.u.rows()
+    }
+
+    /// Column count `n` of the matrix the factors approximate.
+    pub fn cols(&self) -> usize {
+        self.v.rows()
+    }
+
+    /// Approximate resident size of the factors in bytes (the payload a
+    /// byte-budgeted store should charge for them).
+    pub fn approx_bytes(&self) -> usize {
+        let elem = std::mem::size_of::<T>();
+        (self.u.rows() * self.u.cols() + self.v.rows() * self.v.cols() + self.sigma.len()) * elem
+    }
+
+    /// Applies the full retained rank: `y = U_r·Σ_r·V_rᵀ·x`.
+    ///
+    /// # Errors
+    ///
+    /// See [`TruncatedSvd::apply_rank`].
+    pub fn apply(&self, x: &[T]) -> Result<Vec<T>, SvdError> {
+        self.apply_rank(x, self.rank())
+    }
+
+    /// Applies the leading `rank ≤ r` components: `y = U_k·Σ_k·V_kᵀ·x`
+    /// over the `rank` largest singular values.
+    ///
+    /// The evaluation order is fixed — `t = Vᵀx` (per-component dot
+    /// products in ascending component order), `s = Σ·t`, then
+    /// `y = Σⱼ sⱼ·uⱼ` accumulated component by component — so the result
+    /// is bit-identical across calls, stores, and serving replicas.
+    ///
+    /// # Errors
+    ///
+    /// * [`SvdError::DimensionMismatch`] — `x.len() != n`.
+    /// * [`SvdError::InvalidParameter`] — `rank` is zero or exceeds the
+    ///   retained rank.
+    pub fn apply_rank(&self, x: &[T], rank: usize) -> Result<Vec<T>, SvdError> {
+        if x.len() != self.cols() {
+            return Err(SvdError::DimensionMismatch(format!(
+                "input has {} elements but the factors expect {}",
+                x.len(),
+                self.cols()
+            )));
+        }
+        if rank == 0 || rank > self.rank() {
+            return Err(SvdError::InvalidParameter(format!(
+                "apply rank {rank} outside 1..={}",
+                self.rank()
+            )));
+        }
+        let mut y = vec![T::ZERO; self.rows()];
+        for j in 0..rank {
+            let t: T = self
+                .v
+                .col(j)
+                .iter()
+                .zip(x.iter())
+                .map(|(&vj, &xi)| vj * xi)
+                .sum();
+            let s = self.sigma[j] * t;
+            if s == T::ZERO {
+                continue;
+            }
+            for (slot, &uj) in y.iter_mut().zip(self.u.col(j).iter()) {
+                *slot += s * uj;
+            }
+        }
+        Ok(y)
+    }
+
+    /// Materializes the rank-r approximation `A_r = U_r·Σ_r·V_rᵀ`
+    /// (diagnostics / tests; serving should use [`TruncatedSvd::apply`]).
+    pub fn reconstruct(&self) -> Matrix<T> {
+        let (m, n) = (self.rows(), self.cols());
+        let mut a = Matrix::zeros(m, n);
+        for j in 0..self.rank() {
+            let sigma = self.sigma[j];
+            if sigma <= T::ZERO {
+                continue;
+            }
+            for c in 0..n {
+                let w = sigma * self.v[(c, j)];
+                if w == T::ZERO {
+                    continue;
+                }
+                let col = a.col_mut(c);
+                for (slot, &ur) in col.iter_mut().zip(self.u.col(j).iter()) {
+                    *slot += ur * w;
+                }
+            }
+        }
+        a
+    }
+}
+
+impl<T: Real> SvdResult<T> {
+    /// Cuts this factorization to its `rank` largest components,
+    /// recovering `V` from `a` when the solver did not accumulate it
+    /// (the accelerator never does — see [`SvdResult::recover_v`]).
+    ///
+    /// # Errors
+    ///
+    /// * [`SvdError::InvalidParameter`] — `rank` is zero or exceeds the
+    ///   number of singular values.
+    /// * [`SvdError::DimensionMismatch`] — from [`SvdResult::recover_v`].
+    pub fn truncate(&self, a: &Matrix<T>, rank: usize) -> Result<TruncatedSvd<T>, SvdError> {
+        if rank == 0 || rank > self.sigma.len() {
+            return Err(SvdError::InvalidParameter(format!(
+                "truncation rank {rank} outside 1..={}",
+                self.sigma.len()
+            )));
+        }
+        let v_full = match &self.v {
+            Some(v) => v.clone(),
+            None => self.recover_v(a)?,
+        };
+        let order = self.descending_order();
+        let (m, n) = (self.u.rows(), v_full.rows());
+        let mut u = Matrix::zeros(m, rank);
+        let mut v = Matrix::zeros(n, rank);
+        let mut sigma = Vec::with_capacity(rank);
+        for (slot, &j) in order.iter().take(rank).enumerate() {
+            u.col_mut(slot).copy_from_slice(self.u.col(j));
+            v.col_mut(slot).copy_from_slice(v_full.col(j));
+            sigma.push(self.sigma[j]);
+        }
+        let tail_sigma = order
+            .get(rank)
+            .map_or(T::ZERO, |&j| self.sigma[j].max(T::ZERO));
+        let total: f64 = self.sigma.iter().map(|s| s.to_f64() * s.to_f64()).sum();
+        let kept: f64 = sigma.iter().map(|s| s.to_f64() * s.to_f64()).sum();
+        let retained_energy = if total > 0.0 { kept / total } else { 1.0 };
+        Ok(TruncatedSvd {
+            u,
+            sigma,
+            v,
+            tail_sigma,
+            retained_energy,
+        })
+    }
+}
+
 impl<T: Real> SvdResult<T> {
     /// Recovers the right singular vectors from the original matrix:
     /// `vⱼ = Aᵀuⱼ / σⱼ`.
@@ -301,5 +477,119 @@ mod tests {
         assert_eq!(svd.rank(1e-12), 0);
         let ak = svd.low_rank_approximation(&a, 2).unwrap();
         assert_eq!(ak.frobenius_norm(), 0.0);
+    }
+
+    #[test]
+    fn truncate_reconstruct_matches_low_rank_approximation() {
+        let a = sample(10, 6);
+        let svd = svd_without_v(&a);
+        for k in [1usize, 3, 6] {
+            let trunc = svd.truncate(&a, k).unwrap();
+            assert_eq!(trunc.rank(), k);
+            assert_eq!(trunc.rows(), 10);
+            assert_eq!(trunc.cols(), 6);
+            let direct = svd.low_rank_approximation(&a, k).unwrap();
+            let err = trunc.reconstruct().sub(&direct).unwrap().frobenius_norm();
+            assert!(err < 1e-10 * a.frobenius_norm(), "k={k}: {err}");
+        }
+    }
+
+    #[test]
+    fn truncate_sigma_is_descending_with_tail_metadata() {
+        let a = sample(12, 8);
+        let svd = svd_without_v(&a);
+        let trunc = svd.truncate(&a, 3).unwrap();
+        assert!(trunc.sigma.windows(2).all(|w| w[0] >= w[1]));
+        let order = svd.descending_order();
+        assert!((trunc.tail_sigma - svd.sigma[order[3]]).abs() < 1e-12);
+        assert!(trunc.retained_energy > 0.0 && trunc.retained_energy < 1.0);
+        let full = svd.truncate(&a, 8).unwrap();
+        assert_eq!(full.tail_sigma, 0.0);
+        assert!((full.retained_energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn apply_matches_materialized_matvec() {
+        let a = sample(9, 5);
+        let svd = svd_without_v(&a);
+        let trunc = svd.truncate(&a, 4).unwrap();
+        let x: Vec<f64> = (0..5).map(|i| (i as f64) * 0.5 - 1.0).collect();
+        let y = trunc.apply(&x).unwrap();
+        let ak = trunc.reconstruct();
+        for (r, &yr) in y.iter().enumerate() {
+            let direct: f64 = (0..5).map(|c| ak[(r, c)] * x[c]).sum();
+            assert!((yr - direct).abs() < 1e-9, "row {r}: {yr} vs {direct}");
+        }
+    }
+
+    #[test]
+    fn apply_rank_prefix_matches_smaller_truncation() {
+        // Applying rank k through a rank-r store entry must equal the
+        // rank-k truncation applied at full rank: prefix semantics.
+        let a = sample(10, 6);
+        let svd = svd_without_v(&a);
+        let big = svd.truncate(&a, 5).unwrap();
+        let small = svd.truncate(&a, 2).unwrap();
+        let x: Vec<f64> = (0..6).map(|i| 1.0 - (i as f64) * 0.3).collect();
+        let via_big = big.apply_rank(&x, 2).unwrap();
+        let via_small = small.apply(&x).unwrap();
+        assert_eq!(via_big, via_small);
+    }
+
+    #[test]
+    fn apply_is_deterministic_in_f32() {
+        let a = sample(16, 8);
+        let a32: Matrix<f32> = a.cast();
+        let svd = hestenes_jacobi(
+            &a32,
+            &JacobiOptions {
+                precision: 1e-6,
+                compute_v: false,
+                ..Default::default()
+            },
+        )
+        .unwrap();
+        let trunc = svd.truncate(&a32, 4).unwrap();
+        let x: Vec<f32> = (0..8).map(|i| (i as f32) * 0.25 - 1.0).collect();
+        let first = trunc.apply(&x).unwrap();
+        for _ in 0..4 {
+            assert_eq!(trunc.apply(&x).unwrap(), first);
+        }
+    }
+
+    #[test]
+    fn truncate_and_apply_reject_bad_arguments() {
+        let a = sample(8, 4);
+        let svd = svd_without_v(&a);
+        assert!(matches!(
+            svd.truncate(&a, 0),
+            Err(SvdError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            svd.truncate(&a, 5),
+            Err(SvdError::InvalidParameter(_))
+        ));
+        let trunc = svd.truncate(&a, 2).unwrap();
+        assert!(matches!(
+            trunc.apply(&[1.0; 3]),
+            Err(SvdError::DimensionMismatch(_))
+        ));
+        assert!(matches!(
+            trunc.apply_rank(&[1.0; 4], 3),
+            Err(SvdError::InvalidParameter(_))
+        ));
+        assert!(matches!(
+            trunc.apply_rank(&[1.0; 4], 0),
+            Err(SvdError::InvalidParameter(_))
+        ));
+    }
+
+    #[test]
+    fn approx_bytes_counts_factor_payload() {
+        let a = sample(10, 6);
+        let svd = svd_without_v(&a);
+        let trunc = svd.truncate(&a, 3).unwrap();
+        // f64: (10*3 + 6*3 + 3) * 8 bytes.
+        assert_eq!(trunc.approx_bytes(), (30 + 18 + 3) * 8);
     }
 }

@@ -53,6 +53,7 @@ pub mod verify;
 
 mod error;
 
+pub use approx::TruncatedSvd;
 pub use block::{BlockJacobiOptions, BlockPairSchedule, BlockPartition};
 pub use error::SvdError;
 pub use jacobi::{hestenes_jacobi, JacobiOptions, SvdResult, SweepStats};

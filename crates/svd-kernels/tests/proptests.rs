@@ -158,4 +158,75 @@ proptest! {
             prev = err;
         }
     }
+
+    /// Eckart–Young on `TruncatedSvd`: across random, ill-conditioned, and
+    /// rank-deficient matrices the reconstruction error is monotonically
+    /// non-increasing in rank and every rank's error matches the tail
+    /// bound `‖A−A_k‖_F = √(Σ_{j>k} σⱼ²)` within tolerance (and dominates
+    /// the spectral tail σ_{k+1} the struct reports).
+    #[test]
+    fn truncated_svd_satisfies_eckart_young(base in matrix_strategy(7), kind in 0usize..3) {
+        let a = match kind {
+            // Plain random matrix.
+            0 => base,
+            // Ill-conditioned: scale columns across ~6 decades.
+            1 => Matrix::from_fn(base.rows(), base.cols(), |r, c| {
+                base[(r, c)] * 10f64.powi(-(3 * c as i32))
+            }),
+            // Rank-deficient: duplicate the first column everywhere past
+            // the midpoint.
+            _ => Matrix::from_fn(base.rows(), base.cols(), |r, c| {
+                if c > base.cols() / 2 { base[(r, 0)] } else { base[(r, c)] }
+            }),
+        };
+        let svd = hestenes_jacobi(&a, &JacobiOptions { precision: 1e-13, ..Default::default() }).unwrap();
+        let scale = a.frobenius_norm().max(1.0);
+        let mut prev = f64::INFINITY;
+        for k in 1..=a.cols() {
+            let trunc = svd.truncate(&a, k).unwrap();
+            let err = trunc.reconstruct().sub(&a).unwrap().frobenius_norm();
+            prop_assert!(err <= prev + 1e-9 * scale, "kind {kind} rank {k}: {err} > {prev}");
+            prev = err;
+            let tail_energy: f64 = trunc.tail_sigma; // σ_{k+1}
+            let frob_tail: f64 = {
+                let order = svd.descending_order();
+                order[k..].iter().map(|&j| svd.sigma[j] * svd.sigma[j]).sum::<f64>().sqrt()
+            };
+            // Frobenius tail bound is met exactly (up to round-off)...
+            prop_assert!(
+                (err - frob_tail).abs() <= 1e-8 * scale,
+                "kind {kind} rank {k}: err {err} vs Frobenius tail {frob_tail}"
+            );
+            // ...and therefore dominates the reported spectral tail σ_{k+1}.
+            prop_assert!(
+                err + 1e-8 * scale >= tail_energy,
+                "kind {kind} rank {k}: err {err} below σ_(k+1) {tail_energy}"
+            );
+        }
+    }
+
+    /// Store-style serving is exact: `apply` on the truncated factors
+    /// equals the matvec against the materialized rank-k matrix, and the
+    /// retained-energy metadata complements the tail energy.
+    #[test]
+    fn truncated_apply_matches_reconstruction(a in matrix_strategy(7), seed in any::<u64>()) {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+        let x: Vec<f64> = (0..a.cols()).map(|_| rng.gen_range(-5.0..5.0)).collect();
+        let svd = hestenes_jacobi(&a, &JacobiOptions { precision: 1e-13, ..Default::default() }).unwrap();
+        let total: f64 = svd.sigma.iter().map(|s| s * s).sum();
+        for k in 1..=a.cols() {
+            let trunc = svd.truncate(&a, k).unwrap();
+            let y = trunc.apply(&x).unwrap();
+            let ak = trunc.reconstruct();
+            for (r, &yr) in y.iter().enumerate() {
+                let direct: f64 = (0..a.cols()).map(|c| ak[(r, c)] * x[c]).sum();
+                prop_assert!((yr - direct).abs() <= 1e-8 * a.frobenius_norm().max(1.0));
+            }
+            if total > 0.0 {
+                let kept: f64 = trunc.sigma.iter().map(|s| s * s).sum();
+                prop_assert!((trunc.retained_energy - kept / total).abs() < 1e-12);
+            }
+        }
+    }
 }

@@ -14,7 +14,7 @@
 //! `hsvd run matrix.csv`.
 
 use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
-use heterosvd_repro::serve::{ServeConfig, ServeError, SvdService};
+use heterosvd_repro::serve::{ModelId, ServeConfig, ServeError, SvdService};
 use heterosvd_repro::svd_kernels::{io as matrix_io, Matrix};
 use rand::{Rng, SeedableRng};
 use std::io::Write;
@@ -89,9 +89,18 @@ fn usage() -> &'static str {
        --fn-par N          host threads per functional orth-layer\n\
      \x20                   (default 1 = serial; results are bit-identical\n\
      \x20                   for any setting)\n\
-       --timing-only       skip numerics (timing model, 6 fixed sweeps)\n\
+       --timing-only       skip numerics (timing model, 6 fixed sweeps;\n\
+     \x20                   incompatible with --apply-ratio)\n\
        --shape RxC         fix every request to one RxC shape (default:\n\
      \x20                   a seeded mix of four shapes)\n\
+       --apply-ratio R     mixed traffic: R rank-r apply requests per\n\
+     \x20                   decompose request (default 0 = decompose\n\
+     \x20                   only); models are published up front and\n\
+     \x20                   applies are served from the factor store\n\
+       --models M          distinct models to publish for mixed traffic\n\
+     \x20                   (default 4)\n\
+       --rank R            published truncation rank (default cols/4,\n\
+     \x20                   at least 1)\n\
        --metrics-out FILE  write the end-of-run metrics report to FILE\n\
      \x20                   as JSON and to FILE with a .prom extension in\n\
      \x20                   Prometheus text format (counters, percentiles,\n\
@@ -263,6 +272,7 @@ fn cmd_run(cursor: ArgCursor) -> Result<(), String> {
 
 // ---------------------------------------------------------- serve-bench
 
+#[cfg_attr(test, derive(Debug))]
 struct BenchArgs {
     requests: usize,
     workers: usize,
@@ -276,6 +286,9 @@ struct BenchArgs {
     functional_parallelism: usize,
     timing_only: bool,
     shape: Option<(usize, usize)>,
+    apply_ratio: f64,
+    models: usize,
+    rank: Option<usize>,
     metrics_out: Option<String>,
 }
 
@@ -309,6 +322,9 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
         functional_parallelism: 1,
         timing_only: false,
         shape: None,
+        apply_ratio: 0.0,
+        models: 4,
+        rank: None,
         metrics_out: None,
     };
     while let Some(arg) = cursor.next() {
@@ -325,6 +341,9 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
             "--fn-par" => args.functional_parallelism = cursor.parse("--fn-par")?,
             "--timing-only" => args.timing_only = true,
             "--shape" => args.shape = Some(parse_shape(&cursor.value("--shape")?)?),
+            "--apply-ratio" => args.apply_ratio = cursor.parse("--apply-ratio")?,
+            "--models" => args.models = cursor.parse("--models")?,
+            "--rank" => args.rank = Some(cursor.parse("--rank")?),
             "--metrics-out" => args.metrics_out = Some(cursor.value("--metrics-out")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option {other}")),
@@ -333,8 +352,25 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
     if args.requests == 0 {
         return Err("serve-bench needs --requests >= 1".to_string());
     }
-    if args.rate <= 0.0 {
-        return Err("serve-bench needs --rate > 0".to_string());
+    // `!(x > 0.0)` instead of `x <= 0.0`: the latter lets NaN through.
+    if !(args.rate.is_finite() && args.rate > 0.0) {
+        return Err("serve-bench needs a finite --rate > 0".to_string());
+    }
+    if !(args.apply_ratio.is_finite() && args.apply_ratio >= 0.0) {
+        return Err("serve-bench needs a finite --apply-ratio >= 0".to_string());
+    }
+    if args.apply_ratio > 0.0 {
+        if args.models == 0 {
+            return Err("mixed traffic needs --models >= 1".to_string());
+        }
+        if args.timing_only {
+            return Err("apply traffic is served from real published factors; \
+                 --apply-ratio is incompatible with --timing-only"
+                .to_string());
+        }
+    }
+    if args.rank == Some(0) {
+        return Err("serve-bench needs --rank >= 1".to_string());
     }
     Ok(args)
 }
@@ -379,39 +415,99 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
             (4 * unit, 3 * unit),
         ],
     };
-    let workload: Vec<(Matrix<f64>, f64)> = (0..args.requests)
+    let random_matrix = |rng: &mut rand::rngs::StdRng, rows: usize, cols: usize| {
+        Matrix::from_fn(rows, cols, |r, c| {
+            let v: f64 = rng.gen_range(-1.0..1.0);
+            if r == c {
+                v + 3.0
+            } else {
+                v
+            }
+        })
+    };
+
+    // Mixed traffic warms the factor store first: one published model
+    // per `--models` slot (round-robin over the shape mix), waited to
+    // completion so every later apply is a store hit.
+    let mixed = args.apply_ratio > 0.0;
+    let published: Vec<(ModelId, usize)> = if mixed {
+        (0..args.models)
+            .map(|m| {
+                let (rows, cols) = shapes[m % shapes.len()];
+                let rank = args.rank.unwrap_or((cols / 4).max(1));
+                let model = ModelId(m as u64);
+                service
+                    .try_submit_publish(model, random_matrix(&mut rng, rows, cols), rank)
+                    .and_then(|handle| handle.wait())
+                    .map_err(|e| {
+                        format!("publishing model {m} ({rows}x{cols} rank {rank}): {e}")
+                    })?;
+                Ok((model, cols))
+            })
+            .collect::<Result<_, String>>()?
+    } else {
+        Vec::new()
+    };
+
+    enum Work {
+        Decompose(Matrix<f64>),
+        Apply { model: ModelId, x: Vec<f64> },
+    }
+    let p_apply = args.apply_ratio / (args.apply_ratio + 1.0);
+    let workload: Vec<(Work, f64)> = (0..args.requests)
         .map(|_| {
-            let (rows, cols) = shapes[rng.gen_range(0..shapes.len())];
-            let m = Matrix::from_fn(rows, cols, |r, c| {
-                let v: f64 = rng.gen_range(-1.0..1.0);
-                if r == c {
-                    v + 3.0
-                } else {
-                    v
-                }
-            });
+            let work = if mixed && rng.gen_bool(p_apply) {
+                let (model, cols) = published[rng.gen_range(0..published.len())];
+                let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                Work::Apply { model, x }
+            } else {
+                let (rows, cols) = shapes[rng.gen_range(0..shapes.len())];
+                Work::Decompose(random_matrix(&mut rng, rows, cols))
+            };
             let u: f64 = rng.gen_range(1e-9..1.0);
             let gap_secs = -u.ln() / args.rate;
-            (m, gap_secs)
+            (work, gap_secs)
         })
         .collect();
 
     println!(
-        "serve-bench: {} requests, {} workers, seed {}, ~{:.0} req/s open-loop",
-        args.requests, args.workers, args.seed, args.rate
+        "serve-bench: {} requests, {} workers, seed {}, ~{:.0} req/s open-loop{}",
+        args.requests,
+        args.workers,
+        args.seed,
+        args.rate,
+        if mixed {
+            format!(
+                " (mixed, {} applies per decompose over {} models)",
+                args.apply_ratio,
+                published.len()
+            )
+        } else {
+            String::new()
+        }
     );
 
+    enum BenchHandle {
+        Decompose(heterosvd_repro::serve::RequestHandle),
+        Apply(heterosvd_repro::serve::ApplyHandle),
+    }
     let bench_start = Instant::now();
     let mut next_arrival = Instant::now();
     let mut handles = Vec::with_capacity(args.requests);
     let mut dropped = 0u64;
-    for (matrix, gap_secs) in workload {
+    for (work, gap_secs) in workload {
         next_arrival += Duration::from_secs_f64(gap_secs);
         let now = Instant::now();
         if next_arrival > now {
             std::thread::sleep(next_arrival - now);
         }
-        match service.try_submit(matrix) {
+        let admitted = match work {
+            Work::Decompose(matrix) => service.try_submit(matrix).map(BenchHandle::Decompose),
+            Work::Apply { model, x } => service
+                .try_submit_apply(model, &x, None)
+                .map(BenchHandle::Apply),
+        };
+        match admitted {
             Ok(handle) => handles.push(handle),
             // Open-loop: an over-capacity arrival is dropped, not retried.
             Err(ServeError::QueueFull { .. }) => dropped += 1,
@@ -420,21 +516,31 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     }
 
     let mut sigma_checksum = 0.0f64;
+    let mut apply_checksum = 0.0f64;
     let mut completed = 0u64;
     let mut failed = 0u64;
     for handle in handles {
-        match handle.wait() {
-            Ok(response) => {
-                completed += 1;
-                sigma_checksum += response
-                    .output
-                    .result
-                    .sigma
-                    .iter()
-                    .map(|&s| s as f64)
-                    .sum::<f64>();
-            }
-            Err(_) => failed += 1,
+        match handle {
+            BenchHandle::Decompose(handle) => match handle.wait() {
+                Ok(response) => {
+                    completed += 1;
+                    sigma_checksum += response
+                        .output
+                        .result
+                        .sigma
+                        .iter()
+                        .map(|&s| s as f64)
+                        .sum::<f64>();
+                }
+                Err(_) => failed += 1,
+            },
+            BenchHandle::Apply(handle) => match handle.wait() {
+                Ok(response) => {
+                    completed += 1;
+                    apply_checksum += response.y.iter().map(|&v| v as f64).sum::<f64>();
+                }
+                Err(_) => failed += 1,
+            },
         }
     }
     let wall = bench_start.elapsed();
@@ -443,9 +549,15 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     let m = &report.snapshot;
 
     let us = |ps: u64| ps as f64 / 1e6;
+    // The warm-up publishes are admitted through the same queue but are
+    // not part of the measured traffic; keep the ledger line consistent
+    // with the bench-local completed/failed counts.
     println!(
         "admitted {} | dropped at admission {} | completed {} | failed {}",
-        m.submitted, dropped, completed, failed
+        m.submitted - published.len() as u64,
+        dropped,
+        completed,
+        failed
     );
     println!(
         "batches {} | mean batch size {:.2} | worker panics {} | replicas spawned {}",
@@ -477,6 +589,43 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         println!(
             "sigma checksum {sigma_checksum:.6} (deterministic for --seed {})",
             args.seed
+        );
+    }
+    if mixed {
+        println!(
+            "apply checksum {apply_checksum:.6} (deterministic for --seed {})",
+            args.seed
+        );
+        for (name, t) in [
+            ("decompose", &m.per_type.decompose),
+            ("apply", &m.per_type.apply),
+        ] {
+            println!(
+                "{name:>9}: submitted {} | ok {} | timed out {}+{} | queue wait p50/p99 {} / {} µs | sim exec p50/p99 {:.3} / {:.3} µs",
+                t.submitted,
+                t.completed_ok,
+                t.timed_out_at_batcher,
+                t.timed_out_at_exec,
+                t.queue_wait_us.p50,
+                t.queue_wait_us.p99,
+                us(t.sim_exec_ps.p50),
+                us(t.sim_exec_ps.p99),
+            );
+        }
+        let store = service.store().stats();
+        let looked_up = store.hits + store.misses;
+        println!(
+            "factor store: {} models / {} bytes resident | {} publishes | hit rate {:.1}% ({} / {} lookups)",
+            store.resident_models,
+            store.resident_bytes,
+            store.publishes,
+            if looked_up > 0 {
+                store.hits as f64 / looked_up as f64 * 100.0
+            } else {
+                0.0
+            },
+            store.hits,
+            looked_up
         );
     }
 
@@ -546,5 +695,74 @@ fn main() -> ExitCode {
             let _ = writeln!(std::io::stderr(), "{msg}");
             ExitCode::FAILURE
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn bench(args: &[&str]) -> Result<BenchArgs, String> {
+        parse_bench_args(ArgCursor::new(args.iter().map(|s| s.to_string()).collect()))
+    }
+
+    #[test]
+    fn shape_parses_rxc_and_bare_n() {
+        assert_eq!(parse_shape("256x256").unwrap(), (256, 256));
+        assert_eq!(parse_shape("384X128").unwrap(), (384, 128));
+        assert_eq!(parse_shape("64").unwrap(), (64, 64));
+    }
+
+    /// Malformed shapes come back as a single-line usage error naming
+    /// the flag — never a panic.
+    #[test]
+    fn malformed_shape_is_a_one_line_usage_error() {
+        for bad in ["12x", "x12", "axb", "", "12x12x12", "-4x4"] {
+            let err = parse_shape(bad).expect_err(bad);
+            assert!(err.contains("invalid value for --shape"), "{bad}: {err}");
+            assert!(!err.contains('\n'), "multi-line error for {bad}: {err}");
+        }
+        let err = bench(&["--shape", "12x"]).unwrap_err();
+        assert!(err.contains("invalid value for --shape"), "{err}");
+    }
+
+    #[test]
+    fn mixed_traffic_flags_parse() {
+        let args = bench(&["--apply-ratio", "20", "--models", "3", "--rank", "8"]).unwrap();
+        assert_eq!(args.apply_ratio, 20.0);
+        assert_eq!(args.models, 3);
+        assert_eq!(args.rank, Some(8));
+    }
+
+    /// Out-of-range and non-finite rates/ratios are rejected with a
+    /// one-line message (NaN must not slip through a `<=` comparison).
+    #[test]
+    fn out_of_range_numbers_are_rejected() {
+        for bad in [
+            vec!["--apply-ratio", "-1"],
+            vec!["--apply-ratio", "NaN"],
+            vec!["--apply-ratio", "inf"],
+            vec!["--rate", "NaN"],
+            vec!["--rate", "0"],
+            vec!["--rate", "-5"],
+            vec!["--rank", "0"],
+            vec!["--requests", "0"],
+            vec!["--apply-ratio", "4", "--models", "0"],
+        ] {
+            let err = bench(&bad).expect_err(&bad.join(" "));
+            assert!(!err.contains('\n'), "multi-line error for {bad:?}: {err}");
+        }
+    }
+
+    #[test]
+    fn apply_ratio_conflicts_with_timing_only() {
+        let err = bench(&["--apply-ratio", "4", "--timing-only"]).unwrap_err();
+        assert!(err.contains("--timing-only"), "{err}");
+    }
+
+    #[test]
+    fn unknown_options_are_rejected() {
+        let err = bench(&["--bogus"]).unwrap_err();
+        assert!(err.contains("unknown option --bogus"), "{err}");
     }
 }

@@ -25,6 +25,7 @@
 
 pub use aie_sim;
 pub use baselines;
+pub use factor_store;
 pub use heterosvd;
 pub use heterosvd_dse as dse;
 pub use heterosvd_serve as serve;
