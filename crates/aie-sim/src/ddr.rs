@@ -33,6 +33,18 @@ impl DdrModel {
     pub fn serialized_bursts(&self, bytes: usize, bursts: usize) -> TimePs {
         TimePs(self.burst_time(bytes).0 * bursts as u64)
     }
+
+    /// Burst time when `sharers` co-resident tenants stream concurrently
+    /// through the single DDR controller: the setup latency is paid once
+    /// per burst, but the sustained bandwidth is split `sharers` ways —
+    /// Eq. (12)'s serialized-load argument generalized from one pipeline's
+    /// block pairs to whole co-scheduled pipelines. `sharers == 1` is
+    /// exactly [`Self::burst_time`].
+    pub fn contended_burst_time(&self, bytes: usize, sharers: usize) -> TimePs {
+        let sharers = sharers.max(1);
+        let stream_secs = (bytes * sharers) as f64 / self.cal.ddr_bytes_per_sec;
+        TimePs::from_secs(self.cal.ddr_latency_ns * 1e-9 + stream_secs)
+    }
 }
 
 impl Default for DdrModel {
@@ -67,5 +79,18 @@ mod tests {
         let one = d.burst_time(4096);
         let ten = d.serialized_bursts(4096, 10);
         assert_eq!(ten.0, one.0 * 10);
+    }
+
+    #[test]
+    fn contention_splits_bandwidth_not_latency() {
+        let d = DdrModel::default();
+        // One sharer is exactly the uncontended burst.
+        assert_eq!(d.contended_burst_time(4096, 1), d.burst_time(4096));
+        assert_eq!(d.contended_burst_time(4096, 0), d.burst_time(4096));
+        // Four sharers quadruple the streaming term only: the contended
+        // burst equals latency + 4x the payload stream, i.e. the same as
+        // one burst of 4x the bytes.
+        assert_eq!(d.contended_burst_time(4096, 4), d.burst_time(4 * 4096));
+        assert!(d.contended_burst_time(4096, 4).0 < d.burst_time(4096).0 * 4);
     }
 }

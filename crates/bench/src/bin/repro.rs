@@ -12,7 +12,7 @@
 
 use heterosvd_bench::experiments::{
     ablation, accuracy, adaptive, apply, convergence, devices, dse_report, fig3, fig9, hotpath,
-    scalability, serve, table2, table3, table4, table5, table6,
+    pack, scalability, serve, table2, table3, table4, table5, table6,
 };
 use std::sync::OnceLock;
 
@@ -144,6 +144,86 @@ fn main() {
     }
     if want("apply") {
         run_apply(quick);
+    }
+    if want("pack") {
+        run_pack(quick);
+    }
+}
+
+fn run_pack(quick: bool) {
+    println!(
+        "\n=== Array packing: packed vs sequential serve throughput \
+         (P_eng={}, {} iterations/request, modeled time) ===",
+        pack::P_ENG,
+        pack::ITERATIONS
+    );
+    let requests = if quick { 10 } else { 20 };
+    let report = match pack::run(&[128, 256], requests) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("pack failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>6} {:>8} {:>9} | {:>12} {:>12} | {:>12} {:>12} {:>8} | {:>6} {:>6} {:>6}",
+        "size",
+        "tenants",
+        "requests",
+        "seq(ms)",
+        "packed(ms)",
+        "seq req/s",
+        "pack req/s",
+        "speedup",
+        "waves",
+        "bits",
+        "replay"
+    );
+    for r in &report.rows {
+        println!(
+            "{:>6} {:>8} {:>9} | {:>12.3} {:>12.3} | {:>12.0} {:>12.0} {:>7.2}x | {:>6} {:>6} {:>6}",
+            r.n,
+            r.tenants,
+            r.requests,
+            r.sequential_modeled_ms,
+            r.packed_modeled_ms,
+            r.sequential_throughput,
+            r.packed_throughput,
+            r.speedup,
+            r.packed_waves,
+            if r.bit_identical { "ok" } else { "FAIL" },
+            if r.replay_invariant { "ok" } else { "FAIL" }
+        );
+    }
+    persist("pack", &report);
+
+    // The emitter proper: BENCH_pack.json at the repo root seeds the
+    // perf trajectory regardless of `--out`.
+    let path = std::env::var("BENCH_PACK_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_pack.json").to_string()
+    });
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize pack report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Gates: nonzero exit on any violated packing acceptance criterion
+    // (speedup floors, bit-identity, replay invariance, packed waves).
+    let violations = pack::gate_violations(&report);
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("pack gate violated: {v}");
+        }
+        std::process::exit(1);
     }
 }
 
@@ -354,6 +434,26 @@ fn run_serve(quick: bool) {
             r.p50_wall_us,
             r.p99_wall_us
         );
+    }
+    // Per-type windowed rates: the service tracks decompose and apply
+    // classes separately, so packed-vs-sequential runs stay comparable
+    // per class even under mixed traffic.
+    for r in &report.results {
+        if let (Some(w), Some(d), Some(a)) = (
+            r.requests_per_sec_window,
+            r.decompose_rps_window,
+            r.apply_rps_window,
+        ) {
+            println!(
+                "{:>12} | windowed req/s: {:.1} total, {:.1} decompose, {:.1} apply | packed: {} batches / {} requests",
+                r.variant,
+                w,
+                d,
+                a,
+                r.packed_batches.unwrap_or(0),
+                r.packed_requests.unwrap_or(0)
+            );
+        }
     }
     println!(
         "throughput speedup vs baseline: {:.2}x (batch {}, {} iterations/request)",

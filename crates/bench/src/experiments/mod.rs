@@ -10,6 +10,7 @@ pub mod dse_report;
 pub mod fig3;
 pub mod fig9;
 pub mod hotpath;
+pub mod pack;
 pub mod scalability;
 pub mod serve;
 pub mod table2;

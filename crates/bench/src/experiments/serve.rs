@@ -50,6 +50,19 @@ pub struct ServeRow {
     /// snapshot. Unlike `requests_per_sec`, this excludes the service's
     /// own startup from the denominator.
     pub requests_per_sec_window: Option<f64>,
+    /// Windowed decompose-class rate over the same interval (the
+    /// service tracks per-type windows; surfacing them here keeps
+    /// packed-vs-sequential runs comparable per request class).
+    /// `None` for the baseline.
+    pub decompose_rps_window: Option<f64>,
+    /// Windowed apply-class rate over the same interval. Zero for this
+    /// decompose-only workload, emitted for schema stability.
+    pub apply_rps_window: Option<f64>,
+    /// Batches the service executed as packed multi-tenant waves.
+    /// `None` for the baseline.
+    pub packed_batches: Option<u64>,
+    /// Requests served inside packed waves. `None` for the baseline.
+    pub packed_requests: Option<u64>,
 }
 
 /// The complete serving report (serialized to `BENCH_serve.json`).
@@ -99,6 +112,10 @@ fn row(
         p50_wall_us: pct.p50,
         p99_wall_us: pct.p99,
         requests_per_sec_window: None,
+        decompose_rps_window: None,
+        apply_rps_window: None,
+        packed_batches: None,
+        packed_requests: None,
     }
 }
 
@@ -198,10 +215,14 @@ fn run_optimized(
         wall_us.push(response.latency.wall_total.as_micros() as u64);
     }
     let wall = start.elapsed();
-    let window_rate = service.metrics().throughput_rps_window;
+    let snapshot = service.metrics();
     service.shutdown();
     let mut measured = row("optimized", requests, completed, wall, &mut wall_us);
-    measured.requests_per_sec_window = Some(window_rate);
+    measured.requests_per_sec_window = Some(snapshot.throughput_rps_window);
+    measured.decompose_rps_window = Some(snapshot.per_type.decompose.throughput_rps_window);
+    measured.apply_rps_window = Some(snapshot.per_type.apply.throughput_rps_window);
+    measured.packed_batches = Some(snapshot.packed_batches);
+    measured.packed_requests = Some(snapshot.packed_requests);
     Ok(measured)
 }
 
@@ -257,8 +278,16 @@ mod tests {
                 "optimized" => {
                     let w = r.requests_per_sec_window.expect("windowed rate present");
                     assert!(w > 0.0, "windowed rate should cover the serving span");
+                    let d = r.decompose_rps_window.expect("per-type rate present");
+                    assert!(d > 0.0, "decompose-class rate should be nonzero");
+                    assert_eq!(r.apply_rps_window, Some(0.0), "no apply traffic here");
+                    assert!(r.packed_batches.is_some() && r.packed_requests.is_some());
                 }
-                _ => assert!(r.requests_per_sec_window.is_none()),
+                _ => {
+                    assert!(r.requests_per_sec_window.is_none());
+                    assert!(r.decompose_rps_window.is_none());
+                    assert!(r.packed_batches.is_none());
+                }
             }
         }
         assert!(report.speedup.is_finite());

@@ -67,6 +67,21 @@ impl Accelerator {
     /// Returns [`HeteroSvdError::Infeasible`] when the placement does not
     /// fit tile memory or the design exceeds a resource budget.
     pub fn new(config: HeteroSvdConfig) -> Result<Self, HeteroSvdError> {
+        // Co-resident tenants are full-height column stripes: the array
+        // must fit `co_residency` disjoint stripes of this design's
+        // width, or the contention model would describe an impossible
+        // packing.
+        let capacity =
+            crate::placement::tenant_capacity(config.device.geometry, config.engine_parallelism);
+        if config.co_residency > capacity.max(1) {
+            return Err(HeteroSvdError::Infeasible(
+                aie_sim::SimError::ResourceExceeded {
+                    resource: "tenant stripes",
+                    used: config.co_residency,
+                    budget: capacity,
+                },
+            ));
+        }
         let plan = plan_cache::global().get_or_build(&config)?;
         config.device.budget.check(&plan.placement.usage())?;
         Ok(Accelerator { config, plan })
@@ -204,9 +219,10 @@ impl Accelerator {
         let norm = run_norm_stage(cfg, &self.plan.placement, &mut b, orth_end, &mut stats);
         timing.norm_time = norm.end.saturating_sub(orth_end);
 
-        // ---- Results back to DDR.
+        // ---- Results back to DDR. Co-resident tenants drain through the
+        // same controller, so the store shares bandwidth like the loads.
         let result_bytes = cfg.rows * cfg.cols * 4 + cfg.cols * 4;
-        let store = ddr.burst_time(result_bytes);
+        let store = ddr.contended_burst_time(result_bytes, cfg.co_residency);
         stats.ddr_bytes += result_bytes;
         stats.ddr_transfers += 1;
         stats.ddr_busy += store;
@@ -557,6 +573,59 @@ mod tests {
             fast.timing.task_time,
             slow.timing.task_time
         );
+    }
+
+    #[test]
+    fn co_residency_slows_clock_but_not_math() {
+        // Packing tenants shares PLIO interface groups and the DDR
+        // controller: the modeled clock must slow down, while the
+        // functional math (which never reads the knob) stays
+        // bit-identical.
+        let a = sample(16);
+        let build = |co: usize| {
+            Accelerator::new(
+                HeteroSvdConfig::builder(16, 16)
+                    .engine_parallelism(2)
+                    .co_residency(co)
+                    .fixed_iterations(4)
+                    .pl_freq_mhz(208.3)
+                    .build()
+                    .unwrap(),
+            )
+            .unwrap()
+        };
+        let solo = build(1).run(&a).unwrap();
+        let packed = build(4).run(&a).unwrap();
+        assert!(
+            packed.timing.task_time > solo.timing.task_time,
+            "packed {} vs solo {}",
+            packed.timing.task_time,
+            solo.timing.task_time
+        );
+        assert_eq!(solo.result.u.as_slice(), packed.result.u.as_slice());
+        assert_eq!(solo.result.sigma, packed.result.sigma);
+    }
+
+    #[test]
+    fn co_residency_beyond_stripe_capacity_is_infeasible() {
+        // P_eng=8 stripes are 3 bands x 9 = 27 columns wide: only one
+        // fits the 50-column array, so two tenants are impossible.
+        let cfg = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(8)
+            .co_residency(2)
+            .build()
+            .unwrap();
+        assert!(matches!(
+            Accelerator::new(cfg),
+            Err(HeteroSvdError::Infeasible(_))
+        ));
+        // P_eng=4 fits five.
+        let ok = HeteroSvdConfig::builder(64, 64)
+            .engine_parallelism(4)
+            .co_residency(5)
+            .build()
+            .unwrap();
+        assert!(Accelerator::new(ok).is_ok());
     }
 
     #[test]

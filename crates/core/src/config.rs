@@ -83,6 +83,19 @@ pub struct HeteroSvdConfig {
     /// after the first wave, each wave's DDR load overlaps the previous
     /// wave's compute. Default off, preserving Eq. (14) exactness.
     pub cross_batch_pipelining: bool,
+    /// Co-residency class: how many tenant pipelines share the device's
+    /// PL/NoC interfaces *concurrently* with this one (default 1 — the
+    /// whole-array assumption every pre-packing plan made). Unlike
+    /// `task_parallelism` (a pure Eq. 14 divisor that assumes each
+    /// pipeline sees an empty device), co-residency feeds the shared
+    /// interface bandwidth model: PLIO transfers are throttled as if
+    /// `co_residency` port groups stream through the Eq. 8 interface
+    /// caps together, and the Eq. 12 first-iteration DDR loads (and the
+    /// result store) split the controller's bandwidth `co_residency`
+    /// ways. Functional arithmetic never reads this knob, so factors
+    /// are bit-identical across classes; modeled timing is not, which
+    /// is why the class is part of the plan-cache fingerprint.
+    pub co_residency: usize,
     /// Observability (default on): emit per-iteration spans into the
     /// global [`crate::obs`] journal and attach a per-run
     /// [`crate::obs::UtilizationReport`] to the output. Purely
@@ -168,6 +181,7 @@ pub struct HeteroSvdConfigBuilder {
     timing_replay: bool,
     adaptive_sweeps: bool,
     cross_batch_pipelining: bool,
+    co_residency: usize,
     observability: bool,
     device: DeviceProfile,
     calibration: Calibration,
@@ -192,6 +206,7 @@ impl HeteroSvdConfigBuilder {
             timing_replay: true,
             adaptive_sweeps: true,
             cross_batch_pipelining: false,
+            co_residency: 1,
             observability: true,
             device: DeviceProfile::VCK190,
             calibration: Calibration::DEFAULT,
@@ -295,6 +310,15 @@ impl HeteroSvdConfigBuilder {
         self
     }
 
+    /// Sets the co-residency class (default 1): the number of tenant
+    /// pipelines sharing the PLIO/DDR interfaces concurrently with this
+    /// one. Must be `>= 1`. Modeled timing is contention-scaled per
+    /// class; functional results are bit-identical across classes.
+    pub fn co_residency(mut self, tenants: usize) -> Self {
+        self.co_residency = tenants;
+        self
+    }
+
     /// Enables or disables observability (default on): span emission
     /// into the global journal plus the per-run utilization report.
     /// Modeled timing, stats, and traces are bit-identical either way.
@@ -378,6 +402,11 @@ impl HeteroSvdConfigBuilder {
                 "functional_parallelism must be at least 1".into(),
             ));
         }
+        if self.co_residency == 0 {
+            return Err(HeteroSvdError::InvalidConfig(
+                "co_residency must be at least 1".into(),
+            ));
+        }
 
         let pl_model = PlModel::new(self.calibration);
         let pl_freq = match self.pl_freq_mhz {
@@ -411,6 +440,7 @@ impl HeteroSvdConfigBuilder {
             timing_replay: self.timing_replay,
             adaptive_sweeps: self.adaptive_sweeps,
             cross_batch_pipelining: self.cross_batch_pipelining,
+            co_residency: self.co_residency,
             observability: self.observability,
             device: self.device,
             calibration: self.calibration,
@@ -569,6 +599,21 @@ mod tests {
         assert!(!c.adaptive_sweeps);
         assert!(c.cross_batch_pipelining);
         assert!(!c.observability);
+    }
+
+    #[test]
+    fn co_residency_defaults_to_single_tenant_and_validates() {
+        let c = HeteroSvdConfig::builder(128, 128).build().unwrap();
+        assert_eq!(c.co_residency, 1);
+        let c = HeteroSvdConfig::builder(128, 128)
+            .co_residency(4)
+            .build()
+            .unwrap();
+        assert_eq!(c.co_residency, 4);
+        assert!(HeteroSvdConfig::builder(128, 128)
+            .co_residency(0)
+            .build()
+            .is_err());
     }
 
     #[test]

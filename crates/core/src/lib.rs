@@ -62,9 +62,9 @@ pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HeteroSvdError;
 pub use obs::{JournalSummary, ObsConfig, ResourceKind, SpanJournal, Stage, UtilizationReport};
 pub use orth_pipeline::AdaptiveCounters;
-pub use placement::Placement;
+pub use placement::{tenant_capacity, tenant_stripe_width, Placement, SubGrid, SubGridAllocator};
 pub use plan_cache::CacheStats;
 pub use plan_cache::{PlanCache, PlanHandle};
 pub use replay::TimingProfile;
-pub use routing::PlioPlan;
+pub use routing::{assign_tenant_lanes, PlioPlan, TenantLanes};
 pub use timing::TimingBreakdown;

@@ -177,6 +177,20 @@ impl<'a> OrthPipeline<'a> {
         let layers = plan.placement.num_layers();
         let m_bytes = config.column_bytes();
         let plio_plan = plan.plio_plan;
+        // Interface contention (Eq. 8–10 under co-residency): the 32/24
+        // GB/s directional caps are per interface *group* — one task
+        // pipeline's port set — not array-global (see
+        // [`aie_sim::plio`]; it is how the paper's 26 parallel task
+        // pipelines scale linearly in Table VI). A co-resident tenant's
+        // full-height stripe sits over its own AIE–PL interface columns
+        // and owns a disjoint PLIO lane block
+        // ([`crate::routing::assign_tenant_lanes`]), so each tenant
+        // throttles only against its own group cap: `active_ports` is
+        // the tenant's own port count regardless of `co_residency`.
+        // Cross-tenant contention is carried by the shared NoC/DDR path
+        // instead (`DdrModel::contended_burst_time` splits sustained
+        // bandwidth `co_residency` ways on initial block loads and the
+        // result store).
         let active_ports = plio_plan.orth_in;
         let in_ports: Vec<usize> = (0..2 * k)
             .map(|c| plio_plan.input_port_of_column(c, k))

@@ -305,6 +305,262 @@ impl Placement {
     }
 }
 
+/// Columns one tenant pipeline occupies as a full-height stripe:
+/// `num_bands × (k + 1)` (each band is `k` orth columns plus one
+/// DMA-layer column). Independent of the matrix size — the footprint is
+/// set by the engine parallelism alone.
+pub fn tenant_stripe_width(geometry: ArrayGeometry, engine_parallelism: usize) -> usize {
+    let k = engine_parallelism.max(1);
+    let layers = 2 * k - 1;
+    let usable_rows = geometry.rows.saturating_sub(2).max(1);
+    layers.div_ceil(usable_rows) * (k + 1)
+}
+
+/// How many disjoint full-height tenant stripes of engine parallelism
+/// `k` the array fits side by side. This is the spatial co-residency
+/// ceiling the packing scheduler plans against (e.g. 5 at `P_eng = 4`
+/// on the 8×50 VCK190, 16 at `P_eng = 2`).
+pub fn tenant_capacity(geometry: ArrayGeometry, engine_parallelism: usize) -> usize {
+    geometry.cols / tenant_stripe_width(geometry, engine_parallelism)
+}
+
+/// A rectangular region of the AIE array held by one tenant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub struct SubGrid {
+    /// Bottom-left tile of the region.
+    pub origin: TileCoord,
+    /// Rows the region spans.
+    pub rows: usize,
+    /// Columns the region spans.
+    pub cols: usize,
+}
+
+impl SubGrid {
+    /// Tiles in the region.
+    pub fn area(&self) -> usize {
+        self.rows * self.cols
+    }
+
+    /// Whether `tile` lies inside the region.
+    pub fn contains(&self, tile: TileCoord) -> bool {
+        tile.row >= self.origin.row
+            && tile.row < self.origin.row + self.rows
+            && tile.col >= self.origin.col
+            && tile.col < self.origin.col + self.cols
+    }
+
+    /// Whether two regions share any tile.
+    pub fn overlaps(&self, other: &SubGrid) -> bool {
+        self.origin.col < other.origin.col + other.cols
+            && other.origin.col < self.origin.col + self.cols
+            && self.origin.row < other.origin.row + other.rows
+            && other.origin.row < self.origin.row + self.rows
+    }
+}
+
+/// Rectangular sub-grid allocator: carves the AIE array into disjoint
+/// tenant regions so several small-`n` pipelines can run side by side
+/// (the multi-problem array-packing tentpole).
+///
+/// The allocator is **geometry- and parity-aware**:
+///
+/// * Tenant pipelines are placed as **full-height column stripes**
+///   (rows `0..geometry.rows`). A stripe sees the same absolute rows as
+///   the whole-array placement — boundary rows 0 and `rows−1` stay
+///   reserved for norm-/mem-layers and each orth-layer keeps its row —
+///   so every row-parity-dependent invariant (even rows reach their
+///   WEST neighbor's memory, odd rows EAST; see
+///   [`aie_sim::geometry::TileCoord::is_even_row`]) holds at any column
+///   origin. Column origin therefore never enters the timing model or
+///   the plan fingerprint.
+/// * General rectangular requests are origin-aligned to **even rows**,
+///   so a region's relative row parity equals its absolute parity and
+///   kernels compiled for one origin behave identically at another.
+///
+/// Occupancy is a per-column row bitmask: allocations claim exact bits,
+/// [`SubGridAllocator::release`] clears exactly those bits, so an
+/// allocate → release pair restores the precise free set by
+/// construction. Batch placement uses first-fit-decreasing:
+/// [`SubGridAllocator::allocate_batch`] sorts requests by area
+/// (descending) and first-fit scans origin columns left to right.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SubGridAllocator {
+    geometry: ArrayGeometry,
+    /// Occupancy bitmask per array column; bit `r` set = row `r` taken.
+    columns: Vec<u64>,
+}
+
+impl SubGridAllocator {
+    /// An empty allocator over `geometry` (at most 64 rows).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry has more than 64 rows (the per-column
+    /// occupancy is a `u64` bitmask; every Versal array is 8 rows).
+    pub fn new(geometry: ArrayGeometry) -> Self {
+        assert!(
+            geometry.rows <= 64,
+            "sub-grid allocator supports <= 64 rows"
+        );
+        SubGridAllocator {
+            geometry,
+            columns: vec![0; geometry.cols],
+        }
+    }
+
+    /// The array geometry the allocator manages.
+    pub fn geometry(&self) -> ArrayGeometry {
+        self.geometry
+    }
+
+    /// Free tiles remaining.
+    pub fn free_tiles(&self) -> usize {
+        self.geometry.rows * self.geometry.cols - self.used_tiles()
+    }
+
+    /// Tiles currently allocated.
+    pub fn used_tiles(&self) -> usize {
+        self.columns.iter().map(|m| m.count_ones() as usize).sum()
+    }
+
+    fn row_mask(origin_row: usize, rows: usize) -> u64 {
+        let mask = if rows >= 64 {
+            u64::MAX
+        } else {
+            (1u64 << rows) - 1
+        };
+        mask << origin_row
+    }
+
+    /// First-fit allocation of a `rows × cols` region: scans origin
+    /// columns left to right and (within a column) even origin rows
+    /// bottom to top. Returns `None` when no free region fits.
+    pub fn allocate(&mut self, rows: usize, cols: usize) -> Option<SubGrid> {
+        if rows == 0 || cols == 0 || rows > self.geometry.rows || cols > self.geometry.cols {
+            return None;
+        }
+        for origin_col in 0..=self.geometry.cols - cols {
+            let mut origin_row = 0;
+            while origin_row + rows <= self.geometry.rows {
+                let mask = Self::row_mask(origin_row, rows);
+                if self.columns[origin_col..origin_col + cols]
+                    .iter()
+                    .all(|&m| m & mask == 0)
+                {
+                    for m in &mut self.columns[origin_col..origin_col + cols] {
+                        *m |= mask;
+                    }
+                    return Some(SubGrid {
+                        origin: TileCoord::new(origin_row, origin_col),
+                        rows,
+                        cols,
+                    });
+                }
+                origin_row += 2; // keep relative row parity == absolute
+            }
+        }
+        None
+    }
+
+    /// Allocates a full-height tenant stripe for one pipeline of the
+    /// given engine parallelism (see [`tenant_stripe_width`]).
+    pub fn allocate_tenant(&mut self, engine_parallelism: usize) -> Option<SubGrid> {
+        let width = tenant_stripe_width(self.geometry, engine_parallelism);
+        self.allocate(self.geometry.rows, width)
+    }
+
+    /// First-fit-decreasing batch placement: requests (as
+    /// `(rows, cols)`) are placed largest-area first, and the grids are
+    /// returned **in request order**. All-or-nothing — on failure every
+    /// grid placed so far is released and `None` is returned.
+    pub fn allocate_batch(&mut self, requests: &[(usize, usize)]) -> Option<Vec<SubGrid>> {
+        let mut order: Vec<usize> = (0..requests.len()).collect();
+        order.sort_by_key(|&i| std::cmp::Reverse(requests[i].0 * requests[i].1));
+        let mut placed: Vec<(usize, SubGrid)> = Vec::with_capacity(requests.len());
+        for &i in &order {
+            let (rows, cols) = requests[i];
+            match self.allocate(rows, cols) {
+                Some(grid) => placed.push((i, grid)),
+                None => {
+                    for (_, grid) in &placed {
+                        self.release(grid).expect("rollback releases own grids");
+                    }
+                    return None;
+                }
+            }
+        }
+        placed.sort_by_key(|&(i, _)| i);
+        Some(placed.into_iter().map(|(_, g)| g).collect())
+    }
+
+    /// Releases a previously allocated region, restoring exactly its
+    /// tiles to the free set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`HeteroSvdError::InvalidConfig`] when the region is out
+    /// of bounds or any of its tiles is not currently allocated (double
+    /// free / foreign region) — the free set is left untouched.
+    pub fn release(&mut self, grid: &SubGrid) -> Result<(), HeteroSvdError> {
+        if grid.rows == 0
+            || grid.cols == 0
+            || grid.origin.row + grid.rows > self.geometry.rows
+            || grid.origin.col + grid.cols > self.geometry.cols
+        {
+            return Err(HeteroSvdError::InvalidConfig(format!(
+                "sub-grid {}+{}x{} is out of bounds",
+                grid.origin, grid.rows, grid.cols
+            )));
+        }
+        let mask = Self::row_mask(grid.origin.row, grid.rows);
+        let span = &self.columns[grid.origin.col..grid.origin.col + grid.cols];
+        if span.iter().any(|&m| m & mask != mask) {
+            return Err(HeteroSvdError::InvalidConfig(format!(
+                "sub-grid {}+{}x{} is not fully allocated (double free?)",
+                grid.origin, grid.rows, grid.cols
+            )));
+        }
+        for m in &mut self.columns[grid.origin.col..grid.origin.col + grid.cols] {
+            *m &= !mask;
+        }
+        Ok(())
+    }
+
+    /// Area of the largest axis-aligned free rectangle.
+    pub fn largest_free_rect(&self) -> usize {
+        let rows = self.geometry.rows;
+        let mut best = 0;
+        for r0 in 0..rows {
+            for r1 in r0..rows {
+                let mask = Self::row_mask(r0, r1 - r0 + 1);
+                let height = r1 - r0 + 1;
+                let mut run = 0usize;
+                for &m in &self.columns {
+                    if m & mask == 0 {
+                        run += 1;
+                        best = best.max(run * height);
+                    } else {
+                        run = 0;
+                    }
+                }
+            }
+        }
+        best
+    }
+
+    /// External fragmentation: `1 − largest_free_rect / free_tiles`
+    /// (0 when the array is full or the free set is one rectangle). A
+    /// high value means free tiles exist but no contiguous region can
+    /// host a new tenant.
+    pub fn fragmentation(&self) -> f64 {
+        let free = self.free_tiles();
+        if free == 0 {
+            return 0.0;
+        }
+        1.0 - self.largest_free_rect() as f64 / free as f64
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -485,5 +741,106 @@ mod tests {
         assert_eq!(p.num_bands(), 1);
         assert_eq!(p.counts().orth, 1);
         assert_eq!(p.counts().mem, 1); // one DMA-layer tile
+    }
+
+    #[test]
+    fn tenant_capacity_matches_stripe_math() {
+        let g = aie_sim::geometry::ArrayGeometry::VCK190;
+        // P_eng=4: 7 layers / 6 usable rows = 2 bands of width 5 -> 10
+        // columns per stripe -> 5 stripes in 50 columns.
+        assert_eq!(tenant_stripe_width(g, 4), 10);
+        assert_eq!(tenant_capacity(g, 4), 5);
+        // P_eng=2: 3 layers -> 1 band of width 3 -> 16 stripes.
+        assert_eq!(tenant_stripe_width(g, 2), 3);
+        assert_eq!(tenant_capacity(g, 2), 16);
+        // P_eng=8: 15 layers -> 3 bands of width 9 -> 1 stripe only.
+        assert_eq!(tenant_capacity(g, 8), 1);
+    }
+
+    #[test]
+    fn tenant_stripes_never_overlap_and_fill_capacity() {
+        let g = aie_sim::geometry::ArrayGeometry::VCK190;
+        let mut alloc = SubGridAllocator::new(g);
+        let mut grids = Vec::new();
+        while let Some(grid) = alloc.allocate_tenant(4) {
+            grids.push(grid);
+        }
+        assert_eq!(grids.len(), tenant_capacity(g, 4));
+        for (i, a) in grids.iter().enumerate() {
+            // Full-height stripes starting at the boundary row, so the
+            // absolute rows (and their parity) match the whole-array
+            // placement at any column origin.
+            assert_eq!(a.origin.row, 0);
+            assert_eq!(a.rows, g.rows);
+            for b in &grids[i + 1..] {
+                assert!(!a.overlaps(b), "{a:?} overlaps {b:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn allocate_release_restores_exact_free_set() {
+        let g = aie_sim::geometry::ArrayGeometry::VCK190;
+        let mut alloc = SubGridAllocator::new(g);
+        let pristine = alloc.clone();
+        let a = alloc.allocate(4, 7).unwrap();
+        let b = alloc.allocate(8, 10).unwrap();
+        let c = alloc.allocate(2, 3).unwrap();
+        assert_eq!(alloc.used_tiles(), a.area() + b.area() + c.area());
+        alloc.release(&b).unwrap();
+        alloc.release(&a).unwrap();
+        alloc.release(&c).unwrap();
+        assert_eq!(alloc, pristine);
+        // Double free and foreign regions are rejected without damage.
+        assert!(alloc.release(&a).is_err());
+        assert_eq!(alloc, pristine);
+    }
+
+    #[test]
+    fn general_allocations_are_parity_aligned() {
+        let g = aie_sim::geometry::ArrayGeometry::VCK190;
+        let mut alloc = SubGridAllocator::new(g);
+        for _ in 0..12 {
+            if let Some(grid) = alloc.allocate(3, 5) {
+                assert_eq!(grid.origin.row % 2, 0, "origin row must stay even");
+                assert!(grid.origin.row + grid.rows <= g.rows);
+                assert!(grid.origin.col + grid.cols <= g.cols);
+            }
+        }
+    }
+
+    #[test]
+    fn batch_is_first_fit_decreasing_and_atomic() {
+        let g = aie_sim::geometry::ArrayGeometry::VCK190;
+        let mut alloc = SubGridAllocator::new(g);
+        // Results come back in request order, sizes preserved.
+        let grids = alloc.allocate_batch(&[(2, 3), (8, 10), (4, 5)]).unwrap();
+        assert_eq!(grids[0].rows * grids[0].cols, 6);
+        assert_eq!(grids[1].rows * grids[1].cols, 80);
+        assert_eq!(grids[2].rows * grids[2].cols, 20);
+        // The largest request was placed first (leftmost full column).
+        assert_eq!(grids[1].origin.col, 0);
+        let used = alloc.used_tiles();
+        // An unsatisfiable batch rolls back completely.
+        assert!(alloc.allocate_batch(&[(8, 10), (8, 50)]).is_none());
+        assert_eq!(alloc.used_tiles(), used);
+    }
+
+    #[test]
+    fn fragmentation_accounts_for_checkerboard_release() {
+        let g = aie_sim::geometry::ArrayGeometry::VCK190;
+        let mut alloc = SubGridAllocator::new(g);
+        assert_eq!(alloc.fragmentation(), 0.0); // one free rectangle
+        let s0 = alloc.allocate_tenant(4).unwrap();
+        let s1 = alloc.allocate_tenant(4).unwrap();
+        let s2 = alloc.allocate_tenant(4).unwrap();
+        assert_eq!((s0.cols, s1.cols, s2.cols), (10, 10, 10));
+        // Releasing the middle stripe splits the free set: 8x10 hole +
+        // 8x20 tail -> largest rect 160 of 240 free tiles.
+        alloc.release(&s1).unwrap();
+        assert_eq!(alloc.largest_free_rect(), 160);
+        assert!((alloc.fragmentation() - 1.0 / 3.0).abs() < 1e-12);
+        let _ = s0;
+        let _ = s2;
     }
 }

@@ -11,11 +11,14 @@
 //! once instead of once per worker.
 //!
 //! The cache key is `(shape, fingerprint)` where the fingerprint hashes
-//! exactly the config fields a plan depends on (`P_eng`, `P_task`, PL
-//! frequency, ordering, dataflow, device, calibration). Numerical knobs
-//! (precision, iteration policy, fidelity, trace recording, functional
-//! parallelism) are deliberately excluded — a serial and a parallel run
-//! of the same design share one plan.
+//! exactly the config fields a plan depends on (`P_eng`, `P_task`, the
+//! co-residency class, PL frequency, ordering, dataflow, device,
+//! calibration). Numerical knobs (precision, iteration policy, fidelity,
+//! trace recording, functional parallelism) are deliberately excluded —
+//! a serial and a parallel run of the same design share one plan. The
+//! co-residency class *is* fingerprinted because the lazily probed
+//! timing profile cached on the plan embeds contention-scaled PLIO/DDR
+//! durations: a packed wave and a solo run must not share a probe.
 
 use crate::config::HeteroSvdConfig;
 use crate::placement::Placement;
@@ -185,6 +188,7 @@ impl PlanKey {
         let mut h = std::collections::hash_map::DefaultHasher::new();
         config.engine_parallelism.hash(&mut h);
         config.task_parallelism.hash(&mut h);
+        config.co_residency.hash(&mut h);
         config.pl_freq.mhz().to_bits().hash(&mut h);
         // Structured knobs hash via their serialized form, which the
         // vendored serde stack supports for any derived `Serialize`.
@@ -379,6 +383,21 @@ mod tests {
         assert!(!Arc::ptr_eq(&a, &b));
         assert!(!Arc::ptr_eq(&a, &c));
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn co_residency_classes_split_plans() {
+        // The cached timing profile embeds contention-scaled durations,
+        // so co-residency classes must never share a plan (and hence
+        // never share a probe).
+        let cache = PlanCache::new(8);
+        let solo = config(16, 2);
+        let mut packed = solo.clone();
+        packed.co_residency = 4;
+        let a = cache.get_or_build(&solo).unwrap();
+        let b = cache.get_or_build(&packed).unwrap();
+        assert!(!Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

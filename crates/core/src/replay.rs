@@ -225,7 +225,11 @@ impl TimingProfile {
 /// The serialized first-iteration DDR loads of Eq. 12: per-block ready
 /// times, the total load time (`t_DDR`), and the bytes loaded. Shared by
 /// the accelerator driver and the profile probe so that replay validity
-/// reduces to vector equality.
+/// reduces to vector equality. With `co_residency > 1` each burst is
+/// contention-scaled — the co-resident tenants' loaders split the single
+/// DDR controller's bandwidth — and because the probe clones the caller's
+/// config, packed profiles start from the same contended stagger the
+/// packed live run does, keeping replay exact per co-residency class.
 pub(crate) fn ddr_initial_ready(config: &HeteroSvdConfig) -> (Vec<TimePs>, TimePs, usize) {
     let ddr = DdrModel::new(config.calibration);
     let p = config.num_blocks();
@@ -233,7 +237,7 @@ pub(crate) fn ddr_initial_ready(config: &HeteroSvdConfig) -> (Vec<TimePs>, TimeP
     let mut ready = Vec::with_capacity(p);
     let mut t = TimePs::ZERO;
     for _ in 0..p {
-        t += ddr.burst_time(block_bytes);
+        t += ddr.contended_burst_time(block_bytes, config.co_residency);
         ready.push(t);
     }
     (ready, t, p * block_bytes)
@@ -369,6 +373,26 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn contended_ddr_stagger_is_slower_but_still_steady() {
+        let solo = config(16, 2);
+        let mut packed = solo.clone();
+        packed.co_residency = 4;
+        let (solo_ready, solo_total, bytes) = ddr_initial_ready(&solo);
+        let (packed_ready, packed_total, packed_bytes) = ddr_initial_ready(&packed);
+        assert_eq!(bytes, packed_bytes, "contention never changes payload");
+        assert_eq!(solo_ready.len(), packed_ready.len());
+        assert!(packed_total > solo_total);
+        for (s, p) in solo_ready.iter().zip(&packed_ready) {
+            assert!(p > s, "every contended stagger point is later");
+        }
+        // The contended start state still settles into a steady state,
+        // so packed waves keep O(1) replay.
+        let plan = PlanHandle::build(&packed).unwrap();
+        let profile = TimingProfile::build(&packed, &plan).expect("steady state under contention");
+        assert_eq!(profile.initial_block_ready(), &packed_ready[..]);
     }
 
     #[test]

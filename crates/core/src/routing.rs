@@ -62,6 +62,69 @@ impl PlioPlan {
     }
 }
 
+/// The physical PLIO lane block of one co-resident tenant: tenant
+/// `slot` owns the contiguous lanes
+/// `[slot · PLIO_PER_TASK, (slot + 1) · PLIO_PER_TASK)`, so co-scheduled
+/// pipelines never share a physical lane — they contend only for the
+/// shared interface-group bandwidth (modeled by the PLIO throttle), not
+/// for ports.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct TenantLanes {
+    /// The tenant's stripe slot (0-based, left to right).
+    pub slot: usize,
+    /// First physical lane of the tenant's block.
+    pub base: usize,
+}
+
+impl TenantLanes {
+    /// The lane block of stripe `slot`.
+    pub fn for_slot(slot: usize) -> Self {
+        TenantLanes {
+            slot,
+            base: slot * PLIO_PER_TASK,
+        }
+    }
+
+    /// Physical lane carrying this tenant's input column `col`
+    /// (the logical [`PlioPlan`] port offset into the tenant's block).
+    pub fn input_lane(&self, plan: &PlioPlan, col: usize, k: usize) -> usize {
+        self.base + plan.input_port_of_column(col, k)
+    }
+
+    /// Physical lane carrying this tenant's output column `col`
+    /// (output ports sit after the input ports within the block).
+    pub fn output_lane(&self, plan: &PlioPlan, col: usize, k: usize) -> usize {
+        self.base + ORTH_IN_PORTS + plan.output_port_of_column(col, k)
+    }
+
+    /// The tenant's physical lane range.
+    pub fn lanes(&self) -> std::ops::Range<usize> {
+        self.base..self.base + PLIO_PER_TASK
+    }
+}
+
+/// Assigns disjoint physical lane blocks to `tenants` co-resident
+/// pipelines, checking the device PLIO budget.
+///
+/// # Errors
+///
+/// Returns [`aie_sim::SimError::ResourceExceeded`] (resource `"PLIO"`)
+/// when `tenants · PLIO_PER_TASK` exceeds `plio_budget`.
+pub fn assign_tenant_lanes(
+    tenants: usize,
+    plio_budget: usize,
+) -> Result<Vec<TenantLanes>, aie_sim::SimError> {
+    let used = tenants * PLIO_PER_TASK;
+    if used > plio_budget {
+        return Err(aie_sim::SimError::ResourceExceeded {
+            resource: "PLIO",
+            used,
+            budget: plio_budget,
+        });
+    }
+    Ok((0..tenants).map(TenantLanes::for_slot).collect())
+}
+
 /// A dynamic-forwarding packet header: the 32-bit word prepended to each
 /// column packet, carrying the destination slot for the tile switches.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -146,6 +209,34 @@ mod tests {
         };
         assert_eq!(h0.encode(), 0);
         assert_eq!(PacketHeader::decode(0), h0);
+    }
+
+    #[test]
+    fn tenant_lane_blocks_are_disjoint_and_budgeted() {
+        let lanes = assign_tenant_lanes(5, 156).unwrap();
+        assert_eq!(lanes.len(), 5);
+        for (i, a) in lanes.iter().enumerate() {
+            assert_eq!(a.slot, i);
+            assert_eq!(a.lanes().len(), PLIO_PER_TASK);
+            for b in &lanes[i + 1..] {
+                assert!(a.lanes().end <= b.lanes().start || b.lanes().end <= a.lanes().start);
+            }
+        }
+        // Every logical port of every tenant maps into its own block.
+        let plan = PlioPlan::standard();
+        let k = 4;
+        for t in &lanes {
+            for col in 0..2 * k {
+                let input = t.input_lane(&plan, col, k);
+                let output = t.output_lane(&plan, col, k);
+                assert!(t.lanes().contains(&input));
+                assert!(t.lanes().contains(&output));
+                assert_ne!(input, output);
+            }
+        }
+        // 27 tenants would need 162 lanes > the VCK190's 156.
+        assert!(assign_tenant_lanes(27, 156).is_err());
+        assert!(assign_tenant_lanes(26, 156).is_ok());
     }
 
     #[test]

@@ -117,3 +117,118 @@ proptest! {
         prop_assert_eq!(un.uram, p_task * u1.uram);
     }
 }
+
+// ---------------------------------------------------------------------
+// Sub-grid allocator invariants (multi-problem array packing).
+
+use aie_sim::geometry::ArrayGeometry;
+use heterosvd::{tenant_capacity, tenant_stripe_width, SubGrid, SubGridAllocator};
+
+fn assert_disjoint_and_in_bounds(grids: &[SubGrid], geometry: ArrayGeometry) {
+    for (i, g) in grids.iter().enumerate() {
+        assert!(g.origin.row + g.rows <= geometry.rows, "{g:?} exceeds rows");
+        assert!(g.origin.col + g.cols <= geometry.cols, "{g:?} exceeds cols");
+        assert!(g.origin.row % 2 == 0, "{g:?} breaks row-parity alignment");
+        for other in &grids[i + 1..] {
+            assert!(!g.overlaps(other), "{g:?} overlaps {other:?}");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any sequence of first-fit allocations yields pairwise-disjoint,
+    /// in-bounds, parity-aligned regions, and the occupancy ledger
+    /// matches the sum of the granted areas.
+    #[test]
+    fn allocations_are_disjoint_parity_aligned_and_accounted(
+        requests in prop::collection::vec((1usize..=8, 1usize..=12), 1..12)
+    ) {
+        let geometry = ArrayGeometry::VCK190;
+        let mut allocator = SubGridAllocator::new(geometry);
+        let mut granted: Vec<SubGrid> = Vec::new();
+        for (rows, cols) in requests {
+            if let Some(grid) = allocator.allocate(rows, cols) {
+                prop_assert_eq!(grid.rows, rows);
+                prop_assert_eq!(grid.cols, cols);
+                granted.push(grid);
+            }
+        }
+        assert_disjoint_and_in_bounds(&granted, geometry);
+        let area: usize = granted.iter().map(SubGrid::area).sum();
+        prop_assert_eq!(allocator.used_tiles(), area);
+        prop_assert_eq!(allocator.free_tiles(), geometry.num_tiles() - area);
+    }
+
+    /// Releasing every granted region, in any order, restores the exact
+    /// empty free set — the allocator is bit-for-bit equal to a fresh
+    /// one and fragmentation returns to zero.
+    #[test]
+    fn release_in_any_order_restores_the_exact_free_set(
+        requests in prop::collection::vec((1usize..=8, 1usize..=12), 1..10),
+        rotate in 0usize..10
+    ) {
+        let geometry = ArrayGeometry::VCK190;
+        let mut allocator = SubGridAllocator::new(geometry);
+        let mut granted: Vec<SubGrid> = requests
+            .iter()
+            .filter_map(|&(r, c)| allocator.allocate(r, c))
+            .collect();
+        if !granted.is_empty() {
+            let mid = rotate % granted.len();
+            granted.rotate_left(mid); // release order != allocation order
+        }
+        for grid in &granted {
+            allocator.release(grid).unwrap();
+            // Double release must fail and must not corrupt the ledger.
+            prop_assert!(allocator.release(grid).is_err());
+        }
+        prop_assert_eq!(&allocator, &SubGridAllocator::new(geometry));
+        prop_assert_eq!(allocator.free_tiles(), geometry.num_tiles());
+        prop_assert!(allocator.fragmentation() == 0.0);
+    }
+
+    /// Tenant stripes: exactly `tenant_capacity` full-height stripes fit
+    /// (then allocation fails), each of the published width, pairwise
+    /// disjoint.
+    #[test]
+    fn tenant_stripes_fill_exactly_to_capacity(p_eng in 1usize..=8) {
+        let geometry = ArrayGeometry::VCK190;
+        let capacity = tenant_capacity(geometry, p_eng);
+        prop_assert!(capacity >= 1, "every P_eng must fit at least one tenant");
+        let mut allocator = SubGridAllocator::new(geometry);
+        let mut stripes = Vec::new();
+        for _ in 0..capacity {
+            let stripe = allocator.allocate_tenant(p_eng).unwrap();
+            prop_assert_eq!(stripe.rows, geometry.rows, "stripes span all rows");
+            prop_assert_eq!(stripe.cols, tenant_stripe_width(geometry, p_eng));
+            stripes.push(stripe);
+        }
+        prop_assert!(allocator.allocate_tenant(p_eng).is_none(), "beyond capacity");
+        assert_disjoint_and_in_bounds(&stripes, geometry);
+    }
+
+    /// Batch placement is all-or-nothing: on success the grids come back
+    /// in request order with the requested dimensions; on failure the
+    /// allocator is untouched.
+    #[test]
+    fn batch_placement_is_atomic_and_order_preserving(
+        requests in prop::collection::vec((1usize..=8, 1usize..=20), 1..8)
+    ) {
+        let geometry = ArrayGeometry::VCK190;
+        let mut allocator = SubGridAllocator::new(geometry);
+        let before = allocator.clone();
+        match allocator.allocate_batch(&requests) {
+            Some(grids) => {
+                prop_assert_eq!(grids.len(), requests.len());
+                for (grid, &(rows, cols)) in grids.iter().zip(&requests) {
+                    prop_assert_eq!(grid.rows, rows);
+                    prop_assert_eq!(grid.cols, cols);
+                }
+                assert_disjoint_and_in_bounds(&grids, geometry);
+            }
+            None => prop_assert_eq!(&allocator, &before),
+        }
+    }
+}

@@ -68,6 +68,19 @@ pub struct ServeConfig {
     /// requests). Least-recently-used models are evicted past it; the
     /// most recently published model is always retained.
     pub factor_store_bytes: usize,
+    /// Whether replicas spatially co-schedule a same-shape decompose
+    /// batch as multiple tenants on disjoint sub-arrays (multi-problem
+    /// array packing). When the shape's stripe footprint fits `w >= 2`
+    /// tenants (see [`heterosvd::tenant_capacity`]), the batch executes
+    /// as waves of `w` concurrent problems with Eq. (14) charged on the
+    /// wave's max completion under shared PLIO/DDR bandwidth; otherwise
+    /// the replica falls back to the sequential path. Per-matrix factors
+    /// are bit-identical either way (the contention model never touches
+    /// the math), so this defaults on. Like `observability`, the knob
+    /// never enters the plan-cache key — but the packed tenant count
+    /// does, via [`heterosvd::HeteroSvdConfig::co_residency`], so packed
+    /// and solo timing profiles are never conflated.
+    pub array_packing: bool,
 }
 
 impl Default for ServeConfig {
@@ -89,6 +102,7 @@ impl Default for ServeConfig {
             observability: true,
             metrics_scrape_interval: None,
             factor_store_bytes: 64 << 20,
+            array_packing: true,
         }
     }
 }
@@ -160,9 +174,56 @@ impl ServeConfig {
         &self,
         shape: (usize, usize),
     ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
+        self.build_config(shape, self.task_parallelism, 1)
+    }
+
+    /// The accelerator configuration for a *packed* wave of `tenants`
+    /// co-resident problems: Eq. (14) divides the batch by the tenant
+    /// count, and [`heterosvd::HeteroSvdConfig::co_residency`] scales the
+    /// shared PLIO/DDR interfaces so each tenant's modeled time reflects
+    /// `tenants`-way contention (Eq. 9–12). `tenants` enters the plan
+    /// fingerprint, so packed and solo timing profiles never conflate.
+    ///
+    /// # Errors
+    ///
+    /// [`heterosvd::HeteroSvdError`] when the shape or knobs are invalid
+    /// or `tenants` stripes exceed the device's capacity.
+    pub fn packed_accelerator_config(
+        &self,
+        shape: (usize, usize),
+        tenants: usize,
+    ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
+        self.build_config(shape, tenants, tenants)
+    }
+
+    /// How many tenants a replica should pack a `batch`-request wave
+    /// into: `min(stripe capacity, batch)`, or 1 when packing is off,
+    /// the batch is a singleton, or the shape's stripe doesn't fit at
+    /// least two tenants (the sequential fallback).
+    pub fn packed_tenants(&self, shape: (usize, usize), batch: usize) -> usize {
+        if !self.array_packing || batch < 2 {
+            return 1;
+        }
+        let capacity = match self.accelerator_config(shape) {
+            Ok(cfg) => heterosvd::tenant_capacity(cfg.geometry(), cfg.engine_parallelism),
+            Err(_) => 1,
+        };
+        if capacity < 2 {
+            return 1;
+        }
+        capacity.min(batch)
+    }
+
+    fn build_config(
+        &self,
+        shape: (usize, usize),
+        task_parallelism: usize,
+        co_residency: usize,
+    ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
         let mut builder = heterosvd::HeteroSvdConfig::builder(shape.0, shape.1)
             .engine_parallelism(self.engine_parallelism)
-            .task_parallelism(self.task_parallelism)
+            .task_parallelism(task_parallelism)
+            .co_residency(co_residency)
             .precision(self.precision)
             .functional_parallelism(self.functional_parallelism)
             .fidelity(self.fidelity)
@@ -221,6 +282,29 @@ mod tests {
             mutate(&mut c);
             assert!(c.validate().is_err(), "accepted invalid config {c:?}");
         }
+    }
+
+    #[test]
+    fn packed_tenants_respects_knob_capacity_and_batch() {
+        let mut c = ServeConfig::default(); // P_eng = 2 -> capacity 16 on VCK190
+        assert_eq!(c.packed_tenants((16, 16), 8), 8, "batch-bound");
+        assert_eq!(c.packed_tenants((16, 16), 64), 16, "capacity-bound");
+        assert_eq!(c.packed_tenants((16, 16), 1), 1, "singleton stays solo");
+        c.array_packing = false;
+        assert_eq!(c.packed_tenants((16, 16), 8), 1, "knob off");
+        c.array_packing = true;
+        c.engine_parallelism = 8; // stripe capacity 1 -> sequential fallback
+        assert_eq!(c.packed_tenants((32, 32), 8), 1);
+    }
+
+    #[test]
+    fn packed_config_sets_wave_width_and_contention_class() {
+        let c = ServeConfig::default();
+        let cfg = c.packed_accelerator_config((16, 16), 4).unwrap();
+        assert_eq!(cfg.task_parallelism, 4);
+        assert_eq!(cfg.co_residency, 4);
+        let solo = c.accelerator_config((16, 16)).unwrap();
+        assert_eq!(solo.co_residency, 1);
     }
 
     #[test]

@@ -28,6 +28,11 @@ pub(crate) struct Metrics {
     pub(crate) worker_panics: AtomicU64,
     pub(crate) replicas_spawned: AtomicU64,
     pub(crate) batches_dispatched: AtomicU64,
+    /// Batches executed as packed waves (>= 2 co-resident tenants on
+    /// disjoint sub-grids) rather than the sequential path.
+    pub(crate) packed_batches: AtomicU64,
+    /// Requests served inside packed waves.
+    pub(crate) packed_requests: AtomicU64,
     /// Per-request-type counter split, indexed by
     /// [`RequestType::index`]; the aggregates above stay authoritative
     /// for mixed totals.
@@ -114,6 +119,8 @@ impl Metrics {
             worker_panics: AtomicU64::new(0),
             replicas_spawned: AtomicU64::new(0),
             batches_dispatched: AtomicU64::new(0),
+            packed_batches: AtomicU64::new(0),
+            packed_requests: AtomicU64::new(0),
             per_type: [TypeMetrics::new(), TypeMetrics::new()],
             samples: Mutex::new(Vec::new()),
             window: Mutex::new(WindowState::new()),
@@ -132,6 +139,12 @@ impl Metrics {
     pub(crate) fn record_completed(&self, rtype: RequestType) {
         self.completed_ok.fetch_add(1, Ordering::Relaxed);
         self.of(rtype).completed_ok.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one packed wave covering `requests` co-scheduled requests.
+    pub(crate) fn record_packed(&self, requests: u64) {
+        self.packed_batches.fetch_add(1, Ordering::Relaxed);
+        self.packed_requests.fetch_add(requests, Ordering::Relaxed);
     }
 
     pub(crate) fn record_cancelled(&self) {
@@ -226,6 +239,8 @@ impl Metrics {
             replicas_spawned: self.replicas_spawned.load(Ordering::Relaxed),
             replicas_live: replicas_live as u64,
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            packed_batches: self.packed_batches.load(Ordering::Relaxed),
+            packed_requests: self.packed_requests.load(Ordering::Relaxed),
             queue_depth: queue_depth as u64,
             mean_batch_size: mean_batch,
             throughput_rps: if elapsed > 0.0 {
@@ -349,6 +364,10 @@ pub struct MetricsSnapshot {
     pub replicas_live: u64,
     /// Batches handed to replicas.
     pub batches_dispatched: u64,
+    /// Batches executed as packed waves (>= 2 co-resident tenants).
+    pub packed_batches: u64,
+    /// Requests served inside packed waves.
+    pub packed_requests: u64,
     /// Admission queue depth at snapshot time.
     pub queue_depth: u64,
     /// Mean executed batch size over the sample window.

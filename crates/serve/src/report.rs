@@ -132,6 +132,18 @@ impl MetricsReport {
             "Batches handed to replicas.",
             s.batches_dispatched,
         );
+        counter(
+            out,
+            "packed_batches_total",
+            "Batches executed as packed multi-tenant waves.",
+            s.packed_batches,
+        );
+        counter(
+            out,
+            "packed_requests_total",
+            "Requests served inside packed waves.",
+            s.packed_requests,
+        );
         let _ = writeln!(
             out,
             "# HELP hsvd_timed_out_total Deadline expiries by drop point."

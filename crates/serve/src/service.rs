@@ -535,7 +535,7 @@ fn spawn_replica(inner: &Arc<Inner>) {
 /// A panic while serving a batch fails that batch, retires this replica,
 /// and spawns a replacement.
 fn replica_main(inner: Arc<Inner>) {
-    let mut accelerators: HashMap<(usize, usize), Accelerator> = HashMap::new();
+    let mut accelerators: HashMap<AcceleratorKey, Accelerator> = HashMap::new();
     loop {
         match inner.dispatch.pop(batcher::POLL_TICK) {
             PopResult::Item(mut batch) => {
@@ -574,7 +574,7 @@ fn fail_batch(inner: &Inner, batch: &Batch, err: &ServeError) {
 /// the decompose or apply execution path for the batch's key.
 fn execute_batch(
     inner: &Inner,
-    accelerators: &mut HashMap<(usize, usize), Accelerator>,
+    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
     batch: &mut Batch,
     exec_started: Instant,
 ) {
@@ -645,13 +645,25 @@ fn execute_batch(
 /// replica panic.
 fn execute_decompose(
     inner: &Inner,
-    accelerators: &mut HashMap<(usize, usize), Accelerator>,
+    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
     batch: &mut Batch,
     live: &[usize],
     exec_started: Instant,
     shape: (usize, usize),
 ) {
-    let accelerator = match cached_accelerator(accelerators, inner, shape) {
+    // Packing decision: a same-shape batch of w >= 2 small problems
+    // executes as one wave of w co-resident tenants on disjoint
+    // sub-grids. Any failure along the packed path (config, placement,
+    // lanes, accelerator build) falls back to the sequential w = 1 path
+    // rather than failing the batch.
+    let mut tenants = inner.config.packed_tenants(shape, live.len());
+    if tenants >= 2
+        && (plan_wave_placement(inner, shape, tenants).is_none()
+            || cached_accelerator(accelerators, inner, shape, tenants).is_err())
+    {
+        tenants = 1;
+    }
+    let accelerator = match cached_accelerator(accelerators, inner, shape, tenants) {
         Ok(a) => a,
         Err(e) => {
             let err = ServeError::from(e);
@@ -663,6 +675,9 @@ fn execute_decompose(
             return;
         }
     };
+    if tenants >= 2 {
+        inner.metrics.record_packed(live.len() as u64);
+    }
 
     // Move each matrix out of its entry instead of cloning it (the old
     // path copied rows × cols × 8 bytes per request per batch). The
@@ -741,12 +756,16 @@ fn execute_decompose(
                     output,
                     latency,
                 };
-                if entry.request.state.complete(Ok(Completion::Svd(response))) {
-                    inner.metrics.record_completed(RequestType::Decompose);
-                    inner
-                        .metrics
-                        .record_latency(&latency, RequestType::Decompose);
-                }
+                // Record before completing: complete() wakes the waiter,
+                // and a caller snapshotting metrics right after wait()
+                // must observe its own completion. A live entry has no
+                // other completer (the batcher only completes requests it
+                // never dispatched), so this replica always wins.
+                inner.metrics.record_completed(RequestType::Decompose);
+                inner
+                    .metrics
+                    .record_latency(&latency, RequestType::Decompose);
+                entry.request.state.complete(Ok(Completion::Svd(response)));
             }
         }
         Err(e) => {
@@ -855,14 +874,14 @@ fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started:
             meta,
             latency,
         };
-        if entry
+        // Record before completing (see execute_decompose): the waiter
+        // wakes on complete() and may snapshot metrics immediately.
+        inner.metrics.record_completed(RequestType::Apply);
+        inner.metrics.record_latency(&latency, RequestType::Apply);
+        entry
             .request
             .state
-            .complete(Ok(Completion::Apply(response)))
-        {
-            inner.metrics.record_completed(RequestType::Apply);
-            inner.metrics.record_latency(&latency, RequestType::Apply);
-        }
+            .complete(Ok(Completion::Apply(response)));
     }
 }
 
@@ -877,21 +896,53 @@ fn merge_shape_utilization(inner: &Inner, shape: (usize, usize), util: Utilizati
     }
 }
 
-/// Returns this replica's accelerator for `shape`, building it on first
-/// use. Each replica keeps one accelerator per distinct request shape.
+/// Replica accelerator-cache key: request shape plus the wave's tenant
+/// count (1 = the sequential path). Packed and solo accelerators are
+/// distinct because the tenant count changes both the Eq. (14) wave
+/// width and the contention class of the timing profile.
+type AcceleratorKey = ((usize, usize), usize);
+
+/// Returns this replica's accelerator for `shape` at `tenants`-way
+/// co-residency, building it on first use.
 fn cached_accelerator<'a>(
-    accelerators: &'a mut HashMap<(usize, usize), Accelerator>,
+    accelerators: &'a mut HashMap<AcceleratorKey, Accelerator>,
     inner: &Inner,
     shape: (usize, usize),
+    tenants: usize,
 ) -> Result<&'a Accelerator, HeteroSvdError> {
     use std::collections::hash_map::Entry;
-    match accelerators.entry(shape) {
+    match accelerators.entry((shape, tenants)) {
         Entry::Occupied(slot) => Ok(slot.into_mut()),
         Entry::Vacant(slot) => {
-            let accelerator = Accelerator::new(inner.config.accelerator_config(shape)?)?;
+            let config = if tenants >= 2 {
+                inner.config.packed_accelerator_config(shape, tenants)?
+            } else {
+                inner.config.accelerator_config(shape)?
+            };
+            let accelerator = Accelerator::new(config)?;
             Ok(slot.insert(accelerator))
         }
     }
+}
+
+/// Places one packed wave: carves `tenants` disjoint full-height stripes
+/// out of the device and assigns each its private PLIO lane block.
+/// Returns `None` when the wave does not fit (the caller falls back to
+/// the sequential path). The stripes are released when the allocator
+/// drops — placement is per-wave, so a replica's next wave (possibly a
+/// different shape) starts from an empty array.
+fn plan_wave_placement(
+    inner: &Inner,
+    shape: (usize, usize),
+    tenants: usize,
+) -> Option<Vec<heterosvd::SubGrid>> {
+    let config = inner.config.accelerator_config(shape).ok()?;
+    let mut allocator = heterosvd::SubGridAllocator::new(config.geometry());
+    let stripes: Vec<heterosvd::SubGrid> = (0..tenants)
+        .map(|_| allocator.allocate_tenant(config.engine_parallelism))
+        .collect::<Option<Vec<_>>>()?;
+    heterosvd::assign_tenant_lanes(tenants, config.device.budget.plio).ok()?;
+    Some(stripes)
 }
 
 #[cfg(test)]
@@ -927,6 +978,76 @@ mod tests {
         let m = service.metrics();
         assert_eq!(m.completed_ok, 1);
         assert_eq!(m.replicas_live, 0);
+    }
+
+    #[test]
+    fn packed_waves_are_bit_identical_to_sequential() {
+        // The same eight matrices through a packing service and a
+        // sequential one: every factor must match bitwise (the
+        // contention model never touches the math), and the packing
+        // service must have actually packed at least one wave.
+        let matrices: Vec<_> = (0..8).map(|s| test_matrix(16, 16, s)).collect();
+        let run = |packing: bool| {
+            let config = ServeConfig {
+                workers: 1,
+                max_batch: 8,
+                // Long linger so the batcher reliably forms multi-request
+                // batches from the burst below.
+                max_linger: Duration::from_millis(50),
+                array_packing: packing,
+                ..quick_config()
+            };
+            let service = SvdService::start(config).unwrap();
+            let handles: Vec<_> = matrices
+                .iter()
+                .map(|m| service.try_submit(m.clone()).unwrap())
+                .collect();
+            let outputs: Vec<_> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
+            service.shutdown();
+            (outputs, service.metrics())
+        };
+        let (packed, packed_metrics) = run(true);
+        let (sequential, sequential_metrics) = run(false);
+        assert!(
+            packed_metrics.packed_batches >= 1,
+            "packing service never packed: {packed_metrics:?}"
+        );
+        assert!(
+            packed_metrics.packed_requests >= 2,
+            "a packed wave covers at least two requests: {packed_metrics:?}"
+        );
+        assert_eq!(sequential_metrics.packed_batches, 0);
+        for (p, s) in packed.iter().zip(&sequential) {
+            assert_eq!(p.output.result.sigma, s.output.result.sigma);
+            assert_eq!(p.output.result.u.as_slice(), s.output.result.u.as_slice());
+        }
+    }
+
+    #[test]
+    fn unpackable_shape_falls_back_to_sequential() {
+        // P_eng = 8 stripes span the whole array (capacity 1), so even a
+        // full batch must take the sequential path — and still succeed.
+        let config = ServeConfig {
+            workers: 1,
+            max_batch: 4,
+            max_linger: Duration::from_millis(50),
+            engine_parallelism: 8,
+            // A P_eng = 8 pipeline nearly fills the array; replicated
+            // pipelines would blow the Eq. 16 AIE budget outright.
+            task_parallelism: 1,
+            ..quick_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let handles: Vec<_> = (0..4)
+            .map(|s| service.try_submit(test_matrix(16, 16, s)).unwrap())
+            .collect();
+        for h in handles {
+            h.wait().unwrap();
+        }
+        service.shutdown();
+        let m = service.metrics();
+        assert_eq!(m.completed_ok, 4);
+        assert_eq!(m.packed_batches, 0, "capacity-1 shape must not pack");
     }
 
     #[test]

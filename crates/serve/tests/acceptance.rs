@@ -114,6 +114,9 @@ fn batched_requests_are_charged_eq14_system_time() {
         max_batch: 5,
         max_linger: Duration::from_millis(300),
         task_parallelism: p_task,
+        // This test pins the *sequential* Eq. (14) charge; the packed
+        // wave charge has its own acceptance test below.
+        array_packing: false,
         ..ServeConfig::default()
     })
     .unwrap();
@@ -167,4 +170,53 @@ fn batched_requests_are_charged_eq14_system_time() {
         "linger window failed to coalesce any batch; responses all ran solo"
     );
     service.shutdown();
+}
+
+/// Packed Eq. (14) charging: with `array_packing` on (the default) a
+/// small-shape batch executes as one wave of `w = min(capacity, B)`
+/// co-resident tenants, so every member is charged `⌈B / w⌉ · t_task` —
+/// one wave when the whole batch fits the array, regardless of the
+/// configured `task_parallelism`.
+#[test]
+fn packed_batch_is_charged_on_the_wave() {
+    let service = SvdService::start(ServeConfig {
+        workers: 1,
+        queue_capacity: 16,
+        max_batch: 5,
+        max_linger: Duration::from_millis(300),
+        task_parallelism: 3,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let matrix = well_conditioned(8, 8, 5);
+    let handles: Vec<_> = (0..5)
+        .map(|_| {
+            service
+                .try_submit_with(matrix.clone(), SubmitOptions::default())
+                .unwrap()
+        })
+        .collect();
+    let mut saw_real_batch = false;
+    for handle in handles {
+        let response = handle.wait().expect("packed request must complete");
+        let batch = response.latency.batch_size;
+        saw_real_batch |= batch > 1;
+        // P_eng = 2 stripes have capacity 16 on the VCK190, so w = batch
+        // and the wave count ⌈batch / w⌉ is always 1: the charge is the
+        // (contention-scaled) task time itself. The response's own
+        // timing already reflects the wave's co-residency class.
+        assert_eq!(
+            response.latency.sim_exec_ps, response.output.timing.task_time.0,
+            "wave charge violated for batch of {batch}"
+        );
+    }
+    assert!(
+        saw_real_batch,
+        "linger window failed to coalesce any batch; responses all ran solo"
+    );
+    service.shutdown();
+    let m = service.metrics();
+    assert!(m.packed_batches >= 1, "no wave was packed: {m:?}");
+    assert_eq!(m.completed_ok, 5);
 }

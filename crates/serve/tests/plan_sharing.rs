@@ -27,6 +27,11 @@ fn replica_pool_shares_one_plan() {
         max_linger: Duration::from_millis(1),
         engine_parallelism: 3,
         task_parallelism: 5,
+        // Pin the sequential path: with packing on, multi-request
+        // batches build their own per-co-residency-class plans (probed
+        // once each — see `plan_cache::co_residency_classes_split_plans`)
+        // and the solo plan counted below might never build.
+        array_packing: false,
         ..ServeConfig::default()
     };
     let shape = (42, 12);

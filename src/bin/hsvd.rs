@@ -101,6 +101,11 @@ fn usage() -> &'static str {
      \x20                   (default 4)\n\
        --rank R            published truncation rank (default cols/4,\n\
      \x20                   at least 1)\n\
+       --packing on|off    multi-problem array packing: co-schedule a\n\
+     \x20                   same-shape batch as tenants on disjoint\n\
+     \x20                   sub-arrays (default on). With the same --seed,\n\
+     \x20                   on/off runs replay the identical trace for a\n\
+     \x20                   packed-vs-sequential A/B\n\
        --metrics-out FILE  write the end-of-run metrics report to FILE\n\
      \x20                   as JSON and to FILE with a .prom extension in\n\
      \x20                   Prometheus text format (counters, percentiles,\n\
@@ -290,6 +295,7 @@ struct BenchArgs {
     models: usize,
     rank: Option<usize>,
     metrics_out: Option<String>,
+    packing: bool,
 }
 
 /// Parses a `RxC` (or bare `N`, meaning NxN) shape argument.
@@ -326,6 +332,7 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
         models: 4,
         rank: None,
         metrics_out: None,
+        packing: true,
     };
     while let Some(arg) = cursor.next() {
         match arg.as_str() {
@@ -345,6 +352,17 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
             "--models" => args.models = cursor.parse("--models")?,
             "--rank" => args.rank = Some(cursor.parse("--rank")?),
             "--metrics-out" => args.metrics_out = Some(cursor.value("--metrics-out")?),
+            "--packing" => {
+                args.packing = match cursor.value("--packing")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --packing: {other} (expected on|off)"
+                        ))
+                    }
+                }
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -394,6 +412,7 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         // Timing-only fidelity cannot estimate convergence, so pin the
         // sweep count to the paper's typical iteration budget.
         fixed_iterations: args.timing_only.then_some(6),
+        array_packing: args.packing,
         ..ServeConfig::default()
     })
     .map_err(|e| e.to_string())?;
@@ -562,6 +581,12 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     println!(
         "batches {} | mean batch size {:.2} | worker panics {} | replicas spawned {}",
         m.batches_dispatched, m.mean_batch_size, m.worker_panics, m.replicas_spawned
+    );
+    println!(
+        "array packing {} | packed waves {} | packed requests {}",
+        if args.packing { "on" } else { "off" },
+        m.packed_batches,
+        m.packed_requests
     );
     println!(
         "wall time {:.1} ms | throughput {:.0} req/s",
@@ -752,6 +777,16 @@ mod tests {
             let err = bench(&bad).expect_err(&bad.join(" "));
             assert!(!err.contains('\n'), "multi-line error for {bad:?}: {err}");
         }
+    }
+
+    #[test]
+    fn packing_flag_parses_and_defaults_on() {
+        assert!(bench(&[]).unwrap().packing, "packing defaults on");
+        assert!(!bench(&["--packing", "off"]).unwrap().packing);
+        assert!(bench(&["--packing", "on"]).unwrap().packing);
+        let err = bench(&["--packing", "maybe"]).unwrap_err();
+        assert!(err.contains("invalid value for --packing"), "{err}");
+        assert!(!err.contains('\n'), "multi-line error: {err}");
     }
 
     #[test]
