@@ -12,7 +12,7 @@
 
 use heterosvd_bench::experiments::{
     ablation, accuracy, adaptive, apply, convergence, devices, dse_report, fig3, fig9, hotpath,
-    pack, scalability, serve, table2, table3, table4, table5, table6,
+    pack, scalability, serve, table2, table3, table4, table5, table6, update,
 };
 use std::sync::OnceLock;
 
@@ -147,6 +147,107 @@ fn main() {
     }
     if want("pack") {
         run_pack(quick);
+    }
+    if want("update") {
+        run_update(quick);
+    }
+}
+
+fn run_update(quick: bool) {
+    println!(
+        "\n=== Incremental SVD: warm-start / low-rank update path vs full recompute \
+         (P_eng={}, cache rank {}, update rank <= {}) ===",
+        update::P_ENG,
+        update::CACHE_RANK,
+        update::MAX_UPDATE_RANK
+    );
+    // Quick sizes keep the f64 golden per-request check affordable (CI
+    // smoke); the full run adds the gated n=512 point. 24 requests per
+    // client keeps the trace update-heavy (one drift, one shock, one
+    // resubmission — the rest rank-1 bumps), the regime the fast path
+    // is built for.
+    let (sizes, clients, per_client): (&[usize], usize, usize) = if quick {
+        (&[64, 128], 2, 10)
+    } else {
+        (&[256, 512], 2, 24)
+    };
+    let report = match update::run(sizes, clients, per_client) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("update failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>6} {:>9} | {:>10} {:>10} {:>8} | {:>5} {:>5} {:>5} {:>5} | {:>9} {:>8} | {:>6}",
+        "size",
+        "requests",
+        "incr(s)",
+        "full(s)",
+        "speedup",
+        "cold",
+        "warm",
+        "lowrk",
+        "fall",
+        "sv-err",
+        "golden",
+        "bits"
+    );
+    for r in &report.rows {
+        println!(
+            "{:>6} {:>9} | {:>10.3} {:>10.3} {:>7.2}x | {:>5} {:>5} {:>5} {:>5} | {:>9.1e} {:>8} | {:>6}",
+            r.n,
+            r.requests,
+            r.incremental_wall_secs,
+            r.full_wall_secs,
+            r.speedup,
+            r.cold_starts,
+            r.warm_start_hits,
+            r.lowrank_hits,
+            r.staleness_fallbacks,
+            r.max_sv_rel_error,
+            r.golden_checked,
+            if r.fallback_bit_identical { "ok" } else { "FAIL" }
+        );
+        println!(
+            "       modeled: {:.3} ms incremental vs {:.3} ms full | mean warm sweeps {:.1} | \
+             cache {} bytes resident, window hit rate {:.1}%",
+            r.incremental_modeled_ms,
+            r.full_modeled_ms,
+            r.mean_warm_sweeps,
+            r.cache_resident_bytes,
+            r.cache_hit_rate_window * 100.0
+        );
+    }
+    persist("update", &report);
+
+    // The emitter proper: BENCH_update.json at the repo root seeds the
+    // perf trajectory regardless of `--out`.
+    let path = std::env::var("BENCH_UPDATE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_update.json").to_string()
+    });
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize update report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Gates: quick (CI smoke) enforces the exactness criteria only; the
+    // full run additionally enforces the 5x speedup floor at n=512.
+    let violations = update::gate_violations(&report, if quick { usize::MAX } else { 512 });
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("update gate violated: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -18,3 +18,4 @@ pub mod table3;
 pub mod table4;
 pub mod table5;
 pub mod table6;
+pub mod update;

@@ -21,6 +21,7 @@
 //! | Co-design ablation (extension) | [`experiments::ablation`] |
 //! | Convergence study (extension) | [`experiments::convergence`] |
 //! | QoR / accuracy study (extension) | [`experiments::accuracy`] |
+//! | Incremental-update serving (extension) | [`experiments::update`] |
 
 pub mod experiments;
 pub mod workload;

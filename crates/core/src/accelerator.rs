@@ -16,6 +16,29 @@ use svd_kernels::jacobi::{SvdResult, SweepStats};
 use svd_kernels::parallel::{with_pool, RotationPool};
 use svd_kernels::{Matrix, SvdError};
 
+/// Sweep accounting of a warm-started run (see
+/// [`Accelerator::run_warm_f32`]): how many iterations the seeded
+/// problem actually needed against the budget a cold run may spend, so
+/// profilers and the serving metrics can attribute saved sweeps.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WarmStartCounters {
+    /// Columns of the seeding basis `V_prev`.
+    pub basis_cols: usize,
+    /// Iterations the warm-started run used.
+    pub warm_iterations: usize,
+    /// The configured cold-run iteration ceiling
+    /// ([`HeteroSvdConfig::max_iterations`], or the fixed count when
+    /// pinned) — the budget a cold solve of the same problem may spend.
+    pub cold_budget: usize,
+}
+
+impl WarmStartCounters {
+    /// Iterations the warm start saved against the cold budget.
+    pub fn iterations_saved(&self) -> usize {
+        self.cold_budget.saturating_sub(self.warm_iterations)
+    }
+}
+
 /// Everything one accelerator run produces.
 #[derive(Debug, Clone, PartialEq)]
 pub struct HeteroSvdOutput {
@@ -37,6 +60,9 @@ pub struct HeteroSvdOutput {
     /// functional fidelity). Observational only: timing and stats never
     /// depend on them.
     pub adaptive: Option<AdaptiveCounters>,
+    /// Sweep accounting of a warm-started run (`None` for cold runs; see
+    /// [`Accelerator::run_warm_f32`]).
+    pub warm_start: Option<WarmStartCounters>,
     /// Per-resource utilization of this run (`None` with
     /// [`HeteroSvdConfig::observability`] off). Derived purely from
     /// `stats`, so it is identical live or replayed and never feeds back
@@ -252,8 +278,74 @@ impl Accelerator {
             usage: self.plan.placement.usage(),
             trace,
             adaptive,
+            warm_start: None,
             utilization,
         })
+    }
+
+    /// Warm-started factorization: seeds the iteration from a cached
+    /// right basis `v_prev` (typically recovered from this client's
+    /// previous solve). The host forms `B = A·V_prev` in `f64` (PS-side
+    /// preprocessing — the accelerator's streamed columns are those of
+    /// `B`), the normal Algorithm 1 pipeline runs on `B`, and because
+    /// `V_prev` is orthogonal the resulting `U` and `Σ` are those of
+    /// `A`. When `A` is close to the basis's source matrix, `B`'s
+    /// columns are already nearly orthogonal and the system module
+    /// leaves the orthogonalization stage after one or two iterations —
+    /// the whole point of the warm start. The output's
+    /// [`SvdResult::v`] is the composed `V_prev·V_B` (recovered from
+    /// `B`), and [`HeteroSvdOutput::warm_start`] carries the sweep
+    /// accounting.
+    ///
+    /// # Errors
+    ///
+    /// * [`HeteroSvdError::InvalidConfig`] unless
+    ///   [`HeteroSvdConfig::incremental`] is set, the fidelity is
+    ///   functional, and `v_prev` is square with side `cols`.
+    /// * Whatever [`Accelerator::run_f32`] returns for `B`.
+    pub fn run_warm_f32(
+        &self,
+        a: &Matrix<f32>,
+        v_prev: &Matrix<f32>,
+    ) -> Result<HeteroSvdOutput, HeteroSvdError> {
+        let cfg = &self.config;
+        if !cfg.incremental {
+            return Err(HeteroSvdError::InvalidConfig(
+                "warm-started runs require the incremental knob".into(),
+            ));
+        }
+        if cfg.fidelity != FidelityMode::Functional {
+            return Err(HeteroSvdError::InvalidConfig(
+                "warm-started runs require functional fidelity".into(),
+            ));
+        }
+        if v_prev.rows() != cfg.cols || v_prev.cols() != cfg.cols {
+            return Err(HeteroSvdError::InvalidConfig(format!(
+                "warm-start basis must be {0}x{0}, got {1}x{2}",
+                cfg.cols,
+                v_prev.rows(),
+                v_prev.cols()
+            )));
+        }
+        // A cached basis carries zero columns where `recover_v` gated a
+        // noise-floor σ; seeding with them would annihilate any update
+        // component outside the previous numerical row space.
+        // `warm_seed` completes the basis to a full rotation and forms
+        // `B = A·V_seed` in f64, structurally — O(m·n·r) for r live
+        // columns — so the host-side preprocessing stays cheap next to
+        // the solve it seeds.
+        let (b, v_seed) =
+            svd_kernels::incremental::warm_seed(a, v_prev).map_err(HeteroSvdError::Numeric)?;
+        let mut out = self.run_owned(b.clone())?;
+        let v_b = out.result.recover_v(&b).map_err(HeteroSvdError::Numeric)?;
+        let v = v_seed.matmul(&v_b).map_err(HeteroSvdError::Numeric)?;
+        out.result.v = Some(v);
+        out.warm_start = Some(WarmStartCounters {
+            basis_cols: v_prev.cols(),
+            warm_iterations: out.result.sweeps,
+            cold_budget: cfg.fixed_iterations.unwrap_or(cfg.max_iterations),
+        });
+        Ok(out)
     }
 
     /// How many instances of each profiled resource class this design
@@ -542,6 +634,100 @@ mod tests {
         // P_task = 1: four waves.
         assert_eq!(sys.0, outs[0].timing.task_time.0 * 4);
         assert!(acc.run_many(&[]).is_err());
+    }
+
+    fn warm_accel(n: usize, p_eng: usize) -> Accelerator {
+        Accelerator::new(
+            HeteroSvdConfig::builder(n, n)
+                .engine_parallelism(p_eng)
+                .incremental(true)
+                .pl_freq_mhz(208.3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn warm_start_reuses_basis_and_saves_iterations() {
+        let a0 = sample(32);
+        let acc = warm_accel(32, 4);
+        let cold = acc.run(&a0).unwrap();
+        let v_prev = cold.result.recover_v(&a0.cast()).unwrap();
+        // Small perturbation of the same matrix: the cached basis still
+        // nearly diagonalizes it, so the system module leaves the
+        // orthogonalization stage early.
+        let a1 = Matrix::from_fn(32, 32, |r, c| {
+            a0[(r, c)] + ((r * 7 + c * 13) % 5) as f64 * 1e-4
+        });
+        let warm = acc.run_warm_f32(&a1.cast(), &v_prev).unwrap();
+        let golden = hestenes_jacobi(&a1, &JacobiOptions::default()).unwrap();
+        let err = verify::singular_value_error(
+            &golden.sorted_singular_values(),
+            &warm.result.sorted_singular_values(),
+        );
+        assert!(err < 1e-4, "singular value error {err}");
+        assert!(
+            warm.result.sweeps < cold.result.sweeps,
+            "warm {} vs cold {}",
+            warm.result.sweeps,
+            cold.result.sweeps
+        );
+        let counters = warm.warm_start.expect("warm run carries counters");
+        assert_eq!(counters.basis_cols, 32);
+        assert_eq!(counters.warm_iterations, warm.result.sweeps);
+        assert!(counters.iterations_saved() > 0);
+        // The composed V_prev·V_B must itself be an orthogonal basis.
+        let v = warm.result.v.as_ref().expect("warm run composes V");
+        assert!(verify::column_orthogonality_error(v) < 1e-3);
+        assert!(warm.result.reconstruction_error(&a1.cast()) < 1e-4);
+    }
+
+    #[test]
+    fn warm_start_requires_knob_fidelity_and_shape() {
+        let a: Matrix<f32> = sample(16).cast();
+        let eye = Matrix::<f32>::from_fn(16, 16, |r, c| if r == c { 1.0 } else { 0.0 });
+        // Knob off: rejected.
+        assert!(matches!(
+            accel(16, 2).run_warm_f32(&a, &eye),
+            Err(HeteroSvdError::InvalidConfig(_))
+        ));
+        // Wrong basis shape: rejected.
+        let small = Matrix::<f32>::from_fn(8, 8, |r, c| if r == c { 1.0 } else { 0.0 });
+        assert!(matches!(
+            warm_accel(16, 2).run_warm_f32(&a, &small),
+            Err(HeteroSvdError::InvalidConfig(_))
+        ));
+        // Timing-only fidelity has no factors to warm-start from.
+        let timing_only = Accelerator::new(
+            HeteroSvdConfig::builder(16, 16)
+                .engine_parallelism(2)
+                .incremental(true)
+                .fidelity(FidelityMode::TimingOnly)
+                .fixed_iterations(4)
+                .pl_freq_mhz(208.3)
+                .build()
+                .unwrap(),
+        )
+        .unwrap();
+        assert!(matches!(
+            timing_only.run_warm_f32(&a, &eye),
+            Err(HeteroSvdError::InvalidConfig(_))
+        ));
+    }
+
+    #[test]
+    fn incremental_knob_does_not_change_cold_runs() {
+        // `incremental` is a routing knob: a plain decompose through an
+        // incremental-enabled accelerator must stay bit-identical to
+        // today's path.
+        let a = sample(16);
+        let off = accel(16, 2).run(&a).unwrap();
+        let on = warm_accel(16, 2).run(&a).unwrap();
+        assert_eq!(off.result.u.as_slice(), on.result.u.as_slice());
+        assert_eq!(off.result.sigma, on.result.sigma);
+        assert_eq!(off.timing, on.timing);
+        assert!(on.warm_start.is_none());
     }
 
     #[test]

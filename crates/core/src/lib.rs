@@ -40,6 +40,7 @@ pub mod apply;
 pub mod batch_pool;
 pub mod config;
 pub mod energy;
+pub mod factor_cache;
 pub mod norm_pipeline;
 pub mod obs;
 pub mod orth_pipeline;
@@ -54,12 +55,15 @@ pub mod timing;
 
 mod error;
 
-pub use accelerator::{Accelerator, HeteroSvdOutput};
+pub use accelerator::{Accelerator, HeteroSvdOutput, WarmStartCounters};
 pub use apply::{ApplyModel, ApplyProfile, ApplyProfileCache, ApplyShape, ApplyTiming};
 pub use batch_pool::BatchPool;
 pub use config::{FidelityMode, HeteroSvdConfig, HeteroSvdConfigBuilder};
 pub use energy::{EnergyBreakdown, EnergyModel};
 pub use error::HeteroSvdError;
+pub use factor_cache::{
+    fingerprint_matrix, ClientBytes, ClientId, FactorCache, FactorCacheEntry, FactorCacheStats,
+};
 pub use obs::{JournalSummary, ObsConfig, ResourceKind, SpanJournal, Stage, UtilizationReport};
 pub use orth_pipeline::AdaptiveCounters;
 pub use placement::{tenant_capacity, tenant_stripe_width, Placement, SubGrid, SubGridAllocator};

@@ -32,7 +32,7 @@ use std::sync::{Mutex, MutexGuard, OnceLock};
 use std::time::Duration;
 
 /// Number of pipeline stages a span can belong to.
-pub const STAGE_COUNT: usize = 6;
+pub const STAGE_COUNT: usize = 7;
 
 /// Default capacity of the process-global journal's event ring.
 pub const DEFAULT_JOURNAL_CAPACITY: usize = 4096;
@@ -54,6 +54,10 @@ pub enum Stage {
     /// Rank-r apply execution against store-resident factors; `modeled`
     /// carries the Eq. 8–14 apply pipeline time.
     Apply,
+    /// Incremental update execution: warm-started, low-rank, or
+    /// fallback-full solve against the client's cached factors;
+    /// `modeled` carries the accelerator task time when one ran.
+    Update,
 }
 
 impl Stage {
@@ -65,6 +69,7 @@ impl Stage {
         Stage::ReplicaExec,
         Stage::SimReplay,
         Stage::Apply,
+        Stage::Update,
     ];
 
     /// Stable snake_case name (used in exports).
@@ -76,6 +81,7 @@ impl Stage {
             Stage::ReplicaExec => "replica_exec",
             Stage::SimReplay => "sim_replay",
             Stage::Apply => "apply",
+            Stage::Update => "update",
         }
     }
 
@@ -87,6 +93,7 @@ impl Stage {
             Stage::ReplicaExec => 3,
             Stage::SimReplay => 4,
             Stage::Apply => 5,
+            Stage::Update => 6,
         }
     }
 }

@@ -72,7 +72,7 @@ pub struct PublishedFactors {
 
 /// Counter snapshot of a [`FactorStore`] (serialized into the serving
 /// metrics report).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize)]
 pub struct FactorStoreStats {
     /// Lookups that found a resident version.
     pub hits: u64,
@@ -88,6 +88,12 @@ pub struct FactorStoreStats {
     pub resident_models: u64,
     /// The configured byte budget.
     pub byte_budget: u64,
+    /// Hit fraction over the window since the previous
+    /// [`FactorStore::stats`] call (0.0 when the window saw no
+    /// lookups). Lifetime totals above never reset; this windowed view
+    /// is what an autoscaler or dashboard should watch — the same
+    /// idiom as the serving throughput gauge.
+    pub hit_rate_window: f64,
 }
 
 struct StoreInner {
@@ -113,6 +119,8 @@ pub struct FactorStore {
     misses: AtomicU64,
     evictions: AtomicU64,
     publishes: AtomicU64,
+    /// (hits, lookups) at the start of the current stats window.
+    window: Mutex<(u64, u64)>,
 }
 
 impl std::fmt::Debug for FactorStore {
@@ -144,6 +152,7 @@ impl FactorStore {
             misses: AtomicU64::new(0),
             evictions: AtomicU64::new(0),
             publishes: AtomicU64::new(0),
+            window: Mutex::new((0, 0)),
         }
     }
 
@@ -250,20 +259,36 @@ impl FactorStore {
         self.byte_budget
     }
 
-    /// Counter snapshot for the metrics path.
+    /// Counter snapshot for the metrics path. Reading the snapshot
+    /// closes the current hit-rate window and opens the next one.
     pub fn stats(&self) -> FactorStoreStats {
         let (resident_bytes, resident_models) = {
             let inner = self.inner.lock().expect("factor store poisoned");
             (inner.resident_bytes as u64, inner.models.len() as u64)
         };
+        let hits = self.hits.load(Ordering::Relaxed);
+        let misses = self.misses.load(Ordering::Relaxed);
+        let lookups = hits + misses;
+        let hit_rate_window = {
+            let mut window = self.window.lock().expect("factor store poisoned");
+            let (hits0, lookups0) = *window;
+            *window = (hits, lookups);
+            let delta = lookups.saturating_sub(lookups0);
+            if delta == 0 {
+                0.0
+            } else {
+                hits.saturating_sub(hits0) as f64 / delta as f64
+            }
+        };
         FactorStoreStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
+            hits,
+            misses,
             evictions: self.evictions.load(Ordering::Relaxed),
             publishes: self.publishes.load(Ordering::Relaxed),
             resident_bytes,
             resident_models,
             byte_budget: self.byte_budget as u64,
+            hit_rate_window,
         }
     }
 }
@@ -372,6 +397,25 @@ mod tests {
         // The most recent publishes survive.
         assert!(store.get(ModelId(7)).is_some());
         assert!(store.get(ModelId(0)).is_none());
+    }
+
+    #[test]
+    fn stats_window_tracks_recent_hit_rate() {
+        let store = FactorStore::new(1 << 20);
+        store.publish(ModelId(1), factors(8, 4, 2, 1));
+        store.get(ModelId(1)).unwrap(); // hit
+        assert!(store.get(ModelId(2)).is_none()); // miss
+        let first = store.stats();
+        assert!((first.hit_rate_window - 0.5).abs() < 1e-12);
+        // The window restarts: an all-hit stretch reads 1.0 even though
+        // the lifetime rate is 3/4.
+        store.get(ModelId(1)).unwrap();
+        store.get(ModelId(1)).unwrap();
+        let second = store.stats();
+        assert!((second.hit_rate_window - 1.0).abs() < 1e-12);
+        assert_eq!((second.hits, second.misses), (3, 1));
+        // An empty window reads 0.0, not NaN.
+        assert_eq!(store.stats().hit_rate_window, 0.0);
     }
 
     #[test]

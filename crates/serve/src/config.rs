@@ -81,6 +81,36 @@ pub struct ServeConfig {
     /// does, via [`heterosvd::HeteroSvdConfig::co_residency`], so packed
     /// and solo timing profiles are never conflated.
     pub array_packing: bool,
+    /// Whether the service accepts incremental-update requests
+    /// ([`crate::SvdService::try_submit_update`]) and maintains the
+    /// per-client factor cache behind them. Off (the default), the
+    /// decompose/apply paths are bit-identical to a build without the
+    /// feature: the knob never enters the plan-cache key, and no cache
+    /// is consulted. Requires [`FidelityMode::Functional`] (warm starts
+    /// need real factors to seed from).
+    pub incremental: bool,
+    /// Byte budget of the per-client factor cache backing incremental
+    /// updates (previous matrix fingerprint + V basis + spectrum +
+    /// truncated factors per client). Least-recently-used clients are
+    /// evicted past it; the most recently refreshed client is always
+    /// retained.
+    pub factor_cache_bytes: usize,
+    /// Staleness bound: updates whose relative Frobenius delta
+    /// `‖ΔA‖_F / ‖A_prev‖_F` exceeds this fall back to a full
+    /// recompute (forwarded to
+    /// [`svd_kernels::incremental::StalenessBound`]).
+    pub max_delta_rel: f64,
+    /// Staleness bound: after this many consecutive warm-started or
+    /// low-rank solves without a full recompute, the next update falls
+    /// back to full (bounds accumulated basis drift).
+    pub max_warm_solves: u32,
+    /// Truncation rank `r` of the factors cached per client for the
+    /// low-rank fast path (clamped to `min(rows, cols)` per shape).
+    pub update_cache_rank: usize,
+    /// Largest delta rank `k` the low-rank fast path factors an update
+    /// into; deltas that do not compress to `<= k` take the warm-start
+    /// route instead.
+    pub max_update_rank: usize,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +133,12 @@ impl Default for ServeConfig {
             metrics_scrape_interval: None,
             factor_store_bytes: 64 << 20,
             array_packing: true,
+            incremental: false,
+            factor_cache_bytes: 256 << 20,
+            max_delta_rel: 0.25,
+            max_warm_solves: 8,
+            update_cache_rank: 16,
+            max_update_rank: 8,
         }
     }
 }
@@ -153,7 +189,47 @@ impl ServeConfig {
                 "timing-only fidelity requires fixed_iterations".into(),
             ));
         }
+        if self.incremental {
+            if self.fidelity != FidelityMode::Functional {
+                return Err(ServeError::InvalidRequest(
+                    "incremental updates require functional fidelity".into(),
+                ));
+            }
+            if self.factor_cache_bytes == 0 {
+                return Err(ServeError::InvalidRequest(
+                    "factor_cache_bytes must be >= 1".into(),
+                ));
+            }
+            if !self.max_delta_rel.is_finite() || self.max_delta_rel <= 0.0 {
+                return Err(ServeError::InvalidRequest(
+                    "max_delta_rel must be finite and > 0".into(),
+                ));
+            }
+            if self.max_warm_solves == 0 {
+                return Err(ServeError::InvalidRequest(
+                    "max_warm_solves must be >= 1".into(),
+                ));
+            }
+            if self.update_cache_rank == 0 {
+                return Err(ServeError::InvalidRequest(
+                    "update_cache_rank must be >= 1".into(),
+                ));
+            }
+            if self.max_update_rank == 0 {
+                return Err(ServeError::InvalidRequest(
+                    "max_update_rank must be >= 1".into(),
+                ));
+            }
+        }
         Ok(())
+    }
+
+    /// The staleness bound incremental classification runs under.
+    pub fn staleness_bound(&self) -> svd_kernels::incremental::StalenessBound {
+        svd_kernels::incremental::StalenessBound {
+            max_delta_rel: self.max_delta_rel,
+            max_warm_solves: self.max_warm_solves,
+        }
     }
 
     /// The smallest column count a request may have: one block pair.
@@ -229,7 +305,8 @@ impl ServeConfig {
             .fidelity(self.fidelity)
             .timing_replay(self.timing_replay)
             .cross_batch_pipelining(self.cross_batch_pipelining)
-            .observability(self.observability);
+            .observability(self.observability)
+            .incremental(self.incremental);
         if let Some(iters) = self.fixed_iterations {
             builder = builder.fixed_iterations(iters);
         }
@@ -281,6 +358,44 @@ mod tests {
             let mut c = ServeConfig::default();
             mutate(&mut c);
             assert!(c.validate().is_err(), "accepted invalid config {c:?}");
+        }
+    }
+
+    #[test]
+    fn incremental_knob_invariants() {
+        let mut c = ServeConfig {
+            incremental: true,
+            ..ServeConfig::default()
+        };
+        c.validate().unwrap();
+        assert_eq!(c.staleness_bound().max_delta_rel, c.max_delta_rel);
+        assert_eq!(c.staleness_bound().max_warm_solves, c.max_warm_solves);
+        // The knob flows into the accelerator config...
+        assert!(c.accelerator_config((16, 16)).unwrap().incremental);
+        c.incremental = false;
+        assert!(!c.accelerator_config((16, 16)).unwrap().incremental);
+        // ...and requires functional fidelity plus positive bounds.
+        for mutate in [
+            (|c: &mut ServeConfig| {
+                c.fidelity = FidelityMode::TimingOnly;
+                c.fixed_iterations = Some(4);
+            }) as fn(&mut ServeConfig),
+            |c| c.factor_cache_bytes = 0,
+            |c| c.max_delta_rel = 0.0,
+            |c| c.max_delta_rel = f64::NAN,
+            |c| c.max_warm_solves = 0,
+            |c| c.update_cache_rank = 0,
+            |c| c.max_update_rank = 0,
+        ] {
+            let mut c = ServeConfig {
+                incremental: true,
+                ..ServeConfig::default()
+            };
+            mutate(&mut c);
+            assert!(c.validate().is_err(), "accepted invalid config {c:?}");
+            // Every one of these bounds is vacuous with the knob off.
+            c.incremental = false;
+            c.validate().unwrap();
         }
     }
 

@@ -37,6 +37,14 @@
 //!   against the store-resident factors, bit-identical to the direct
 //!   truncated product and charged the modeled Eq. 8–14 apply-pipeline
 //!   time.
+//! * **Incremental updates** — with [`ServeConfig::incremental`] on,
+//!   [`SvdService::try_submit_update`] serves repeated SVDs of a
+//!   slowly-drifting per-client matrix from cached previous factors:
+//!   classification at admission routes each update to a warm-started
+//!   Jacobi solve (seeded from the cached right basis), a host-only
+//!   Brand-style low-rank bump of the cached truncated factors, or a
+//!   full recompute once the staleness bound trips — all accounted in
+//!   `warm_start_hits` / `lowrank_hits` / `staleness_fallbacks`.
 //! * **Observability** — [`SvdService::metrics`] returns a serializable
 //!   [`MetricsSnapshot`] with counters, queue depth, rolling throughput,
 //!   and queue-wait/linger/execution percentiles;
@@ -78,7 +86,7 @@ pub use metrics::{MetricsSnapshot, PerTypeBreakdown, Percentiles, TypeSnapshot};
 pub use report::{CacheReport, MetricsReport, ShapeUtilization};
 pub use request::{
     ApplyHandle, ApplyResponse, LatencyRecord, PublishSpec, RequestHandle, RequestId, RequestType,
-    SubmitOptions, SvdResponse,
+    SubmitOptions, SvdResponse, UpdateHandle, UpdateResponse,
 };
 pub use service::SvdService;
 
@@ -86,3 +94,9 @@ pub use service::SvdService;
 // (`SvdService::try_submit_publish` / `store()`); re-export them so
 // callers need only one dependency.
 pub use factor_store::{FactorMeta, FactorStore, FactorStoreStats, ModelId, PublishedFactors};
+
+// Same for the incremental-update surface: the client-keyed factor
+// cache behind `try_submit_update` / `factor_cache()` and the routing
+// vocabulary carried by `UpdateResponse`.
+pub use heterosvd::factor_cache::{ClientBytes, ClientId, FactorCache, FactorCacheStats};
+pub use svd_kernels::incremental::{FallbackReason, StalenessBound, UpdateRoute};

@@ -33,10 +33,20 @@ pub(crate) struct Metrics {
     pub(crate) packed_batches: AtomicU64,
     /// Requests served inside packed waves.
     pub(crate) packed_requests: AtomicU64,
+    /// Update requests served via the warm-start route (cached basis
+    /// seeded the Jacobi solve).
+    pub(crate) warm_start_hits: AtomicU64,
+    /// Update requests served via the host-only low-rank fast path.
+    pub(crate) lowrank_hits: AtomicU64,
+    /// Update requests that classified stale (delta too large, warm
+    /// budget exhausted, or shape change) and fell back to a full
+    /// recompute. Cold starts (no cache entry) are *not* counted here;
+    /// they show up as factor-cache misses.
+    pub(crate) staleness_fallbacks: AtomicU64,
     /// Per-request-type counter split, indexed by
     /// [`RequestType::index`]; the aggregates above stay authoritative
     /// for mixed totals.
-    per_type: [TypeMetrics; 2],
+    per_type: [TypeMetrics; 3],
     samples: Mutex<Vec<Sample>>,
     /// Start of the current throughput window: advanced by every
     /// snapshot so `throughput_rps_window` measures completions since
@@ -121,7 +131,10 @@ impl Metrics {
             batches_dispatched: AtomicU64::new(0),
             packed_batches: AtomicU64::new(0),
             packed_requests: AtomicU64::new(0),
-            per_type: [TypeMetrics::new(), TypeMetrics::new()],
+            warm_start_hits: AtomicU64::new(0),
+            lowrank_hits: AtomicU64::new(0),
+            staleness_fallbacks: AtomicU64::new(0),
+            per_type: [TypeMetrics::new(), TypeMetrics::new(), TypeMetrics::new()],
             samples: Mutex::new(Vec::new()),
             window: Mutex::new(WindowState::new()),
         }
@@ -145,6 +158,18 @@ impl Metrics {
     pub(crate) fn record_packed(&self, requests: u64) {
         self.packed_batches.fetch_add(1, Ordering::Relaxed);
         self.packed_requests.fetch_add(requests, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_warm_start_hit(&self) {
+        self.warm_start_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_lowrank_hit(&self) {
+        self.lowrank_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_staleness_fallback(&self) {
+        self.staleness_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_cancelled(&self) {
@@ -241,6 +266,9 @@ impl Metrics {
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
             packed_batches: self.packed_batches.load(Ordering::Relaxed),
             packed_requests: self.packed_requests.load(Ordering::Relaxed),
+            warm_start_hits: self.warm_start_hits.load(Ordering::Relaxed),
+            lowrank_hits: self.lowrank_hits.load(Ordering::Relaxed),
+            staleness_fallbacks: self.staleness_fallbacks.load(Ordering::Relaxed),
             queue_depth: queue_depth as u64,
             mean_batch_size: mean_batch,
             throughput_rps: if elapsed > 0.0 {
@@ -255,6 +283,7 @@ impl Metrics {
             per_type: PerTypeBreakdown {
                 decompose: self.type_snapshot(RequestType::Decompose, &samples),
                 apply: self.type_snapshot(RequestType::Apply, &samples),
+                update: self.type_snapshot(RequestType::Update, &samples),
             },
         }
     }
@@ -329,6 +358,8 @@ pub struct PerTypeBreakdown {
     pub decompose: TypeSnapshot,
     /// Apply (rank-r matvec) traffic.
     pub apply: TypeSnapshot,
+    /// Incremental update (warm-start / low-rank / fallback) traffic.
+    pub update: TypeSnapshot,
 }
 
 /// Point-in-time view of the service's counters and latency summaries.
@@ -368,6 +399,13 @@ pub struct MetricsSnapshot {
     pub packed_batches: u64,
     /// Requests served inside packed waves.
     pub packed_requests: u64,
+    /// Update requests served via the warm-start route.
+    pub warm_start_hits: u64,
+    /// Update requests served via the host-only low-rank fast path.
+    pub lowrank_hits: u64,
+    /// Update requests that classified stale and fell back to a full
+    /// recompute (cold starts excluded — those are cache misses).
+    pub staleness_fallbacks: u64,
     /// Admission queue depth at snapshot time.
     pub queue_depth: u64,
     /// Mean executed batch size over the sample window.
@@ -519,6 +557,41 @@ mod tests {
         assert_eq!(snap.per_type.decompose.sim_exec_ps.p50, 0);
         assert!(snap.per_type.apply.throughput_rps_window > 0.0);
         assert_eq!(snap.per_type.decompose.throughput_rps_window, 0.0);
+    }
+
+    #[test]
+    fn update_route_counters_and_per_type_split() {
+        let m = Metrics::new();
+        m.record_submitted(RequestType::Update);
+        m.record_submitted(RequestType::Update);
+        m.record_completed(RequestType::Update);
+        m.record_warm_start_hit();
+        m.record_lowrank_hit();
+        m.record_lowrank_hit();
+        m.record_staleness_fallback();
+        m.record_latency(
+            &LatencyRecord {
+                queue_wait: Duration::from_micros(5),
+                batch_linger: Duration::ZERO,
+                sim_exec_ps: 777,
+                batch_size: 1,
+                wall_total: Duration::from_micros(9),
+            },
+            RequestType::Update,
+        );
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.warm_start_hits, 1);
+        assert_eq!(snap.lowrank_hits, 2);
+        assert_eq!(snap.staleness_fallbacks, 1);
+        assert_eq!(snap.per_type.update.submitted, 2);
+        assert_eq!(snap.per_type.update.completed_ok, 1);
+        assert_eq!(snap.per_type.update.sim_exec_ps.p50, 777);
+        // The update samples do not leak into the other types.
+        assert_eq!(snap.per_type.decompose.sim_exec_ps.p50, 0);
+        assert_eq!(snap.per_type.apply.sim_exec_ps.p50, 0);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"warm_start_hits\":1"));
+        assert!(json.contains("\"update\""));
     }
 
     #[test]

@@ -6,7 +6,7 @@
 use crate::metrics::{MetricsSnapshot, TypeSnapshot};
 use factor_store::FactorStoreStats;
 use heterosvd::obs::{JournalSummary, UtilizationReport};
-use heterosvd::CacheStats;
+use heterosvd::{CacheStats, FactorCacheStats};
 use serde::Serialize;
 use std::fmt::Write as _;
 
@@ -26,7 +26,7 @@ pub struct ShapeUtilization {
 /// Hit/miss/eviction counters of the caches and the factor store the
 /// serving path leans on. The plan and apply-profile caches are
 /// process-global; the factor store belongs to the service.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+#[derive(Debug, Clone, PartialEq, Serialize)]
 pub struct CacheReport {
     /// The global execution-plan cache (decompose path).
     pub plan: CacheStats,
@@ -36,6 +36,10 @@ pub struct CacheReport {
     /// The service's factor store (publishes, lookup hits/misses,
     /// evictions, resident bytes).
     pub factor_store: FactorStoreStats,
+    /// The service's per-client factor cache backing incremental
+    /// updates (hits/misses/evictions, resident and per-client bytes,
+    /// windowed hit rate).
+    pub factor_cache: FactorCacheStats,
 }
 
 /// One exportable observability capture of the whole service: the
@@ -144,6 +148,24 @@ impl MetricsReport {
             "Requests served inside packed waves.",
             s.packed_requests,
         );
+        counter(
+            out,
+            "warm_start_hits_total",
+            "Update requests served via the warm-start route.",
+            s.warm_start_hits,
+        );
+        counter(
+            out,
+            "lowrank_hits_total",
+            "Update requests served via the host-only low-rank fast path.",
+            s.lowrank_hits,
+        );
+        counter(
+            out,
+            "staleness_fallbacks_total",
+            "Update requests that classified stale and recomputed in full.",
+            s.staleness_fallbacks,
+        );
         let _ = writeln!(
             out,
             "# HELP hsvd_timed_out_total Deadline expiries by drop point."
@@ -191,9 +213,10 @@ impl MetricsReport {
         );
 
         // Per-request-type split: the same counters with a type label.
-        let per_type: [(&str, &TypeSnapshot); 2] = [
+        let per_type: [(&str, &TypeSnapshot); 3] = [
             ("decompose", &s.per_type.decompose),
             ("apply", &s.per_type.apply),
+            ("update", &s.per_type.update),
         ];
         for (name, help, pick) in [
             (
@@ -325,6 +348,67 @@ impl MetricsReport {
             "Models with a resident factor version.",
             fs.resident_models as f64,
         );
+        gauge(
+            out,
+            "factor_store_hit_rate_window",
+            "Factor-store hit fraction since the previous stats capture.",
+            fs.hit_rate_window,
+        );
+        let fc = &self.caches.factor_cache;
+        counter(
+            out,
+            "factor_cache_hits_total",
+            "Update cache lookups that found the client's entry.",
+            fc.hits,
+        );
+        counter(
+            out,
+            "factor_cache_misses_total",
+            "Update cache lookups for clients with no resident entry.",
+            fc.misses,
+        );
+        counter(
+            out,
+            "factor_cache_evictions_total",
+            "Client entries evicted by the byte-budget LRU policy.",
+            fc.evictions,
+        );
+        counter(
+            out,
+            "factor_cache_publishes_total",
+            "Client entries published (refreshed factors).",
+            fc.publishes,
+        );
+        gauge(
+            out,
+            "factor_cache_resident_bytes",
+            "Bytes of resident per-client update state.",
+            fc.resident_bytes as f64,
+        );
+        gauge(
+            out,
+            "factor_cache_resident_clients",
+            "Clients with a resident cache entry.",
+            fc.resident_clients as f64,
+        );
+        gauge(
+            out,
+            "factor_cache_hit_rate_window",
+            "Factor-cache hit fraction since the previous stats capture.",
+            fc.hit_rate_window,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_factor_cache_client_bytes Resident bytes per cached client."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_factor_cache_client_bytes gauge");
+        for cb in &fc.clients {
+            let _ = writeln!(
+                out,
+                "hsvd_factor_cache_client_bytes{{client=\"{}\"}} {}",
+                cb.client, cb.bytes
+            );
+        }
 
         for (name, help, p) in [
             (
@@ -505,6 +589,27 @@ mod tests {
                     resident_bytes: 4096,
                     resident_models: 2,
                     byte_budget: 1 << 20,
+                    hit_rate_window: 0.975,
+                },
+                factor_cache: FactorCacheStats {
+                    hits: 12,
+                    misses: 3,
+                    evictions: 1,
+                    publishes: 5,
+                    resident_bytes: 8192,
+                    resident_clients: 2,
+                    byte_budget: 2 << 20,
+                    hit_rate_window: 0.8,
+                    clients: vec![
+                        heterosvd::ClientBytes {
+                            client: 7,
+                            bytes: 4096,
+                        },
+                        heterosvd::ClientBytes {
+                            client: 9,
+                            bytes: 4096,
+                        },
+                    ],
                 },
             },
             journal: heterosvd::obs::SpanJournal::with_capacity(4).summary(),
@@ -521,7 +626,11 @@ mod tests {
         assert!(json.contains("\"rows\": 256"));
         assert!(json.contains("\"caches\""));
         assert!(json.contains("\"factor_store\""));
+        assert!(json.contains("\"factor_cache\""));
+        assert!(json.contains("\"hit_rate_window\""));
+        assert!(json.contains("\"warm_start_hits\""));
         assert!(json.contains("\"per_type\""));
+        assert!(json.contains("\"update\""));
     }
 
     #[test]
@@ -542,6 +651,15 @@ mod tests {
         assert!(text.contains("hsvd_plan_cache_hits_total 10"));
         assert!(text.contains("hsvd_factor_store_publishes_total 2"));
         assert!(text.contains("hsvd_factor_store_resident_bytes 4096"));
+        assert!(text.contains("hsvd_factor_store_hit_rate_window 0.975"));
+        assert!(text.contains("hsvd_warm_start_hits_total 0"));
+        assert!(text.contains("hsvd_lowrank_hits_total 0"));
+        assert!(text.contains("hsvd_staleness_fallbacks_total 0"));
+        assert!(text.contains("hsvd_submitted_by_type_total{type=\"update\"}"));
+        assert!(text.contains("hsvd_factor_cache_hits_total 12"));
+        assert!(text.contains("hsvd_factor_cache_resident_bytes 8192"));
+        assert!(text.contains("hsvd_factor_cache_hit_rate_window 0.8"));
+        assert!(text.contains("hsvd_factor_cache_client_bytes{client=\"7\"} 4096"));
         assert!(text.contains("hsvd_resource_busy_fraction{shape=\"256x256\",resource=\"plio\"}"));
         assert!(text.contains("hsvd_critical_resource{shape=\"256x256\""));
     }

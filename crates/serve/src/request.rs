@@ -2,11 +2,13 @@
 
 use crate::error::ServeError;
 use factor_store::{FactorMeta, ModelId, PublishedFactors};
-use heterosvd::HeteroSvdOutput;
+use heterosvd::factor_cache::{ClientId, FactorCacheEntry};
+use heterosvd::{HeteroSvdOutput, WarmStartCounters};
 use parking_lot::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
+use svd_kernels::incremental::{UpdateClass, UpdateRoute};
 use svd_kernels::Matrix;
 
 /// Opaque id assigned at admission, unique within a service instance.
@@ -19,14 +21,17 @@ impl std::fmt::Display for RequestId {
     }
 }
 
-/// The two request kinds the service admits, batched and metered
-/// separately so apply traffic does not dilute decompose latency stats.
+/// The request kinds the service admits, batched and metered separately
+/// so apply traffic does not dilute decompose latency stats.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum RequestType {
     /// Full factorization of a submitted matrix.
     Decompose,
     /// Rank-r matvec against store-resident factors.
     Apply,
+    /// Incremental re-factorization of a client's evolving matrix
+    /// against its cached factors (warm start / low-rank fast path).
+    Update,
 }
 
 impl serde::Serialize for RequestType {
@@ -36,14 +41,19 @@ impl serde::Serialize for RequestType {
 }
 
 impl RequestType {
-    /// Both request types, in metrics/report order.
-    pub const ALL: [RequestType; 2] = [RequestType::Decompose, RequestType::Apply];
+    /// Every request type, in metrics/report order.
+    pub const ALL: [RequestType; 3] = [
+        RequestType::Decompose,
+        RequestType::Apply,
+        RequestType::Update,
+    ];
 
     /// Stable snake_case name (used in exports).
     pub fn name(self) -> &'static str {
         match self {
             RequestType::Decompose => "decompose",
             RequestType::Apply => "apply",
+            RequestType::Update => "update",
         }
     }
 
@@ -51,6 +61,7 @@ impl RequestType {
         match self {
             RequestType::Decompose => 0,
             RequestType::Apply => 1,
+            RequestType::Update => 2,
         }
     }
 }
@@ -125,6 +136,32 @@ pub struct ApplyResponse {
     pub latency: LatencyRecord,
 }
 
+/// Successful result of a served incremental-update request.
+#[derive(Debug, Clone)]
+pub struct UpdateResponse {
+    /// Id echoed from the handle.
+    pub id: RequestId,
+    /// The client whose cached factors routed the request.
+    pub client: ClientId,
+    /// The route the update actually executed (pinned at admission).
+    pub route: UpdateRoute,
+    /// Measured `‖ΔA‖_F / ‖A‖_F` against the cached previous matrix
+    /// (`∞` on shape change, `0` with no cache entry — the cold path).
+    pub delta_rel: f64,
+    /// Singular values served, descending. Warm-start and full routes
+    /// return the complete spectrum; the low-rank route returns the
+    /// cached truncation rank.
+    pub sigma: Vec<f32>,
+    /// The accelerator output when one ran (warm-start and full routes;
+    /// `None` for the host-only low-rank route).
+    pub output: Option<HeteroSvdOutput>,
+    /// Warm-start sweep accounting when the warm route executed.
+    pub warm_start: Option<WarmStartCounters>,
+    /// The request's latency decomposition (`sim_exec_ps` is 0 for the
+    /// host-only low-rank route).
+    pub latency: LatencyRecord,
+}
+
 /// Either terminal payload a request can complete with; typed handles
 /// unwrap their own variant. The variants differ in size (an
 /// `SvdResponse` carries full factors), but exactly one instance
@@ -135,6 +172,7 @@ pub struct ApplyResponse {
 pub(crate) enum Completion {
     Svd(SvdResponse),
     Apply(ApplyResponse),
+    Update(UpdateResponse),
 }
 
 /// Caller-side handle to an admitted decompose request.
@@ -238,19 +276,77 @@ impl ApplyHandle {
     }
 }
 
+/// Caller-side handle to an admitted incremental-update request.
+///
+/// Same lifecycle as [`RequestHandle`], delivering an [`UpdateResponse`].
+#[derive(Debug)]
+pub struct UpdateHandle {
+    pub(crate) id: RequestId,
+    pub(crate) state: Arc<RequestState>,
+}
+
+impl UpdateHandle {
+    /// The id assigned at admission.
+    pub fn id(&self) -> RequestId {
+        self.id
+    }
+
+    /// Requests cancellation (best-effort, as for [`RequestHandle`]).
+    pub fn cancel(&self) {
+        self.state.cancelled.store(true, Ordering::SeqCst);
+    }
+
+    /// Whether a result is already available (non-blocking).
+    pub fn is_finished(&self) -> bool {
+        self.state.slot.lock().is_some()
+    }
+
+    /// Blocks until the request completes and takes the result.
+    ///
+    /// # Errors
+    ///
+    /// Whatever terminal error the request ended with.
+    pub fn wait(self) -> Result<UpdateResponse, ServeError> {
+        take_update(self.state.wait_take())
+    }
+
+    /// Blocks up to `timeout` for completion; `Err(self)` hands the
+    /// handle back on timeout.
+    ///
+    /// # Errors
+    ///
+    /// `Err(self)` on timeout.
+    pub fn wait_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<UpdateResponse, ServeError>, Self> {
+        match self.state.wait_take_until(Instant::now() + timeout) {
+            Some(result) => Ok(take_update(result)),
+            None => Err(self),
+        }
+    }
+}
+
 fn take_svd(result: Result<Completion, ServeError>) -> Result<SvdResponse, ServeError> {
     result.map(|completion| match completion {
         Completion::Svd(response) => response,
         // A decompose handle is only ever completed by the decompose
         // path; the payload/handle pairing is fixed at admission.
-        Completion::Apply(_) => unreachable!("decompose handle completed with an apply response"),
+        _ => unreachable!("decompose handle completed with a foreign response"),
     })
 }
 
 fn take_apply(result: Result<Completion, ServeError>) -> Result<ApplyResponse, ServeError> {
     result.map(|completion| match completion {
         Completion::Apply(response) => response,
-        Completion::Svd(_) => unreachable!("apply handle completed with a decompose response"),
+        _ => unreachable!("apply handle completed with a foreign response"),
+    })
+}
+
+fn take_update(result: Result<Completion, ServeError>) -> Result<UpdateResponse, ServeError> {
+    result.map(|completion| match completion {
+        Completion::Update(response) => response,
+        _ => unreachable!("update handle completed with a foreign response"),
     })
 }
 
@@ -343,6 +439,22 @@ pub(crate) enum Payload {
         /// The rank actually applied (`<=` the stored rank).
         rank: usize,
     },
+    Update {
+        /// The updated matrix in device `f32` (same move-not-clone
+        /// discipline as `Decompose`).
+        matrix: Matrix<f32>,
+        shape: (usize, usize),
+        /// The client whose factor-cache slot keys this update stream.
+        client: ClientId,
+        /// The cache entry pinned at admission (`None` on a cold
+        /// start): the `Arc` keeps the previous basis alive even if
+        /// the cache evicts it mid-flight, so the replica never reads
+        /// a basis the classification didn't see.
+        entry: Option<Arc<FactorCacheEntry>>,
+        /// The route decided at admission against the pinned entry;
+        /// `None` on a cold start (full solve, no classification ran).
+        class: Option<UpdateClass<f32>>,
+    },
 }
 
 /// What the batcher coalesces on: decompose batches are shape-uniform
@@ -350,8 +462,20 @@ pub(crate) enum Payload {
 /// (one pinned factor set).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub(crate) enum BatchKey {
-    Decompose { rows: usize, cols: usize },
-    Apply { model: u64, version: u64 },
+    Decompose {
+        rows: usize,
+        cols: usize,
+    },
+    Apply {
+        model: u64,
+        version: u64,
+    },
+    /// Update batches are shape-uniform like decompose, but execute
+    /// per-request (each rides its own cached basis and route).
+    Update {
+        rows: usize,
+        cols: usize,
+    },
 }
 
 /// A request travelling through the service internals.
@@ -382,6 +506,10 @@ impl PendingRequest {
                 model: factors.model.0,
                 version: factors.version,
             },
+            Payload::Update { shape, .. } => BatchKey::Update {
+                rows: shape.0,
+                cols: shape.1,
+            },
         }
     }
 
@@ -389,6 +517,7 @@ impl PendingRequest {
         match &self.payload {
             Payload::Decompose { .. } => RequestType::Decompose,
             Payload::Apply { .. } => RequestType::Apply,
+            Payload::Update { .. } => RequestType::Update,
         }
     }
 }
@@ -478,6 +607,10 @@ mod tests {
     fn request_type_names_are_stable() {
         assert_eq!(RequestType::Decompose.name(), "decompose");
         assert_eq!(RequestType::Apply.name(), "apply");
-        assert_eq!(RequestType::ALL.len(), 2);
+        assert_eq!(RequestType::Update.name(), "update");
+        assert_eq!(RequestType::ALL.len(), 3);
+        for (i, rtype) in RequestType::ALL.iter().enumerate() {
+            assert_eq!(rtype.index(), i);
+        }
     }
 }

@@ -8,12 +8,14 @@ use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::report::{CacheReport, MetricsReport, ShapeUtilization};
 use crate::request::{
     ApplyHandle, Completion, LatencyRecord, Payload, PendingRequest, PublishSpec, RequestHandle,
-    RequestId, RequestState, RequestType, SubmitOptions, SvdResponse,
+    RequestId, RequestState, RequestType, SubmitOptions, SvdResponse, UpdateHandle, UpdateResponse,
 };
+use aie_sim::TimePs;
 use factor_store::{FactorStore, ModelId, PublishedFactors};
 use heterosvd::apply::ApplyShape;
+use heterosvd::factor_cache::{ClientId, FactorCache, FactorCacheEntry};
 use heterosvd::obs::{self, ResourceCounts, Stage, UtilizationReport};
-use heterosvd::{Accelerator, ApplyModel, HeteroSvdError};
+use heterosvd::{Accelerator, ApplyModel, HeteroSvdError, HeteroSvdOutput};
 use parking_lot::{Condvar, Mutex};
 use std::collections::HashMap;
 use std::panic::{catch_unwind, AssertUnwindSafe};
@@ -21,6 +23,10 @@ use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Instant;
+use svd_kernels::incremental::{
+    classify_update, lowrank_update, FallbackReason, UpdateClass, UpdateRoute,
+};
+use svd_kernels::JacobiOptions;
 use svd_kernels::Matrix;
 
 /// A batch-serving SVD service.
@@ -64,6 +70,11 @@ struct Inner {
     /// Truncated factors published by decompose requests and served by
     /// apply requests; apply admission pins the current version.
     store: FactorStore,
+    /// Per-client previous factorization state backing incremental
+    /// updates; update admission pins the client's entry and classifies
+    /// against it. Empty (and never consulted) with
+    /// [`ServeConfig::incremental`] off.
+    factor_cache: FactorCache,
     /// Timing model of the rank-r apply pipeline, sharing the replicas'
     /// calibration and PL frequency so modeled apply and decompose times
     /// are directly comparable.
@@ -108,6 +119,7 @@ impl Inner {
                 plan: heterosvd::plan_cache::global().stats(),
                 apply_profiles: heterosvd::apply::global_profiles().stats(),
                 factor_store: self.store.stats(),
+                factor_cache: self.factor_cache.stats(),
             },
             journal: obs::global().summary(),
         }
@@ -159,6 +171,7 @@ impl SvdService {
             workers: Mutex::new(Vec::new()),
             shutting_down: AtomicBool::new(false),
             store: FactorStore::new(config.factor_store_bytes),
+            factor_cache: FactorCache::new(config.factor_cache_bytes),
             apply_model,
             utilization: Mutex::new(HashMap::new()),
             latest_scrape: Mutex::new(None),
@@ -334,6 +347,101 @@ impl SvdService {
         Ok(ApplyHandle { id, state })
     }
 
+    /// Submits an incremental update of `client`'s matrix with the
+    /// service's default options.
+    ///
+    /// # Errors
+    ///
+    /// See [`SvdService::try_submit_update_with`].
+    pub fn try_submit_update(
+        &self,
+        client: ClientId,
+        matrix: Matrix<f64>,
+    ) -> Result<UpdateHandle, ServeError> {
+        self.try_submit_update_with(client, matrix, SubmitOptions::default())
+    }
+
+    /// Submits an incremental update: the service classifies `matrix`
+    /// against `client`'s cached previous factorization at admission
+    /// (pinning the cache entry, so an eviction racing the request
+    /// cannot change the basis it was classified against) and the
+    /// replica executes the chosen route — a warm-started Jacobi solve
+    /// seeded from the cached right basis, a host-only Brand-style
+    /// low-rank bump of the cached truncated factors, or a full
+    /// recompute when the update is too stale (or the client is cold).
+    /// Every route refreshes the client's cache entry for the next
+    /// update.
+    ///
+    /// # Errors
+    ///
+    /// * [`ServeError::InvalidRequest`] — [`ServeConfig::incremental`]
+    ///   is off, the shape violates the replica constraints, or the
+    ///   matrix contains non-finite values.
+    /// * [`ServeError::QueueFull`] / [`ServeError::ShuttingDown`] — as
+    ///   for decompose submission.
+    pub fn try_submit_update_with(
+        &self,
+        client: ClientId,
+        matrix: Matrix<f64>,
+        options: SubmitOptions,
+    ) -> Result<UpdateHandle, ServeError> {
+        let inner = &self.inner;
+        if inner.shutting_down.load(Ordering::SeqCst) {
+            return Err(ServeError::ShuttingDown);
+        }
+        let reject = |e: ServeError| {
+            inner
+                .metrics
+                .rejected_invalid
+                .fetch_add(1, Ordering::Relaxed);
+            Err(e)
+        };
+        if !inner.config.incremental {
+            return reject(ServeError::InvalidRequest(
+                "incremental updates are disabled (set ServeConfig::incremental)".into(),
+            ));
+        }
+        if let Err(e) = inner.config.check_shape(matrix.rows(), matrix.cols()) {
+            return reject(e);
+        }
+        let shape = (matrix.rows(), matrix.cols());
+        // Cast to the device's native f32 once, at admission (the
+        // fingerprint and classification run on exactly the bits the
+        // solve will see).
+        let matrix = matrix.cast::<f32>();
+        let entry = inner.factor_cache.get(client);
+        let class = match entry.as_deref() {
+            Some(cached) => {
+                // The low-rank path re-truncates to the cached rank r,
+                // so the augmented core must fit: k <= min(m, n) - r.
+                let k_budget = inner
+                    .config
+                    .max_update_rank
+                    .min(shape.0.min(shape.1).saturating_sub(cached.truncated.rank()));
+                match classify_update(
+                    &matrix,
+                    &cached.a_prev,
+                    cached.warm_solves_since_full,
+                    &inner.config.staleness_bound(),
+                    k_budget,
+                ) {
+                    Ok(class) => Some(class),
+                    Err(e) => return reject(ServeError::from(HeteroSvdError::Numeric(e))),
+                }
+            }
+            None => None,
+        };
+        let payload = Payload::Update {
+            matrix,
+            shape,
+            client,
+            entry,
+            class,
+        };
+        let (id, state) = self.admit(payload, options, false)?;
+        Ok(UpdateHandle { id, state })
+    }
+
     /// Chaos/test hook: admits a request whose replica panics instead of
     /// executing it, exercising the containment and replacement path.
     #[doc(hidden)]
@@ -388,6 +496,7 @@ impl SvdService {
         let rtype = match &payload {
             Payload::Decompose { .. } => RequestType::Decompose,
             Payload::Apply { .. } => RequestType::Apply,
+            Payload::Update { .. } => RequestType::Update,
         };
         let submitted_at = Instant::now();
         let timeout = options.timeout.or(inner.config.default_timeout);
@@ -423,6 +532,12 @@ impl SvdService {
     /// their hit/miss/eviction counters.
     pub fn store(&self) -> &FactorStore {
         &self.inner.store
+    }
+
+    /// The per-client factor cache backing incremental updates: cached
+    /// bases, hit/miss/eviction counters, and per-client byte usage.
+    pub fn factor_cache(&self) -> &FactorCache {
+        &self.inner.factor_cache
     }
 
     /// A point-in-time view of the service's counters and latency
@@ -633,6 +748,16 @@ fn execute_batch(
         crate::request::BatchKey::Apply { .. } => {
             execute_apply(inner, batch, &live, exec_started);
         }
+        crate::request::BatchKey::Update { rows, cols } => {
+            execute_update(
+                inner,
+                accelerators,
+                batch,
+                &live,
+                exec_started,
+                (rows, cols),
+            );
+        }
     }
 }
 
@@ -694,7 +819,7 @@ fn execute_decompose(
                 publishes.push(publish.map(|spec| (spec, m.clone())));
                 matrices.push(m);
             }
-            Payload::Apply { .. } => unreachable!("apply request in a decompose batch"),
+            _ => unreachable!("non-decompose request in a decompose batch"),
         }
     }
     match accelerator.run_many_f32(matrices) {
@@ -787,7 +912,7 @@ fn execute_decompose(
 fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started: Instant) {
     let factors: Arc<PublishedFactors> = match &batch.entries[live[0]].request.payload {
         Payload::Apply { factors, .. } => Arc::clone(factors),
-        Payload::Decompose { .. } => unreachable!("decompose request in an apply batch"),
+        _ => unreachable!("non-apply request in an apply batch"),
     };
     let meta = factors.meta;
 
@@ -799,7 +924,7 @@ fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started:
     for &i in live {
         let (x, rank) = match &batch.entries[i].request.payload {
             Payload::Apply { x, rank, .. } => (x, *rank),
-            Payload::Decompose { .. } => unreachable!("decompose request in an apply batch"),
+            _ => unreachable!("non-apply request in an apply batch"),
         };
         let outcome = ApplyShape::new(meta.rows, meta.cols, rank)
             .map_err(ServeError::from)
@@ -882,6 +1007,229 @@ fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started:
             .request
             .state
             .complete(Ok(Completion::Apply(response)));
+    }
+}
+
+/// Runs one shape-uniform update batch. Unlike decompose there is no
+/// shared accelerator run: each live request rides its own client's
+/// cached basis along the route pinned at admission, so requests
+/// execute independently — a warm-started solve through this replica's
+/// accelerator, a host-only low-rank bump, or a full recompute.
+fn execute_update(
+    inner: &Inner,
+    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
+    batch: &mut Batch,
+    live: &[usize],
+    exec_started: Instant,
+    shape: (usize, usize),
+) {
+    for &i in live {
+        let (matrix, client, cached, class) = match &mut batch.entries[i].request.payload {
+            Payload::Update {
+                matrix,
+                client,
+                entry,
+                class,
+                ..
+            } => (
+                // Moved, never cloned — same discipline as decompose.
+                std::mem::replace(matrix, Matrix::zeros(0, 0)),
+                *client,
+                entry.take(),
+                class.take(),
+            ),
+            _ => unreachable!("non-update request in an update batch"),
+        };
+        let route = class
+            .as_ref()
+            .map_or(UpdateRoute::Full(FallbackReason::ColdStart), |c| c.route);
+        let delta_rel = class.as_ref().map_or(0.0, |c| c.delta_rel);
+        let started = Instant::now();
+        let outcome = run_update_route(inner, accelerators, shape, client, matrix, cached, class);
+        let entry = &batch.entries[i];
+        match outcome {
+            Ok((sigma, output, modeled)) => {
+                match route {
+                    UpdateRoute::WarmStart => inner.metrics.record_warm_start_hit(),
+                    UpdateRoute::LowRank { .. } => inner.metrics.record_lowrank_hit(),
+                    // Cold-start fulls are cache misses, not staleness;
+                    // only classification-driven fallbacks count here.
+                    UpdateRoute::Full(FallbackReason::ColdStart) => {}
+                    UpdateRoute::Full(_) => inner.metrics.record_staleness_fallback(),
+                }
+                if inner.config.observability {
+                    obs::global().record(
+                        Stage::Update,
+                        Some(entry.request.id.0),
+                        started.elapsed(),
+                        modeled,
+                    );
+                    if let Some(util) = output.as_ref().and_then(|o| o.utilization.as_ref()) {
+                        merge_shape_utilization(inner, shape, util.clone());
+                    }
+                }
+                let latency = LatencyRecord {
+                    queue_wait: entry
+                        .picked_at
+                        .saturating_duration_since(entry.request.submitted_at),
+                    batch_linger: exec_started.saturating_duration_since(entry.picked_at),
+                    // 0 for the host-only low-rank route: no modeled
+                    // accelerator time exists (that's the speedup).
+                    sim_exec_ps: modeled.map_or(0, |t| t.0),
+                    batch_size: live.len(),
+                    wall_total: entry.request.submitted_at.elapsed(),
+                };
+                let warm_start = output.as_ref().and_then(|o| o.warm_start);
+                let response = UpdateResponse {
+                    id: entry.request.id,
+                    client,
+                    route,
+                    delta_rel,
+                    sigma,
+                    output,
+                    warm_start,
+                    latency,
+                };
+                // Record before completing (see execute_decompose).
+                inner.metrics.record_completed(RequestType::Update);
+                inner.metrics.record_latency(&latency, RequestType::Update);
+                entry
+                    .request
+                    .state
+                    .complete(Ok(Completion::Update(response)));
+            }
+            Err(err) => {
+                if entry.request.state.complete(Err(err)) {
+                    inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+    }
+}
+
+/// What [`run_update_route`] hands back per request: the served
+/// spectrum, the accelerator output when one ran, and the modeled task
+/// time (`None` for the host-only low-rank route).
+type UpdateOutcome = (Vec<f32>, Option<HeteroSvdOutput>, Option<TimePs>);
+
+/// Executes one update along its admitted route and refreshes the
+/// client's cache entry.
+fn run_update_route(
+    inner: &Inner,
+    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
+    shape: (usize, usize),
+    client: ClientId,
+    matrix: Matrix<f32>,
+    cached: Option<Arc<FactorCacheEntry>>,
+    class: Option<UpdateClass<f32>>,
+) -> Result<UpdateOutcome, ServeError> {
+    let route = class
+        .as_ref()
+        .map_or(UpdateRoute::Full(FallbackReason::ColdStart), |c| c.route);
+    // Truncation rank of the refreshed cache entry, clamped per shape.
+    let cache_rank = inner
+        .config
+        .update_cache_rank
+        .min(shape.0.min(shape.1))
+        .max(1);
+    let numeric = |e| ServeError::from(HeteroSvdError::Numeric(e));
+    match route {
+        UpdateRoute::LowRank { rank: 0 } => {
+            // Identical resubmission: the cached truncated factors
+            // already answer it. No solve, no republish.
+            let cached = cached.expect("rank-0 route requires a cache entry");
+            Ok((cached.truncated.sigma.clone(), None, None))
+        }
+        UpdateRoute::LowRank { .. } => {
+            let cached = cached.expect("low-rank route requires a cache entry");
+            let factor = class
+                .and_then(|c| c.factor)
+                .expect("low-rank route carries the factored delta");
+            let updated = lowrank_update(&cached.truncated, &factor, &core_jacobi_options(inner))
+                .map_err(numeric)?;
+            let sigma = updated.sigma.clone();
+            // The full basis and spectrum stay stale (the warm-solve
+            // budget bounds how long before a full refresh); only the
+            // truncated factors and the fingerprint advance.
+            inner.factor_cache.publish(FactorCacheEntry::new(
+                client,
+                matrix,
+                cached.v.clone(),
+                cached.sigma.clone(),
+                updated,
+                cached.warm_solves_since_full + 1,
+            ));
+            Ok((sigma, None, None))
+        }
+        UpdateRoute::WarmStart => {
+            let cached = cached.expect("warm route requires a cache entry");
+            let accelerator =
+                cached_accelerator(accelerators, inner, shape, 1).map_err(ServeError::from)?;
+            let output = accelerator
+                .run_warm_f32(&matrix, &cached.v)
+                .map_err(ServeError::from)?;
+            let modeled = output.timing.task_time;
+            let v = output.result.v.clone().expect("warm runs compose V");
+            let truncated = output
+                .result
+                .truncate(&matrix, cache_rank)
+                .map_err(numeric)?;
+            let sigma = sorted_sigma(&output.result.sigma);
+            inner.factor_cache.publish(FactorCacheEntry::new(
+                client,
+                matrix,
+                v,
+                sigma.clone(),
+                truncated,
+                cached.warm_solves_since_full + 1,
+            ));
+            Ok((sigma, Some(output), Some(modeled)))
+        }
+        UpdateRoute::Full(_) => {
+            let accelerator =
+                cached_accelerator(accelerators, inner, shape, 1).map_err(ServeError::from)?;
+            let output = accelerator.run_f32(&matrix).map_err(ServeError::from)?;
+            let modeled = output.timing.task_time;
+            let v = output.result.recover_v(&matrix).map_err(numeric)?;
+            let truncated = output
+                .result
+                .truncate(&matrix, cache_rank)
+                .map_err(numeric)?;
+            let sigma = sorted_sigma(&output.result.sigma);
+            // Full refresh: the staleness counter restarts.
+            inner.factor_cache.publish(FactorCacheEntry::new(
+                client,
+                matrix,
+                v,
+                sigma.clone(),
+                truncated,
+                0,
+            ));
+            Ok((sigma, Some(output), Some(modeled)))
+        }
+    }
+}
+
+/// The accelerator reports singular values in pipeline column order;
+/// the update path serves them descending (matching the truncated
+/// factors the low-rank route serves), so the order is a contract, not
+/// an artifact of the route taken.
+fn sorted_sigma(sigma: &[f32]) -> Vec<f32> {
+    let mut sorted = sigma.to_vec();
+    sorted.sort_unstable_by(|a, b| b.partial_cmp(a).expect("sigma is finite"));
+    sorted
+}
+
+/// Jacobi options for the host-side low-rank core solve: `f32` core
+/// arithmetic cannot push the off-diagonal as far as the accelerator's
+/// default `f64`-tuned precision, so the configured precision is
+/// floored at an `f32`-reachable level.
+fn core_jacobi_options(inner: &Inner) -> JacobiOptions {
+    JacobiOptions {
+        precision: inner.config.precision.max(1e-5),
+        compute_v: true,
+        adaptive: false,
+        ..JacobiOptions::default()
     }
 }
 
@@ -1230,6 +1578,280 @@ mod tests {
             .unwrap_err();
         assert!(matches!(err, ServeError::InvalidRequest(_)));
         assert_eq!(service.metrics().rejected_invalid, 5);
+        service.shutdown();
+    }
+
+    fn incremental_config() -> ServeConfig {
+        ServeConfig {
+            incremental: true,
+            ..quick_config()
+        }
+    }
+
+    #[test]
+    fn updates_require_the_incremental_knob() {
+        let service = SvdService::start(quick_config()).unwrap();
+        let err = service
+            .try_submit_update(ClientId(1), test_matrix(8, 8, 0))
+            .unwrap_err();
+        assert!(matches!(err, ServeError::InvalidRequest(_)));
+        assert_eq!(service.metrics().rejected_invalid, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn update_routes_cold_identical_and_warm() {
+        let service = SvdService::start(incremental_config()).unwrap();
+        let client = ClientId(7);
+        let a0 = test_matrix(8, 8, 20);
+
+        // Cold start: no cached entry, full solve, cache refreshed.
+        let cold = service
+            .try_submit_update(client, a0.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(cold.route, UpdateRoute::Full(FallbackReason::ColdStart));
+        assert_eq!(cold.sigma.len(), 8);
+        assert!(cold.latency.sim_exec_ps > 0);
+        assert!(cold.output.is_some());
+        assert!(service.factor_cache().get(client).is_some());
+
+        // Identical resubmission: served from the cached truncated
+        // factors with zero modeled accelerator time.
+        let same = service
+            .try_submit_update(client, a0.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(same.route, UpdateRoute::LowRank { rank: 0 });
+        assert_eq!(same.latency.sim_exec_ps, 0);
+        assert!(same.output.is_none());
+        assert_eq!(same.sigma, cold.sigma);
+
+        // Small dense drift: the default cache rank fills min(m, n), so
+        // no low-rank headroom remains and the warm start runs.
+        let a1 = Matrix::from_fn(8, 8, |r, c| {
+            a0[(r, c)] + ((r * 7 + c * 13) % 5) as f64 * 1e-4
+        });
+        let warm = service
+            .try_submit_update(client, a1.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(warm.route, UpdateRoute::WarmStart);
+        assert!(warm.delta_rel > 0.0 && warm.delta_rel < 0.25);
+        let counters = warm.warm_start.expect("warm route reports counters");
+        assert_eq!(counters.basis_cols, 8);
+        assert!(warm.latency.sim_exec_ps > 0);
+        // Warm accuracy: the spectrum matches a cold decompose of the
+        // same matrix to f32 working precision.
+        let golden = service.try_submit(a1).unwrap().wait().unwrap();
+        let golden_sigma = sorted_sigma(&golden.output.result.sigma);
+        let sig_max = f64::from(golden_sigma[0]);
+        for (w, g) in warm.sigma.iter().zip(&golden_sigma) {
+            assert!(
+                (f64::from(*w) - f64::from(*g)).abs() / sig_max < 1e-4,
+                "warm {w} vs cold {g}"
+            );
+        }
+
+        let m = service.metrics();
+        assert_eq!(m.lowrank_hits, 1);
+        assert_eq!(m.warm_start_hits, 1);
+        assert_eq!(m.staleness_fallbacks, 0);
+        assert_eq!(m.per_type.update.submitted, 3);
+        assert_eq!(m.per_type.update.completed_ok, 3);
+        service.shutdown();
+    }
+
+    #[test]
+    fn column_perturbation_takes_the_lowrank_fast_path() {
+        // A small cache rank leaves low-rank headroom (r + k <= n), and
+        // a single-column perturbation factors to a rank-1 delta.
+        let config = ServeConfig {
+            update_cache_rank: 4,
+            ..incremental_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let client = ClientId(3);
+        let a0 = test_matrix(8, 8, 30);
+        service
+            .try_submit_update(client, a0.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let a1 = Matrix::from_fn(8, 8, |r, c| {
+            a0[(r, c)] + if c == 2 { 1e-3 * (r + 1) as f64 } else { 0.0 }
+        });
+        let bumped = service
+            .try_submit_update(client, a1)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(bumped.route, UpdateRoute::LowRank { rank: 1 });
+        assert_eq!(bumped.sigma.len(), 4, "low-rank serves the cached rank");
+        assert_eq!(bumped.latency.sim_exec_ps, 0, "host-only route");
+        assert!(bumped.output.is_none());
+        assert_eq!(service.metrics().lowrank_hits, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn staleness_fallback_is_bit_identical_to_incremental_off() {
+        // A large delta trips the staleness bound; the resulting full
+        // solve must be bit-identical to the same matrix served by a
+        // service with the knob off (the fallback IS the cold path).
+        let a0 = test_matrix(8, 8, 40);
+        let a1 = Matrix::from_fn(8, 8, |r, c| a0[(r, c)] + test_matrix(8, 8, 41)[(r, c)]);
+
+        let on = SvdService::start(incremental_config()).unwrap();
+        let client = ClientId(11);
+        on.try_submit_update(client, a0.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let fallback = on
+            .try_submit_update(client, a1.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(
+            fallback.route,
+            UpdateRoute::Full(FallbackReason::DeltaTooLarge)
+        );
+        assert!(fallback.delta_rel > 0.25);
+        assert_eq!(on.metrics().staleness_fallbacks, 1);
+        on.shutdown();
+
+        let off = SvdService::start(quick_config()).unwrap();
+        let golden = off.try_submit(a1).unwrap().wait().unwrap();
+        off.shutdown();
+        // The served spectrum is the golden one reordered descending —
+        // the same bits, by contract of the update path.
+        assert_eq!(fallback.sigma, sorted_sigma(&golden.output.result.sigma));
+        let output = fallback.output.expect("full route carries the output");
+        assert_eq!(
+            output.result.u.as_slice(),
+            golden.output.result.u.as_slice()
+        );
+    }
+
+    #[test]
+    fn warm_budget_exhaustion_forces_a_full_refresh() {
+        let config = ServeConfig {
+            max_warm_solves: 2,
+            ..incremental_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let client = ClientId(5);
+        let mut a = test_matrix(8, 8, 50);
+        service
+            .try_submit_update(client, a.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        let mut routes = Vec::new();
+        for step in 0..3 {
+            a = Matrix::from_fn(8, 8, |r, c| {
+                a[(r, c)] + ((r * 3 + c * 5 + step) % 7) as f64 * 1e-4
+            });
+            let response = service
+                .try_submit_update(client, a.clone())
+                .unwrap()
+                .wait()
+                .unwrap();
+            routes.push(response.route);
+        }
+        assert_eq!(routes[0], UpdateRoute::WarmStart);
+        assert_eq!(routes[1], UpdateRoute::WarmStart);
+        assert_eq!(
+            routes[2],
+            UpdateRoute::Full(FallbackReason::WarmBudgetExhausted),
+            "third consecutive warm solve exceeds the budget of 2"
+        );
+        // The full refresh restarted the counter: warm again.
+        let a_next = Matrix::from_fn(8, 8, |r, c| a[(r, c)] + 1e-4 * ((r + c) % 3) as f64);
+        let after = service
+            .try_submit_update(client, a_next)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(after.route, UpdateRoute::WarmStart);
+        assert_eq!(service.metrics().staleness_fallbacks, 1);
+        service.shutdown();
+    }
+
+    #[test]
+    fn evicted_clients_cold_start_instead_of_serving_stale_factors() {
+        // A budget that holds exactly one client: publishing a second
+        // evicts the first, whose next update must re-classify as a
+        // cold start (never a stale rank-0 serve).
+        let config = ServeConfig {
+            factor_cache_bytes: 2_000,
+            ..incremental_config()
+        };
+        let service = SvdService::start(config).unwrap();
+        let a = test_matrix(8, 8, 60);
+        service
+            .try_submit_update(ClientId(1), a.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        service
+            .try_submit_update(ClientId(2), test_matrix(8, 8, 61))
+            .unwrap()
+            .wait()
+            .unwrap();
+        let stats = service.factor_cache().stats();
+        assert!(stats.evictions >= 1, "budget holds one client: {stats:?}");
+        assert!(service.factor_cache().get(ClientId(1)).is_none());
+        let redo = service
+            .try_submit_update(ClientId(1), a)
+            .unwrap()
+            .wait()
+            .unwrap();
+        assert_eq!(redo.route, UpdateRoute::Full(FallbackReason::ColdStart));
+        service.shutdown();
+    }
+
+    #[test]
+    fn update_report_exports_cache_and_route_counters() {
+        let service = SvdService::start(incremental_config()).unwrap();
+        let client = ClientId(42);
+        let a = test_matrix(8, 8, 70);
+        service
+            .try_submit_update(client, a.clone())
+            .unwrap()
+            .wait()
+            .unwrap();
+        service
+            .try_submit_update(client, a)
+            .unwrap()
+            .wait()
+            .unwrap();
+        let report = service.metrics_report();
+        assert_eq!(report.snapshot.lowrank_hits, 1);
+        assert_eq!(report.snapshot.per_type.update.completed_ok, 2);
+        assert_eq!(report.caches.factor_cache.publishes, 1);
+        assert_eq!(report.caches.factor_cache.misses, 1);
+        assert_eq!(report.caches.factor_cache.hits, 1);
+        assert_eq!(report.caches.factor_cache.resident_clients, 1);
+        assert_eq!(report.caches.factor_cache.clients.len(), 1);
+        assert_eq!(report.caches.factor_cache.clients[0].client, 42);
+        let prom = report.to_prometheus();
+        assert!(prom.contains("hsvd_lowrank_hits_total 1"));
+        assert!(prom.contains("hsvd_factor_cache_hits_total 1"));
+        assert!(prom.contains("hsvd_factor_cache_client_bytes{client=\"42\"}"));
+        assert!(prom.contains("hsvd_completed_ok_by_type_total{type=\"update\"} 2"));
+        // The update stage reached the span journal.
+        let update_stage = report
+            .journal
+            .stages
+            .iter()
+            .find(|s| s.stage == "update")
+            .expect("update spans recorded");
+        assert!(update_stage.count >= 1);
         service.shutdown();
     }
 

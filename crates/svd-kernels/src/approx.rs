@@ -145,6 +145,14 @@ impl<T: Real> SvdResult<T> {
     /// recovering `V` from `a` when the solver did not accumulate it
     /// (the accelerator never does — see [`SvdResult::recover_v`]).
     ///
+    /// Components whose singular value sits at the numerical noise
+    /// floor (`σⱼ ≤ 64·ε·σ_max`, the same gate [`SvdResult::recover_v`]
+    /// applies) keep their σ but get **zero** `u`/`v` columns: past the
+    /// matrix's numerical rank the iterate columns are normalized
+    /// round-off, not orthonormal directions, and a downstream
+    /// [`lowrank_update`](crate::incremental::lowrank_update) projecting
+    /// against them would leak energy through the complement.
+    ///
     /// # Errors
     ///
     /// * [`SvdError::InvalidParameter`] — `rank` is zero or exceeds the
@@ -163,12 +171,16 @@ impl<T: Real> SvdResult<T> {
         };
         let order = self.descending_order();
         let (m, n) = (self.u.rows(), v_full.rows());
+        let sigma_max = order.first().map_or(T::ZERO, |&j| self.sigma[j]);
+        let gate = T::from_f64(64.0) * T::EPSILON * sigma_max;
         let mut u = Matrix::zeros(m, rank);
         let mut v = Matrix::zeros(n, rank);
         let mut sigma = Vec::with_capacity(rank);
         for (slot, &j) in order.iter().take(rank).enumerate() {
-            u.col_mut(slot).copy_from_slice(self.u.col(j));
-            v.col_mut(slot).copy_from_slice(v_full.col(j));
+            if self.sigma[j] > gate {
+                u.col_mut(slot).copy_from_slice(self.u.col(j));
+                v.col_mut(slot).copy_from_slice(v_full.col(j));
+            }
             sigma.push(self.sigma[j]);
         }
         let tail_sigma = order
@@ -506,6 +518,27 @@ mod tests {
         let full = svd.truncate(&a, 8).unwrap();
         assert_eq!(full.tail_sigma, 0.0);
         assert!((full.retained_energy - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn truncate_past_numerical_rank_zeroes_dead_columns() {
+        // An exactly rank-3 matrix truncated to rank 6: the three dead
+        // components keep their (noise-level) σ but their u/v columns
+        // must be exactly zero, so the cached factors stay a valid
+        // partial isometry for downstream Brand updates.
+        let g = sample(12, 3);
+        let h = sample(8, 3);
+        let a = g.matmul(&h.transpose()).unwrap();
+        let svd = hestenes_jacobi(&a, &JacobiOptions::default()).unwrap();
+        let t = svd.truncate(&a, 6).unwrap();
+        assert_eq!(t.rank(), 6);
+        for j in 3..6 {
+            assert!(t.u.col(j).iter().all(|&x| x == 0.0), "u col {j} not zero");
+            assert!(t.v.col(j).iter().all(|&x| x == 0.0), "v col {j} not zero");
+        }
+        // Live columns stay orthonormal and reconstruct A.
+        let recon_err = a.sub(&t.reconstruct()).unwrap().frobenius_norm() / a.frobenius_norm();
+        assert!(recon_err < 1e-10, "reconstruction error {recon_err}");
     }
 
     #[test]

@@ -20,6 +20,10 @@
 //!   (Algorithm 1's software analog) used for large problems.
 //! * [`approx`] — right-singular-vector recovery and Eckart–Young
 //!   low-rank approximation on top of an accelerator factorization.
+//! * [`incremental`] — warm-start Jacobi seeding from a cached right
+//!   basis and Brand-style low-rank updates of truncated factors, with
+//!   the staleness classifier that routes between them and a full
+//!   recompute.
 //! * [`io`] — CSV matrix reading/writing (the `hsvd` CLI's format).
 //! * [`qr`] — Householder QR and QR-preconditioned SVD for tall
 //!   matrices (a classic block-Jacobi acceleration).
@@ -41,6 +45,7 @@
 pub mod adaptive;
 pub mod approx;
 pub mod block;
+pub mod incremental;
 pub mod io;
 pub mod jacobi;
 pub mod matrix;
@@ -56,6 +61,10 @@ mod error;
 pub use approx::TruncatedSvd;
 pub use block::{BlockJacobiOptions, BlockPairSchedule, BlockPartition};
 pub use error::SvdError;
+pub use incremental::{
+    classify_update, factor_delta, lowrank_update, warm_start, DeltaFactor, FallbackReason,
+    StalenessBound, UpdateClass, UpdateRoute,
+};
 pub use jacobi::{hestenes_jacobi, JacobiOptions, SvdResult, SweepStats};
 pub use matrix::Matrix;
 pub use rotation::JacobiRotation;

@@ -14,7 +14,7 @@
 //! `hsvd run matrix.csv`.
 
 use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
-use heterosvd_repro::serve::{ModelId, ServeConfig, ServeError, SvdService};
+use heterosvd_repro::serve::{ClientId, ModelId, ServeConfig, ServeError, SvdService};
 use heterosvd_repro::svd_kernels::{io as matrix_io, Matrix};
 use rand::{Rng, SeedableRng};
 use std::io::Write;
@@ -99,6 +99,14 @@ fn usage() -> &'static str {
      \x20                   applies are served from the factor store\n\
        --models M          distinct models to publish for mixed traffic\n\
      \x20                   (default 4)\n\
+       --update-ratio R    incremental traffic: R update requests per\n\
+     \x20                   decompose request (default 0 = none); each\n\
+     \x20                   update perturbs a per-client hot matrix and\n\
+     \x20                   the service routes it warm-start / low-rank /\n\
+     \x20                   full recompute (incompatible with\n\
+     \x20                   --timing-only)\n\
+       --clients N         distinct hot-matrix clients for update\n\
+     \x20                   traffic (default 4)\n\
        --rank R            published truncation rank (default cols/4,\n\
      \x20                   at least 1)\n\
        --packing on|off    multi-problem array packing: co-schedule a\n\
@@ -294,6 +302,8 @@ struct BenchArgs {
     apply_ratio: f64,
     models: usize,
     rank: Option<usize>,
+    update_ratio: f64,
+    clients: usize,
     metrics_out: Option<String>,
     packing: bool,
 }
@@ -331,6 +341,8 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
         apply_ratio: 0.0,
         models: 4,
         rank: None,
+        update_ratio: 0.0,
+        clients: 4,
         metrics_out: None,
         packing: true,
     };
@@ -351,6 +363,8 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
             "--apply-ratio" => args.apply_ratio = cursor.parse("--apply-ratio")?,
             "--models" => args.models = cursor.parse("--models")?,
             "--rank" => args.rank = Some(cursor.parse("--rank")?),
+            "--update-ratio" => args.update_ratio = cursor.parse("--update-ratio")?,
+            "--clients" => args.clients = cursor.parse("--clients")?,
             "--metrics-out" => args.metrics_out = Some(cursor.value("--metrics-out")?),
             "--packing" => {
                 args.packing = match cursor.value("--packing")?.as_str() {
@@ -390,6 +404,19 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
     if args.rank == Some(0) {
         return Err("serve-bench needs --rank >= 1".to_string());
     }
+    if !(args.update_ratio.is_finite() && args.update_ratio >= 0.0) {
+        return Err("serve-bench needs a finite --update-ratio >= 0".to_string());
+    }
+    if args.update_ratio > 0.0 {
+        if args.clients == 0 {
+            return Err("update traffic needs --clients >= 1".to_string());
+        }
+        if args.timing_only {
+            return Err("incremental updates warm-start from real factors; \
+                 --update-ratio is incompatible with --timing-only"
+                .to_string());
+        }
+    }
     Ok(args)
 }
 
@@ -413,6 +440,7 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         // sweep count to the paper's typical iteration budget.
         fixed_iterations: args.timing_only.then_some(6),
         array_packing: args.packing,
+        incremental: args.update_ratio > 0.0,
         ..ServeConfig::default()
     })
     .map_err(|e| e.to_string())?;
@@ -468,14 +496,76 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         Vec::new()
     };
 
+    // Update traffic keeps one hot matrix per client: each update
+    // request perturbs the client's current matrix (mostly small rank-1
+    // bumps, an occasional large shock past the staleness bound) and
+    // resubmits it, so the service exercises the whole routing spectrum
+    // — cold full solves, low-rank bumps, warm starts, and fallbacks.
+    let update_traffic = args.update_ratio > 0.0;
+    let mut client_state: Vec<Matrix<f64>> = if update_traffic {
+        (0..args.clients)
+            .map(|c| {
+                let (rows, cols) = shapes[c % shapes.len()];
+                random_matrix(&mut rng, rows, cols)
+            })
+            .collect()
+    } else {
+        Vec::new()
+    };
+    let mut client_updates = vec![0usize; client_state.len()];
+
     enum Work {
         Decompose(Matrix<f64>),
-        Apply { model: ModelId, x: Vec<f64> },
+        Apply {
+            model: ModelId,
+            x: Vec<f64>,
+        },
+        Update {
+            client: ClientId,
+            matrix: Matrix<f64>,
+        },
     }
+    // Request-type mix: decompose weight 1, each ratio adds its own
+    // weight. `p_apply` stays conditioned on "not an update", so with
+    // --update-ratio 0 the draw sequence (and hence every checksum) is
+    // unchanged.
+    let p_update = args.update_ratio / (1.0 + args.apply_ratio + args.update_ratio);
     let p_apply = args.apply_ratio / (args.apply_ratio + 1.0);
     let workload: Vec<(Work, f64)> = (0..args.requests)
         .map(|_| {
-            let work = if mixed && rng.gen_bool(p_apply) {
+            let work = if update_traffic && rng.gen_bool(p_update) {
+                let c = rng.gen_range(0..client_state.len());
+                let a = &mut client_state[c];
+                client_updates[c] += 1;
+                // Every 10th update per client shocks the matrix hard
+                // enough to exceed the staleness bound (full-recompute
+                // fallback); every 10th offset by 5 drifts it with a
+                // perturbation wider than the default rank-8 low-rank
+                // budget (warm start); the rest are ~2% rank-1 bumps
+                // the low-rank fast path absorbs.
+                let (rel, rank) = match client_updates[c] % 10 {
+                    0 => (0.5, 1),
+                    5 => (0.08, 12),
+                    _ => (0.02, 1),
+                };
+                for _ in 0..rank {
+                    let u: Vec<f64> = (0..a.rows()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let v: Vec<f64> = (0..a.cols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    let u_norm = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+                    let v_norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                    let scale = rel / rank as f64 * a.frobenius_norm()
+                        / (u_norm * v_norm).max(f64::MIN_POSITIVE);
+                    for col in 0..a.cols() {
+                        for row in 0..a.rows() {
+                            a[(row, col)] += scale * u[row] * v[col];
+                        }
+                    }
+                }
+                Work::Update {
+                    client: ClientId(c as u64),
+                    matrix: a.clone(),
+                }
+            } else if mixed && rng.gen_bool(p_apply) {
                 let (model, cols) = published[rng.gen_range(0..published.len())];
                 let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
                 Work::Apply { model, x }
@@ -495,20 +585,32 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         args.workers,
         args.seed,
         args.rate,
-        if mixed {
-            format!(
+        match (mixed, update_traffic) {
+            (true, true) => format!(
+                " (mixed, {} applies + {} updates per decompose, {} models, {} clients)",
+                args.apply_ratio,
+                args.update_ratio,
+                published.len(),
+                client_state.len()
+            ),
+            (true, false) => format!(
                 " (mixed, {} applies per decompose over {} models)",
                 args.apply_ratio,
                 published.len()
-            )
-        } else {
-            String::new()
+            ),
+            (false, true) => format!(
+                " ({} updates per decompose over {} clients)",
+                args.update_ratio,
+                client_state.len()
+            ),
+            (false, false) => String::new(),
         }
     );
 
     enum BenchHandle {
         Decompose(heterosvd_repro::serve::RequestHandle),
         Apply(heterosvd_repro::serve::ApplyHandle),
+        Update(heterosvd_repro::serve::UpdateHandle),
     }
     let bench_start = Instant::now();
     let mut next_arrival = Instant::now();
@@ -525,6 +627,9 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
             Work::Apply { model, x } => service
                 .try_submit_apply(model, &x, None)
                 .map(BenchHandle::Apply),
+            Work::Update { client, matrix } => service
+                .try_submit_update(client, matrix)
+                .map(BenchHandle::Update),
         };
         match admitted {
             Ok(handle) => handles.push(handle),
@@ -536,6 +641,7 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
 
     let mut sigma_checksum = 0.0f64;
     let mut apply_checksum = 0.0f64;
+    let mut update_checksum = 0.0f64;
     let mut completed = 0u64;
     let mut failed = 0u64;
     for handle in handles {
@@ -557,6 +663,13 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
                 Ok(response) => {
                     completed += 1;
                     apply_checksum += response.y.iter().map(|&v| v as f64).sum::<f64>();
+                }
+                Err(_) => failed += 1,
+            },
+            BenchHandle::Update(handle) => match handle.wait() {
+                Ok(response) => {
+                    completed += 1;
+                    update_checksum += response.sigma.iter().map(|&s| s as f64).sum::<f64>();
                 }
                 Err(_) => failed += 1,
             },
@@ -651,6 +764,40 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
             },
             store.hits,
             looked_up
+        );
+    }
+    if update_traffic {
+        println!(
+            "update checksum {update_checksum:.6} (deterministic for --seed {})",
+            args.seed
+        );
+        let t = &m.per_type.update;
+        println!(
+            "   update: submitted {} | ok {} | warm-start hits {} | low-rank hits {} | staleness fallbacks {} | queue wait p50/p99 {} / {} µs",
+            t.submitted,
+            t.completed_ok,
+            m.warm_start_hits,
+            m.lowrank_hits,
+            m.staleness_fallbacks,
+            t.queue_wait_us.p50,
+            t.queue_wait_us.p99,
+        );
+        // The report's embedded snapshot already drained the stats
+        // window; a second `stats()` call here would read an empty one.
+        let cache = &report.caches.factor_cache;
+        let looked_up = cache.hits + cache.misses;
+        println!(
+            "factor cache: {} clients / {} bytes resident | {} publishes | {} evictions | hit rate {:.1}% lifetime, {:.1}% window",
+            cache.resident_clients,
+            cache.resident_bytes,
+            cache.publishes,
+            cache.evictions,
+            if looked_up > 0 {
+                cache.hits as f64 / looked_up as f64 * 100.0
+            } else {
+                0.0
+            },
+            cache.hit_rate_window * 100.0
         );
     }
 
@@ -773,6 +920,9 @@ mod tests {
             vec!["--rank", "0"],
             vec!["--requests", "0"],
             vec!["--apply-ratio", "4", "--models", "0"],
+            vec!["--update-ratio", "-1"],
+            vec!["--update-ratio", "NaN"],
+            vec!["--update-ratio", "4", "--clients", "0"],
         ] {
             let err = bench(&bad).expect_err(&bad.join(" "));
             assert!(!err.contains('\n'), "multi-line error for {bad:?}: {err}");
@@ -792,6 +942,24 @@ mod tests {
     #[test]
     fn apply_ratio_conflicts_with_timing_only() {
         let err = bench(&["--apply-ratio", "4", "--timing-only"]).unwrap_err();
+        assert!(err.contains("--timing-only"), "{err}");
+    }
+
+    #[test]
+    fn update_traffic_flags_parse() {
+        let args = bench(&["--update-ratio", "8", "--clients", "6"]).unwrap();
+        assert_eq!(args.update_ratio, 8.0);
+        assert_eq!(args.clients, 6);
+        let defaults = bench(&[]).unwrap();
+        assert_eq!(defaults.update_ratio, 0.0);
+        assert_eq!(defaults.clients, 4);
+    }
+
+    /// Incremental updates warm-start from real cached factors, which
+    /// timing-only fidelity never produces.
+    #[test]
+    fn update_ratio_conflicts_with_timing_only() {
+        let err = bench(&["--update-ratio", "4", "--timing-only"]).unwrap_err();
         assert!(err.contains("--timing-only"), "{err}");
     }
 

@@ -59,6 +59,47 @@ pub trait Rng: RngCore {
         assert!((0.0..=1.0).contains(&p), "probability must be in [0, 1]");
         f64::sample(self) < p
     }
+
+    /// Samples from an explicit distribution (upstream's
+    /// `Rng::sample`).
+    fn sample<T, D: distributions::Distribution<T>>(&mut self, distr: D) -> T {
+        distr.sample(self)
+    }
+}
+
+/// Non-uniform distributions (the API subset the workspace uses).
+pub mod distributions {
+    use super::RngCore;
+
+    /// A distribution that can be sampled with any [`RngCore`].
+    pub trait Distribution<T> {
+        /// Samples one value.
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> T;
+    }
+
+    /// The standard normal distribution `N(0, 1)`, sampled by
+    /// Box–Muller. Each draw consumes two uniform words; the second
+    /// variate of the pair is discarded so the distribution is
+    /// stateless (no cached spare that would make sampling order
+    /// observable).
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct StandardNormal;
+
+    impl Distribution<f64> for StandardNormal {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f64 {
+            // u1 in (0, 1]: shift the 53-bit uniform off zero so the
+            // logarithm is always finite.
+            let u1 = ((rng.next_u64() >> 11) + 1) as f64 * (1.0 / (1u64 << 53) as f64);
+            let u2 = (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64);
+            (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+        }
+    }
+
+    impl Distribution<f32> for StandardNormal {
+        fn sample<R: RngCore + ?Sized>(&self, rng: &mut R) -> f32 {
+            <Self as Distribution<f64>>::sample(self, rng) as f32
+        }
+    }
 }
 
 impl<R: RngCore + ?Sized> Rng for R {}
@@ -280,5 +321,26 @@ mod tests {
     fn empty_range_panics() {
         let mut rng = StdRng::seed_from_u64(1);
         let _ = rng.gen_range(5..5);
+    }
+
+    #[test]
+    fn standard_normal_moments_are_sane() {
+        use super::distributions::StandardNormal;
+        let mut rng = StdRng::seed_from_u64(23);
+        let n = 20_000;
+        let (mut sum, mut sum_sq) = (0.0_f64, 0.0_f64);
+        for _ in 0..n {
+            let x: f64 = rng.sample(StandardNormal);
+            assert!(x.is_finite());
+            sum += x;
+            sum_sq += x * x;
+        }
+        let mean = sum / n as f64;
+        let var = sum_sq / n as f64 - mean * mean;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "variance {var}");
+        // f32 sampling goes through the same path.
+        let y: f32 = rng.sample(StandardNormal);
+        assert!(y.is_finite());
     }
 }
