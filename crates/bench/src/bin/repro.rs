@@ -11,9 +11,10 @@
 //! as JSON for downstream plotting.
 
 use heterosvd_bench::experiments::{
-    ablation, accuracy, adaptive, apply, convergence, devices, dse_report, fig3, fig9, hotpath,
-    pack, scalability, serve, table2, table3, table4, table5, table6, update,
+    ablation, accuracy, adaptive, apply, autoscale, convergence, devices, dse_report, fig3, fig9,
+    hotpath, pack, scalability, serve, table2, table3, table4, table5, table6, update,
 };
+use heterosvd_bench::workload::{shifting_mix_phases, stationary_phases};
 use std::sync::OnceLock;
 
 /// Counting allocator so the `hotpath` experiment can report heap
@@ -111,6 +112,7 @@ fn main() {
     }
     if want("dse") {
         run_dse_report();
+        run_autoscale(quick);
     }
     if want("ablation") {
         run_ablation();
@@ -1141,6 +1143,81 @@ fn run_ablation() {
             }
         }
         Err(e) => eprintln!("ablation failed: {e}"),
+    }
+}
+
+fn run_autoscale(quick: bool) {
+    println!(
+        "\n=== Closed-loop online DSE: adaptive vs static plans on a \
+         shifting bursty trace ({} iterations/request, modeled time) ===",
+        autoscale::ITERATIONS
+    );
+    let report = match autoscale::run(&shifting_mix_phases(quick), &stationary_phases(quick), 7) {
+        Ok(report) => report,
+        Err(e) => {
+            eprintln!("autoscale bench failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>10} {:>6} {:>7} {:>9} | {:>12} {:>12} | {:>6} {:>9}",
+        "variant", "P_eng", "P_task", "requests", "modeled(ms)", "req/s", "swaps", "dse runs"
+    );
+    for row in std::iter::once(&report.adaptive).chain(&report.statics) {
+        println!(
+            "{:>10} {:>6} {:>7} {:>9} | {:>12.3} {:>12.0} | {:>6} {:>9}",
+            row.label,
+            row.engine_parallelism,
+            row.task_parallelism,
+            row.requests,
+            row.modeled_ms,
+            row.throughput_rps,
+            row.plan_swaps,
+            row.dse_runs
+        );
+    }
+    println!(
+        "adaptive speedup {:.2}x vs best static | {} distinct plans | factors bit-identical: {} | \
+         stationary: {} swaps over {} dse runs at (P_eng={}, P_task={})",
+        report.speedup_vs_best_static,
+        report.distinct_plans,
+        if report.bit_identical { "yes" } else { "NO" },
+        report.stationary.plan_swaps,
+        report.stationary.dse_runs,
+        report.stationary.engine_parallelism,
+        report.stationary.task_parallelism
+    );
+    persist("autoscale", &report);
+
+    // The emitter proper: BENCH_dse.json at the repo root seeds the
+    // perf trajectory regardless of `--out`.
+    let path = std::env::var("BENCH_DSE_OUT").unwrap_or_else(|_| {
+        concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_dse.json").to_string()
+    });
+    match serde_json::to_string_pretty(&report) {
+        Ok(json) => {
+            if let Err(e) = std::fs::write(&path, json + "\n") {
+                eprintln!("cannot write {path}: {e}");
+                std::process::exit(1);
+            }
+            println!("[wrote {path}]");
+        }
+        Err(e) => {
+            eprintln!("cannot serialize autoscale report: {e}");
+            std::process::exit(1);
+        }
+    }
+
+    // Gates: nonzero exit on any violated closed-loop criterion. The
+    // full trace enforces the 1.3x headline; the quick CI smoke keeps
+    // every exactness/swap gate but relaxes the speedup floor to the
+    // shorter trace's reliable margin.
+    let violations = autoscale::gate_violations(&report, if quick { 1.15 } else { 1.3 });
+    if !violations.is_empty() {
+        for v in &violations {
+            eprintln!("dse gate violated: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

@@ -1,0 +1,560 @@
+//! Closed-loop online-DSE benchmark (serialized to `BENCH_dse.json`):
+//! an autoscaling service vs every static plan on the same bursty
+//! shifting-mix trace.
+//!
+//! Three services replay the identical seeded trace
+//! ([`crate::workload::bursty_trace`]): large-matrix singles, then
+//! deep small-matrix bursts, then singles again (two step changes).
+//!
+//! * **static A / static B** — autoscale off, pinned at the analytic
+//!   mix-DSE winner of the singles phase (A) and of the burst phase
+//!   (B). Each is optimal for one phase and pays for the other.
+//! * **adaptive** — autoscale on, seeded at plan A: the controller
+//!   must observe each mix shift and swap (>= 2 swaps over the trace).
+//!
+//! Throughput is **modeled** exactly as in the packing benchmark:
+//! completed requests divided by the summed per-batch Eq. 14 charges
+//! (`Σ sim_exec_ps / batch_size`), so the comparison measures the
+//! accelerator model under each plan schedule, not host CPU load.
+//! Exactness rides along: every adaptive response must be bit-identical
+//! to a solo accelerator pinned at the plan its latency record reports
+//! (drain-and-replace never touches the math), and a stationary trace
+//! through a second adaptive service seeded at its own winner must see
+//! zero swaps (hysteresis holds).
+
+use crate::workload::{bursty_trace, random_matrix, TraceEvent, TracePhase};
+use heterosvd::Accelerator;
+use heterosvd_dse::{run_mix_dse, DseConfig, ObservedShape, WorkloadMix};
+use heterosvd_serve::{ServeConfig, SvdResponse, SvdService};
+use std::collections::{BTreeSet, HashMap};
+use std::time::{Duration, Instant};
+
+/// Fixed iteration count per decompose request (paper's typical budget).
+pub const ITERATIONS: usize = 6;
+
+/// One phase of the replayed trace, as serialized into the report.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PhaseInfo {
+    /// Request rows.
+    pub rows: usize,
+    /// Request cols.
+    pub cols: usize,
+    /// Requests per burst.
+    pub burst: usize,
+    /// Bursts in the phase.
+    pub bursts: usize,
+    /// Mean inter-burst gap (ms) at the diurnal-ramp trough.
+    pub mean_gap_ms: f64,
+}
+
+/// One `(plan, shape)` slice of a variant's traffic: which plan served
+/// how much of which shape, and what it cost — the attribution that
+/// makes plan swaps legible in the export.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct PlanSliceRow {
+    /// Plan `P_eng` the slice executed under (as reported per response).
+    pub engine_parallelism: usize,
+    /// Plan `P_task` (the packed wave width for packed batches).
+    pub task_parallelism: usize,
+    /// Request rows.
+    pub rows: usize,
+    /// Request cols.
+    pub cols: usize,
+    /// Requests in the slice.
+    pub requests: usize,
+    /// Summed Eq. 14 batch charges of the slice, ms.
+    pub modeled_ms: f64,
+}
+
+/// One measured service variant on the shifting trace.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct VariantRow {
+    /// `adaptive`, `static-A`, or `static-B`.
+    pub label: String,
+    /// The plan the service started on (`P_eng`).
+    pub engine_parallelism: usize,
+    /// The plan the service started on (`P_task`).
+    pub task_parallelism: usize,
+    /// Whether the online-DSE controller was running.
+    pub autoscale: bool,
+    /// Requests completed.
+    pub requests: usize,
+    /// Modeled makespan (summed Eq. 14 batch charges), ms.
+    pub modeled_ms: f64,
+    /// Requests per modeled second.
+    pub throughput_rps: f64,
+    /// Plan swaps the controller committed.
+    pub plan_swaps: u64,
+    /// Mix-DSE sweeps the controller actually ran.
+    pub dse_runs: u64,
+    /// Per-`(plan, shape)` traffic attribution, heaviest slice first.
+    pub plan_mix: Vec<PlanSliceRow>,
+}
+
+/// The stationary-trace control: an adaptive service seeded at the
+/// trace's own winner must hold still.
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct StationaryRow {
+    /// The seeded (and expected-final) plan.
+    pub engine_parallelism: usize,
+    /// The seeded (and expected-final) `P_task`.
+    pub task_parallelism: usize,
+    /// Requests completed.
+    pub requests: usize,
+    /// Plan swaps (gated to zero).
+    pub plan_swaps: u64,
+    /// Mix-DSE sweeps the controller ran (must be >= 1: the controller
+    /// was live, it just had no reason to move).
+    pub dse_runs: u64,
+    /// Requests per modeled second.
+    pub throughput_rps: f64,
+}
+
+/// The complete closed-loop DSE report (serialized to `BENCH_dse.json`).
+#[derive(Debug, Clone, serde::Serialize)]
+pub struct DseBenchReport {
+    /// Fixed iteration count per request.
+    pub iterations: usize,
+    /// The shifting-mix phase plan.
+    pub phases: Vec<PhaseInfo>,
+    /// Events in the shifting trace.
+    pub trace_events: usize,
+    /// The adaptive service's row.
+    pub adaptive: VariantRow,
+    /// The static-plan rows (phase-A winner, phase-B winner).
+    pub statics: Vec<VariantRow>,
+    /// `adaptive.throughput_rps / max(statics.throughput_rps)`.
+    pub speedup_vs_best_static: f64,
+    /// Distinct `(P_eng, P_task)` plans adaptive responses executed
+    /// under.
+    pub distinct_plans: usize,
+    /// Whether every adaptive response matched a solo accelerator
+    /// pinned at its reported plan, bit for bit.
+    pub bit_identical: bool,
+    /// The stationary-trace control run.
+    pub stationary: StationaryRow,
+}
+
+/// The analytic mix-DSE winner for one phase's nominal traffic.
+fn phase_winner(phase: &TracePhase) -> Result<(usize, usize), String> {
+    let (rows, cols) = phase.shape;
+    let base = DseConfig::new(rows, cols).iterations(ITERATIONS);
+    let mix = WorkloadMix {
+        shapes: vec![ObservedShape {
+            rows,
+            cols,
+            weight: 1.0,
+            batch_fill: phase.burst as f64,
+        }],
+        iterations: ITERATIONS,
+        array_packing: true,
+        observed_wave_width: 0.0,
+    };
+    run_mix_dse(&base, &mix)
+        .best()
+        .map(|b| (b.engine_parallelism, b.task_parallelism))
+        .ok_or_else(|| format!("no feasible plan for {rows}x{cols}"))
+}
+
+fn service_config(plan: (usize, usize), autoscale: bool, queue: usize) -> ServeConfig {
+    ServeConfig {
+        workers: 2,
+        queue_capacity: queue,
+        max_batch: 16,
+        max_linger: Duration::from_millis(3),
+        engine_parallelism: plan.0,
+        task_parallelism: plan.1,
+        fixed_iterations: Some(ITERATIONS),
+        array_packing: true,
+        autoscale,
+        autoscale_interval: Duration::from_millis(10),
+        autoscale_min_dwell: Duration::from_millis(25),
+        autoscale_cooldown: Duration::from_millis(10),
+        autoscale_improvement: 0.05,
+        ..ServeConfig::default()
+    }
+}
+
+/// Replays the trace open-loop (sleeping to each event's arrival
+/// offset) and waits every response. Returns responses in submission
+/// order plus the end-of-run metrics snapshot.
+fn replay(
+    config: ServeConfig,
+    events: &[TraceEvent],
+) -> Result<(Vec<SvdResponse>, heterosvd_serve::MetricsSnapshot), String> {
+    let service = SvdService::start(config).map_err(|e| format!("service start: {e}"))?;
+    let start = Instant::now();
+    let mut handles = Vec::with_capacity(events.len());
+    for event in events {
+        let due = Duration::from_secs_f64(event.at_ms / 1e3);
+        let elapsed = start.elapsed();
+        if due > elapsed {
+            std::thread::sleep(due - elapsed);
+        }
+        let matrix = random_matrix(event.shape.0, event.shape.1, event.seed);
+        handles.push(
+            service
+                .try_submit(matrix)
+                .map_err(|e| format!("submit at {:.1}ms: {e}", event.at_ms))?,
+        );
+    }
+    let responses = handles
+        .into_iter()
+        .map(|h| h.wait().map_err(|e| format!("request failed: {e}")))
+        .collect::<Result<Vec<_>, _>>()?;
+    service.shutdown();
+    Ok((responses, service.metrics()))
+}
+
+/// Modeled makespan (ps): each batch member carries the batch's shared
+/// Eq. 14 charge, so summing `charge / batch_size` over members
+/// recovers the sum of distinct batch charges.
+fn makespan_ps(responses: &[SvdResponse]) -> f64 {
+    responses
+        .iter()
+        .map(|r| r.latency.sim_exec_ps as f64 / r.latency.batch_size as f64)
+        .sum()
+}
+
+/// Groups responses by `(plan, shape)` (zipping the submission-order
+/// trace for shapes) and sums each slice's Eq. 14 charge share.
+fn plan_mix(events: &[TraceEvent], responses: &[SvdResponse]) -> Vec<PlanSliceRow> {
+    let mut slices: HashMap<(usize, usize, usize, usize), (usize, f64)> = HashMap::new();
+    for (event, response) in events.iter().zip(responses) {
+        let plan = response.latency.plan;
+        let key = (
+            plan.engine_parallelism,
+            plan.task_parallelism,
+            event.shape.0,
+            event.shape.1,
+        );
+        let entry = slices.entry(key).or_insert((0, 0.0));
+        entry.0 += 1;
+        entry.1 += response.latency.sim_exec_ps as f64 / response.latency.batch_size as f64;
+    }
+    let mut rows: Vec<PlanSliceRow> = slices
+        .into_iter()
+        .map(|((p_eng, p_task, r, c), (n, ps))| PlanSliceRow {
+            engine_parallelism: p_eng,
+            task_parallelism: p_task,
+            rows: r,
+            cols: c,
+            requests: n,
+            modeled_ms: ps / 1e9,
+        })
+        .collect();
+    rows.sort_by(|a, b| b.modeled_ms.total_cmp(&a.modeled_ms));
+    rows
+}
+
+fn variant_row(
+    label: &str,
+    plan: (usize, usize),
+    autoscale: bool,
+    events: &[TraceEvent],
+    responses: &[SvdResponse],
+    metrics: &heterosvd_serve::MetricsSnapshot,
+) -> VariantRow {
+    let ps = makespan_ps(responses);
+    VariantRow {
+        label: label.to_string(),
+        engine_parallelism: plan.0,
+        task_parallelism: plan.1,
+        autoscale,
+        requests: responses.len(),
+        modeled_ms: ps / 1e9,
+        throughput_rps: if ps > 0.0 {
+            responses.len() as f64 / (ps * 1e-12)
+        } else {
+            0.0
+        },
+        plan_swaps: metrics.plan_swaps,
+        dse_runs: metrics.dse_runs,
+        plan_mix: plan_mix(events, responses),
+    }
+}
+
+/// Checks every adaptive response bitwise against a solo accelerator
+/// pinned at the plan its latency record reports — the static-service
+/// reference drain-and-replace promises.
+fn check_bit_identity(
+    config: &ServeConfig,
+    events: &[TraceEvent],
+    responses: &[SvdResponse],
+) -> Result<bool, String> {
+    let mut references: HashMap<(usize, usize, usize, usize), Accelerator> = HashMap::new();
+    for (event, response) in events.iter().zip(responses) {
+        let plan = response.latency.plan;
+        let key = (
+            plan.engine_parallelism,
+            plan.task_parallelism,
+            event.shape.0,
+            event.shape.1,
+        );
+        let reference = match references.entry(key) {
+            std::collections::hash_map::Entry::Occupied(e) => e.into_mut(),
+            std::collections::hash_map::Entry::Vacant(e) => {
+                let cfg = config
+                    .accelerator_config_at(
+                        event.shape,
+                        plan.engine_parallelism,
+                        plan.task_parallelism,
+                    )
+                    .map_err(|err| format!("reference config for plan {plan:?}: {err}"))?;
+                e.insert(Accelerator::new(cfg).map_err(|err| format!("reference build: {err}"))?)
+            }
+        };
+        let matrix = random_matrix(event.shape.0, event.shape.1, event.seed);
+        let expected = reference
+            .run(&matrix)
+            .map_err(|err| format!("reference run: {err}"))?;
+        let got = &response.output.result;
+        let want = &expected.result;
+        let same = got
+            .sigma
+            .iter()
+            .zip(&want.sigma)
+            .all(|(a, b)| a.to_bits() == b.to_bits())
+            && got.sigma.len() == want.sigma.len()
+            && got.u.as_slice() == want.u.as_slice();
+        if !same {
+            return Ok(false);
+        }
+    }
+    Ok(true)
+}
+
+/// Runs the full comparison: the shifting trace through adaptive +
+/// both statics, the stationary control, and the bit-identity audit.
+///
+/// # Errors
+///
+/// Service/accelerator failures or an infeasible phase plan (as text,
+/// for the CLI to print).
+pub fn run(
+    phases: &[TracePhase],
+    stationary_trace: &[TracePhase],
+    seed: u64,
+) -> Result<DseBenchReport, String> {
+    let events = bursty_trace(phases, seed);
+    if events.is_empty() {
+        return Err("empty trace".into());
+    }
+    let plan_a = phase_winner(&phases[0])?;
+    let plan_b = phase_winner(&phases[1 % phases.len()])?;
+    let queue = events.len().max(8);
+
+    // Adaptive service seeded at plan A, so both step changes (into the
+    // burst phase and back out of it) demand a swap.
+    let adaptive_config = service_config(plan_a, true, queue);
+    let (adaptive_responses, adaptive_metrics) = replay(adaptive_config.clone(), &events)?;
+    if std::env::var("BENCH_DSE_DEBUG").is_ok() {
+        for (i, (e, r)) in events.iter().zip(&adaptive_responses).enumerate() {
+            eprintln!(
+                "dbg {i:3} at={:7.1}ms shape={}x{} plan=({},{}) gen={} queue={:.1}ms wall={:.1}ms batch={}",
+                e.at_ms,
+                e.shape.0,
+                e.shape.1,
+                r.latency.plan.engine_parallelism,
+                r.latency.plan.task_parallelism,
+                r.latency.plan.generation,
+                r.latency.queue_wait.as_secs_f64() * 1e3,
+                r.latency.wall_total.as_secs_f64() * 1e3,
+                r.latency.batch_size,
+            );
+        }
+    }
+    let (static_a_responses, static_a_metrics) =
+        replay(service_config(plan_a, false, queue), &events)?;
+    let (static_b_responses, static_b_metrics) =
+        replay(service_config(plan_b, false, queue), &events)?;
+
+    let adaptive = variant_row(
+        "adaptive",
+        plan_a,
+        true,
+        &events,
+        &adaptive_responses,
+        &adaptive_metrics,
+    );
+    let statics = vec![
+        variant_row(
+            "static-A",
+            plan_a,
+            false,
+            &events,
+            &static_a_responses,
+            &static_a_metrics,
+        ),
+        variant_row(
+            "static-B",
+            plan_b,
+            false,
+            &events,
+            &static_b_responses,
+            &static_b_metrics,
+        ),
+    ];
+    let best_static = statics
+        .iter()
+        .map(|s| s.throughput_rps)
+        .fold(0.0f64, f64::max);
+    let distinct_plans: BTreeSet<(usize, usize)> = adaptive_responses
+        .iter()
+        .map(|r| {
+            (
+                r.latency.plan.engine_parallelism,
+                r.latency.plan.task_parallelism,
+            )
+        })
+        .collect();
+    let bit_identical = check_bit_identity(&adaptive_config, &events, &adaptive_responses)?;
+    let speedup_vs_best_static = if best_static > 0.0 {
+        adaptive.throughput_rps / best_static
+    } else {
+        f64::NAN
+    };
+
+    // Stationary control: the same burst traffic forever, adaptive
+    // service seeded at that traffic's own winner.
+    let stationary_events = bursty_trace(stationary_trace, seed + 1);
+    let stationary_plan = phase_winner(&stationary_trace[0])?;
+    let (stationary_responses, stationary_metrics) = replay(
+        service_config(stationary_plan, true, stationary_events.len().max(8)),
+        &stationary_events,
+    )?;
+    let stationary_ps = makespan_ps(&stationary_responses);
+
+    Ok(DseBenchReport {
+        iterations: ITERATIONS,
+        phases: phases
+            .iter()
+            .map(|p| PhaseInfo {
+                rows: p.shape.0,
+                cols: p.shape.1,
+                burst: p.burst,
+                bursts: p.bursts,
+                mean_gap_ms: p.mean_gap_ms,
+            })
+            .collect(),
+        trace_events: events.len(),
+        adaptive,
+        statics,
+        speedup_vs_best_static,
+        distinct_plans: distinct_plans.len(),
+        bit_identical,
+        stationary: StationaryRow {
+            engine_parallelism: stationary_plan.0,
+            task_parallelism: stationary_plan.1,
+            requests: stationary_responses.len(),
+            plan_swaps: stationary_metrics.plan_swaps,
+            dse_runs: stationary_metrics.dse_runs,
+            throughput_rps: if stationary_ps > 0.0 {
+                stationary_responses.len() as f64 / (stationary_ps * 1e-12)
+            } else {
+                0.0
+            },
+        },
+    })
+}
+
+/// The closed-loop DSE acceptance gates: under the shifting trace the
+/// adaptive service must beat the best static plan by `speedup_floor`
+/// (1.3x full, relaxed for the CI quick smoke) and every static
+/// individually; the controller must swap at least twice; the
+/// stationary control must never swap (but must have re-planned at
+/// least once); and the bit-identity audit must hold.
+pub fn gate_violations(report: &DseBenchReport, speedup_floor: f64) -> Vec<String> {
+    let mut violations = Vec::new();
+    let best_static = report
+        .statics
+        .iter()
+        .map(|s| s.throughput_rps)
+        .fold(0.0f64, f64::max);
+    // Negated so a NaN throughput counts as a violation too.
+    let meets_floor = report.adaptive.throughput_rps >= speedup_floor * best_static;
+    if !meets_floor {
+        violations.push(format!(
+            "adaptive throughput {:.1} req/s below {:.2}x best static ({:.1} req/s)",
+            report.adaptive.throughput_rps, speedup_floor, best_static
+        ));
+    }
+    for s in &report.statics {
+        if report.adaptive.throughput_rps < s.throughput_rps {
+            violations.push(format!(
+                "adaptive throughput {:.1} req/s loses to {} ({:.1} req/s)",
+                report.adaptive.throughput_rps, s.label, s.throughput_rps
+            ));
+        }
+    }
+    if report.adaptive.plan_swaps < 2 {
+        violations.push(format!(
+            "only {} plan swaps on the shifting trace (need >= 2)",
+            report.adaptive.plan_swaps
+        ));
+    }
+    if report.distinct_plans < 2 {
+        violations.push(format!(
+            "adaptive responses span {} plan(s) (need >= 2)",
+            report.distinct_plans
+        ));
+    }
+    if !report.bit_identical {
+        violations.push("adaptive factors diverged from the pinned-plan references".into());
+    }
+    if report.stationary.plan_swaps != 0 {
+        violations.push(format!(
+            "{} swaps on the stationary trace (hysteresis must hold)",
+            report.stationary.plan_swaps
+        ));
+    }
+    if report.stationary.dse_runs == 0 {
+        violations.push("stationary controller never re-planned (was it running?)".into());
+    }
+    violations
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A tiny trace is internally consistent: throughputs are positive,
+    /// the bit-identity audit holds, and the stationary control never
+    /// swaps. (Swap-count and speedup gates need the full-size trace;
+    /// they are exercised by `repro -- dse`.)
+    #[test]
+    fn tiny_run_report_is_consistent() {
+        let phases = [
+            TracePhase {
+                shape: (64, 64),
+                burst: 1,
+                bursts: 3,
+                mean_gap_ms: 4.0,
+            },
+            TracePhase {
+                shape: (16, 16),
+                burst: 8,
+                bursts: 3,
+                mean_gap_ms: 6.0,
+            },
+        ];
+        let stationary = [TracePhase {
+            shape: (16, 16),
+            burst: 8,
+            bursts: 3,
+            mean_gap_ms: 6.0,
+        }];
+        let report = run(&phases, &stationary, 11).unwrap();
+        assert_eq!(report.trace_events, 3 + 24);
+        assert_eq!(report.adaptive.requests, 27);
+        assert!(report.adaptive.throughput_rps > 0.0);
+        assert_eq!(report.statics.len(), 2);
+        assert!(report.statics.iter().all(|s| s.throughput_rps > 0.0));
+        assert!(report.bit_identical, "swap must never touch the math");
+        assert_eq!(
+            report.stationary.plan_swaps, 0,
+            "stationary mix at its own winner must hold still"
+        );
+        assert!(report.distinct_plans >= 1);
+    }
+}

@@ -4,6 +4,7 @@ pub mod ablation;
 pub mod accuracy;
 pub mod adaptive;
 pub mod apply;
+pub mod autoscale;
 pub mod convergence;
 pub mod devices;
 pub mod dse_report;

@@ -62,6 +62,104 @@ pub fn iterations_to_converge(n: usize, p_eng: usize, seed: u64) -> usize {
     }
 }
 
+/// One phase of a bursty open-loop trace: `bursts` bursts of `burst`
+/// same-shape requests. Inter-burst gaps are exponential (Poisson
+/// burst arrivals) around `mean_gap_ms`, modulated by a half-sine
+/// diurnal ramp that doubles the arrival rate mid-phase; a phase
+/// change is the trace's mix shift.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TracePhase {
+    /// Request shape every burst of this phase carries.
+    pub shape: (usize, usize),
+    /// Requests per burst (1 = singles).
+    pub burst: usize,
+    /// Bursts in this phase.
+    pub bursts: usize,
+    /// Mean inter-burst gap in milliseconds at the ramp trough.
+    pub mean_gap_ms: f64,
+}
+
+/// One request arrival of a bursty trace.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TraceEvent {
+    /// Arrival offset from trace start, milliseconds.
+    pub at_ms: f64,
+    /// Request shape.
+    pub shape: (usize, usize),
+    /// Seed of the request's matrix (distinct per event).
+    pub seed: u64,
+}
+
+/// Generates a seeded multi-shape bursty open-loop trace: Poisson
+/// burst arrivals, a diurnal half-sine ramp within each phase, and a
+/// mix shift at every phase boundary. Deterministic for a given
+/// `(phases, seed)`, so A/B runs (e.g. `--autoscale on|off`, or the
+/// adaptive-vs-static services of `repro -- dse`) replay the identical
+/// request stream.
+pub fn bursty_trace(phases: &[TracePhase], seed: u64) -> Vec<TraceEvent> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut events = Vec::new();
+    let mut t_ms = 0.0f64;
+    let mut next_seed = seed;
+    for phase in phases {
+        for b in 0..phase.bursts {
+            // Diurnal ramp: the arrival rate swells to 2x mid-phase
+            // (gaps shrink by the same factor).
+            let pos = (b as f64 + 0.5) / phase.bursts.max(1) as f64;
+            let ramp = 1.0 + (std::f64::consts::PI * pos).sin();
+            let u: f64 = rng.gen_range(1e-9..1.0);
+            t_ms += -u.ln() * phase.mean_gap_ms / ramp;
+            for _ in 0..phase.burst {
+                next_seed += 1;
+                events.push(TraceEvent {
+                    at_ms: t_ms,
+                    shape: phase.shape,
+                    seed: next_seed,
+                });
+            }
+        }
+    }
+    events
+}
+
+/// The canonical shifting-mix phase plan shared by `repro -- dse` and
+/// `hsvd serve-bench --trace bursty`: large-matrix singles (favoring a
+/// deep `P_eng` pipeline), then deep small-matrix bursts (favoring a
+/// shallow `P_eng` with wide multi-problem packing), then singles
+/// again — two step changes an adaptive service must chase.
+pub fn shifting_mix_phases(quick: bool) -> Vec<TracePhase> {
+    let (singles, bursts) = if quick { (6, 32) } else { (12, 64) };
+    // Gaps are sized so a well-planned service keeps up with the
+    // arrival rate (even at the diurnal peak): the controller observes
+    // *completions*, so a saturated trace would hide a mix shift
+    // behind the backlog and understate how fast the loop closes.
+    let single_phase = TracePhase {
+        shape: (128, 128),
+        burst: 2,
+        bursts: singles,
+        mean_gap_ms: 40.0,
+    };
+    let burst_phase = TracePhase {
+        shape: (32, 32),
+        burst: 16,
+        bursts,
+        mean_gap_ms: 30.0,
+    };
+    vec![single_phase, burst_phase, single_phase]
+}
+
+/// The stationary counterpart: one phase of the same deep small-matrix
+/// bursts, against which a correctly-hysteresized controller must
+/// never swap.
+pub fn stationary_phases(quick: bool) -> Vec<TracePhase> {
+    vec![TracePhase {
+        shape: (32, 32),
+        burst: 16,
+        bursts: if quick { 10 } else { 20 },
+        mean_gap_ms: 30.0,
+    }]
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -86,6 +184,24 @@ mod tests {
     fn convergence_count_is_reasonable() {
         let iters = iterations_to_converge(32, 4, 42);
         assert!((3..=15).contains(&iters), "iters = {iters}");
+    }
+
+    #[test]
+    fn bursty_trace_is_deterministic_and_ordered() {
+        let phases = shifting_mix_phases(true);
+        let a = bursty_trace(&phases, 42);
+        let b = bursty_trace(&phases, 42);
+        assert_eq!(a, b, "same seed must replay the identical trace");
+        assert_ne!(a, bursty_trace(&phases, 43));
+        let expected: usize = phases.iter().map(|p| p.burst * p.bursts).sum();
+        assert_eq!(a.len(), expected);
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        // Every event seeds a distinct matrix.
+        let seeds: std::collections::HashSet<u64> = a.iter().map(|e| e.seed).collect();
+        assert_eq!(seeds.len(), a.len());
+        // The mix actually shifts: both shapes appear.
+        assert!(a.iter().any(|e| e.shape == (128, 128)));
+        assert!(a.iter().any(|e| e.shape == (32, 32)));
     }
 
     #[test]

@@ -297,6 +297,17 @@ impl FactorCache {
         self.byte_budget
     }
 
+    /// Cumulative (hits, misses) without touching the windowed
+    /// hit-rate state, so background readers diffing the counters on
+    /// their own cadence — e.g. an autoscale controller — do not
+    /// clobber the window [`stats`](Self::stats) reports to scrapes.
+    pub fn lookup_totals(&self) -> (u64, u64) {
+        (
+            self.hits.load(Ordering::Relaxed),
+            self.misses.load(Ordering::Relaxed),
+        )
+    }
+
     /// Counter snapshot for the metrics path. Reading the snapshot
     /// closes the current hit-rate window and opens the next one.
     pub fn stats(&self) -> FactorCacheStats {

@@ -146,6 +146,11 @@ struct Ring {
     /// Total spans ever written into the ring (write cursor = `% cap`).
     written: u64,
     agg: [StageAgg; STAGE_COUNT],
+    /// Aggregates since the previous [`SpanJournal::window_summary`]
+    /// drain (the windowed export the online-DSE controller reads).
+    window_agg: [StageAgg; STAGE_COUNT],
+    /// `written` at the previous window drain.
+    window_written: u64,
 }
 
 /// Fixed-capacity, preallocated span sink. See the module docs for the
@@ -179,6 +184,8 @@ impl SpanJournal {
                 buf: Vec::with_capacity(capacity),
                 written: 0,
                 agg: [StageAgg::default(); STAGE_COUNT],
+                window_agg: [StageAgg::default(); STAGE_COUNT],
+                window_written: 0,
             }),
             enabled: AtomicBool::new(true),
             sample_every: AtomicU64::new(1),
@@ -240,13 +247,17 @@ impl SpanJournal {
         }
         ring.written += 1;
         let wall_ns = wall.as_nanos().min(u64::MAX as u128) as u64;
-        let agg = &mut ring.agg[stage.index()];
-        agg.count += 1;
-        agg.wall_ns_total = agg.wall_ns_total.saturating_add(wall_ns);
-        agg.wall_ns_max = agg.wall_ns_max.max(wall_ns);
-        agg.modeled_ps_total = agg
-            .modeled_ps_total
-            .saturating_add(modeled.map_or(0, |t| t.0));
+        let modeled_ps = modeled.map_or(0, |t| t.0);
+        let idx = stage.index();
+        let Ring {
+            agg, window_agg, ..
+        } = &mut *ring;
+        for agg in [&mut agg[idx], &mut window_agg[idx]] {
+            agg.count += 1;
+            agg.wall_ns_total = agg.wall_ns_total.saturating_add(wall_ns);
+            agg.wall_ns_max = agg.wall_ns_max.max(wall_ns);
+            agg.modeled_ps_total = agg.modeled_ps_total.saturating_add(modeled_ps);
+        }
     }
 
     /// The buffered (most recent) events, oldest first.
@@ -289,12 +300,46 @@ impl SpanJournal {
         }
     }
 
+    /// Per-stage aggregates over the window since the previous
+    /// `window_summary` call (the same windowed idiom as the serving
+    /// throughput gauge). Reading drains the window: the controller that
+    /// polls this sees only what happened since its last tick, while
+    /// [`SpanJournal::summary`] keeps reporting lifetime totals for the
+    /// metrics export.
+    pub fn window_summary(&self) -> JournalSummary {
+        let mut ring = self.lock();
+        let stages = Stage::ALL
+            .iter()
+            .map(|&s| {
+                let agg = ring.window_agg[s.index()];
+                StageSummary {
+                    stage: s.name().to_string(),
+                    count: agg.count,
+                    wall_us_total: agg.wall_ns_total / 1_000,
+                    wall_us_max: agg.wall_ns_max / 1_000,
+                    modeled_ps_total: agg.modeled_ps_total,
+                }
+            })
+            .collect();
+        let recorded = ring.written - ring.window_written;
+        ring.window_written = ring.written;
+        ring.window_agg = [StageAgg::default(); STAGE_COUNT];
+        JournalSummary {
+            recorded,
+            sampled_out: self.sampled_out.load(Ordering::Relaxed),
+            buffered: ring.buf.len(),
+            stages,
+        }
+    }
+
     /// Drops buffered events, aggregates, and sampling counters.
     pub fn clear(&self) {
         let mut ring = self.lock();
         ring.buf.clear();
         ring.written = 0;
         ring.agg = [StageAgg::default(); STAGE_COUNT];
+        ring.window_agg = [StageAgg::default(); STAGE_COUNT];
+        ring.window_written = 0;
         drop(ring);
         self.counter.store(0, Ordering::Relaxed);
         self.sampled_out.store(0, Ordering::Relaxed);
@@ -558,6 +603,27 @@ mod tests {
         assert_eq!(sim.wall_us_max, 10);
         assert_eq!(sim.modeled_ps_total, 2000);
         assert_eq!(j.events().len(), 3);
+    }
+
+    #[test]
+    fn window_summary_drains_but_lifetime_summary_keeps_totals() {
+        let j = SpanJournal::with_capacity(8);
+        j.record(Stage::Queue, Some(1), Duration::from_micros(4), None);
+        j.record(Stage::Queue, Some(2), Duration::from_micros(6), None);
+        let w1 = j.window_summary();
+        assert_eq!(w1.recorded, 2);
+        assert_eq!(w1.stages[Stage::Queue.index()].count, 2);
+        assert_eq!(w1.stages[Stage::Queue.index()].wall_us_total, 10);
+        // The drain opened a fresh window; only new spans appear in it.
+        j.record(Stage::Queue, Some(3), Duration::from_micros(1), None);
+        let w2 = j.window_summary();
+        assert_eq!(w2.recorded, 1);
+        assert_eq!(w2.stages[Stage::Queue.index()].wall_us_total, 1);
+        assert_eq!(w2.stages[Stage::Queue.index()].wall_us_max, 1);
+        // Lifetime totals are untouched by window drains.
+        let s = j.summary();
+        assert_eq!(s.recorded, 3);
+        assert_eq!(s.stages[Stage::Queue.index()].wall_us_total, 11);
     }
 
     #[test]

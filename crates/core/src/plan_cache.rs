@@ -297,6 +297,30 @@ impl PlanCache {
         Ok(plan)
     }
 
+    /// Builds (or retrieves) the plan for `config` and probes its
+    /// timing-replay profile up front. The online-DSE autoscaler calls
+    /// this for every observed shape before hot-swapping replicas to a
+    /// winning plan, so the first post-swap batch replays a cached
+    /// steady-state profile instead of paying the probe inline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PlanHandle::build`] failures (nothing is cached).
+    pub fn prewarm(&self, config: &HeteroSvdConfig) -> Result<Arc<PlanHandle>, HeteroSvdError> {
+        let plan = self.get_or_build(config)?;
+        if config.timing_replay {
+            let _ = plan.timing_profile(config);
+        }
+        Ok(plan)
+    }
+
+    /// Whether `config`'s plan is already resident (no build, no LRU
+    /// touch — a read-only probe for swap readiness).
+    pub fn contains(&self, config: &HeteroSvdConfig) -> bool {
+        let key = PlanKey::of(config);
+        self.inner.lock().unwrap().plans.contains_key(&key)
+    }
+
     /// How many plans the cache currently retains.
     pub fn len(&self) -> usize {
         self.inner.lock().unwrap().plans.len()
@@ -345,6 +369,21 @@ mod tests {
             .pl_freq_mhz(208.3)
             .build()
             .unwrap()
+    }
+
+    #[test]
+    fn prewarm_builds_once_and_marks_residency() {
+        let cache = PlanCache::new(4);
+        let cfg = config(16, 2);
+        assert!(!cache.contains(&cfg));
+        let a = cache.prewarm(&cfg).unwrap();
+        assert!(cache.contains(&cfg));
+        assert_eq!(cache.builds_for(&cfg), 1);
+        // Prewarming again (the autoscaler re-confirming a plan) reuses
+        // the same handle and probes nothing new.
+        let b = cache.prewarm(&cfg).unwrap();
+        assert!(Arc::ptr_eq(&a, &b));
+        assert_eq!(cache.builds_for(&cfg), 1);
     }
 
     #[test]

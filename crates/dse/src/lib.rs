@@ -42,7 +42,7 @@ use aie_sim::calibration::{Calibration, PowerCalibration};
 use aie_sim::device::DeviceProfile;
 use aie_sim::resources::{ResourceBudget, ResourceUsage};
 use aie_sim::time::TimePs;
-use heterosvd::{HeteroSvdConfig, Placement};
+use heterosvd::{tenant_capacity, HeteroSvdConfig, Placement};
 use perf_model::{estimate_with, Bottleneck, DesignPoint};
 use serde::{Deserialize, Serialize};
 
@@ -346,6 +346,293 @@ pub fn run_dse(cfg: &DseConfig) -> DseResult {
     }
 }
 
+// --------------------------------------------------------- workload mix
+
+/// One shape class of an observed serving workload: how much array-bound
+/// traffic it contributes and how full its same-shape batches run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ObservedShape {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// Relative array-bound request weight (any positive scale; the mix
+    /// objective normalizes). Apply traffic and cache-absorbed low-rank
+    /// updates never reach the array, so they carry no weight here.
+    pub weight: f64,
+    /// Mean same-shape batch fill observed (clamped to `>= 1`).
+    pub batch_fill: f64,
+}
+
+/// An observed serving workload: the per-shape traffic mix plus the
+/// packing evidence the controller gathered over its window. This is the
+/// model the online DSE re-plans against.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct WorkloadMix {
+    /// Shape classes with their traffic weights and batch fills.
+    pub shapes: Vec<ObservedShape>,
+    /// Orthogonalization iterations per task charged by the estimate.
+    pub iterations: usize,
+    /// Whether the service co-schedules same-shape batches as tenants on
+    /// disjoint sub-arrays (PR 7 packing). When set, a candidate `P_eng`
+    /// is credited its stripe capacity as the Eq. 14 wave divisor.
+    pub array_packing: bool,
+    /// Mean packed-wave width observed over the window (0 when no packed
+    /// wave ran yet). Widths `>= 2` cap the packing credit: the model
+    /// never assumes wider waves than the traffic actually forms.
+    pub observed_wave_width: f64,
+}
+
+impl WorkloadMix {
+    /// `true` when the mix carries no positively-weighted shape.
+    pub fn is_empty(&self) -> bool {
+        !self.shapes.iter().any(|s| s.weight > 0.0)
+    }
+
+    /// Sum of the shape weights.
+    pub fn total_weight(&self) -> f64 {
+        self.shapes.iter().map(|s| s.weight.max(0.0)).sum()
+    }
+
+    /// Whether `other` describes the same traffic within a relative
+    /// tolerance: identical shape sets and packing flag, normalized
+    /// weights / batch fills / wave width each within `rel_tol`. The
+    /// incremental re-search reuses its cached sweep across ticks whose
+    /// mixes are similar.
+    pub fn similar_to(&self, other: &WorkloadMix, rel_tol: f64) -> bool {
+        if self.array_packing != other.array_packing
+            || self.iterations != other.iterations
+            || self.shapes.len() != other.shapes.len()
+        {
+            return false;
+        }
+        let close = |a: f64, b: f64| {
+            let scale = a.abs().max(b.abs());
+            scale <= f64::EPSILON || (a - b).abs() <= rel_tol * scale
+        };
+        if !close(self.observed_wave_width, other.observed_wave_width) {
+            return false;
+        }
+        let (wa, wb) = (
+            self.total_weight().max(1e-12),
+            other.total_weight().max(1e-12),
+        );
+        self.shapes.iter().all(|s| {
+            other.shapes.iter().any(|o| {
+                o.rows == s.rows
+                    && o.cols == s.cols
+                    && close(s.weight / wa, o.weight / wb)
+                    && close(s.batch_fill, o.batch_fill)
+            })
+        })
+    }
+}
+
+/// Per-shape contribution to a mix evaluation.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixShapeScore {
+    /// Matrix rows.
+    pub rows: usize,
+    /// Matrix columns.
+    pub cols: usize,
+    /// The Eq. 14 wave divisor used: the credited packed-wave width when
+    /// the candidate packs this shape, else the candidate's `P_task`.
+    pub wave: usize,
+    /// Modeled tasks/s for this shape under the candidate plan.
+    pub throughput: f64,
+}
+
+/// A `(P_eng, P_task)` candidate scored against a whole [`WorkloadMix`].
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixEvaluation {
+    /// Candidate engine parallelism.
+    pub engine_parallelism: usize,
+    /// Candidate task parallelism.
+    pub task_parallelism: usize,
+    /// The objective: weight-normalized aggregate throughput (tasks/s)
+    /// over the mix's shapes.
+    pub weighted_throughput: f64,
+    /// Worst-case (max over shapes) estimated power in watts.
+    pub power_watts: f64,
+    /// Per-shape breakdown, in mix order.
+    pub per_shape: Vec<MixShapeScore>,
+}
+
+/// Result of a mix-parameterized DSE sweep.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct MixDseResult {
+    /// All candidates feasible for *every* shape of the mix, in
+    /// `(P_eng, P_task)` order.
+    pub evaluations: Vec<MixEvaluation>,
+    /// Candidates rejected (invalid blocking or infeasible placement for
+    /// at least one observed shape).
+    pub infeasible: usize,
+}
+
+impl MixDseResult {
+    /// The candidate maximizing the mix objective (ties prefer lower
+    /// power, mirroring [`DseResult::best`]).
+    pub fn best(&self) -> Option<&MixEvaluation> {
+        self.evaluations.iter().max_by(|a, b| {
+            a.weighted_throughput
+                .total_cmp(&b.weighted_throughput)
+                .then(b.power_watts.total_cmp(&a.power_watts))
+        })
+    }
+
+    /// The mix objective of a specific candidate, if it was feasible.
+    pub fn score_of(&self, p_eng: usize, p_task: usize) -> Option<f64> {
+        self.evaluations
+            .iter()
+            .find(|e| e.engine_parallelism == p_eng && e.task_parallelism == p_task)
+            .map(|e| e.weighted_throughput)
+    }
+}
+
+/// Scores one `(P_eng, P_task)` candidate against an observed workload
+/// mix: Eq. 15–16 feasibility and the analytic estimate run per shape
+/// (`base` supplies budgets / device / calibration; rows, cols, batch and
+/// iterations come from the mix), extended with the PR 7 packing
+/// dimension — when the service packs, a candidate's stripe capacity
+/// (bounded by the shape's batch fill and the observed wave width)
+/// replaces `P_task` as the Eq. 14 wave divisor. Returns `None` when the
+/// candidate cannot serve every observed shape.
+pub fn evaluate_mix_point(
+    base: &DseConfig,
+    mix: &WorkloadMix,
+    p_eng: usize,
+    p_task: usize,
+) -> Option<MixEvaluation> {
+    if mix.is_empty() || p_eng == 0 {
+        return None;
+    }
+    // A swap must keep all observed traffic admissible: a candidate that
+    // cannot block any observed shape is rejected outright.
+    if mix.shapes.iter().any(|s| !s.cols.is_multiple_of(2 * p_eng)) {
+        return None;
+    }
+    let capacity = tenant_capacity(base.device.geometry, p_eng);
+    let mut per_shape = Vec::with_capacity(mix.shapes.len());
+    let mut weighted = 0.0;
+    let mut power_watts: f64 = 0.0;
+    for shape in &mix.shapes {
+        let fill = shape.batch_fill.max(1.0);
+        let batch = fill.round().max(1.0) as usize;
+        let mut cfg = base.clone();
+        cfg.rows = shape.rows;
+        cfg.cols = shape.cols;
+        cfg.batch = batch;
+        cfg.iterations = mix.iterations;
+        let eval = evaluate_point_at(&cfg, p_eng, p_task, base.freq_mhz)?;
+        let wave = if mix.array_packing && capacity >= 2 && batch >= 2 {
+            let mut wave = capacity.min(batch);
+            if mix.observed_wave_width >= 2.0 {
+                wave = wave.min(mix.observed_wave_width.ceil() as usize).max(2);
+            }
+            wave
+        } else {
+            p_task
+        };
+        let est = estimate_with(&eval.point, &base.calibration);
+        let throughput = est.throughput(batch, wave);
+        per_shape.push(MixShapeScore {
+            rows: shape.rows,
+            cols: shape.cols,
+            wave,
+            throughput,
+        });
+        weighted += shape.weight.max(0.0) * throughput;
+        power_watts = power_watts.max(eval.power_watts);
+    }
+    let total = mix.total_weight();
+    if total <= 0.0 {
+        return None;
+    }
+    Some(MixEvaluation {
+        engine_parallelism: p_eng,
+        task_parallelism: p_task,
+        weighted_throughput: weighted / total,
+        power_watts,
+        per_shape,
+    })
+}
+
+/// Runs the full mix-parameterized sweep over the Table I ranges,
+/// parallelized over `P_eng` like [`run_dse`].
+pub fn run_mix_dse(base: &DseConfig, mix: &WorkloadMix) -> MixDseResult {
+    let tasks: Vec<_> = (1..=heterosvd::config::MAX_ENGINE_PARALLELISM)
+        .map(|p_eng| {
+            let base = base.clone();
+            let mix = mix.clone();
+            move || -> Result<(Vec<MixEvaluation>, usize), heterosvd::HeteroSvdError> {
+                let mut evals = Vec::new();
+                let mut infeasible = 0usize;
+                for p_task in 1..=heterosvd::config::MAX_TASK_PARALLELISM {
+                    match evaluate_mix_point(&base, &mix, p_eng, p_task) {
+                        Some(e) => evals.push(e),
+                        None => infeasible += 1,
+                    }
+                }
+                Ok((evals, infeasible))
+            }
+        })
+        .collect();
+    let per_eng = heterosvd::batch_pool::global()
+        .run_batch_with(tasks)
+        .expect("mix dse worker panicked");
+    let mut evaluations = Vec::new();
+    let mut infeasible = 0;
+    for (evals, inf) in per_eng {
+        evaluations.extend(evals);
+        infeasible += inf;
+    }
+    MixDseResult {
+        evaluations,
+        infeasible,
+    }
+}
+
+/// Incremental re-search over successive observed mixes: a full sweep
+/// runs only when the mix actually moved ([`WorkloadMix::similar_to`]);
+/// stationary traffic reuses the cached result, so the controller's
+/// steady-state tick costs one similarity check instead of a sweep.
+#[derive(Debug, Default)]
+pub struct MixSearch {
+    cached: Option<(WorkloadMix, MixDseResult)>,
+    rel_tol: f64,
+    /// Full sweeps executed.
+    pub searches: u64,
+    /// Ticks served from the cached sweep.
+    pub reused: u64,
+}
+
+impl MixSearch {
+    /// A search that reuses its cached sweep while successive mixes stay
+    /// within `rel_tol` relative change (see [`WorkloadMix::similar_to`]).
+    pub fn new(rel_tol: f64) -> Self {
+        MixSearch {
+            cached: None,
+            rel_tol: rel_tol.max(0.0),
+            searches: 0,
+            reused: 0,
+        }
+    }
+
+    /// The sweep result for `mix`, cached or fresh.
+    pub fn research(&mut self, base: &DseConfig, mix: &WorkloadMix) -> MixDseResult {
+        if let Some((prev, result)) = &self.cached {
+            if prev.similar_to(mix, self.rel_tol) {
+                self.reused += 1;
+                return result.clone();
+            }
+        }
+        let result = run_mix_dse(base, mix);
+        self.searches += 1;
+        self.cached = Some((mix.clone(), result.clone()));
+        result
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -519,5 +806,99 @@ mod tests {
         for e in &result.evaluations {
             assert!(best.energy_efficiency >= e.energy_efficiency);
         }
+    }
+
+    fn mix(shapes: &[(usize, usize, f64, f64)], packing: bool) -> WorkloadMix {
+        WorkloadMix {
+            shapes: shapes
+                .iter()
+                .map(|&(rows, cols, weight, batch_fill)| ObservedShape {
+                    rows,
+                    cols,
+                    weight,
+                    batch_fill,
+                })
+                .collect(),
+            iterations: 6,
+            array_packing: packing,
+            observed_wave_width: 0.0,
+        }
+    }
+
+    #[test]
+    fn small_batched_mix_prefers_packing_capacity() {
+        // Full 16-deep batches of 64x64: the stripe capacity at low P_eng
+        // (16 tenants at P_eng = 2 on VCK190) divides Eq. 14, so the mix
+        // optimum sits at low engine parallelism.
+        let base = DseConfig::new(64, 64).freq_mhz(208.3);
+        let result = run_mix_dse(&base, &mix(&[(64, 64, 1.0, 16.0)], true));
+        let best = result.best().unwrap();
+        assert!(
+            best.engine_parallelism <= 2,
+            "packed-mix optimum P_eng = {}",
+            best.engine_parallelism
+        );
+        assert!(best.per_shape[0].wave >= 2, "packing credit missing");
+    }
+
+    #[test]
+    fn large_single_mix_prefers_high_engine_parallelism() {
+        // Singleton 256x256 arrivals: throughput = 1 / t_task, so the
+        // optimum is the latency-optimal high-P_eng corner (Table VI).
+        let base = DseConfig::new(256, 256).freq_mhz(208.3);
+        let result = run_mix_dse(&base, &mix(&[(256, 256, 1.0, 1.0)], true));
+        let best = result.best().unwrap();
+        assert!(
+            best.engine_parallelism >= 8,
+            "single-mix optimum P_eng = {}",
+            best.engine_parallelism
+        );
+    }
+
+    #[test]
+    fn candidates_must_serve_every_observed_shape() {
+        // 40 columns block at P_eng ∈ {1, 2, 4, 5, 10} only; P_eng = 8
+        // (2·8 = 16 does not divide 40) must be absent even though the
+        // other shape would accept it.
+        let base = DseConfig::new(64, 64).freq_mhz(208.3);
+        let result = run_mix_dse(&base, &mix(&[(64, 64, 1.0, 1.0), (40, 40, 1.0, 1.0)], true));
+        assert!(!result.evaluations.is_empty());
+        assert!(result.evaluations.iter().all(|e| e.engine_parallelism != 8));
+        assert!(evaluate_mix_point(&base, &mix(&[(40, 40, 1.0, 1.0)], true), 8, 1).is_none());
+    }
+
+    #[test]
+    fn observed_wave_width_caps_the_packing_credit() {
+        let base = DseConfig::new(64, 64).freq_mhz(208.3);
+        let mut m = mix(&[(64, 64, 1.0, 16.0)], true);
+        let uncapped = evaluate_mix_point(&base, &m, 2, 4).unwrap();
+        m.observed_wave_width = 4.0;
+        let capped = evaluate_mix_point(&base, &m, 2, 4).unwrap();
+        assert!(uncapped.per_shape[0].wave > capped.per_shape[0].wave);
+        assert_eq!(capped.per_shape[0].wave, 4);
+        assert!(uncapped.weighted_throughput > capped.weighted_throughput);
+    }
+
+    #[test]
+    fn mix_search_reuses_stationary_mixes_and_resweeps_on_shift() {
+        let base = DseConfig::new(64, 64).freq_mhz(208.3);
+        let mut search = MixSearch::new(0.1);
+        let a = mix(&[(64, 64, 10.0, 4.0)], true);
+        let first = search.research(&base, &a);
+        // Same traffic at a different counter scale: still one sweep.
+        let second = search.research(&base, &mix(&[(64, 64, 20.0, 4.0)], true));
+        assert_eq!(first, second);
+        assert_eq!((search.searches, search.reused), (1, 1));
+        // A real mix shift re-sweeps.
+        search.research(&base, &mix(&[(128, 128, 10.0, 1.0)], true));
+        assert_eq!((search.searches, search.reused), (2, 1));
+    }
+
+    #[test]
+    fn empty_mix_scores_nothing() {
+        let base = DseConfig::new(64, 64).freq_mhz(208.3);
+        let empty = mix(&[], true);
+        assert!(empty.is_empty());
+        assert!(evaluate_mix_point(&base, &empty, 2, 1).is_none());
     }
 }

@@ -111,6 +111,29 @@ pub struct ServeConfig {
     /// into; deltas that do not compress to `<= k` take the warm-start
     /// route instead.
     pub max_update_rank: usize,
+    /// Whether the service runs the closed-loop online-DSE controller:
+    /// a thread that aggregates per-shape windowed traffic into an
+    /// observed [`heterosvd_dse::WorkloadMix`], re-runs the Eq. 15–16
+    /// sweep against it on a cadence, and hot-swaps replicas to the
+    /// winning `(P_eng, P_task)` plan with drain-and-replace semantics
+    /// (in-flight batches finish on the plan they started under). Off by
+    /// default: the configured `engine_parallelism`/`task_parallelism`
+    /// stay frozen, exactly as before.
+    pub autoscale: bool,
+    /// Cadence of the controller's observe → re-search → maybe-swap tick.
+    pub autoscale_interval: Duration,
+    /// Hysteresis: minimum time the service dwells on its current plan
+    /// before the controller may swap again (suppresses churn under a
+    /// stationary mix).
+    pub autoscale_min_dwell: Duration,
+    /// Hysteresis: after a swap, the controller skips re-search for this
+    /// long so post-swap windows reflect the new plan before it is
+    /// re-scored.
+    pub autoscale_cooldown: Duration,
+    /// Hysteresis: a candidate plan must beat the current plan's mix
+    /// objective by this relative fraction (e.g. `0.1` = 10%) to trigger
+    /// a swap.
+    pub autoscale_improvement: f64,
 }
 
 impl Default for ServeConfig {
@@ -139,6 +162,11 @@ impl Default for ServeConfig {
             max_warm_solves: 8,
             update_cache_rank: 16,
             max_update_rank: 8,
+            autoscale: false,
+            autoscale_interval: Duration::from_millis(100),
+            autoscale_min_dwell: Duration::from_secs(1),
+            autoscale_cooldown: Duration::from_millis(250),
+            autoscale_improvement: 0.10,
         }
     }
 }
@@ -221,6 +249,18 @@ impl ServeConfig {
                 ));
             }
         }
+        if self.autoscale {
+            if self.autoscale_interval.is_zero() {
+                return Err(ServeError::InvalidRequest(
+                    "autoscale_interval must be > 0".into(),
+                ));
+            }
+            if !self.autoscale_improvement.is_finite() || self.autoscale_improvement < 0.0 {
+                return Err(ServeError::InvalidRequest(
+                    "autoscale_improvement must be finite and >= 0".into(),
+                ));
+            }
+        }
         Ok(())
     }
 
@@ -250,7 +290,27 @@ impl ServeConfig {
         &self,
         shape: (usize, usize),
     ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
-        self.build_config(shape, self.task_parallelism, 1)
+        self.build_config_at(shape, self.engine_parallelism, self.task_parallelism, 1)
+    }
+
+    /// [`ServeConfig::accelerator_config`] at an explicit live plan
+    /// instead of the frozen `engine_parallelism`/`task_parallelism`
+    /// knobs — the construction site replicas use while the online-DSE
+    /// autoscaler re-plans them. Every non-plan knob (precision,
+    /// fidelity, observability, ...) still comes from `self`, so two
+    /// replicas on the same plan generation share one cached plan.
+    ///
+    /// # Errors
+    ///
+    /// [`heterosvd::HeteroSvdError::InvalidConfig`] when the shape does
+    /// not block under `p_eng` (the caller falls back to the base plan).
+    pub fn accelerator_config_at(
+        &self,
+        shape: (usize, usize),
+        p_eng: usize,
+        p_task: usize,
+    ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
+        self.build_config_at(shape, p_eng, p_task, 1)
     }
 
     /// The accelerator configuration for a *packed* wave of `tenants`
@@ -269,7 +329,23 @@ impl ServeConfig {
         shape: (usize, usize),
         tenants: usize,
     ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
-        self.build_config(shape, tenants, tenants)
+        self.build_config_at(shape, self.engine_parallelism, tenants, tenants)
+    }
+
+    /// [`ServeConfig::packed_accelerator_config`] at an explicit live
+    /// `P_eng` (see [`ServeConfig::accelerator_config_at`]).
+    ///
+    /// # Errors
+    ///
+    /// [`heterosvd::HeteroSvdError`] when the shape or knobs are invalid
+    /// or `tenants` stripes exceed the device's capacity at `p_eng`.
+    pub fn packed_accelerator_config_at(
+        &self,
+        shape: (usize, usize),
+        p_eng: usize,
+        tenants: usize,
+    ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
+        self.build_config_at(shape, p_eng, tenants, tenants)
     }
 
     /// How many tenants a replica should pack a `batch`-request wave
@@ -277,10 +353,17 @@ impl ServeConfig {
     /// the batch is a singleton, or the shape's stripe doesn't fit at
     /// least two tenants (the sequential fallback).
     pub fn packed_tenants(&self, shape: (usize, usize), batch: usize) -> usize {
+        self.packed_tenants_at(shape, batch, self.engine_parallelism)
+    }
+
+    /// [`ServeConfig::packed_tenants`] under an explicit live `P_eng`
+    /// (the stripe capacity is a function of the engine parallelism the
+    /// current plan actually runs).
+    pub fn packed_tenants_at(&self, shape: (usize, usize), batch: usize, p_eng: usize) -> usize {
         if !self.array_packing || batch < 2 {
             return 1;
         }
-        let capacity = match self.accelerator_config(shape) {
+        let capacity = match self.accelerator_config_at(shape, p_eng, self.task_parallelism) {
             Ok(cfg) => heterosvd::tenant_capacity(cfg.geometry(), cfg.engine_parallelism),
             Err(_) => 1,
         };
@@ -290,14 +373,15 @@ impl ServeConfig {
         capacity.min(batch)
     }
 
-    fn build_config(
+    fn build_config_at(
         &self,
         shape: (usize, usize),
+        engine_parallelism: usize,
         task_parallelism: usize,
         co_residency: usize,
     ) -> Result<heterosvd::HeteroSvdConfig, heterosvd::HeteroSvdError> {
         let mut builder = heterosvd::HeteroSvdConfig::builder(shape.0, shape.1)
-            .engine_parallelism(self.engine_parallelism)
+            .engine_parallelism(engine_parallelism)
             .task_parallelism(task_parallelism)
             .co_residency(co_residency)
             .precision(self.precision)
@@ -420,6 +504,50 @@ mod tests {
         assert_eq!(cfg.co_residency, 4);
         let solo = c.accelerator_config((16, 16)).unwrap();
         assert_eq!(solo.co_residency, 1);
+    }
+
+    #[test]
+    fn autoscale_knob_invariants() {
+        let mut c = ServeConfig {
+            autoscale: true,
+            ..ServeConfig::default()
+        };
+        c.validate().unwrap();
+        c.autoscale_interval = Duration::ZERO;
+        assert!(c.validate().is_err());
+        c.autoscale_interval = Duration::from_millis(50);
+        for bad in [f64::NAN, f64::INFINITY, -0.5] {
+            c.autoscale_improvement = bad;
+            assert!(c.validate().is_err(), "accepted improvement {bad}");
+        }
+        c.autoscale_improvement = 0.0;
+        c.validate().unwrap();
+        // Every bound is vacuous with the controller off.
+        c.autoscale = false;
+        c.autoscale_interval = Duration::ZERO;
+        c.validate().unwrap();
+    }
+
+    #[test]
+    fn plan_parameterized_configs_match_the_frozen_ones() {
+        let c = ServeConfig::default();
+        let frozen = c.accelerator_config((16, 16)).unwrap();
+        let live = c
+            .accelerator_config_at((16, 16), c.engine_parallelism, c.task_parallelism)
+            .unwrap();
+        assert_eq!(frozen, live, "identity plan must derive the same config");
+        let swapped = c.accelerator_config_at((32, 32), 4, 2).unwrap();
+        assert_eq!(swapped.engine_parallelism, 4);
+        assert_eq!(swapped.task_parallelism, 2);
+        // A live P_eng the shape cannot block under is an error the
+        // replica maps to the base-plan fallback.
+        assert!(c.accelerator_config_at((16, 6), 2, 1).is_err());
+        // Stripe capacity follows the live plan, not the frozen knob.
+        assert_eq!(c.packed_tenants_at((32, 32), 8, 2), 8);
+        assert_eq!(c.packed_tenants_at((32, 32), 8, 8), 1);
+        let packed = c.packed_accelerator_config_at((32, 32), 4, 3).unwrap();
+        assert_eq!(packed.engine_parallelism, 4);
+        assert_eq!(packed.co_residency, 3);
     }
 
     #[test]

@@ -52,6 +52,16 @@
 //!   accelerator resource utilization (busy fractions + the critical
 //!   resource) and the per-stage span-journal summary, exportable as
 //!   JSON or Prometheus text via [`MetricsReport`].
+//! * **Closed-loop online DSE** — with [`ServeConfig::autoscale`] on, a
+//!   controller thread folds the observed traffic (per-shape arrival
+//!   weights, batch fill, update routing split, packed-wave width) into
+//!   a [`heterosvd_dse::WorkloadMix`], re-runs the analytic Eq. 15–16
+//!   sweep against it each tick, and hot-swaps replicas to the winning
+//!   `(P_eng, P_task)` plan with drain-and-replace semantics: every
+//!   batch executes wholly under one plan generation (reported in
+//!   [`PlanInfo`]), bit-identical to a static service pinned at that
+//!   plan. Hysteresis (cooldown, min-dwell, improvement threshold)
+//!   suppresses churn under stationary traffic.
 //!
 //! # Quickstart
 //!
@@ -71,6 +81,7 @@
 //! # }
 //! ```
 
+mod autoscale;
 mod batcher;
 mod config;
 mod error;
@@ -82,11 +93,13 @@ mod service;
 
 pub use config::ServeConfig;
 pub use error::ServeError;
-pub use metrics::{MetricsSnapshot, PerTypeBreakdown, Percentiles, TypeSnapshot};
+pub use metrics::{
+    MetricsSnapshot, PerTypeBreakdown, Percentiles, PlanSnapshot, ShapeSnapshot, TypeSnapshot,
+};
 pub use report::{CacheReport, MetricsReport, ShapeUtilization};
 pub use request::{
-    ApplyHandle, ApplyResponse, LatencyRecord, PublishSpec, RequestHandle, RequestId, RequestType,
-    SubmitOptions, SvdResponse, UpdateHandle, UpdateResponse,
+    ApplyHandle, ApplyResponse, LatencyRecord, PlanInfo, PublishSpec, RequestHandle, RequestId,
+    RequestType, SubmitOptions, SvdResponse, UpdateHandle, UpdateResponse,
 };
 pub use service::SvdService;
 

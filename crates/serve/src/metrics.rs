@@ -3,12 +3,17 @@
 use crate::request::{LatencyRecord, RequestType};
 use parking_lot::Mutex;
 use serde::Serialize;
+use std::collections::BTreeMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::time::Instant;
 
 /// Cap on retained latency samples; the recorder keeps the most recent
 /// window so a long-running service does not grow without bound.
 const MAX_SAMPLES: usize = 65_536;
+
+/// Cap on retained per-shape execution samples (each observed shape
+/// keeps its own bounded window).
+const MAX_SHAPE_SAMPLES: usize = 4_096;
 
 /// Live metric state shared by the service threads.
 pub(crate) struct Metrics {
@@ -43,10 +48,28 @@ pub(crate) struct Metrics {
     /// recompute. Cold starts (no cache entry) are *not* counted here;
     /// they show up as factor-cache misses.
     pub(crate) staleness_fallbacks: AtomicU64,
+    /// Plan swaps committed by the autoscale controller (each one
+    /// drains in-flight batches under the old plan and replaces the
+    /// replica-side accelerator state).
+    pub(crate) plan_swaps: AtomicU64,
+    /// DSE re-searches the autoscale controller actually ran (cached
+    /// stationary ticks do not count).
+    pub(crate) dse_runs: AtomicU64,
+    /// The live plan's engine parallelism (P_eng).
+    pub(crate) plan_engine_parallelism: AtomicU64,
+    /// The live plan's task parallelism (P_task).
+    pub(crate) plan_task_parallelism: AtomicU64,
+    /// Monotonic plan generation; bumped once per committed swap.
+    pub(crate) plan_generation: AtomicU64,
     /// Per-request-type counter split, indexed by
     /// [`RequestType::index`]; the aggregates above stay authoritative
     /// for mixed totals.
     per_type: [TypeMetrics; 3],
+    /// Per-matrix-shape slice: completions by type, batch fill, and a
+    /// bounded execution-sample window per observed (rows, cols). Fed
+    /// by shape-bearing completions (decompose/update); apply traffic
+    /// carries no matrix shape and stays aggregate-only.
+    shapes: Mutex<BTreeMap<(usize, usize), ShapeEntry>>,
     samples: Mutex<Vec<Sample>>,
     /// Start of the current throughput window: advanced by every
     /// snapshot so `throughput_rps_window` measures completions since
@@ -105,6 +128,43 @@ impl TypeMetrics {
     }
 }
 
+/// Per-shape accumulator behind the `shapes` map.
+struct ShapeEntry {
+    /// Completions indexed by [`RequestType::index`].
+    completed: [u64; 3],
+    /// Sum of executed batch sizes over shape-bearing completions, so
+    /// the controller can recover the mean observed batch fill.
+    batch_fill_sum: u64,
+    batch_fill_count: u64,
+    exec_samples: Vec<u64>,
+    window: WindowState,
+}
+
+impl ShapeEntry {
+    fn new() -> Self {
+        ShapeEntry {
+            completed: [0; 3],
+            batch_fill_sum: 0,
+            batch_fill_count: 0,
+            exec_samples: Vec::new(),
+            window: WindowState::new(),
+        }
+    }
+}
+
+/// Cumulative per-shape counters handed to the autoscale controller,
+/// which diffs successive reads on its own cadence (never draining the
+/// scrape-owned windows).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct ShapeTotals {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    /// Completions indexed by [`RequestType::index`].
+    pub(crate) completed: [u64; 3],
+    pub(crate) batch_fill_sum: u64,
+    pub(crate) batch_fill_count: u64,
+}
+
 #[derive(Clone, Copy)]
 struct Sample {
     rtype: RequestType,
@@ -134,7 +194,13 @@ impl Metrics {
             warm_start_hits: AtomicU64::new(0),
             lowrank_hits: AtomicU64::new(0),
             staleness_fallbacks: AtomicU64::new(0),
+            plan_swaps: AtomicU64::new(0),
+            dse_runs: AtomicU64::new(0),
+            plan_engine_parallelism: AtomicU64::new(0),
+            plan_task_parallelism: AtomicU64::new(0),
+            plan_generation: AtomicU64::new(0),
             per_type: [TypeMetrics::new(), TypeMetrics::new(), TypeMetrics::new()],
+            shapes: Mutex::new(BTreeMap::new()),
             samples: Mutex::new(Vec::new()),
             window: Mutex::new(WindowState::new()),
         }
@@ -190,7 +256,48 @@ impl Metrics {
             .fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_latency(&self, rec: &LatencyRecord, rtype: RequestType) {
+    /// Publishes the plan replicas currently execute under. Called at
+    /// service start with the configured plan and by the autoscale
+    /// controller on every committed swap.
+    pub(crate) fn set_current_plan(
+        &self,
+        engine_parallelism: usize,
+        task_parallelism: usize,
+        generation: u64,
+    ) {
+        self.plan_engine_parallelism
+            .store(engine_parallelism as u64, Ordering::Relaxed);
+        self.plan_task_parallelism
+            .store(task_parallelism as u64, Ordering::Relaxed);
+        self.plan_generation.store(generation, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_plan_swap(&self) {
+        self.plan_swaps.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_dse_run(&self) {
+        self.dse_runs.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_latency(
+        &self,
+        rec: &LatencyRecord,
+        rtype: RequestType,
+        shape: Option<(usize, usize)>,
+    ) {
+        if let Some(shape) = shape {
+            let mut shapes = self.shapes.lock();
+            let entry = shapes.entry(shape).or_insert_with(ShapeEntry::new);
+            entry.completed[rtype.index()] += 1;
+            entry.batch_fill_sum += rec.batch_size as u64;
+            entry.batch_fill_count += 1;
+            if entry.exec_samples.len() >= MAX_SHAPE_SAMPLES {
+                let keep = entry.exec_samples.split_off(MAX_SHAPE_SAMPLES / 2);
+                entry.exec_samples = keep;
+            }
+            entry.exec_samples.push(rec.sim_exec_ps);
+        }
         let mut samples = self.samples.lock();
         if samples.len() >= MAX_SAMPLES {
             // Drop the oldest half in one move to amortize the shift.
@@ -204,6 +311,23 @@ impl Metrics {
             sim_exec_ps: rec.sim_exec_ps,
             batch_size: rec.batch_size as u64,
         });
+    }
+
+    /// Cumulative per-shape counters for the autoscale controller. The
+    /// controller diffs successive reads; nothing here drains the
+    /// windows the metrics scrape owns.
+    pub(crate) fn shape_totals(&self) -> Vec<ShapeTotals> {
+        self.shapes
+            .lock()
+            .iter()
+            .map(|(&(rows, cols), e)| ShapeTotals {
+                rows,
+                cols,
+                completed: e.completed,
+                batch_fill_sum: e.batch_fill_sum,
+                batch_fill_count: e.batch_fill_count,
+            })
+            .collect()
     }
 
     fn type_snapshot(&self, rtype: RequestType, samples: &[Sample]) -> TypeSnapshot {
@@ -229,6 +353,33 @@ impl Metrics {
             queue_wait_us: Percentiles::from_samples(&mut queue_wait),
             sim_exec_ps: Percentiles::from_samples(&mut exec),
         }
+    }
+
+    fn shape_snapshots(&self) -> Vec<ShapeSnapshot> {
+        let mut shapes = self.shapes.lock();
+        shapes
+            .iter_mut()
+            .map(|(&(rows, cols), entry)| {
+                let completed: u64 = entry.completed.iter().sum();
+                let window_rate = entry.window.advance(completed);
+                let mean_fill = if entry.batch_fill_count == 0 {
+                    0.0
+                } else {
+                    entry.batch_fill_sum as f64 / entry.batch_fill_count as f64
+                };
+                let mut exec = entry.exec_samples.clone();
+                ShapeSnapshot {
+                    rows,
+                    cols,
+                    completed_decompose: entry.completed[RequestType::Decompose.index()],
+                    completed_apply: entry.completed[RequestType::Apply.index()],
+                    completed_update: entry.completed[RequestType::Update.index()],
+                    mean_batch_fill: mean_fill,
+                    throughput_rps_window: window_rate,
+                    sim_exec_ps: Percentiles::from_samples(&mut exec),
+                }
+            })
+            .collect()
     }
 
     pub(crate) fn snapshot(&self, queue_depth: usize, replicas_live: usize) -> MetricsSnapshot {
@@ -284,6 +435,14 @@ impl Metrics {
                 decompose: self.type_snapshot(RequestType::Decompose, &samples),
                 apply: self.type_snapshot(RequestType::Apply, &samples),
                 update: self.type_snapshot(RequestType::Update, &samples),
+            },
+            per_shape: self.shape_snapshots(),
+            plan_swaps: self.plan_swaps.load(Ordering::Relaxed),
+            dse_runs: self.dse_runs.load(Ordering::Relaxed),
+            current_plan: PlanSnapshot {
+                engine_parallelism: self.plan_engine_parallelism.load(Ordering::Relaxed),
+                task_parallelism: self.plan_task_parallelism.load(Ordering::Relaxed),
+                generation: self.plan_generation.load(Ordering::Relaxed),
             },
         }
     }
@@ -349,6 +508,44 @@ pub struct TypeSnapshot {
     /// Eq. (14) batch system time for decompose, the Eq. 8–14 apply
     /// pipeline system time for apply.
     pub sim_exec_ps: Percentiles,
+}
+
+/// Per-matrix-shape slice of a [`MetricsSnapshot`]: windowed
+/// throughput, batch fill, and modeled-execution percentiles for one
+/// observed (rows, cols). Apply traffic carries no matrix shape and is
+/// not represented here.
+#[derive(Debug, Clone, PartialEq, Serialize)]
+pub struct ShapeSnapshot {
+    /// Matrix rows of this shape class.
+    pub rows: usize,
+    /// Matrix columns of this shape class.
+    pub cols: usize,
+    /// Decompose completions of this shape.
+    pub completed_decompose: u64,
+    /// Apply completions attributed to this shape (zero today: apply
+    /// requests are host-side matvecs with no matrix shape).
+    pub completed_apply: u64,
+    /// Update completions of this shape.
+    pub completed_update: u64,
+    /// Mean executed batch size over this shape's completions.
+    pub mean_batch_fill: f64,
+    /// Completions of this shape per second since the previous
+    /// snapshot (each snapshot advances the window).
+    pub throughput_rps_window: f64,
+    /// Modeled execution-time percentiles of this shape (picoseconds).
+    pub sim_exec_ps: Percentiles,
+}
+
+/// The plan replicas currently execute under, as carried by
+/// [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize)]
+pub struct PlanSnapshot {
+    /// Engine parallelism (P_eng) of the live plan.
+    pub engine_parallelism: u64,
+    /// Task parallelism (P_task) of the live plan.
+    pub task_parallelism: u64,
+    /// Monotonic generation; bumps once per committed autoscale swap.
+    pub generation: u64,
 }
 
 /// The per-type split carried by every [`MetricsSnapshot`].
@@ -426,11 +623,22 @@ pub struct MetricsSnapshot {
     /// The same counters split by request type, so apply traffic (orders
     /// of magnitude cheaper) does not mask decompose regressions.
     pub per_type: PerTypeBreakdown,
+    /// Per-matrix-shape windowed series (throughput, batch fill,
+    /// execution percentiles), sorted by (rows, cols).
+    pub per_shape: Vec<ShapeSnapshot>,
+    /// Plan swaps committed by the autoscale controller.
+    pub plan_swaps: u64,
+    /// DSE re-searches the controller actually ran (stationary ticks
+    /// reuse the cached sweep and do not count).
+    pub dse_runs: u64,
+    /// The plan replicas currently execute under.
+    pub current_plan: PlanSnapshot,
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::request::PlanInfo;
     use std::time::Duration;
 
     #[test]
@@ -536,8 +744,10 @@ mod tests {
                 sim_exec_ps: 1_000,
                 batch_size: 1,
                 wall_total: Duration::from_micros(20),
+                plan: PlanInfo::default(),
             },
             RequestType::Apply,
+            None,
         );
         std::thread::sleep(Duration::from_millis(2));
         let snap = m.snapshot(0, 0);
@@ -576,8 +786,10 @@ mod tests {
                 sim_exec_ps: 777,
                 batch_size: 1,
                 wall_total: Duration::from_micros(9),
+                plan: PlanInfo::default(),
             },
             RequestType::Update,
+            Some((8, 8)),
         );
         let snap = m.snapshot(0, 0);
         assert_eq!(snap.warm_start_hits, 1);
@@ -620,8 +832,10 @@ mod tests {
                 sim_exec_ps: 5_000,
                 batch_size: 2,
                 wall_total: Duration::from_micros(200),
+                plan: PlanInfo::default(),
             },
             RequestType::Decompose,
+            Some((16, 8)),
         );
         let snap = m.snapshot(1, 2);
         let json = serde_json::to_string_pretty(&snap).unwrap();
@@ -644,10 +858,81 @@ mod tests {
                     sim_exec_ps: 1,
                     batch_size: 1,
                     wall_total: Duration::ZERO,
+                    plan: PlanInfo::default(),
                 },
                 RequestType::Decompose,
+                Some((4, 4)),
             );
         }
         assert!(m.samples.lock().len() <= MAX_SAMPLES);
+        let shapes = m.shapes.lock();
+        assert!(shapes[&(4, 4)].exec_samples.len() <= MAX_SHAPE_SAMPLES);
+        // The cumulative counters are unaffected by the sample bound.
+        assert_eq!(shapes[&(4, 4)].completed[0] as usize, MAX_SAMPLES + 10);
+    }
+
+    fn record_of(exec_ps: u64, batch: usize) -> LatencyRecord {
+        LatencyRecord {
+            queue_wait: Duration::from_micros(1),
+            batch_linger: Duration::ZERO,
+            sim_exec_ps: exec_ps,
+            batch_size: batch,
+            wall_total: Duration::from_micros(2),
+            plan: PlanInfo::default(),
+        }
+    }
+
+    #[test]
+    fn per_shape_series_split_and_window() {
+        let m = Metrics::new();
+        m.record_latency(&record_of(1_000, 4), RequestType::Decompose, Some((64, 64)));
+        m.record_latency(&record_of(2_000, 4), RequestType::Decompose, Some((64, 64)));
+        m.record_latency(&record_of(9_000, 1), RequestType::Update, Some((256, 256)));
+        // Shapeless apply traffic never creates a shape row.
+        m.record_latency(&record_of(10, 1), RequestType::Apply, None);
+        std::thread::sleep(Duration::from_millis(2));
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.per_shape.len(), 2);
+        let small = &snap.per_shape[0];
+        assert_eq!((small.rows, small.cols), (64, 64));
+        assert_eq!(small.completed_decompose, 2);
+        assert_eq!(small.completed_update, 0);
+        assert!((small.mean_batch_fill - 4.0).abs() < 1e-9);
+        assert!(small.throughput_rps_window > 0.0);
+        assert_eq!(small.sim_exec_ps.max, 2_000);
+        let big = &snap.per_shape[1];
+        assert_eq!((big.rows, big.cols), (256, 256));
+        assert_eq!(big.completed_update, 1);
+        assert!((big.mean_batch_fill - 1.0).abs() < 1e-9);
+        // Windows advance per snapshot: a quiet second snapshot reads 0.
+        std::thread::sleep(Duration::from_millis(2));
+        let second = m.snapshot(0, 0);
+        assert_eq!(second.per_shape[0].throughput_rps_window, 0.0);
+        // The controller-facing totals stay cumulative across snapshots.
+        let totals = m.shape_totals();
+        assert_eq!(totals.len(), 2);
+        assert_eq!(totals[0].completed[RequestType::Decompose.index()], 2);
+        assert_eq!(totals[0].batch_fill_sum, 8);
+        assert_eq!(totals[1].completed[RequestType::Update.index()], 1);
+    }
+
+    #[test]
+    fn plan_counters_surface_in_snapshot() {
+        let m = Metrics::new();
+        m.set_current_plan(4, 6, 0);
+        m.record_dse_run();
+        m.record_dse_run();
+        m.record_plan_swap();
+        m.set_current_plan(2, 16, 1);
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.plan_swaps, 1);
+        assert_eq!(snap.dse_runs, 2);
+        assert_eq!(snap.current_plan.engine_parallelism, 2);
+        assert_eq!(snap.current_plan.task_parallelism, 16);
+        assert_eq!(snap.current_plan.generation, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"plan_swaps\":1"));
+        assert!(json.contains("\"current_plan\""));
+        assert!(json.contains("\"per_shape\""));
     }
 }

@@ -212,6 +212,97 @@ impl MetricsReport {
             s.throughput_rps_window,
         );
 
+        // Autoscale controller: plan swaps, DSE runs, the live plan.
+        counter(
+            out,
+            "plan_swaps_total",
+            "Plan swaps committed by the autoscale controller.",
+            s.plan_swaps,
+        );
+        counter(
+            out,
+            "dse_runs_total",
+            "Workload-mix DSE sweeps the controller actually ran.",
+            s.dse_runs,
+        );
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_current_plan The plan replicas currently execute under."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_current_plan gauge");
+        for (param, value) in [
+            ("engine_parallelism", s.current_plan.engine_parallelism),
+            ("task_parallelism", s.current_plan.task_parallelism),
+            ("generation", s.current_plan.generation),
+        ] {
+            let _ = writeln!(out, "hsvd_current_plan{{param=\"{param}\"}} {value}");
+        }
+
+        // Per-shape windowed series (decompose/update traffic only;
+        // apply requests carry no matrix shape).
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_completed_by_shape_total Completions per matrix shape by request type."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_completed_by_shape_total counter");
+        for sh in &s.per_shape {
+            for (label, v) in [
+                ("decompose", sh.completed_decompose),
+                ("apply", sh.completed_apply),
+                ("update", sh.completed_update),
+            ] {
+                let _ = writeln!(
+                    out,
+                    "hsvd_completed_by_shape_total{{shape=\"{}x{}\",type=\"{label}\"}} {v}",
+                    sh.rows, sh.cols
+                );
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_throughput_rps_window_by_shape Windowed completion rate per matrix shape."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_throughput_rps_window_by_shape gauge");
+        for sh in &s.per_shape {
+            let _ = writeln!(
+                out,
+                "hsvd_throughput_rps_window_by_shape{{shape=\"{}x{}\"}} {}",
+                sh.rows, sh.cols, sh.throughput_rps_window
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_mean_batch_fill_by_shape Mean executed batch size per matrix shape."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_mean_batch_fill_by_shape gauge");
+        for sh in &s.per_shape {
+            let _ = writeln!(
+                out,
+                "hsvd_mean_batch_fill_by_shape{{shape=\"{}x{}\"}} {}",
+                sh.rows, sh.cols, sh.mean_batch_fill
+            );
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_sim_exec_ps_by_shape Modeled execution time per matrix shape (picoseconds)."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_sim_exec_ps_by_shape summary");
+        for sh in &s.per_shape {
+            let p = &sh.sim_exec_ps;
+            for (q, v) in [("0.5", p.p50), ("0.95", p.p95), ("0.99", p.p99)] {
+                let _ = writeln!(
+                    out,
+                    "hsvd_sim_exec_ps_by_shape{{shape=\"{}x{}\",quantile=\"{q}\"}} {v}",
+                    sh.rows, sh.cols
+                );
+            }
+            let _ = writeln!(
+                out,
+                "hsvd_sim_exec_ps_by_shape_max{{shape=\"{}x{}\"}} {}",
+                sh.rows, sh.cols, p.max
+            );
+        }
+
         // Per-request-type split: the same counters with a type label.
         let per_type: [(&str, &TypeSnapshot); 3] = [
             ("decompose", &s.per_type.decompose),
@@ -538,11 +629,32 @@ impl MetricsReport {
 mod tests {
     use super::*;
     use crate::metrics::Metrics;
+    use crate::request::{LatencyRecord, PlanInfo, RequestType};
     use aie_sim::{SimStats, TimePs};
     use heterosvd::obs::{ResourceCounts, UtilizationReport};
+    use std::time::Duration;
 
     fn sample_report() -> MetricsReport {
         let metrics = Metrics::new();
+        metrics.set_current_plan(8, 3, 1);
+        metrics.record_plan_swap();
+        metrics.record_dse_run();
+        metrics.record_latency(
+            &LatencyRecord {
+                queue_wait: Duration::from_micros(1),
+                batch_linger: Duration::ZERO,
+                sim_exec_ps: 5_000,
+                batch_size: 2,
+                wall_total: Duration::from_micros(2),
+                plan: PlanInfo {
+                    engine_parallelism: 8,
+                    task_parallelism: 3,
+                    generation: 1,
+                },
+            },
+            RequestType::Decompose,
+            Some((64, 64)),
+        );
         let snapshot = metrics.snapshot(0, 2);
         let stats = SimStats {
             orth_invocations: 8,
@@ -631,6 +743,11 @@ mod tests {
         assert!(json.contains("\"warm_start_hits\""));
         assert!(json.contains("\"per_type\""));
         assert!(json.contains("\"update\""));
+        assert!(json.contains("\"per_shape\""));
+        assert!(json.contains("\"current_plan\""));
+        assert!(json.contains("\"plan_swaps\": 1"));
+        assert!(json.contains("\"dse_runs\": 1"));
+        assert!(json.contains("\"engine_parallelism\": 8"));
     }
 
     #[test]
@@ -662,6 +779,17 @@ mod tests {
         assert!(text.contains("hsvd_factor_cache_client_bytes{client=\"7\"} 4096"));
         assert!(text.contains("hsvd_resource_busy_fraction{shape=\"256x256\",resource=\"plio\"}"));
         assert!(text.contains("hsvd_critical_resource{shape=\"256x256\""));
+        assert!(text.contains("hsvd_plan_swaps_total 1"));
+        assert!(text.contains("hsvd_dse_runs_total 1"));
+        assert!(text.contains("hsvd_current_plan{param=\"engine_parallelism\"} 8"));
+        assert!(text.contains("hsvd_current_plan{param=\"generation\"} 1"));
+        assert!(
+            text.contains("hsvd_completed_by_shape_total{shape=\"64x64\",type=\"decompose\"} 1")
+        );
+        assert!(text.contains("hsvd_throughput_rps_window_by_shape{shape=\"64x64\"}"));
+        assert!(text.contains("hsvd_mean_batch_fill_by_shape{shape=\"64x64\"} 2"));
+        assert!(text.contains("hsvd_sim_exec_ps_by_shape{shape=\"64x64\",quantile=\"0.99\"}"));
+        assert!(text.contains("hsvd_sim_exec_ps_by_shape_max{shape=\"64x64\"} 5000"));
     }
 
     #[test]

@@ -86,6 +86,22 @@ pub struct SubmitOptions {
     pub timeout: Option<Duration>,
 }
 
+/// The plan a request executed under. Autoscale swaps change the live
+/// plan between batches, so callers auditing results (e.g. the bench
+/// bit-identity gate) group responses by generation: every request in
+/// one generation ran wholly under one plan, and its factors match a
+/// static service pinned at that plan bit for bit.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub struct PlanInfo {
+    /// Engine parallelism (P_eng) the executing accelerator used.
+    pub engine_parallelism: usize,
+    /// Task parallelism (P_task) the executing accelerator used.
+    pub task_parallelism: usize,
+    /// Plan generation at execution time (bumps once per committed
+    /// autoscale swap; 0 until the first swap).
+    pub generation: u64,
+}
+
 /// Where each slice of a request's life went.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencyRecord {
@@ -103,6 +119,9 @@ pub struct LatencyRecord {
     pub batch_size: usize,
     /// Wall-clock time from admission until completion.
     pub wall_total: Duration,
+    /// The plan the request executed under (base plan for apply and
+    /// host-only routes, which never touch the accelerator array).
+    pub plan: PlanInfo,
 }
 
 /// Successful result of a served decompose request.
@@ -595,6 +614,7 @@ mod tests {
                 sim_exec_ps: 10,
                 batch_size: 1,
                 wall_total: Duration::ZERO,
+                plan: PlanInfo::default(),
             },
         };
         assert!(state.complete(Ok(Completion::Apply(response))));

@@ -7,8 +7,9 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::report::{CacheReport, MetricsReport, ShapeUtilization};
 use crate::request::{
-    ApplyHandle, Completion, LatencyRecord, Payload, PendingRequest, PublishSpec, RequestHandle,
-    RequestId, RequestState, RequestType, SubmitOptions, SvdResponse, UpdateHandle, UpdateResponse,
+    ApplyHandle, Completion, LatencyRecord, Payload, PendingRequest, PlanInfo, PublishSpec,
+    RequestHandle, RequestId, RequestState, RequestType, SubmitOptions, SvdResponse, UpdateHandle,
+    UpdateResponse,
 };
 use aie_sim::TimePs;
 use factor_store::{FactorStore, ModelId, PublishedFactors};
@@ -55,14 +56,29 @@ pub struct SvdService {
     inner: Arc<Inner>,
     batcher: Mutex<Option<JoinHandle<()>>>,
     scraper: Mutex<Option<JoinHandle<()>>>,
+    autoscaler: Mutex<Option<JoinHandle<()>>>,
     shutdown_done: AtomicBool,
 }
 
-struct Inner {
-    config: ServeConfig,
+/// The `(P_eng, P_task)` plan replicas execute under. Starts at the
+/// configured knobs; the autoscale controller swaps it between batches.
+/// Replicas read it exactly once per batch, so every batch executes
+/// wholly under one plan generation (drain-and-replace: an in-flight
+/// batch finishes on the plan it started under).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct LivePlan {
+    pub(crate) engine_parallelism: usize,
+    pub(crate) task_parallelism: usize,
+    /// Bumps once per committed swap; replicas drop their cached
+    /// accelerators when it changes.
+    pub(crate) generation: u64,
+}
+
+pub(crate) struct Inner {
+    pub(crate) config: ServeConfig,
     admission: BoundedQueue<PendingRequest>,
     dispatch: BoundedQueue<Batch>,
-    metrics: Metrics,
+    pub(crate) metrics: Metrics,
     next_id: AtomicU64,
     replicas_live: AtomicUsize,
     workers: Mutex<Vec<JoinHandle<()>>>,
@@ -74,7 +90,7 @@ struct Inner {
     /// updates; update admission pins the client's entry and classifies
     /// against it. Empty (and never consulted) with
     /// [`ServeConfig::incremental`] off.
-    factor_cache: FactorCache,
+    pub(crate) factor_cache: FactorCache,
     /// Timing model of the rank-r apply pipeline, sharing the replicas'
     /// calibration and PL frequency so modeled apply and decompose times
     /// are directly comparable.
@@ -90,6 +106,13 @@ struct Inner {
     /// interval.
     scraper_stop: Mutex<bool>,
     scraper_cv: Condvar,
+    /// The plan replicas execute under; swapped by the autoscale
+    /// controller, read once per batch by each replica.
+    pub(crate) live_plan: Mutex<LivePlan>,
+    /// Autoscaler parking spot (same stop/condvar protocol as the
+    /// scraper's).
+    pub(crate) autoscale_stop: Mutex<bool>,
+    pub(crate) autoscale_cv: Condvar,
 }
 
 impl Inner {
@@ -177,8 +200,20 @@ impl SvdService {
             latest_scrape: Mutex::new(None),
             scraper_stop: Mutex::new(false),
             scraper_cv: Condvar::new(),
+            live_plan: Mutex::new(LivePlan {
+                engine_parallelism: config.engine_parallelism,
+                task_parallelism: config.task_parallelism,
+                generation: 0,
+            }),
+            autoscale_stop: Mutex::new(false),
+            autoscale_cv: Condvar::new(),
             config,
         });
+        inner.metrics.set_current_plan(
+            inner.config.engine_parallelism,
+            inner.config.task_parallelism,
+            0,
+        );
         for _ in 0..inner.config.workers {
             spawn_replica(&inner);
         }
@@ -194,10 +229,18 @@ impl SvdService {
                 .spawn(move || scraper_main(scraper_inner, interval))
                 .expect("failed to spawn scraper thread")
         });
+        let autoscaler = inner.config.autoscale.then(|| {
+            let controller_inner = Arc::clone(&inner);
+            std::thread::Builder::new()
+                .name("svd-autoscaler".into())
+                .spawn(move || crate::autoscale::autoscale_main(controller_inner))
+                .expect("failed to spawn autoscaler thread")
+        });
         Ok(SvdService {
             inner,
             batcher: Mutex::new(Some(batcher)),
             scraper: Mutex::new(scraper),
+            autoscaler: Mutex::new(autoscaler),
             shutdown_done: AtomicBool::new(false),
         })
     }
@@ -554,6 +597,19 @@ impl SvdService {
         &self.inner.config
     }
 
+    /// The plan replicas currently execute under. With
+    /// [`ServeConfig::autoscale`] off this is the configured
+    /// `(engine_parallelism, task_parallelism)` at generation 0 forever;
+    /// with it on, the controller advances it on every committed swap.
+    pub fn current_plan(&self) -> PlanInfo {
+        let plan = *self.inner.live_plan.lock();
+        PlanInfo {
+            engine_parallelism: plan.engine_parallelism,
+            task_parallelism: plan.task_parallelism,
+            generation: plan.generation,
+        }
+    }
+
     /// One exportable observability capture: the metrics snapshot,
     /// per-shape resource utilization merged across every completed
     /// batch, plan/profile-cache and factor-store counters, and the
@@ -579,6 +635,11 @@ impl SvdService {
         }
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.admission.close();
+        *self.inner.autoscale_stop.lock() = true;
+        self.inner.autoscale_cv.notify_all();
+        if let Some(handle) = self.autoscaler.lock().take() {
+            let _ = handle.join();
+        }
         *self.inner.scraper_stop.lock() = true;
         self.inner.scraper_cv.notify_all();
         if let Some(handle) = self.scraper.lock().take() {
@@ -650,13 +711,25 @@ fn spawn_replica(inner: &Arc<Inner>) {
 /// A panic while serving a batch fails that batch, retires this replica,
 /// and spawns a replacement.
 fn replica_main(inner: Arc<Inner>) {
-    let mut accelerators: HashMap<AcceleratorKey, Accelerator> = HashMap::new();
+    let mut accelerators: HashMap<AcceleratorKey, (Accelerator, PlanInfo)> = HashMap::new();
+    let mut accel_generation: u64 = 0;
     loop {
         match inner.dispatch.pop(batcher::POLL_TICK) {
             PopResult::Item(mut batch) => {
+                // Read the live plan exactly once per batch: the whole
+                // batch executes under this plan even if the controller
+                // swaps mid-run (drain-and-replace).
+                let plan = *inner.live_plan.lock();
+                if plan.generation != accel_generation {
+                    // The plan changed since this replica last built its
+                    // accelerators; drop them so this batch (and every
+                    // later one) rebuilds under the new plan.
+                    accelerators.clear();
+                    accel_generation = plan.generation;
+                }
                 let exec_started = Instant::now();
                 let outcome = catch_unwind(AssertUnwindSafe(|| {
-                    execute_batch(&inner, &mut accelerators, &mut batch, exec_started)
+                    execute_batch(&inner, &mut accelerators, &mut batch, exec_started, plan)
                 }));
                 if let Err(payload) = outcome {
                     let err = ServeError::from(HeteroSvdError::worker_panicked(payload.as_ref()));
@@ -689,9 +762,10 @@ fn fail_batch(inner: &Inner, batch: &Batch, err: &ServeError) {
 /// the decompose or apply execution path for the batch's key.
 fn execute_batch(
     inner: &Inner,
-    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
+    accelerators: &mut HashMap<AcceleratorKey, (Accelerator, PlanInfo)>,
     batch: &mut Batch,
     exec_started: Instant,
+    plan: LivePlan,
 ) {
     // Last-moment lifecycle checks: cancelled or expired requests are
     // completed here and excluded from the run.
@@ -743,10 +817,11 @@ fn execute_batch(
                 &live,
                 exec_started,
                 (rows, cols),
+                plan,
             );
         }
         crate::request::BatchKey::Apply { .. } => {
-            execute_apply(inner, batch, &live, exec_started);
+            execute_apply(inner, batch, &live, exec_started, plan);
         }
         crate::request::BatchKey::Update { rows, cols } => {
             execute_update(
@@ -756,6 +831,7 @@ fn execute_batch(
                 &live,
                 exec_started,
                 (rows, cols),
+                plan,
             );
         }
     }
@@ -770,36 +846,40 @@ fn execute_batch(
 /// replica panic.
 fn execute_decompose(
     inner: &Inner,
-    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
+    accelerators: &mut HashMap<AcceleratorKey, (Accelerator, PlanInfo)>,
     batch: &mut Batch,
     live: &[usize],
     exec_started: Instant,
     shape: (usize, usize),
+    plan: LivePlan,
 ) {
     // Packing decision: a same-shape batch of w >= 2 small problems
     // executes as one wave of w co-resident tenants on disjoint
     // sub-grids. Any failure along the packed path (config, placement,
     // lanes, accelerator build) falls back to the sequential w = 1 path
     // rather than failing the batch.
-    let mut tenants = inner.config.packed_tenants(shape, live.len());
+    let mut tenants = inner
+        .config
+        .packed_tenants_at(shape, live.len(), plan.engine_parallelism);
     if tenants >= 2
-        && (plan_wave_placement(inner, shape, tenants).is_none()
-            || cached_accelerator(accelerators, inner, shape, tenants).is_err())
+        && (plan_wave_placement(inner, shape, tenants, plan).is_none()
+            || cached_accelerator(accelerators, inner, shape, tenants, plan).is_err())
     {
         tenants = 1;
     }
-    let accelerator = match cached_accelerator(accelerators, inner, shape, tenants) {
-        Ok(a) => a,
-        Err(e) => {
-            let err = ServeError::from(e);
-            for &i in live {
-                if batch.entries[i].request.state.complete(Err(err.clone())) {
-                    inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+    let (accelerator, plan_info) =
+        match cached_accelerator(accelerators, inner, shape, tenants, plan) {
+            Ok(pair) => pair,
+            Err(e) => {
+                let err = ServeError::from(e);
+                for &i in live {
+                    if batch.entries[i].request.state.complete(Err(err.clone())) {
+                        inner.metrics.failed.fetch_add(1, Ordering::Relaxed);
+                    }
                 }
+                return;
             }
-            return;
-        }
-    };
+        };
     if tenants >= 2 {
         inner.metrics.record_packed(live.len() as u64);
     }
@@ -875,6 +955,7 @@ fn execute_decompose(
                     sim_exec_ps: system_time.0,
                     batch_size: live.len(),
                     wall_total: entry.request.submitted_at.elapsed(),
+                    plan: plan_info,
                 };
                 let response = SvdResponse {
                     id: entry.request.id,
@@ -889,7 +970,7 @@ fn execute_decompose(
                 inner.metrics.record_completed(RequestType::Decompose);
                 inner
                     .metrics
-                    .record_latency(&latency, RequestType::Decompose);
+                    .record_latency(&latency, RequestType::Decompose, Some(shape));
                 entry.request.state.complete(Ok(Completion::Svd(response)));
             }
         }
@@ -909,7 +990,13 @@ fn execute_decompose(
 /// product (no accelerator involvement, no factor copies), and every
 /// request is charged the modeled Eq. 8–14 apply-pipeline system time
 /// `⌈B / P_task⌉ · max_entry(t_apply)` from the replayed profile cache.
-fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started: Instant) {
+fn execute_apply(
+    inner: &Inner,
+    batch: &mut Batch,
+    live: &[usize],
+    exec_started: Instant,
+    plan: LivePlan,
+) {
     let factors: Arc<PublishedFactors> = match &batch.entries[live[0]].request.payload {
         Payload::Apply { factors, .. } => Arc::clone(factors),
         _ => unreachable!("non-apply request in an apply batch"),
@@ -989,6 +1076,14 @@ fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started:
             sim_exec_ps: system_ps,
             batch_size: live.len(),
             wall_total: entry.request.submitted_at.elapsed(),
+            // Apply never touches the accelerator array: its pipeline is
+            // modeled from the frozen base config, whatever the live
+            // decompose plan is.
+            plan: PlanInfo {
+                engine_parallelism: inner.config.engine_parallelism,
+                task_parallelism: inner.config.task_parallelism,
+                generation: plan.generation,
+            },
         };
         let response = crate::request::ApplyResponse {
             id: entry.request.id,
@@ -1002,7 +1097,9 @@ fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started:
         // Record before completing (see execute_decompose): the waiter
         // wakes on complete() and may snapshot metrics immediately.
         inner.metrics.record_completed(RequestType::Apply);
-        inner.metrics.record_latency(&latency, RequestType::Apply);
+        inner
+            .metrics
+            .record_latency(&latency, RequestType::Apply, None);
         entry
             .request
             .state
@@ -1017,11 +1114,12 @@ fn execute_apply(inner: &Inner, batch: &mut Batch, live: &[usize], exec_started:
 /// accelerator, a host-only low-rank bump, or a full recompute.
 fn execute_update(
     inner: &Inner,
-    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
+    accelerators: &mut HashMap<AcceleratorKey, (Accelerator, PlanInfo)>,
     batch: &mut Batch,
     live: &[usize],
     exec_started: Instant,
     shape: (usize, usize),
+    plan: LivePlan,
 ) {
     for &i in live {
         let (matrix, client, cached, class) = match &mut batch.entries[i].request.payload {
@@ -1045,10 +1143,19 @@ fn execute_update(
             .map_or(UpdateRoute::Full(FallbackReason::ColdStart), |c| c.route);
         let delta_rel = class.as_ref().map_or(0.0, |c| c.delta_rel);
         let started = Instant::now();
-        let outcome = run_update_route(inner, accelerators, shape, client, matrix, cached, class);
+        let outcome = run_update_route(
+            inner,
+            accelerators,
+            shape,
+            client,
+            matrix,
+            cached,
+            class,
+            plan,
+        );
         let entry = &batch.entries[i];
         match outcome {
-            Ok((sigma, output, modeled)) => {
+            Ok((sigma, output, modeled, plan_info)) => {
                 match route {
                     UpdateRoute::WarmStart => inner.metrics.record_warm_start_hit(),
                     UpdateRoute::LowRank { .. } => inner.metrics.record_lowrank_hit(),
@@ -1078,6 +1185,7 @@ fn execute_update(
                     sim_exec_ps: modeled.map_or(0, |t| t.0),
                     batch_size: live.len(),
                     wall_total: entry.request.submitted_at.elapsed(),
+                    plan: plan_info,
                 };
                 let warm_start = output.as_ref().and_then(|o| o.warm_start);
                 let response = UpdateResponse {
@@ -1092,7 +1200,9 @@ fn execute_update(
                 };
                 // Record before completing (see execute_decompose).
                 inner.metrics.record_completed(RequestType::Update);
-                inner.metrics.record_latency(&latency, RequestType::Update);
+                inner
+                    .metrics
+                    .record_latency(&latency, RequestType::Update, Some(shape));
                 entry
                     .request
                     .state
@@ -1108,20 +1218,23 @@ fn execute_update(
 }
 
 /// What [`run_update_route`] hands back per request: the served
-/// spectrum, the accelerator output when one ran, and the modeled task
-/// time (`None` for the host-only low-rank route).
-type UpdateOutcome = (Vec<f32>, Option<HeteroSvdOutput>, Option<TimePs>);
+/// spectrum, the accelerator output when one ran, the modeled task
+/// time (`None` for the host-only low-rank route), and the plan the
+/// route executed under (the frozen base plan for host-only routes).
+type UpdateOutcome = (Vec<f32>, Option<HeteroSvdOutput>, Option<TimePs>, PlanInfo);
 
 /// Executes one update along its admitted route and refreshes the
 /// client's cache entry.
+#[allow(clippy::too_many_arguments)]
 fn run_update_route(
     inner: &Inner,
-    accelerators: &mut HashMap<AcceleratorKey, Accelerator>,
+    accelerators: &mut HashMap<AcceleratorKey, (Accelerator, PlanInfo)>,
     shape: (usize, usize),
     client: ClientId,
     matrix: Matrix<f32>,
     cached: Option<Arc<FactorCacheEntry>>,
     class: Option<UpdateClass<f32>>,
+    plan: LivePlan,
 ) -> Result<UpdateOutcome, ServeError> {
     let route = class
         .as_ref()
@@ -1132,13 +1245,20 @@ fn run_update_route(
         .update_cache_rank
         .min(shape.0.min(shape.1))
         .max(1);
+    // Host-only routes never touch the accelerator array; their plan
+    // attribution is the frozen base plan at the current generation.
+    let host_plan = PlanInfo {
+        engine_parallelism: inner.config.engine_parallelism,
+        task_parallelism: inner.config.task_parallelism,
+        generation: plan.generation,
+    };
     let numeric = |e| ServeError::from(HeteroSvdError::Numeric(e));
     match route {
         UpdateRoute::LowRank { rank: 0 } => {
             // Identical resubmission: the cached truncated factors
             // already answer it. No solve, no republish.
             let cached = cached.expect("rank-0 route requires a cache entry");
-            Ok((cached.truncated.sigma.clone(), None, None))
+            Ok((cached.truncated.sigma.clone(), None, None, host_plan))
         }
         UpdateRoute::LowRank { .. } => {
             let cached = cached.expect("low-rank route requires a cache entry");
@@ -1159,12 +1279,12 @@ fn run_update_route(
                 updated,
                 cached.warm_solves_since_full + 1,
             ));
-            Ok((sigma, None, None))
+            Ok((sigma, None, None, host_plan))
         }
         UpdateRoute::WarmStart => {
             let cached = cached.expect("warm route requires a cache entry");
-            let accelerator =
-                cached_accelerator(accelerators, inner, shape, 1).map_err(ServeError::from)?;
+            let (accelerator, plan_info) = cached_accelerator(accelerators, inner, shape, 1, plan)
+                .map_err(ServeError::from)?;
             let output = accelerator
                 .run_warm_f32(&matrix, &cached.v)
                 .map_err(ServeError::from)?;
@@ -1183,11 +1303,11 @@ fn run_update_route(
                 truncated,
                 cached.warm_solves_since_full + 1,
             ));
-            Ok((sigma, Some(output), Some(modeled)))
+            Ok((sigma, Some(output), Some(modeled), plan_info))
         }
         UpdateRoute::Full(_) => {
-            let accelerator =
-                cached_accelerator(accelerators, inner, shape, 1).map_err(ServeError::from)?;
+            let (accelerator, plan_info) = cached_accelerator(accelerators, inner, shape, 1, plan)
+                .map_err(ServeError::from)?;
             let output = accelerator.run_f32(&matrix).map_err(ServeError::from)?;
             let modeled = output.timing.task_time;
             let v = output.result.recover_v(&matrix).map_err(numeric)?;
@@ -1205,7 +1325,7 @@ fn run_update_route(
                 truncated,
                 0,
             ));
-            Ok((sigma, Some(output), Some(modeled)))
+            Ok((sigma, Some(output), Some(modeled), plan_info))
         }
     }
 }
@@ -1250,25 +1370,67 @@ fn merge_shape_utilization(inner: &Inner, shape: (usize, usize), util: Utilizati
 /// width and the contention class of the timing profile.
 type AcceleratorKey = ((usize, usize), usize);
 
-/// Returns this replica's accelerator for `shape` at `tenants`-way
-/// co-residency, building it on first use.
-fn cached_accelerator<'a>(
-    accelerators: &'a mut HashMap<AcceleratorKey, Accelerator>,
+/// Resolves the accelerator config for `shape` under the live plan,
+/// plus the plan attribution actually in effect. A shape the live plan
+/// cannot serve — first seen *after* a swap, violating the new
+/// `P_eng`'s divisibility constraint (the mix DSE only guarantees
+/// feasibility for shapes observed before it swept) — falls back to
+/// the frozen base plan, which admission already validated against.
+fn plan_config(
     inner: &Inner,
     shape: (usize, usize),
     tenants: usize,
-) -> Result<&'a Accelerator, HeteroSvdError> {
-    use std::collections::hash_map::Entry;
-    match accelerators.entry((shape, tenants)) {
-        Entry::Occupied(slot) => Ok(slot.into_mut()),
-        Entry::Vacant(slot) => {
-            let config = if tenants >= 2 {
+    plan: LivePlan,
+) -> Result<(heterosvd::HeteroSvdConfig, PlanInfo), HeteroSvdError> {
+    let live = if tenants >= 2 {
+        inner
+            .config
+            .packed_accelerator_config_at(shape, plan.engine_parallelism, tenants)
+    } else {
+        inner
+            .config
+            .accelerator_config_at(shape, plan.engine_parallelism, plan.task_parallelism)
+    };
+    let config = match live {
+        Ok(config) => config,
+        Err(e) if plan.engine_parallelism == inner.config.engine_parallelism => return Err(e),
+        Err(_) => {
+            if tenants >= 2 {
                 inner.config.packed_accelerator_config(shape, tenants)?
             } else {
                 inner.config.accelerator_config(shape)?
-            };
+            }
+        }
+    };
+    let info = PlanInfo {
+        engine_parallelism: config.engine_parallelism,
+        task_parallelism: config.task_parallelism,
+        generation: plan.generation,
+    };
+    Ok((config, info))
+}
+
+/// Returns this replica's accelerator for `shape` at `tenants`-way
+/// co-residency under the live plan, building it on first use, plus
+/// the plan attribution it was built under.
+fn cached_accelerator<'a>(
+    accelerators: &'a mut HashMap<AcceleratorKey, (Accelerator, PlanInfo)>,
+    inner: &Inner,
+    shape: (usize, usize),
+    tenants: usize,
+    plan: LivePlan,
+) -> Result<(&'a Accelerator, PlanInfo), HeteroSvdError> {
+    use std::collections::hash_map::Entry;
+    match accelerators.entry((shape, tenants)) {
+        Entry::Occupied(slot) => {
+            let (accelerator, info) = slot.into_mut();
+            Ok((accelerator, *info))
+        }
+        Entry::Vacant(slot) => {
+            let (config, info) = plan_config(inner, shape, tenants, plan)?;
             let accelerator = Accelerator::new(config)?;
-            Ok(slot.insert(accelerator))
+            let (accelerator, info) = slot.insert((accelerator, info));
+            Ok((accelerator, *info))
         }
     }
 }
@@ -1283,8 +1445,9 @@ fn plan_wave_placement(
     inner: &Inner,
     shape: (usize, usize),
     tenants: usize,
+    plan: LivePlan,
 ) -> Option<Vec<heterosvd::SubGrid>> {
-    let config = inner.config.accelerator_config(shape).ok()?;
+    let (config, _) = plan_config(inner, shape, 1, plan).ok()?;
     let mut allocator = heterosvd::SubGridAllocator::new(config.geometry());
     let stripes: Vec<heterosvd::SubGrid> = (0..tenants)
         .map(|_| allocator.allocate_tenant(config.engine_parallelism))

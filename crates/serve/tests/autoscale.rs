@@ -1,0 +1,206 @@
+//! Closed-loop online-DSE acceptance: the autoscale controller must
+//! (a) hold still under a stationary mix that cannot clear the
+//! improvement gate, (b) swap the live plan within bounded wall time
+//! after a step change in traffic, and (c) preserve drain-and-replace
+//! bit-identity — every response's factors match a solo accelerator
+//! pinned at the plan the response reports it executed under.
+
+use heterosvd::Accelerator;
+use heterosvd_serve::{ServeConfig, SvdService};
+use std::collections::HashSet;
+use std::time::{Duration, Instant};
+use svd_kernels::Matrix;
+
+fn well_conditioned(rows: usize, cols: usize, salt: u64) -> Matrix<f64> {
+    Matrix::from_fn(rows, cols, |r, c| {
+        ((r as u64 * 29 + c as u64 * 11 + salt * 7) % 13) as f64 / 3.0
+            + if r == c { 5.0 } else { 0.0 }
+    })
+}
+
+/// One burst: submit `n` same-shape requests, wait for all responses.
+fn burst(
+    service: &SvdService,
+    shape: (usize, usize),
+    n: usize,
+    salt: u64,
+) -> Vec<heterosvd_serve::SvdResponse> {
+    let handles: Vec<_> = (0..n)
+        .map(|i| {
+            service
+                .try_submit(well_conditioned(shape.0, shape.1, salt + i as u64))
+                .expect("queue sized for the burst")
+        })
+        .collect();
+    handles
+        .into_iter()
+        .map(|h| h.wait().expect("burst request must complete"))
+        .collect()
+}
+
+/// Stationary traffic against an improvement bar no candidate can
+/// clear: the controller observes and re-plans (dse_runs advances) but
+/// the hysteresis gate holds the plan — zero swaps, generation 0.
+#[test]
+fn stationary_mix_survives_the_improvement_gate() {
+    let service = SvdService::start(ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_batch: 16,
+        max_linger: Duration::from_millis(10),
+        autoscale: true,
+        autoscale_interval: Duration::from_millis(15),
+        autoscale_min_dwell: Duration::from_millis(15),
+        autoscale_cooldown: Duration::from_millis(15),
+        // No plan beats the current one by 100x: every tick's winner
+        // dies at the improvement gate, whatever the sweep says.
+        autoscale_improvement: 100.0,
+        ..ServeConfig::default()
+    })
+    .unwrap();
+
+    let deadline = Instant::now() + Duration::from_secs(8);
+    let mut salt = 0;
+    while Instant::now() < deadline && service.metrics().dse_runs < 3 {
+        burst(&service, (16, 16), 8, salt);
+        salt += 100;
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    service.shutdown();
+
+    let m = service.metrics();
+    assert!(
+        m.dse_runs >= 1,
+        "controller never ran a sweep against live traffic: {m:?}"
+    );
+    assert_eq!(m.plan_swaps, 0, "improvement gate must hold: {m:?}");
+    assert_eq!(m.current_plan.generation, 0);
+    assert_eq!(m.current_plan.engine_parallelism, 2);
+    assert_eq!(m.current_plan.task_parallelism, 4);
+    assert_eq!(service.current_plan().generation, 0);
+}
+
+/// Step change + bit identity. The service starts pinned at the worst
+/// reasonable plan for deep small-shape bursts — `P_eng = 8, P_task =
+/// 1` serializes a 16-deep batch into 16 full waves and its stripe
+/// capacity of 1 forbids packing — then receives exactly that traffic.
+/// The controller must swap to a better plan within bounded wall time
+/// (>= 1 swap, responses spanning >= 2 distinct plans), and every
+/// response must be bitwise equal to a solo accelerator run at the
+/// plan its latency record reports, proving batches drain wholly under
+/// one generation.
+#[test]
+fn step_change_swaps_plans_and_preserves_bit_identity() {
+    let config = ServeConfig {
+        workers: 2,
+        queue_capacity: 64,
+        max_batch: 16,
+        max_linger: Duration::from_millis(10),
+        engine_parallelism: 8,
+        task_parallelism: 1,
+        autoscale: true,
+        autoscale_interval: Duration::from_millis(15),
+        autoscale_min_dwell: Duration::from_millis(30),
+        autoscale_cooldown: Duration::from_millis(15),
+        autoscale_improvement: 0.05,
+        ..ServeConfig::default()
+    };
+    let service = SvdService::start(config.clone()).unwrap();
+
+    let shape = (16, 16);
+    let mut responses = Vec::new();
+    let mut matrices = Vec::new();
+    let deadline = Instant::now() + Duration::from_secs(30);
+    let mut salt = 0;
+    // Keep bursting until the controller has demonstrably swapped and
+    // we hold post-swap responses (or the generous deadline trips and
+    // the asserts below report what actually happened).
+    loop {
+        let wave: Vec<_> = (0..16u64)
+            .map(|i| well_conditioned(shape.0, shape.1, salt + i))
+            .collect();
+        let handles: Vec<_> = wave
+            .iter()
+            .map(|m| {
+                service
+                    .try_submit(m.clone())
+                    .expect("queue sized for the burst")
+            })
+            .collect();
+        for (handle, matrix) in handles.into_iter().zip(wave) {
+            responses.push(handle.wait().expect("burst request must complete"));
+            matrices.push(matrix);
+        }
+        salt += 16;
+        let m = service.metrics();
+        let swapped = m.plan_swaps >= 1;
+        let post_swap_seen = responses.iter().any(|r| r.latency.plan.generation >= 1);
+        if (swapped && post_swap_seen) || Instant::now() > deadline {
+            break;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    service.shutdown();
+
+    let m = service.metrics();
+    assert!(
+        m.plan_swaps >= 1,
+        "controller never swapped off the bad plan: {m:?}"
+    );
+    assert!(m.dse_runs >= 1);
+    assert!(m.current_plan.generation >= 1);
+    assert_ne!(
+        (
+            m.current_plan.engine_parallelism,
+            m.current_plan.task_parallelism
+        ),
+        (8, 1),
+        "swap must leave the seed plan"
+    );
+
+    // Drain-and-replace: responses span both the seed plan and at
+    // least one swapped-in plan...
+    let plans: HashSet<_> = responses
+        .iter()
+        .map(|r| {
+            (
+                r.latency.plan.engine_parallelism,
+                r.latency.plan.task_parallelism,
+                r.latency.plan.generation,
+            )
+        })
+        .collect();
+    assert!(
+        plans.len() >= 2,
+        "traffic never straddled a swap: {plans:?}"
+    );
+    assert!(responses.iter().any(|r| r.latency.plan.generation == 0));
+    assert!(responses.iter().any(|r| r.latency.plan.generation >= 1));
+
+    // ...and each one is bit-identical to a solo accelerator pinned at
+    // the plan it reports (one reference accelerator per distinct
+    // plan/shape; P_task and co-residency never touch the math).
+    let mut references = std::collections::HashMap::new();
+    for (response, matrix) in responses.iter().zip(&matrices) {
+        let plan = response.latency.plan;
+        let reference = references
+            .entry((plan.engine_parallelism, plan.task_parallelism))
+            .or_insert_with(|| {
+                let cfg = config
+                    .accelerator_config_at(shape, plan.engine_parallelism, plan.task_parallelism)
+                    .expect("a committed plan must build for the shapes it serves");
+                Accelerator::new(cfg).unwrap()
+            });
+        let expected = reference.run(matrix).unwrap();
+        let got = &response.output.result;
+        let want = &expected.result;
+        let got_bits: Vec<u32> = got.sigma.iter().map(|x| x.to_bits()).collect();
+        let want_bits: Vec<u32> = want.sigma.iter().map(|x| x.to_bits()).collect();
+        assert_eq!(
+            got_bits, want_bits,
+            "sigma diverged from plan {plan:?} reference"
+        );
+        assert_eq!(got.u.as_slice(), want.u.as_slice());
+        assert_eq!(got.sweeps, want.sweeps);
+    }
+}

@@ -13,6 +13,7 @@
 //! pre-subcommand invocations, `hsvd matrix.csv` is treated as
 //! `hsvd run matrix.csv`.
 
+use heterosvd_bench::workload::{bursty_trace, shifting_mix_phases};
 use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
 use heterosvd_repro::serve::{ClientId, ModelId, ServeConfig, ServeError, SvdService};
 use heterosvd_repro::svd_kernels::{io as matrix_io, Matrix};
@@ -114,6 +115,20 @@ fn usage() -> &'static str {
      \x20                   sub-arrays (default on). With the same --seed,\n\
      \x20                   on/off runs replay the identical trace for a\n\
      \x20                   packed-vs-sequential A/B\n\
+       --autoscale on|off  closed-loop online DSE: a controller thread\n\
+     \x20                   observes the served mix, re-runs the Eq. 15-16\n\
+     \x20                   sweep, and hot-swaps the plan with\n\
+     \x20                   drain-and-replace semantics (default off).\n\
+     \x20                   Factors stay bit-identical across swaps\n\
+       --trace bursty      replay the canonical shifting-mix bursty trace\n\
+     \x20                   (large-matrix singles, then deep small-matrix\n\
+     \x20                   bursts, then singles; same generator as\n\
+     \x20                   `repro -- dse`) instead of the Poisson stream;\n\
+     \x20                   ignores --requests/--rate, incompatible with\n\
+     \x20                   --shape/--apply-ratio/--update-ratio. With the\n\
+     \x20                   same --seed, --autoscale on/off runs replay\n\
+     \x20                   the identical trace for an adaptive-vs-static\n\
+     \x20                   A/B\n\
        --metrics-out FILE  write the end-of-run metrics report to FILE\n\
      \x20                   as JSON and to FILE with a .prom extension in\n\
      \x20                   Prometheus text format (counters, percentiles,\n\
@@ -306,6 +321,8 @@ struct BenchArgs {
     clients: usize,
     metrics_out: Option<String>,
     packing: bool,
+    autoscale: bool,
+    trace_bursty: bool,
 }
 
 /// Parses a `RxC` (or bare `N`, meaning NxN) shape argument.
@@ -345,6 +362,8 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
         clients: 4,
         metrics_out: None,
         packing: true,
+        autoscale: false,
+        trace_bursty: false,
     };
     while let Some(arg) = cursor.next() {
         match arg.as_str() {
@@ -377,6 +396,28 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
                     }
                 }
             }
+            "--autoscale" => {
+                args.autoscale = match cursor.value("--autoscale")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --autoscale: {other} (expected on|off)"
+                        ))
+                    }
+                }
+            }
+            "--trace" => {
+                args.trace_bursty = match cursor.value("--trace")?.as_str() {
+                    "bursty" => true,
+                    "poisson" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --trace: {other} (expected bursty|poisson)"
+                        ))
+                    }
+                }
+            }
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -403,6 +444,18 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
     }
     if args.rank == Some(0) {
         return Err("serve-bench needs --rank >= 1".to_string());
+    }
+    if args.trace_bursty {
+        if args.shape.is_some() {
+            return Err("--trace bursty carries its own shape mix; \
+                 incompatible with --shape"
+                .to_string());
+        }
+        if args.apply_ratio > 0.0 || args.update_ratio > 0.0 {
+            return Err("--trace bursty is decompose-only; incompatible \
+                 with --apply-ratio/--update-ratio"
+                .to_string());
+        }
     }
     if !(args.update_ratio.is_finite() && args.update_ratio >= 0.0) {
         return Err("serve-bench needs a finite --update-ratio >= 0".to_string());
@@ -440,6 +493,7 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         // sweep count to the paper's typical iteration budget.
         fixed_iterations: args.timing_only.then_some(6),
         array_packing: args.packing,
+        autoscale: args.autoscale,
         incremental: args.update_ratio > 0.0,
         ..ServeConfig::default()
     })
@@ -531,81 +585,108 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     // unchanged.
     let p_update = args.update_ratio / (1.0 + args.apply_ratio + args.update_ratio);
     let p_apply = args.apply_ratio / (args.apply_ratio + 1.0);
-    let workload: Vec<(Work, f64)> = (0..args.requests)
-        .map(|_| {
-            let work = if update_traffic && rng.gen_bool(p_update) {
-                let c = rng.gen_range(0..client_state.len());
-                let a = &mut client_state[c];
-                client_updates[c] += 1;
-                // Every 10th update per client shocks the matrix hard
-                // enough to exceed the staleness bound (full-recompute
-                // fallback); every 10th offset by 5 drifts it with a
-                // perturbation wider than the default rank-8 low-rank
-                // budget (warm start); the rest are ~2% rank-1 bumps
-                // the low-rank fast path absorbs.
-                let (rel, rank) = match client_updates[c] % 10 {
-                    0 => (0.5, 1),
-                    5 => (0.08, 12),
-                    _ => (0.02, 1),
-                };
-                for _ in 0..rank {
-                    let u: Vec<f64> = (0..a.rows()).map(|_| rng.gen_range(-1.0..1.0)).collect();
-                    let v: Vec<f64> = (0..a.cols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
-                    let u_norm = u.iter().map(|x| x * x).sum::<f64>().sqrt();
-                    let v_norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
-                    let scale = rel / rank as f64 * a.frobenius_norm()
-                        / (u_norm * v_norm).max(f64::MIN_POSITIVE);
-                    for col in 0..a.cols() {
-                        for row in 0..a.rows() {
-                            a[(row, col)] += scale * u[row] * v[col];
+    // `--trace bursty` replays the canonical shifting-mix trace shared
+    // with `repro -- dse` (absolute arrival offsets converted to gaps);
+    // otherwise the Poisson stream below draws `--requests` arrivals.
+    let workload: Vec<(Work, f64)> = if args.trace_bursty {
+        let events = bursty_trace(&shifting_mix_phases(false), args.seed);
+        let mut prev_ms = 0.0;
+        events
+            .iter()
+            .map(|e| {
+                let gap_secs = (e.at_ms - prev_ms) / 1e3;
+                prev_ms = e.at_ms;
+                let matrix = heterosvd_bench::workload::random_matrix(e.shape.0, e.shape.1, e.seed);
+                (Work::Decompose(matrix), gap_secs)
+            })
+            .collect()
+    } else {
+        (0..args.requests)
+            .map(|_| {
+                let work = if update_traffic && rng.gen_bool(p_update) {
+                    let c = rng.gen_range(0..client_state.len());
+                    let a = &mut client_state[c];
+                    client_updates[c] += 1;
+                    // Every 10th update per client shocks the matrix hard
+                    // enough to exceed the staleness bound (full-recompute
+                    // fallback); every 10th offset by 5 drifts it with a
+                    // perturbation wider than the default rank-8 low-rank
+                    // budget (warm start); the rest are ~2% rank-1 bumps
+                    // the low-rank fast path absorbs.
+                    let (rel, rank) = match client_updates[c] % 10 {
+                        0 => (0.5, 1),
+                        5 => (0.08, 12),
+                        _ => (0.02, 1),
+                    };
+                    for _ in 0..rank {
+                        let u: Vec<f64> = (0..a.rows()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                        let v: Vec<f64> = (0..a.cols()).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                        let u_norm = u.iter().map(|x| x * x).sum::<f64>().sqrt();
+                        let v_norm = v.iter().map(|x| x * x).sum::<f64>().sqrt();
+                        let scale = rel / rank as f64 * a.frobenius_norm()
+                            / (u_norm * v_norm).max(f64::MIN_POSITIVE);
+                        for col in 0..a.cols() {
+                            for row in 0..a.rows() {
+                                a[(row, col)] += scale * u[row] * v[col];
+                            }
                         }
                     }
-                }
-                Work::Update {
-                    client: ClientId(c as u64),
-                    matrix: a.clone(),
-                }
-            } else if mixed && rng.gen_bool(p_apply) {
-                let (model, cols) = published[rng.gen_range(0..published.len())];
-                let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
-                Work::Apply { model, x }
-            } else {
-                let (rows, cols) = shapes[rng.gen_range(0..shapes.len())];
-                Work::Decompose(random_matrix(&mut rng, rows, cols))
-            };
-            let u: f64 = rng.gen_range(1e-9..1.0);
-            let gap_secs = -u.ln() / args.rate;
-            (work, gap_secs)
-        })
-        .collect();
+                    Work::Update {
+                        client: ClientId(c as u64),
+                        matrix: a.clone(),
+                    }
+                } else if mixed && rng.gen_bool(p_apply) {
+                    let (model, cols) = published[rng.gen_range(0..published.len())];
+                    let x: Vec<f64> = (0..cols).map(|_| rng.gen_range(-1.0..1.0)).collect();
+                    Work::Apply { model, x }
+                } else {
+                    let (rows, cols) = shapes[rng.gen_range(0..shapes.len())];
+                    Work::Decompose(random_matrix(&mut rng, rows, cols))
+                };
+                let u: f64 = rng.gen_range(1e-9..1.0);
+                let gap_secs = -u.ln() / args.rate;
+                (work, gap_secs)
+            })
+            .collect()
+    };
 
-    println!(
-        "serve-bench: {} requests, {} workers, seed {}, ~{:.0} req/s open-loop{}",
-        args.requests,
-        args.workers,
-        args.seed,
-        args.rate,
-        match (mixed, update_traffic) {
-            (true, true) => format!(
-                " (mixed, {} applies + {} updates per decompose, {} models, {} clients)",
-                args.apply_ratio,
-                args.update_ratio,
-                published.len(),
-                client_state.len()
-            ),
-            (true, false) => format!(
-                " (mixed, {} applies per decompose over {} models)",
-                args.apply_ratio,
-                published.len()
-            ),
-            (false, true) => format!(
-                " ({} updates per decompose over {} clients)",
-                args.update_ratio,
-                client_state.len()
-            ),
-            (false, false) => String::new(),
-        }
-    );
+    if args.trace_bursty {
+        println!(
+            "serve-bench: {} requests from the shifting-mix bursty trace, {} workers, seed {}, autoscale {}",
+            workload.len(),
+            args.workers,
+            args.seed,
+            if args.autoscale { "on" } else { "off" },
+        );
+    } else {
+        println!(
+            "serve-bench: {} requests, {} workers, seed {}, ~{:.0} req/s open-loop{}",
+            args.requests,
+            args.workers,
+            args.seed,
+            args.rate,
+            match (mixed, update_traffic) {
+                (true, true) => format!(
+                    " (mixed, {} applies + {} updates per decompose, {} models, {} clients)",
+                    args.apply_ratio,
+                    args.update_ratio,
+                    published.len(),
+                    client_state.len()
+                ),
+                (true, false) => format!(
+                    " (mixed, {} applies per decompose over {} models)",
+                    args.apply_ratio,
+                    published.len()
+                ),
+                (false, true) => format!(
+                    " ({} updates per decompose over {} clients)",
+                    args.update_ratio,
+                    client_state.len()
+                ),
+                (false, false) => String::new(),
+            }
+        );
+    }
 
     enum BenchHandle {
         Decompose(heterosvd_repro::serve::RequestHandle),
@@ -701,6 +782,16 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         m.packed_batches,
         m.packed_requests
     );
+    if args.autoscale {
+        println!(
+            "autoscale on | plan swaps {} | dse runs {} | final plan P_eng={} P_task={} generation {}",
+            m.plan_swaps,
+            m.dse_runs,
+            m.current_plan.engine_parallelism,
+            m.current_plan.task_parallelism,
+            m.current_plan.generation
+        );
+    }
     println!(
         "wall time {:.1} ms | throughput {:.0} req/s",
         wall.as_secs_f64() * 1e3,
@@ -937,6 +1028,34 @@ mod tests {
         let err = bench(&["--packing", "maybe"]).unwrap_err();
         assert!(err.contains("invalid value for --packing"), "{err}");
         assert!(!err.contains('\n'), "multi-line error: {err}");
+    }
+
+    #[test]
+    fn autoscale_flag_parses_and_defaults_off() {
+        assert!(!bench(&[]).unwrap().autoscale, "autoscale defaults off");
+        assert!(bench(&["--autoscale", "on"]).unwrap().autoscale);
+        assert!(!bench(&["--autoscale", "off"]).unwrap().autoscale);
+        let err = bench(&["--autoscale", "maybe"]).unwrap_err();
+        assert!(err.contains("invalid value for --autoscale"), "{err}");
+        assert!(!err.contains('\n'), "multi-line error: {err}");
+    }
+
+    #[test]
+    fn trace_flag_parses_and_rejects_conflicts() {
+        assert!(!bench(&[]).unwrap().trace_bursty, "trace defaults poisson");
+        assert!(bench(&["--trace", "bursty"]).unwrap().trace_bursty);
+        assert!(!bench(&["--trace", "poisson"]).unwrap().trace_bursty);
+        let err = bench(&["--trace", "diurnal"]).unwrap_err();
+        assert!(err.contains("invalid value for --trace"), "{err}");
+        for conflict in [
+            vec!["--trace", "bursty", "--shape", "64x64"],
+            vec!["--trace", "bursty", "--apply-ratio", "4"],
+            vec!["--trace", "bursty", "--update-ratio", "2"],
+        ] {
+            let err = bench(&conflict).expect_err(&conflict.join(" "));
+            assert!(err.contains("--trace bursty"), "{err}");
+            assert!(!err.contains('\n'), "multi-line error: {err}");
+        }
     }
 
     #[test]
