@@ -515,7 +515,7 @@ fn run_adaptive(quick: bool) {
 fn run_serve(quick: bool) {
     println!("\n=== Serving path: requests/sec, baseline vs optimized (256x256, P_eng=4, timing-only, 6 iterations) ===");
     let requests = if quick { 32 } else { 128 };
-    let report = match serve::run(256, 4, 4, 8, 6, requests) {
+    let mut report = match serve::run(256, 4, 4, 8, 6, requests) {
         Ok(report) => report,
         Err(e) => {
             eprintln!("serve failed: {e}");
@@ -562,6 +562,51 @@ fn run_serve(quick: bool) {
         "throughput speedup vs baseline: {:.2}x (batch {}, {} iterations/request)",
         report.speedup, report.max_batch, report.iterations
     );
+
+    // Shape-classed scheduler A/B: the identical 95:5 two-shape bursty
+    // trace through shape-blind FIFO and through the EDF shape-classed
+    // scheduler, gated on the rare class's tail, the dominant class's
+    // retained throughput, and factor bit-identity.
+    println!("\n=== Multi-shape SLO scheduling: FIFO vs shape-classed (95:5 bursty trace) ===");
+    let multishape = match serve::run_multishape(quick, 42) {
+        Ok(ms) => ms,
+        Err(e) => {
+            eprintln!("multishape serve failed: {e}");
+            std::process::exit(1);
+        }
+    };
+    println!(
+        "{:>10} | {:>9} {:>9} | {:>14} {:>14} | {:>12} | {:>6} {:>7}",
+        "scheduler",
+        "dominant",
+        "rare",
+        "dom p99(us)",
+        "rare p99(us)",
+        "dom req/s",
+        "shed",
+        "stolen"
+    );
+    for row in &multishape.rows {
+        println!(
+            "{:>10} | {:>9} {:>9} | {:>14} {:>14} | {:>12.1} | {:>6} {:>7}",
+            row.scheduler,
+            row.dominant_completed,
+            row.rare_completed,
+            row.dominant_p99_wall_us,
+            row.rare_p99_wall_us,
+            row.dominant_rps,
+            row.shed,
+            row.batches_stolen
+        );
+    }
+    println!(
+        "rare-class p99 improvement: {:.2}x | dominant throughput retained: {:.3} | factors bit-identical: {}",
+        multishape.rare_p99_improvement,
+        multishape.dominant_throughput_ratio,
+        multishape.factors_bit_identical
+    );
+    let multishape_violations = multishape.gate_violations.clone();
+    report.multishape = Some(multishape);
     persist("serve", &report);
 
     // The emitter proper: BENCH_serve.json at the repo root seeds the
@@ -581,6 +626,16 @@ fn run_serve(quick: bool) {
             eprintln!("cannot serialize serve report: {e}");
             std::process::exit(1);
         }
+    }
+
+    // Self-gate: the classed scheduler must actually buy the rare class
+    // its tail without giving up the dominant class's throughput, and
+    // scheduling must never touch the math.
+    if !multishape_violations.is_empty() {
+        for v in &multishape_violations {
+            eprintln!("multishape gate violated: {v}");
+        }
+        std::process::exit(1);
     }
 }
 

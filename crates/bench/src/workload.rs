@@ -148,6 +148,45 @@ pub fn shifting_mix_phases(quick: bool) -> Vec<TracePhase> {
     vec![single_phase, burst_phase, single_phase]
 }
 
+/// The dominant-shape phase plan of the 95:5 multi-shape trace: deep
+/// bursts of small matrices that pile a backlog onto the batcher.
+pub fn multishape_dominant_phases(quick: bool) -> Vec<TracePhase> {
+    vec![TracePhase {
+        shape: (32, 32),
+        burst: 16,
+        bursts: if quick { 12 } else { 30 },
+        mean_gap_ms: 10.0,
+    }]
+}
+
+/// The rare-shape phase plan of the multi-shape trace: sparse larger
+/// singles whose SLO a shape-blind FIFO starves behind the dominant
+/// backlog.
+pub fn multishape_rare_phases(quick: bool) -> Vec<TracePhase> {
+    vec![TracePhase {
+        shape: (64, 64),
+        burst: 1,
+        bursts: if quick { 8 } else { 16 },
+        mean_gap_ms: if quick { 12.0 } else { 15.0 },
+    }]
+}
+
+/// A seeded two-shape bursty trace at a ~95:5 dominant:rare mix, used
+/// by `repro -- serve` and `hsvd serve-bench --trace multishape` to A/B
+/// the shape-classed scheduler against shape-blind FIFO on an
+/// *identical* request stream. Two independently-generated Poisson
+/// streams (the rare stream re-seeded with a golden-ratio offset so
+/// matrix seeds stay distinct) are merged by arrival time.
+pub fn multishape_trace(quick: bool, seed: u64) -> Vec<TraceEvent> {
+    let mut events = bursty_trace(&multishape_dominant_phases(quick), seed);
+    events.extend(bursty_trace(
+        &multishape_rare_phases(quick),
+        seed ^ 0x9e37_79b9_7f4a_7c15,
+    ));
+    events.sort_by(|a, b| a.at_ms.total_cmp(&b.at_ms));
+    events
+}
+
 /// The stationary counterpart: one phase of the same deep small-matrix
 /// bursts, against which a correctly-hysteresized controller must
 /// never swap.
@@ -202,6 +241,25 @@ mod tests {
         // The mix actually shifts: both shapes appear.
         assert!(a.iter().any(|e| e.shape == (128, 128)));
         assert!(a.iter().any(|e| e.shape == (32, 32)));
+    }
+
+    #[test]
+    fn multishape_trace_mixes_two_shapes_deterministically() {
+        let a = multishape_trace(true, 42);
+        let b = multishape_trace(true, 42);
+        assert_eq!(a, b, "same seed must replay the identical trace");
+        assert!(a.windows(2).all(|w| w[0].at_ms <= w[1].at_ms));
+        let dominant = a.iter().filter(|e| e.shape == (32, 32)).count();
+        let rare = a.iter().filter(|e| e.shape == (64, 64)).count();
+        assert_eq!(dominant + rare, a.len(), "only the two planned shapes");
+        assert!(rare >= 4, "rare class must appear");
+        assert!(
+            dominant >= rare * 10,
+            "dominant must dwarf rare ({dominant} vs {rare})"
+        );
+        // Matrix seeds stay distinct across the merged streams.
+        let seeds: std::collections::HashSet<u64> = a.iter().map(|e| e.seed).collect();
+        assert_eq!(seeds.len(), a.len());
     }
 
     #[test]

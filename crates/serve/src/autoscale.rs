@@ -149,11 +149,26 @@ impl Controller {
             }
             let fill_sum = delta(|t| t.batch_fill_sum);
             let fill_count = delta(|t| t.batch_fill_count);
-            let batch_fill = if fill_count == 0 {
+            let mut batch_fill = if fill_count == 0 {
                 1.0
             } else {
                 (fill_sum as f64 / fill_count as f64).max(1.0)
             };
+            // Shape-classed scheduling makes batch size a policy output,
+            // not just an arrival artifact: the per-class batcher fills
+            // PLIO-critical shapes to the packed-stripe capacity. Plan
+            // for that steady state rather than the startup transient —
+            // floor the observed fill at the stripe capacity the current
+            // plan could co-schedule (capped by the configured batch).
+            if inner.config.shape_classed && inner.config.array_packing {
+                let p_eng = inner.live_plan.lock().engine_parallelism;
+                let capacity = inner
+                    .config
+                    .packed_tenants_at((rows, cols), usize::MAX, p_eng);
+                if capacity >= 2 {
+                    batch_fill = batch_fill.max(capacity.min(inner.config.max_batch) as f64);
+                }
+            }
             shapes.push(ObservedShape {
                 rows,
                 cols,

@@ -93,6 +93,43 @@ pub(crate) fn form_batch(
         }
     }
 
+    finish_batch(key, entries, config, metrics)
+}
+
+/// Shared batch-formation tail (FIFO and shape-classed paths): the
+/// dispatch-time deadline re-filter, the observability spans, and the
+/// final outcome.
+///
+/// The re-filter matters: a deadline can expire *during* the linger
+/// (the seed is only checked at pickup). Such a request must not ride
+/// the formed batch to a replica — it would be executed for nothing and
+/// miscounted as an exec-side timeout when the replica finally notices.
+/// Dropping it here keeps the batcher/exec timeout split honest: the
+/// request never left the batcher in time.
+pub(crate) fn finish_batch(
+    key: BatchKey,
+    mut entries: Vec<BatchEntry>,
+    config: &ServeConfig,
+    metrics: &Metrics,
+) -> FormOutcome {
+    entries.retain(|entry| {
+        if entry.request.deadline_elapsed(Instant::now()) {
+            if entry
+                .request
+                .state
+                .complete(Err(ServeError::DeadlineExceeded))
+            {
+                metrics.record_timed_out_batcher(entry.request.request_type());
+            }
+            false
+        } else {
+            true
+        }
+    });
+    if entries.is_empty() {
+        return FormOutcome::Idle;
+    }
+
     if config.observability {
         let journal = heterosvd::obs::global();
         for entry in &entries {
@@ -121,10 +158,13 @@ pub(crate) fn form_batch(
 
 /// Filters one request at pickup: completes it with its terminal error
 /// if it was cancelled or its deadline elapsed, otherwise passes it on.
-fn admit_or_complete(request: PendingRequest, metrics: &Metrics) -> Option<PendingRequest> {
+pub(crate) fn admit_or_complete(
+    request: PendingRequest,
+    metrics: &Metrics,
+) -> Option<PendingRequest> {
     if request.state.is_cancelled() {
         if request.state.complete(Err(ServeError::Cancelled)) {
-            metrics.record_cancelled();
+            metrics.record_cancelled(request.request_type());
         }
         return None;
     }
@@ -140,7 +180,7 @@ fn admit_or_complete(request: PendingRequest, metrics: &Metrics) -> Option<Pendi
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::request::{Payload, RequestId, RequestState, RequestType};
+    use crate::request::{Payload, RequestId, RequestState, RequestType, SloClass};
     use factor_store::{FactorMeta, ModelId, PublishedFactors};
     use std::sync::atomic::Ordering;
     use std::sync::Arc;
@@ -157,6 +197,7 @@ mod tests {
             state: RequestState::new(),
             submitted_at: Instant::now(),
             deadline: None,
+            class: SloClass::Standard,
             poison: false,
         }
     }
@@ -196,6 +237,7 @@ mod tests {
             state: RequestState::new(),
             submitted_at: Instant::now(),
             deadline: None,
+            class: SloClass::Standard,
             poison: false,
         }
     }
@@ -320,6 +362,33 @@ mod tests {
         let snapshot = metrics.snapshot(0, 0);
         assert_eq!(snapshot.per_type.decompose.timed_out_at_batcher, 1);
         assert_eq!(snapshot.per_type.apply.timed_out_at_batcher, 0);
+    }
+
+    /// Regression test: a request whose deadline expires *during* the
+    /// linger used to ride the formed batch to a replica anyway (the
+    /// deadline is only checked at pickup), where it burned a batch slot
+    /// and was miscounted as an exec-side timeout. The dispatch-time
+    /// re-filter must drop it batcher-side — here it is the only entry,
+    /// so the whole batch dissolves into `Idle`.
+    #[test]
+    fn deadline_expiring_during_linger_is_dropped_before_dispatch() {
+        let queue = BoundedQueue::new(8);
+        let metrics = Metrics::new();
+        let mut seed = pending(1, (8, 8));
+        seed.deadline = Some(Instant::now() + Duration::from_millis(50));
+        let state = Arc::clone(&seed.state);
+        queue.try_push(seed).unwrap();
+        // The seed is live at pickup, but the 300 ms linger outlives its
+        // 50 ms deadline and nothing else arrives to fill the batch.
+        let out = form_batch(&queue, &config(4, Duration::from_millis(300)), &metrics);
+        assert!(
+            matches!(out, FormOutcome::Idle),
+            "expired entry must not form a batch"
+        );
+        assert_eq!(metrics.timed_out_batcher.load(Ordering::Relaxed), 1);
+        assert_eq!(metrics.timed_out_exec.load(Ordering::Relaxed), 0);
+        // The request was completed with the timeout by the batcher.
+        assert!(!state.complete(Err(ServeError::DeadlineExceeded)));
     }
 
     #[test]

@@ -134,6 +134,22 @@ pub struct ServeConfig {
     /// objective by this relative fraction (e.g. `0.1` = 10%) to trigger
     /// a swap.
     pub autoscale_improvement: f64,
+    /// Whether admission routes into per-(shape, [`crate::SloClass`])
+    /// sub-queues with earliest-effective-deadline batch seeding, EDF
+    /// eviction under a full queue, per-class batch/linger policy,
+    /// work-stealing dispatch sub-pools, and windowed load shedding.
+    /// Off (the default), admission is the original shape-blind FIFO
+    /// queue and the scheduler is never built. Factor outputs are
+    /// bit-identical either way — the scheduler only reorders *when*
+    /// requests execute, never what they compute.
+    pub shape_classed: bool,
+    /// Load-shedding trigger: when the windowed fraction of admitted
+    /// requests that time out (batcher- plus exec-side) exceeds this,
+    /// the service sheds Batch-class traffic with
+    /// [`ServeError::Overloaded`]; past twice this, Standard sheds too.
+    /// The level decays once the fraction falls below half the
+    /// threshold. Only consulted with `shape_classed` on.
+    pub shed_threshold: f64,
 }
 
 impl Default for ServeConfig {
@@ -167,6 +183,8 @@ impl Default for ServeConfig {
             autoscale_min_dwell: Duration::from_secs(1),
             autoscale_cooldown: Duration::from_millis(250),
             autoscale_improvement: 0.10,
+            shape_classed: false,
+            shed_threshold: 0.3,
         }
     }
 }
@@ -248,6 +266,15 @@ impl ServeConfig {
                     "max_update_rank must be >= 1".into(),
                 ));
             }
+        }
+        if self.shape_classed
+            && (!self.shed_threshold.is_finite()
+                || self.shed_threshold <= 0.0
+                || self.shed_threshold > 1.0)
+        {
+            return Err(ServeError::InvalidRequest(
+                "shed_threshold must be finite and in (0, 1]".into(),
+            ));
         }
         if self.autoscale {
             if self.autoscale_interval.is_zero() {
@@ -526,6 +553,23 @@ mod tests {
         c.autoscale = false;
         c.autoscale_interval = Duration::ZERO;
         c.validate().unwrap();
+    }
+
+    #[test]
+    fn shape_classed_knob_invariants() {
+        let mut c = ServeConfig {
+            shape_classed: true,
+            ..ServeConfig::default()
+        };
+        c.validate().unwrap();
+        for bad in [f64::NAN, f64::INFINITY, 0.0, -0.1, 1.5] {
+            c.shed_threshold = bad;
+            assert!(c.validate().is_err(), "accepted shed_threshold {bad}");
+            // The bound is vacuous with the scheduler off.
+            c.shape_classed = false;
+            c.validate().unwrap();
+            c.shape_classed = true;
+        }
     }
 
     #[test]

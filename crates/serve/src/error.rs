@@ -16,6 +16,11 @@ pub enum ServeError {
     },
     /// The service is draining and no longer admits requests.
     ShuttingDown,
+    /// The request was shed by the overload policy: either its SLO
+    /// class is currently load-shed, or it was evicted from a full
+    /// queue to admit a more urgent request. Retry later or at a
+    /// higher class.
+    Overloaded,
     /// The request's deadline elapsed before execution started.
     DeadlineExceeded,
     /// The request was cancelled by its submitter.
@@ -37,6 +42,9 @@ impl fmt::Display for ServeError {
                 write!(f, "admission queue full (capacity {capacity})")
             }
             ServeError::ShuttingDown => write!(f, "service is shutting down"),
+            ServeError::Overloaded => {
+                write!(f, "request shed by overload policy; retry later")
+            }
             ServeError::DeadlineExceeded => write!(f, "deadline exceeded before execution"),
             ServeError::Cancelled => write!(f, "request cancelled"),
             ServeError::InvalidRequest(msg) => write!(f, "invalid request: {msg}"),
@@ -81,6 +89,7 @@ mod tests {
             .to_string()
             .contains("deadline"));
         assert!(ServeError::Cancelled.to_string().contains("cancelled"));
+        assert!(ServeError::Overloaded.to_string().contains("shed"));
     }
 
     #[test]

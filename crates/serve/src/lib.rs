@@ -26,6 +26,15 @@
 //!   [`heterosvd::Accelerator::run_many`]; every request in a batch of
 //!   size `B` is charged the Eq. (14) system time `⌈B / P_task⌉ · t_task`
 //!   (see [`LatencyRecord::sim_exec_ps`]).
+//! * **Shape-classed SLO scheduling** — with
+//!   [`ServeConfig::shape_classed`] on, admission routes into per
+//!   (shape, [`SloClass`]) sub-queues ordered by effective deadline:
+//!   batch formation seeds from the earliest-deadline class (EDF)
+//!   instead of strict FIFO, a full queue evicts the latest-deadline
+//!   lower-priority request to admit a more urgent one, replicas
+//!   work-steal batches across sub-pools, and a windowed
+//!   timeout-fraction load shedder sheds Batch (then Standard) traffic
+//!   with [`ServeError::Overloaded`] before the queue collapses.
 //! * **Lifecycle** — per-request deadlines, cancellation, worker-panic
 //!   containment (the poisoned replica is retired and replaced), and
 //!   drain-on-shutdown.
@@ -89,17 +98,19 @@ mod metrics;
 pub mod queue;
 mod report;
 mod request;
+mod scheduler;
 mod service;
 
 pub use config::ServeConfig;
 pub use error::ServeError;
 pub use metrics::{
-    MetricsSnapshot, PerTypeBreakdown, Percentiles, PlanSnapshot, ShapeSnapshot, TypeSnapshot,
+    ClassSnapshot, MetricsSnapshot, PerClassBreakdown, PerTypeBreakdown, Percentiles, PlanSnapshot,
+    ShapeSnapshot, TypeSnapshot,
 };
 pub use report::{CacheReport, MetricsReport, ShapeUtilization};
 pub use request::{
     ApplyHandle, ApplyResponse, LatencyRecord, PlanInfo, PublishSpec, RequestHandle, RequestId,
-    RequestType, SubmitOptions, SvdResponse, UpdateHandle, UpdateResponse,
+    RequestType, SloClass, SubmitOptions, SvdResponse, UpdateHandle, UpdateResponse,
 };
 pub use service::SvdService;
 

@@ -1,6 +1,6 @@
 //! Service observability: counters, gauges, latency percentiles.
 
-use crate::request::{LatencyRecord, RequestType};
+use crate::request::{LatencyRecord, RequestType, SloClass};
 use parking_lot::Mutex;
 use serde::Serialize;
 use std::collections::BTreeMap;
@@ -14,6 +14,9 @@ const MAX_SAMPLES: usize = 65_536;
 /// Cap on retained per-shape execution samples (each observed shape
 /// keeps its own bounded window).
 const MAX_SHAPE_SAMPLES: usize = 4_096;
+
+/// Cap on retained per-SLO-class wall-latency samples.
+const MAX_CLASS_SAMPLES: usize = 16_384;
 
 /// Live metric state shared by the service threads.
 pub(crate) struct Metrics {
@@ -61,10 +64,19 @@ pub(crate) struct Metrics {
     pub(crate) plan_task_parallelism: AtomicU64,
     /// Monotonic plan generation; bumped once per committed swap.
     pub(crate) plan_generation: AtomicU64,
+    /// Batches a replica popped from another sub-pool's dispatch queue
+    /// (shape-classed work stealing).
+    pub(crate) batches_stolen: AtomicU64,
+    /// Current load-shed tier: 0 = none, 1 = Batch class shed,
+    /// 2 = Batch + Standard shed. A gauge, written by the batcher's
+    /// overload policy.
+    pub(crate) shed_level: AtomicU64,
     /// Per-request-type counter split, indexed by
     /// [`RequestType::index`]; the aggregates above stay authoritative
     /// for mixed totals.
     per_type: [TypeMetrics; 3],
+    /// Per-SLO-class slice, indexed by [`SloClass::index`].
+    per_class: [ClassMetrics; 3],
     /// Per-matrix-shape slice: completions by type, batch fill, and a
     /// bounded execution-sample window per observed (rows, cols). Fed
     /// by shape-bearing completions (decompose/update); apply traffic
@@ -111,6 +123,7 @@ impl WindowState {
 struct TypeMetrics {
     submitted: AtomicU64,
     completed_ok: AtomicU64,
+    cancelled: AtomicU64,
     timed_out_batcher: AtomicU64,
     timed_out_exec: AtomicU64,
     window: Mutex<WindowState>,
@@ -121,9 +134,33 @@ impl TypeMetrics {
         TypeMetrics {
             submitted: AtomicU64::new(0),
             completed_ok: AtomicU64::new(0),
+            cancelled: AtomicU64::new(0),
             timed_out_batcher: AtomicU64::new(0),
             timed_out_exec: AtomicU64::new(0),
             window: Mutex::new(WindowState::new()),
+        }
+    }
+}
+
+/// Per-SLO-class slice: admission/completion/shed counters plus a
+/// bounded window of end-to-end wall latencies, so per-class p99s are
+/// reportable (the scheduler's whole point is the rare class's tail).
+struct ClassMetrics {
+    submitted: AtomicU64,
+    completed_ok: AtomicU64,
+    /// Requests of this class rejected or evicted by the overload
+    /// policy (completed with `ServeError::Overloaded`).
+    shed: AtomicU64,
+    wall_samples: Mutex<Vec<u64>>,
+}
+
+impl ClassMetrics {
+    fn new() -> Self {
+        ClassMetrics {
+            submitted: AtomicU64::new(0),
+            completed_ok: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            wall_samples: Mutex::new(Vec::new()),
         }
     }
 }
@@ -199,7 +236,14 @@ impl Metrics {
             plan_engine_parallelism: AtomicU64::new(0),
             plan_task_parallelism: AtomicU64::new(0),
             plan_generation: AtomicU64::new(0),
+            batches_stolen: AtomicU64::new(0),
+            shed_level: AtomicU64::new(0),
             per_type: [TypeMetrics::new(), TypeMetrics::new(), TypeMetrics::new()],
+            per_class: [
+                ClassMetrics::new(),
+                ClassMetrics::new(),
+                ClassMetrics::new(),
+            ],
             shapes: Mutex::new(BTreeMap::new()),
             samples: Mutex::new(Vec::new()),
             window: Mutex::new(WindowState::new()),
@@ -210,14 +254,41 @@ impl Metrics {
         &self.per_type[rtype.index()]
     }
 
-    pub(crate) fn record_submitted(&self, rtype: RequestType) {
-        self.submitted.fetch_add(1, Ordering::Relaxed);
-        self.of(rtype).submitted.fetch_add(1, Ordering::Relaxed);
+    fn of_class(&self, class: SloClass) -> &ClassMetrics {
+        &self.per_class[class.index()]
     }
 
-    pub(crate) fn record_completed(&self, rtype: RequestType) {
+    pub(crate) fn record_submitted(&self, rtype: RequestType, class: SloClass) {
+        self.submitted.fetch_add(1, Ordering::Relaxed);
+        self.of(rtype).submitted.fetch_add(1, Ordering::Relaxed);
+        self.of_class(class)
+            .submitted
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_completed(&self, rtype: RequestType, class: SloClass) {
         self.completed_ok.fetch_add(1, Ordering::Relaxed);
         self.of(rtype).completed_ok.fetch_add(1, Ordering::Relaxed);
+        self.of_class(class)
+            .completed_ok
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request shed (rejected or evicted) by the overload
+    /// policy, attributed to its SLO class.
+    pub(crate) fn record_shed(&self, class: SloClass) {
+        self.of_class(class).shed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a batch a replica stole from another sub-pool.
+    pub(crate) fn record_batch_stolen(&self) {
+        self.batches_stolen.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Publishes the current load-shed tier (0 = none, 1 = Batch,
+    /// 2 = Batch + Standard).
+    pub(crate) fn set_shed_level(&self, level: u64) {
+        self.shed_level.store(level, Ordering::Relaxed);
     }
 
     /// Records one packed wave covering `requests` co-scheduled requests.
@@ -238,8 +309,12 @@ impl Metrics {
         self.staleness_fallbacks.fetch_add(1, Ordering::Relaxed);
     }
 
-    pub(crate) fn record_cancelled(&self) {
+    /// Records a cancellation, split per request type like the timeout
+    /// counters (the aggregate alone cannot attribute per-class
+    /// shedding to the traffic it hits).
+    pub(crate) fn record_cancelled(&self, rtype: RequestType) {
         self.cancelled.fetch_add(1, Ordering::Relaxed);
+        self.of(rtype).cancelled.fetch_add(1, Ordering::Relaxed);
     }
 
     pub(crate) fn record_timed_out_batcher(&self, rtype: RequestType) {
@@ -285,7 +360,16 @@ impl Metrics {
         rec: &LatencyRecord,
         rtype: RequestType,
         shape: Option<(usize, usize)>,
+        class: SloClass,
     ) {
+        {
+            let mut walls = self.of_class(class).wall_samples.lock();
+            if walls.len() >= MAX_CLASS_SAMPLES {
+                let keep = walls.split_off(MAX_CLASS_SAMPLES / 2);
+                *walls = keep;
+            }
+            walls.push(rec.wall_total.as_micros() as u64);
+        }
         if let Some(shape) = shape {
             let mut shapes = self.shapes.lock();
             let entry = shapes.entry(shape).or_insert_with(ShapeEntry::new);
@@ -347,11 +431,23 @@ impl Metrics {
         TypeSnapshot {
             submitted: tm.submitted.load(Ordering::Relaxed),
             completed_ok: completed,
+            cancelled: tm.cancelled.load(Ordering::Relaxed),
             timed_out_at_batcher: tm.timed_out_batcher.load(Ordering::Relaxed),
             timed_out_at_exec: tm.timed_out_exec.load(Ordering::Relaxed),
             throughput_rps_window: window_rate,
             queue_wait_us: Percentiles::from_samples(&mut queue_wait),
             sim_exec_ps: Percentiles::from_samples(&mut exec),
+        }
+    }
+
+    fn class_snapshot(&self, class: SloClass) -> ClassSnapshot {
+        let cm = self.of_class(class);
+        let mut walls = cm.wall_samples.lock().clone();
+        ClassSnapshot {
+            submitted: cm.submitted.load(Ordering::Relaxed),
+            completed_ok: cm.completed_ok.load(Ordering::Relaxed),
+            shed: cm.shed.load(Ordering::Relaxed),
+            wall_us: Percentiles::from_samples(&mut walls),
         }
     }
 
@@ -401,6 +497,11 @@ impl Metrics {
         } else {
             samples.iter().map(|s| s.batch_size as f64).sum::<f64>() / samples.len() as f64
         };
+        let shed_total: u64 = self
+            .per_class
+            .iter()
+            .map(|cm| cm.shed.load(Ordering::Relaxed))
+            .sum();
         MetricsSnapshot {
             submitted: self.submitted.load(Ordering::Relaxed),
             rejected_queue_full: self.rejected_full.load(Ordering::Relaxed),
@@ -408,6 +509,7 @@ impl Metrics {
             completed_ok: completed,
             failed: self.failed.load(Ordering::Relaxed),
             cancelled: self.cancelled.load(Ordering::Relaxed),
+            shed: shed_total,
             timed_out: timed_out_batcher + timed_out_exec,
             timed_out_at_batcher: timed_out_batcher,
             timed_out_at_exec: timed_out_exec,
@@ -415,6 +517,8 @@ impl Metrics {
             replicas_spawned: self.replicas_spawned.load(Ordering::Relaxed),
             replicas_live: replicas_live as u64,
             batches_dispatched: self.batches_dispatched.load(Ordering::Relaxed),
+            batches_stolen: self.batches_stolen.load(Ordering::Relaxed),
+            shed_level: self.shed_level.load(Ordering::Relaxed),
             packed_batches: self.packed_batches.load(Ordering::Relaxed),
             packed_requests: self.packed_requests.load(Ordering::Relaxed),
             warm_start_hits: self.warm_start_hits.load(Ordering::Relaxed),
@@ -435,6 +539,11 @@ impl Metrics {
                 decompose: self.type_snapshot(RequestType::Decompose, &samples),
                 apply: self.type_snapshot(RequestType::Apply, &samples),
                 update: self.type_snapshot(RequestType::Update, &samples),
+            },
+            per_class: PerClassBreakdown {
+                interactive: self.class_snapshot(SloClass::Interactive),
+                standard: self.class_snapshot(SloClass::Standard),
+                batch: self.class_snapshot(SloClass::Batch),
             },
             per_shape: self.shape_snapshots(),
             plan_swaps: self.plan_swaps.load(Ordering::Relaxed),
@@ -496,6 +605,10 @@ pub struct TypeSnapshot {
     pub submitted: u64,
     /// Requests of this type completed successfully.
     pub completed_ok: u64,
+    /// Requests of this type cancelled before execution. (The aggregate
+    /// `cancelled` counter alone cannot attribute cancellations to the
+    /// traffic they hit.)
+    pub cancelled: u64,
     /// Deadline expiries of this type caught at batch formation.
     pub timed_out_at_batcher: u64,
     /// Deadline expiries of this type caught at replica-exec start.
@@ -548,6 +661,36 @@ pub struct PlanSnapshot {
     pub generation: u64,
 }
 
+/// Per-SLO-class slice of a [`MetricsSnapshot`]: admission, completion,
+/// and shed counters plus end-to-end wall-latency percentiles. The
+/// shape-classed scheduler's acceptance gate reads the rare class's
+/// `wall_us.p99` from here.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct ClassSnapshot {
+    /// Requests of this class admitted past the queue bound check.
+    pub submitted: u64,
+    /// Requests of this class completed successfully.
+    pub completed_ok: u64,
+    /// Requests of this class shed by the overload policy (rejected at
+    /// admission or evicted from a full queue; both complete with
+    /// `ServeError::Overloaded`).
+    pub shed: u64,
+    /// End-to-end wall-latency percentiles of this class (microseconds,
+    /// submit to completion).
+    pub wall_us: Percentiles,
+}
+
+/// The per-SLO-class split carried by every [`MetricsSnapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Serialize)]
+pub struct PerClassBreakdown {
+    /// Interactive (tightest-horizon) traffic.
+    pub interactive: ClassSnapshot,
+    /// Standard (default) traffic.
+    pub standard: ClassSnapshot,
+    /// Batch (throughput-oriented, first shed) traffic.
+    pub batch: ClassSnapshot,
+}
+
 /// The per-type split carried by every [`MetricsSnapshot`].
 #[derive(Debug, Clone, Copy, PartialEq, Serialize)]
 pub struct PerTypeBreakdown {
@@ -576,6 +719,9 @@ pub struct MetricsSnapshot {
     pub failed: u64,
     /// Requests cancelled before execution.
     pub cancelled: u64,
+    /// Requests shed by the overload policy across all classes (sum of
+    /// the per-class `shed` counters).
+    pub shed: u64,
     /// Requests whose deadline elapsed before execution (both drop
     /// points combined).
     pub timed_out: u64,
@@ -592,6 +738,12 @@ pub struct MetricsSnapshot {
     pub replicas_live: u64,
     /// Batches handed to replicas.
     pub batches_dispatched: u64,
+    /// Batches a replica popped from another sub-pool's dispatch queue
+    /// (shape-classed work stealing; zero in FIFO mode).
+    pub batches_stolen: u64,
+    /// Current load-shed tier: 0 = none, 1 = Batch class shed,
+    /// 2 = Batch + Standard shed.
+    pub shed_level: u64,
     /// Batches executed as packed waves (>= 2 co-resident tenants).
     pub packed_batches: u64,
     /// Requests served inside packed waves.
@@ -623,6 +775,9 @@ pub struct MetricsSnapshot {
     /// The same counters split by request type, so apply traffic (orders
     /// of magnitude cheaper) does not mask decompose regressions.
     pub per_type: PerTypeBreakdown,
+    /// The counters and wall-latency tails split by SLO class, so the
+    /// dominant class's volume does not mask a rare class's starvation.
+    pub per_class: PerClassBreakdown,
     /// Per-matrix-shape windowed series (throughput, batch fill,
     /// execution percentiles), sorted by (rows, cols).
     pub per_shape: Vec<ShapeSnapshot>,
@@ -731,10 +886,10 @@ mod tests {
     #[test]
     fn per_type_counters_split_decompose_from_apply() {
         let m = Metrics::new();
-        m.record_submitted(RequestType::Decompose);
-        m.record_submitted(RequestType::Apply);
-        m.record_submitted(RequestType::Apply);
-        m.record_completed(RequestType::Apply);
+        m.record_submitted(RequestType::Decompose, SloClass::Standard);
+        m.record_submitted(RequestType::Apply, SloClass::Standard);
+        m.record_submitted(RequestType::Apply, SloClass::Standard);
+        m.record_completed(RequestType::Apply, SloClass::Standard);
         m.record_timed_out_batcher(RequestType::Decompose);
         m.record_timed_out_exec(RequestType::Apply);
         m.record_latency(
@@ -748,6 +903,7 @@ mod tests {
             },
             RequestType::Apply,
             None,
+            SloClass::Standard,
         );
         std::thread::sleep(Duration::from_millis(2));
         let snap = m.snapshot(0, 0);
@@ -772,9 +928,9 @@ mod tests {
     #[test]
     fn update_route_counters_and_per_type_split() {
         let m = Metrics::new();
-        m.record_submitted(RequestType::Update);
-        m.record_submitted(RequestType::Update);
-        m.record_completed(RequestType::Update);
+        m.record_submitted(RequestType::Update, SloClass::Standard);
+        m.record_submitted(RequestType::Update, SloClass::Standard);
+        m.record_completed(RequestType::Update, SloClass::Standard);
         m.record_warm_start_hit();
         m.record_lowrank_hit();
         m.record_lowrank_hit();
@@ -790,6 +946,7 @@ mod tests {
             },
             RequestType::Update,
             Some((8, 8)),
+            SloClass::Standard,
         );
         let snap = m.snapshot(0, 0);
         assert_eq!(snap.warm_start_hits, 1);
@@ -836,6 +993,7 @@ mod tests {
             },
             RequestType::Decompose,
             Some((16, 8)),
+            SloClass::Standard,
         );
         let snap = m.snapshot(1, 2);
         let json = serde_json::to_string_pretty(&snap).unwrap();
@@ -862,9 +1020,11 @@ mod tests {
                 },
                 RequestType::Decompose,
                 Some((4, 4)),
+                SloClass::Standard,
             );
         }
         assert!(m.samples.lock().len() <= MAX_SAMPLES);
+        assert!(m.of_class(SloClass::Standard).wall_samples.lock().len() <= MAX_CLASS_SAMPLES);
         let shapes = m.shapes.lock();
         assert!(shapes[&(4, 4)].exec_samples.len() <= MAX_SHAPE_SAMPLES);
         // The cumulative counters are unaffected by the sample bound.
@@ -885,11 +1045,27 @@ mod tests {
     #[test]
     fn per_shape_series_split_and_window() {
         let m = Metrics::new();
-        m.record_latency(&record_of(1_000, 4), RequestType::Decompose, Some((64, 64)));
-        m.record_latency(&record_of(2_000, 4), RequestType::Decompose, Some((64, 64)));
-        m.record_latency(&record_of(9_000, 1), RequestType::Update, Some((256, 256)));
+        let std = SloClass::Standard;
+        m.record_latency(
+            &record_of(1_000, 4),
+            RequestType::Decompose,
+            Some((64, 64)),
+            std,
+        );
+        m.record_latency(
+            &record_of(2_000, 4),
+            RequestType::Decompose,
+            Some((64, 64)),
+            std,
+        );
+        m.record_latency(
+            &record_of(9_000, 1),
+            RequestType::Update,
+            Some((256, 256)),
+            std,
+        );
         // Shapeless apply traffic never creates a shape row.
-        m.record_latency(&record_of(10, 1), RequestType::Apply, None);
+        m.record_latency(&record_of(10, 1), RequestType::Apply, None, std);
         std::thread::sleep(Duration::from_millis(2));
         let snap = m.snapshot(0, 0);
         assert_eq!(snap.per_shape.len(), 2);
@@ -914,6 +1090,55 @@ mod tests {
         assert_eq!(totals[0].completed[RequestType::Decompose.index()], 2);
         assert_eq!(totals[0].batch_fill_sum, 8);
         assert_eq!(totals[1].completed[RequestType::Update.index()], 1);
+    }
+
+    /// Regression test: `record_cancelled` used to bump only the
+    /// aggregate counter, so a cancellation storm against one request
+    /// type was invisible in the per-type breakdown. The split must
+    /// attribute each cancellation to its type.
+    #[test]
+    fn cancellations_split_per_request_type() {
+        let m = Metrics::new();
+        m.record_cancelled(RequestType::Apply);
+        m.record_cancelled(RequestType::Apply);
+        m.record_cancelled(RequestType::Decompose);
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.cancelled, 3);
+        assert_eq!(snap.per_type.apply.cancelled, 2);
+        assert_eq!(snap.per_type.decompose.cancelled, 1);
+        assert_eq!(snap.per_type.update.cancelled, 0);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"cancelled\""));
+    }
+
+    #[test]
+    fn per_class_counters_and_wall_tails_split_by_slo_class() {
+        let m = Metrics::new();
+        m.record_submitted(RequestType::Decompose, SloClass::Interactive);
+        m.record_submitted(RequestType::Decompose, SloClass::Batch);
+        m.record_submitted(RequestType::Decompose, SloClass::Batch);
+        m.record_completed(RequestType::Decompose, SloClass::Interactive);
+        m.record_shed(SloClass::Batch);
+        m.record_batch_stolen();
+        m.set_shed_level(1);
+        let mut rec = record_of(100, 1);
+        rec.wall_total = Duration::from_micros(250);
+        m.record_latency(&rec, RequestType::Decompose, None, SloClass::Interactive);
+        let snap = m.snapshot(0, 0);
+        assert_eq!(snap.per_class.interactive.submitted, 1);
+        assert_eq!(snap.per_class.interactive.completed_ok, 1);
+        assert_eq!(snap.per_class.interactive.wall_us.p99, 250);
+        assert_eq!(snap.per_class.batch.submitted, 2);
+        assert_eq!(snap.per_class.batch.shed, 1);
+        assert_eq!(snap.per_class.batch.wall_us.p99, 0);
+        assert_eq!(snap.per_class.standard.submitted, 0);
+        assert_eq!(snap.shed, 1);
+        assert_eq!(snap.batches_stolen, 1);
+        assert_eq!(snap.shed_level, 1);
+        let json = serde_json::to_string(&snap).unwrap();
+        assert!(json.contains("\"per_class\""));
+        assert!(json.contains("\"interactive\""));
+        assert!(json.contains("\"wall_us\""));
     }
 
     #[test]

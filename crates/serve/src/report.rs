@@ -3,7 +3,7 @@
 //! utilization, and the span-journal summary, renderable as JSON or
 //! Prometheus text exposition.
 
-use crate::metrics::{MetricsSnapshot, TypeSnapshot};
+use crate::metrics::{ClassSnapshot, MetricsSnapshot, TypeSnapshot};
 use factor_store::FactorStoreStats;
 use heterosvd::obs::{JournalSummary, UtilizationReport};
 use heterosvd::{CacheStats, FactorCacheStats};
@@ -330,6 +330,11 @@ impl MetricsReport {
                 "Deadline expiries at replica-exec start, by request type.",
                 |t| t.timed_out_at_exec,
             ),
+            (
+                "cancelled_by_type_total",
+                "Requests cancelled before execution, by request type.",
+                |t| t.cancelled,
+            ),
         ] {
             let _ = writeln!(out, "# HELP hsvd_{name} {help}");
             let _ = writeln!(out, "# TYPE hsvd_{name} counter");
@@ -371,6 +376,74 @@ impl MetricsReport {
                 let _ = writeln!(out, "hsvd_{name}_max{{type=\"{label}\"}} {}", p.max);
             }
         }
+
+        // Per-SLO-class split (shape-classed scheduling) and the
+        // scheduler's own counters. All-zero in shape-blind mode.
+        let per_class: [(&str, &ClassSnapshot); 3] = [
+            ("interactive", &s.per_class.interactive),
+            ("standard", &s.per_class.standard),
+            ("batch", &s.per_class.batch),
+        ];
+        for (name, help, pick) in [
+            (
+                "submitted_by_class_total",
+                "Requests admitted, by SLO class.",
+                (|c: &ClassSnapshot| c.submitted) as fn(&ClassSnapshot) -> u64,
+            ),
+            (
+                "completed_ok_by_class_total",
+                "Requests completed successfully, by SLO class.",
+                |c| c.completed_ok,
+            ),
+            (
+                "shed_by_class_total",
+                "Requests refused or evicted by the overload policy, by SLO class.",
+                |c| c.shed,
+            ),
+        ] {
+            let _ = writeln!(out, "# HELP hsvd_{name} {help}");
+            let _ = writeln!(out, "# TYPE hsvd_{name} counter");
+            for (label, c) in per_class {
+                let _ = writeln!(out, "hsvd_{name}{{class=\"{label}\"}} {}", pick(c));
+            }
+        }
+        let _ = writeln!(
+            out,
+            "# HELP hsvd_wall_us_by_class End-to-end wall latency by SLO class (microseconds)."
+        );
+        let _ = writeln!(out, "# TYPE hsvd_wall_us_by_class summary");
+        for (label, c) in per_class {
+            let p = &c.wall_us;
+            for (q, v) in [("0.5", p.p50), ("0.95", p.p95), ("0.99", p.p99)] {
+                let _ = writeln!(
+                    out,
+                    "hsvd_wall_us_by_class{{class=\"{label}\",quantile=\"{q}\"}} {v}"
+                );
+            }
+            let _ = writeln!(
+                out,
+                "hsvd_wall_us_by_class_max{{class=\"{label}\"}} {}",
+                p.max
+            );
+        }
+        counter(
+            out,
+            "shed_total",
+            "Requests refused or evicted by the overload policy.",
+            s.shed,
+        );
+        counter(
+            out,
+            "batches_stolen_total",
+            "Batches a replica stole from another sub-pool.",
+            s.batches_stolen,
+        );
+        gauge(
+            out,
+            "shed_level",
+            "Current load-shedding tier (0 none, 1 batch, 2 batch+standard).",
+            s.shed_level as f64,
+        );
 
         // Plan/profile-cache and factor-store counters.
         for (prefix, stats) in [
@@ -629,7 +702,7 @@ impl MetricsReport {
 mod tests {
     use super::*;
     use crate::metrics::Metrics;
-    use crate::request::{LatencyRecord, PlanInfo, RequestType};
+    use crate::request::{LatencyRecord, PlanInfo, RequestType, SloClass};
     use aie_sim::{SimStats, TimePs};
     use heterosvd::obs::{ResourceCounts, UtilizationReport};
     use std::time::Duration;
@@ -639,6 +712,11 @@ mod tests {
         metrics.set_current_plan(8, 3, 1);
         metrics.record_plan_swap();
         metrics.record_dse_run();
+        metrics.record_cancelled(RequestType::Apply);
+        metrics.record_shed(SloClass::Batch);
+        metrics.record_batch_stolen();
+        metrics.set_shed_level(1);
+        metrics.record_completed(RequestType::Decompose, SloClass::Standard);
         metrics.record_latency(
             &LatencyRecord {
                 queue_wait: Duration::from_micros(1),
@@ -654,6 +732,7 @@ mod tests {
             },
             RequestType::Decompose,
             Some((64, 64)),
+            SloClass::Standard,
         );
         let snapshot = metrics.snapshot(0, 2);
         let stats = SimStats {
@@ -748,6 +827,14 @@ mod tests {
         assert!(json.contains("\"plan_swaps\": 1"));
         assert!(json.contains("\"dse_runs\": 1"));
         assert!(json.contains("\"engine_parallelism\": 8"));
+        // Shape-classed scheduling fields and the cancellation split.
+        assert!(json.contains("\"per_class\""));
+        assert!(json.contains("\"interactive\""));
+        assert!(json.contains("\"wall_us\""));
+        assert!(json.contains("\"cancelled\": 1"));
+        assert!(json.contains("\"shed\": 1"));
+        assert!(json.contains("\"batches_stolen\": 1"));
+        assert!(json.contains("\"shed_level\": 1"));
     }
 
     #[test]
@@ -790,6 +877,16 @@ mod tests {
         assert!(text.contains("hsvd_mean_batch_fill_by_shape{shape=\"64x64\"} 2"));
         assert!(text.contains("hsvd_sim_exec_ps_by_shape{shape=\"64x64\",quantile=\"0.99\"}"));
         assert!(text.contains("hsvd_sim_exec_ps_by_shape_max{shape=\"64x64\"} 5000"));
+        // Cancellation split and the shape-classed scheduler families.
+        assert!(text.contains("hsvd_cancelled_by_type_total{type=\"apply\"} 1"));
+        assert!(text.contains("hsvd_cancelled_by_type_total{type=\"decompose\"} 0"));
+        assert!(text.contains("hsvd_submitted_by_class_total{class=\"interactive\"}"));
+        assert!(text.contains("hsvd_completed_ok_by_class_total{class=\"standard\"} 1"));
+        assert!(text.contains("hsvd_shed_by_class_total{class=\"batch\"} 1"));
+        assert!(text.contains("hsvd_wall_us_by_class{class=\"standard\",quantile=\"0.99\"}"));
+        assert!(text.contains("hsvd_shed_total 1"));
+        assert!(text.contains("hsvd_batches_stolen_total 1"));
+        assert!(text.contains("hsvd_shed_level 1"));
     }
 
     #[test]

@@ -66,6 +66,91 @@ impl RequestType {
     }
 }
 
+/// Service-level-objective class attached at submission. The class
+/// drives the shape-classed scheduler (see `scheduler`): it sets the
+/// request's *scheduling horizon* — the effective deadline the EDF
+/// seed pick and admission-eviction order on when no explicit timeout
+/// was given — and its shedding priority under overload. It never, by
+/// itself, times a request out: only an explicit per-request timeout
+/// (or the service default) produces `DeadlineExceeded`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
+pub enum SloClass {
+    /// Latency-sensitive traffic: shortest scheduling horizon, shed
+    /// last, and batched under a quartered linger budget.
+    Interactive,
+    /// The default class: the service's pre-SLO behavior.
+    #[default]
+    Standard,
+    /// Throughput traffic: longest horizon, first to be shed or
+    /// evicted when an urgent request arrives at a full queue.
+    Batch,
+}
+
+impl serde::Serialize for SloClass {
+    fn serialize(&self) -> serde::Value {
+        serde::Value::Str(self.name().to_string())
+    }
+}
+
+impl SloClass {
+    /// Every class, in metrics/report order.
+    pub const ALL: [SloClass; 3] = [SloClass::Interactive, SloClass::Standard, SloClass::Batch];
+
+    /// Stable snake_case name (used in exports and CLI flags).
+    pub fn name(self) -> &'static str {
+        match self {
+            SloClass::Interactive => "interactive",
+            SloClass::Standard => "standard",
+            SloClass::Batch => "batch",
+        }
+    }
+
+    /// Parses the stable name (CLI flags).
+    ///
+    /// # Errors
+    ///
+    /// The offending string when it names no class.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        match s {
+            "interactive" => Ok(SloClass::Interactive),
+            "standard" => Ok(SloClass::Standard),
+            "batch" => Ok(SloClass::Batch),
+            other => Err(format!(
+                "unknown SLO class {other} (expected interactive|standard|batch)"
+            )),
+        }
+    }
+
+    pub(crate) fn index(self) -> usize {
+        match self {
+            SloClass::Interactive => 0,
+            SloClass::Standard => 1,
+            SloClass::Batch => 2,
+        }
+    }
+
+    /// Shedding/eviction priority; higher is more urgent and kept
+    /// longer under overload.
+    pub(crate) fn priority(self) -> u8 {
+        match self {
+            SloClass::Interactive => 2,
+            SloClass::Standard => 1,
+            SloClass::Batch => 0,
+        }
+    }
+
+    /// The scheduling horizon: how far past submission the request's
+    /// effective deadline sits when the caller gave no explicit
+    /// timeout. Orders the EDF pick; never enforced as a timeout.
+    pub(crate) fn horizon(self) -> Duration {
+        match self {
+            SloClass::Interactive => Duration::from_millis(100),
+            SloClass::Standard => Duration::from_secs(1),
+            SloClass::Batch => Duration::from_secs(10),
+        }
+    }
+}
+
 /// Instruction attached to a decompose request: after the factorization
 /// succeeds, truncate it to `rank` and publish the factors as the next
 /// version of `model` in the service's factor store.
@@ -84,6 +169,11 @@ pub struct SubmitOptions {
     /// wall-clock queueing and lingering; once a batch starts executing
     /// the request is carried to completion.
     pub timeout: Option<Duration>,
+    /// The request's SLO class (default [`SloClass::Standard`]).
+    /// Ignored unless the service runs with `shape_classed`
+    /// scheduling, where it orders the EDF pick and the shed/evict
+    /// policy.
+    pub class: SloClass,
 }
 
 /// The plan a request executed under. Autoscale swaps change the live
@@ -505,6 +595,9 @@ pub(crate) struct PendingRequest {
     pub(crate) state: Arc<RequestState>,
     pub(crate) submitted_at: Instant,
     pub(crate) deadline: Option<Instant>,
+    /// SLO class stamped at admission; read by the shape-classed
+    /// scheduler and the per-class metrics.
+    pub(crate) class: SloClass,
     /// Test/chaos hook: the replica that picks this request up panics
     /// (inside its containment boundary) instead of executing it.
     pub(crate) poison: bool,
@@ -513,6 +606,15 @@ pub(crate) struct PendingRequest {
 impl PendingRequest {
     pub(crate) fn deadline_elapsed(&self, now: Instant) -> bool {
         self.deadline.is_some_and(|d| now >= d)
+    }
+
+    /// The instant the EDF scheduler orders this request by: the
+    /// explicit deadline when one was set, otherwise submission time
+    /// plus the class horizon. Purely a scheduling key — a request
+    /// whose *effective* deadline passes is served late, not timed out.
+    pub(crate) fn effective_deadline(&self) -> Instant {
+        self.deadline
+            .unwrap_or_else(|| self.submitted_at + self.class.horizon())
     }
 
     pub(crate) fn batch_key(&self) -> BatchKey {
@@ -621,6 +723,42 @@ mod tests {
         let got = handle.wait().unwrap();
         assert_eq!(got.model, ModelId(42));
         assert_eq!(got.y, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn slo_class_names_round_trip_and_order() {
+        assert_eq!(SloClass::default(), SloClass::Standard);
+        for (i, class) in SloClass::ALL.iter().enumerate() {
+            assert_eq!(class.index(), i);
+            assert_eq!(SloClass::parse(class.name()).unwrap(), *class);
+        }
+        assert!(SloClass::parse("bulk").is_err());
+        // Interactive is most urgent on both axes the scheduler uses.
+        assert!(SloClass::Interactive.priority() > SloClass::Standard.priority());
+        assert!(SloClass::Standard.priority() > SloClass::Batch.priority());
+        assert!(SloClass::Interactive.horizon() < SloClass::Standard.horizon());
+        assert!(SloClass::Standard.horizon() < SloClass::Batch.horizon());
+    }
+
+    #[test]
+    fn effective_deadline_prefers_the_explicit_timeout() {
+        let now = Instant::now();
+        let mut req = PendingRequest {
+            id: RequestId(1),
+            payload: Payload::Decompose {
+                matrix: Matrix::zeros(4, 4),
+                shape: (4, 4),
+                publish: None,
+            },
+            state: RequestState::new(),
+            submitted_at: now,
+            deadline: None,
+            class: SloClass::Batch,
+            poison: false,
+        };
+        assert_eq!(req.effective_deadline(), now + SloClass::Batch.horizon());
+        req.deadline = Some(now + Duration::from_millis(3));
+        assert_eq!(req.effective_deadline(), now + Duration::from_millis(3));
     }
 
     #[test]

@@ -7,9 +7,12 @@ use crate::metrics::{Metrics, MetricsSnapshot};
 use crate::queue::{BoundedQueue, PopResult, PushError};
 use crate::report::{CacheReport, MetricsReport, ShapeUtilization};
 use crate::request::{
-    ApplyHandle, Completion, LatencyRecord, Payload, PendingRequest, PlanInfo, PublishSpec,
-    RequestHandle, RequestId, RequestState, RequestType, SubmitOptions, SvdResponse, UpdateHandle,
-    UpdateResponse,
+    ApplyHandle, BatchKey, Completion, LatencyRecord, Payload, PendingRequest, PlanInfo,
+    PublishSpec, RequestHandle, RequestId, RequestState, RequestType, SloClass, SubmitOptions,
+    SvdResponse, UpdateHandle, UpdateResponse,
+};
+use crate::scheduler::{
+    self, ClassScheduler, ShedController, StealingDispatch, SHED_BATCH, SHED_STANDARD,
 };
 use aie_sim::TimePs;
 use factor_store::{FactorStore, ModelId, PublishedFactors};
@@ -76,8 +79,15 @@ pub(crate) struct LivePlan {
 
 pub(crate) struct Inner {
     pub(crate) config: ServeConfig,
+    /// FIFO admission, used when [`ServeConfig::shape_classed`] is off.
     admission: BoundedQueue<PendingRequest>,
-    dispatch: BoundedQueue<Batch>,
+    /// Shape-classed EDF admission, present (and used instead of
+    /// `admission`) when [`ServeConfig::shape_classed`] is on.
+    scheduler: Option<ClassScheduler>,
+    /// Formed batches en route to replicas. In FIFO mode a single pool
+    /// (plain FIFO); in shape-classed mode one sub-pool per worker with
+    /// work stealing, so an idle replica serves a backlogged class.
+    dispatch: StealingDispatch,
     pub(crate) metrics: Metrics,
     next_id: AtomicU64,
     replicas_live: AtomicUsize,
@@ -116,12 +126,53 @@ pub(crate) struct Inner {
 }
 
 impl Inner {
+    /// Requests awaiting batch formation, whichever admission structure
+    /// is live (the FIFO queue in shape-blind mode, the class scheduler
+    /// otherwise).
+    fn queue_depth(&self) -> usize {
+        self.admission.len() + self.scheduler.as_ref().map_or(0, ClassScheduler::len)
+    }
+
+    /// Per-(key, class) batch-formation budget: how large this batch may
+    /// grow and how long it may linger waiting to fill.
+    ///
+    /// * Interactive seeds linger a quarter of the configured budget —
+    ///   their SLO buys latency with fill, Eq. 14 be damned.
+    /// * When the shape's observed critical resource is PLIO (I/O-bound,
+    ///   e.g. 26.6% PLIO vs higher core slack at small shapes), batches
+    ///   are capped at the packed-stripe capacity: growing a batch past
+    ///   the co-resident wave width only adds linger, because the extra
+    ///   requests serialize into a second wave anyway.
+    fn class_policy(&self, key: BatchKey, class: SloClass) -> (usize, std::time::Duration) {
+        let mut max_batch = self.config.max_batch;
+        let mut linger = self.config.max_linger;
+        if class == SloClass::Interactive {
+            linger /= 4;
+        }
+        if let BatchKey::Decompose { rows, cols } | BatchKey::Update { rows, cols } = key {
+            let shape = (rows, cols);
+            let plio_critical = self
+                .utilization
+                .lock()
+                .get(&shape)
+                .is_some_and(|report| report.critical == heterosvd::obs::ResourceKind::Plio);
+            if plio_critical {
+                let p_eng = self.live_plan.lock().engine_parallelism;
+                let capacity = self.config.packed_tenants_at(shape, usize::MAX, p_eng);
+                if capacity >= 2 {
+                    max_batch = max_batch.min(capacity);
+                }
+            }
+        }
+        (max_batch, linger)
+    }
+
     /// Builds one exportable observability capture: metrics snapshot +
     /// per-shape utilization + cache/store counters + global
     /// span-journal summary.
     fn metrics_report(&self) -> MetricsReport {
         let snapshot = self.metrics.snapshot(
-            self.admission.len(),
+            self.queue_depth(),
             self.replicas_live.load(Ordering::SeqCst),
         );
         let mut utilization: Vec<ShapeUtilization> = self
@@ -185,9 +236,20 @@ impl SvdService {
                 .map_err(ServeError::from)?,
         )
         .map_err(ServeError::from)?;
+        // Shape-classed mode: one dispatch sub-pool per worker (work
+        // stealing keeps them balanced); FIFO mode keeps the single
+        // queue. The global capacity bound is identical either way.
+        let pools = if config.shape_classed {
+            config.workers.max(1)
+        } else {
+            1
+        };
         let inner = Arc::new(Inner {
             admission: BoundedQueue::new(config.queue_capacity),
-            dispatch: BoundedQueue::new(config.workers.max(1) * 2),
+            scheduler: config
+                .shape_classed
+                .then(|| ClassScheduler::new(config.queue_capacity)),
+            dispatch: StealingDispatch::new(pools, config.workers.max(1) * 2),
             metrics: Metrics::new(),
             next_id: AtomicU64::new(0),
             replicas_live: AtomicUsize::new(0),
@@ -543,6 +605,21 @@ impl SvdService {
         };
         let submitted_at = Instant::now();
         let timeout = options.timeout.or(inner.config.default_timeout);
+        // Load shedding: past the controller's tier, Batch (then also
+        // Standard) traffic is refused at the door with a retryable
+        // error rather than queued into certain timeout.
+        if let Some(sched) = &inner.scheduler {
+            let level = sched.shed_level();
+            let shed = match options.class {
+                SloClass::Batch => level >= SHED_BATCH,
+                SloClass::Standard => level >= SHED_STANDARD,
+                SloClass::Interactive => false,
+            };
+            if shed {
+                inner.metrics.record_shed(options.class);
+                return Err(ServeError::Overloaded);
+            }
+        }
         let id = RequestId(inner.next_id.fetch_add(1, Ordering::Relaxed));
         let state = RequestState::new();
         let request = PendingRequest {
@@ -551,11 +628,16 @@ impl SvdService {
             state: Arc::clone(&state),
             submitted_at,
             deadline: timeout.map(|t| submitted_at + t),
+            class: options.class,
             poison,
         };
-        match inner.admission.try_push(request) {
+        let pushed = match &inner.scheduler {
+            Some(sched) => sched.try_push(request, &inner.metrics),
+            None => inner.admission.try_push(request),
+        };
+        match pushed {
             Ok(()) => {
-                inner.metrics.record_submitted(rtype);
+                inner.metrics.record_submitted(rtype, options.class);
                 if inner.config.observability {
                     obs::global().record(Stage::Admit, Some(id.0), submitted_at.elapsed(), None);
                 }
@@ -564,7 +646,7 @@ impl SvdService {
             Err(PushError::Full(_)) => {
                 inner.metrics.rejected_full.fetch_add(1, Ordering::Relaxed);
                 Err(ServeError::QueueFull {
-                    capacity: inner.admission.capacity(),
+                    capacity: inner.config.queue_capacity,
                 })
             }
             Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
@@ -587,7 +669,7 @@ impl SvdService {
     /// percentiles.
     pub fn metrics(&self) -> MetricsSnapshot {
         self.inner.metrics.snapshot(
-            self.inner.admission.len(),
+            self.inner.queue_depth(),
             self.inner.replicas_live.load(Ordering::SeqCst),
         )
     }
@@ -635,6 +717,9 @@ impl SvdService {
         }
         self.inner.shutting_down.store(true, Ordering::SeqCst);
         self.inner.admission.close();
+        if let Some(sched) = &self.inner.scheduler {
+            sched.close();
+        }
         *self.inner.autoscale_stop.lock() = true;
         self.inner.autoscale_cv.notify_all();
         if let Some(handle) = self.autoscaler.lock().take() {
@@ -675,8 +760,26 @@ impl Drop for SvdService {
 /// Batcher thread: forms batches until admission is closed and drained,
 /// then closes the dispatch queue so replicas retire.
 fn batcher_main(inner: Arc<Inner>) {
+    // The batcher thread is the single writer of the shed level, so the
+    // controller's state lives on its stack.
+    let mut shed = ShedController::new(
+        inner.config.shed_threshold,
+        std::time::Duration::from_millis(100),
+    );
     loop {
-        match batcher::form_batch(&inner.admission, &inner.config, &inner.metrics) {
+        let outcome = match &inner.scheduler {
+            Some(sched) => {
+                shed.update(&inner.metrics, sched);
+                scheduler::form_batch_classed(
+                    sched,
+                    &inner.config,
+                    &inner.metrics,
+                    &|key, class| inner.class_policy(key, class),
+                )
+            }
+            None => batcher::form_batch(&inner.admission, &inner.config, &inner.metrics),
+        };
+        match outcome {
             FormOutcome::Formed(batch) => {
                 if let Err(PushError::Closed(batch)) = inner.dispatch.push(batch) {
                     // Dispatch can only close after this thread exits, but
@@ -692,17 +795,20 @@ fn batcher_main(inner: Arc<Inner>) {
     inner.dispatch.close();
 }
 
-/// Spawns one replica thread and registers it for shutdown joining.
+/// Spawns one replica thread and registers it for shutdown joining. The
+/// spawn ordinal doubles as the replica's home dispatch sub-pool (a
+/// replacement replica inherits a fresh ordinal; pool assignment only
+/// needs to spread replicas, not stay stable).
 fn spawn_replica(inner: &Arc<Inner>) {
-    inner
+    let home = inner
         .metrics
         .replicas_spawned
-        .fetch_add(1, Ordering::Relaxed);
+        .fetch_add(1, Ordering::Relaxed) as usize;
     inner.replicas_live.fetch_add(1, Ordering::SeqCst);
     let thread_inner = Arc::clone(inner);
     let handle = std::thread::Builder::new()
         .name("svd-replica".into())
-        .spawn(move || replica_main(thread_inner))
+        .spawn(move || replica_main(thread_inner, home))
         .expect("failed to spawn replica thread");
     inner.workers.lock().push(handle);
 }
@@ -710,11 +816,11 @@ fn spawn_replica(inner: &Arc<Inner>) {
 /// Replica thread: executes batches until the dispatch queue drains.
 /// A panic while serving a batch fails that batch, retires this replica,
 /// and spawns a replacement.
-fn replica_main(inner: Arc<Inner>) {
+fn replica_main(inner: Arc<Inner>, home: usize) {
     let mut accelerators: HashMap<AcceleratorKey, (Accelerator, PlanInfo)> = HashMap::new();
     let mut accel_generation: u64 = 0;
     loop {
-        match inner.dispatch.pop(batcher::POLL_TICK) {
+        match inner.dispatch.pop(home, batcher::POLL_TICK, &inner.metrics) {
             PopResult::Item(mut batch) => {
                 // Read the live plan exactly once per batch: the whole
                 // batch executes under this plan even if the controller
@@ -774,7 +880,7 @@ fn execute_batch(
     for (idx, entry) in batch.entries.iter().enumerate() {
         if entry.request.state.is_cancelled() {
             if entry.request.state.complete(Err(ServeError::Cancelled)) {
-                inner.metrics.record_cancelled();
+                inner.metrics.record_cancelled(entry.request.request_type());
             }
         } else if entry.request.deadline_elapsed(now) {
             // Second drop point, distinct from the batcher's pickup
@@ -967,10 +1073,15 @@ fn execute_decompose(
                 // must observe its own completion. A live entry has no
                 // other completer (the batcher only completes requests it
                 // never dispatched), so this replica always wins.
-                inner.metrics.record_completed(RequestType::Decompose);
                 inner
                     .metrics
-                    .record_latency(&latency, RequestType::Decompose, Some(shape));
+                    .record_completed(RequestType::Decompose, entry.request.class);
+                inner.metrics.record_latency(
+                    &latency,
+                    RequestType::Decompose,
+                    Some(shape),
+                    entry.request.class,
+                );
                 entry.request.state.complete(Ok(Completion::Svd(response)));
             }
         }
@@ -1096,10 +1207,12 @@ fn execute_apply(
         };
         // Record before completing (see execute_decompose): the waiter
         // wakes on complete() and may snapshot metrics immediately.
-        inner.metrics.record_completed(RequestType::Apply);
         inner
             .metrics
-            .record_latency(&latency, RequestType::Apply, None);
+            .record_completed(RequestType::Apply, entry.request.class);
+        inner
+            .metrics
+            .record_latency(&latency, RequestType::Apply, None, entry.request.class);
         entry
             .request
             .state
@@ -1199,10 +1312,15 @@ fn execute_update(
                     latency,
                 };
                 // Record before completing (see execute_decompose).
-                inner.metrics.record_completed(RequestType::Update);
                 inner
                     .metrics
-                    .record_latency(&latency, RequestType::Update, Some(shape));
+                    .record_completed(RequestType::Update, entry.request.class);
+                inner.metrics.record_latency(
+                    &latency,
+                    RequestType::Update,
+                    Some(shape),
+                    entry.request.class,
+                );
                 entry
                     .request
                     .state
@@ -1610,6 +1728,7 @@ mod tests {
                 test_matrix(8, 8, 3),
                 SubmitOptions {
                     timeout: Some(Duration::ZERO),
+                    ..SubmitOptions::default()
                 },
             )
             .unwrap();
@@ -1619,13 +1738,15 @@ mod tests {
     }
 
     #[test]
-    fn deadline_expiring_during_linger_is_counted_at_exec() {
+    fn deadline_expiring_during_linger_is_counted_at_batcher() {
         // The request is alive when the batcher picks it up (generous
         // 100 ms deadline) but the batch lingers 400 ms waiting to fill,
-        // so the deadline has passed by exec start. The regression this
-        // guards: this drop point must be counted separately from the
-        // batcher's pickup check, or an operator cannot tell whether to
-        // shrink the linger or grow the pool.
+        // so the deadline has passed by the time the batch seals. The
+        // regression this guards: the batcher's dispatch-time re-filter
+        // must drop (and count) the expired request on its side of the
+        // boundary — before the fix it rode the formed batch and was
+        // miscounted as a replica-side timeout, which tells an operator
+        // to grow the pool when the actual remedy is a shorter linger.
         let config = ServeConfig {
             workers: 1,
             max_batch: 4,
@@ -1638,15 +1759,16 @@ mod tests {
                 test_matrix(8, 8, 4),
                 SubmitOptions {
                     timeout: Some(Duration::from_millis(100)),
+                    ..SubmitOptions::default()
                 },
             )
             .unwrap();
         assert_eq!(handle.wait().unwrap_err(), ServeError::DeadlineExceeded);
         let m = service.metrics();
         assert_eq!(m.timed_out, 1);
-        assert_eq!(m.timed_out_at_exec, 1);
-        assert_eq!(m.timed_out_at_batcher, 0);
-        assert_eq!(m.per_type.decompose.timed_out_at_exec, 1);
+        assert_eq!(m.timed_out_at_batcher, 1);
+        assert_eq!(m.timed_out_at_exec, 0);
+        assert_eq!(m.per_type.decompose.timed_out_at_batcher, 1);
         service.shutdown();
     }
 
@@ -2130,5 +2252,102 @@ mod tests {
         let report = service.metrics_report();
         assert!(report.utilization.is_empty());
         service.shutdown();
+    }
+
+    #[test]
+    fn rare_interactive_class_jumps_a_dominant_batch_backlog() {
+        // A 95:5-style mix on one worker: 40 dominant (16,16)
+        // Batch-class requests flood the queue, then 4 rare (8,8)
+        // Interactive requests arrive behind them. Under shape-blind
+        // FIFO the rare requests drain after the whole backlog; with the
+        // class scheduler their 100 ms EDF horizon seeds them ahead, so
+        // every rare request must finish faster than the slowest
+        // dominant one.
+        let config = ServeConfig {
+            workers: 1,
+            queue_capacity: 64,
+            max_batch: 4,
+            max_linger: Duration::from_millis(1),
+            shape_classed: true,
+            ..ServeConfig::default()
+        };
+        let service = SvdService::start(config).unwrap();
+        let dominant: Vec<_> = (0..40)
+            .map(|s| {
+                service
+                    .try_submit_with(
+                        test_matrix(16, 16, s),
+                        SubmitOptions {
+                            class: SloClass::Batch,
+                            ..SubmitOptions::default()
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let rare: Vec<_> = (0..4)
+            .map(|s| {
+                service
+                    .try_submit_with(
+                        test_matrix(8, 8, 100 + s),
+                        SubmitOptions {
+                            class: SloClass::Interactive,
+                            ..SubmitOptions::default()
+                        },
+                    )
+                    .unwrap()
+            })
+            .collect();
+        let rare_walls: Vec<Duration> = rare
+            .into_iter()
+            .map(|h| h.wait().unwrap().latency.wall_total)
+            .collect();
+        let dominant_walls: Vec<Duration> = dominant
+            .into_iter()
+            .map(|h| h.wait().unwrap().latency.wall_total)
+            .collect();
+        let worst_dominant = *dominant_walls.iter().max().unwrap();
+        for (i, wall) in rare_walls.iter().enumerate() {
+            assert!(
+                *wall < worst_dominant,
+                "rare request {i} waited out the backlog: {wall:?} vs worst dominant {worst_dominant:?}"
+            );
+        }
+        let m = service.metrics();
+        assert_eq!(m.per_class.interactive.completed_ok, 4);
+        assert_eq!(m.per_class.batch.completed_ok, 40);
+        assert!(m.per_class.interactive.wall_us.p99 <= m.per_class.batch.wall_us.p99);
+        service.shutdown();
+    }
+
+    #[test]
+    fn classed_service_factors_match_fifo_service() {
+        // Scheduling only reorders *when* requests execute: the same six
+        // matrices through a shape-classed service and a FIFO one must
+        // produce bitwise-identical factors.
+        let matrices: Vec<_> = (0..6).map(|s| test_matrix(16, 16, 40 + s)).collect();
+        let run = |classed: bool| {
+            let config = ServeConfig {
+                workers: 1,
+                shape_classed: classed,
+                ..quick_config()
+            };
+            let service = SvdService::start(config).unwrap();
+            let outputs: Vec<_> = matrices
+                .iter()
+                .map(|m| service.try_submit(m.clone()).unwrap())
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.wait().unwrap())
+                .collect();
+            service.shutdown();
+            outputs
+        };
+        let classed = run(true);
+        let fifo = run(false);
+        for (c, f) in classed.iter().zip(&fifo) {
+            assert_eq!(c.output.result.sigma, f.output.result.sigma);
+            assert_eq!(c.output.result.u.as_slice(), f.output.result.u.as_slice());
+        }
     }
 }

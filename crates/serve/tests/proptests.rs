@@ -111,6 +111,7 @@ proptest! {
             let options = heterosvd_serve::SubmitOptions {
                 // fate 1: a deadline that has effectively already passed.
                 timeout: if fate == 1 { Some(Duration::ZERO) } else { None },
+                ..heterosvd_serve::SubmitOptions::default()
             };
             match service.try_submit_with(matrix_for(shape_idx), options) {
                 Ok(handle) => {

@@ -13,9 +13,11 @@
 //! pre-subcommand invocations, `hsvd matrix.csv` is treated as
 //! `hsvd run matrix.csv`.
 
-use heterosvd_bench::workload::{bursty_trace, shifting_mix_phases};
+use heterosvd_bench::workload::{bursty_trace, multishape_trace, shifting_mix_phases};
 use heterosvd_repro::heterosvd::{Accelerator, FidelityMode, HeteroSvdConfig};
-use heterosvd_repro::serve::{ClientId, ModelId, ServeConfig, ServeError, SvdService};
+use heterosvd_repro::serve::{
+    ClientId, ModelId, ServeConfig, ServeError, SloClass, SubmitOptions, SvdService,
+};
 use heterosvd_repro::svd_kernels::{io as matrix_io, Matrix};
 use rand::{Rng, SeedableRng};
 use std::io::Write;
@@ -129,6 +131,26 @@ fn usage() -> &'static str {
      \x20                   same --seed, --autoscale on/off runs replay\n\
      \x20                   the identical trace for an adaptive-vs-static\n\
      \x20                   A/B\n\
+       --trace multishape  replay the 95:5 two-shape trace shared with\n\
+     \x20                   `repro -- serve`: dominant 32x32 batch-class\n\
+     \x20                   bursts plus rare 64x64 interactive-class\n\
+     \x20                   singles (classes fixed per shape). Same\n\
+     \x20                   constraints as --trace bursty; with the same\n\
+     \x20                   --seed, --classed on/off runs replay the\n\
+     \x20                   identical trace for a scheduler A/B\n\
+       --classed on|off    shape-classed SLO-aware scheduling: per-class\n\
+     \x20                   EDF sub-queues with eviction, load shedding\n\
+     \x20                   (lowest class first), and work stealing across\n\
+     \x20                   replica sub-pools (default off = shape-blind\n\
+     \x20                   FIFO). Factors are bit-identical either way\n\
+       --class C           SLO class stamped on decompose requests:\n\
+     \x20                   interactive|standard|batch (default standard;\n\
+     \x20                   incompatible with --trace multishape, which\n\
+     \x20                   assigns classes per shape)\n\
+       --shed-threshold F  timed-out/throughput fraction in (0,1] above\n\
+     \x20                   which the classed scheduler starts shedding\n\
+     \x20                   batch-class admissions (default 0.3; needs\n\
+     \x20                   --classed on)\n\
        --metrics-out FILE  write the end-of-run metrics report to FILE\n\
      \x20                   as JSON and to FILE with a .prom extension in\n\
      \x20                   Prometheus text format (counters, percentiles,\n\
@@ -300,6 +322,19 @@ fn cmd_run(cursor: ArgCursor) -> Result<(), String> {
 
 // ---------------------------------------------------------- serve-bench
 
+/// Arrival process replayed by `serve-bench`.
+#[derive(Clone, Copy, PartialEq)]
+#[cfg_attr(test, derive(Debug))]
+enum TraceKind {
+    /// Seeded Poisson stream over the four-shape mix (the default).
+    Poisson,
+    /// The canonical shifting-mix bursty trace (`repro -- dse`).
+    Bursty,
+    /// The 95:5 two-shape trace (`repro -- serve`): dominant Batch-class
+    /// small-matrix bursts plus rare Interactive-class larger singles.
+    Multishape,
+}
+
 #[cfg_attr(test, derive(Debug))]
 struct BenchArgs {
     requests: usize,
@@ -322,7 +357,10 @@ struct BenchArgs {
     metrics_out: Option<String>,
     packing: bool,
     autoscale: bool,
-    trace_bursty: bool,
+    trace: TraceKind,
+    classed: bool,
+    class: Option<SloClass>,
+    shed_threshold: Option<f64>,
 }
 
 /// Parses a `RxC` (or bare `N`, meaning NxN) shape argument.
@@ -363,7 +401,10 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
         metrics_out: None,
         packing: true,
         autoscale: false,
-        trace_bursty: false,
+        trace: TraceKind::Poisson,
+        classed: false,
+        class: None,
+        shed_threshold: None,
     };
     while let Some(arg) = cursor.next() {
         match arg.as_str() {
@@ -408,16 +449,31 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
                 }
             }
             "--trace" => {
-                args.trace_bursty = match cursor.value("--trace")?.as_str() {
-                    "bursty" => true,
-                    "poisson" => false,
+                args.trace = match cursor.value("--trace")?.as_str() {
+                    "bursty" => TraceKind::Bursty,
+                    "multishape" => TraceKind::Multishape,
+                    "poisson" => TraceKind::Poisson,
                     other => {
                         return Err(format!(
-                            "invalid value for --trace: {other} (expected bursty|poisson)"
+                            "invalid value for --trace: {other} \
+                             (expected bursty|multishape|poisson)"
                         ))
                     }
                 }
             }
+            "--classed" => {
+                args.classed = match cursor.value("--classed")?.as_str() {
+                    "on" => true,
+                    "off" => false,
+                    other => {
+                        return Err(format!(
+                            "invalid value for --classed: {other} (expected on|off)"
+                        ))
+                    }
+                }
+            }
+            "--class" => args.class = Some(SloClass::parse(&cursor.value("--class")?)?),
+            "--shed-threshold" => args.shed_threshold = Some(cursor.parse("--shed-threshold")?),
             "--help" | "-h" => return Err(usage().to_string()),
             other => return Err(format!("unknown option {other}")),
         }
@@ -445,15 +501,36 @@ fn parse_bench_args(mut cursor: ArgCursor) -> Result<BenchArgs, String> {
     if args.rank == Some(0) {
         return Err("serve-bench needs --rank >= 1".to_string());
     }
-    if args.trace_bursty {
+    if args.trace != TraceKind::Poisson {
+        let name = if args.trace == TraceKind::Bursty {
+            "bursty"
+        } else {
+            "multishape"
+        };
         if args.shape.is_some() {
-            return Err("--trace bursty carries its own shape mix; \
-                 incompatible with --shape"
-                .to_string());
+            return Err(format!(
+                "--trace {name} carries its own shape mix; incompatible with --shape"
+            ));
         }
         if args.apply_ratio > 0.0 || args.update_ratio > 0.0 {
-            return Err("--trace bursty is decompose-only; incompatible \
+            return Err(format!(
+                "--trace {name} is decompose-only; incompatible \
                  with --apply-ratio/--update-ratio"
+            ));
+        }
+    }
+    if args.trace == TraceKind::Multishape && args.class.is_some() {
+        return Err("--trace multishape assigns classes per shape (rare = \
+             interactive, dominant = batch); incompatible with --class"
+            .to_string());
+    }
+    if let Some(t) = args.shed_threshold {
+        if !(t.is_finite() && t > 0.0 && t <= 1.0) {
+            return Err("serve-bench needs --shed-threshold in (0, 1]".to_string());
+        }
+        if !args.classed {
+            return Err("--shed-threshold drives the classed scheduler's \
+                 load shedding; needs --classed on"
                 .to_string());
         }
     }
@@ -495,6 +572,10 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         array_packing: args.packing,
         autoscale: args.autoscale,
         incremental: args.update_ratio > 0.0,
+        shape_classed: args.classed,
+        shed_threshold: args
+            .shed_threshold
+            .unwrap_or(ServeConfig::default().shed_threshold),
         ..ServeConfig::default()
     })
     .map_err(|e| e.to_string())?;
@@ -569,7 +650,7 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     let mut client_updates = vec![0usize; client_state.len()];
 
     enum Work {
-        Decompose(Matrix<f64>),
+        Decompose(Matrix<f64>, SloClass),
         Apply {
             model: ModelId,
             x: Vec<f64>,
@@ -579,6 +660,9 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
             matrix: Matrix<f64>,
         },
     }
+    // Class stamped on decompose traffic: --class when given, otherwise
+    // Standard. The multishape trace overrides per shape below.
+    let default_class = args.class.unwrap_or(SloClass::Standard);
     // Request-type mix: decompose weight 1, each ratio adds its own
     // weight. `p_apply` stays conditioned on "not an update", so with
     // --update-ratio 0 the draw sequence (and hence every checksum) is
@@ -586,10 +670,16 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
     let p_update = args.update_ratio / (1.0 + args.apply_ratio + args.update_ratio);
     let p_apply = args.apply_ratio / (args.apply_ratio + 1.0);
     // `--trace bursty` replays the canonical shifting-mix trace shared
-    // with `repro -- dse` (absolute arrival offsets converted to gaps);
-    // otherwise the Poisson stream below draws `--requests` arrivals.
-    let workload: Vec<(Work, f64)> = if args.trace_bursty {
-        let events = bursty_trace(&shifting_mix_phases(false), args.seed);
+    // with `repro -- dse`, `--trace multishape` the 95:5 two-shape
+    // trace shared with `repro -- serve` (absolute arrival offsets
+    // converted to gaps); otherwise the Poisson stream below draws
+    // `--requests` arrivals.
+    let workload: Vec<(Work, f64)> = if args.trace != TraceKind::Poisson {
+        let events = if args.trace == TraceKind::Bursty {
+            bursty_trace(&shifting_mix_phases(false), args.seed)
+        } else {
+            multishape_trace(false, args.seed)
+        };
         let mut prev_ms = 0.0;
         events
             .iter()
@@ -597,7 +687,19 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
                 let gap_secs = (e.at_ms - prev_ms) / 1e3;
                 prev_ms = e.at_ms;
                 let matrix = heterosvd_bench::workload::random_matrix(e.shape.0, e.shape.1, e.seed);
-                (Work::Decompose(matrix), gap_secs)
+                // Multishape carries the SLO split the classed scheduler
+                // is benched on: the rare larger shape is Interactive,
+                // the dominant burst shape is Batch.
+                let class = if args.trace == TraceKind::Multishape {
+                    if e.shape == (64, 64) {
+                        SloClass::Interactive
+                    } else {
+                        SloClass::Batch
+                    }
+                } else {
+                    default_class
+                };
+                (Work::Decompose(matrix, class), gap_secs)
             })
             .collect()
     } else {
@@ -641,7 +743,7 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
                     Work::Apply { model, x }
                 } else {
                     let (rows, cols) = shapes[rng.gen_range(0..shapes.len())];
-                    Work::Decompose(random_matrix(&mut rng, rows, cols))
+                    Work::Decompose(random_matrix(&mut rng, rows, cols), default_class)
                 };
                 let u: f64 = rng.gen_range(1e-9..1.0);
                 let gap_secs = -u.ln() / args.rate;
@@ -650,7 +752,20 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
             .collect()
     };
 
-    if args.trace_bursty {
+    if args.trace == TraceKind::Multishape {
+        println!(
+            "serve-bench: {} requests from the 95:5 multishape trace (dominant 32x32 batch-class, \
+             rare 64x64 interactive-class), {} workers, seed {}, scheduler {}",
+            workload.len(),
+            args.workers,
+            args.seed,
+            if args.classed {
+                "shape-classed"
+            } else {
+                "fifo"
+            },
+        );
+    } else if args.trace == TraceKind::Bursty {
         println!(
             "serve-bench: {} requests from the shifting-mix bursty trace, {} workers, seed {}, autoscale {}",
             workload.len(),
@@ -704,7 +819,15 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
             std::thread::sleep(next_arrival - now);
         }
         let admitted = match work {
-            Work::Decompose(matrix) => service.try_submit(matrix).map(BenchHandle::Decompose),
+            Work::Decompose(matrix, class) => service
+                .try_submit_with(
+                    matrix,
+                    SubmitOptions {
+                        class,
+                        ..SubmitOptions::default()
+                    },
+                )
+                .map(BenchHandle::Decompose),
             Work::Apply { model, x } => service
                 .try_submit_apply(model, &x, None)
                 .map(BenchHandle::Apply),
@@ -714,8 +837,9 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         };
         match admitted {
             Ok(handle) => handles.push(handle),
-            // Open-loop: an over-capacity arrival is dropped, not retried.
-            Err(ServeError::QueueFull { .. }) => dropped += 1,
+            // Open-loop: an over-capacity or load-shed arrival is
+            // dropped, not retried (the shed split is in the metrics).
+            Err(ServeError::QueueFull { .. }) | Err(ServeError::Overloaded) => dropped += 1,
             Err(other) => return Err(other.to_string()),
         }
     }
@@ -797,6 +921,24 @@ fn cmd_serve_bench(cursor: ArgCursor) -> Result<(), String> {
         wall.as_secs_f64() * 1e3,
         completed as f64 / wall.as_secs_f64()
     );
+    if args.classed {
+        // Per-SLO-class split: the whole point of the classed scheduler
+        // is that these tails diverge by class, not by arrival order.
+        for (name, c) in [
+            ("interactive", &m.per_class.interactive),
+            ("standard", &m.per_class.standard),
+            ("batch", &m.per_class.batch),
+        ] {
+            println!(
+                "class {name:>11}: submitted {} | ok {} | shed {} | wall p50/p99 {} / {} µs",
+                c.submitted, c.completed_ok, c.shed, c.wall_us.p50, c.wall_us.p99
+            );
+        }
+        println!(
+            "shed total {} | shed level {} | batches stolen {}",
+            m.shed, m.shed_level, m.batches_stolen
+        );
+    }
     println!(
         "queue wait   p50/p95/p99/max  {} / {} / {} / {} µs",
         m.queue_wait_us.p50, m.queue_wait_us.p95, m.queue_wait_us.p99, m.queue_wait_us.max
@@ -1042,20 +1184,84 @@ mod tests {
 
     #[test]
     fn trace_flag_parses_and_rejects_conflicts() {
-        assert!(!bench(&[]).unwrap().trace_bursty, "trace defaults poisson");
-        assert!(bench(&["--trace", "bursty"]).unwrap().trace_bursty);
-        assert!(!bench(&["--trace", "poisson"]).unwrap().trace_bursty);
+        assert_eq!(bench(&[]).unwrap().trace, TraceKind::Poisson);
+        assert_eq!(
+            bench(&["--trace", "bursty"]).unwrap().trace,
+            TraceKind::Bursty
+        );
+        assert_eq!(
+            bench(&["--trace", "multishape"]).unwrap().trace,
+            TraceKind::Multishape
+        );
+        assert_eq!(
+            bench(&["--trace", "poisson"]).unwrap().trace,
+            TraceKind::Poisson
+        );
         let err = bench(&["--trace", "diurnal"]).unwrap_err();
         assert!(err.contains("invalid value for --trace"), "{err}");
-        for conflict in [
-            vec!["--trace", "bursty", "--shape", "64x64"],
-            vec!["--trace", "bursty", "--apply-ratio", "4"],
-            vec!["--trace", "bursty", "--update-ratio", "2"],
+        for trace in ["bursty", "multishape"] {
+            for conflict in [
+                vec!["--trace", trace, "--shape", "64x64"],
+                vec!["--trace", trace, "--apply-ratio", "4"],
+                vec!["--trace", trace, "--update-ratio", "2"],
+            ] {
+                let err = bench(&conflict).expect_err(&conflict.join(" "));
+                assert!(err.contains(&format!("--trace {trace}")), "{err}");
+                assert!(!err.contains('\n'), "multi-line error: {err}");
+            }
+        }
+    }
+
+    #[test]
+    fn classed_scheduler_flags_parse() {
+        let defaults = bench(&[]).unwrap();
+        assert!(!defaults.classed, "classed defaults off");
+        assert!(defaults.class.is_none(), "class defaults unset");
+        assert!(defaults.shed_threshold.is_none());
+        assert!(bench(&["--classed", "on"]).unwrap().classed);
+        assert!(!bench(&["--classed", "off"]).unwrap().classed);
+        let err = bench(&["--classed", "maybe"]).unwrap_err();
+        assert!(err.contains("invalid value for --classed"), "{err}");
+        assert_eq!(
+            bench(&["--class", "interactive"]).unwrap().class,
+            Some(SloClass::Interactive)
+        );
+        assert_eq!(
+            bench(&["--class", "batch"]).unwrap().class,
+            Some(SloClass::Batch)
+        );
+        let err = bench(&["--class", "gold"]).unwrap_err();
+        assert!(err.contains("unknown SLO class"), "{err}");
+        let args = bench(&["--classed", "on", "--shed-threshold", "0.5"]).unwrap();
+        assert_eq!(args.shed_threshold, Some(0.5));
+    }
+
+    /// The shed threshold is meaningless without the classed scheduler,
+    /// and must be a usable fraction.
+    #[test]
+    fn shed_threshold_is_validated() {
+        for bad in [
+            vec!["--classed", "on", "--shed-threshold", "0"],
+            vec!["--classed", "on", "--shed-threshold", "1.5"],
+            vec!["--classed", "on", "--shed-threshold", "NaN"],
+            vec!["--shed-threshold", "0.5"],
         ] {
-            let err = bench(&conflict).expect_err(&conflict.join(" "));
-            assert!(err.contains("--trace bursty"), "{err}");
+            let err = bench(&bad).expect_err(&bad.join(" "));
+            assert!(
+                err.contains("--shed-threshold") || err.contains("--classed"),
+                "{err}"
+            );
             assert!(!err.contains('\n'), "multi-line error: {err}");
         }
+    }
+
+    /// Classes are fixed per shape on the multishape trace; a global
+    /// --class would silently contradict them.
+    #[test]
+    fn class_conflicts_with_multishape_trace() {
+        let err = bench(&["--trace", "multishape", "--class", "interactive"]).unwrap_err();
+        assert!(err.contains("--class"), "{err}");
+        assert!(!err.contains('\n'), "multi-line error: {err}");
     }
 
     #[test]
